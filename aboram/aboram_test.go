@@ -1,0 +1,132 @@
+package aboram
+
+import (
+	"bytes"
+	"testing"
+)
+
+var key = []byte("0123456789abcdef")
+
+func TestDefaults(t *testing.T) {
+	o, err := New(Options{Levels: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumBlocks() <= 0 || o.BlockSize() != 64 {
+		t.Fatalf("geometry: %d blocks x %d B", o.NumBlocks(), o.BlockSize())
+	}
+	if o.Encrypted() {
+		t.Fatal("no key given but Encrypted() true")
+	}
+	if err := o.Access(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Read(0); err == nil {
+		t.Fatal("Read without key accepted")
+	}
+	if err := o.Write(0, make([]byte, 64)); err == nil {
+		t.Fatal("Write without key accepted")
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := New(Options{Levels: 4}); err == nil {
+		t.Fatal("tiny tree accepted")
+	}
+	if _, err := New(Options{Scheme: "nope", Levels: 10}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := New(Options{Levels: 10, EncryptionKey: []byte("short")}); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func TestEncryptedRoundTrip(t *testing.T) {
+	o, err := New(Options{Levels: 10, EncryptionKey: key, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Encrypted() {
+		t.Fatal("key given but Encrypted() false")
+	}
+	want := map[int64][]byte{}
+	for i := int64(0); i < 40; i++ {
+		blk := (i * 31) % o.NumBlocks()
+		data := bytes.Repeat([]byte{byte(i + 1)}, o.BlockSize())
+		if err := o.Write(blk, data); err != nil {
+			t.Fatal(err)
+		}
+		want[blk] = data
+	}
+	// Churn.
+	for i := int64(0); i < 1500; i++ {
+		if err := o.Access((i * 2654435761) % o.NumBlocks()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for blk, data := range want {
+		got, err := o.Read(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("block %d corrupted", blk)
+		}
+	}
+	if err := o.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	o, err := New(Options{Scheme: SchemeAB, Levels: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2000; i++ {
+		if err := o.Access(i % o.NumBlocks()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := o.Stats()
+	if st.Accesses != 2000 || st.EvictPaths == 0 || st.EarlyReshuffles == 0 {
+		t.Fatalf("stats implausible: %+v", st)
+	}
+	if st.StashOverflows != 0 {
+		t.Fatalf("overflows: %+v", st)
+	}
+	if st.ExtendRatio <= 0 {
+		t.Fatalf("AB scheme never extended: %+v", st)
+	}
+}
+
+func TestSchemesSpaceOrdering(t *testing.T) {
+	space := map[Scheme]uint64{}
+	for _, s := range []Scheme{SchemeBaseline, SchemeDR, SchemeNS, SchemeAB} {
+		o, err := New(Options{Scheme: s, Levels: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		space[s] = o.SpaceBytes()
+		if o.Utilization() <= 0 {
+			t.Fatalf("%s: zero utilization", s)
+		}
+	}
+	if !(space[SchemeAB] < space[SchemeDR] && space[SchemeDR] < space[SchemeNS] && space[SchemeNS] < space[SchemeBaseline]) {
+		t.Fatalf("space ordering violated: %v", space)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	o, err := New(Options{Levels: 10, EncryptionKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, o.BlockSize())) {
+		t.Fatal("unwritten block not zero")
+	}
+}

@@ -1,0 +1,89 @@
+package aboram
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ringoram"
+	"repro/internal/secmem"
+)
+
+// image is the on-disk form of a full instance checkpoint: protocol state,
+// the DeadQ contents (DR/AB schemes), and the encrypted store (when the
+// data plane is active). The AES key is never serialized; Load re-derives
+// the cipher from the Options the caller supplies.
+type image struct {
+	Scheme Scheme
+	Levels int
+	Seed   uint64
+
+	Protocol *ringoram.Checkpoint
+	DeadQ    map[int][]ringoram.SlotRef
+	Memory   *secmem.State
+}
+
+// Save writes a complete checkpoint of the instance. The stream contains
+// ciphertext, versions, and protocol metadata but no key material: it is
+// safe to store on the same untrusted medium the ORAM itself protects
+// against, with the same caveats as any at-rest image (it reveals the
+// instant's physical occupancy pattern, which the threat model already
+// grants the attacker).
+func (o *ORAM) Save(w io.Writer) error {
+	img := image{
+		Protocol: o.inner.Checkpoint(),
+	}
+	if o.mem != nil {
+		img.Memory = o.mem.State()
+	}
+	if o.dq != nil {
+		img.DeadQ = o.dq.Snapshot()
+	}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// Load restores an instance saved with Save. opt must describe the same
+// configuration the instance was created with (scheme, levels, seed), and
+// must carry the same EncryptionKey if the saved instance was encrypted.
+func Load(opt Options, r io.Reader) (*ORAM, error) {
+	var img image
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("aboram: decoding checkpoint: %w", err)
+	}
+	if opt.Scheme == "" {
+		opt.Scheme = SchemeAB
+	}
+	if opt.Levels == 0 {
+		opt.Levels = 16
+	}
+	cfg, dq, err := core.Build(opt.Scheme, core.DefaultOptions(opt.Levels, opt.Seed))
+	if err != nil {
+		return nil, err
+	}
+	o := &ORAM{dq: dq}
+	if img.Memory != nil {
+		if opt.EncryptionKey == nil {
+			return nil, fmt.Errorf("aboram: checkpoint is encrypted; Options.EncryptionKey required")
+		}
+		mem, err := secmem.Restore(opt.EncryptionKey, img.Memory)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Data = mem
+		o.mem = mem
+	} else if opt.EncryptionKey != nil {
+		return nil, fmt.Errorf("aboram: checkpoint has no data plane but a key was supplied")
+	}
+	inner, err := ringoram.Restore(cfg, img.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	o.inner = inner
+	if dq != nil && img.DeadQ != nil {
+		if err := dq.Restore(img.DeadQ); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,202 @@
+// Package ods builds oblivious data structures on top of the AB-ORAM
+// block store: an array, a stack, and a FIFO queue whose memory access
+// patterns reveal nothing about the operations performed on them.
+//
+// Every operation on every structure performs exactly one oblivious block
+// read followed by one oblivious block write — reads, writes, pushes,
+// pops, hits, and misses are indistinguishable on the memory bus, and the
+// structures' occupancy is known only to the trusted client (which keeps
+// cursors on-chip, as an ORAM controller keeps its position map).
+package ods
+
+import (
+	"fmt"
+
+	"repro/aboram"
+)
+
+// Store is the block-device interface the structures build on; *aboram.ORAM
+// satisfies it. Factoring the interface keeps the structures testable
+// against an in-memory fake.
+type Store interface {
+	NumBlocks() int64
+	BlockSize() int
+	Read(block int64) ([]byte, error)
+	Write(block int64, data []byte) error
+}
+
+var _ Store = (*aboram.ORAM)(nil)
+
+// Array is a fixed-length oblivious array of fixed-size items, packed
+// multiple items per block. Get and Set both perform one read and one
+// write (Get rewrites the block unchanged), so the two are
+// indistinguishable to an observer.
+type Array struct {
+	store    Store
+	itemB    int
+	perBlock int
+	length   int64
+	base     int64 // first block used by this array
+}
+
+// NewArray carves an array of `length` items of itemBytes each out of the
+// store, starting at block `base`.
+func NewArray(store Store, base, length int64, itemBytes int) (*Array, error) {
+	if itemBytes <= 0 || itemBytes > store.BlockSize() {
+		return nil, fmt.Errorf("ods: item size %d outside (0, %d]", itemBytes, store.BlockSize())
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("ods: non-positive length %d", length)
+	}
+	perBlock := store.BlockSize() / itemBytes
+	blocks := (length + int64(perBlock) - 1) / int64(perBlock)
+	if base < 0 || base+blocks > store.NumBlocks() {
+		return nil, fmt.Errorf("ods: array [%d, %d) exceeds store of %d blocks", base, base+blocks, store.NumBlocks())
+	}
+	return &Array{store: store, itemB: itemBytes, perBlock: perBlock, length: length, base: base}, nil
+}
+
+// Len returns the array length in items.
+func (a *Array) Len() int64 { return a.length }
+
+// Blocks returns how many store blocks the array occupies.
+func (a *Array) Blocks() int64 {
+	return (a.length + int64(a.perBlock) - 1) / int64(a.perBlock)
+}
+
+func (a *Array) locate(i int64) (block int64, off int, err error) {
+	if i < 0 || i >= a.length {
+		return 0, 0, fmt.Errorf("ods: index %d out of range [0, %d)", i, a.length)
+	}
+	return a.base + i/int64(a.perBlock), int(i%int64(a.perBlock)) * a.itemB, nil
+}
+
+// Get obliviously fetches item i. The bus sees one read plus one write,
+// the same as Set.
+func (a *Array) Get(i int64) ([]byte, error) {
+	block, off, err := a.locate(i)
+	if err != nil {
+		return nil, err
+	}
+	data, err := a.store.Read(block)
+	if err != nil {
+		return nil, err
+	}
+	// Cover write: makes Get indistinguishable from Set.
+	if err := a.store.Write(block, data); err != nil {
+		return nil, err
+	}
+	out := make([]byte, a.itemB)
+	copy(out, data[off:off+a.itemB])
+	return out, nil
+}
+
+// Set obliviously stores item i.
+func (a *Array) Set(i int64, item []byte) error {
+	if len(item) != a.itemB {
+		return fmt.Errorf("ods: item is %d bytes, want %d", len(item), a.itemB)
+	}
+	block, off, err := a.locate(i)
+	if err != nil {
+		return err
+	}
+	data, err := a.store.Read(block)
+	if err != nil {
+		return err
+	}
+	copy(data[off:off+a.itemB], item)
+	return a.store.Write(block, data)
+}
+
+// Stack is an oblivious LIFO over an Array. The depth cursor lives on the
+// trusted client; the bus sees one read + one write per operation
+// regardless of push/pop/depth.
+type Stack struct {
+	arr   *Array
+	depth int64
+}
+
+// NewStack builds a stack of capacity items of itemBytes each over the
+// store region starting at block base.
+func NewStack(store Store, base, capacity int64, itemBytes int) (*Stack, error) {
+	arr, err := NewArray(store, base, capacity, itemBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{arr: arr}, nil
+}
+
+// Depth returns the current element count (client-side knowledge).
+func (s *Stack) Depth() int64 { return s.depth }
+
+// Push stores an item on top.
+func (s *Stack) Push(item []byte) error {
+	if s.depth == s.arr.Len() {
+		return fmt.Errorf("ods: stack full (%d)", s.depth)
+	}
+	if err := s.arr.Set(s.depth, item); err != nil {
+		return err
+	}
+	s.depth++
+	return nil
+}
+
+// Pop removes and returns the top item.
+func (s *Stack) Pop() ([]byte, error) {
+	if s.depth == 0 {
+		return nil, fmt.Errorf("ods: stack empty")
+	}
+	item, err := s.arr.Get(s.depth - 1)
+	if err != nil {
+		return nil, err
+	}
+	s.depth--
+	return item, nil
+}
+
+// Queue is an oblivious FIFO ring over an Array, with head/size cursors on
+// the trusted client.
+type Queue struct {
+	arr        *Array
+	head, size int64
+}
+
+// NewQueue builds a queue of capacity items of itemBytes each over the
+// store region starting at block base.
+func NewQueue(store Store, base, capacity int64, itemBytes int) (*Queue, error) {
+	arr, err := NewArray(store, base, capacity, itemBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{arr: arr}, nil
+}
+
+// Size returns the element count (client-side knowledge).
+func (q *Queue) Size() int64 { return q.size }
+
+// Enqueue appends an item.
+func (q *Queue) Enqueue(item []byte) error {
+	if q.size == q.arr.Len() {
+		return fmt.Errorf("ods: queue full (%d)", q.size)
+	}
+	pos := (q.head + q.size) % q.arr.Len()
+	if err := q.arr.Set(pos, item); err != nil {
+		return err
+	}
+	q.size++
+	return nil
+}
+
+// Dequeue removes and returns the oldest item.
+func (q *Queue) Dequeue() ([]byte, error) {
+	if q.size == 0 {
+		return nil, fmt.Errorf("ods: queue empty")
+	}
+	item, err := q.arr.Get(q.head)
+	if err != nil {
+		return nil, err
+	}
+	q.head = (q.head + 1) % q.arr.Len()
+	q.size--
+	return item, nil
+}

@@ -1,0 +1,231 @@
+package ods
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/aboram"
+)
+
+// fakeStore is a plain in-memory Store that counts operations, so tests
+// can assert both correctness and access-pattern uniformity without the
+// cost of a real ORAM.
+type fakeStore struct {
+	blocks [][]byte
+	reads  int
+	writes int
+}
+
+func newFake(n int64, blockB int) *fakeStore {
+	f := &fakeStore{blocks: make([][]byte, n)}
+	for i := range f.blocks {
+		f.blocks[i] = make([]byte, blockB)
+	}
+	return f
+}
+
+func (f *fakeStore) NumBlocks() int64 { return int64(len(f.blocks)) }
+func (f *fakeStore) BlockSize() int   { return len(f.blocks[0]) }
+func (f *fakeStore) Read(b int64) ([]byte, error) {
+	if b < 0 || b >= f.NumBlocks() {
+		return nil, fmt.Errorf("fake: out of range")
+	}
+	f.reads++
+	return append([]byte(nil), f.blocks[b]...), nil
+}
+func (f *fakeStore) Write(b int64, d []byte) error {
+	if b < 0 || b >= f.NumBlocks() {
+		return fmt.Errorf("fake: out of range")
+	}
+	f.writes++
+	copy(f.blocks[b], d)
+	return nil
+}
+
+func TestArrayValidation(t *testing.T) {
+	f := newFake(8, 64)
+	cases := []struct {
+		base, length int64
+		item         int
+	}{
+		{0, 10, 0}, {0, 10, 65}, {0, 0, 8}, {-1, 2, 8}, {7, 100, 8},
+	}
+	for _, c := range cases {
+		if _, err := NewArray(f, c.base, c.length, c.item); err == nil {
+			t.Errorf("NewArray(%d, %d, %d) accepted", c.base, c.length, c.item)
+		}
+	}
+}
+
+func TestArrayGetSet(t *testing.T) {
+	f := newFake(8, 64)
+	a, err := NewArray(f, 0, 20, 8) // 8 items/block -> 3 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Blocks() != 3 || a.Len() != 20 {
+		t.Fatalf("geometry: %d blocks, %d items", a.Blocks(), a.Len())
+	}
+	for i := int64(0); i < 20; i++ {
+		item := bytes.Repeat([]byte{byte(i + 1)}, 8)
+		if err := a.Set(i, item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 20; i++ {
+		got, err := a.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, 8)) {
+			t.Fatalf("item %d corrupted", i)
+		}
+	}
+	if _, err := a.Get(20); err == nil {
+		t.Fatal("out-of-range get accepted")
+	}
+	if err := a.Set(0, []byte("short")); err == nil {
+		t.Fatal("short item accepted")
+	}
+}
+
+// The defining property: Get and Set are indistinguishable — both cost
+// exactly one read and one write.
+func TestUniformAccessPattern(t *testing.T) {
+	f := newFake(8, 64)
+	a, _ := NewArray(f, 0, 16, 16)
+	_ = a.Set(3, make([]byte, 16))
+	setReads, setWrites := f.reads, f.writes
+	f.reads, f.writes = 0, 0
+	_, _ = a.Get(9)
+	if f.reads != setReads || f.writes != setWrites {
+		t.Fatalf("Get (%d r, %d w) distinguishable from Set (%d r, %d w)",
+			f.reads, f.writes, setReads, setWrites)
+	}
+	if f.reads != 1 || f.writes != 1 {
+		t.Fatalf("expected exactly 1 read + 1 write, got %d + %d", f.reads, f.writes)
+	}
+}
+
+func TestStack(t *testing.T) {
+	f := newFake(8, 64)
+	s, err := NewStack(f, 0, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pop(); err == nil {
+		t.Fatal("pop from empty accepted")
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Push(bytes.Repeat([]byte{byte(i)}, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Push(make([]byte, 8)); err == nil {
+		t.Fatal("push to full accepted")
+	}
+	for i := 9; i >= 0; i-- {
+		got, err := s.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("LIFO order violated at %d", i)
+		}
+	}
+	if s.Depth() != 0 {
+		t.Fatalf("depth = %d", s.Depth())
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	f := newFake(8, 64)
+	q, err := NewQueue(f, 0, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Dequeue(); err == nil {
+		t.Fatal("dequeue from empty accepted")
+	}
+	// Push/pop across the ring boundary several times.
+	next, expect := byte(0), byte(0)
+	for round := 0; round < 5; round++ {
+		for q.Size() < 4 {
+			if err := q.Enqueue(bytes.Repeat([]byte{next}, 8)); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := q.Enqueue(make([]byte, 8)); err == nil {
+			t.Fatal("enqueue to full accepted")
+		}
+		for q.Size() > 1 {
+			got, err := q.Dequeue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != expect {
+				t.Fatalf("FIFO order violated: got %d want %d", got[0], expect)
+			}
+			expect++
+		}
+	}
+}
+
+// Property: an ods.Array behaves exactly like a plain slice under random
+// operation sequences.
+func TestQuickArrayVsSlice(t *testing.T) {
+	f := newFake(16, 64)
+	a, _ := NewArray(f, 0, 50, 4)
+	model := make([][]byte, 50)
+	for i := range model {
+		model[i] = make([]byte, 4)
+	}
+	fn := func(idx uint8, val uint32, write bool) bool {
+		i := int64(idx) % 50
+		if write {
+			item := []byte{byte(val), byte(val >> 8), byte(val >> 16), byte(val >> 24)}
+			if a.Set(i, item) != nil {
+				return false
+			}
+			copy(model[i], item)
+			return true
+		}
+		got, err := a.Get(i)
+		return err == nil && bytes.Equal(got, model[i])
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// End to end: the structures compose with the real encrypted ORAM.
+func TestOnRealORAM(t *testing.T) {
+	o, err := aboram.New(aboram.Options{Levels: 10, EncryptionKey: []byte("0123456789abcdef"), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStack(o, 0, 20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Push(bytes.Repeat([]byte{byte(i + 1)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 19; i >= 0; i-- {
+		got, err := s.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) {
+			t.Fatalf("LIFO violated through real ORAM at %d", i)
+		}
+	}
+	if err := o.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Command abench regenerates the tables and figures of the AB-ORAM paper.
+//
+// Usage:
+//
+//	abench -exp fig8                 # one experiment, quick preset
+//	abench -exp all -preset full     # everything, flagship preset
+//	abench -list                     # enumerate experiment IDs
+//	abench -exp fig8 -csv out/       # also write CSV series
+//
+// Each experiment prints one or more aligned text tables annotated with
+// the paper's reported values for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "abench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("abench", flag.ContinueOnError)
+	exp := fs.String("exp", "", "experiment ID (e.g. fig8) or 'all'")
+	preset := fs.String("preset", "quick", "parameter preset: quick | full")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	levels := fs.Int("levels", 0, "override ORAM tree levels")
+	warmup := fs.Int("warmup", 0, "override warm-up accesses")
+	measure := fs.Int("measure", 0, "override measured accesses")
+	seed := fs.Uint64("seed", 0, "override experiment seed")
+	csvDir := fs.String("csv", "", "directory to write CSV copies of every table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range sim.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp (or -list)")
+	}
+
+	var p sim.Params
+	switch *preset {
+	case "quick":
+		p = sim.Quick()
+	case "full":
+		p = sim.Full()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	if *levels > 0 {
+		p.Levels = *levels
+		p.Treetop = *levels * 10 / 24
+	}
+	if *warmup > 0 {
+		p.Warmup = *warmup
+	}
+	if *measure > 0 {
+		p.Measure = *measure
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = sim.ExperimentIDs()
+	}
+	reg := sim.Registry()
+	for _, id := range ids {
+		runner, ok := reg[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		tables, err := runner(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n", id, time.Since(start).Seconds())
+		for ti, t := range tables {
+			if err := t.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, id, ti, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, id string, idx int, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s_%d.csv", strings.ReplaceAll(id, "/", "_"), idx)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

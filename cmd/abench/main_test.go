@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nonsense"}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingExp(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestUnknownPreset(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-preset", "bogus"}); err == nil {
+		t.Fatal("expected preset error")
+	}
+}
+
+func TestListAndStaticExperiment(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	// table1 and storage are closed-form: cheap smoke coverage of the full
+	// command path including CSV output.
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "table1", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "table1_*.csv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no CSV written: %v %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "field,category") {
+		t.Fatalf("CSV content unexpected: %.80s", data)
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	if err := run([]string{"-exp", "storage", "-levels", "20", "-seed", "9", "-warmup", "10", "-measure", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}

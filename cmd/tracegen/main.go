@@ -1,0 +1,78 @@
+// Command tracegen writes a synthetic memory trace for a benchmark in the
+// USIMM-style text format consumed by aboram-sim -trace.
+//
+// Usage:
+//
+//	tracegen -bench mcf -n 1000000 -seed 7 > mcf.trace
+//	tracegen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	n := fs.Int("n", 100000, "number of requests")
+	seed := fs.Uint64("seed", 1, "random seed")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	list := fs.Bool("list", false, "list available benchmarks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		w := bufio.NewWriter(out)
+		defer w.Flush()
+		for _, b := range append(trace.SPEC17(), trace.PARSEC()...) {
+			fmt.Fprintf(w, "%-14s %-7s read %.2f MPKI, write %.2f MPKI\n", b.Name, b.Suite, b.ReadMPKI, b.WriteMPKI)
+		}
+		return nil
+	}
+	if *bench == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -bench (or -list)")
+	}
+	b, err := trace.Find(*bench)
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewGenerator(b, *seed)
+	if err != nil {
+		return err
+	}
+
+	dst := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	w := trace.NewWriter(dst)
+	if err := w.Comment(fmt.Sprintf("benchmark: %s seed: %d n: %d", b.Name, *seed, *n)); err != nil {
+		return err
+	}
+	for i := 0; i < *n; i++ {
+		if err := w.Write(gen.Next()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mcf", "canneal", "MPKI"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestMissingBench(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestUnknownBench(t *testing.T) {
+	if err := run([]string{"-bench", "nope"}, &strings.Builder{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGenerateToFileRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := run([]string{"-bench", "gcc", "-n", "500", "-seed", "3", "-o", path}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reqs, err := trace.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 500 {
+		t.Fatalf("trace has %d requests, want 500", len(reqs))
+	}
+	// Deterministic: regenerating with the same seed matches.
+	b, _ := trace.Find("gcc")
+	gen, _ := trace.NewGenerator(b, 3)
+	for i, want := range gen.Generate(500) {
+		if reqs[i] != want {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+}

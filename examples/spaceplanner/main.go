@@ -1,0 +1,61 @@
+// Spaceplanner: a capacity-planning calculator for deploying the paper's
+// schemes at production scale. It answers, closed-form and instantly, the
+// question the paper's Fig 8a/8b answers by simulation: how much memory
+// does each scheme need for a given protected-data size, and where do the
+// bytes go (data tree vs metadata tree vs on-chip structures)?
+//
+//	go run ./examples/spaceplanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metadata"
+	"repro/internal/report"
+	"repro/internal/ringoram"
+)
+
+func main() {
+	// The paper's deployment point: a 24-level tree protecting ~2.7 GB.
+	for _, levels := range []int{20, 24} {
+		opt := core.DefaultOptions(levels, 1)
+		t := report.New(fmt.Sprintf("Capacity plan for a %d-level tree", levels),
+			"scheme", "user data", "data tree", "metadata tree", "total", "utilization", "vs Baseline")
+
+		var baseTotal uint64
+		for _, scheme := range core.Schemes() {
+			cfg, _, err := core.Build(scheme, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dataTree := ringoram.SpaceBytesStatic(cfg)
+			user := uint64(cfg.NumBlocks) * uint64(cfg.BlockB)
+
+			// One metadata block per bucket (§VIII-H keeps it within 64 B).
+			mp := metadata.Params{
+				Z: cfg.ZPrime + cfg.S, ZPrime: cfg.ZPrime, S: cfg.S,
+				Levels: cfg.Levels, NBlocks: cfg.NumBlocks, R: cfg.MaxRemote,
+			}
+			metaTree := uint64(mp.NBuckets()) * uint64(cfg.BlockB)
+			total := dataTree + metaTree
+			if baseTotal == 0 {
+				baseTotal = total
+			}
+			t.AddRow(string(scheme),
+				report.Bytes(user),
+				report.Bytes(dataTree),
+				report.Bytes(metaTree),
+				report.Bytes(total),
+				report.Percent(float64(user)/float64(dataTree)),
+				report.Norm(float64(total), float64(baseTotal)))
+		}
+
+		mp := metadata.Params{Z: 8, ZPrime: 5, S: 3, Levels: levels, NBlocks: 1 << (levels - 1), R: 6}
+		t.AddNote("on-chip: DeadQ %s (6 levels x 1000 entries), stash 300 entries, %d-level tree-top cache",
+			report.Bytes(uint64(metadata.DeadQOnChipBytes(mp, 6, 1000))), opt.TreetopLevels)
+		fmt.Print(t)
+		fmt.Println()
+	}
+}

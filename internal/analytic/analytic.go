@@ -1,0 +1,194 @@
+// Package analytic provides closed-form models for the quantities the
+// simulator measures: tree space, steady-state dead-block populations,
+// reshuffle rates, and per-operation traffic. The test suite cross-checks
+// the simulator against these formulas — a disagreement means either the
+// model or the engine mis-implements the protocol — and the experiment
+// documentation uses them to extrapolate small-tree runs to the paper's
+// 24-level configuration.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// RingParams describes one Ring ORAM configuration level-by-level.
+type RingParams struct {
+	Levels int
+	ZPrime func(level int) int // Z' at each level
+	S      func(level int) int // physical S at each level
+	A      int                 // EvictPath interval
+	Y      int                 // compaction overlap (0 without CB)
+	BlockB int
+}
+
+// Uniform returns a RingParams with level-independent Z' and S.
+func Uniform(levels, zPrime, s, a, y, blockB int) RingParams {
+	return RingParams{
+		Levels: levels,
+		ZPrime: func(int) int { return zPrime },
+		S:      func(int) int { return s },
+		A:      a,
+		Y:      y,
+		BlockB: blockB,
+	}
+}
+
+// Validate reports parameter errors.
+func (p RingParams) Validate() error {
+	if p.Levels < 2 || p.ZPrime == nil || p.S == nil || p.A <= 0 || p.BlockB <= 0 {
+		return fmt.Errorf("analytic: incomplete parameters")
+	}
+	return nil
+}
+
+// SpaceBytes returns the exact tree size: sum over levels of
+// 2^l * (Z'(l) + S(l)) * blockB. This must match
+// ringoram.SpaceBytesStatic bit-for-bit.
+func (p RingParams) SpaceBytes() (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var slots int64
+	for l := 0; l < p.Levels; l++ {
+		slots += (int64(1) << l) * int64(p.ZPrime(l)+p.S(l))
+	}
+	return uint64(slots) * uint64(p.BlockB), nil
+}
+
+// TouchBudget returns the ReadPath touches a bucket at the given level
+// sustains between reshuffles: dynamicS + Y (>= 1).
+func (p RingParams) TouchBudget(level int) int {
+	t := p.S(level) + p.Y
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// BucketEpochAccesses returns the expected number of online accesses
+// between two reshuffles of one bucket at the given level.
+//
+// A bucket at level l is touched by a ReadPath with probability 2^-l
+// (uniform paths), so EarlyReshuffle alone would fire every
+// budget * 2^l accesses. EvictPath refreshes the bucket every
+// A * 2^l accesses (reverse-lexicographic order covers level l in 2^l
+// evictions). The epoch ends at whichever comes first; both processes are
+// near-deterministic at scale, so the epoch is their minimum.
+func (p RingParams) BucketEpochAccesses(level int) float64 {
+	perLevel := math.Exp2(float64(level))
+	early := float64(p.TouchBudget(level)) * perLevel
+	evict := float64(p.A) * perLevel
+	return math.Min(early, evict)
+}
+
+// EarlyReshufflesPerAccess returns the expected EarlyReshuffle rate at a
+// level, per online access. If eviction renews buckets before their touch
+// budget is spent (A <= budget), EarlyReshuffles are rare at that level;
+// otherwise each bucket early-reshuffles once per budget touches and the
+// whole level contributes 1/budget reshuffles per access.
+func (p RingParams) EarlyReshufflesPerAccess(level int) float64 {
+	budget := float64(p.TouchBudget(level))
+	a := float64(p.A)
+	if a <= budget {
+		// Touches between evictions ~ Binomial(A*2^l, 2^-l) with mean A;
+		// the budget is only exceeded in the tail. Approximate the excess
+		// with a Poisson tail of mean A above the budget.
+		return poissonTail(a, int(budget)) / budget
+	}
+	return 1 / budget
+}
+
+// poissonTail returns P(X > k) for X ~ Poisson(mean).
+func poissonTail(mean float64, k int) float64 {
+	p := math.Exp(-mean)
+	cdf := p
+	for i := 1; i <= k; i++ {
+		p *= mean / float64(i)
+		cdf += p
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}
+
+// SteadyDeadBlocksAtLevel returns the expected dead-slot population of a
+// level at steady state.
+//
+// Between two reshuffles of a bucket, its slots die one per touch; with
+// touches arriving uniformly over the epoch, a bucket carries half its
+// per-epoch deaths on average. Deaths per epoch = min(touch budget,
+// expected touches between evictions) = min(budget, A); the level has 2^l
+// buckets.
+func (p RingParams) SteadyDeadBlocksAtLevel(level int) float64 {
+	deaths := math.Min(float64(p.TouchBudget(level)), float64(p.A))
+	return math.Exp2(float64(level)) * deaths / 2
+}
+
+// SteadyDeadBlocks returns the tree-wide steady-state dead population.
+func (p RingParams) SteadyDeadBlocks() float64 {
+	var sum float64
+	for l := 0; l < p.Levels; l++ {
+		sum += p.SteadyDeadBlocksAtLevel(l)
+	}
+	return sum
+}
+
+// ReadPathBlocks returns the per-access online traffic in blocks:
+// one metadata read, one data read, and one metadata write per off-chip
+// bucket on the path.
+func (p RingParams) ReadPathBlocks(treetop int) int {
+	return 3 * (p.Levels - treetop)
+}
+
+// EvictPathBlocks returns the per-EvictPath traffic in blocks: per
+// off-chip bucket, Z' reads + (Z'+S) writes + metadata read/write.
+func (p RingParams) EvictPathBlocks(treetop int) int {
+	total := 0
+	for l := treetop; l < p.Levels; l++ {
+		total += p.ZPrime(l) + (p.ZPrime(l) + p.S(l)) + 2
+	}
+	return total
+}
+
+// SpaceReductionVsBaseline returns 1 - space(p)/space(base).
+func SpaceReductionVsBaseline(base, p RingParams) (float64, error) {
+	b, err := base.SpaceBytes()
+	if err != nil {
+		return 0, err
+	}
+	v, err := p.SpaceBytes()
+	if err != nil {
+		return 0, err
+	}
+	return 1 - float64(v)/float64(b), nil
+}
+
+// PaperAB returns the paper's AB configuration as analytic parameters for
+// a tree of the given height: S=1 for [L-6, L-4], S=0 for [L-3, L-1],
+// over the CB baseline (Z'=5, S=3, Y=4, A=5).
+func PaperAB(levels int) RingParams {
+	return RingParams{
+		Levels: levels,
+		ZPrime: func(int) int { return 5 },
+		S: func(l int) int {
+			switch {
+			case l >= levels-3:
+				return 0
+			case l >= levels-6:
+				return 1
+			default:
+				return 3
+			}
+		},
+		A:      5,
+		Y:      4,
+		BlockB: 64,
+	}
+}
+
+// PaperBaseline returns the CB baseline (Z=8 = 5+3).
+func PaperBaseline(levels int) RingParams {
+	return Uniform(levels, 5, 3, 5, 4, 64)
+}

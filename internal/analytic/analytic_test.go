@@ -1,0 +1,186 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ringoram"
+	"repro/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (RingParams{}).Validate(); err == nil {
+		t.Fatal("empty params accepted")
+	}
+	if _, err := (RingParams{}).SpaceBytes(); err == nil {
+		t.Fatal("SpaceBytes on empty params accepted")
+	}
+	if err := Uniform(12, 5, 3, 5, 4, 64).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The analytic space formula must agree exactly with the engine's.
+func TestSpaceMatchesEngine(t *testing.T) {
+	for _, levels := range []int{10, 16, 24} {
+		for _, scheme := range core.Schemes() {
+			cfg, _, err := core.Build(scheme, core.DefaultOptions(levels, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := RingParams{
+				Levels: levels,
+				ZPrime: func(l int) int {
+					if v, ok := cfg.ZPrimePerLevel[l]; ok {
+						return v
+					}
+					return cfg.ZPrime
+				},
+				S: func(l int) int {
+					if v, ok := cfg.SPerLevel[l]; ok {
+						return v
+					}
+					return cfg.S
+				},
+				A:      cfg.A,
+				Y:      cfg.Y,
+				BlockB: cfg.BlockB,
+			}
+			got, err := p.SpaceBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ringoram.SpaceBytesStatic(cfg); got != want {
+				t.Errorf("%s at %d levels: analytic %d != engine %d", scheme, levels, got, want)
+			}
+		}
+	}
+}
+
+// The paper's headline: AB saves ~36% over the baseline at 24 levels.
+func TestPaperSpaceReduction(t *testing.T) {
+	red, err := SpaceReductionVsBaseline(PaperBaseline(24), PaperAB(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red < 0.34 || red > 0.38 {
+		t.Errorf("AB space reduction %.3f, paper reports ~0.36", red)
+	}
+	// DR alone: bottom 6 at S=1 -> paper reports 25%.
+	dr := RingParams{
+		Levels: 24,
+		ZPrime: func(int) int { return 5 },
+		S: func(l int) int {
+			if l >= 24-6 {
+				return 1
+			}
+			return 3
+		},
+		A: 5, Y: 4, BlockB: 64,
+	}
+	red, err = SpaceReductionVsBaseline(PaperBaseline(24), dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red < 0.23 || red > 0.27 {
+		t.Errorf("DR space reduction %.3f, paper reports ~0.25", red)
+	}
+}
+
+func TestTouchBudget(t *testing.T) {
+	p := Uniform(12, 5, 3, 5, 4, 64)
+	if p.TouchBudget(0) != 7 {
+		t.Errorf("budget = %d, want S+Y = 7", p.TouchBudget(0))
+	}
+	zero := Uniform(12, 5, 0, 5, 0, 64)
+	if zero.TouchBudget(0) != 1 {
+		t.Errorf("budget floor violated: %d", zero.TouchBudget(0))
+	}
+}
+
+func TestPoissonTail(t *testing.T) {
+	// P(X > 0) for mean 1 = 1 - e^-1 ~ 0.632.
+	if got := poissonTail(1, 0); math.Abs(got-0.632) > 0.01 {
+		t.Errorf("tail = %v", got)
+	}
+	// Tail must be decreasing in k and within [0, 1].
+	prev := 1.0
+	for k := 0; k < 20; k++ {
+		v := poissonTail(5, k)
+		if v < 0 || v > 1 || v > prev {
+			t.Fatalf("tail not monotone at k=%d: %v > %v", k, v, prev)
+		}
+		prev = v
+	}
+}
+
+// Cross-validation: the simulator's measured dead-block population and
+// reshuffle rate should match the analytic steady state within modeling
+// tolerance.
+func TestSteadyStateMatchesSimulation(t *testing.T) {
+	const levels = 12
+	cfg := ringoram.TypicalRing(levels, 0, 3)
+	o, err := ringoram.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, _ := trace.Find("x264")
+	gen, _ := trace.NewGenerator(bench, 3)
+	n := uint64(cfg.NumBlocks)
+	const accesses = 30000
+	for i := 0; i < accesses; i++ {
+		if _, err := o.Access(int64(gen.Next().Block() % n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Uniform(levels, cfg.ZPrime, cfg.S, cfg.A, cfg.Y, cfg.BlockB)
+
+	// Dead population: compare at the leaf level, where the population is
+	// large enough for the mean-field model to hold.
+	gotDead := float64(o.DeadBlocksPerLevel()[levels-1])
+	wantDead := p.SteadyDeadBlocksAtLevel(levels - 1)
+	if ratio := gotDead / wantDead; ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("leaf dead population %v vs analytic %v (ratio %.2f)", gotDead, wantDead, ratio)
+	}
+
+	// Early reshuffles at the leaf level, per access.
+	gotRate := float64(o.ReshufflesPerLevel()[levels-1]) / accesses
+	wantRate := p.EarlyReshufflesPerAccess(levels - 1)
+	diff := math.Abs(gotRate - wantRate)
+	if diff > 0.05 && (wantRate == 0 || gotRate/wantRate < 0.3 || gotRate/wantRate > 3) {
+		t.Errorf("leaf reshuffle rate %v vs analytic %v", gotRate, wantRate)
+	}
+}
+
+func TestTrafficFormulas(t *testing.T) {
+	p := Uniform(24, 5, 3, 5, 4, 64)
+	if got := p.ReadPathBlocks(10); got != 3*14 {
+		t.Errorf("readPath blocks = %d", got)
+	}
+	// Per off-chip bucket: 5 reads + 8 writes + 2 metadata = 15.
+	if got := p.EvictPathBlocks(10); got != 14*15 {
+		t.Errorf("evictPath blocks = %d", got)
+	}
+}
+
+func TestSteadyDeadScalesWithTree(t *testing.T) {
+	small := Uniform(12, 5, 7, 5, 0, 64).SteadyDeadBlocks()
+	big := Uniform(13, 5, 7, 5, 0, 64).SteadyDeadBlocks()
+	if big < small*1.8 {
+		t.Errorf("dead population should ~double per level: %v -> %v", small, big)
+	}
+}
+
+// The paper's Fig 2 observation at 24 levels: the steady dead-block
+// population is ~18% of the tree (36 M dead of 12*(2^24-1) slots). The
+// mean-field model lands in the same band.
+func TestPaperFig2DeadFraction(t *testing.T) {
+	p := Uniform(24, 5, 7, 5, 0, 64)
+	dead := p.SteadyDeadBlocks()
+	slots := float64((int64(1)<<24)-1) * 12
+	frac := dead / slots
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("steady dead fraction %.3f, paper observes ~0.18", frac)
+	}
+}

@@ -1,0 +1,251 @@
+// Package cache models the on-chip cache hierarchy of the evaluated
+// processor (Table III of the paper): 4-way 64 KB L1D, 8-way 256 KB L2,
+// and a 16-way 2 MB shared LLC, all with 64-byte lines, write-back and
+// write-allocate, with LRU replacement.
+//
+// The experiments feed ORAM with last-level-cache misses, exactly as the
+// paper does (Pin traces filtered through the hierarchy). The hierarchy
+// here converts a raw load/store stream into the LLC-miss stream plus
+// dirty write-backs; internal/trace uses it to calibrate synthetic
+// benchmarks, and the examples use it to demonstrate the full pipeline.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string // e.g. "L1D"
+	SizeB     int    // total capacity in bytes
+	Assoc     int    // ways per set
+	LineB     int    // line size in bytes (power of two)
+	WriteBack bool   // write-back (true) vs write-through (false)
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeB <= 0 || c.Assoc <= 0 || c.LineB <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	}
+	if c.LineB&(c.LineB-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineB)
+	}
+	if c.SizeB%(c.Assoc*c.LineB) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by assoc*line %d", c.Name, c.SizeB, c.Assoc*c.LineB)
+	}
+	sets := c.SizeB / (c.Assoc * c.LineB)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp; larger = more recent
+}
+
+// Cache is a single set-associative cache level with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	clock    uint64
+
+	// Statistics.
+	Hits, Misses, Evictions, WriteBacks uint64
+}
+
+// New constructs a cache level from the configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeB / (cfg.Assoc * cfg.LineB)
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  uint64(numSets - 1),
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineB))),
+	}, nil
+}
+
+// MustNew is New that panics on error; for statically-known configs.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineB) - 1)
+}
+
+// Access performs a load (write=false) or store (write=true) of addr.
+// It returns whether the access hit, and if a dirty line was displaced
+// by the fill, the line address of the write-back victim.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, writeBack uint64, hasWriteBack bool) {
+	c.clock++
+	setIdx := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits
+	set := c.sets[setIdx]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			if write && c.cfg.WriteBack {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return true, 0, false
+		}
+	}
+	c.Misses++
+
+	// Choose victim: invalid way first, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		c.Evictions++
+		if v.dirty {
+			c.WriteBacks++
+			writeBack = v.tag << c.lineBits
+			hasWriteBack = true
+		}
+	}
+	v.valid = true
+	v.tag = tag
+	v.dirty = write && c.cfg.WriteBack
+	v.lru = c.clock
+	return false, writeBack, hasWriteBack
+}
+
+// Contains reports whether addr is resident, without perturbing LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	setIdx := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits
+	for _, l := range c.sets[setIdx] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
+	setIdx := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits
+	set := c.sets[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			wasDirty = set[i].dirty
+			set[i] = line{}
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// MissRate returns misses / (hits + misses), or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// MemoryRequest is a request that escaped the hierarchy to main memory.
+type MemoryRequest struct {
+	Addr  uint64
+	Write bool
+}
+
+// Hierarchy chains L1 -> L2 -> LLC with inclusive-by-construction fills.
+// Access returns the main-memory traffic each CPU access generates.
+type Hierarchy struct {
+	L1, L2, LLC *Cache
+}
+
+// DefaultHierarchy builds the Table III hierarchy.
+func DefaultHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1:  MustNew(Config{Name: "L1D", SizeB: 64 << 10, Assoc: 4, LineB: 64, WriteBack: true}),
+		L2:  MustNew(Config{Name: "L2", SizeB: 256 << 10, Assoc: 8, LineB: 64, WriteBack: true}),
+		LLC: MustNew(Config{Name: "LLC", SizeB: 2 << 20, Assoc: 16, LineB: 64, WriteBack: true}),
+	}
+}
+
+// Access runs one CPU load/store through the hierarchy and appends any
+// main-memory requests (LLC miss fill and/or LLC dirty write-back) to dst,
+// returning the extended slice. The fill request, when present, is always
+// appended before the write-back it displaced.
+func (h *Hierarchy) Access(addr uint64, write bool, dst []MemoryRequest) []MemoryRequest {
+	hit, wb, hasWB := h.L1.Access(addr, write)
+	if hasWB {
+		// L1 dirty victim writes through to L2 (and transitively below).
+		dst = h.accessL2(wb, true, dst)
+	}
+	if hit {
+		return dst
+	}
+	return h.accessL2(addr, false, dst)
+}
+
+// accessL2 touches L2 (allocating on miss) and forwards misses and dirty
+// victims to the LLC.
+func (h *Hierarchy) accessL2(addr uint64, write bool, dst []MemoryRequest) []MemoryRequest {
+	hit, wb, hasWB := h.L2.Access(addr, write)
+	if hasWB {
+		dst = h.accessLLC(wb, true, dst)
+	}
+	if hit {
+		return dst
+	}
+	return h.accessLLC(addr, false, dst)
+}
+
+// accessLLC touches the LLC; misses become memory read requests and dirty
+// victims become memory write requests.
+func (h *Hierarchy) accessLLC(addr uint64, write bool, dst []MemoryRequest) []MemoryRequest {
+	hit, wb, hasWB := h.LLC.Access(addr, write)
+	if !hit {
+		dst = append(dst, MemoryRequest{Addr: h.LLC.LineAddr(addr), Write: false})
+	}
+	if hasWB {
+		dst = append(dst, MemoryRequest{Addr: wb, Write: true})
+	}
+	return dst
+}
+
+// LLCMisses returns the LLC miss count (reads that reached memory).
+func (h *Hierarchy) LLCMisses() uint64 { return h.LLC.Misses }
+
+// LLCWriteBacks returns the number of dirty lines written back to memory.
+func (h *Hierarchy) LLCWriteBacks() uint64 { return h.LLC.WriteBacks }

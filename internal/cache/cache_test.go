@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCfg() Config {
+	return Config{Name: "test", SizeB: 1024, Assoc: 2, LineB: 64, WriteBack: true}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", SizeB: 0, Assoc: 1, LineB: 64},
+		{Name: "line", SizeB: 1024, Assoc: 2, LineB: 48},
+		{Name: "indiv", SizeB: 1000, Assoc: 2, LineB: 64},
+		{Name: "sets", SizeB: 3 * 2 * 64, Assoc: 2, LineB: 64}, // 3 sets
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q should be invalid", cfg.Name)
+		}
+	}
+	if err := smallCfg().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{Name: "bad"})
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := MustNew(smallCfg())
+	if hit, _, _ := c.Access(0x1000, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access missed")
+	}
+	if hit, _, _ := c.Access(0x1038, false); !hit {
+		t.Fatal("same-line access missed")
+	}
+	if hit, _, _ := c.Access(0x1040, false); hit {
+		t.Fatal("next-line access hit")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1024 B, 2-way, 64 B lines -> 8 sets. Addresses 64*8*k map to set 0.
+	c := MustNew(smallCfg())
+	setStride := uint64(64 * 8)
+	a, b, d := setStride*0, setStride*1, setStride*2
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recent
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatalf("LRU eviction wrong: a=%v b=%v d=%v", c.Contains(a), c.Contains(b), c.Contains(d))
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestDirtyWriteBack(t *testing.T) {
+	c := MustNew(smallCfg())
+	setStride := uint64(64 * 8)
+	c.Access(0, true) // dirty
+	c.Access(setStride, false)
+	_, wb, has := c.Access(2*setStride, false) // evicts addr 0 (dirty)
+	if !has || wb != 0 {
+		t.Fatalf("expected write-back of line 0, got has=%v wb=%#x", has, wb)
+	}
+	if c.WriteBacks != 1 {
+		t.Fatalf("writebacks = %d", c.WriteBacks)
+	}
+}
+
+func TestCleanEvictionNoWriteBack(t *testing.T) {
+	c := MustNew(smallCfg())
+	setStride := uint64(64 * 8)
+	c.Access(0, false)
+	c.Access(setStride, false)
+	_, _, has := c.Access(2*setStride, false)
+	if has {
+		t.Fatal("clean eviction produced a write-back")
+	}
+}
+
+func TestWriteThroughNeverDirty(t *testing.T) {
+	cfg := smallCfg()
+	cfg.WriteBack = false
+	c := MustNew(cfg)
+	setStride := uint64(64 * 8)
+	c.Access(0, true)
+	c.Access(setStride, true)
+	if _, _, has := c.Access(2*setStride, false); has {
+		t.Fatal("write-through cache produced a write-back")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(smallCfg())
+	c.Access(0x40, true)
+	if dirty := c.Invalidate(0x40); !dirty {
+		t.Fatal("invalidate lost dirty bit")
+	}
+	if c.Contains(0x40) {
+		t.Fatal("line still resident after invalidate")
+	}
+	if c.Invalidate(0x40) {
+		t.Fatal("invalidating absent line reported dirty")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := MustNew(smallCfg())
+	if c.MissRate() != 0 {
+		t.Fatal("empty cache miss rate nonzero")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestHierarchyInclusionFlow(t *testing.T) {
+	h := DefaultHierarchy()
+	var reqs []MemoryRequest
+	reqs = h.Access(0x123456, false, reqs)
+	if len(reqs) != 1 || reqs[0].Write || reqs[0].Addr != 0x123440 {
+		t.Fatalf("cold miss should produce one line-aligned read, got %+v", reqs)
+	}
+	// Now resident everywhere; repeat access produces no memory traffic.
+	reqs = h.Access(0x123456, false, reqs[:0])
+	if len(reqs) != 0 {
+		t.Fatalf("warm hit produced memory traffic: %+v", reqs)
+	}
+}
+
+func TestHierarchyWorkingSetLargerThanLLC(t *testing.T) {
+	h := DefaultHierarchy()
+	// Touch 4 MB of unique lines: twice the LLC. Second pass must still miss
+	// heavily (capacity), producing ~1 memory read per line.
+	var reqs []MemoryRequest
+	lines := (4 << 20) / 64
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			reqs = h.Access(uint64(i*64), false, reqs[:0])
+		}
+	}
+	if h.LLCMisses() < uint64(lines) {
+		t.Fatalf("LLC misses %d too low for thrashing working set", h.LLCMisses())
+	}
+}
+
+func TestHierarchyDirtyEvictionReachesMemory(t *testing.T) {
+	h := DefaultHierarchy()
+	var reqs []MemoryRequest
+	lines := (4 << 20) / 64 // 2x LLC capacity of dirty lines
+	writes := 0
+	for i := 0; i < lines; i++ {
+		reqs = h.Access(uint64(i*64), true, reqs[:0])
+		for _, r := range reqs {
+			if r.Write {
+				writes++
+			}
+		}
+	}
+	if writes == 0 {
+		t.Fatal("dirty working set larger than LLC produced no memory writes")
+	}
+}
+
+func TestHierarchySmallWorkingSetStaysOnChip(t *testing.T) {
+	h := DefaultHierarchy()
+	var reqs []MemoryRequest
+	lines := 256 // 16 KB, fits in L1
+	total := 0
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < lines; i++ {
+			reqs = h.Access(uint64(i*64), true, reqs[:0])
+			total += len(reqs)
+		}
+	}
+	// Only the cold pass should reach memory.
+	if total != lines {
+		t.Fatalf("resident working set produced %d memory requests, want %d", total, lines)
+	}
+}
+
+// Property: the line address returned for LLC read fills is always aligned
+// and covers the requested address.
+func TestQuickFillAlignment(t *testing.T) {
+	h := DefaultHierarchy()
+	f := func(addr uint64) bool {
+		addr %= 1 << 40
+		reqs := h.Access(addr, false, nil)
+		for _, r := range reqs {
+			if r.Addr%64 != 0 {
+				return false
+			}
+			if !r.Write && (addr < r.Addr || addr >= r.Addr+64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := DefaultHierarchy()
+	var reqs []MemoryRequest
+	for i := 0; i < b.N; i++ {
+		reqs = h.Access(uint64(i*64)%(8<<20), i&7 == 0, reqs[:0])
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ringoram"
+)
+
+// Scheme names one of the five evaluated configurations of §VII. All
+// performance schemes build on the Bucket-Compaction baseline, exactly as
+// in the paper.
+type Scheme string
+
+const (
+	// SchemeBaseline is Ring ORAM + Bucket Compaction: Y=4 -> Z=8, Z'=5, S=3.
+	SchemeBaseline Scheme = "Baseline"
+	// SchemeIR applies IR-ORAM's utilization optimization: Z'=4 for the
+	// middle levels ([L10, L18] of 24 levels) and Y=3.
+	SchemeIR Scheme = "IR"
+	// SchemeDR is Dead-block Reclaim: the bottom 6 levels are allocated
+	// Z=6 (S=1) and extended to S=3 via remote allocation.
+	SchemeDR Scheme = "DR"
+	// SchemeNS is Non-uniform S: the bottom 2 levels permanently use Z=6
+	// (S=1).
+	SchemeNS Scheme = "NS"
+	// SchemeAB combines DR and NS: Z=6 (S=1) for [L18, L20] and Z=5 (S=0)
+	// for [L21, L23], both extended by 2 via remote allocation.
+	SchemeAB Scheme = "AB"
+)
+
+// Schemes lists the evaluated schemes in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeBaseline, SchemeIR, SchemeDR, SchemeNS, SchemeAB}
+}
+
+// Options tune scheme construction beyond the paper defaults.
+type Options struct {
+	Levels        int    // tree levels (paper: 24)
+	TreetopLevels int    // on-chip cached top levels (paper: 10)
+	Seed          uint64 // experiment seed
+	DeadQCapacity int    // per-level DeadQ entries (paper: 1000)
+	StashCapacity int    // hardware stash entries (paper: 300)
+	BGThreshold   int    // dummy-insertion threshold for compaction
+}
+
+// DefaultOptions returns the Table III configuration scaled to the given
+// tree size. TreetopLevels shrinks proportionally for small trees so tests
+// still exercise off-chip traffic at every level band.
+func DefaultOptions(levels int, seed uint64) Options {
+	treetop := 10
+	if levels < 20 {
+		treetop = levels * 10 / 24
+	}
+	return Options{
+		Levels:        levels,
+		TreetopLevels: treetop,
+		Seed:          seed,
+		DeadQCapacity: 1000,
+		StashCapacity: 300,
+		BGThreshold:   200,
+	}
+}
+
+// trackedDeadLevels returns the level band AB-ORAM tracks dead blocks for:
+// the bottom 6 levels (paper §V-B2, [L18, L23] of 24).
+func trackedDeadLevels(levels int) (minLevel, maxLevel int) {
+	minLevel = levels - 6
+	if minLevel < 1 {
+		minLevel = 1
+	}
+	return minLevel, levels - 1
+}
+
+// buildDeadQ sizes one queue per tracked level, capping each at the
+// level's bucket count: a queue larger than the level's dead-slot
+// population just accumulates entries that go stale when their home
+// buckets reshuffle. At the paper's 24-level scale every tracked level has
+// >= 2^18 buckets, so this reduces to the paper's flat 1000 entries.
+func buildDeadQ(opt Options) *DeadQ {
+	minL, maxL := trackedDeadLevels(opt.Levels)
+	caps := make([]int, maxL-minL+1)
+	for i := range caps {
+		caps[i] = opt.DeadQCapacity
+		if buckets := int64(1) << (minL + i); int64(caps[i]) > buckets {
+			caps[i] = int(buckets)
+		}
+	}
+	q, err := NewDeadQSized(minL, caps)
+	if err != nil {
+		panic(err) // options are validated by the caller
+	}
+	return q
+}
+
+// Build returns the ringoram configuration for a scheme plus the DeadQ
+// allocator it uses (nil for schemes without remote allocation). The
+// returned config is ready for ringoram.New.
+func Build(s Scheme, opt Options) (ringoram.Config, *DeadQ, error) {
+	if opt.Levels < 8 {
+		return ringoram.Config{}, nil, fmt.Errorf("core: schemes need >= 8 levels, got %d", opt.Levels)
+	}
+	cfg := ringoram.CompactedBaseline(opt.Levels, opt.TreetopLevels, opt.Seed)
+	cfg.StashCapacity = opt.StashCapacity
+	cfg.BGEvictThreshold = opt.BGThreshold
+	L := opt.Levels
+
+	switch s {
+	case SchemeBaseline:
+		return cfg, nil, nil
+
+	case SchemeIR:
+		// Z'=4 for the middle band [L-14, L-6] (paper: [L10, L18]), Y=3.
+		cfg.Y = 3
+		cfg.ZPrimePerLevel = map[int]int{}
+		lo := L - 14
+		if lo < 2 {
+			lo = 2
+		}
+		for l := lo; l <= L-6; l++ {
+			cfg.ZPrimePerLevel[l] = 4
+		}
+		return cfg, nil, nil
+
+	case SchemeDR:
+		// Bottom 6 levels allocated S=1, extended to S=3 (r=2, §V-C1).
+		dq := buildDeadQ(opt)
+		cfg.SPerLevel = map[int]int{}
+		cfg.STargetPerLevel = map[int]int{}
+		for l := L - 6; l <= L-1; l++ {
+			cfg.SPerLevel[l] = 1
+			cfg.STargetPerLevel[l] = 3
+		}
+		cfg.Allocator = dq
+		cfg.MaxRemote = 6
+		return cfg, dq, nil
+
+	case SchemeNS:
+		// Bottom 2 levels permanently at S=1 (L2-S2 in Fig 13's naming).
+		cfg.SPerLevel = map[int]int{}
+		for l := L - 2; l <= L-1; l++ {
+			cfg.SPerLevel[l] = 1
+		}
+		return cfg, nil, nil
+
+	case SchemeAB:
+		// DR + NS with L3-S1: [L-6, L-4] at S=1 extended to 3,
+		// [L-3, L-1] at S=0 extended to 2 (§VII).
+		dq := buildDeadQ(opt)
+		cfg.SPerLevel = map[int]int{}
+		cfg.STargetPerLevel = map[int]int{}
+		for l := L - 6; l <= L-4; l++ {
+			cfg.SPerLevel[l] = 1
+			cfg.STargetPerLevel[l] = 3
+		}
+		for l := L - 3; l <= L-1; l++ {
+			cfg.SPerLevel[l] = 0
+			cfg.STargetPerLevel[l] = 2
+		}
+		cfg.Allocator = dq
+		cfg.MaxRemote = 6
+		return cfg, dq, nil
+
+	default:
+		return ringoram.Config{}, nil, fmt.Errorf("core: unknown scheme %q", s)
+	}
+}
+
+// New builds a ready-to-run ORAM instance for a scheme.
+func New(s Scheme, opt Options) (*ringoram.ORAM, *DeadQ, error) {
+	cfg, dq, err := Build(s, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	o, err := ringoram.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return o, dq, nil
+}
+
+// DRVariant returns a DR configuration whose shrunken band starts at the
+// given level (the Fig 11 sensitivity study: DR-L18 ... DR-L23 of 24
+// levels correspond to startFromBottom = 6 ... 1).
+func DRVariant(opt Options, startFromBottom int) (ringoram.Config, *DeadQ, error) {
+	if startFromBottom < 1 || startFromBottom > 6 {
+		return ringoram.Config{}, nil, fmt.Errorf("core: DR variant depth %d outside [1, 6]", startFromBottom)
+	}
+	cfg, dq, err := Build(SchemeDR, opt)
+	if err != nil {
+		return ringoram.Config{}, nil, err
+	}
+	L := opt.Levels
+	cfg.SPerLevel = map[int]int{}
+	cfg.STargetPerLevel = map[int]int{}
+	for l := L - startFromBottom; l <= L-1; l++ {
+		cfg.SPerLevel[l] = 1
+		cfg.STargetPerLevel[l] = 3
+	}
+	return cfg, dq, nil
+}
+
+// NSVariant returns an NS configuration shrinking S by shrink for the
+// bottom levelsFromBottom levels (Fig 13's Ly-Sx naming).
+func NSVariant(opt Options, levelsFromBottom, shrink int) (ringoram.Config, error) {
+	cfg, _, err := Build(SchemeBaseline, opt)
+	if err != nil {
+		return ringoram.Config{}, err
+	}
+	if levelsFromBottom < 1 || levelsFromBottom >= opt.Levels {
+		return ringoram.Config{}, fmt.Errorf("core: NS variant levels %d out of range", levelsFromBottom)
+	}
+	if shrink < 0 || shrink > cfg.S {
+		return ringoram.Config{}, fmt.Errorf("core: NS shrink %d out of range [0, %d]", shrink, cfg.S)
+	}
+	cfg.SPerLevel = map[int]int{}
+	for l := opt.Levels - levelsFromBottom; l <= opt.Levels-1; l++ {
+		cfg.SPerLevel[l] = cfg.S - shrink
+	}
+	return cfg, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ringoram"
+)
+
+func TestSharedDeadQValidation(t *testing.T) {
+	if _, err := NewSharedDeadQ(-1, 5, 10); err == nil {
+		t.Fatal("negative min level accepted")
+	}
+	if _, err := NewSharedDeadQ(5, 4, 10); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := NewSharedDeadQ(2, 5, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestSharedDeadQLevelFiltering(t *testing.T) {
+	q, err := NewSharedDeadQ(3, 5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave entries from two levels.
+	for i := int64(0); i < 4; i++ {
+		if !q.Offer(3, ringoram.SlotRef{Bucket: i}) {
+			t.Fatal("offer rejected")
+		}
+		if !q.Offer(5, ringoram.SlotRef{Bucket: 100 + i}) {
+			t.Fatal("offer rejected")
+		}
+	}
+	// Claims must return only matching-level entries, rotating the rest.
+	got := q.Claim(5, 3)
+	if len(got) != 3 {
+		t.Fatalf("claimed %d, want 3", len(got))
+	}
+	for _, r := range got {
+		if r.Bucket < 100 {
+			t.Fatalf("level-3 entry leaked into level-5 claim: %+v", r)
+		}
+	}
+	// Level-3 entries survived the rotation.
+	got = q.Claim(3, 4)
+	if len(got) != 4 {
+		t.Fatalf("level-3 entries lost in rotation: got %d", len(got))
+	}
+}
+
+func TestSharedDeadQBounds(t *testing.T) {
+	q, _ := NewSharedDeadQ(0, 1, 2)
+	if q.Offer(9, ringoram.SlotRef{}) {
+		t.Fatal("untracked level accepted")
+	}
+	q.Offer(0, ringoram.SlotRef{Bucket: 1})
+	q.Offer(0, ringoram.SlotRef{Bucket: 2})
+	if q.Offer(0, ringoram.SlotRef{Bucket: 3}) {
+		t.Fatal("offer over capacity accepted")
+	}
+	if q.Stats().RejectedFull != 1 || q.Stats().Accepted != 2 {
+		t.Fatalf("stats: %+v", q.Stats())
+	}
+	if q.Len(0) != 2 || q.Len(9) != 0 {
+		t.Fatalf("Len wrong: %d/%d", q.Len(0), q.Len(9))
+	}
+	if q.Claim(9, 1) != nil || q.Claim(0, 0) != nil {
+		t.Fatal("invalid claims returned entries")
+	}
+}
+
+func TestSharedDeadQRelease(t *testing.T) {
+	q, _ := NewSharedDeadQ(0, 1, 2)
+	if !q.Release(1, ringoram.SlotRef{Bucket: 7}) {
+		t.Fatal("release rejected")
+	}
+	if q.Release(5, ringoram.SlotRef{}) {
+		t.Fatal("out-of-range release accepted")
+	}
+	got := q.Claim(1, 1)
+	if len(got) != 1 || got[0].Bucket != 7 {
+		t.Fatalf("released entry not claimable: %+v", got)
+	}
+	q.Offer(0, ringoram.SlotRef{})
+	q.Offer(0, ringoram.SlotRef{Bucket: 1})
+	if q.Release(0, ringoram.SlotRef{Bucket: 2}) {
+		t.Fatal("release into full queue accepted")
+	}
+}
+
+// The shared queue must sustain the DR protocol end to end, just less
+// efficiently than per-level queues (the ablation's point).
+func TestSharedDeadQDrivesDR(t *testing.T) {
+	opt := DefaultOptions(10, 5)
+	cfg, _, err := Build(SchemeDR, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewSharedDeadQ(10-6, 9, 6*opt.DeadQCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Allocator = q
+	o, err := ringoram.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.NumBlocks
+	for i := 0; i < 3000; i++ {
+		if _, err := o.Access(int64(uint64(i*2654435761) % uint64(n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats().ExtendGranted == 0 {
+		t.Fatal("shared queue never granted an extension")
+	}
+}

@@ -1,0 +1,45 @@
+package memop
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindReadPath:       "readPath",
+		KindEvictPath:      "evictPath",
+		KindEarlyReshuffle: "earlyReshuffle",
+		KindBackground:     "background",
+		KindPathAccess:     "pathAccess",
+		Kind(99):           "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestKindsCoversAllNamed(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, k := range Kinds() {
+		if k.String() == "unknown" {
+			t.Errorf("Kinds contains unnamed kind %d", k)
+		}
+		if seen[k] {
+			t.Errorf("Kinds contains duplicate %v", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Kinds returned %d kinds, want 5", len(seen))
+	}
+}
+
+func TestOpBlocks(t *testing.T) {
+	op := Op{Reads: []uint64{1, 2, 3}, Writes: []uint64{4}}
+	if op.Blocks() != 4 {
+		t.Fatalf("Blocks = %d, want 4", op.Blocks())
+	}
+	if (Op{}).Blocks() != 0 {
+		t.Fatal("empty op should have 0 blocks")
+	}
+}

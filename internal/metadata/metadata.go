@@ -1,0 +1,152 @@
+// Package metadata models the per-bucket metadata layout of Ring ORAM and
+// AB-ORAM at the bit level, reproducing Table I of the paper and the
+// storage-overhead analysis of §VIII-H (the 21 KB on-chip DeadQ budget and
+// the requirement that AB-ORAM's additions keep bucket metadata within one
+// 64-byte memory block).
+package metadata
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Params are the ORAM parameters the field widths depend on.
+type Params struct {
+	Z       int   // physical slots per bucket
+	ZPrime  int   // slots eligible for real blocks (Z')
+	S       int   // reserved dummy slots
+	Levels  int   // tree levels L
+	NBlocks int64 // number of protected real data blocks (N_Block)
+	R       int   // max remotely allocated slots per bucket (AB-ORAM only)
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Z <= 0 || p.ZPrime <= 0 || p.ZPrime > p.Z || p.S < 0 {
+		return fmt.Errorf("metadata: inconsistent Z=%d Z'=%d S=%d", p.Z, p.ZPrime, p.S)
+	}
+	if p.Levels <= 0 || p.NBlocks <= 0 {
+		return fmt.Errorf("metadata: non-positive levels/blocks")
+	}
+	if p.R < 0 {
+		return fmt.Errorf("metadata: negative R")
+	}
+	return nil
+}
+
+// NBuckets returns the bucket count of the tree, 2^L - 1.
+func (p Params) NBuckets() int64 { return (1 << p.Levels) - 1 }
+
+// Field is one metadata field's contribution to a bucket's metadata block.
+type Field struct {
+	Name     string
+	Category string // "block" or "slot", Table I's two groups
+	Bits     int    // total bits for this field in one bucket
+	ABOnly   bool   // present only in AB-ORAM
+	Function string // Table I's description
+}
+
+// log2Ceil returns ceil(log2(n)) for n >= 1, with log2Ceil(1) == 1 so a
+// field indexing a single element still occupies one bit (matching the
+// hardware convention the paper's table uses for log()).
+func log2Ceil(n int64) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len64(uint64(n - 1))
+}
+
+// Fields returns the Table I layout for the parameters. Ring ORAM fields
+// come first, AB-ORAM additions last, in the paper's order.
+func Fields(p Params) ([]Field, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sBits := 1
+	if p.S > 1 {
+		sBits = log2Ceil(int64(p.S))
+	}
+	f := []Field{
+		{Name: "count", Category: "block", Bits: sBits,
+			Function: "times the bucket has been touched since the last refresh"},
+		{Name: "addr", Category: "block", Bits: p.ZPrime * log2Ceil(p.NBlocks),
+			Function: "address of each real block"},
+		{Name: "label", Category: "block", Bits: p.ZPrime * (p.Levels + 1),
+			Function: "path ID of each real block"},
+		{Name: "ptr", Category: "block", Bits: p.ZPrime * log2Ceil(int64(p.Z)),
+			Function: "offset in the bucket of each real block"},
+		{Name: "valid", Category: "slot", Bits: p.Z,
+			Function: "whether the corresponding block is valid"},
+	}
+	if p.R > 0 {
+		f = append(f,
+			Field{Name: "remote", Category: "block", Bits: p.R, ABOnly: true,
+				Function: "whether the block is remotely allocated"},
+			Field{Name: "remoteAddr", Category: "block", Bits: p.R * log2Ceil(p.NBuckets()), ABOnly: true,
+				Function: "bucket hosting the remotely allocated block"},
+			Field{Name: "remoteInd", Category: "block", Bits: p.R * log2Ceil(int64(p.Z)), ABOnly: true,
+				Function: "slot offset of the remotely allocated block"},
+			Field{Name: "dynamicS", Category: "block", Bits: sBits, ABOnly: true,
+				Function: "current S value of the bucket"},
+			Field{Name: "status", Category: "slot", Bits: 2 * p.Z, ABOnly: true,
+				Function: "slot status (REFRESHED, ALLOCATED, DEAD)"},
+		)
+	}
+	return f, nil
+}
+
+// Sizes summarizes a layout.
+type Sizes struct {
+	RingBits int // baseline Ring ORAM fields
+	ABBits   int // AB-ORAM additions only
+}
+
+// TotalBits returns Ring + AB bits.
+func (s Sizes) TotalBits() int { return s.RingBits + s.ABBits }
+
+// RingBytes returns the Ring ORAM metadata size rounded up to whole bytes.
+func (s Sizes) RingBytes() int { return (s.RingBits + 7) / 8 }
+
+// ABBytes returns the AB-ORAM addition rounded up to whole bytes.
+func (s Sizes) ABBytes() int { return (s.ABBits + 7) / 8 }
+
+// TotalBytes returns the full AB-ORAM bucket metadata size in bytes.
+func (s Sizes) TotalBytes() int { return (s.TotalBits() + 7) / 8 }
+
+// Compute sums the field widths for the parameters.
+func Compute(p Params) (Sizes, error) {
+	fields, err := Fields(p)
+	if err != nil {
+		return Sizes{}, err
+	}
+	var s Sizes
+	for _, f := range fields {
+		if f.ABOnly {
+			s.ABBits += f.Bits
+		} else {
+			s.RingBits += f.Bits
+		}
+	}
+	return s, nil
+}
+
+// FitsInBlock reports whether the total bucket metadata fits one memory
+// block of the given size — the §VIII-H constraint that keeps the metadata
+// access phase at one read per bucket.
+func (s Sizes) FitsInBlock(blockBytes int) bool {
+	return s.TotalBytes() <= blockBytes
+}
+
+// DeadQEntryBits returns the size of one DeadQ entry: {slotAddr, slotInd}
+// identifying a dead physical slot (§V-B2).
+func DeadQEntryBits(p Params) int {
+	return log2Ceil(p.NBuckets()) + log2Ceil(int64(p.Z))
+}
+
+// DeadQOnChipBytes returns the total on-chip storage of the DeadQ queues:
+// one queue per tracked level, entries each, matching the paper's 21 KB
+// estimate for 6 levels x 1000 entries.
+func DeadQOnChipBytes(p Params, trackedLevels, entriesPerQueue int) int {
+	bits := DeadQEntryBits(p) * trackedLevels * entriesPerQueue
+	return (bits + 7) / 8
+}

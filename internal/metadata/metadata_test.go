@@ -1,0 +1,160 @@
+package metadata
+
+import "testing"
+
+// typicalRing is the classic Ring ORAM setting from §III-B of the paper:
+// Z=12, Z'=5, S=7, 24 levels.
+func typicalRing() Params {
+	return Params{Z: 12, ZPrime: 5, S: 7, Levels: 24, NBlocks: 1 << 24}
+}
+
+// cbSetting is the paper's Baseline: bucket compaction with Z=8, S=3.
+func cbSetting() Params {
+	return Params{Z: 8, ZPrime: 5, S: 3, Levels: 24, NBlocks: 1 << 24, R: 6}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Z: 0, ZPrime: 1, Levels: 4, NBlocks: 10},
+		{Z: 4, ZPrime: 5, Levels: 4, NBlocks: 10}, // Z' > Z
+		{Z: 4, ZPrime: 2, Levels: 0, NBlocks: 10},
+		{Z: 4, ZPrime: 2, Levels: 4, NBlocks: 0},
+		{Z: 4, ZPrime: 2, Levels: 4, NBlocks: 10, R: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+	if err := typicalRing().Validate(); err != nil {
+		t.Errorf("typical setting rejected: %v", err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1 << 24, 24}, {(1 << 24) - 1, 24}}
+	for _, c := range cases {
+		if got := log2Ceil(c.n); got != c.want {
+			t.Errorf("log2Ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFieldsRingOnly(t *testing.T) {
+	p := typicalRing()
+	fields, err := Fields(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 5 {
+		t.Fatalf("Ring-only layout has %d fields, want 5 (Table I)", len(fields))
+	}
+	byName := map[string]Field{}
+	for _, f := range fields {
+		if f.ABOnly {
+			t.Errorf("field %s marked ABOnly with R=0", f.Name)
+		}
+		byName[f.Name] = f
+	}
+	// Table I formulas: count=log(S)=3, addr=Z'*log(N)=5*24, label=Z'*(L+1)=5*25,
+	// ptr=Z'*log(Z)=5*4, valid=Z=12.
+	want := map[string]int{"count": 3, "addr": 120, "label": 125, "ptr": 20, "valid": 12}
+	for name, bits := range want {
+		if byName[name].Bits != bits {
+			t.Errorf("%s = %d bits, want %d", name, byName[name].Bits, bits)
+		}
+	}
+}
+
+func TestFieldsABAdditions(t *testing.T) {
+	p := cbSetting()
+	fields, err := Fields(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 10 {
+		t.Fatalf("AB layout has %d fields, want 10 (Table I)", len(fields))
+	}
+	byName := map[string]Field{}
+	for _, f := range fields {
+		byName[f.Name] = f
+	}
+	// R=6, NBucket=2^24-1 -> 24 bits, Z=8 -> 3 bits, S=3 -> 2 bits.
+	want := map[string]int{
+		"remote":     6,
+		"remoteAddr": 6 * 24,
+		"remoteInd":  6 * 3,
+		"dynamicS":   2,
+		"status":     2 * 8,
+	}
+	for name, bits := range want {
+		f, ok := byName[name]
+		if !ok || !f.ABOnly {
+			t.Errorf("%s missing or not ABOnly", name)
+			continue
+		}
+		if f.Bits != bits {
+			t.Errorf("%s = %d bits, want %d", name, f.Bits, bits)
+		}
+	}
+}
+
+func TestComputeMatchesPaperBudget(t *testing.T) {
+	// §VIII-H: Ring metadata ~33 B, AB additions < 31 B, and the combined
+	// metadata must fit one 64 B block with R=6.
+	s, err := Compute(cbSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RingBytes() < 30 || s.RingBytes() > 36 {
+		t.Errorf("Ring metadata %d B, paper reports ~33 B", s.RingBytes())
+	}
+	if s.ABBytes() > 28 {
+		t.Errorf("AB additions %d B exceed the paper's 28 B budget", s.ABBytes())
+	}
+	if !s.FitsInBlock(64) {
+		t.Errorf("total metadata %d B does not fit a 64 B block", s.TotalBytes())
+	}
+}
+
+func TestComputeError(t *testing.T) {
+	if _, err := Compute(Params{}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Fields(Params{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSizesArithmetic(t *testing.T) {
+	s := Sizes{RingBits: 9, ABBits: 7}
+	if s.TotalBits() != 16 || s.RingBytes() != 2 || s.ABBytes() != 1 || s.TotalBytes() != 2 {
+		t.Fatalf("arithmetic wrong: %+v", s)
+	}
+	if !s.FitsInBlock(2) || s.FitsInBlock(1) {
+		t.Fatal("FitsInBlock wrong")
+	}
+}
+
+func TestDeadQOnChipBudget(t *testing.T) {
+	// §VIII-H: 6 levels x 1000 entries -> ~21 KB on-chip.
+	p := cbSetting()
+	entryBits := DeadQEntryBits(p)
+	// slotAddr log(2^24-1)=24 + slotInd log(8)=3.
+	if entryBits != 27 {
+		t.Errorf("DeadQ entry = %d bits, want 27", entryBits)
+	}
+	total := DeadQOnChipBytes(p, 6, 1000)
+	if total < 18<<10 || total > 24<<10 {
+		t.Errorf("DeadQ on-chip = %d B, paper reports ~21 KB", total)
+	}
+}
+
+func TestNBuckets(t *testing.T) {
+	if got := (Params{Levels: 4}).NBuckets(); got != 15 {
+		t.Fatalf("NBuckets = %d", got)
+	}
+}

@@ -1,0 +1,341 @@
+// Package pathoram implements the Path ORAM protocol (Stefanov et al.,
+// CCS'13), the substrate Ring ORAM — and therefore AB-ORAM — builds on.
+//
+// The implementation is functional: real block IDs move through the tree,
+// the stash, and the position map, and every access is verified to return
+// the requested block. Each access also reports the exact physical memory
+// traffic it generates as memop.Ops so the timing layer can price it.
+//
+// The package serves three roles in the reproduction:
+//
+//  1. reference comparator (the paper positions Ring ORAM against it),
+//  2. host for the IR-ORAM discussion (§V-D), and
+//  3. the simplest end-to-end ORAM for examples and tests.
+package pathoram
+
+import (
+	"fmt"
+
+	"repro/internal/memop"
+	"repro/internal/posmap"
+	"repro/internal/rng"
+	"repro/internal/stash"
+	"repro/internal/tree"
+)
+
+// Config parameterizes a Path ORAM instance.
+type Config struct {
+	Levels    int   // tree levels L
+	Z         int   // slots per bucket (classic setting: 4)
+	NumBlocks int64 // protected real blocks; must be <= 50% utilization
+	BlockB    int   // block size in bytes (64 in Table III)
+
+	// ZPerLevel overrides Z for specific levels — the IR-ORAM optimization
+	// (the paper's [23]) shrinks the under-utilized middle levels of Path
+	// ORAM this way. nil entries keep the base Z.
+	ZPerLevel map[int]int
+
+	StashCapacity    int // hardware stash entries (0 = unbounded)
+	BGEvictThreshold int // start dummy accesses at this occupancy (0 = off)
+
+	// TreetopLevels buckets at levels < TreetopLevels are cached on-chip
+	// and generate no memory traffic (Table III's tree-top cache).
+	TreetopLevels int
+
+	Seed uint64
+}
+
+// zAt returns the bucket size at a level.
+func (c Config) zAt(level int) int {
+	if z, ok := c.ZPerLevel[level]; ok {
+		return z
+	}
+	return c.Z
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Levels < 2 || c.Levels > 32 {
+		return fmt.Errorf("pathoram: levels %d out of range [2, 32]", c.Levels)
+	}
+	if c.Z <= 0 {
+		return fmt.Errorf("pathoram: non-positive Z")
+	}
+	for l, z := range c.ZPerLevel {
+		if l < 0 || l >= c.Levels {
+			return fmt.Errorf("pathoram: Z override at invalid level %d", l)
+		}
+		if z <= 0 {
+			return fmt.Errorf("pathoram: non-positive Z override at level %d", l)
+		}
+	}
+	if c.BlockB <= 0 {
+		return fmt.Errorf("pathoram: non-positive block size")
+	}
+	if c.NumBlocks <= 0 {
+		return fmt.Errorf("pathoram: non-positive block count")
+	}
+	var capacity int64
+	for l := 0; l < c.Levels; l++ {
+		capacity += (int64(1) << l) * int64(c.zAt(l))
+	}
+	// IR-style shrinking trims a sliver of capacity while the protected
+	// data stays fixed; allow the same 55% headroom as the Ring engine.
+	if c.NumBlocks*20 > capacity*11 {
+		return fmt.Errorf("pathoram: %d blocks exceed 55%% of capacity %d", c.NumBlocks, capacity)
+	}
+	if c.TreetopLevels < 0 || c.TreetopLevels > c.Levels {
+		return fmt.Errorf("pathoram: treetop levels %d out of range", c.TreetopLevels)
+	}
+	return nil
+}
+
+// Stats aggregates protocol-level counters.
+type Stats struct {
+	Accesses    uint64 // user accesses served
+	BGAccesses  uint64 // dummy accesses from background eviction
+	BlocksRead  uint64
+	BlocksWrite uint64
+}
+
+// ORAM is a Path ORAM instance.
+type ORAM struct {
+	cfg  Config
+	geom tree.Geometry
+	pos  *posmap.Map
+	st   *stash.Stash
+	r    *rng.Source
+
+	// buckets[b][j] holds the block ID in slot j of bucket b, -1 for dummy.
+	// Bucket slice lengths follow the per-level Z.
+	buckets  [][]int64
+	slotBase []int64 // flat slot offset of each level's first slot
+
+	stats Stats
+	ops   []memop.Op // scratch, returned from Access
+	bufA  []int64    // path bucket scratch
+}
+
+// New builds and initializes a Path ORAM. All blocks start in the stash
+// conceptually; Init distributes them via per-path evictions so the tree
+// starts warm, mirroring how the paper warms the ORAM tree before
+// measurement.
+func New(cfg Config) (*ORAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := tree.NewGeometry(cfg.Levels)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	pm, err := posmap.New(g, cfg.NumBlocks, r.Fork(), 0)
+	if err != nil {
+		return nil, err
+	}
+	o := &ORAM{
+		cfg:  cfg,
+		geom: g,
+		pos:  pm,
+		st:   stash.New(cfg.StashCapacity),
+		r:    r,
+	}
+	o.buckets = make([][]int64, g.NumBuckets())
+	o.slotBase = make([]int64, cfg.Levels)
+	var total int64
+	for l := 0; l < cfg.Levels; l++ {
+		o.slotBase[l] = total
+		total += g.BucketsAtLevel(l) * int64(cfg.zAt(l))
+	}
+	backing := make([]int64, total)
+	for i := range backing {
+		backing[i] = -1
+	}
+	var off int64
+	for b := range o.buckets {
+		z := cfg.zAt(g.LevelOf(int64(b)))
+		o.buckets[b] = backing[off : off+int64(z) : off+int64(z)]
+		off += int64(z)
+	}
+	o.initPlacement()
+	return o, nil
+}
+
+// initPlacement seeds each block directly into the deepest bucket on its
+// path with a free slot, overflowing to the stash. This matches the state
+// after a long warm-up without simulating one.
+func (o *ORAM) initPlacement() {
+	used := make([]int, o.geom.NumBuckets())
+	for blk := int64(0); blk < o.cfg.NumBlocks; blk++ {
+		p := o.pos.Peek(blk)
+		placed := false
+		for lvl := o.cfg.Levels - 1; lvl >= 0; lvl-- {
+			b := o.geom.Bucket(p, lvl)
+			if used[b] < len(o.buckets[b]) {
+				o.buckets[b][used[b]] = blk
+				used[b]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			o.st.Put(blk, p)
+		}
+	}
+}
+
+// Geometry returns the tree geometry.
+func (o *ORAM) Geometry() tree.Geometry { return o.geom }
+
+// Stash exposes the stash for occupancy inspection.
+func (o *ORAM) Stash() *stash.Stash { return o.st }
+
+// Stats returns a copy of the protocol counters.
+func (o *ORAM) Stats() Stats { return o.stats }
+
+// blockAddr returns the physical byte address of slot j in bucket b.
+func (o *ORAM) blockAddr(b int64, j int) uint64 {
+	lvl := o.geom.LevelOf(b)
+	local := b - o.geom.LevelStart(lvl)
+	idx := o.slotBase[lvl] + local*int64(o.cfg.zAt(lvl)) + int64(j)
+	return uint64(idx) * uint64(o.cfg.BlockB)
+}
+
+// Access services a user request for the given block and returns the
+// memory operations performed, valid until the next Access call. Both
+// loads and stores follow the identical read-path/write-path sequence —
+// indistinguishability is the point of ORAM.
+func (o *ORAM) Access(block int64) ([]memop.Op, error) {
+	if block < 0 || block >= o.cfg.NumBlocks {
+		return nil, fmt.Errorf("pathoram: block %d out of range", block)
+	}
+	o.ops = o.ops[:0]
+	o.stats.Accesses++
+	o.pathAccess(block)
+
+	// Background eviction: dummy accesses deplete the stash (Ren et al.,
+	// ISCA'13). Each dummy access is a full path read+write of a random
+	// path with no block served.
+	for o.cfg.BGEvictThreshold > 0 && o.st.Size() >= o.cfg.BGEvictThreshold {
+		before := o.st.Size()
+		o.stats.BGAccesses++
+		o.dummyAccess()
+		if o.st.Size() >= before {
+			// The dummy access could not help (pathological stash); avoid
+			// spinning forever — the overflow counter records the failure.
+			break
+		}
+	}
+	return o.ops, nil
+}
+
+// pathAccess performs the three Path ORAM steps for a real block.
+func (o *ORAM) pathAccess(block int64) {
+	p, _ := o.pos.Lookup(block)
+	newPath := o.pos.Remap(block)
+	o.readPath(p)
+	if _, ok := o.st.Path(block); !ok {
+		panic(fmt.Sprintf("pathoram: block %d not found on its path %d — protocol violation", block, p))
+	}
+	// The requested block stays stashed under its new path and may be
+	// written back immediately if eligible.
+	o.st.SetPath(block, newPath)
+	o.writePath(p, memop.KindPathAccess)
+}
+
+// dummyAccess reads and writes a random path without serving any block.
+func (o *ORAM) dummyAccess() {
+	p := int64(o.r.Uint64n(uint64(o.geom.NumPaths())))
+	o.readPath(p)
+	o.writePath(p, memop.KindBackground)
+}
+
+// readPath moves every real block on path p into the stash.
+func (o *ORAM) readPath(p int64) {
+	op := memop.Op{Kind: memop.KindPathAccess}
+	o.bufA = o.geom.PathBuckets(p, o.bufA[:0])
+	for lvl, b := range o.bufA {
+		for j := 0; j < len(o.buckets[b]); j++ {
+			if lvl >= o.cfg.TreetopLevels {
+				op.Reads = append(op.Reads, o.blockAddr(b, j))
+			}
+			if blk := o.buckets[b][j]; blk >= 0 {
+				o.st.Put(blk, o.pos.Peek(blk))
+				o.buckets[b][j] = -1
+			}
+		}
+	}
+	o.stats.BlocksRead += uint64(len(op.Reads))
+	o.ops = append(o.ops, op)
+}
+
+// writePath refills path p from the stash, leaf to root, greedily placing
+// each block as deep as its own path allows.
+func (o *ORAM) writePath(p int64, kind memop.Kind) {
+	op := memop.Op{Kind: kind}
+	o.bufA = o.geom.PathBuckets(p, o.bufA[:0])
+	for lvl := o.cfg.Levels - 1; lvl >= 0; lvl-- {
+		b := o.bufA[lvl]
+		entries := o.st.TakeEligible(o.geom, p, lvl, len(o.buckets[b]))
+		for j := 0; j < len(o.buckets[b]); j++ {
+			if j < len(entries) {
+				o.buckets[b][j] = entries[j].Block
+			} else {
+				o.buckets[b][j] = -1
+			}
+			if lvl >= o.cfg.TreetopLevels {
+				op.Writes = append(op.Writes, o.blockAddr(b, j))
+			}
+		}
+	}
+	o.stats.BlocksWrite += uint64(len(op.Writes))
+	o.ops = append(o.ops, op)
+}
+
+// CheckInvariants validates the full ORAM state: every block is either in
+// the stash or in exactly one bucket on its mapped path. It is O(tree) and
+// intended for tests.
+func (o *ORAM) CheckInvariants() error {
+	found := make(map[int64]int, o.cfg.NumBlocks)
+	for b := int64(0); b < o.geom.NumBuckets(); b++ {
+		lvl := o.geom.LevelOf(b)
+		for _, blk := range o.buckets[b] {
+			if blk < 0 {
+				continue
+			}
+			if blk >= o.cfg.NumBlocks {
+				return fmt.Errorf("bucket %d holds invalid block %d", b, blk)
+			}
+			found[blk]++
+			if p := o.pos.Peek(blk); o.geom.Bucket(p, lvl) != b {
+				return fmt.Errorf("block %d in bucket %d off its path %d", blk, b, p)
+			}
+		}
+	}
+	for blk := int64(0); blk < o.cfg.NumBlocks; blk++ {
+		n := found[blk]
+		if o.st.Contains(blk) {
+			n++
+		}
+		if n != 1 {
+			return fmt.Errorf("block %d present %d times", blk, n)
+		}
+	}
+	return nil
+}
+
+// SpaceBytes returns the total tree size in bytes: the space-demand metric
+// the paper normalizes against.
+func (o *ORAM) SpaceBytes() uint64 {
+	var slots int64
+	for l := 0; l < o.cfg.Levels; l++ {
+		slots += o.geom.BucketsAtLevel(l) * int64(o.cfg.zAt(l))
+	}
+	return uint64(slots) * uint64(o.cfg.BlockB)
+}
+
+// Utilization returns user data size / tree size (50% for classic Path
+// ORAM at full load).
+func (o *ORAM) Utilization() float64 {
+	return float64(o.cfg.NumBlocks*int64(o.cfg.BlockB)) / float64(o.SpaceBytes())
+}

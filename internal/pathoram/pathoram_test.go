@@ -1,0 +1,269 @@
+package pathoram
+
+import (
+	"testing"
+
+	"repro/internal/memop"
+)
+
+func testCfg() Config {
+	return Config{
+		Levels:    10,
+		Z:         4,
+		NumBlocks: 1 << 10, // 25% of capacity: comfortable
+		BlockB:    64,
+		Seed:      1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.Levels = 1 },
+		func(c *Config) { c.Levels = 40 },
+		func(c *Config) { c.Z = 0 },
+		func(c *Config) { c.BlockB = 0 },
+		func(c *Config) { c.NumBlocks = 0 },
+		func(c *Config) { c.NumBlocks = 1 << 20 }, // > 50% capacity
+		func(c *Config) { c.TreetopLevels = 99 },
+	}
+	for i, mut := range muts {
+		c := testCfg()
+		mut(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestInitialInvariants(t *testing.T) {
+	o, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessReturnsBlockAndKeepsInvariants(t *testing.T) {
+	o, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		blk := int64(i*37) % o.cfg.NumBlocks
+		if _, err := o.Access(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats().Accesses != 500 {
+		t.Fatalf("accesses = %d", o.Stats().Accesses)
+	}
+}
+
+func TestAccessRejectsOutOfRange(t *testing.T) {
+	o, _ := New(testCfg())
+	if _, err := o.Access(-1); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if _, err := o.Access(o.cfg.NumBlocks); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+}
+
+func TestTrafficShape(t *testing.T) {
+	cfg := testCfg()
+	o, _ := New(cfg)
+	ops, err := o.Access(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One access with no background eviction: read path + write path.
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops, want 2", len(ops))
+	}
+	wantBlocks := cfg.Levels * cfg.Z
+	if len(ops[0].Reads) != wantBlocks || len(ops[0].Writes) != 0 {
+		t.Errorf("read phase: %d reads %d writes, want %d/0", len(ops[0].Reads), len(ops[0].Writes), wantBlocks)
+	}
+	if len(ops[1].Writes) != wantBlocks || len(ops[1].Reads) != 0 {
+		t.Errorf("write phase: %d reads %d writes, want 0/%d", len(ops[1].Reads), len(ops[1].Writes), wantBlocks)
+	}
+	if ops[0].Kind != memop.KindPathAccess {
+		t.Errorf("kind = %v", ops[0].Kind)
+	}
+}
+
+func TestTreetopCutsTraffic(t *testing.T) {
+	cfg := testCfg()
+	cfg.TreetopLevels = 4
+	o, _ := New(cfg)
+	ops, _ := o.Access(0)
+	want := (cfg.Levels - cfg.TreetopLevels) * cfg.Z
+	if len(ops[0].Reads) != want {
+		t.Errorf("treetop reads = %d, want %d", len(ops[0].Reads), want)
+	}
+	// Protocol must still be correct with the treetop cache.
+	for i := 0; i < 200; i++ {
+		if _, err := o.Access(int64(i) % o.cfg.NumBlocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressesUniquePerPhase(t *testing.T) {
+	o, _ := New(testCfg())
+	ops, _ := o.Access(5)
+	seen := map[uint64]bool{}
+	for _, a := range ops[0].Reads {
+		if seen[a] {
+			t.Fatalf("duplicate read address %#x", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestStashStaysBounded(t *testing.T) {
+	cfg := testCfg()
+	cfg.NumBlocks = 2046 // 50% utilization: the classic worst case
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		blk := int64(uint64(i*2654435761) % uint64(cfg.NumBlocks))
+		if _, err := o.Access(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Path ORAM theory: stash stays small w.h.p. at Z=4, 50% load.
+	if peak := o.Stash().Peak(); peak > 150 {
+		t.Errorf("stash peak %d suspiciously high", peak)
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundEviction(t *testing.T) {
+	cfg := testCfg()
+	cfg.NumBlocks = 2046
+	// Path ORAM's stash stays tiny at Z=4, so a low threshold is needed to
+	// exercise the background-eviction machinery at all.
+	cfg.BGEvictThreshold = 2
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := o.Access(int64(uint64(i*40503) % uint64(cfg.NumBlocks))); err != nil {
+			t.Fatal(err)
+		}
+		if o.Stash().Size() > cfg.BGEvictThreshold+10 {
+			// A few transient entries are fine; sustained growth is not.
+			t.Fatalf("stash %d far above threshold at access %d", o.Stash().Size(), i)
+		}
+	}
+	if o.Stats().BGAccesses == 0 {
+		t.Error("threshold never triggered background eviction")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Stats, int) {
+		o, _ := New(testCfg())
+		for i := 0; i < 300; i++ {
+			_, _ = o.Access(int64(i) % o.cfg.NumBlocks)
+		}
+		return o.Stats(), o.Stash().Size()
+	}
+	s1, sz1 := run()
+	s2, sz2 := run()
+	if s1 != s2 || sz1 != sz2 {
+		t.Fatalf("same seed diverged: %+v/%d vs %+v/%d", s1, sz1, s2, sz2)
+	}
+}
+
+func TestSpaceAndUtilization(t *testing.T) {
+	cfg := testCfg()
+	cfg.NumBlocks = 2046 // exactly 50% of capacity 4*(2^10-1) = 4092
+	o, _ := New(cfg)
+	wantSpace := uint64(1<<10-1) * 4 * 64
+	if o.SpaceBytes() != wantSpace {
+		t.Errorf("space = %d, want %d", o.SpaceBytes(), wantSpace)
+	}
+	u := o.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v, want ~0.50", u)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	cfg := testCfg()
+	cfg.Levels = 16
+	cfg.NumBlocks = 1 << 16
+	o, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = o.Access(int64(i) % cfg.NumBlocks)
+	}
+}
+
+func TestPerLevelZ(t *testing.T) {
+	cfg := testCfg()
+	// IR-style: shrink the middle levels.
+	cfg.ZPerLevel = map[int]int{4: 2, 5: 2, 6: 2}
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _ := New(testCfg())
+	if o.SpaceBytes() >= uniform.SpaceBytes() {
+		t.Fatal("shrunken middle levels saved no space")
+	}
+	for i := 0; i < 800; i++ {
+		if _, err := o.Access(int64(i*13) % cfg.NumBlocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic at a shrunk level must reflect the smaller bucket.
+	ops, _ := o.Access(0)
+	wantBlocks := 0
+	for l := 0; l < cfg.Levels; l++ {
+		z := cfg.Z
+		if v, ok := cfg.ZPerLevel[l]; ok {
+			z = v
+		}
+		wantBlocks += z
+	}
+	if len(ops[0].Reads) != wantBlocks {
+		t.Fatalf("read phase %d blocks, want %d", len(ops[0].Reads), wantBlocks)
+	}
+}
+
+func TestPerLevelZValidation(t *testing.T) {
+	cfg := testCfg()
+	cfg.ZPerLevel = map[int]int{99: 4}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid override level accepted")
+	}
+	cfg.ZPerLevel = map[int]int{3: 0}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero override accepted")
+	}
+}

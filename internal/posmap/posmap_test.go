@@ -1,0 +1,130 @@
+package posmap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tree"
+)
+
+func newMap(t *testing.T, blocks int64, plbEntries int) *Map {
+	t.Helper()
+	m, err := New(tree.MustGeometry(8), blocks, rng.New(1), plbEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(tree.MustGeometry(4), 0, rng.New(1), 0); err == nil {
+		t.Fatal("expected error for zero blocks")
+	}
+}
+
+func TestInitialPathsInRange(t *testing.T) {
+	g := tree.MustGeometry(8)
+	m := newMap(t, 10000, 0)
+	for b := int64(0); b < m.NumBlocks(); b++ {
+		if p := m.Peek(b); p < 0 || p >= g.NumPaths() {
+			t.Fatalf("block %d mapped to invalid path %d", b, p)
+		}
+	}
+}
+
+func TestInitialPathsUniform(t *testing.T) {
+	g := tree.MustGeometry(4) // 8 paths
+	m, err := New(g, 80000, rng.New(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, g.NumPaths())
+	for b := int64(0); b < m.NumBlocks(); b++ {
+		counts[m.Peek(b)]++
+	}
+	want := 80000.0 / float64(g.NumPaths())
+	for p, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("path %d has %d blocks, want ~%.0f", p, c, want)
+		}
+	}
+}
+
+func TestLookupAndRemap(t *testing.T) {
+	m := newMap(t, 100, 0)
+	p0, hit := m.Lookup(5)
+	if !hit {
+		t.Fatal("PLB-less lookup must report hit")
+	}
+	if p0 != m.Peek(5) {
+		t.Fatal("Lookup disagrees with Peek")
+	}
+	changed := false
+	for i := 0; i < 50; i++ {
+		if m.Remap(5) != p0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("50 remaps never changed the path")
+	}
+	if m.Lookups() != 1 || m.Remaps() != 50 {
+		t.Fatalf("counters: lookups=%d remaps=%d", m.Lookups(), m.Remaps())
+	}
+}
+
+func TestRemapUpdatesLookup(t *testing.T) {
+	m := newMap(t, 10, 0)
+	np := m.Remap(3)
+	if got, _ := m.Lookup(3); got != np {
+		t.Fatalf("Lookup %d after Remap to %d", got, np)
+	}
+}
+
+func TestPLBHitsOnLocality(t *testing.T) {
+	m := newMap(t, 1<<20, 1024)
+	// First touch misses, repeats hit.
+	if _, hit := m.Lookup(7); hit {
+		t.Fatal("cold PLB lookup hit")
+	}
+	if _, hit := m.Lookup(7); !hit {
+		t.Fatal("warm PLB lookup missed")
+	}
+	if m.PLBHitRate() != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", m.PLBHitRate())
+	}
+}
+
+func TestPLBConflictEviction(t *testing.T) {
+	m := newMap(t, 1<<20, 16) // 16-entry direct-mapped
+	m.Lookup(0)
+	m.Lookup(16) // same PLB index, evicts 0
+	if _, hit := m.Lookup(0); hit {
+		t.Fatal("conflicting tag survived")
+	}
+}
+
+func TestPLBDisabledHitRate(t *testing.T) {
+	m := newMap(t, 10, 0)
+	m.Lookup(1)
+	if m.PLBHitRate() != 1 {
+		t.Fatal("disabled PLB should report hit rate 1")
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	g := tree.MustGeometry(8)
+	m1, _ := New(g, 1000, rng.New(9), 0)
+	m2, _ := New(g, 1000, rng.New(9), 0)
+	for b := int64(0); b < 1000; b++ {
+		if m1.Peek(b) != m2.Peek(b) {
+			t.Fatal("same seed produced different initial mapping")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if m1.Remap(int64(i)) != m2.Remap(int64(i)) {
+			t.Fatal("same seed produced different remap sequence")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package recpos implements a recursive position map in the style of
+// Freecursive ORAM (Fletcher et al., ASPLOS'15 — the paper's [13]): the
+// position map, too large to pin on-chip at realistic block counts, is
+// itself stored in a chain of progressively smaller Ring ORAMs, with a
+// position-map lookaside buffer (PLB) short-circuiting the recursion for
+// temporally local accesses.
+//
+// The paper's evaluation (like most USIMM-based ORAM studies) assumes an
+// on-chip position map (Table III), so recpos is *not* in the main
+// experiment path. It exists to quantify that assumption: the
+// BenchmarkAblationRecursivePosMap ablation measures how much traffic the
+// on-chip assumption hides, and shows it is scheme-independent — AB-ORAM's
+// relative savings are unaffected.
+package recpos
+
+import (
+	"fmt"
+
+	"repro/internal/memop"
+	"repro/internal/ringoram"
+)
+
+// EntriesPerBlock is how many position-map entries fit one 64 B block
+// (entries are path labels of at most 8 bytes at <= 2^63 paths).
+const EntriesPerBlock = 8
+
+// Config parameterizes the recursion.
+type Config struct {
+	// OnChipEntries is the size at which recursion stops and the final
+	// table is held on-chip (the paper's 512 KB PosMap at 8 B per entry is
+	// 64 Ki entries).
+	OnChipEntries int64
+	// PLBEntries sizes the lookaside buffer over level-1 posmap blocks; a
+	// PLB hit skips the entire recursion. 0 disables the PLB.
+	PLBEntries int
+	// MaxDepth bounds the recursion (safety against misconfiguration).
+	MaxDepth int
+}
+
+// DefaultConfig mirrors Table III: 512 KB on-chip map, 64 KB PLB.
+func DefaultConfig() Config {
+	return Config{
+		OnChipEntries: 64 << 10,
+		PLBEntries:    4 << 10,
+		MaxDepth:      8,
+	}
+}
+
+// Map is the recursive position-map machinery for a data ORAM with a given
+// block count. Each recursion level i is a Ring ORAM holding the previous
+// level's position map, shrunk by EntriesPerBlock.
+type Map struct {
+	cfg    Config
+	orams  []*ringoram.ORAM // level 1..k, largest first
+	plb    []int64          // direct-mapped tags over level-1 posmap blocks
+	hits   uint64
+	misses uint64
+}
+
+// New builds the recursion for a data ORAM protecting numBlocks blocks.
+// mkLevel builds the Ring ORAM holding one recursion level's map; it
+// receives the level index (1-based) and the number of posmap blocks it
+// must protect.
+func New(cfg Config, numBlocks int64, mkLevel func(level int, blocks int64) (*ringoram.ORAM, error)) (*Map, error) {
+	if cfg.OnChipEntries <= 0 {
+		return nil, fmt.Errorf("recpos: non-positive on-chip size")
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 8
+	}
+	m := &Map{cfg: cfg}
+	if cfg.PLBEntries > 0 {
+		n := 1
+		for n < cfg.PLBEntries {
+			n <<= 1
+		}
+		m.plb = make([]int64, n)
+		for i := range m.plb {
+			m.plb[i] = -1
+		}
+	}
+	entries := numBlocks
+	for level := 1; entries > cfg.OnChipEntries; level++ {
+		if level > cfg.MaxDepth {
+			return nil, fmt.Errorf("recpos: recursion deeper than %d levels", cfg.MaxDepth)
+		}
+		blocks := (entries + EntriesPerBlock - 1) / EntriesPerBlock
+		o, err := mkLevel(level, blocks)
+		if err != nil {
+			return nil, fmt.Errorf("recpos: level %d: %w", level, err)
+		}
+		if o.Config().NumBlocks < blocks {
+			return nil, fmt.Errorf("recpos: level %d holds %d blocks, need %d", level, o.Config().NumBlocks, blocks)
+		}
+		m.orams = append(m.orams, o)
+		entries = blocks
+	}
+	return m, nil
+}
+
+// Depth returns the number of recursion levels (0 = fully on-chip).
+func (m *Map) Depth() int { return len(m.orams) }
+
+// PLBHitRate returns the fraction of lookups short-circuited by the PLB.
+func (m *Map) PLBHitRate() float64 {
+	if m.hits+m.misses == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(m.hits+m.misses)
+}
+
+// Lookup performs the position-map access for a data block and returns the
+// extra memory operations the recursion generated (empty on a PLB hit).
+// The actual path value lives in the data ORAM's flat map — recpos models
+// where the mapping *blocks* live and what fetching them costs, which is
+// the part the paper's on-chip assumption elides.
+func (m *Map) Lookup(block int64) ([]memop.Op, error) {
+	if len(m.orams) == 0 {
+		return nil, nil
+	}
+	pmBlock := block / EntriesPerBlock
+	if m.plb != nil {
+		idx := int(uint64(pmBlock) & uint64(len(m.plb)-1))
+		if m.plb[idx] == pmBlock {
+			m.hits++
+			return nil, nil
+		}
+		m.plb[idx] = pmBlock
+	}
+	m.misses++
+
+	// A miss walks the recursion from the smallest (deepest) map down to
+	// level 1: each level's entry locates the next level's block.
+	var ops []memop.Op
+	needs := make([]int64, len(m.orams))
+	cur := block
+	for i := 0; i < len(m.orams); i++ {
+		cur /= EntriesPerBlock
+		needs[i] = cur
+	}
+	for i := len(m.orams) - 1; i >= 0; i-- {
+		levelOps, err := m.orams[i].Access(needs[i] % m.orams[i].Config().NumBlocks)
+		if err != nil {
+			return nil, fmt.Errorf("recpos: level %d access: %w", i+1, err)
+		}
+		ops = append(ops, levelOps...)
+	}
+	return ops, nil
+}

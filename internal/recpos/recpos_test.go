@@ -1,0 +1,117 @@
+package recpos
+
+import (
+	"testing"
+
+	"repro/internal/ringoram"
+)
+
+// mkLevel builds small Ring ORAMs for recursion levels in tests.
+func mkLevel(level int, blocks int64) (*ringoram.ORAM, error) {
+	levels := 4
+	for ; levels < 20; levels++ {
+		cfg := ringoram.TypicalRing(levels, 0, uint64(level)*7+1)
+		if cfg.NumBlocks >= blocks {
+			cfg.NumBlocks = blocks
+			return ringoram.New(cfg)
+		}
+	}
+	return nil, nil
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{OnChipEntries: 0}, 1000, mkLevel); err == nil {
+		t.Fatal("zero on-chip size accepted")
+	}
+	cfg := Config{OnChipEntries: 2, MaxDepth: 1}
+	if _, err := New(cfg, 1<<20, mkLevel); err == nil {
+		t.Fatal("over-deep recursion accepted")
+	}
+}
+
+func TestFullyOnChip(t *testing.T) {
+	m, err := New(Config{OnChipEntries: 1 << 20}, 1000, mkLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0", m.Depth())
+	}
+	ops, err := m.Lookup(5)
+	if err != nil || len(ops) != 0 {
+		t.Fatalf("on-chip lookup produced traffic: %v %v", ops, err)
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	// 2^16 entries -> level-1 map of 8192 blocks -> level-2 of 1024 ->
+	// level-3 of 128, whose 128 position entries fit the 256-entry
+	// on-chip table: three ORAM levels.
+	m, err := New(Config{OnChipEntries: 256, MaxDepth: 8}, 1<<16, mkLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", m.Depth())
+	}
+}
+
+func TestLookupGeneratesRecursiveTraffic(t *testing.T) {
+	m, err := New(Config{OnChipEntries: 256, MaxDepth: 8, PLBEntries: 0}, 1<<16, mkLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := m.Lookup(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("recursion produced no traffic")
+	}
+	reads := 0
+	for _, op := range ops {
+		reads += len(op.Reads)
+	}
+	if reads == 0 {
+		t.Fatal("recursion produced no reads")
+	}
+}
+
+func TestPLBShortCircuits(t *testing.T) {
+	m, err := New(Config{OnChipEntries: 256, MaxDepth: 8, PLBEntries: 1024}, 1<<16, mkLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Lookup(100); err != nil {
+		t.Fatal(err)
+	}
+	// Same posmap block (same /8 group): must hit.
+	ops, err := m.Lookup(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatal("PLB hit still generated traffic")
+	}
+	if m.PLBHitRate() != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", m.PLBHitRate())
+	}
+}
+
+func TestManyLookupsStayCorrect(t *testing.T) {
+	m, err := New(Config{OnChipEntries: 128, MaxDepth: 8, PLBEntries: 64}, 1<<14, mkLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if _, err := m.Lookup(int64(i*37) % (1 << 14)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The recursion ORAMs must stay internally consistent.
+	for d := 0; d < m.Depth(); d++ {
+		if err := m.orams[d].CheckInvariants(); err != nil {
+			t.Fatalf("level %d: %v", d+1, err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// the two output formats of the benchmark harness. Each figure/table runner
+// in internal/sim produces a Table; cmd/abench prints it and optionally
+// writes the CSV next to it so the series can be re-plotted.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a rectangular result: a title, column headers, and rows of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form footnotes (paper comparison, caveats)
+}
+
+// New returns an empty table with the given title and columns.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. The number of cells must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the table as an aligned monospace table.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("## ")
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(cell)
+			line.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-style CSV (header + rows). Cells
+// containing commas, quotes, or newlines are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text form; convenient for tests and logs.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteText(&b)
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Formatting helpers shared by experiment runners. They intentionally
+// return strings: the Table API is string-typed so numeric precision is
+// decided exactly once, at the point the row is built.
+
+// Int formats an integer cell.
+func Int(v int64) string { return strconv.FormatInt(v, 10) }
+
+// Uint formats an unsigned integer cell.
+func Uint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// Float formats a float with the given number of decimals.
+func Float(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Percent formats a ratio (0.36 -> "36.0%").
+func Percent(ratio float64) string {
+	return strconv.FormatFloat(ratio*100, 'f', 1, 64) + "%"
+}
+
+// Norm formats a value normalized to a baseline with 3 decimals ("1.000").
+func Norm(v, baseline float64) string {
+	if baseline == 0 {
+		return "n/a"
+	}
+	return strconv.FormatFloat(v/baseline, 'f', 3, 64)
+}
+
+// Bytes formats a byte count with a binary-unit suffix.
+func Bytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := uint64(unit), 0
+	for n/div >= unit && exp < 5 {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := New("Demo", "scheme", "space", "time")
+	tbl.AddRow("Baseline", "1.000", "1.000")
+	tbl.AddRow("AB", "0.640", "1.040")
+	tbl.AddNote("paper reports 36%% -> 0.64")
+
+	got := tbl.String()
+	for _, want := range []string{"## Demo", "scheme", "Baseline", "0.640", "note: paper reports 36% -> 0.64"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("text output missing %q:\n%s", want, got)
+		}
+	}
+	// Columns must align: "space" starts at the same offset in every line.
+	lines := strings.Split(got, "\n")
+	header, row := lines[1], lines[3]
+	if strings.Index(header, "space") != strings.Index(row, "1.000") {
+		t.Errorf("columns misaligned:\n%s", got)
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("line has trailing space: %q", l)
+		}
+	}
+}
+
+func TestTableTextNoTitle(t *testing.T) {
+	tbl := New("", "a")
+	tbl.AddRow("x")
+	if strings.Contains(tbl.String(), "##") {
+		t.Error("untitled table rendered a title line")
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("t", "a", "b").AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := New("t", "name", "value")
+	tbl.AddRow("plain", "1")
+	tbl.AddRow("with,comma", "2")
+	tbl.AddRow(`with"quote`, "3")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if got != want {
+		t.Errorf("CSV mismatch:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Int(-42), "-42"},
+		{Uint(42), "42"},
+		{Float(3.14159, 2), "3.14"},
+		{Percent(0.365), "36.5%"},
+		{Norm(75, 100), "0.750"},
+		{Norm(1, 0), "n/a"},
+		{Bytes(512), "512 B"},
+		{Bytes(21 * 1024), "21.0 KiB"},
+		{Bytes(8 << 30), "8.0 GiB"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

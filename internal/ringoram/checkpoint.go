@@ -1,0 +1,176 @@
+package ringoram
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/rng"
+	"repro/internal/stash"
+)
+
+// RemoteRef is the exported form of a guest bucket's remote-slot record,
+// used by checkpoints.
+type RemoteRef struct {
+	Ref      SlotRef
+	Consumed bool
+}
+
+// Checkpoint is a complete, serializable snapshot of an ORAM's protocol
+// state: tree contents, per-slot metadata, stash, position map, and the
+// random streams — everything needed to resume with bit-identical future
+// behaviour. Measurement-only state (PLB contents, dead-block lifetime
+// statistics) intentionally resets on restore.
+//
+// The checkpoint does not include the RemoteAllocator's queue or the
+// DataPlane's contents; callers snapshot those alongside (the aboram
+// facade does). Restoring with an empty DeadQ is safe: still-queued slots
+// simply return to their home buckets at the next reshuffle.
+type Checkpoint struct {
+	Levels int // config fingerprint
+
+	SlotBlock  []int64
+	SlotFlags  []uint8
+	SlotGen    []uint32
+	SlotDeadAt []uint64
+	Count      []uint16
+	DynS       []int16
+	Remote     [][]RemoteRef
+	EvictGen   int64
+
+	Stats          Stats
+	ReshufPerLevel []uint64
+	DeadPerLevel   []uint64
+
+	Rng       *rng.Source
+	PosRng    *rng.Source
+	Positions []int64
+
+	Stash     []stash.Entry
+	StashData map[int64][]byte
+}
+
+// Checkpoint captures the current state.
+func (o *ORAM) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Levels:         o.cfg.Levels,
+		SlotBlock:      append([]int64(nil), o.slotBlock...),
+		SlotFlags:      append([]uint8(nil), o.slotFlags...),
+		Count:          append([]uint16(nil), o.count...),
+		DynS:           append([]int16(nil), o.dynS...),
+		EvictGen:       o.evictGen,
+		Stats:          o.stats,
+		ReshufPerLevel: o.reshufPerL.Snapshot(),
+		DeadPerLevel:   o.deadPerL.Snapshot(),
+		Rng:            o.r,
+		PosRng:         o.pos.Rand(),
+		Positions:      o.pos.Positions(),
+		Stash:          o.st.All(),
+	}
+	if o.slotGen != nil {
+		cp.SlotGen = append([]uint32(nil), o.slotGen...)
+	}
+	if o.slotDeadAt != nil {
+		cp.SlotDeadAt = append([]uint64(nil), o.slotDeadAt...)
+	}
+	cp.Remote = make([][]RemoteRef, len(o.remote))
+	for b, refs := range o.remote {
+		if len(refs) == 0 {
+			continue
+		}
+		out := make([]RemoteRef, len(refs))
+		for i, rs := range refs {
+			out[i] = RemoteRef{Ref: rs.ref, Consumed: rs.consumed}
+		}
+		cp.Remote[b] = out
+	}
+	if o.stashData != nil {
+		cp.StashData = make(map[int64][]byte, len(o.stashData))
+		for k, v := range o.stashData {
+			cp.StashData[k] = append([]byte(nil), v...)
+		}
+	}
+	return cp
+}
+
+// Restore builds an ORAM from a configuration and a checkpoint taken from
+// an instance with the same configuration shape. The Allocator and Data
+// fields of cfg are wired fresh (their contents are checkpointed by the
+// caller where needed).
+func Restore(cfg Config, cp *Checkpoint) (*ORAM, error) {
+	if cp.Levels != cfg.Levels {
+		return nil, fmt.Errorf("ringoram: checkpoint has %d levels, config %d", cp.Levels, cfg.Levels)
+	}
+	o, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(cp.SlotBlock) != len(o.slotBlock) || len(cp.SlotFlags) != len(o.slotFlags) ||
+		len(cp.Count) != len(o.count) || len(cp.DynS) != len(o.dynS) ||
+		len(cp.Remote) != len(o.remote) {
+		return nil, fmt.Errorf("ringoram: checkpoint geometry does not match configuration")
+	}
+	copy(o.slotBlock, cp.SlotBlock)
+	copy(o.slotFlags, cp.SlotFlags)
+	if o.slotGen != nil && cp.SlotGen != nil {
+		copy(o.slotGen, cp.SlotGen)
+	}
+	if o.slotDeadAt != nil && cp.SlotDeadAt != nil {
+		copy(o.slotDeadAt, cp.SlotDeadAt)
+	}
+	copy(o.count, cp.Count)
+	copy(o.dynS, cp.DynS)
+	for b, refs := range cp.Remote {
+		o.remote[b] = o.remote[b][:0]
+		for _, rr := range refs {
+			o.remote[b] = append(o.remote[b], remoteSlot{ref: rr.Ref, consumed: rr.Consumed})
+		}
+	}
+	o.evictGen = cp.EvictGen
+	o.stats = cp.Stats
+	o.reshufPerL.Reset()
+	for lvl, v := range cp.ReshufPerLevel {
+		o.reshufPerL.Add(lvl, v)
+	}
+	o.deadPerL.Reset()
+	for lvl, v := range cp.DeadPerLevel {
+		o.deadPerL.Add(lvl, v)
+	}
+	if cp.Rng == nil || cp.PosRng == nil {
+		return nil, fmt.Errorf("ringoram: checkpoint missing random streams")
+	}
+	*o.r = *cp.Rng
+	*o.pos.Rand() = *cp.PosRng
+	if err := o.pos.SetPositions(cp.Positions); err != nil {
+		return nil, err
+	}
+	// Rebuild the stash from scratch: New's initPlacement may have seeded
+	// different residue.
+	for _, e := range o.st.All() {
+		o.st.Remove(e.Block)
+	}
+	for _, e := range cp.Stash {
+		o.st.Put(e.Block, e.Path)
+	}
+	if o.stashData != nil {
+		clear(o.stashData)
+		for k, v := range cp.StashData {
+			o.stashData[k] = append([]byte(nil), v...)
+		}
+	}
+	return o, nil
+}
+
+// Save writes a gob-encoded checkpoint.
+func (o *ORAM) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(o.Checkpoint())
+}
+
+// Load reads a checkpoint written by Save and restores it under cfg.
+func Load(cfg Config, r io.Reader) (*ORAM, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("ringoram: decoding checkpoint: %w", err)
+	}
+	return Restore(cfg, &cp)
+}

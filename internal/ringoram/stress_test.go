@@ -1,0 +1,272 @@
+package ringoram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// evilAllocator misbehaves in every way the RemoteAllocator contract
+// allows an implementation to get wrong: it returns fabricated refs, stale
+// refs, duplicates, refs for other levels, and occasionally lies about
+// accepting offers. The engine's generation/status validation must shrug
+// all of it off without corrupting protocol state.
+type evilAllocator struct {
+	r     *rng.Source
+	inner *testDeadQ
+}
+
+func newEvilAllocator(seed uint64) *evilAllocator {
+	return &evilAllocator{r: rng.New(seed), inner: newTestDeadQ(0, 100)}
+}
+
+func (e *evilAllocator) Offer(level int, ref SlotRef) bool {
+	switch e.r.Intn(4) {
+	case 0:
+		return false // refuse a legitimate offer
+	default:
+		return e.inner.Offer(level, ref)
+	}
+}
+
+func (e *evilAllocator) Claim(level, want int) []SlotRef {
+	out := e.inner.Claim(level, want)
+	switch e.r.Intn(4) {
+	case 0:
+		// Fabricate a ref out of thin air.
+		out = append(out, SlotRef{Bucket: int64(e.r.Intn(100)), Slot: e.r.Intn(4), Gen: uint32(e.r.Intn(3))})
+	case 1:
+		// Duplicate a real ref.
+		if len(out) > 0 {
+			out = append(out, out[0])
+		}
+	case 2:
+		// Age a ref into staleness.
+		if len(out) > 0 {
+			out[len(out)-1].Gen += 7
+		}
+	}
+	return out
+}
+
+func (e *evilAllocator) Release(level int, ref SlotRef) bool {
+	if e.r.Intn(3) == 0 {
+		return false
+	}
+	return e.inner.Release(level, ref)
+}
+
+// TestEvilAllocatorCannotCorrupt: even a hostile dead-slot pool must not
+// break protocol correctness — the worst it can do is deny extensions.
+func TestEvilAllocatorCannotCorrupt(t *testing.T) {
+	cfg := cbCfg()
+	cfg.SPerLevel = map[int]int{}
+	cfg.STargetPerLevel = map[int]int{}
+	for l := testLevels - 6; l < testLevels; l++ {
+		cfg.SPerLevel[l] = 1
+		cfg.STargetPerLevel[l] = 3
+	}
+	cfg.Allocator = newEvilAllocator(3)
+	cfg.MaxRemote = 6
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.NumBlocks
+	for i := 0; i < 5000; i++ {
+		if _, err := o.Access(int64(uint64(i*2654435761) % uint64(n))); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 999 {
+			if err := o.CheckInvariants(); err != nil {
+				t.Fatalf("invariants broken at access %d: %v", i, err)
+			}
+		}
+	}
+	if o.Stash().Overflows() != 0 {
+		t.Errorf("stash overflow under evil allocator (peak %d)", o.Stash().Peak())
+	}
+	// The duplicate-ref trick is the dangerous one: a slot must never be
+	// handed to two buckets. StaleClaims should show the engine filtering.
+	if o.Stats().StaleClaims == 0 {
+		t.Error("engine never rejected a bogus claim; evil allocator was not exercised")
+	}
+}
+
+// TestFuzzAccessPatterns drives every scheme shape with adversarial access
+// patterns (single hot block, strided, random, ping-pong) and validates
+// full state each time.
+func TestFuzzAccessPatterns(t *testing.T) {
+	patterns := map[string]func(i int, n int64) int64{
+		"hot-single": func(i int, n int64) int64 { return 0 },
+		"ping-pong":  func(i int, n int64) int64 { return int64(i % 2) },
+		"stride":     func(i int, n int64) int64 { return (int64(i) * 64) % n },
+		"random":     func(i int, n int64) int64 { return int64(uint64(i*2654435761) % uint64(n)) },
+		"sequential": func(i int, n int64) int64 { return int64(i) % n },
+	}
+	configs := map[string]Config{
+		"ring": baseCfg(),
+		"cb":   cbCfg(),
+		"dr":   drCfg(newTestDeadQ(testLevels-6, 1000)),
+	}
+	for cname, cfg := range configs {
+		for pname, pat := range patterns {
+			t.Run(cname+"/"+pname, func(t *testing.T) {
+				// DR shares one allocator across subtests only if reused;
+				// rebuild per run for isolation.
+				c := cfg
+				if c.Allocator != nil {
+					c.Allocator = newTestDeadQ(testLevels-6, 1000)
+				}
+				o, err := New(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := c.NumBlocks
+				for i := 0; i < 1200; i++ {
+					if _, err := o.Access(pat(i, n)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := o.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if o.Stash().Overflows() != 0 {
+					t.Errorf("stash overflow (peak %d)", o.Stash().Peak())
+				}
+			})
+		}
+	}
+}
+
+// TestTrafficAccountingConsistent cross-checks the stats counters against
+// the emitted memop batches over a long run.
+func TestTrafficAccountingConsistent(t *testing.T) {
+	cfg := cbCfg()
+	cfg.TreetopLevels = 3
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opReads, opWrites uint64
+	n := cfg.NumBlocks
+	for i := 0; i < 1500; i++ {
+		ops, err := o.Access(int64(uint64(i*7919) % uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			opReads += uint64(len(op.Reads))
+			opWrites += uint64(len(op.Writes))
+		}
+	}
+	st := o.Stats()
+	wantReads := st.BlocksRead + st.MetaReads
+	wantWrites := st.BlocksWritten + st.MetaWrites
+	if opReads != wantReads {
+		t.Errorf("op reads %d != counter reads %d", opReads, wantReads)
+	}
+	if opWrites != wantWrites {
+		t.Errorf("op writes %d != counter writes %d", opWrites, wantWrites)
+	}
+}
+
+// TestAddressesWithinRegions: every emitted address must fall in the data
+// region [0, metaBase) or the metadata region [metaBase, metaEnd).
+func TestAddressesWithinRegions(t *testing.T) {
+	cfg := cbCfg()
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaEnd := o.metaBase + uint64(o.geom.NumBuckets())*uint64(cfg.BlockB)
+	n := cfg.NumBlocks
+	check := func(addr uint64) {
+		if addr >= metaEnd {
+			t.Fatalf("address %#x beyond memory end %#x", addr, metaEnd)
+		}
+		if addr%uint64(cfg.BlockB) != 0 {
+			t.Fatalf("unaligned address %#x", addr)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		ops, err := o.Access(int64(uint64(i*31) % uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			for _, a := range op.Reads {
+				check(a)
+			}
+			for _, a := range op.Writes {
+				check(a)
+			}
+		}
+	}
+}
+
+// TestQuickRandomConfigs sweeps randomized protocol configurations through
+// short runs with full invariant validation: the engine must be correct
+// for every *valid* configuration, not just the paper's named points.
+func TestQuickRandomConfigs(t *testing.T) {
+	f := func(seedRaw uint16, zpRaw, sRaw, aRaw, yRaw, shrinkRaw uint8) bool {
+		cfg := Config{
+			Levels:        8 + int(seedRaw)%3, // 8..10
+			ZPrime:        2 + int(zpRaw)%5,   // 2..6
+			S:             int(sRaw) % 8,      // 0..7
+			A:             2 + int(aRaw)%5,    // 2..6
+			BlockB:        64,
+			StashCapacity: 0, // unbounded: measure, don't clamp
+			TreetopLevels: int(seedRaw) % 4,
+			Seed:          uint64(seedRaw),
+		}
+		cfg.Y = int(yRaw) % (cfg.ZPrime + 1) // 0..Z'
+		if cfg.S == 0 && cfg.Y == 0 {
+			cfg.Y = 1 // keep the config valid: S=0 requires overlap
+		}
+		// Random bottom-band shrink, sometimes with extension.
+		if shrinkRaw%3 != 0 && cfg.S > 1 {
+			cfg.SPerLevel = map[int]int{}
+			newS := int(shrinkRaw) % cfg.S
+			for l := cfg.Levels - 2; l < cfg.Levels; l++ {
+				cfg.SPerLevel[l] = newS
+			}
+			if newS == 0 && cfg.Y == 0 {
+				cfg.Y = 1
+			}
+			if shrinkRaw%3 == 2 {
+				cfg.STargetPerLevel = map[int]int{}
+				for l := cfg.Levels - 2; l < cfg.Levels; l++ {
+					cfg.STargetPerLevel[l] = newS + 2
+				}
+				cfg.Allocator = newTestDeadQ(cfg.Levels-2, 200)
+				cfg.MaxRemote = 6
+			}
+		}
+		// Load: half the real capacity.
+		var capSum int64
+		for l := 0; l < cfg.Levels; l++ {
+			capSum += (int64(1) << l) * int64(cfg.zPrimeAt(l))
+		}
+		cfg.NumBlocks = capSum / 2
+		cfg.BGEvictThreshold = 60
+
+		if err := cfg.Validate(); err != nil {
+			return true // invalid combos are rejected up front: fine
+		}
+		o, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 600; i++ {
+			if _, err := o.Access(int64(uint64(i*2654435761) % uint64(cfg.NumBlocks))); err != nil {
+				return false
+			}
+		}
+		return o.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// figure in EXPERIMENTS.md must regenerate bit-identically from the same
+// seed. We therefore avoid math/rand's global state and implement
+// SplitMix64 (for seeding) feeding xoshiro256**, the same construction used
+// by modern simulator frameworks. Both algorithms are public domain
+// (Blackman & Vigna).
+//
+// The generator is NOT cryptographically secure and is never used for the
+// security-relevant randomness of the ORAM protocol model itself in any way
+// an attacker in the threat model could exploit; the simulation only needs
+// uniformity and independence, which xoshiro256** provides.
+package rng
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed via SplitMix64, which
+// guarantees a well-mixed, non-degenerate initial state for any seed,
+// including 0.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the generator state as if freshly constructed with New(seed).
+func (r *Source) Reseed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		// SplitMix64 step.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+
+	return result
+}
+
+// Uint64n returns a uniformly random value in [0, n). It panics if n == 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns a non-negative random 63-bit integer, mirroring
+// math/rand.Int63 so the Source can stand in where that shape is expected.
+func (r *Source) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	// 53 random mantissa bits.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniformly random boolean.
+func (r *Source) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes indices [0, n) in place via the provided swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent child generator from the current stream.
+// Deriving children rather than sharing one Source keeps per-subsystem
+// random streams stable when an unrelated subsystem changes how much
+// randomness it draws.
+func (r *Source) Fork() *Source {
+	return New(r.Uint64())
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p in (0, 1]: the number of failures before the first success.
+// Used by workload generators to draw inter-miss instruction gaps.
+func (r *Source) Geometric(p float64) uint64 {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric probability out of (0, 1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inverse-transform sampling: floor(ln U / ln(1-p)). O(1) regardless of
+	// p, unlike trial-by-trial sampling which needs ~1/p draws.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	n := math.Floor(math.Log(u) / math.Log1p(-p))
+	if n < 0 {
+		n = 0
+	}
+	return uint64(n)
+}
+
+// GobEncode serializes the generator state, enabling ORAM checkpointing
+// to preserve the exact random stream across save/restore.
+func (r *Source) GobEncode() ([]byte, error) {
+	out := make([]byte, 32)
+	for i, s := range r.s {
+		binary.LittleEndian.PutUint64(out[i*8:], s)
+	}
+	return out, nil
+}
+
+// GobDecode restores a state produced by GobEncode.
+func (r *Source) GobDecode(data []byte) error {
+	if len(data) != 32 {
+		return fmt.Errorf("rng: state is %d bytes, want 32", len(data))
+	}
+	for i := range r.s {
+		r.s[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestReseedMatchesNew(t *testing.T) {
+	a := New(7)
+	a.Uint64()
+	a.Reseed(99)
+	b := New(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Reseed did not reproduce New state")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	var allZero = true
+	for i := 0; i < 16; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("zero seed produced a degenerate all-zero stream")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 8, 100, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(13)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed element multiset: %v", s)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(21)
+	child := a.Fork()
+	// The child stream must not simply mirror the parent.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("fork mirrors parent (%d/100 equal)", same)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(17)
+	for _, p := range []float64{0.5, 0.1, 0.001} {
+		const draws = 20000
+		var sum float64
+		for i := 0; i < draws; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		mean := sum / draws
+		want := (1 - p) / p
+		if math.Abs(mean-want) > want*0.1+0.05 {
+			t.Errorf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(19)
+	if v := r.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+	for _, p := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Geometric(%v) did not panic", p)
+				}
+			}()
+			r.Geometric(p)
+		}()
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(23)
+	trues := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)/draws-0.5) > 0.01 {
+		t.Errorf("Bool true rate = %v", float64(trues)/draws)
+	}
+}
+
+// Property: Uint64n never escapes its bound, for arbitrary seeds and bounds.
+func TestQuickUint64nInRange(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := New(seed)
+		for i := 0; i < 32; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical seeds yield identical permutations (full determinism
+// across composite operations, not just raw draws).
+func TestQuickPermDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		p1 := New(seed).Perm(32)
+		p2 := New(seed).Perm(32)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64n(12345)
+	}
+	_ = sink
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dram"
+	"repro/internal/ringoram"
+	"repro/internal/trace"
+)
+
+// Params scales an experiment. The paper runs a 24-level tree with 40 M
+// accesses per benchmark on a server farm; the presets scale the same
+// experiments to interactive sizes. All schemes are configured relative to
+// the leaf level, so the shapes (who wins, by how much, where crossovers
+// fall) carry over — see DESIGN.md's substitution table.
+type Params struct {
+	Levels  int // ORAM tree levels
+	Treetop int // on-chip top levels
+	Warmup  int // accesses before measurement (paper: 38 M of 40 M)
+	Measure int // measured accesses (paper: 2 M)
+
+	Benchmarks []trace.Benchmark
+	Seed       uint64
+	DRAM       dram.Config
+	CPU        CPU
+}
+
+// Quick returns the CI-sized preset: a 12-level tree and three
+// representative benchmarks (read-heavy mcf, mixed x264, write-streaming
+// lbm) — enough to reproduce every qualitative result in seconds.
+func Quick() Params {
+	return Params{
+		Levels:     12,
+		Treetop:    5,
+		Warmup:     4000,
+		Measure:    8000,
+		Benchmarks: pick("mcf", "x264", "lbm"),
+		Seed:       1,
+		DRAM:       dram.DDR3_1600(),
+		CPU:        DefaultCPU(),
+	}
+}
+
+// Full returns the flagship preset used for EXPERIMENTS.md: a 16-level
+// tree and the whole SPEC17 suite.
+func Full() Params {
+	return Params{
+		Levels:     16,
+		Treetop:    6,
+		Warmup:     10000,
+		Measure:    30000,
+		Benchmarks: trace.SPEC17(),
+		Seed:       1,
+		DRAM:       dram.DDR3_1600(),
+		CPU:        DefaultCPU(),
+	}
+}
+
+func pick(names ...string) []trace.Benchmark {
+	out := make([]trace.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := trace.Find(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// runConfig drives one benchmark through one ORAM configuration with
+// warm-up excluded from measurement.
+func runConfig(p Params, cfg ringoram.Config, bench trace.Benchmark) (Result, error) {
+	o, err := ringoram.New(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", bench.Name, err)
+	}
+	s, err := New(o, p.DRAM, p.CPU)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := trace.NewGenerator(bench, p.Seed+uint64(len(bench.Name)))
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.Run(gen, p.Warmup); err != nil {
+		return Result{}, fmt.Errorf("sim: %s warmup: %w", bench.Name, err)
+	}
+	s.StartMeasurement()
+	if err := s.Run(gen, p.Measure); err != nil {
+		return Result{}, fmt.Errorf("sim: %s measure: %w", bench.Name, err)
+	}
+	return s.Finish(), nil
+}
+
+// runSuite runs one configuration factory across every benchmark in
+// parallel (bounded by GOMAXPROCS) and returns per-benchmark results in
+// benchmark order. cfgFor receives the benchmark index so each run can get
+// a distinct seed while staying reproducible.
+func runSuite(p Params, cfgFor func(i int) (ringoram.Config, error)) ([]Result, error) {
+	results := make([]Result, len(p.Benchmarks))
+	errs := make([]error, len(p.Benchmarks))
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for i := range p.Benchmarks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg, err := cfgFor(i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = runConfig(p, cfg, p.Benchmarks[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// meanCPA returns the mean cycles-per-access across results.
+func meanCPA(rs []Result) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.CyclesPerAccess()
+	}
+	return sum / float64(len(rs))
+}

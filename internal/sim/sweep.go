@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/ringoram"
+)
+
+// RunSweep reproduces the flavor of the Ring ORAM design-space exploration
+// the paper's §III-B cites (Ren et al.): sweep the reserved-dummy count S
+// and the eviction interval A around the typical setting and report the
+// space/performance frontier. The paper's chosen point (S=7, A=5 classic;
+// S=3, A=5, Y=4 compacted) should sit on or near the knee.
+func RunSweep(p Params) ([]*report.Table, error) {
+	t := report.New("Design-space sweep: S and A around the typical setting",
+		"config", "space", "cycles/access", "earlyReshuffles/access", "stash peak")
+
+	type point struct {
+		name string
+		mk   func(seed uint64) ringoram.Config
+	}
+	var points []point
+	for _, s := range []int{3, 5, 7, 9} {
+		s := s
+		points = append(points, point{
+			name: fmt.Sprintf("Ring S=%d A=5", s),
+			mk: func(seed uint64) ringoram.Config {
+				cfg := ringoram.TypicalRing(p.Levels, p.Treetop, seed)
+				cfg.S = s
+				return cfg
+			},
+		})
+	}
+	for _, a := range []int{3, 8} {
+		a := a
+		points = append(points, point{
+			name: fmt.Sprintf("Ring S=7 A=%d", a),
+			mk: func(seed uint64) ringoram.Config {
+				cfg := ringoram.TypicalRing(p.Levels, p.Treetop, seed)
+				cfg.A = a
+				return cfg
+			},
+		})
+	}
+	points = append(points, point{
+		name: "CB S=3 Y=4 A=5 (Baseline)",
+		mk: func(seed uint64) ringoram.Config {
+			return ringoram.CompactedBaseline(p.Levels, p.Treetop, seed)
+		},
+	})
+
+	for _, pt := range points {
+		rs, err := runSuite(p, func(i int) (ringoram.Config, error) {
+			return pt.mk(p.Seed + uint64(i)), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s: %w", pt.name, err)
+		}
+		var reshuf, peak float64
+		for _, r := range rs {
+			reshuf += float64(r.ORAM.EarlyReshuffles) / float64(r.ORAM.OnlineAccesses+1)
+			if float64(r.StashPeak) > peak {
+				peak = float64(r.StashPeak)
+			}
+		}
+		t.AddRow(pt.name,
+			report.Bytes(uint64(ringoram.SpaceBytesStatic(pt.mk(p.Seed)))),
+			report.Float(meanCPA(rs), 0),
+			report.Float(reshuf/float64(len(rs)), 3),
+			report.Float(peak, 0))
+	}
+	t.AddNote("larger S: more space, fewer reshuffles; smaller A: more evictions but lower stash pressure — the trade-off behind §IV-B")
+	return []*report.Table{t}, nil
+}

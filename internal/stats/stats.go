@@ -1,0 +1,293 @@
+// Package stats provides the measurement plumbing shared by every
+// experiment in the harness: named counters, per-tree-level tallies,
+// sampled time series, and min/avg/max trackers.
+//
+// All collectors are plain single-threaded value aggregators — the
+// simulator core is deterministic and single-threaded, so no locking is
+// needed on the hot path. Experiments that run benchmarks in parallel use
+// one collector set per simulator instance.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// LevelTally accumulates a value per tree level, e.g. reshuffle counts per
+// level (Fig 10) or dead blocks per level (Fig 3).
+type LevelTally struct {
+	levels []uint64
+}
+
+// NewLevelTally returns a tally over the given number of levels.
+func NewLevelTally(levels int) *LevelTally {
+	return &LevelTally{levels: make([]uint64, levels)}
+}
+
+// Add adds delta at the given level.
+func (t *LevelTally) Add(level int, delta uint64) { t.levels[level] += delta }
+
+// Sub subtracts delta at the given level; it panics on underflow, which
+// would indicate double-reclaim accounting bugs in the protocol code.
+func (t *LevelTally) Sub(level int, delta uint64) {
+	if t.levels[level] < delta {
+		panic(fmt.Sprintf("stats: level %d tally underflow (%d - %d)", level, t.levels[level], delta))
+	}
+	t.levels[level] -= delta
+}
+
+// Inc adds one at the given level.
+func (t *LevelTally) Inc(level int) { t.levels[level]++ }
+
+// At returns the tally at the given level.
+func (t *LevelTally) At(level int) uint64 { return t.levels[level] }
+
+// Levels returns the number of levels tracked.
+func (t *LevelTally) Levels() int { return len(t.levels) }
+
+// Total returns the sum across all levels.
+func (t *LevelTally) Total() uint64 {
+	var sum uint64
+	for _, v := range t.levels {
+		sum += v
+	}
+	return sum
+}
+
+// Snapshot returns a copy of the per-level values.
+func (t *LevelTally) Snapshot() []uint64 {
+	out := make([]uint64, len(t.levels))
+	copy(out, t.levels)
+	return out
+}
+
+// Reset zeroes all levels.
+func (t *LevelTally) Reset() {
+	for i := range t.levels {
+		t.levels[i] = 0
+	}
+}
+
+// Series is a sampled time series: (x, y) pairs recorded at caller-chosen
+// moments, e.g. the dead-block population every N online accesses (Fig 2).
+type Series struct {
+	X []float64
+	Y []float64
+}
+
+// Record appends one sample.
+func (s *Series) Record(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.X) }
+
+// Last returns the most recent sample; ok is false if the series is empty.
+func (s *Series) Last() (x, y float64, ok bool) {
+	if len(s.X) == 0 {
+		return 0, 0, false
+	}
+	return s.X[len(s.X)-1], s.Y[len(s.Y)-1], true
+}
+
+// FinalMean returns the mean of the last frac fraction of samples (0 <
+// frac <= 1), used to summarize the steady-state plateau of a series.
+func (s *Series) FinalMean(frac float64) float64 {
+	if frac <= 0 || frac > 1 {
+		panic("stats: FinalMean fraction out of (0, 1]")
+	}
+	if len(s.Y) == 0 {
+		return 0
+	}
+	start := int(float64(len(s.Y)) * (1 - frac))
+	var sum float64
+	for _, v := range s.Y[start:] {
+		sum += v
+	}
+	return sum / float64(len(s.Y)-start)
+}
+
+// MinAvgMax tracks the minimum, mean, and maximum of a stream of values —
+// the exact shape of the dead-block-lifetime figure (Fig 12).
+type MinAvgMax struct {
+	n        uint64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one value.
+func (m *MinAvgMax) Observe(v float64) {
+	if m.n == 0 {
+		m.min, m.max = v, v
+	} else {
+		m.min = math.Min(m.min, v)
+		m.max = math.Max(m.max, v)
+	}
+	m.n++
+	m.sum += v
+}
+
+// Count returns the number of observations.
+func (m *MinAvgMax) Count() uint64 { return m.n }
+
+// Min returns the minimum observation, or 0 with no observations.
+func (m *MinAvgMax) Min() float64 { return m.min }
+
+// Max returns the maximum observation, or 0 with no observations.
+func (m *MinAvgMax) Max() float64 { return m.max }
+
+// Mean returns the mean observation, or 0 with no observations.
+func (m *MinAvgMax) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Histogram is a fixed-bucket histogram over [0, +inf) with caller-supplied
+// upper bounds; values beyond the last bound land in an overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	stats  MinAvgMax
+}
+
+// NewHistogram returns a histogram with the given strictly increasing
+// upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.stats.Observe(v)
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.stats.Count() }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 { return h.stats.Mean() }
+
+// Bucket returns the count in bucket i; bucket len(bounds) is overflow.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including overflow.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) based on
+// bucket boundaries; exact values within a bucket are not retained.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0, 1]")
+	}
+	total := h.stats.Count()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.stats.Max()
+		}
+	}
+	return h.stats.Max()
+}
+
+// Set is a named collection of counters, handy for op-type breakdowns
+// (ReadPath / EvictPath / EarlyReshuffle / background eviction).
+type Set struct {
+	names    []string
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+// Creation order is remembered for stable rendering.
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.counters[name] = c
+	s.names = append(s.names, name)
+	return c
+}
+
+// Names returns counter names in creation order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Value returns the value of the named counter, or 0 if absent.
+func (s *Set) Value(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Total returns the sum of all counters in the set.
+func (s *Set) Total() uint64 {
+	var sum uint64
+	for _, c := range s.counters {
+		sum += c.Value()
+	}
+	return sum
+}
+
+// String renders the set as "name=value name=value ..." in creation order.
+func (s *Set) String() string {
+	var b strings.Builder
+	for i, n := range s.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, s.counters[n].Value())
+	}
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("got %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestLevelTally(t *testing.T) {
+	lt := NewLevelTally(4)
+	lt.Inc(0)
+	lt.Add(3, 10)
+	lt.Add(3, 5)
+	if lt.At(0) != 1 || lt.At(3) != 15 {
+		t.Fatalf("unexpected tallies: %v", lt.Snapshot())
+	}
+	if lt.Total() != 16 {
+		t.Fatalf("Total = %d, want 16", lt.Total())
+	}
+	lt.Sub(3, 15)
+	if lt.At(3) != 0 {
+		t.Fatal("Sub failed")
+	}
+	if lt.Levels() != 4 {
+		t.Fatal("Levels wrong")
+	}
+	snap := lt.Snapshot()
+	snap[0] = 999
+	if lt.At(0) == 999 {
+		t.Fatal("Snapshot is not a copy")
+	}
+	lt.Reset()
+	if lt.Total() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestLevelTallyUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLevelTally(2).Sub(1, 1)
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if _, _, ok := s.Last(); ok {
+		t.Fatal("empty series reported a last sample")
+	}
+	for i := 0; i < 10; i++ {
+		s.Record(float64(i), float64(i*i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	x, y, ok := s.Last()
+	if !ok || x != 9 || y != 81 {
+		t.Fatalf("Last = (%v, %v, %v)", x, y, ok)
+	}
+}
+
+func TestSeriesFinalMean(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		y := 0.0
+		if i >= 5 {
+			y = 100
+		}
+		s.Record(float64(i), y)
+	}
+	if got := s.FinalMean(0.5); got != 100 {
+		t.Fatalf("FinalMean(0.5) = %v, want 100", got)
+	}
+	if got := s.FinalMean(1); got != 50 {
+		t.Fatalf("FinalMean(1) = %v, want 50", got)
+	}
+	var empty Series
+	if empty.FinalMean(0.5) != 0 {
+		t.Fatal("empty FinalMean should be 0")
+	}
+}
+
+func TestSeriesFinalMeanPanics(t *testing.T) {
+	var s Series
+	for _, frac := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("FinalMean(%v) did not panic", frac)
+				}
+			}()
+			s.FinalMean(frac)
+		}()
+	}
+}
+
+func TestMinAvgMax(t *testing.T) {
+	var m MinAvgMax
+	if m.Count() != 0 || m.Mean() != 0 || m.Min() != 0 || m.Max() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	for _, v := range []float64{5, 1, 9, 3} {
+		m.Observe(v)
+	}
+	if m.Count() != 4 || m.Min() != 1 || m.Max() != 9 {
+		t.Fatalf("got count=%d min=%v max=%v", m.Count(), m.Min(), m.Max())
+	}
+	if math.Abs(m.Mean()-4.5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 4.5", m.Mean())
+	}
+}
+
+func TestMinAvgMaxNegative(t *testing.T) {
+	var m MinAvgMax
+	m.Observe(-3)
+	m.Observe(-7)
+	if m.Min() != -7 || m.Max() != -3 {
+		t.Fatalf("min=%v max=%v", m.Min(), m.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{1, 5, 10, 50, 99, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	// Buckets: <=10, <=100, <=1000, overflow (SearchFloat64s puts v==bound
+	// in the bucket whose bound equals v).
+	want := []uint64{3, 3, 1, 1}
+	for i, w := range want {
+		if got := h.Bucket(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.5); q != 5 {
+		t.Errorf("p50 = %v, want 5", q)
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Errorf("p100 = %v, want 10", q)
+	}
+	var empty = NewHistogram([]float64{1})
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramInvalidBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram([]float64{5, 5})
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Counter("read").Add(3)
+	s.Counter("write").Add(2)
+	s.Counter("read").Inc()
+	if s.Value("read") != 4 || s.Value("write") != 2 {
+		t.Fatalf("values wrong: %s", s)
+	}
+	if s.Value("absent") != 0 {
+		t.Fatal("absent counter should read 0")
+	}
+	if s.Total() != 6 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "read" || names[1] != "write" {
+		t.Fatalf("Names = %v; want creation order", names)
+	}
+	if got := s.String(); got != "read=4 write=2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: histogram bucket counts always sum to the observation count.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(values []float64) bool {
+		h := NewHistogram([]float64{-100, 0, 100})
+		for _, v := range values {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Observe(v)
+		}
+		var sum uint64
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return sum == h.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinAvgMax invariant min <= mean <= max for any non-empty input.
+func TestQuickMinAvgMaxInvariant(t *testing.T) {
+	f := func(values []float64) bool {
+		var m MinAvgMax
+		n := 0
+		for _, v := range values {
+			// Restrict to magnitudes where the running sum cannot overflow;
+			// simulator metrics are far below this bound.
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				continue
+			}
+			m.Observe(v)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return m.Min() <= m.Mean()+1e-9 && m.Mean() <= m.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package trace
+
+import "fmt"
+
+// AccessMix describes the locality composition of a benchmark's memory
+// reference stream. The three fractions must sum to <= 1; the remainder is
+// uniform-random over the working set.
+type AccessMix struct {
+	Streaming float64 // sequential strided walks (lbm, xz, rom, ...)
+	Hot       float64 // Zipf hot-set reuse (gcc, x264, ...)
+	// Remainder: uniform random (mcf-style pointer chasing).
+}
+
+// Benchmark is a synthetic workload calibrated to a published benchmark's
+// memory behaviour. ReadMPKI/WriteMPKI reproduce Table IV of the paper;
+// the locality mix and working set are our modelling choices (see
+// DESIGN.md substitution table) since Pin traces are not redistributable.
+type Benchmark struct {
+	Name      string
+	Suite     string  // "SPEC17" or "PARSEC"
+	ReadMPKI  float64 // LLC read misses per kilo-instruction
+	WriteMPKI float64 // LLC write-backs per kilo-instruction
+	Mix       AccessMix
+	WSBlocks  uint64 // working-set size in 64 B blocks
+}
+
+// MPKI returns the total misses per kilo-instruction.
+func (b Benchmark) MPKI() float64 { return b.ReadMPKI + b.WriteMPKI }
+
+// WriteFrac returns the fraction of memory requests that are writes.
+func (b Benchmark) WriteFrac() float64 {
+	t := b.MPKI()
+	if t == 0 {
+		return 0
+	}
+	return b.WriteMPKI / t
+}
+
+// SPEC17 reproduces Table IV of the paper: the 17 SPEC CPU2017 benchmarks
+// with their measured read/write MPKI. Working sets and mixes are assigned
+// by benchmark character (e.g. mcf is pointer-chasing with a large working
+// set; lbm and xz are streaming write-dominated).
+func SPEC17() []Benchmark {
+	const mb = (1 << 20) / 64 // blocks per MiB
+	return []Benchmark{
+		{Name: "gcc", Suite: "SPEC17", ReadMPKI: 0.1, WriteMPKI: 0.5, Mix: AccessMix{Streaming: 0.2, Hot: 0.6}, WSBlocks: 64 * mb},
+		{Name: "mcf", Suite: "SPEC17", ReadMPKI: 28.2, WriteMPKI: 0.2, Mix: AccessMix{Streaming: 0.05, Hot: 0.25}, WSBlocks: 512 * mb},
+		{Name: "omn", Suite: "SPEC17", ReadMPKI: 0.3, WriteMPKI: 0.06, Mix: AccessMix{Streaming: 0.1, Hot: 0.5}, WSBlocks: 128 * mb},
+		{Name: "xal", Suite: "SPEC17", ReadMPKI: 0.1, WriteMPKI: 0.2, Mix: AccessMix{Streaming: 0.3, Hot: 0.5}, WSBlocks: 64 * mb},
+		{Name: "x264", Suite: "SPEC17", ReadMPKI: 1.6, WriteMPKI: 2.1, Mix: AccessMix{Streaming: 0.5, Hot: 0.3}, WSBlocks: 128 * mb},
+		{Name: "dee", Suite: "SPEC17", ReadMPKI: 0.0, WriteMPKI: 14.7, Mix: AccessMix{Streaming: 0.8, Hot: 0.1}, WSBlocks: 256 * mb},
+		{Name: "xz", Suite: "SPEC17", ReadMPKI: 0.0, WriteMPKI: 15.5, Mix: AccessMix{Streaming: 0.8, Hot: 0.1}, WSBlocks: 256 * mb},
+		{Name: "lee", Suite: "SPEC17", ReadMPKI: 0.01, WriteMPKI: 0.01, Mix: AccessMix{Streaming: 0.2, Hot: 0.7}, WSBlocks: 32 * mb},
+		{Name: "bwa", Suite: "SPEC17", ReadMPKI: 0.0, WriteMPKI: 4.1, Mix: AccessMix{Streaming: 0.7, Hot: 0.2}, WSBlocks: 128 * mb},
+		{Name: "lbm", Suite: "SPEC17", ReadMPKI: 0.0, WriteMPKI: 15.3, Mix: AccessMix{Streaming: 0.9, Hot: 0.05}, WSBlocks: 512 * mb},
+		{Name: "wrf", Suite: "SPEC17", ReadMPKI: 0.1, WriteMPKI: 1.0, Mix: AccessMix{Streaming: 0.6, Hot: 0.2}, WSBlocks: 128 * mb},
+		{Name: "cam", Suite: "SPEC17", ReadMPKI: 0.0, WriteMPKI: 7.1, Mix: AccessMix{Streaming: 0.7, Hot: 0.2}, WSBlocks: 256 * mb},
+		{Name: "ima", Suite: "SPEC17", ReadMPKI: 0.2, WriteMPKI: 2.1, Mix: AccessMix{Streaming: 0.6, Hot: 0.2}, WSBlocks: 128 * mb},
+		{Name: "fot", Suite: "SPEC17", ReadMPKI: 0.03, WriteMPKI: 1.56, Mix: AccessMix{Streaming: 0.5, Hot: 0.3}, WSBlocks: 128 * mb},
+		{Name: "rom", Suite: "SPEC17", ReadMPKI: 0.0, WriteMPKI: 13.7, Mix: AccessMix{Streaming: 0.8, Hot: 0.1}, WSBlocks: 256 * mb},
+		{Name: "nab", Suite: "SPEC17", ReadMPKI: 0.1, WriteMPKI: 0.2, Mix: AccessMix{Streaming: 0.3, Hot: 0.5}, WSBlocks: 64 * mb},
+		{Name: "cac", Suite: "SPEC17", ReadMPKI: 0.0, WriteMPKI: 5.4, Mix: AccessMix{Streaming: 0.7, Hot: 0.2}, WSBlocks: 256 * mb},
+	}
+}
+
+// PARSEC returns the PARSEC-like suite used for the generalizability study
+// (Fig 15). The paper does not tabulate PARSEC MPKIs; these values follow
+// published characterizations of PARSEC memory behaviour (canneal and
+// streamcluster memory-bound, swaptions/blackscholes compute-bound).
+func PARSEC() []Benchmark {
+	const mb = (1 << 20) / 64
+	return []Benchmark{
+		{Name: "blackscholes", Suite: "PARSEC", ReadMPKI: 0.3, WriteMPKI: 0.2, Mix: AccessMix{Streaming: 0.6, Hot: 0.3}, WSBlocks: 64 * mb},
+		{Name: "bodytrack", Suite: "PARSEC", ReadMPKI: 0.8, WriteMPKI: 0.3, Mix: AccessMix{Streaming: 0.4, Hot: 0.4}, WSBlocks: 64 * mb},
+		{Name: "canneal", Suite: "PARSEC", ReadMPKI: 12.5, WriteMPKI: 1.8, Mix: AccessMix{Streaming: 0.05, Hot: 0.25}, WSBlocks: 512 * mb},
+		{Name: "dedup", Suite: "PARSEC", ReadMPKI: 2.1, WriteMPKI: 1.6, Mix: AccessMix{Streaming: 0.5, Hot: 0.3}, WSBlocks: 256 * mb},
+		{Name: "facesim", Suite: "PARSEC", ReadMPKI: 3.2, WriteMPKI: 2.2, Mix: AccessMix{Streaming: 0.6, Hot: 0.2}, WSBlocks: 256 * mb},
+		{Name: "ferret", Suite: "PARSEC", ReadMPKI: 1.5, WriteMPKI: 0.6, Mix: AccessMix{Streaming: 0.3, Hot: 0.5}, WSBlocks: 128 * mb},
+		{Name: "fluidanimate", Suite: "PARSEC", ReadMPKI: 2.4, WriteMPKI: 1.9, Mix: AccessMix{Streaming: 0.6, Hot: 0.2}, WSBlocks: 256 * mb},
+		{Name: "freqmine", Suite: "PARSEC", ReadMPKI: 1.1, WriteMPKI: 0.4, Mix: AccessMix{Streaming: 0.2, Hot: 0.6}, WSBlocks: 128 * mb},
+		{Name: "raytrace", Suite: "PARSEC", ReadMPKI: 0.9, WriteMPKI: 0.3, Mix: AccessMix{Streaming: 0.3, Hot: 0.5}, WSBlocks: 128 * mb},
+		{Name: "streamcluster", Suite: "PARSEC", ReadMPKI: 10.4, WriteMPKI: 0.8, Mix: AccessMix{Streaming: 0.8, Hot: 0.1}, WSBlocks: 256 * mb},
+		{Name: "swaptions", Suite: "PARSEC", ReadMPKI: 0.1, WriteMPKI: 0.1, Mix: AccessMix{Streaming: 0.2, Hot: 0.7}, WSBlocks: 32 * mb},
+		{Name: "vips", Suite: "PARSEC", ReadMPKI: 1.8, WriteMPKI: 1.2, Mix: AccessMix{Streaming: 0.7, Hot: 0.2}, WSBlocks: 128 * mb},
+	}
+}
+
+// Find returns the benchmark with the given name from either suite.
+func Find(name string) (Benchmark, error) {
+	for _, b := range SPEC17() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range PARSEC() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk trace format mirrors USIMM's text traces: one request per
+// line, "<gap> <R|W> 0x<addr>". Lines beginning with '#' are comments.
+//
+// Example:
+//
+//	# benchmark: mcf seed: 1
+//	35 R 0x7f2a40
+//	2 W 0x1fc0
+//
+
+// Writer streams requests to an io.Writer in trace format.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a trace writer wrapping w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Comment writes a comment line. Newlines in the text are not allowed.
+func (t *Writer) Comment(text string) error {
+	if t.err != nil {
+		return t.err
+	}
+	if strings.ContainsAny(text, "\n\r") {
+		return errors.New("trace: comment contains newline")
+	}
+	_, t.err = fmt.Fprintf(t.w, "# %s\n", text)
+	return t.err
+}
+
+// Write appends one request.
+func (t *Writer) Write(r Request) error {
+	if t.err != nil {
+		return t.err
+	}
+	dir := byte('R')
+	if r.Write {
+		dir = 'W'
+	}
+	// Hand-rolled formatting: traces run to tens of millions of lines and
+	// Fprintf dominates the profile otherwise.
+	var buf [48]byte
+	b := strconv.AppendUint(buf[:0], r.Gap, 10)
+	b = append(b, ' ', dir, ' ', '0', 'x')
+	b = strconv.AppendUint(b, r.Addr, 16)
+	b = append(b, '\n')
+	_, t.err = t.w.Write(b)
+	return t.err
+}
+
+// Flush flushes buffered output; call before closing the underlying file.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader parses a trace stream.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader returns a trace reader wrapping r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64<<10), 64<<10)
+	return &Reader{s: s}
+}
+
+// Read returns the next request, or io.EOF at end of stream.
+func (t *Reader) Read() (Request, error) {
+	for t.s.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := parseLine(line)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: line %d: %w", t.line, err)
+		}
+		return req, nil
+	}
+	if err := t.s.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+// ReadAll slurps every remaining request.
+func (t *Reader) ReadAll() ([]Request, error) {
+	var out []Request
+	for {
+		r, err := t.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+}
+
+func parseLine(line string) (Request, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return Request{}, fmt.Errorf("want 3 fields, got %d", len(fields))
+	}
+	gap, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("bad gap %q: %w", fields[0], err)
+	}
+	var write bool
+	switch fields[1] {
+	case "R", "r":
+		write = false
+	case "W", "w":
+		write = true
+	default:
+		return Request{}, fmt.Errorf("bad direction %q", fields[1])
+	}
+	addrStr := strings.TrimPrefix(fields[2], "0x")
+	addr, err := strconv.ParseUint(addrStr, 16, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("bad address %q: %w", fields[2], err)
+	}
+	return Request{Gap: gap, Addr: addr, Write: write}, nil
+}

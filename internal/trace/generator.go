@@ -1,0 +1,131 @@
+// Package trace generates and stores the memory-request streams that feed
+// the ORAM controller. It stands in for the paper's Pin-collected SPEC
+// CPU2017 / PARSEC traces: each synthetic benchmark reproduces the published
+// read/write MPKI (Table IV) while the address stream follows a
+// streaming/hot-set/uniform locality mixture appropriate to the benchmark.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// BlockBytes is the memory block (cache line) size used throughout the
+// system, matching Table III.
+const BlockBytes = 64
+
+// Request is one LLC-level memory request in USIMM trace style: the number
+// of non-memory instructions executed since the previous request, the byte
+// address, and the direction.
+type Request struct {
+	Gap   uint64 // instructions preceding this request
+	Addr  uint64 // byte address, BlockBytes-aligned
+	Write bool
+}
+
+// Block returns the block index of the request address.
+func (r Request) Block() uint64 { return r.Addr / BlockBytes }
+
+// Generator produces an endless calibrated request stream for a Benchmark.
+type Generator struct {
+	bench Benchmark
+	r     *rng.Source
+	zipf  *Zipf
+	pMiss float64
+
+	streamPos uint64 // current streaming cursor (block index)
+	streamRem int    // blocks left in the current streaming run
+}
+
+// streamRunLen is the mean length (in blocks) of one sequential run before
+// the streaming cursor jumps to a fresh region, modelling array sweeps.
+const streamRunLen = 256
+
+// NewGenerator returns a deterministic generator for the benchmark. The
+// same (benchmark, seed) pair always yields the same stream.
+func NewGenerator(b Benchmark, seed uint64) (*Generator, error) {
+	if b.MPKI() <= 0 {
+		return nil, fmt.Errorf("trace: benchmark %q has zero MPKI", b.Name)
+	}
+	if b.WSBlocks == 0 {
+		return nil, fmt.Errorf("trace: benchmark %q has empty working set", b.Name)
+	}
+	if b.Mix.Streaming < 0 || b.Mix.Hot < 0 || b.Mix.Streaming+b.Mix.Hot > 1 {
+		return nil, fmt.Errorf("trace: benchmark %q has invalid mix %+v", b.Name, b.Mix)
+	}
+	r := rng.New(seed)
+	g := &Generator{
+		bench: b,
+		r:     r,
+		pMiss: b.MPKI() / 1000,
+	}
+	if b.Mix.Hot > 0 {
+		// Exponent 1.2 concentrates ~80% of hot traffic on a small head
+		// without degenerating to a single block.
+		g.zipf = NewZipf(r.Fork(), 1.2, b.WSBlocks)
+	}
+	return g, nil
+}
+
+// Benchmark returns the benchmark this generator models.
+func (g *Generator) Benchmark() Benchmark { return g.bench }
+
+// Next returns the next request in the stream.
+func (g *Generator) Next() Request {
+	gap := g.r.Geometric(g.pMiss)
+	var block uint64
+	switch p := g.r.Float64(); {
+	case p < g.bench.Mix.Streaming:
+		block = g.nextStream()
+	case p < g.bench.Mix.Streaming+g.bench.Mix.Hot:
+		block = g.zipf.Next()
+	default:
+		block = g.r.Uint64n(g.bench.WSBlocks)
+	}
+	return Request{
+		Gap:   gap,
+		Addr:  block * BlockBytes,
+		Write: g.r.Float64() < g.bench.WriteFrac(),
+	}
+}
+
+func (g *Generator) nextStream() uint64 {
+	if g.streamRem <= 0 {
+		g.streamPos = g.r.Uint64n(g.bench.WSBlocks)
+		// Run lengths jitter around the mean to avoid lockstep artifacts.
+		g.streamRem = streamRunLen/2 + g.r.Intn(streamRunLen)
+	}
+	g.streamRem--
+	b := g.streamPos
+	g.streamPos = (g.streamPos + 1) % g.bench.WSBlocks
+	return b
+}
+
+// Generate produces n requests into a fresh slice.
+func (g *Generator) Generate(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// MeasuredMPKI computes the read/write MPKI implied by a request slice,
+// used by calibration tests and the Table IV reproduction.
+func MeasuredMPKI(reqs []Request) (read, write float64) {
+	if len(reqs) == 0 {
+		return 0, 0
+	}
+	var instrs, reads, writes uint64
+	for _, r := range reqs {
+		instrs += r.Gap + 1 // the request itself is one instruction
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	ki := float64(instrs) / 1000
+	return float64(reads) / ki, float64(writes) / ki
+}

@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestCatalogsWellFormed(t *testing.T) {
+	all := append(SPEC17(), PARSEC()...)
+	if len(SPEC17()) != 17 {
+		t.Errorf("SPEC17 has %d benchmarks, Table IV lists 17", len(SPEC17()))
+	}
+	seen := map[string]bool{}
+	for _, b := range all {
+		if b.Name == "" || b.Suite == "" {
+			t.Errorf("benchmark with empty name/suite: %+v", b)
+		}
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.MPKI() <= 0 {
+			t.Errorf("%s: zero MPKI", b.Name)
+		}
+		if b.Mix.Streaming < 0 || b.Mix.Hot < 0 || b.Mix.Streaming+b.Mix.Hot > 1 {
+			t.Errorf("%s: invalid mix %+v", b.Name, b.Mix)
+		}
+		if b.WSBlocks == 0 {
+			t.Errorf("%s: empty working set", b.Name)
+		}
+	}
+}
+
+func TestTableIVValues(t *testing.T) {
+	// Spot-check the exact Table IV numbers the catalog must reproduce.
+	want := map[string][2]float64{
+		"gcc": {0.1, 0.5}, "mcf": {28.2, 0.2}, "lbm": {0, 15.3},
+		"xz": {0, 15.5}, "lee": {0.01, 0.01}, "cac": {0, 5.4},
+	}
+	for name, mpki := range want {
+		b, err := Find(name)
+		if err != nil {
+			t.Fatalf("Find(%q): %v", name, err)
+		}
+		if b.ReadMPKI != mpki[0] || b.WriteMPKI != mpki[1] {
+			t.Errorf("%s: MPKI (%v, %v), want (%v, %v)", name, b.ReadMPKI, b.WriteMPKI, mpki[0], mpki[1])
+		}
+	}
+}
+
+func TestFindUnknown(t *testing.T) {
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := []Benchmark{
+		{Name: "zero-mpki", WSBlocks: 100},
+		{Name: "zero-ws", ReadMPKI: 1},
+		{Name: "bad-mix", ReadMPKI: 1, WSBlocks: 100, Mix: AccessMix{Streaming: 0.8, Hot: 0.5}},
+	}
+	for _, b := range bad {
+		if _, err := NewGenerator(b, 1); err == nil {
+			t.Errorf("%s: expected error", b.Name)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	b, _ := Find("x264")
+	g1, _ := NewGenerator(b, 42)
+	g2, _ := NewGenerator(b, 42)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("streams diverged at request %d", i)
+		}
+	}
+}
+
+func TestGeneratorMPKICalibration(t *testing.T) {
+	for _, name := range []string{"mcf", "x264", "lbm", "gcc"} {
+		b, _ := Find(name)
+		g, err := NewGenerator(b, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := g.Generate(200000)
+		read, write := MeasuredMPKI(reqs)
+		// 200k requests gives ~0.2% standard error on the total rate; allow 5%.
+		if tot, want := read+write, b.MPKI(); math.Abs(tot-want) > want*0.05 {
+			t.Errorf("%s: measured MPKI %.3f, want %.3f", name, tot, want)
+		}
+		wantWF := b.WriteFrac()
+		gotWF := write / (read + write)
+		if math.Abs(gotWF-wantWF) > 0.03 {
+			t.Errorf("%s: write fraction %.3f, want %.3f", name, gotWF, wantWF)
+		}
+	}
+}
+
+func TestGeneratorAddressesInWorkingSet(t *testing.T) {
+	b, _ := Find("gcc")
+	g, _ := NewGenerator(b, 3)
+	limit := b.WSBlocks * BlockBytes
+	for i := 0; i < 10000; i++ {
+		r := g.Next()
+		if r.Addr >= limit {
+			t.Fatalf("address %#x outside working set %#x", r.Addr, limit)
+		}
+		if r.Addr%BlockBytes != 0 {
+			t.Fatalf("address %#x not block aligned", r.Addr)
+		}
+	}
+}
+
+func TestGeneratorLocalityMixtures(t *testing.T) {
+	// A pure-hot benchmark must concentrate traffic; a pure-uniform one
+	// must not. Compare the fraction of accesses landing on the most
+	// popular 1% of observed blocks.
+	base := Benchmark{Name: "synt", Suite: "T", ReadMPKI: 10, WSBlocks: 1 << 16}
+	concentration := func(mix AccessMix) float64 {
+		b := base
+		b.Mix = mix
+		g, err := NewGenerator(b, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[uint64]int{}
+		const n = 50000
+		for i := 0; i < n; i++ {
+			counts[g.Next().Block()]++
+		}
+		// Traffic on blocks with >= 10 hits approximates head mass.
+		head := 0
+		for _, c := range counts {
+			if c >= 10 {
+				head += c
+			}
+		}
+		return float64(head) / n
+	}
+	hot := concentration(AccessMix{Hot: 1})
+	uniform := concentration(AccessMix{})
+	if hot < 0.5 {
+		t.Errorf("hot mixture concentration %.2f too low", hot)
+	}
+	if uniform > 0.05 {
+		t.Errorf("uniform mixture concentration %.2f too high", uniform)
+	}
+}
+
+func TestGeneratorStreamingIsSequential(t *testing.T) {
+	b := Benchmark{Name: "stream", Suite: "T", ReadMPKI: 10, WSBlocks: 1 << 20, Mix: AccessMix{Streaming: 1}}
+	g, err := NewGenerator(b, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := 0
+	prev := g.Next().Block()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		cur := g.Next().Block()
+		if cur == prev+1 || (prev == b.WSBlocks-1 && cur == 0) {
+			sequential++
+		}
+		prev = cur
+	}
+	if frac := float64(sequential) / n; frac < 0.9 {
+		t.Errorf("streaming mixture only %.2f sequential", frac)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	z := NewZipf(rng.New(1), 1.2, 1000)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate and the ratio count[0]/count[9] should be near
+	// (10/1)^1.2 ~ 15.8. Allow generous slack for sampling noise.
+	if counts[0] < counts[1] {
+		t.Errorf("rank 0 (%d) not more popular than rank 1 (%d)", counts[0], counts[1])
+	}
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 8 || ratio > 32 {
+		t.Errorf("rank0/rank9 ratio %.1f outside [8, 32]", ratio)
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct {
+		s float64
+		n uint64
+	}{{1.0, 10}, {0.5, 10}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%v, %v) did not panic", c.s, c.n)
+				}
+			}()
+			NewZipf(rng.New(1), c.s, c.n)
+		}()
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	z := NewZipf(rng.New(2), 1.5, 1)
+	for i := 0; i < 100; i++ {
+		if z.Next() != 0 {
+			t.Fatal("n=1 Zipf must always return 0")
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	b, _ := Find("wrf")
+	g, _ := NewGenerator(b, 11)
+	reqs := g.Generate(1000)
+
+	var buf strings.Builder
+	w := NewWriter(&buf)
+	if err := w.Comment("benchmark: wrf"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip %d -> %d requests", len(reqs), len(got))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d mismatch: %+v != %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n10 R 0x40\n   \n# mid\n5 W 0x80\n"
+	got, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Request{{Gap: 10, Addr: 0x40}, {Gap: 5, Addr: 0x80, Write: true}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := []string{
+		"10 R\n",         // missing field
+		"x R 0x40\n",     // bad gap
+		"10 Q 0x40\n",    // bad direction
+		"10 R zz\n",      // bad address
+		"10 R 0x40 99\n", // extra field
+	}
+	for _, in := range cases {
+		if _, err := NewReader(strings.NewReader(in)).Read(); err == nil || err == io.EOF {
+			t.Errorf("input %q: expected parse error, got %v", in, err)
+		}
+	}
+}
+
+func TestWriterRejectsNewlineComment(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Comment("a\nb"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: any request round-trips through the file format.
+func TestQuickFileRoundTrip(t *testing.T) {
+	f := func(gap, addr uint64, write bool) bool {
+		var buf strings.Builder
+		w := NewWriter(&buf)
+		in := Request{Gap: gap, Addr: addr, Write: write}
+		if w.Write(in) != nil || w.Flush() != nil {
+			return false
+		}
+		out, err := NewReader(strings.NewReader(buf.String())).Read()
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	bench, _ := Find("mcf")
+	g, _ := NewGenerator(bench, 1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkWriterWrite(b *testing.B) {
+	w := NewWriter(io.Discard)
+	r := Request{Gap: 123, Addr: 0xdeadbeef, Write: true}
+	for i := 0; i < b.N; i++ {
+		_ = w.Write(r)
+	}
+}
+
+func TestPARSECCalibration(t *testing.T) {
+	for _, name := range []string{"canneal", "streamcluster", "blackscholes"} {
+		b, err := Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(b, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		read, write := MeasuredMPKI(g.Generate(150000))
+		if tot, want := read+write, b.MPKI(); math.Abs(tot-want) > want*0.06 {
+			t.Errorf("%s: measured MPKI %.3f, want %.3f", name, tot, want)
+		}
+	}
+}

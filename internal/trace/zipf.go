@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Zipf samples integers in [0, n) with a Zipf(s) distribution: rank k is
+// drawn with probability proportional to 1/(k+1)^s, s > 1. It implements
+// rejection-inversion sampling (Hörmann & Derflinger, "Rejection-inversion
+// to generate variates from monotone discrete distributions"), the same
+// approach as math/rand's Zipf, re-derived here so it runs on our
+// deterministic rng.Source.
+//
+// Workload generators use it to model hot-set reuse: a small set of blocks
+// receives most of the accesses, giving the stash and PLB realistic
+// temporal locality.
+type Zipf struct {
+	r    *rng.Source
+	imax float64
+	q    float64 // exponent s
+
+	oneMinusQ    float64
+	oneMinusQInv float64
+	hxm          float64 // h(imax + 0.5)
+	hx0MinusHxm  float64
+	s            float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 1.
+// It panics on invalid parameters.
+func NewZipf(r *rng.Source, s float64, n uint64) *Zipf {
+	if s <= 1 || n == 0 {
+		panic("trace: Zipf requires s > 1 and n > 0")
+	}
+	z := &Zipf{
+		r:            r,
+		imax:         float64(n - 1),
+		q:            s,
+		oneMinusQ:    1 - s,
+		oneMinusQInv: 1 / (1 - s),
+	}
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0MinusHxm = z.h(0.5) - 1 - z.hxm                  // pmf(0) = 1^-q = 1
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-s*math.Log(2.0))) // 1 - hinv(h(1.5) - 2^-s)
+	return z
+}
+
+// h is the integral of the density: h(x) = (x+1)^(1-q) / (1-q) shifted so
+// the sampler works with v = 1 (ranks offset by +1).
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneMinusQ*math.Log(1.0+x)) * z.oneMinusQInv
+}
+
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneMinusQInv*math.Log(z.oneMinusQ*x)) - 1.0
+}
+
+// Next returns the next sample in [0, n).
+func (z *Zipf) Next() uint64 {
+	for {
+		r := z.r.Float64()
+		ur := z.hxm + r*z.hx0MinusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k < 0 {
+			k = 0
+		} else if k > z.imax {
+			k = z.imax
+		}
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+1.0)*z.q) {
+			return uint64(k)
+		}
+	}
+}

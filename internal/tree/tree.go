@@ -1,0 +1,175 @@
+// Package tree implements the addressing arithmetic of a complete binary
+// ORAM tree: mapping between path IDs, tree levels, and bucket indices, plus
+// the reverse-lexicographic eviction order Ring ORAM uses for EvictPath.
+//
+// Terminology follows the Path ORAM / Ring ORAM papers:
+//
+//   - The tree has L levels, numbered 0 (root) to L-1 (leaves).
+//   - A path is identified by its leaf, 0 .. 2^(L-1)-1, and consists of the
+//     L buckets from the root down to that leaf.
+//   - Buckets are numbered in heap order: the root is bucket 0, and the
+//     bucket at level k on path p is 2^k - 1 + (p >> (L-1-k)).
+//
+// Everything in this package is pure arithmetic with no allocation on hot
+// paths, since the simulator calls it for every block of every access.
+package tree
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry describes a complete binary ORAM tree with a fixed number of
+// levels. The zero value is invalid; construct with NewGeometry.
+type Geometry struct {
+	levels int // L: number of levels, >= 1
+}
+
+// NewGeometry returns the geometry of a tree with the given number of
+// levels. levels must be in [1, 40]; the upper bound keeps bucket indices
+// comfortably inside int64 and catches accidentally-huge configurations.
+func NewGeometry(levels int) (Geometry, error) {
+	if levels < 1 || levels > 40 {
+		return Geometry{}, fmt.Errorf("tree: levels %d out of range [1, 40]", levels)
+	}
+	return Geometry{levels: levels}, nil
+}
+
+// MustGeometry is NewGeometry for statically-known level counts; it panics
+// on invalid input.
+func MustGeometry(levels int) Geometry {
+	g, err := NewGeometry(levels)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Levels returns L, the number of levels in the tree.
+func (g Geometry) Levels() int { return g.levels }
+
+// NumPaths returns the number of distinct root-to-leaf paths, 2^(L-1).
+func (g Geometry) NumPaths() int64 { return 1 << (g.levels - 1) }
+
+// NumBuckets returns the total number of buckets in the tree, 2^L - 1.
+func (g Geometry) NumBuckets() int64 { return (1 << g.levels) - 1 }
+
+// BucketsAtLevel returns the number of buckets at the given level, 2^level.
+func (g Geometry) BucketsAtLevel(level int) int64 {
+	g.checkLevel(level)
+	return 1 << level
+}
+
+// LevelStart returns the bucket index of the first (leftmost) bucket at the
+// given level, 2^level - 1.
+func (g Geometry) LevelStart(level int) int64 {
+	g.checkLevel(level)
+	return (1 << level) - 1
+}
+
+// Bucket returns the bucket index at `level` along the path to leaf `path`.
+func (g Geometry) Bucket(path int64, level int) int64 {
+	g.checkPath(path)
+	g.checkLevel(level)
+	return (1 << level) - 1 + (path >> (g.levels - 1 - level))
+}
+
+// LevelOf returns the level of the given bucket index.
+func (g Geometry) LevelOf(bucket int64) int {
+	g.checkBucket(bucket)
+	// Level = floor(log2(bucket+1)).
+	return 63 - bits.LeadingZeros64(uint64(bucket)+1)
+}
+
+// Parent returns the bucket index of the parent of the given bucket.
+// It panics on the root.
+func (g Geometry) Parent(bucket int64) int64 {
+	g.checkBucket(bucket)
+	if bucket == 0 {
+		panic("tree: root has no parent")
+	}
+	return (bucket - 1) / 2
+}
+
+// Children returns the bucket indices of the two children. It panics on
+// leaf buckets.
+func (g Geometry) Children(bucket int64) (left, right int64) {
+	g.checkBucket(bucket)
+	if g.LevelOf(bucket) == g.levels-1 {
+		panic("tree: leaf has no children")
+	}
+	return 2*bucket + 1, 2*bucket + 2
+}
+
+// OnPath reports whether bucket lies on the path to leaf `path`.
+func (g Geometry) OnPath(bucket, path int64) bool {
+	return g.Bucket(path, g.LevelOf(bucket)) == bucket
+}
+
+// PathBuckets appends the bucket indices along the path to leaf `path`, from
+// the root (level 0) to the leaf, into dst and returns the extended slice.
+// Pass a reusable buffer to avoid allocation on hot paths.
+func (g Geometry) PathBuckets(path int64, dst []int64) []int64 {
+	g.checkPath(path)
+	for level := 0; level < g.levels; level++ {
+		dst = append(dst, (1<<level)-1+(path>>(g.levels-1-level)))
+	}
+	return dst
+}
+
+// CommonLevel returns the deepest level at which the paths to leaves a and b
+// share a bucket. The root is always shared, so the result is >= 0. This is
+// the standard eligibility test during eviction: a block mapped to path a
+// may be placed anywhere on path b at or above CommonLevel(a, b).
+func (g Geometry) CommonLevel(a, b int64) int {
+	g.checkPath(a)
+	g.checkPath(b)
+	diff := uint64(a ^ b)
+	if diff == 0 {
+		return g.levels - 1
+	}
+	// The number of common leading bits among the L-1 path-choice bits.
+	leading := bits.LeadingZeros64(diff) - (64 - (g.levels - 1))
+	return leading
+}
+
+// EvictPath returns the path chosen by the reverse-lexicographic eviction
+// order for the gen-th EvictPath operation (gen counts from 0). Successive
+// generations visit leaves in bit-reversed order, which maximizes the spread
+// of consecutive evictions across the tree — the property Ring ORAM relies
+// on for stash depletion.
+func (g Geometry) EvictPath(gen int64) int64 {
+	n := g.levels - 1 // number of path-choice bits
+	if n == 0 {
+		return 0
+	}
+	v := uint64(gen) & (1<<n - 1)
+	return int64(bits.Reverse64(v) >> (64 - n))
+}
+
+// LeafOf returns the path (leaf index) passing through a leaf-level bucket.
+// It panics if bucket is not at the leaf level.
+func (g Geometry) LeafOf(bucket int64) int64 {
+	if g.LevelOf(bucket) != g.levels-1 {
+		panic("tree: LeafOf on non-leaf bucket")
+	}
+	return bucket - g.LevelStart(g.levels-1)
+}
+
+func (g Geometry) checkLevel(level int) {
+	if level < 0 || level >= g.levels {
+		panic(fmt.Sprintf("tree: level %d out of range [0, %d)", level, g.levels))
+	}
+}
+
+func (g Geometry) checkPath(path int64) {
+	if path < 0 || path >= g.NumPaths() {
+		panic(fmt.Sprintf("tree: path %d out of range [0, %d)", path, g.NumPaths()))
+	}
+}
+
+func (g Geometry) checkBucket(bucket int64) {
+	if bucket < 0 || bucket >= g.NumBuckets() {
+		panic(fmt.Sprintf("tree: bucket %d out of range [0, %d)", bucket, g.NumBuckets()))
+	}
+}

@@ -1,0 +1,301 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	for _, levels := range []int{0, -1, 41} {
+		if _, err := NewGeometry(levels); err == nil {
+			t.Errorf("NewGeometry(%d): expected error", levels)
+		}
+	}
+	for _, levels := range []int{1, 24, 40} {
+		if _, err := NewGeometry(levels); err != nil {
+			t.Errorf("NewGeometry(%d): unexpected error %v", levels, err)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := MustGeometry(4)
+	if g.NumPaths() != 8 {
+		t.Errorf("NumPaths = %d, want 8", g.NumPaths())
+	}
+	if g.NumBuckets() != 15 {
+		t.Errorf("NumBuckets = %d, want 15", g.NumBuckets())
+	}
+	wantPerLevel := []int64{1, 2, 4, 8}
+	for lvl, want := range wantPerLevel {
+		if got := g.BucketsAtLevel(lvl); got != want {
+			t.Errorf("BucketsAtLevel(%d) = %d, want %d", lvl, got, want)
+		}
+	}
+	var total int64
+	for lvl := 0; lvl < g.Levels(); lvl++ {
+		total += g.BucketsAtLevel(lvl)
+	}
+	if total != g.NumBuckets() {
+		t.Errorf("level counts sum %d != NumBuckets %d", total, g.NumBuckets())
+	}
+}
+
+func TestBucketIndexing(t *testing.T) {
+	g := MustGeometry(3)
+	// Paths: 0..3. Tree buckets: 0; 1,2; 3,4,5,6.
+	cases := []struct {
+		path  int64
+		level int
+		want  int64
+	}{
+		{0, 0, 0}, {3, 0, 0},
+		{0, 1, 1}, {1, 1, 1}, {2, 1, 2}, {3, 1, 2},
+		{0, 2, 3}, {1, 2, 4}, {2, 2, 5}, {3, 2, 6},
+	}
+	for _, c := range cases {
+		if got := g.Bucket(c.path, c.level); got != c.want {
+			t.Errorf("Bucket(%d, %d) = %d, want %d", c.path, c.level, got, c.want)
+		}
+	}
+}
+
+func TestLevelOfAndLevelStart(t *testing.T) {
+	g := MustGeometry(5)
+	for lvl := 0; lvl < g.Levels(); lvl++ {
+		start := g.LevelStart(lvl)
+		for i := int64(0); i < g.BucketsAtLevel(lvl); i++ {
+			if got := g.LevelOf(start + i); got != lvl {
+				t.Fatalf("LevelOf(%d) = %d, want %d", start+i, got, lvl)
+			}
+		}
+	}
+}
+
+func TestParentChildren(t *testing.T) {
+	g := MustGeometry(4)
+	for b := int64(1); b < g.NumBuckets(); b++ {
+		p := g.Parent(b)
+		l, r := g.Children(p)
+		if b != l && b != r {
+			t.Fatalf("bucket %d not a child of its parent %d (children %d, %d)", b, p, l, r)
+		}
+		if g.LevelOf(p) != g.LevelOf(b)-1 {
+			t.Fatalf("parent of %d at wrong level", b)
+		}
+	}
+}
+
+func TestParentPanicsOnRoot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustGeometry(3).Parent(0)
+}
+
+func TestChildrenPanicsOnLeaf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := MustGeometry(3)
+	g.Children(g.LevelStart(2))
+}
+
+func TestPathBuckets(t *testing.T) {
+	g := MustGeometry(4)
+	for p := int64(0); p < g.NumPaths(); p++ {
+		buckets := g.PathBuckets(p, nil)
+		if len(buckets) != g.Levels() {
+			t.Fatalf("path %d has %d buckets, want %d", p, len(buckets), g.Levels())
+		}
+		if buckets[0] != 0 {
+			t.Fatalf("path %d does not start at root", p)
+		}
+		for lvl, b := range buckets {
+			if g.LevelOf(b) != lvl {
+				t.Fatalf("path %d bucket %d at wrong level", p, b)
+			}
+			if b != g.Bucket(p, lvl) {
+				t.Fatalf("path %d level %d: PathBuckets %d != Bucket %d", p, lvl, b, g.Bucket(p, lvl))
+			}
+			if lvl > 0 && g.Parent(b) != buckets[lvl-1] {
+				t.Fatalf("path %d is not parent-linked at level %d", p, lvl)
+			}
+		}
+	}
+}
+
+func TestPathBucketsReusesBuffer(t *testing.T) {
+	g := MustGeometry(5)
+	buf := make([]int64, 0, g.Levels())
+	out := g.PathBuckets(3, buf)
+	if &out[0] != &buf[:1][0] {
+		t.Error("PathBuckets reallocated despite sufficient capacity")
+	}
+}
+
+func TestOnPath(t *testing.T) {
+	g := MustGeometry(4)
+	for p := int64(0); p < g.NumPaths(); p++ {
+		onPath := map[int64]bool{}
+		for _, b := range g.PathBuckets(p, nil) {
+			onPath[b] = true
+		}
+		for b := int64(0); b < g.NumBuckets(); b++ {
+			if g.OnPath(b, p) != onPath[b] {
+				t.Fatalf("OnPath(%d, %d) = %v, want %v", b, p, g.OnPath(b, p), onPath[b])
+			}
+		}
+	}
+}
+
+func TestCommonLevel(t *testing.T) {
+	g := MustGeometry(4) // paths 0..7, 3 choice bits
+	cases := []struct {
+		a, b int64
+		want int
+	}{
+		{0, 0, 3}, {5, 5, 3},
+		{0, 7, 0}, // differ at first bit: only root shared
+		{0, 1, 2}, // 000 vs 001
+		{0, 2, 1}, // 000 vs 010
+		{6, 7, 2}, // 110 vs 111
+		{4, 7, 1}, // 100 vs 111 share only the first choice bit
+	}
+	for _, c := range cases {
+		if got := g.CommonLevel(c.a, c.b); got != c.want {
+			t.Errorf("CommonLevel(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: CommonLevel equals the deepest level where Bucket(a,·)==Bucket(b,·),
+// checked exhaustively for a mid-size tree.
+func TestCommonLevelMatchesBuckets(t *testing.T) {
+	g := MustGeometry(6)
+	for a := int64(0); a < g.NumPaths(); a++ {
+		for b := int64(0); b < g.NumPaths(); b++ {
+			want := 0
+			for lvl := 0; lvl < g.Levels(); lvl++ {
+				if g.Bucket(a, lvl) == g.Bucket(b, lvl) {
+					want = lvl
+				} else {
+					break
+				}
+			}
+			if got := g.CommonLevel(a, b); got != want {
+				t.Fatalf("CommonLevel(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestEvictPathCoversAllPathsOnce(t *testing.T) {
+	g := MustGeometry(5)
+	seen := map[int64]int{}
+	for gen := int64(0); gen < g.NumPaths(); gen++ {
+		seen[g.EvictPath(gen)]++
+	}
+	if int64(len(seen)) != g.NumPaths() {
+		t.Fatalf("one round of reverse-lex eviction visited %d/%d paths", len(seen), g.NumPaths())
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("path %d visited %d times in one round", p, n)
+		}
+	}
+	// The order must repeat with period NumPaths.
+	for gen := int64(0); gen < g.NumPaths(); gen++ {
+		if g.EvictPath(gen) != g.EvictPath(gen+g.NumPaths()) {
+			t.Fatal("eviction order is not periodic")
+		}
+	}
+}
+
+// The defining property of reverse-lexicographic order: consecutive
+// evictions diverge as high in the tree as possible. Adjacent generations
+// must share only the root (common level 0) once the tree has >= 2 paths.
+func TestEvictPathAdjacentSpread(t *testing.T) {
+	g := MustGeometry(6)
+	for gen := int64(0); gen < 2*g.NumPaths(); gen++ {
+		a, b := g.EvictPath(gen), g.EvictPath(gen+1)
+		if lvl := g.CommonLevel(a, b); lvl != 0 {
+			t.Fatalf("gen %d and %d share down to level %d; reverse-lex should split at root", gen, gen+1, lvl)
+		}
+	}
+}
+
+func TestEvictPathSingleLevelTree(t *testing.T) {
+	g := MustGeometry(1)
+	for gen := int64(0); gen < 4; gen++ {
+		if g.EvictPath(gen) != 0 {
+			t.Fatal("single-level tree has only path 0")
+		}
+	}
+}
+
+func TestLeafOf(t *testing.T) {
+	g := MustGeometry(4)
+	for p := int64(0); p < g.NumPaths(); p++ {
+		leafBucket := g.Bucket(p, g.Levels()-1)
+		if got := g.LeafOf(leafBucket); got != p {
+			t.Errorf("LeafOf(%d) = %d, want %d", leafBucket, got, p)
+		}
+	}
+}
+
+func TestLeafOfPanicsOnInternal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustGeometry(4).LeafOf(0)
+}
+
+// Property test across random geometries: bucket indexing stays in range and
+// levels are consistent.
+func TestQuickBucketInRange(t *testing.T) {
+	f := func(levelsRaw uint8, pathRaw uint64) bool {
+		levels := int(levelsRaw)%30 + 1
+		g := MustGeometry(levels)
+		path := int64(pathRaw % uint64(g.NumPaths()))
+		for lvl := 0; lvl < levels; lvl++ {
+			b := g.Bucket(path, lvl)
+			if b < 0 || b >= g.NumBuckets() {
+				return false
+			}
+			if g.LevelOf(b) != lvl {
+				return false
+			}
+			if !g.OnPath(b, path) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPathBuckets(b *testing.B) {
+	g := MustGeometry(24)
+	buf := make([]int64, 0, 24)
+	for i := 0; i < b.N; i++ {
+		buf = g.PathBuckets(int64(i)&(g.NumPaths()-1), buf[:0])
+	}
+}
+
+func BenchmarkCommonLevel(b *testing.B) {
+	g := MustGeometry(24)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += g.CommonLevel(int64(i)&(g.NumPaths()-1), int64(i*7)&(g.NumPaths()-1))
+	}
+	_ = sink
+}
