@@ -1,0 +1,21 @@
+# Convenience targets; `make check` is the gate referenced by ROADMAP.md.
+
+.PHONY: check vet build test race bench
+
+check:
+	sh scripts/check.sh
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/sim
+
+bench:
+	go test -bench=. -benchmem

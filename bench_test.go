@@ -72,6 +72,29 @@ func BenchmarkFig15Parsec(b *testing.B)             { benchExperiment(b, "fig15"
 func BenchmarkStorageOverhead(b *testing.B)         { benchExperiment(b, "storage") }
 func BenchmarkIntroPathVsRing(b *testing.B)         { benchExperiment(b, "intro") }
 
+// BenchmarkSuiteCacheReuse measures the shared-executor path behind
+// `abench -exp all`: the experiments that consume the five-scheme ×
+// benchmark matrix run over one executor, so only the first computes the
+// suite and the rest are served from the run-cache.
+func BenchmarkSuiteCacheReuse(b *testing.B) {
+	ids := []string{"table2", "fig8", "fig9", "fig10", "fig14"}
+	p := benchParams()
+	var hits, jobs uint64
+	for i := 0; i < b.N; i++ {
+		ex := sim.NewExec(0)
+		p.Exec = ex
+		for _, id := range ids {
+			if _, err := sim.Registry()[id](p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := ex.Stats()
+		hits += st.CacheHits
+		jobs += st.Jobs
+	}
+	b.ReportMetric(float64(hits)/float64(jobs), "cachehit/job")
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // driveScheme runs a configuration for `accesses` and returns the ORAM.

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ringoram"
 )
@@ -169,6 +170,22 @@ func (q *DeadQ) Len(level int) int {
 
 // Stats returns a copy of the allocator statistics.
 func (q *DeadQ) Stats() DeadQStats { return q.stats }
+
+// CacheKey describes the allocator by its construction parameters (level
+// range and per-level capacities). Two freshly built DeadQs with equal
+// keys behave identically, which lets internal/sim's run-cache treat the
+// jobs using them as interchangeable.
+func (q *DeadQ) CacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deadq@%d:", q.minLevel)
+	for i := range q.queues {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", len(q.queues[i].buf))
+	}
+	return b.String()
+}
 
 // TrackedLevels returns the number of levels with a queue.
 func (q *DeadQ) TrackedLevels() int { return q.maxLevel - q.minLevel + 1 }

@@ -101,3 +101,9 @@ func (s *SharedDeadQ) Len(level int) int {
 
 // Stats returns a copy of the allocator statistics.
 func (s *SharedDeadQ) Stats() DeadQStats { return s.stats }
+
+// CacheKey describes the allocator by its construction parameters; see
+// DeadQ.CacheKey.
+func (s *SharedDeadQ) CacheKey() string {
+	return fmt.Sprintf("shareddeadq@%d-%d:%d", s.minLevel, s.maxLevel, len(s.q.buf))
+}

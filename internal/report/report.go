@@ -1,10 +1,12 @@
-// Package report renders experiment results as aligned text tables and CSV,
-// the two output formats of the benchmark harness. Each figure/table runner
-// in internal/sim produces a Table; cmd/abench prints it and optionally
-// writes the CSV next to it so the series can be re-plotted.
+// Package report renders experiment results as aligned text tables, CSV,
+// and JSON — the output formats of the benchmark harness. Each
+// figure/table runner in internal/sim produces a Table; cmd/abench prints
+// it and optionally writes the CSV or JSON next to it so the series can
+// be re-plotted or post-processed.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -109,6 +111,20 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteJSON renders the table as one JSON object with title, columns,
+// rows, and notes keys — the machine-readable counterpart of WriteText,
+// used by `abench -json`. Field order is fixed, so the encoding is
+// deterministic for a given table.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.Title, t.Columns, t.Rows, t.Notes})
 }
 
 // String renders the text form; convenient for tests and logs.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,45 @@ func TestTableCSV(t *testing.T) {
 	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
 	if got != want {
 		t.Errorf("CSV mismatch:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := New("Demo", "scheme", "space")
+	tbl.AddRow("Baseline", "1.000")
+	tbl.AddRow("AB", "0.640")
+	tbl.AddNote("a note")
+	var b strings.Builder
+	if err := tbl.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `{"title":"Demo","columns":["scheme","space"],"rows":[["Baseline","1.000"],["AB","0.640"]],"notes":["a note"]}` + "\n"
+	if got != want {
+		t.Errorf("JSON mismatch:\ngot  %q\nwant %q", got, want)
+	}
+
+	var rt struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(got), &rt); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if rt.Title != tbl.Title || len(rt.Rows) != 2 || rt.Rows[1][1] != "0.640" {
+		t.Errorf("round trip lost data: %+v", rt)
+	}
+
+	// Notes are omitted when empty, keeping documents minimal.
+	empty := New("T", "c")
+	b.Reset()
+	if err := empty.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "notes") {
+		t.Errorf("empty notes serialized: %s", b.String())
 	}
 }
 

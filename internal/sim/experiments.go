@@ -55,35 +55,57 @@ func ExperimentIDs() []string {
 }
 
 // options converts experiment parameters to scheme-construction options.
+// It is used by the single-instance experiments (Figs 2/3/7/10/12, stash,
+// verify); suite runs derive per-job seeds via JobSeed instead.
 func (p Params) options(seedOffset uint64) core.Options {
-	opt := core.DefaultOptions(p.Levels, p.Seed+seedOffset)
+	return p.optionsFor(p.Seed + seedOffset)
+}
+
+// optionsFor returns scheme-construction options with an explicit
+// (usually JobSeed-derived) seed.
+func (p Params) optionsFor(seed uint64) core.Options {
+	opt := core.DefaultOptions(p.Levels, seed)
 	opt.TreetopLevels = p.Treetop
 	return opt
+}
+
+// schemeSuite is the job family for one of the five §VII schemes. Using
+// the scheme name as the family label means every experiment that runs a
+// scheme suite (Table II, Figs 8/9/10/14/15) produces identical job keys
+// and shares one set of cached runs during `-exp all`.
+func schemeSuite(p Params, s core.Scheme) suite {
+	return suite{string(s), func(i int, seed uint64) (ringoram.Config, error) {
+		cfg, _, err := core.Build(s, p.optionsFor(seed))
+		return cfg, err
+	}}
 }
 
 // schemeResults holds one scheme's measurements across the benchmark suite.
 type schemeResults struct {
 	Scheme  core.Scheme
+	Config  ringoram.Config // the suite's first job config (space, geometry)
 	SpaceB  uint64
 	Results []Result
 }
 
-// runAllSchemes measures every scheme over the full benchmark suite.
+// runAllSchemes measures every scheme over the full benchmark suite as
+// one flattened job matrix. Each scheme's configs are built exactly once
+// (in suiteJobs); the first job's config doubles as the static-space
+// witness, instead of the former extra core.Build per scheme.
 func runAllSchemes(p Params) ([]schemeResults, error) {
-	out := make([]schemeResults, 0, len(core.Schemes()))
-	for _, s := range core.Schemes() {
-		cfg, _, err := core.Build(s, p.options(0))
-		if err != nil {
-			return nil, err
-		}
-		rs, err := runSuite(p, func(i int) (ringoram.Config, error) {
-			cfg, _, err := core.Build(s, p.options(uint64(i)))
-			return cfg, err
-		})
-		if err != nil {
-			return nil, fmt.Errorf("scheme %s: %w", s, err)
-		}
-		out = append(out, schemeResults{Scheme: s, SpaceB: ringoram.SpaceBytesStatic(cfg), Results: rs})
+	schemes := core.Schemes()
+	suites := make([]suite, 0, len(schemes))
+	for _, s := range schemes {
+		suites = append(suites, schemeSuite(p, s))
+	}
+	rs, jobs, err := runSuites(p, suites)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schemeResults, len(schemes))
+	for i, s := range schemes {
+		cfg := jobs[i][0].Config
+		out[i] = schemeResults{Scheme: s, Config: cfg, SpaceB: ringoram.SpaceBytesStatic(cfg), Results: rs[i]}
 	}
 	return out, nil
 }
@@ -110,11 +132,7 @@ func RunFig8(p Params) ([]*report.Table, error) {
 
 		// Utilization is static: user data / tree size. All schemes protect
 		// the same user data as Baseline.
-		cfg, _, err := core.Build(run.Scheme, p.options(0))
-		if err != nil {
-			return nil, err
-		}
-		util := float64(cfg.NumBlocks*int64(cfg.BlockB)) / float64(run.SpaceB)
+		util := float64(run.Config.NumBlocks*int64(run.Config.BlockB)) / float64(run.SpaceB)
 		b.AddRow(string(run.Scheme), report.Percent(util))
 
 		var bd [4]float64
@@ -229,37 +247,29 @@ func RunFig10(p Params) ([]*report.Table, error) {
 // RunFig11 regenerates the DR level-sensitivity study: the shrunken band
 // starts 6..1 levels above the leaves (paper: DR-L18 .. DR-L23).
 func RunFig11(p Params) ([]*report.Table, error) {
-	baseCfg, _, err := core.Build(core.SchemeBaseline, p.options(0))
+	depths := []int{6, 5, 4, 3, 2, 1}
+	suites := []suite{schemeSuite(p, core.SchemeBaseline)}
+	for _, depth := range depths {
+		depth := depth
+		suites = append(suites, suite{fmt.Sprintf("DR-L%d", p.Levels-depth),
+			func(i int, seed uint64) (ringoram.Config, error) {
+				c, _, err := core.DRVariant(p.optionsFor(seed), depth)
+				return c, err
+			}})
+	}
+	rs, jobs, err := runSuites(p, suites)
 	if err != nil {
 		return nil, err
 	}
-	baseSpace := float64(ringoram.SpaceBytesStatic(baseCfg))
-	baseRes, err := runSuite(p, func(i int) (ringoram.Config, error) {
-		cfg, _, err := core.Build(core.SchemeBaseline, p.options(uint64(i)))
-		return cfg, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	baseCPA := meanCPA(baseRes)
+	baseSpace := float64(ringoram.SpaceBytesStatic(jobs[0][0].Config))
+	baseCPA := meanCPA(rs[0])
 
 	t := report.New("Fig 11: DR sensitivity to the starting level",
 		"variant", "space", "time")
-	for depth := 6; depth >= 1; depth-- {
-		cfg, _, err := core.DRVariant(p.options(0), depth)
-		if err != nil {
-			return nil, err
-		}
-		rs, err := runSuite(p, func(i int) (ringoram.Config, error) {
-			c, _, err := core.DRVariant(p.options(uint64(i)), depth)
-			return c, err
-		})
-		if err != nil {
-			return nil, err
-		}
+	for di, depth := range depths {
 		t.AddRow(fmt.Sprintf("DR-L%d (bottom %d)", p.Levels-depth, depth),
-			report.Norm(float64(ringoram.SpaceBytesStatic(cfg)), baseSpace),
-			report.Norm(meanCPA(rs), baseCPA))
+			report.Norm(float64(ringoram.SpaceBytesStatic(jobs[di+1][0].Config)), baseSpace),
+			report.Norm(meanCPA(rs[di+1]), baseCPA))
 	}
 	t.AddNote("paper: space saving saturates with more levels; top levels contribute <1%% of space")
 	return []*report.Table{t}, nil
@@ -267,37 +277,33 @@ func RunFig11(p Params) ([]*report.Table, error) {
 
 // RunFig13 regenerates the NS design exploration (Ly-Sx sweep).
 func RunFig13(p Params) ([]*report.Table, error) {
-	baseCfg, _, err := core.Build(core.SchemeBaseline, p.options(0))
-	if err != nil {
-		return nil, err
-	}
-	baseSpace := float64(ringoram.SpaceBytesStatic(baseCfg))
-	baseRes, err := runSuite(p, func(i int) (ringoram.Config, error) {
-		cfg, _, err := core.Build(core.SchemeBaseline, p.options(uint64(i)))
-		return cfg, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	baseCPA := meanCPA(baseRes)
-
-	t := report.New("Fig 13: NS design exploration", "variant", "space", "time")
+	type variant struct{ ly, sx int }
+	var variants []variant
 	for _, ly := range []int{1, 2, 3} {
 		for _, sx := range []int{1, 2, 3} {
-			cfg, err := core.NSVariant(p.options(0), ly, sx)
-			if err != nil {
-				return nil, err
-			}
-			rs, err := runSuite(p, func(i int) (ringoram.Config, error) {
-				return core.NSVariant(p.options(uint64(i)), ly, sx)
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprintf("L%d-S%d", ly, sx),
-				report.Norm(float64(ringoram.SpaceBytesStatic(cfg)), baseSpace),
-				report.Norm(meanCPA(rs), baseCPA))
+			variants = append(variants, variant{ly, sx})
 		}
+	}
+	suites := []suite{schemeSuite(p, core.SchemeBaseline)}
+	for _, v := range variants {
+		v := v
+		suites = append(suites, suite{fmt.Sprintf("NS L%d-S%d", v.ly, v.sx),
+			func(i int, seed uint64) (ringoram.Config, error) {
+				return core.NSVariant(p.optionsFor(seed), v.ly, v.sx)
+			}})
+	}
+	rs, jobs, err := runSuites(p, suites)
+	if err != nil {
+		return nil, err
+	}
+	baseSpace := float64(ringoram.SpaceBytesStatic(jobs[0][0].Config))
+	baseCPA := meanCPA(rs[0])
+
+	t := report.New("Fig 13: NS design exploration", "variant", "space", "time")
+	for vi, v := range variants {
+		t.AddRow(fmt.Sprintf("L%d-S%d", v.ly, v.sx),
+			report.Norm(float64(ringoram.SpaceBytesStatic(jobs[vi+1][0].Config)), baseSpace),
+			report.Norm(meanCPA(rs[vi+1]), baseCPA))
 	}
 	t.AddNote("paper: chose L2-S2 for NS and L3-S1 inside AB; aggressive L3-S3 degrades performance most")
 	return []*report.Table{t}, nil
@@ -307,16 +313,18 @@ func RunFig13(p Params) ([]*report.Table, error) {
 // of bucket allocations at extended levels that reached their S target.
 func RunFig14(p Params) ([]*report.Table, error) {
 	t := report.New("Fig 14: extended allocations / total allocations", "scheme", "extend ratio")
-	for _, s := range []core.Scheme{core.SchemeDR, core.SchemeAB} {
-		rs, err := runSuite(p, func(i int) (ringoram.Config, error) {
-			cfg, _, err := core.Build(s, p.options(uint64(i)))
-			return cfg, err
-		})
-		if err != nil {
-			return nil, err
-		}
+	schemes := []core.Scheme{core.SchemeDR, core.SchemeAB}
+	suites := make([]suite, 0, len(schemes))
+	for _, s := range schemes {
+		suites = append(suites, schemeSuite(p, s))
+	}
+	allRes, _, err := runSuites(p, suites)
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range schemes {
 		var attempts, granted uint64
-		for _, r := range rs {
+		for _, r := range allRes[si] {
 			attempts += r.ORAM.ExtendAttempts
 			granted += r.ORAM.ExtendGranted
 		}
@@ -443,29 +451,29 @@ func RunFig4(p Params) ([]*report.Table, error) {
 		}
 		return cfg
 	}
-	base := mk(0, p.Seed)
-	baseSpace := float64(ringoram.SpaceBytesStatic(base))
-	baseRes, err := runSuite(p, func(i int) (ringoram.Config, error) { return mk(0, p.Seed+uint64(i)), nil })
-	if err != nil {
-		return nil, err
-	}
-	baseCPA := meanCPA(baseRes)
-
-	t := report.New("Fig 4: space demand and slowdown, reducing S by 3 for the last x levels",
-		"variant", "space", "slowdown")
 	maxX := 7
 	if maxX > p.Levels-2 {
 		maxX = p.Levels - 2
 	}
+	var suites []suite
+	for x := 0; x <= maxX; x++ {
+		x := x
+		suites = append(suites, suite{fmt.Sprintf("Ring L-%d", x),
+			func(i int, seed uint64) (ringoram.Config, error) { return mk(x, seed), nil }})
+	}
+	rs, jobs, err := runSuites(p, suites)
+	if err != nil {
+		return nil, err
+	}
+	baseSpace := float64(ringoram.SpaceBytesStatic(jobs[0][0].Config))
+	baseCPA := meanCPA(rs[0])
+
+	t := report.New("Fig 4: space demand and slowdown, reducing S by 3 for the last x levels",
+		"variant", "space", "slowdown")
 	for x := 1; x <= maxX; x++ {
-		cfg := mk(x, p.Seed)
-		rs, err := runSuite(p, func(i int) (ringoram.Config, error) { return mk(x, p.Seed+uint64(i)), nil })
-		if err != nil {
-			return nil, err
-		}
 		t.AddRow(fmt.Sprintf("L-%d", x),
-			report.Norm(float64(ringoram.SpaceBytesStatic(cfg)), baseSpace),
-			report.Norm(meanCPA(rs), baseCPA))
+			report.Norm(float64(ringoram.SpaceBytesStatic(jobs[x][0].Config)), baseSpace),
+			report.Norm(meanCPA(rs[x]), baseCPA))
 	}
 	t.AddNote("paper: space saving saturates after the last 3 levels; execution time grows roughly linearly")
 	return []*report.Table{t}, nil

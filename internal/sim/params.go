@@ -2,8 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/dram"
 	"repro/internal/ringoram"
@@ -25,6 +23,26 @@ type Params struct {
 	Seed       uint64
 	DRAM       dram.Config
 	CPU        CPU
+
+	// Parallel bounds concurrent simulation jobs (0 = GOMAXPROCS). It only
+	// applies when Exec is nil; an explicit Exec carries its own bound.
+	Parallel int
+
+	// Exec is the experiment orchestrator: a bounded worker pool with a
+	// keyed run-cache (see runner.go). cmd/abench shares one Exec across
+	// `-exp all` so identical (config, benchmark, seed) jobs computed by
+	// one experiment are reused by the others. When nil, each experiment
+	// runs on a private orchestrator.
+	Exec *Exec
+}
+
+// exec returns the orchestrator for this experiment, creating a private
+// one when the caller did not supply a shared instance.
+func (p Params) exec() *Exec {
+	if p.Exec != nil {
+		return p.Exec
+	}
+	return NewExec(p.Parallel)
 }
 
 // Quick returns the CI-sized preset: a 12-level tree and three
@@ -70,69 +88,29 @@ func pick(names ...string) []trace.Benchmark {
 	return out
 }
 
-// runConfig drives one benchmark through one ORAM configuration with
-// warm-up excluded from measurement.
-func runConfig(p Params, cfg ringoram.Config, bench trace.Benchmark) (Result, error) {
-	o, err := ringoram.New(cfg)
+// runConfig drives one job — one benchmark through one ORAM
+// configuration — with warm-up excluded from measurement.
+func runConfig(p Params, j Job) (Result, error) {
+	o, err := ringoram.New(j.Config)
 	if err != nil {
-		return Result{}, fmt.Errorf("sim: %s: %w", bench.Name, err)
+		return Result{}, fmt.Errorf("sim: %s: %w", j.Bench.Name, err)
 	}
 	s, err := New(o, p.DRAM, p.CPU)
 	if err != nil {
 		return Result{}, err
 	}
-	gen, err := trace.NewGenerator(bench, p.Seed+uint64(len(bench.Name)))
+	gen, err := trace.NewGenerator(j.Bench, j.GenSeed)
 	if err != nil {
 		return Result{}, err
 	}
 	if err := s.Run(gen, p.Warmup); err != nil {
-		return Result{}, fmt.Errorf("sim: %s warmup: %w", bench.Name, err)
+		return Result{}, fmt.Errorf("sim: %s warmup: %w", j.Bench.Name, err)
 	}
 	s.StartMeasurement()
 	if err := s.Run(gen, p.Measure); err != nil {
-		return Result{}, fmt.Errorf("sim: %s measure: %w", bench.Name, err)
+		return Result{}, fmt.Errorf("sim: %s measure: %w", j.Bench.Name, err)
 	}
 	return s.Finish(), nil
-}
-
-// runSuite runs one configuration factory across every benchmark in
-// parallel (bounded by GOMAXPROCS) and returns per-benchmark results in
-// benchmark order. cfgFor receives the benchmark index so each run can get
-// a distinct seed while staying reproducible.
-func runSuite(p Params, cfgFor func(i int) (ringoram.Config, error)) ([]Result, error) {
-	results := make([]Result, len(p.Benchmarks))
-	errs := make([]error, len(p.Benchmarks))
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for i := range p.Benchmarks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg, err := cfgFor(i)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i], errs[i] = runConfig(p, cfg, p.Benchmarks[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
-}
-
-func maxParallel() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		return 1
-	}
-	return n
 }
 
 // meanCPA returns the mean cycles-per-access across results.

@@ -259,8 +259,8 @@ func TestFig7AttackerNearChance(t *testing.T) {
 func TestRunSuiteDeterminism(t *testing.T) {
 	p := tinyParams()
 	run := func() Result {
-		rs, err := runSuite(p, func(i int) (ringoram.Config, error) {
-			cfg, _, err := core.Build(core.SchemeBaseline, p.options(uint64(i)))
+		rs, err := runSuite(p, "Baseline", func(i int, seed uint64) (ringoram.Config, error) {
+			cfg, _, err := core.Build(core.SchemeBaseline, p.optionsFor(seed))
 			return cfg, err
 		})
 		if err != nil {

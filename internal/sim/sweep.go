@@ -50,13 +50,18 @@ func RunSweep(p Params) ([]*report.Table, error) {
 		},
 	})
 
+	suites := make([]suite, 0, len(points))
 	for _, pt := range points {
-		rs, err := runSuite(p, func(i int) (ringoram.Config, error) {
-			return pt.mk(p.Seed + uint64(i)), nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("sweep %s: %w", pt.name, err)
-		}
+		pt := pt
+		suites = append(suites, suite{pt.name,
+			func(i int, seed uint64) (ringoram.Config, error) { return pt.mk(seed), nil }})
+	}
+	allRes, jobs, err := runSuites(p, suites)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	for pi, pt := range points {
+		rs := allRes[pi]
 		var reshuf, peak float64
 		for _, r := range rs {
 			reshuf += float64(r.ORAM.EarlyReshuffles) / float64(r.ORAM.OnlineAccesses+1)
@@ -65,7 +70,7 @@ func RunSweep(p Params) ([]*report.Table, error) {
 			}
 		}
 		t.AddRow(pt.name,
-			report.Bytes(uint64(ringoram.SpaceBytesStatic(pt.mk(p.Seed)))),
+			report.Bytes(uint64(ringoram.SpaceBytesStatic(jobs[pi][0].Config))),
 			report.Float(meanCPA(rs), 0),
 			report.Float(reshuf/float64(len(rs)), 3),
 			report.Float(peak, 0))

@@ -1,0 +1,10 @@
+#!/bin/sh
+# The full verification gate (also reachable as `make check`):
+# vet + build + tests + the race-detector pass over the concurrent
+# packages (the sim orchestrator's worker pool and the ringoram engine).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/sim
