@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate referenced by ROADMAP.md.
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench fuzz
 
 check:
 	sh scripts/check.sh
@@ -19,3 +19,10 @@ race:
 
 bench:
 	go test -bench=. -benchmem
+
+# Run each native fuzz target for FUZZTIME (default 30s per target).
+FUZZTIME ?= 30s
+fuzz:
+	go test -run='^$$' -fuzz='^FuzzAccess$$' -fuzztime=$(FUZZTIME) ./internal/ringoram
+	go test -run='^$$' -fuzz='^FuzzCheckpointRoundTrip$$' -fuzztime=$(FUZZTIME) ./aboram
+	go test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=$(FUZZTIME) ./internal/trace

@@ -1,0 +1,112 @@
+package aboram
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+// fuzzPayload expands a single byte into a full deterministic block.
+func fuzzPayload(blockB int, blk int64, fill byte) []byte {
+	d := make([]byte, blockB)
+	for i := range d {
+		d[i] = fill ^ byte(blk) ^ byte(i*7)
+	}
+	return d
+}
+
+// FuzzCheckpointRoundTrip interprets the input as an op program (3 bytes
+// per op: kind, block-high, block-low) over an encrypted instance of a
+// fuzz-selected scheme, interleaving Save/Load round trips with reads,
+// writes, and accesses. Every read — before and after restores — must
+// return exactly what a plain map remembers, and the final restored
+// instance must pass a full integrity check.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{2, 0, 0, 5, 3, 0, 0, 1, 0, 5})
+	f.Add([]byte{4, 0, 0, 1, 40, 3, 0, 0, 1, 0, 40, 0, 1, 7, 99, 3, 0, 0, 1, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 192 {
+			data = data[:192]
+		}
+		schemes := []Scheme{SchemeBaseline, SchemeIR, SchemeDR, SchemeNS, SchemeAB}
+		opt := Options{
+			Scheme:        schemes[int(data[0])%len(schemes)],
+			Levels:        8,
+			Seed:          9,
+			EncryptionKey: key,
+		}
+		o, err := New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, bs := o.NumBlocks(), o.BlockSize()
+		model := map[int64][]byte{}
+		roundTrip := func() {
+			var buf bytes.Buffer
+			if err := o.Save(&buf); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			restored, err := Load(opt, &buf)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			o = restored
+		}
+		restores := 0
+		for i := 1; i+2 < len(data); i += 3 {
+			blk := (int64(data[i+1])<<8 | int64(data[i+2])) % nb
+			switch data[i] % 4 {
+			case 0:
+				d := fuzzPayload(bs, blk, data[i+2])
+				if err := o.Write(blk, d); err != nil {
+					t.Fatalf("write %d: %v", blk, err)
+				}
+				model[blk] = d
+			case 1:
+				got, err := o.Read(blk)
+				if err != nil {
+					t.Fatalf("read %d: %v", blk, err)
+				}
+				want := model[blk]
+				if want == nil {
+					want = make([]byte, bs)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("block %d corrupted", blk)
+				}
+			case 2:
+				if err := o.Access(blk); err != nil {
+					t.Fatalf("access %d: %v", blk, err)
+				}
+			case 3:
+				// Bound restores: each is a full-state gob round trip.
+				if restores < 6 {
+					roundTrip()
+					restores++
+				}
+			}
+		}
+		roundTrip()
+		blocks := make([]int64, 0, len(model))
+		for blk := range model {
+			blocks = append(blocks, blk)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, blk := range blocks {
+			got, err := o.Read(blk)
+			if err != nil {
+				t.Fatalf("final read %d: %v", blk, err)
+			}
+			if !bytes.Equal(got, model[blk]) {
+				t.Fatalf("block %d lost across checkpoint", blk)
+			}
+		}
+		if err := o.CheckIntegrity(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointSmoke(t *testing.T) {
+	var buf strings.Builder
+	path := filepath.Join(t.TempDir(), "smoke.ckpt")
+	if err := run(&buf, path, 8, 12, 200); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "wrong key rejected") {
+		t.Errorf("wrong-key rejection not exercised:\n%s", out)
+	}
+	if !strings.Contains(out, "12/12 records intact") {
+		t.Errorf("resume did not recover every record:\n%s", out)
+	}
+}

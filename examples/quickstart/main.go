@@ -7,20 +7,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
 
-func main() {
-	const levels = 12
-	const accesses = 10000
-
-	bench, err := trace.Find("x264")
+// run drives all five schemes with the named benchmark and writes the
+// comparison table to w. Levels and access count are parameters so the
+// smoke test can use a tiny tree.
+func run(w io.Writer, levels, accesses int, benchName string) error {
+	bench, err := trace.Find(benchName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	t := report.New(fmt.Sprintf("AB-ORAM quickstart: %d-level tree, %d accesses of %s", levels, accesses, bench.Name),
@@ -30,21 +32,21 @@ func main() {
 	for _, scheme := range core.Schemes() {
 		o, _, err := core.New(scheme, core.DefaultOptions(levels, 42))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		gen, err := trace.NewGenerator(bench, 42)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		n := uint64(o.Config().NumBlocks)
 		for i := 0; i < accesses; i++ {
 			if _, err := o.Access(int64(gen.Next().Block() % n)); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		// The protocol is functional: verify full-state consistency.
 		if err := o.CheckInvariants(); err != nil {
-			log.Fatalf("%s: invariant violation: %v", scheme, err)
+			return fmt.Errorf("%s: invariant violation: %w", scheme, err)
 		}
 		st := o.Stats()
 		if baseline == 0 {
@@ -58,5 +60,12 @@ func main() {
 			report.Int(int64(o.Stash().Peak())))
 	}
 	t.AddNote("AB should show ~36%% less space than Baseline at ~48.5%% utilization (paper Fig 8)")
-	fmt.Print(t)
+	_, err = fmt.Fprint(w, t)
+	return err
+}
+
+func main() {
+	if err := run(os.Stdout, 12, 10000, "x264"); err != nil {
+		log.Fatal(err)
+	}
 }

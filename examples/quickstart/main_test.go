@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 8, 300, "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Baseline", "AB", "quickstart"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickstartUnknownBenchmark(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 8, 10, "no-such-benchmark"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

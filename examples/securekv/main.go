@@ -10,7 +10,9 @@ package main
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"log"
+	"os"
 
 	"repro/aboram"
 )
@@ -118,10 +120,13 @@ func (kv *KV) Get(key string) (value string, found bool, err error) {
 // Stats exposes the underlying ORAM counters.
 func (kv *KV) Stats() aboram.Stats { return kv.oram.Stats() }
 
-func main() {
-	kv, err := NewKV(12, []byte("0123456789abcdef"))
+// run populates the store with the demo records (one overwritten), reads
+// them back plus one absent key, and writes the results to w. The tree
+// size is a parameter so the smoke test can use the minimum.
+func run(w io.Writer, levels int) error {
+	kv, err := NewKV(levels, []byte("0123456789abcdef"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	users := []struct{ name, algo string }{
@@ -130,27 +135,34 @@ func main() {
 	}
 	for _, u := range users {
 		if err := kv.Put(u.name, u.algo); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if err := kv.Put("alice", "ml-kem-768"); err != nil { // overwrite
-		log.Fatal(err)
+		return err
 	}
 
 	for _, name := range []string{"alice", "bob", "carol", "dave", "erin", "mallory"} {
 		v, ok, err := kv.Get(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if ok {
-			fmt.Printf("%-8s -> %s\n", name, v)
+			fmt.Fprintf(w, "%-8s -> %s\n", name, v)
 		} else {
-			fmt.Printf("%-8s -> (absent)\n", name)
+			fmt.Fprintf(w, "%-8s -> (absent)\n", name)
 		}
 	}
 
 	st := kv.Stats()
-	fmt.Printf("\noblivious accesses: %d (evictPaths %d, earlyReshuffles %d, extend ratio %.0f%%)\n",
+	fmt.Fprintf(w, "\noblivious accesses: %d (evictPaths %d, earlyReshuffles %d, extend ratio %.0f%%)\n",
 		st.Accesses, st.EvictPaths, st.EarlyReshuffles, st.ExtendRatio*100)
-	fmt.Println("every probe above produced an identical-shape, encrypted, authenticated ReadPath")
+	fmt.Fprintln(w, "every probe above produced an identical-shape, encrypted, authenticated ReadPath")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout, 12); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSecureKVSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ml-kem-768") {
+		t.Errorf("overwrite of alice not visible:\n%s", out)
+	}
+	if !strings.Contains(out, "bob") || !strings.Contains(out, "rsa-4096") {
+		t.Errorf("bob lookup failed:\n%s", out)
+	}
+	if !strings.Contains(out, "mallory") || !strings.Contains(out, "(absent)") {
+		t.Errorf("absent key not reported:\n%s", out)
+	}
+}
+
+func TestKVPutGetDirect(t *testing.T) {
+	kv, err := NewKV(8, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := kv.Get("k")
+	if err != nil || !ok || v != "v2" {
+		t.Fatalf("Get(k) = %q,%v,%v; want v2", v, ok, err)
+	}
+	if _, ok, err := kv.Get("missing"); err != nil || ok {
+		t.Fatalf("missing key found: %v %v", ok, err)
+	}
+	long := strings.Repeat("x", maxValueLen+1)
+	if err := kv.Put("k", long); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}

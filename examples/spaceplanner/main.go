@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/metadata"
@@ -17,9 +19,9 @@ import (
 	"repro/internal/ringoram"
 )
 
-func main() {
-	// The paper's deployment point: a 24-level tree protecting ~2.7 GB.
-	for _, levels := range []int{20, 24} {
+// run writes one capacity-plan table per requested tree size to w.
+func run(w io.Writer, levelsList []int) error {
+	for _, levels := range levelsList {
 		opt := core.DefaultOptions(levels, 1)
 		t := report.New(fmt.Sprintf("Capacity plan for a %d-level tree", levels),
 			"scheme", "user data", "data tree", "metadata tree", "total", "utilization", "vs Baseline")
@@ -28,7 +30,7 @@ func main() {
 		for _, scheme := range core.Schemes() {
 			cfg, _, err := core.Build(scheme, opt)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			dataTree := ringoram.SpaceBytesStatic(cfg)
 			user := uint64(cfg.NumBlocks) * uint64(cfg.BlockB)
@@ -55,7 +57,15 @@ func main() {
 		mp := metadata.Params{Z: 8, ZPrime: 5, S: 3, Levels: levels, NBlocks: 1 << (levels - 1), R: 6}
 		t.AddNote("on-chip: DeadQ %s (6 levels x 1000 entries), stash 300 entries, %d-level tree-top cache",
 			report.Bytes(uint64(metadata.DeadQOnChipBytes(mp, 6, 1000))), opt.TreetopLevels)
-		fmt.Print(t)
-		fmt.Println()
+		fmt.Fprint(w, t)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func main() {
+	// The paper's deployment point: a 24-level tree protecting ~2.7 GB.
+	if err := run(os.Stdout, []int{20, 24}); err != nil {
+		log.Fatal(err)
 	}
 }

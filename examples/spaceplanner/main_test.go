@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpaceplannerSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []int{10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Capacity plan for a 10-level tree") {
+		t.Errorf("missing table title:\n%s", out)
+	}
+	for _, scheme := range []string{"Baseline", "IR", "DR", "NS", "AB"} {
+		if !strings.Contains(out, scheme) {
+			t.Errorf("scheme %s missing from plan:\n%s", scheme, out)
+		}
+	}
+}
+
+func TestSpaceplannerRejectsTinyTree(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []int{4}); err == nil {
+		t.Fatal("4-level tree accepted")
+	}
+}

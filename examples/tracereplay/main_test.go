@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracereplaySmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 8, 8000, "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cache front end") {
+		t.Errorf("cache stage not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "Baseline") || !strings.Contains(out, "AB") {
+		t.Errorf("scheme rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "AB-ORAM vs Baseline") {
+		t.Errorf("comparison line missing:\n%s", out)
+	}
+}

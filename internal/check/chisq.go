@@ -1,0 +1,46 @@
+package check
+
+import "math"
+
+// ZCrit999 is the upper standard-normal quantile for α = 0.001. The
+// obliviousness tests use a conservative significance level because every
+// run is deterministic: a statistic past this bound is a real skew, not
+// sampling noise to be retried away.
+const ZCrit999 = 3.0902
+
+// ChiSquare returns Pearson's chi-square statistic of the observed counts
+// against a uniform expectation, plus the degrees of freedom. A total of
+// zero or fewer than two cells yields (0, 0), which Uniform treats as a
+// degenerate pass.
+func ChiSquare(counts []uint64) (stat float64, df int) {
+	if len(counts) < 2 {
+		return 0, 0
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, len(counts) - 1
+}
+
+// ChiSquareCritical returns the upper critical value of the chi-square
+// distribution with df degrees of freedom at the significance level whose
+// standard-normal quantile is z, via the Wilson–Hilferty cube
+// approximation — accurate to a fraction of a percent for df >= 3, which
+// covers every leaf-histogram size the checker produces.
+func ChiSquareCritical(df int, z float64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	k := float64(df)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}

@@ -1,0 +1,160 @@
+package check
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/memop"
+	"repro/internal/ringoram"
+	"repro/internal/rng"
+)
+
+// Workload chooses the block touched by access i. Implementations may
+// return any non-negative value; the checker reduces it modulo the
+// instance's block count.
+type Workload func(i int) int64
+
+// HotBlock is the adversarial workload for the uniformity test: every
+// access touches the same block, so any leakage of the position map
+// through the observable leaf sequence would show up as skew.
+func HotBlock(block int64) Workload {
+	return func(int) int64 { return block }
+}
+
+// UniformBlocks touches blocks uniformly at random (deterministically
+// from seed).
+func UniformBlocks(seed uint64) Workload {
+	r := rng.New(seed ^ 0x756e69666f726d) // decouple from protocol seeding
+	return func(int) int64 { return int64(r.Uint64() >> 1) }
+}
+
+// ObliviousResult summarizes a statistical-obliviousness run: the
+// chi-square statistic of the observed leaf histogram against uniformity,
+// the critical value it must stay under, and how many EvictPath
+// operations were verified to follow the reverse-lexicographic order.
+type ObliviousResult struct {
+	Scheme        core.Scheme
+	Accesses      int
+	Bins          int
+	Chi2          float64
+	Critical      float64
+	EvictsChecked int
+}
+
+// Uniform reports whether the observed leaf distribution is consistent
+// with uniformity at the α = 0.001 level.
+func (r ObliviousResult) Uniform() bool { return r.Chi2 <= r.Critical }
+
+// CheckOblivious drives `accesses` online accesses of the given workload
+// through a freshly built scheme instance and validates the two
+// observable-pattern properties AB-ORAM must preserve (§VI-A):
+//
+//   - the leaf revealed by each online ReadPath — recovered purely from
+//     the emitted memory traffic, as a bus snooper would — is uniform
+//     over the tree's paths (Pearson chi-square at α = 0.001, leaves
+//     binned to keep expected counts usable at any scale), and
+//   - every EvictPath drains exactly the path dictated by the
+//     reverse-lexicographic order, in root-to-leaf sequence.
+//
+// An eviction-order violation returns an error immediately; the
+// uniformity verdict is in the result for the caller to judge.
+func CheckOblivious(s core.Scheme, opt core.Options, accesses int, w Workload) (ObliviousResult, error) {
+	res := ObliviousResult{Scheme: s, Accesses: accesses}
+	cfg, _, err := core.Build(s, opt)
+	if err != nil {
+		return res, err
+	}
+	if cfg.TreetopLevels >= cfg.Levels {
+		return res, fmt.Errorf("check: treetop %d covers all %d levels; no observable traffic", cfg.TreetopLevels, cfg.Levels)
+	}
+	o, err := ringoram.New(cfg)
+	if err != nil {
+		return res, err
+	}
+	geom := o.Geometry()
+	metaBase := ringoram.SpaceBytesStatic(cfg)
+	blockB := uint64(cfg.BlockB)
+	leafLevel := cfg.Levels - 1
+	leafStart := geom.LevelStart(leafLevel)
+
+	numPaths := uint64(geom.NumPaths())
+	bins, shift := binLeaves(numPaths, accesses)
+	counts := make([]uint64, bins)
+	res.Bins = int(bins)
+
+	var evictGen int64
+	var pathBuf []int64
+	for i := 0; i < accesses; i++ {
+		blk := w(i) % cfg.NumBlocks
+		ops, err := o.Access(blk)
+		if err != nil {
+			return res, err
+		}
+		// ops[0] is the online ReadPath's metadata op: one read per
+		// off-chip bucket, root to leaf. Its last read names the leaf.
+		if len(ops) == 0 || ops[0].Kind != memop.KindReadPath || len(ops[0].Reads) == 0 {
+			return res, fmt.Errorf("check: access %d emitted no observable ReadPath metadata", i)
+		}
+		leafMeta := ops[0].Reads[len(ops[0].Reads)-1]
+		if leafMeta < metaBase {
+			return res, fmt.Errorf("check: access %d: trailing ReadPath read %#x below metadata base %#x", i, leafMeta, metaBase)
+		}
+		bucket := int64((leafMeta - metaBase) / blockB)
+		if geom.LevelOf(bucket) != leafLevel {
+			return res, fmt.Errorf("check: access %d: ReadPath bottomed out at bucket %d (level %d), not a leaf", i, bucket, geom.LevelOf(bucket))
+		}
+		counts[uint64(bucket-leafStart)>>shift]++
+
+		// Every EvictPath read op must drain the reverse-lexicographic
+		// path for its generation, bucket by bucket.
+		for _, op := range ops {
+			if op.Kind != memop.KindEvictPath || len(op.Reads) == 0 {
+				continue
+			}
+			p := geom.EvictPath(evictGen)
+			pathBuf = geom.PathBuckets(p, pathBuf[:0])
+			want := pathBuf[cfg.TreetopLevels:]
+			j := 0
+			for _, addr := range op.Reads {
+				if addr < metaBase {
+					continue // a block slot read, not bucket metadata
+				}
+				b := int64((addr - metaBase) / blockB)
+				if j >= len(want) || b != want[j] {
+					return res, fmt.Errorf("check: eviction %d visits bucket %d, want path %d (reverse-lex of gen %d)", evictGen, b, p, evictGen)
+				}
+				j++
+			}
+			if j != len(want) {
+				return res, fmt.Errorf("check: eviction %d drained %d off-chip buckets, want %d", evictGen, j, len(want))
+			}
+			evictGen++
+			res.EvictsChecked++
+		}
+	}
+	res.Chi2, _ = ChiSquare(counts)
+	res.Critical = ChiSquareCritical(int(bins)-1, ZCrit999)
+	return res, nil
+}
+
+// binLeaves picks a power-of-two histogram width: fine enough to expose
+// skew, coarse enough that expected counts stay ≥ ~8 per cell (the usual
+// chi-square validity rule) for any tree size the tests use. shift is the
+// number of low path bits folded into each bin.
+func binLeaves(numPaths uint64, accesses int) (bins uint64, shift uint) {
+	bins = numPaths
+	if byCount := uint64(accesses / 8); byCount < bins {
+		bins = byCount
+	}
+	if bins > 1024 {
+		bins = 1024
+	}
+	if bins < 2 {
+		bins = 2
+	}
+	// Round down to a power of two so binning is a pure bit shift.
+	bins = uint64(1) << (63 - uint(bits.LeadingZeros64(bins)))
+	shift = uint(bits.TrailingZeros64(numPaths)) - uint(bits.TrailingZeros64(bins))
+	return bins, shift
+}

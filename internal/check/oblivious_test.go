@@ -1,0 +1,100 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestObliviousLeafUniformityAllSchemes is the acceptance run behind
+// `go test -run Oblivious ./internal/check`: under the most adversarial
+// workload (one block touched forever), the leaf revealed by each online
+// ReadPath must stay chi-square-uniform for every scheme — dead-block
+// reclaim and non-uniform S must not skew the observable pattern.
+func TestObliviousLeafUniformityAllSchemes(t *testing.T) {
+	for _, s := range core.Schemes() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			t.Parallel()
+			opt := core.DefaultOptions(10, 0x0b11)
+			res, err := CheckOblivious(s, opt, 20_000, HotBlock(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Uniform() {
+				t.Errorf("%s leaves skewed: χ²=%.1f > critical %.1f over %d bins",
+					s, res.Chi2, res.Critical, res.Bins)
+			}
+			if res.EvictsChecked == 0 {
+				t.Errorf("%s: no EvictPath operations observed", s)
+			}
+		})
+	}
+}
+
+// TestObliviousEvictionOrderUniformWorkload verifies the reverse-
+// lexicographic eviction schedule holds under a spread-out workload too
+// (remote allocation active, different tree size than the uniformity run).
+func TestObliviousEvictionOrderUniformWorkload(t *testing.T) {
+	opt := core.DefaultOptions(9, 5)
+	res, err := CheckOblivious(core.SchemeAB, opt, 6_000, UniformBlocks(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvictsChecked < 6_000/10 {
+		t.Errorf("only %d evictions checked over %d accesses", res.EvictsChecked, res.Accesses)
+	}
+	if !res.Uniform() {
+		t.Errorf("uniform workload skewed: χ²=%.1f > %.1f", res.Chi2, res.Critical)
+	}
+}
+
+// TestObliviousChiSquareHasPower guards against a vacuous detector: a
+// grossly skewed histogram must exceed the critical value, and the
+// Wilson–Hilferty approximation must track the exact quantile.
+func TestObliviousChiSquareHasPower(t *testing.T) {
+	skewed := make([]uint64, 64)
+	for i := range skewed {
+		skewed[i] = 10
+	}
+	skewed[0] = 400
+	stat, df := ChiSquare(skewed)
+	if crit := ChiSquareCritical(df, ZCrit999); stat <= crit {
+		t.Errorf("skewed histogram accepted: χ²=%.1f <= %.1f", stat, crit)
+	}
+	flat := make([]uint64, 64)
+	for i := range flat {
+		flat[i] = 100
+	}
+	if stat, df := ChiSquare(flat); stat > ChiSquareCritical(df, ZCrit999) {
+		t.Errorf("perfectly flat histogram rejected: χ²=%.1f", stat)
+	}
+	// Exact χ²(100) upper 0.001 quantile is 149.449.
+	if c := ChiSquareCritical(100, ZCrit999); c < 148 || c > 151 {
+		t.Errorf("critical value approximation off: got %.2f, want ≈149.45", c)
+	}
+	if stat, df := ChiSquare(nil); stat != 0 || df != 0 {
+		t.Errorf("degenerate input not neutral: %v %v", stat, df)
+	}
+}
+
+func TestBinLeaves(t *testing.T) {
+	cases := []struct {
+		paths    uint64
+		accesses int
+		bins     uint64
+		shift    uint
+	}{
+		{512, 20_000, 512, 0},      // enough samples: one bin per path
+		{512, 1_000, 64, 3},        // few samples: fold 8 paths per bin
+		{1 << 15, 20_000, 1024, 5}, // big tree: capped at 1024 bins
+		{512, 10, 2, 8},            // pathological: still two bins
+	}
+	for _, c := range cases {
+		bins, shift := binLeaves(c.paths, c.accesses)
+		if bins != c.bins || shift != c.shift {
+			t.Errorf("binLeaves(%d, %d) = (%d, %d), want (%d, %d)",
+				c.paths, c.accesses, bins, shift, c.bins, c.shift)
+		}
+	}
+}

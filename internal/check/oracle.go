@@ -1,0 +1,444 @@
+// Package check is the correctness harness of the repository: a
+// differential oracle that drives every scheme in lockstep against a
+// plaintext memory model, a minimizer that shrinks failing op sequences
+// into replayable repros, and statistical tests that the observable
+// access pattern stays oblivious (chi-square leaf uniformity plus
+// reverse-lexicographic eviction order). The sim.RunVerify audit and the
+// fuzz targets build on it; EXPERIMENTS.md §"Correctness harness"
+// documents how to run and replay it by hand.
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/aboram"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// OpKind labels one oracle operation.
+type OpKind uint8
+
+const (
+	// OpWrite stores a deterministic payload into a block.
+	OpWrite OpKind = iota
+	// OpRead fetches a block and compares it against the model.
+	OpRead
+	// OpAccess touches a block pattern-only (no payload transfer).
+	OpAccess
+	// OpCheckpoint saves the instance and restores it from the image,
+	// continuing on the restored copy.
+	OpCheckpoint
+)
+
+// String returns the kind's display name.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpAccess:
+		return "access"
+	case OpCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one step of an oracle sequence.
+type Op struct {
+	Kind  OpKind
+	Block int64
+	Fill  byte // payload selector for OpWrite
+}
+
+// String renders the op compactly for repro listings.
+func (op Op) String() string {
+	if op.Kind == OpCheckpoint {
+		return "checkpoint"
+	}
+	if op.Kind == OpWrite {
+		return fmt.Sprintf("write(%d, %#02x)", op.Block, op.Fill)
+	}
+	return fmt.Sprintf("%s(%d)", op.Kind, op.Block)
+}
+
+// GenOps derives a randomized op sequence from a seed: roughly 35% writes
+// and 35% reads (half of them against a small hot set, so blocks are
+// rewritten and re-read rather than touched once), 30% pattern-only
+// accesses, and sparse checkpoint round-trips. The sequence is a pure
+// function of (seed, n, numBlocks) — replaying the same triple reproduces
+// the exact workload.
+func GenOps(seed uint64, n int, numBlocks int64) []Op {
+	r := rng.New(seed ^ 0x6f7261636c65) // offset the stream from protocol seeds
+	hot := numBlocks/16 + 1
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		blk := int64(r.Uint64n(uint64(numBlocks)))
+		if r.Bool() {
+			blk = int64(r.Uint64n(uint64(hot)))
+		}
+		switch p := r.Float64(); {
+		case p < 0.35:
+			ops = append(ops, Op{Kind: OpWrite, Block: blk, Fill: byte(r.Uint64())})
+		case p < 0.70:
+			ops = append(ops, Op{Kind: OpRead, Block: blk})
+		case p < 0.997:
+			ops = append(ops, Op{Kind: OpAccess, Block: blk})
+		default:
+			ops = append(ops, Op{Kind: OpCheckpoint})
+		}
+	}
+	return ops
+}
+
+// Fill expands a (block, fill) pair into the deterministic payload the
+// oracle writes and later expects back.
+func Fill(blockB int, block int64, fill byte) []byte {
+	d := make([]byte, blockB)
+	for i := range d {
+		d[i] = fill ^ byte(block>>uint(i%8)) ^ byte(i*13)
+	}
+	return d
+}
+
+// Target is the device under test: the block-store surface the oracle can
+// drive and validate. The production implementation wraps the aboram
+// public API with its encrypted secmem data plane; tests substitute
+// mutated targets to prove the oracle detects corruption.
+type Target interface {
+	NumBlocks() int64
+	BlockSize() int
+	Access(block int64) error
+	Read(block int64) ([]byte, error)
+	Write(block int64, data []byte) error
+	// Checkpoint saves the instance and continues on a restored copy.
+	Checkpoint() error
+	// CheckIntegrity validates the full internal state.
+	CheckIntegrity() error
+}
+
+// oracleKey is the fixed 16-byte AES key oracle instances run under; the
+// oracle always exercises the encrypted data plane.
+var oracleKey = []byte("ab-oram-check-ke")
+
+// aboramTarget adapts a full aboram instance (protocol engine + DeadQ +
+// encrypted secmem) to the Target interface.
+type aboramTarget struct {
+	o   *aboram.ORAM
+	opt aboram.Options
+}
+
+// NewSchemeTarget builds an encrypted aboram instance of the given scheme
+// as an oracle target.
+func NewSchemeTarget(s core.Scheme, levels int, seed uint64) (Target, error) {
+	opt := aboram.Options{Scheme: s, Levels: levels, Seed: seed, EncryptionKey: oracleKey}
+	o, err := aboram.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &aboramTarget{o: o, opt: opt}, nil
+}
+
+func (t *aboramTarget) NumBlocks() int64                  { return t.o.NumBlocks() }
+func (t *aboramTarget) BlockSize() int                    { return t.o.BlockSize() }
+func (t *aboramTarget) Access(block int64) error          { return t.o.Access(block) }
+func (t *aboramTarget) Read(block int64) ([]byte, error)  { return t.o.Read(block) }
+func (t *aboramTarget) Write(block int64, d []byte) error { return t.o.Write(block, d) }
+func (t *aboramTarget) CheckIntegrity() error             { return t.o.CheckIntegrity() }
+
+// Checkpoint snapshots the instance through the public Save/Load path and
+// swaps in the restored copy, so every subsequent op validates the
+// checkpoint's fidelity.
+func (t *aboramTarget) Checkpoint() error {
+	var buf bytes.Buffer
+	if err := t.o.Save(&buf); err != nil {
+		return err
+	}
+	o, err := aboram.Load(t.opt, &buf)
+	if err != nil {
+		return err
+	}
+	t.o = o
+	return nil
+}
+
+// Divergence reports the first point where a target disagreed with the
+// plaintext model. OpIndex == len(ops) marks the final sweep (exhaustive
+// read-back plus integrity check) rather than a specific op.
+type Divergence struct {
+	OpIndex int
+	Op      Op
+	Detail  string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("op %d (%s): %s", d.OpIndex, d.Op, d.Detail)
+}
+
+// Failure is a scheme's complete, replayable oracle failure: the instance
+// parameters, the generating seed, and a minimized repro sequence.
+type Failure struct {
+	Scheme core.Scheme
+	Levels int
+	Seed   uint64
+	Div    Divergence
+	Repro  []Op
+}
+
+// Error renders the failure with everything needed to replay it.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("check: scheme %s (levels=%d) diverged at %s; "+
+		"replay: check.Replay(%q, %d, %#x, <repro of %d ops>) or re-run "+
+		"GenOps(%#x, n, numBlocks) against a fresh target",
+		f.Scheme, f.Levels, &f.Div, f.Scheme, f.Levels, f.Seed, len(f.Repro), f.Seed)
+}
+
+// applyOp drives one op against a target, keeping the shared model in
+// sync. want is the model's expectation, computed by the caller so that
+// several lockstep targets share one model update.
+func applyOp(t Target, i int, op Op, want []byte) *Divergence {
+	fail := func(format string, args ...interface{}) *Divergence {
+		return &Divergence{OpIndex: i, Op: op, Detail: fmt.Sprintf(format, args...)}
+	}
+	switch op.Kind {
+	case OpWrite:
+		if err := t.Write(op.Block, want); err != nil {
+			return fail("write: %v", err)
+		}
+	case OpRead:
+		got, err := t.Read(op.Block)
+		if err != nil {
+			return fail("read: %v", err)
+		}
+		if d := diff(got, want); d != "" {
+			return fail("read mismatch: %s", d)
+		}
+	case OpAccess:
+		if err := t.Access(op.Block); err != nil {
+			return fail("access: %v", err)
+		}
+	case OpCheckpoint:
+		if err := t.Checkpoint(); err != nil {
+			return fail("checkpoint round trip: %v", err)
+		}
+	}
+	return nil
+}
+
+// diff describes the first disagreement between two payloads, or "" when
+// they match.
+func diff(got, want []byte) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("byte %d is %#02x, want %#02x", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// expect returns the model's content for a block (zeros if never written)
+// without allocating for the common written case.
+func expect(model map[int64][]byte, blockB int, blk int64) []byte {
+	if d, ok := model[blk]; ok {
+		return d
+	}
+	return make([]byte, blockB)
+}
+
+// finalSweep reads back every block the model knows about — in sorted
+// order, so replays are deterministic — and runs a full integrity check.
+func finalSweep(t Target, model map[int64][]byte, opCount int) *Divergence {
+	blocks := make([]int64, 0, len(model))
+	for blk := range model {
+		blocks = append(blocks, blk)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, blk := range blocks {
+		got, err := t.Read(blk)
+		if err != nil {
+			return &Divergence{OpIndex: opCount, Op: Op{Kind: OpRead, Block: blk}, Detail: fmt.Sprintf("final sweep read: %v", err)}
+		}
+		if d := diff(got, model[blk]); d != "" {
+			return &Divergence{OpIndex: opCount, Op: Op{Kind: OpRead, Block: blk}, Detail: "final sweep mismatch: " + d}
+		}
+	}
+	if err := t.CheckIntegrity(); err != nil {
+		return &Divergence{OpIndex: opCount, Detail: "final integrity: " + err.Error()}
+	}
+	return nil
+}
+
+// RunTarget drives one target through an op sequence against a fresh
+// plaintext model, with periodic integrity checks and a final exhaustive
+// read-back. It returns the first divergence, or nil on a clean run. The
+// run is a pure function of (target construction, ops), which is what
+// makes minimized repros meaningful.
+func RunTarget(t Target, ops []Op) *Divergence {
+	model := make(map[int64][]byte)
+	interval := len(ops)/4 + 1
+	blockB := t.BlockSize()
+	for i, op := range ops {
+		var want []byte
+		switch op.Kind {
+		case OpWrite:
+			want = Fill(blockB, op.Block, op.Fill)
+		case OpRead:
+			want = expect(model, blockB, op.Block)
+		}
+		if d := applyOp(t, i, op, want); d != nil {
+			return d
+		}
+		if op.Kind == OpWrite {
+			model[op.Block] = want
+		}
+		if (i+1)%interval == 0 {
+			if err := t.CheckIntegrity(); err != nil {
+				return &Divergence{OpIndex: i, Op: op, Detail: "integrity: " + err.Error()}
+			}
+		}
+	}
+	return finalSweep(t, model, len(ops))
+}
+
+// Result is one scheme's outcome from RunOracle.
+type Result struct {
+	Scheme  core.Scheme
+	Ops     int // ops applied before divergence (or all of them)
+	Failure *Failure
+}
+
+// RunOracle generates one op sequence from the seed and drives all five
+// schemes through it in lockstep against a single shared plaintext model:
+// every write updates the model once, and every read from every scheme
+// must agree with it — which also makes the schemes pairwise equivalent.
+// A diverging scheme stops participating while the rest continue, and its
+// failure is minimized into a replayable repro. The error aggregates the
+// first failure (nil when all schemes agree everywhere).
+func RunOracle(levels int, seed uint64, n int) ([]Result, error) {
+	schemes := core.Schemes()
+	targets := make([]Target, len(schemes))
+	results := make([]Result, len(schemes))
+	for i, s := range schemes {
+		t, err := NewSchemeTarget(s, levels, seed)
+		if err != nil {
+			return nil, fmt.Errorf("check: building %s: %w", s, err)
+		}
+		targets[i] = t
+		results[i] = Result{Scheme: s}
+	}
+	ops := GenOps(seed, n, targets[0].NumBlocks())
+	blockB := targets[0].BlockSize()
+	model := make(map[int64][]byte)
+	interval := len(ops)/4 + 1
+
+	divs := make([]*Divergence, len(schemes))
+	for i, op := range ops {
+		var want []byte
+		switch op.Kind {
+		case OpWrite:
+			want = Fill(blockB, op.Block, op.Fill)
+		case OpRead:
+			want = expect(model, blockB, op.Block)
+		}
+		for si := range targets {
+			if divs[si] != nil {
+				continue
+			}
+			if d := applyOp(targets[si], i, op, want); d != nil {
+				divs[si] = d
+				continue
+			}
+			if (i+1)%interval == 0 {
+				if err := targets[si].CheckIntegrity(); err != nil {
+					divs[si] = &Divergence{OpIndex: i, Op: op, Detail: "integrity: " + err.Error()}
+				}
+			}
+			results[si].Ops = i + 1
+		}
+		if op.Kind == OpWrite {
+			model[op.Block] = want
+		}
+	}
+	for si := range targets {
+		if divs[si] == nil {
+			divs[si] = finalSweep(targets[si], model, len(ops))
+		}
+	}
+
+	var firstErr error
+	for si, d := range divs {
+		if d == nil {
+			continue
+		}
+		s := schemes[si]
+		repro := Minimize(func() (Target, error) {
+			return NewSchemeTarget(s, levels, seed)
+		}, ops, d, 64)
+		results[si].Failure = &Failure{Scheme: s, Levels: levels, Seed: seed, Div: *d, Repro: repro}
+		if firstErr == nil {
+			firstErr = results[si].Failure
+		}
+	}
+	return results, firstErr
+}
+
+// Minimize shrinks a failing op sequence while preserving the failure:
+// first truncate to the failing prefix, then greedily delete chunks of
+// halving size (ddmin-style), re-running the sequence on a fresh target
+// from mk after each candidate deletion. budget bounds the number of
+// replays; the current best repro is returned when it runs out. The
+// result is not guaranteed minimal — only monotonically smaller and still
+// failing.
+func Minimize(mk func() (Target, error), ops []Op, div *Divergence, budget int) []Op {
+	fails := func(cand []Op) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		t, err := mk()
+		if err != nil {
+			return false
+		}
+		return RunTarget(t, cand) != nil
+	}
+
+	cur := append([]Op(nil), ops...)
+	if div != nil && div.OpIndex < len(ops) {
+		trunc := append([]Op(nil), ops[:div.OpIndex+1]...)
+		if fails(trunc) {
+			cur = trunc
+		}
+	}
+	for chunk := len(cur) / 2; chunk >= 1 && budget > 0; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur) && budget > 0; {
+			cand := make([]Op, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}
+
+// Replay re-runs a repro sequence against a fresh instance of the given
+// configuration, returning the divergence it reproduces (nil if the
+// failure no longer occurs).
+func Replay(s core.Scheme, levels int, seed uint64, ops []Op) (*Divergence, error) {
+	t, err := NewSchemeTarget(s, levels, seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunTarget(t, ops), nil
+}

@@ -1,0 +1,150 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGenOpsDeterministic(t *testing.T) {
+	a := GenOps(42, 500, 637)
+	b := GenOps(42, 500, 637)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("wrong lengths: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs between identical seeds: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := GenOps(43, 500, 637)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	kinds := map[OpKind]int{}
+	for _, op := range GenOps(7, 5000, 637) {
+		kinds[op.Kind]++
+		if op.Block < 0 || op.Block >= 637 {
+			t.Fatalf("block %d out of range", op.Block)
+		}
+	}
+	for _, k := range []OpKind{OpWrite, OpRead, OpAccess, OpCheckpoint} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %s never generated", k)
+		}
+	}
+}
+
+// TestOracleTenThousandOpsPerScheme is the acceptance run: ≥ 10k
+// randomized ops per scheme, including checkpoint round trips, with zero
+// divergences from the plaintext model.
+func TestOracleTenThousandOpsPerScheme(t *testing.T) {
+	const (
+		levels = 8
+		seed   = 0xab02
+		n      = 10_000
+	)
+	for _, s := range core.Schemes() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			t.Parallel()
+			tgt, err := NewSchemeTarget(s, levels, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := GenOps(seed, n, tgt.NumBlocks())
+			if d := RunTarget(tgt, ops); d != nil {
+				t.Fatalf("scheme %s diverged: %s — replay with check.Replay(%q, %d, %#x, GenOps(%#x, %d, %d))",
+					s, d, s, levels, uint64(seed), uint64(seed), n, tgt.NumBlocks())
+			}
+		})
+	}
+}
+
+// TestRunOracleLockstep exercises the real lockstep entry point: one op
+// stream, one shared model, all five schemes advancing together.
+func TestRunOracleLockstep(t *testing.T) {
+	results, err := RunOracle(8, 3, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(core.Schemes()) {
+		t.Fatalf("got %d results, want %d", len(results), len(core.Schemes()))
+	}
+	for _, r := range results {
+		if r.Failure != nil {
+			t.Errorf("%s: %v", r.Scheme, r.Failure)
+		}
+		if r.Ops != 1500 {
+			t.Errorf("%s applied %d ops, want 1500", r.Scheme, r.Ops)
+		}
+	}
+}
+
+// corruptTarget flips a payload byte on reads of every third block once
+// enough reads have happened — a silent-corruption fault the oracle must
+// catch and the minimizer must preserve while shrinking.
+type corruptTarget struct {
+	Target
+	reads int
+}
+
+func (c *corruptTarget) Read(block int64) ([]byte, error) {
+	d, err := c.Target.Read(block)
+	c.reads++
+	if err == nil && c.reads > 50 && block%3 == 0 && len(d) > 0 {
+		d[0] ^= 0xff
+	}
+	return d, err
+}
+
+func TestOracleDetectsCorruptionAndMinimizes(t *testing.T) {
+	mk := func() (Target, error) {
+		tgt, err := NewSchemeTarget(core.SchemeAB, 8, 7)
+		if err != nil {
+			return nil, err
+		}
+		return &corruptTarget{Target: tgt}, nil
+	}
+	tgt, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := GenOps(7, 3000, tgt.NumBlocks())
+	div := RunTarget(tgt, ops)
+	if div == nil {
+		t.Fatal("oracle missed injected read corruption")
+	}
+	repro := Minimize(mk, ops, div, 300)
+	if len(repro) == 0 || len(repro) >= len(ops) {
+		t.Fatalf("minimizer produced %d ops from %d", len(repro), len(ops))
+	}
+	replay, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RunTarget(replay, repro) == nil {
+		t.Fatal("minimized repro no longer fails")
+	}
+	f := &Failure{Scheme: core.SchemeAB, Levels: 8, Seed: 7, Div: *div, Repro: repro}
+	if f.Error() == "" {
+		t.Fatal("failure renders empty")
+	}
+}
+
+func TestReplayCleanSequence(t *testing.T) {
+	ops := GenOps(11, 400, 637)
+	div, err := Replay(core.SchemeDR, 8, 11, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatalf("clean sequence diverged: %s", div)
+	}
+}

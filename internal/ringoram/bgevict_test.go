@@ -1,0 +1,115 @@
+package ringoram
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// bgCfg returns a small compaction config with an artificially low
+// background-eviction threshold so the trigger logic is exercised on
+// nearly every access. The stash bound is lifted: the trigger, not the
+// overflow counter, is under test.
+func bgCfg(threshold int) Config {
+	cfg := CompactedBaseline(8, 3, 9)
+	cfg.BGEvictThreshold = threshold
+	cfg.StashCapacity = 0
+	return cfg
+}
+
+func TestBGEvictionDisabled(t *testing.T) {
+	o, err := New(bgCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	n := o.Config().NumBlocks
+	for i := 0; i < 2000; i++ {
+		if _, err := o.Access(int64(r.Uint64n(uint64(n)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := o.Stats().DummyAccesses; d != 0 {
+		t.Fatalf("threshold 0 still inserted %d dummy accesses", d)
+	}
+}
+
+// TestBGEvictionTriggerAndHysteresis checks the trigger's contract after
+// every single access: the dummy-insertion loop must leave occupancy
+// strictly below the threshold — the trigger is >=, so landing exactly on
+// the bound fires too — unless it provably hit the per-access loop cap.
+// That strictness is the hysteresis: the loop always pushes past the
+// bound instead of idling on it and re-firing every access.
+func TestBGEvictionTriggerAndHysteresis(t *testing.T) {
+	cfg := bgCfg(6)
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	fired, capped := 0, 0
+	for i := 0; i < 3000; i++ {
+		before := o.Stats().DummyAccesses
+		if _, err := o.Access(int64(r.Uint64n(uint64(cfg.NumBlocks)))); err != nil {
+			t.Fatal(err)
+		}
+		delta := int(o.Stats().DummyAccesses - before)
+		if delta > 0 {
+			fired++
+		}
+		if delta >= maxDummyLoop {
+			capped++
+			continue
+		}
+		if size := o.Stash().Size(); size >= cfg.BGEvictThreshold {
+			t.Fatalf("access %d ended with stash %d >= threshold %d after only %d dummies",
+				i, size, cfg.BGEvictThreshold, delta)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("trigger never fired at threshold 6")
+	}
+	if capped == 3000 {
+		t.Fatal("loop cap hit on every access: threshold unreachable, config degenerate")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBGEvictionExactBound runs the tightest bound, threshold 1: any
+// nonzero occupancy is at-or-past it, so every access must end with an
+// empty stash (or demonstrate the loop cap). This is the exact-bound
+// case of the >= comparison — an off-by-one to > would leave single
+// residents behind and fail here.
+func TestBGEvictionExactBound(t *testing.T) {
+	cfg := bgCfg(1)
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	capped := 0
+	for i := 0; i < 1500; i++ {
+		before := o.Stats().DummyAccesses
+		if _, err := o.Access(int64(r.Uint64n(uint64(cfg.NumBlocks)))); err != nil {
+			t.Fatal(err)
+		}
+		if int(o.Stats().DummyAccesses-before) >= maxDummyLoop {
+			capped++
+			continue
+		}
+		if size := o.Stash().Size(); size != 0 {
+			t.Fatalf("access %d: threshold 1 left %d blocks stashed", i, size)
+		}
+	}
+	if o.Stats().DummyAccesses == 0 {
+		t.Fatal("threshold 1 never inserted a dummy access")
+	}
+	if capped == 1500 {
+		t.Fatal("loop cap hit on every access")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package ringoram
+
+import "testing"
+
+// fuzzConfig derives one of five scheme-shaped engine configurations from
+// a selector byte, mirroring internal/core's Baseline/IR/NS/DR/AB shapes
+// at a fixed 8-level scale. The shapes are restated here rather than
+// built through core.Build because core imports this package.
+func fuzzConfig(sel byte) Config {
+	const L = 8
+	cfg := CompactedBaseline(L, 3, 7)
+	switch sel % 5 {
+	case 1: // IR: Z' reduced in the middle band, tighter overlap.
+		cfg.Y = 3
+		cfg.ZPrimePerLevel = map[int]int{2: 4}
+	case 2: // NS: bottom two levels permanently shrunk.
+		cfg.SPerLevel = map[int]int{L - 2: 1, L - 1: 1}
+	case 3: // DR: bottom six levels shrunk and extended via remote slots.
+		cfg.SPerLevel = map[int]int{}
+		cfg.STargetPerLevel = map[int]int{}
+		for l := L - 6; l <= L-1; l++ {
+			cfg.SPerLevel[l] = 1
+			cfg.STargetPerLevel[l] = 3
+		}
+		cfg.Allocator = newTestDeadQ(L-6, 64)
+		cfg.MaxRemote = 6
+	case 4: // AB: DR + NS combined, S=0 at the very bottom.
+		cfg.SPerLevel = map[int]int{}
+		cfg.STargetPerLevel = map[int]int{}
+		for l := L - 6; l <= L-4; l++ {
+			cfg.SPerLevel[l] = 1
+			cfg.STargetPerLevel[l] = 3
+		}
+		for l := L - 3; l <= L-1; l++ {
+			cfg.SPerLevel[l] = 0
+			cfg.STargetPerLevel[l] = 2
+		}
+		cfg.Allocator = newTestDeadQ(L-6, 64)
+		cfg.MaxRemote = 6
+	}
+	return cfg
+}
+
+// FuzzAccess drives an arbitrary access sequence (two bytes select each
+// block) through an arbitrary scheme shape and requires the engine to
+// keep its full state invariant — every block in exactly one place — with
+// no panics and no stash overflows.
+func FuzzAccess(f *testing.F) {
+	for sel := byte(0); sel < 5; sel++ {
+		f.Add(sel, []byte{0, 0, 1, 42, 2, 255, 0, 1, 13, 37})
+	}
+	f.Add(byte(4), []byte{})
+	f.Fuzz(func(t *testing.T, sel byte, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		cfg := fuzzConfig(sel)
+		o, err := New(cfg)
+		if err != nil {
+			t.Fatalf("building config %d: %v", sel%5, err)
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			blk := (int64(data[i])<<8 | int64(data[i+1])) % cfg.NumBlocks
+			if _, err := o.Access(blk); err != nil {
+				t.Fatalf("access %d (block %d): %v", i/2, blk, err)
+			}
+			if i%64 == 0 {
+				if err := o.CheckInvariants(); err != nil {
+					t.Fatalf("after access %d: %v", i/2, err)
+				}
+			}
+		}
+		if err := o.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if ovf := o.Stash().Overflows(); ovf != 0 {
+			t.Fatalf("%d stash overflows", ovf)
+		}
+	})
+}

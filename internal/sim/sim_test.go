@@ -281,10 +281,27 @@ func TestVerifyAuditPasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, row := range tables[0].Rows {
-		if row[len(row)-1] != "PASS" {
-			t.Errorf("%s failed the audit: %s", row[0], row[len(row)-1])
+	if len(tables) != 2 {
+		t.Fatalf("verify should emit audit + harness tables, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			if row[len(row)-1] != "PASS" {
+				t.Errorf("%s: %s failed: %s", tab.Title, row[0], row[len(row)-1])
+			}
 		}
+	}
+	// The audit must iterate the benchmark subset, one attributable row per
+	// scheme × benchmark pair.
+	wantRows := len(core.Schemes()) * len(p.Benchmarks)
+	if len(tables[0].Rows) != wantRows {
+		t.Errorf("audit has %d rows, want %d (schemes × benchmarks)", len(tables[0].Rows), wantRows)
+	}
+	if got := tables[0].Rows[1][1]; got != p.Benchmarks[1].Name {
+		t.Errorf("audit row 1 benchmark %q, want %q", got, p.Benchmarks[1].Name)
+	}
+	if len(tables[1].Rows) != len(core.Schemes()) {
+		t.Errorf("harness has %d rows, want one per scheme", len(tables[1].Rows))
 	}
 }
 

@@ -251,3 +251,49 @@ func TestPlanEvictionStaleEntrySkipped(t *testing.T) {
 		t.Fatal("re-pathed block lost")
 	}
 }
+
+// TestExactCapacityBoundarySemantics pins down the overflow accounting at
+// the hardware bound, which the background-eviction trigger and the §VI-D
+// audit both lean on: occupancy == capacity is legal, updates in place
+// never count, and each crossing of the bound counts exactly once.
+func TestExactCapacityBoundarySemantics(t *testing.T) {
+	s := New(4)
+	for i := int64(0); i < 4; i++ {
+		s.Put(i, i)
+	}
+	if s.Overflows() != 0 {
+		t.Fatalf("occupancy == capacity counted as overflow (%d)", s.Overflows())
+	}
+	if s.Size() != 4 || s.Peak() != 4 {
+		t.Fatalf("size=%d peak=%d, want 4/4", s.Size(), s.Peak())
+	}
+	// Updating a resident block at exact capacity is not an insertion.
+	s.Put(2, 9)
+	if s.Overflows() != 0 || s.Size() != 4 {
+		t.Fatalf("in-place update at capacity miscounted: overflows=%d size=%d", s.Overflows(), s.Size())
+	}
+	if p, ok := s.Path(2); !ok || p != 9 {
+		t.Fatalf("update lost: path=%d ok=%v", p, ok)
+	}
+	// One past the bound counts once; updating the overflowing block does
+	// not count again.
+	s.Put(4, 0)
+	if s.Overflows() != 1 || s.Peak() != 5 {
+		t.Fatalf("first crossing: overflows=%d peak=%d", s.Overflows(), s.Peak())
+	}
+	s.Put(4, 1)
+	if s.Overflows() != 1 {
+		t.Fatalf("update while over the bound re-counted: %d", s.Overflows())
+	}
+	// Dropping back to the bound and re-crossing counts a second time.
+	s.Remove(4)
+	s.Remove(0)
+	s.Put(5, 0)
+	if s.Overflows() != 1 || s.Size() != 4 {
+		t.Fatalf("refill to capacity miscounted: overflows=%d size=%d", s.Overflows(), s.Size())
+	}
+	s.Put(6, 0)
+	if s.Overflows() != 2 {
+		t.Fatalf("second crossing not counted: %d", s.Overflows())
+	}
+}

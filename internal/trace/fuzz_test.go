@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceParse feeds arbitrary text through the trace reader. Inputs
+// the parser rejects must fail cleanly (no panic); inputs it accepts must
+// survive a write/reparse round trip unchanged — the Writer's hand-rolled
+// formatting must never emit something the Reader disagrees with.
+func FuzzTraceParse(f *testing.F) {
+	f.Add("35 R 0x7f2a40\n2 W 0x1fc0\n")
+	f.Add("# benchmark: mcf seed: 1\n0 r 0\n")
+	f.Add("  18446744073709551615 w 0xffffffffffffffff  \n")
+	f.Add("1 R deadbeef\n")
+	f.Add("not a trace")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		reqs, err := NewReader(strings.NewReader(s)).ReadAll()
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range reqs {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("rewrite: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("reparsing own output: %v", err)
+		}
+		if len(back) != len(reqs) {
+			t.Fatalf("round trip changed count: %d -> %d", len(reqs), len(back))
+		}
+		for i := range reqs {
+			if back[i] != reqs[i] {
+				t.Fatalf("request %d changed: %+v -> %+v", i, reqs[i], back[i])
+			}
+		}
+	})
+}
