@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate referenced by ROADMAP.md.
 
-.PHONY: check vet build test race bench fuzz
+.PHONY: check vet build test race bench fuzz serve loadtest
 
 check:
 	sh scripts/check.sh
@@ -15,7 +15,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/sim
+	go test -race ./internal/sim ./internal/server/...
 
 bench:
 	go test -bench=. -benchmem
@@ -26,3 +26,13 @@ fuzz:
 	go test -run='^$$' -fuzz='^FuzzAccess$$' -fuzztime=$(FUZZTIME) ./internal/ringoram
 	go test -run='^$$' -fuzz='^FuzzCheckpointRoundTrip$$' -fuzztime=$(FUZZTIME) ./aboram
 	go test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=$(FUZZTIME) ./internal/trace
+	go test -run='^$$' -fuzz='^FuzzWireDecode$$' -fuzztime=$(FUZZTIME) ./internal/server/wire
+
+# Serving layer: start a daemon on the default port, or drive one with the
+# closed-loop load generator (see README "Serving").
+SERVE_ADDR ?= 127.0.0.1:7314
+serve:
+	go run ./cmd/aboramd -addr $(SERVE_ADDR)
+
+loadtest:
+	go run ./cmd/abload -addr $(SERVE_ADDR) -workers 32 -ops 5000

@@ -1,0 +1,193 @@
+// Command abload is a closed-loop load generator for aboramd. It opens N
+// worker connections, each issuing back-to-back requests (the next request
+// waits for the previous response), and reports aggregate throughput plus
+// p50/p95/p99 client-observed latency as a report table.
+//
+// Usage:
+//
+//	abload -addr 127.0.0.1:7314 -workers 32 -ops 2000
+//	abload -dist uniform -readfrac 0.9          # read-heavy uniform workload
+//	abload -dist zipf -zipf 1.2                 # skewed popularity
+//
+// Block choice is zipfian (default, s>1 over the store's block range) or
+// uniform; the read fraction splits the remaining ops between Read and
+// Write. All randomness is seeded, so two runs against servers in the same
+// state issue identical request streams.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/server/wire"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "abload:", err)
+		os.Exit(1)
+	}
+}
+
+// workerResult is one worker's tally, merged after the run.
+type workerResult struct {
+	ops    int
+	errors int
+	lat    *stats.LatencyRecorder
+	err    error // fatal worker error (dial/protocol), nil if it ran to completion
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("abload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7314", "aboramd address")
+	workers := fs.Int("workers", 16, "concurrent closed-loop workers (one connection each)")
+	ops := fs.Int("ops", 1000, "total operations across all workers")
+	readFrac := fs.Float64("readfrac", 0.5, "fraction of ops that are reads (rest are writes)")
+	dist := fs.String("dist", "zipf", "block popularity: zipf | uniform")
+	zipfS := fs.Float64("zipf", 1.1, "zipf skew parameter (must be > 1)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1")
+	}
+	if *ops < 1 {
+		return fmt.Errorf("-ops must be >= 1")
+	}
+	if *readFrac < 0 || *readFrac > 1 {
+		return fmt.Errorf("-readfrac must be in [0,1]")
+	}
+	if *dist != "zipf" && *dist != "uniform" {
+		return fmt.Errorf("-dist must be zipf or uniform")
+	}
+	if *dist == "zipf" && *zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1")
+	}
+
+	// One probe connection learns the store geometry before the fleet dials.
+	probe, err := server.Dial(*addr, *timeout)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", *addr, err)
+	}
+	info, err := probe.Info()
+	probe.Close()
+	if err != nil {
+		return fmt.Errorf("info: %w", err)
+	}
+	if info.NumBlocks < 1 {
+		return fmt.Errorf("server reports %d blocks", info.NumBlocks)
+	}
+
+	root := rng.New(*seed)
+	results := make([]workerResult, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		// Split ops evenly, remainder to the first workers.
+		n := *ops / *workers
+		if w < *ops%*workers {
+			n++
+		}
+		src := root.Fork()
+		wg.Add(1)
+		go func(w, n int, src *rng.Source) {
+			defer wg.Done()
+			results[w] = worker(*addr, *timeout, n, *readFrac, *dist, *zipfS, info, src)
+		}(w, n, src)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	lat := new(stats.LatencyRecorder)
+	total, errCount := 0, 0
+	for w, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("worker %d: %w", w, r.err)
+		}
+		total += r.ops
+		errCount += r.errors
+		lat.Merge(r.lat)
+	}
+	sum := lat.Summary()
+
+	t := report.New("abload: closed-loop load test", "metric", "value")
+	t.AddRow("server", *addr)
+	t.AddRow("blocks x block size", fmt.Sprintf("%d x %d B", info.NumBlocks, info.BlockSize))
+	t.AddRow("workers", report.Int(int64(*workers)))
+	t.AddRow("distribution", distLabel(*dist, *zipfS))
+	t.AddRow("read fraction", report.Float(*readFrac, 2))
+	t.AddRow("operations completed", report.Int(int64(total)))
+	t.AddRow("operation errors", report.Int(int64(errCount)))
+	t.AddRow("wall time", elapsed.Round(time.Millisecond).String())
+	t.AddRow("throughput (ops/s)", report.Float(float64(total)/elapsed.Seconds(), 1))
+	t.AddRow("latency p50", sum.P50.String())
+	t.AddRow("latency p95", sum.P95.String())
+	t.AddRow("latency p99", sum.P99.String())
+	t.AddRow("latency mean", sum.Mean.String())
+	t.AddRow("latency max", sum.Max.String())
+	t.AddNote("closed loop: each worker issues its next request only after the previous response")
+	if !info.Encrypted {
+		t.AddNote("server is pattern-only (no key): reads/writes degrade to errors, use -readfrac with care")
+	}
+	return t.WriteText(out)
+}
+
+func distLabel(dist string, s float64) string {
+	if dist == "zipf" {
+		return fmt.Sprintf("zipf (s=%.2f)", s)
+	}
+	return "uniform"
+}
+
+// worker runs one closed-loop connection to completion. Per-op server
+// errors (e.g. admission-control rejections) are counted, not fatal;
+// connection-level failures abort the worker.
+func worker(addr string, timeout time.Duration, n int, readFrac float64, dist string, zipfS float64, info wire.InfoPayload, src *rng.Source) workerResult {
+	res := workerResult{lat: new(stats.LatencyRecorder)}
+	c, err := server.Dial(addr, timeout)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer c.Close()
+
+	var nextBlock func() int64
+	if dist == "zipf" {
+		z := trace.NewZipf(src, zipfS, uint64(info.NumBlocks))
+		nextBlock = func() int64 { return int64(z.Next()) }
+	} else {
+		nextBlock = func() int64 { return int64(src.Uint64n(uint64(info.NumBlocks))) }
+	}
+	buf := make([]byte, info.BlockSize)
+
+	for i := 0; i < n; i++ {
+		blk := nextBlock()
+		read := src.Float64() < readFrac
+		begin := time.Now()
+		if read {
+			_, err = c.Read(blk)
+		} else {
+			for j := range buf {
+				buf[j] = byte(src.Uint64())
+			}
+			err = c.Write(blk, buf)
+		}
+		res.lat.Record(time.Since(begin))
+		res.ops++
+		if err != nil {
+			res.errors++
+		}
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/server"
+)
+
+// startStack brings up the full serving stack — encrypted ORAM, scheduler
+// with the given batch width, TCP front end — on a loopback port.
+func startStack(t *testing.T, batch int) (addr string, stop func()) {
+	t.Helper()
+	o, err := aboram.New(aboram.Options{
+		Levels:        8,
+		Seed:          1,
+		EncryptionKey: []byte("0123456789abcdef"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(o, server.Config{Queue: 256, Batch: batch})
+	tsrv := server.NewTCP(srv, server.TCPConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- tsrv.Serve(ln) }()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		tsrv.Shutdown(ctx)
+		<-served
+		srv.Close()
+	}
+	return ln.Addr().String(), stop
+}
+
+// reportShape checks that the load-test table carries the headline
+// metrics: throughput and the three latency quantiles, with zero errors.
+func reportShape(t *testing.T, out string) {
+	t.Helper()
+	for _, pat := range []string{
+		`## abload: closed-loop load test`,
+		`throughput \(ops/s\)\s+\d`,
+		`latency p50\s+\d`,
+		`latency p95\s+\d`,
+		`latency p99\s+\d`,
+		`operation errors\s+0\b`,
+	} {
+		if !regexp.MustCompile(pat).MatchString(out) {
+			t.Errorf("report missing /%s/:\n%s", pat, out)
+		}
+	}
+}
+
+// TestLoadBatchingOnAndOff is the acceptance scenario: the generator runs
+// against the serving stack with coalescing disabled (batch=1) and enabled
+// (batch=16), and both runs must produce a full report table.
+func TestLoadBatchingOnAndOff(t *testing.T) {
+	for _, batch := range []int{1, 16} {
+		addr, stop := startStack(t, batch)
+		var buf bytes.Buffer
+		err := run([]string{
+			"-addr", addr,
+			"-workers", "8",
+			"-ops", "160",
+			"-seed", "3",
+		}, &buf)
+		stop()
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		reportShape(t, buf.String())
+	}
+}
+
+// TestLoadUniformReadHeavy covers the uniform distribution and a skewed
+// read fraction.
+func TestLoadUniformReadHeavy(t *testing.T) {
+	addr, stop := startStack(t, 4)
+	defer stop()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-workers", "4",
+		"-ops", "80",
+		"-dist", "uniform",
+		"-readfrac", "0.9",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportShape(t, buf.String())
+	if !regexp.MustCompile(`distribution\s+uniform`).MatchString(buf.String()) {
+		t.Errorf("report should label the uniform distribution:\n%s", buf.String())
+	}
+}
+
+// TestLoadFlagValidation rejects nonsense configurations before dialing.
+func TestLoadFlagValidation(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-workers", "0"},
+		{"-ops", "0"},
+		{"-readfrac", "1.5"},
+		{"-dist", "pareto"},
+		{"-dist", "zipf", "-zipf", "0.9"},
+	} {
+		var buf bytes.Buffer
+		if err := run(tc, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", tc)
+		}
+	}
+}
+
+// TestLoadNoServer fails cleanly when nothing is listening.
+func TestLoadNoServer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:1", "-timeout", "500ms"}, &buf); err == nil {
+		t.Fatal("expected a dial error")
+	}
+}

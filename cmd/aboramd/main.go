@@ -1,0 +1,133 @@
+// Command aboramd serves one AB-ORAM instance over TCP: the deployment
+// shape the serving layer targets, with many clients multiplexed onto one
+// oblivious store through internal/server's batching scheduler.
+//
+// Usage:
+//
+//	aboramd                                  # AB scheme, 12 levels, 127.0.0.1:7314
+//	aboramd -addr :7314 -levels 14 -batch 32 # bigger tree, wider coalescing
+//	aboramd -maxconns 64 -idle 30s           # front-end limits
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
+// lets in-flight connections finish (up to -drain), serves everything
+// already queued, then prints the scheduler counters and exits.
+//
+// The demo key baked into -key is for benchmarking only; a deployment
+// would inject a real key (and real entropy via -seed).
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, stop, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "aboramd:", err)
+		os.Exit(1)
+	}
+}
+
+// devKey is the well-known demo encryption key (16 bytes of hex).
+const devKey = "30313233343536373839616263646566"
+
+// run starts the daemon and blocks until the stop channel fires (or the
+// listener fails). onReady, when non-nil, receives the bound address —
+// tests use it to learn the port behind ":0".
+func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.Addr)) error {
+	fs := flag.NewFlagSet("aboramd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7314", "TCP listen address")
+	scheme := fs.String("scheme", "AB", "scheme: Baseline | IR | DR | NS | AB")
+	levels := fs.Int("levels", 12, "ORAM tree levels")
+	seed := fs.Uint64("seed", 1, "random seed")
+	keyHex := fs.String("key", devKey, "16-byte AES key, hex (demo default; empty = pattern-only, no Read/Write)")
+	queue := fs.Int("queue", 256, "request queue capacity (admission control)")
+	batch := fs.Int("batch", 16, "max requests coalesced per scheduler wakeup (1 = off)")
+	maxconns := fs.Int("maxconns", 128, "max concurrent connections (0 = unlimited)")
+	idle := fs.Duration("idle", 2*time.Minute, "per-connection idle read deadline (0 = none)")
+	writeTO := fs.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
+	reqTO := fs.Duration("req-timeout", 10*time.Second, "per-request queue+service budget (0 = none)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight connections")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var key []byte
+	if *keyHex != "" {
+		k, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			return fmt.Errorf("bad -key: %w", err)
+		}
+		key = k
+	}
+	o, err := aboram.New(aboram.Options{
+		Scheme:        core.Scheme(*scheme),
+		Levels:        *levels,
+		Seed:          *seed,
+		EncryptionKey: key,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(o, server.Config{Queue: *queue, Batch: *batch})
+	tsrv := server.NewTCP(srv, server.TCPConfig{
+		MaxConns:       *maxconns,
+		IdleTimeout:    *idle,
+		WriteTimeout:   *writeTO,
+		RequestTimeout: *reqTO,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v) on %s\n",
+		*scheme, *levels, o.NumBlocks(), o.BlockSize(), o.Encrypted(), ln.Addr())
+	fmt.Fprintf(out, "aboramd: queue=%d batch=%d maxconns=%d\n", *queue, *batch, *maxconns)
+
+	served := make(chan error, 1)
+	go func() { served <- tsrv.Serve(ln) }()
+
+	select {
+	case err := <-served:
+		srv.Close()
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(out, "aboramd: %v, draining (budget %v)\n", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := tsrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(out, "aboramd: forced close of lingering connections: %v\n", err)
+	}
+	<-served    // Serve has returned ErrServerClosed
+	srv.Close() // serve everything already admitted, then stop
+
+	m := srv.Metrics()
+	if err := m.Table("aboramd scheduler counters").WriteText(out); err != nil {
+		return err
+	}
+	tm := tsrv.Metrics()
+	fmt.Fprintf(out, "aboramd: %d connections served, %d refused; bye\n", tm.Accepted, tm.Refused)
+	return nil
+}

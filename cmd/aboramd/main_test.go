@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its address
+// plus a shutdown func that sends SIGTERM and waits for a clean exit.
+func startDaemon(t *testing.T, extraArgs ...string) (addr string, out *bytes.Buffer, shutdown func()) {
+	t.Helper()
+	stop := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	var buf bytes.Buffer
+	var mu sync.Mutex // run writes buf from its goroutine; readers take the lock
+	w := lockedWriter{mu: &mu, buf: &buf}
+
+	args := append([]string{"-addr", "127.0.0.1:0", "-levels", "8", "-drain", "5s"}, extraArgs...)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(args, w, stop, func(a net.Addr) { ready <- a })
+	}()
+	select {
+	case a := <-ready:
+		addr = a.String()
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	shutdown = func() {
+		stop <- syscall.SIGTERM
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon exit: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("daemon did not exit after SIGTERM")
+		}
+	}
+	return addr, &buf, shutdown
+}
+
+type lockedWriter struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+// TestDaemonServesAndDrains boots the daemon, does real work over TCP,
+// then SIGTERMs it and checks the graceful-drain output.
+func TestDaemonServesAndDrains(t *testing.T) {
+	addr, out, shutdown := startDaemon(t)
+
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Encrypted {
+		t.Fatal("default daemon should run with the demo key")
+	}
+	want := make([]byte, info.BlockSize)
+	for i := range want {
+		want[i] = 0xA5
+	}
+	if err := c.Write(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("daemon returned wrong block contents")
+	}
+	c.Close()
+
+	shutdown()
+	s := out.String()
+	for _, wantLine := range []string{"aboramd: serving", "draining", "scheduler counters", "bye"} {
+		if !strings.Contains(s, wantLine) {
+			t.Errorf("daemon output missing %q:\n%s", wantLine, s)
+		}
+	}
+}
+
+// TestDaemonPatternOnly runs with -key "" and checks reads fail while
+// accesses work, end to end.
+func TestDaemonPatternOnly(t *testing.T) {
+	addr, _, shutdown := startDaemon(t, "-key", "")
+	defer shutdown()
+
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Encrypted {
+		t.Fatal("-key \"\" should disable encryption")
+	}
+	if err := c.Access(1); err != nil {
+		t.Fatalf("access: %v", err)
+	}
+	if _, err := c.Read(1); err == nil {
+		t.Fatal("read should fail on a pattern-only daemon")
+	}
+}
+
+// TestDaemonBadFlags checks that invalid configuration fails fast instead
+// of starting a broken daemon.
+func TestDaemonBadFlags(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-key", "nothex"},
+		{"-key", "abcd"}, // valid hex, wrong length
+		{"-scheme", "BOGUS"},
+		{"-levels", "1"},
+	} {
+		var buf bytes.Buffer
+		stop := make(chan os.Signal)
+		if err := run(tc, &buf, stop, nil); err == nil {
+			t.Errorf("run(%v) succeeded, want error", tc)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/server/wire"
+)
+
+// Client is a wire-protocol connection to an aboramd server. It is a
+// plain request/response pipe and is NOT safe for concurrent use; a load
+// generator opens one Client per worker.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+// Dial connects to an aboramd address. timeout bounds the dial and every
+// subsequent request round trip (0 = no deadlines).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, timeout), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		timeout: timeout,
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := wire.WriteRequest(c.bw, req); err != nil {
+		return wire.Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return wire.Response{}, err
+	}
+	resp, err := wire.ReadResponse(c.br)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if resp.Err != "" {
+		return wire.Response{}, fmt.Errorf("server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Access obliviously touches a block without transferring content.
+func (c *Client) Access(block int64) error {
+	_, err := c.roundTrip(wire.Request{Op: wire.OpAccess, Block: block})
+	return err
+}
+
+// Read obliviously fetches a block's content.
+func (c *Client) Read(block int64) ([]byte, error) {
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpRead, Block: block})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write obliviously stores a block's content.
+func (c *Client) Write(block int64, data []byte) error {
+	_, err := c.roundTrip(wire.Request{Op: wire.OpWrite, Block: block, Data: data})
+	return err
+}
+
+// Info fetches the served store's geometry.
+func (c *Client) Info() (wire.InfoPayload, error) {
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpInfo})
+	if err != nil {
+		return wire.InfoPayload{}, err
+	}
+	return wire.DecodeInfo(resp.Data)
+}

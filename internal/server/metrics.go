@@ -1,0 +1,146 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// batchBounds are the batch-size histogram bucket upper bounds; the last
+// implicit bucket catches anything larger.
+var batchBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// metrics is the scheduler's counter set. The scheduler goroutine and the
+// submitters update disjoint counters, but Snapshot can race both, so one
+// mutex guards everything; every update is a few machine ops, far below
+// the cost of the ORAM access it accounts for.
+type metrics struct {
+	mu sync.Mutex
+
+	enq      uint64
+	rej      uint64
+	canc     uint64
+	byOp     [3]uint64 // served, indexed by opKind
+	dupHits  uint64
+	batches  uint64
+	maxBatch int
+	queueHWM int
+	sizes    *stats.Histogram
+}
+
+func (m *metrics) init() {
+	m.sizes = stats.NewHistogram(batchBounds)
+}
+
+func (m *metrics) enqueued(depth int) {
+	m.mu.Lock()
+	m.enq++
+	if depth > m.queueHWM {
+		m.queueHWM = depth
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) rejected() {
+	m.mu.Lock()
+	m.rej++
+	m.mu.Unlock()
+}
+
+func (m *metrics) canceled() {
+	m.mu.Lock()
+	m.canc++
+	m.mu.Unlock()
+}
+
+func (m *metrics) batch(size, dups int) {
+	m.mu.Lock()
+	m.batches++
+	m.dupHits += uint64(dups)
+	if size > m.maxBatch {
+		m.maxBatch = size
+	}
+	m.sizes.Observe(float64(size))
+	m.mu.Unlock()
+}
+
+func (m *metrics) served(op opKind) {
+	m.mu.Lock()
+	m.byOp[op]++
+	m.mu.Unlock()
+}
+
+// Metrics is a point-in-time snapshot of the scheduler counters.
+type Metrics struct {
+	Enqueued uint64 // requests admitted into the queue
+	Rejected uint64 // admission-control rejections (queue full)
+	Canceled uint64 // expired in queue, answered without ORAM work
+	Accesses uint64 // served pattern-only accesses
+	Reads    uint64 // served reads
+	Writes   uint64 // served writes
+
+	Batches        uint64  // scheduler wakeups that served >= 1 request
+	MeanBatch      float64 // mean requests per wakeup
+	MaxBatch       int     // largest single drain
+	DupHits        uint64  // same-block repeats within one batch
+	QueueHighWater int     // deepest queue observed at admission
+
+	// BatchSizeBuckets are counts per histogram bucket; bucket i covers
+	// sizes up to BatchSizeBounds[i], the final bucket is overflow.
+	BatchSizeBounds  []float64
+	BatchSizeBuckets []uint64
+}
+
+// Served returns the total number of requests served by the scheduler.
+func (m Metrics) Served() uint64 { return m.Accesses + m.Reads + m.Writes }
+
+// Metrics returns a snapshot of the scheduler counters.
+func (s *Server) Metrics() Metrics {
+	m := &s.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		Enqueued:        m.enq,
+		Rejected:        m.rej,
+		Canceled:        m.canc,
+		Accesses:        m.byOp[opAccess],
+		Reads:           m.byOp[opRead],
+		Writes:          m.byOp[opWrite],
+		Batches:         m.batches,
+		MeanBatch:       m.sizes.Mean(),
+		MaxBatch:        m.maxBatch,
+		DupHits:         m.dupHits,
+		QueueHighWater:  m.queueHWM,
+		BatchSizeBounds: append([]float64(nil), batchBounds...),
+	}
+	out.BatchSizeBuckets = make([]uint64, m.sizes.NumBuckets())
+	for i := range out.BatchSizeBuckets {
+		out.BatchSizeBuckets[i] = m.sizes.Bucket(i)
+	}
+	return out
+}
+
+// Table renders the snapshot as a report table, the format every other
+// harness counter uses.
+func (m Metrics) Table(title string) *report.Table {
+	t := report.New(title, "counter", "value")
+	t.AddRow("requests admitted", report.Uint(m.Enqueued))
+	t.AddRow("requests rejected (queue full)", report.Uint(m.Rejected))
+	t.AddRow("requests canceled/timed out in queue", report.Uint(m.Canceled))
+	t.AddRow("accesses served", report.Uint(m.Accesses))
+	t.AddRow("reads served", report.Uint(m.Reads))
+	t.AddRow("writes served", report.Uint(m.Writes))
+	t.AddRow("scheduler batches", report.Uint(m.Batches))
+	t.AddRow("mean batch size", report.Float(m.MeanBatch, 2))
+	t.AddRow("max batch size", report.Int(int64(m.MaxBatch)))
+	t.AddRow("duplicate-block hits in batches", report.Uint(m.DupHits))
+	t.AddRow("queue depth high-water mark", report.Int(int64(m.QueueHighWater)))
+	for i, b := range m.BatchSizeBounds {
+		t.AddRow("batches of size <= "+report.Int(int64(b)), report.Uint(m.BatchSizeBuckets[i]))
+	}
+	if n := len(m.BatchSizeBuckets); n > 0 && m.BatchSizeBuckets[n-1] > 0 {
+		t.AddRow("batches larger", report.Uint(m.BatchSizeBuckets[n-1]))
+	}
+	return t
+}

@@ -1,0 +1,280 @@
+// Package server is the concurrent serving layer: it multiplexes many
+// clients onto one aboram.ORAM instance.
+//
+// The ORAM protocol is inherently serial — its obliviousness argument
+// depends on a single totally-ordered access sequence — so the server does
+// not try to parallelize the engine. Instead it funnels every client
+// operation through one protocol goroutine behind a bounded queue:
+//
+//	client ──┐
+//	client ──┼── bounded queue ──► scheduler goroutine ──► aboram.ORAM
+//	client ──┘      (admission        (drains up to K
+//	                 control)          requests per wakeup)
+//
+// Admission control is reject-on-full (ErrQueueFull), never block-on-full,
+// so a saturated server sheds load with bounded latency instead of
+// building an unbounded convoy. Waiting requests honor context
+// cancellation: a request whose context expires before service is answered
+// with the context error and never touches the ORAM.
+//
+// Batch coalescing drains up to Batch queued requests per scheduler
+// wakeup. Requests are still served one at a time, in arrival order — the
+// protocol forbids merging two accesses into one — but draining in batches
+// amortizes scheduler wakeups and lets the server observe request-stream
+// locality: the duplicate-hit counter (several queued requests for the
+// same block in one batch) quantifies the coalescing opportunity a
+// position-map lookaside or result cache would exploit.
+//
+// The TCP front end (tcp.go, cmd/aboramd) and the in-process bench
+// (internal/sim.RunServe) both sit on top of this type.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/aboram"
+)
+
+// Errors returned by the admission path.
+var (
+	// ErrQueueFull is returned when the bounded request queue is at
+	// capacity; the caller should back off and retry.
+	ErrQueueFull = errors.New("server: request queue full")
+	// ErrClosed is returned for requests submitted after Close.
+	ErrClosed = errors.New("server: closed")
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// Queue bounds the number of waiting requests (admission control).
+	// Default 256.
+	Queue int
+	// Batch bounds how many queued requests one scheduler wakeup drains.
+	// 1 disables coalescing. Default 16.
+	Batch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 256
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	return c
+}
+
+// request is one queued client operation. resp is buffered so the
+// scheduler never blocks on a caller that already gave up.
+type request struct {
+	ctx   context.Context
+	op    opKind
+	block int64
+	data  []byte
+	resp  chan result
+}
+
+type opKind uint8
+
+const (
+	opAccess opKind = iota
+	opRead
+	opWrite
+)
+
+type result struct {
+	data []byte
+	err  error
+}
+
+// Server serializes concurrent Access/Read/Write calls onto one ORAM.
+type Server struct {
+	oram *aboram.ORAM
+	cfg  Config
+
+	reqs chan *request
+	done chan struct{}
+
+	// admission guards the closed flag against the channel close: senders
+	// hold it shared while enqueueing, Close holds it exclusively while
+	// flipping closed, so no send can race the close(reqs).
+	admission sync.RWMutex
+	closed    bool
+
+	metrics metrics
+}
+
+// New starts the scheduler goroutine for the given ORAM. The ORAM must
+// not be used directly (or wrapped by another Server) while this Server
+// owns it.
+func New(o *aboram.ORAM, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		oram: o,
+		cfg:  cfg,
+		reqs: make(chan *request, cfg.Queue),
+		done: make(chan struct{}),
+	}
+	s.metrics.init()
+	go s.loop()
+	return s
+}
+
+// NumBlocks returns the number of addressable blocks of the served ORAM.
+func (s *Server) NumBlocks() int64 { return s.oram.NumBlocks() }
+
+// BlockSize returns the block size in bytes of the served ORAM.
+func (s *Server) BlockSize() int { return s.oram.BlockSize() }
+
+// Encrypted reports whether the served ORAM has an active data plane
+// (Read/Write available), as opposed to pattern-only Access.
+func (s *Server) Encrypted() bool { return s.oram.Encrypted() }
+
+// Config returns the scheduler configuration (after defaulting).
+func (s *Server) Config() Config { return s.cfg }
+
+// Access obliviously touches a block without transferring content.
+func (s *Server) Access(ctx context.Context, block int64) error {
+	_, err := s.submit(ctx, opAccess, block, nil)
+	return err
+}
+
+// Read obliviously fetches a block's content.
+func (s *Server) Read(ctx context.Context, block int64) ([]byte, error) {
+	return s.submit(ctx, opRead, block, nil)
+}
+
+// Write obliviously stores a block's content. The data slice is copied
+// before Write returns from enqueueing, so the caller may reuse it.
+func (s *Server) Write(ctx context.Context, block int64, data []byte) error {
+	_, err := s.submit(ctx, opWrite, block, append([]byte(nil), data...))
+	return err
+}
+
+// submit enqueues one operation and waits for its result or for ctx.
+func (s *Server) submit(ctx context.Context, op opKind, block int64, data []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &request{ctx: ctx, op: op, block: block, data: data, resp: make(chan result, 1)}
+
+	s.admission.RLock()
+	if s.closed {
+		s.admission.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.reqs <- r:
+		depth := len(s.reqs)
+		s.admission.RUnlock()
+		s.metrics.enqueued(depth)
+	default:
+		s.admission.RUnlock()
+		s.metrics.rejected()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case res := <-r.resp:
+		return res.data, res.err
+	case <-ctx.Done():
+		// The scheduler will observe the expired context and answer into
+		// the buffered channel without touching the ORAM; nothing leaks.
+		return nil, ctx.Err()
+	}
+}
+
+// Close drains the queue, serves everything already admitted, stops the
+// scheduler goroutine, and rejects all later submissions with ErrClosed.
+// It is safe to call more than once.
+func (s *Server) Close() error {
+	s.admission.Lock()
+	if s.closed {
+		s.admission.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	s.admission.Unlock()
+	// No submitter can be inside a send now (sends happen under the read
+	// lock, and every future lock holder sees closed), so closing the
+	// channel is race-free; the scheduler drains what was admitted.
+	close(s.reqs)
+	<-s.done
+	return nil
+}
+
+// loop is the protocol goroutine: the only place the ORAM is touched.
+func (s *Server) loop() {
+	defer close(s.done)
+	batch := make([]*request, 0, s.cfg.Batch)
+	seen := make(map[int64]int, s.cfg.Batch)
+	for {
+		first, ok := <-s.reqs
+		if !ok {
+			return
+		}
+		// Coalesce: drain whatever else is already queued, up to the batch
+		// bound, without sleeping for more.
+		batch = append(batch[:0], first)
+		closed := false
+	drain:
+		for len(batch) < s.cfg.Batch {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					// Receiving !ok from the closed channel means it is
+					// also empty: everything admitted is in this batch.
+					closed = true
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		s.serveBatch(batch, seen)
+		if closed {
+			return
+		}
+	}
+}
+
+// serveBatch executes one drained batch in arrival order, recording batch
+// shape and duplicate-block hits.
+func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
+	if len(batch) == 0 {
+		return
+	}
+	clear(seen)
+	dups := 0
+	for _, r := range batch {
+		seen[r.block]++
+		if seen[r.block] > 1 {
+			dups++
+		}
+	}
+	s.metrics.batch(len(batch), dups)
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			// Expired while queued: answer without touching the ORAM, so a
+			// dead client cannot force protocol work.
+			s.metrics.canceled()
+			r.resp <- result{err: err}
+			continue
+		}
+		var res result
+		switch r.op {
+		case opAccess:
+			res.err = s.oram.Access(r.block)
+		case opRead:
+			res.data, res.err = s.oram.Read(r.block)
+		case opWrite:
+			res.err = s.oram.Write(r.block, r.data)
+		}
+		s.metrics.served(r.op)
+		r.resp <- res
+	}
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/aboram"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func newTestORAM(t testing.TB, seed uint64) *aboram.ORAM {
+	t.Helper()
+	o, err := aboram.New(aboram.Options{Levels: 8, Seed: seed, EncryptionKey: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// newPaused builds a Server whose scheduler goroutine has not started, so
+// tests can fill the queue deterministically; call go s.loop() to start.
+func newPaused(o *aboram.ORAM, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		oram: o,
+		cfg:  cfg,
+		reqs: make(chan *request, cfg.Queue),
+		done: make(chan struct{}),
+	}
+	s.metrics.init()
+	return s
+}
+
+func payload(o *aboram.ORAM, blk int64, tag byte) []byte {
+	d := make([]byte, o.BlockSize())
+	for i := range d {
+		d[i] = tag ^ byte(blk) ^ byte(i*3)
+	}
+	return d
+}
+
+// TestServerDifferential drives the same operation sequence through a
+// Server and through a second identical bare aboram instance; every
+// result must match.
+func TestServerDifferential(t *testing.T) {
+	served := newTestORAM(t, 42)
+	direct := newTestORAM(t, 42)
+	s := New(served, Config{Queue: 32, Batch: 8})
+	defer s.Close()
+	ctx := context.Background()
+
+	n := served.NumBlocks()
+	for i := 0; i < 300; i++ {
+		blk := (int64(i) * 13) % n
+		switch i % 3 {
+		case 0:
+			want := payload(served, blk, byte(i))
+			if err := s.Write(ctx, blk, want); err != nil {
+				t.Fatalf("op %d: server write: %v", i, err)
+			}
+			if err := direct.Write(blk, want); err != nil {
+				t.Fatalf("op %d: direct write: %v", i, err)
+			}
+		case 1:
+			got, err := s.Read(ctx, blk)
+			if err != nil {
+				t.Fatalf("op %d: server read: %v", i, err)
+			}
+			want, err := direct.Read(blk)
+			if err != nil {
+				t.Fatalf("op %d: direct read: %v", i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: server read diverged from direct instance at block %d", i, blk)
+			}
+		default:
+			if err := s.Access(ctx, blk); err != nil {
+				t.Fatalf("op %d: server access: %v", i, err)
+			}
+			if err := direct.Access(blk); err != nil {
+				t.Fatalf("op %d: direct access: %v", i, err)
+			}
+		}
+	}
+	if err := served.CheckIntegrity(); err != nil {
+		t.Fatalf("served instance integrity: %v", err)
+	}
+	if err := direct.CheckIntegrity(); err != nil {
+		t.Fatalf("direct instance integrity: %v", err)
+	}
+}
+
+// TestServerManyConcurrentClients is the -race workhorse: 40 client
+// goroutines hammer one server with mixed reads, writes, and accesses.
+// Each client owns a disjoint block range, so final contents are
+// deterministic per client and verifiable.
+func TestServerManyConcurrentClients(t *testing.T) {
+	o := newTestORAM(t, 7)
+	s := New(o, Config{Queue: 128, Batch: 16})
+	defer s.Close()
+
+	const clients = 40
+	const opsPerClient = 25
+	blocksPer := o.NumBlocks() / clients
+	if blocksPer < 2 {
+		t.Fatalf("tree too small: %d blocks for %d clients", o.NumBlocks(), clients)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx := context.Background()
+			base := int64(c) * blocksPer
+			for i := 0; i < opsPerClient; i++ {
+				blk := base + int64(i)%blocksPer
+				switch i % 3 {
+				case 0:
+					if err := s.Write(ctx, blk, payload(o, blk, byte(c))); err != nil && !errors.Is(err, ErrQueueFull) {
+						errs <- fmt.Errorf("client %d write: %w", c, err)
+						return
+					}
+				case 1:
+					if _, err := s.Read(ctx, blk); err != nil && !errors.Is(err, ErrQueueFull) {
+						errs <- fmt.Errorf("client %d read: %w", c, err)
+						return
+					}
+				default:
+					if err := s.Access(ctx, blk); err != nil && !errors.Is(err, ErrQueueFull) {
+						errs <- fmt.Errorf("client %d access: %w", c, err)
+						return
+					}
+				}
+			}
+			// The last write wins within this client's range; verify one.
+			blk := base
+			want := payload(o, blk, byte(c))
+			if err := s.Write(ctx, blk, want); err != nil {
+				errs <- fmt.Errorf("client %d final write: %w", c, err)
+				return
+			}
+			got, err := s.Read(ctx, blk)
+			if err != nil {
+				errs <- fmt.Errorf("client %d final read: %w", c, err)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				errs <- fmt.Errorf("client %d read back wrong content", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.Metrics()
+	if m.Served() == 0 || m.Served() != m.Enqueued-m.Canceled {
+		t.Fatalf("metrics do not balance: %+v", m)
+	}
+	if err := o.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after concurrent hammering: %v", err)
+	}
+}
+
+// TestServerAdmissionControl fills the queue of a paused server and
+// checks the reject path deterministically.
+func TestServerAdmissionControl(t *testing.T) {
+	o := newTestORAM(t, 1)
+	s := newPaused(o, Config{Queue: 2, Batch: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	queued := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queued <- s.Access(ctx, int64(i))
+		}(i)
+	}
+	// Wait until both requests occupy the queue.
+	for len(s.reqs) != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Access(context.Background(), 9); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue returned %v, want ErrQueueFull", err)
+	}
+	// Expire the queued requests, then start the scheduler: it must answer
+	// them with the context error without touching the ORAM.
+	cancel()
+	go s.loop()
+	wg.Wait()
+	close(queued)
+	for err := range queued {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued request returned %v, want context.Canceled", err)
+		}
+	}
+	s.Close()
+
+	m := s.Metrics()
+	if m.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", m.Rejected)
+	}
+	if m.Canceled != 2 {
+		t.Fatalf("canceled = %d, want 2", m.Canceled)
+	}
+	if m.Served() != 0 {
+		t.Fatalf("served = %d, want 0 (all requests expired)", m.Served())
+	}
+}
+
+// TestServerBatchCoalescing pre-fills the queue and checks one wakeup
+// drains it as a single batch, counting duplicate-block hits.
+func TestServerBatchCoalescing(t *testing.T) {
+	o := newTestORAM(t, 2)
+	s := newPaused(o, Config{Queue: 16, Batch: 8})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two distinct blocks, four requests each.
+			if err := s.Access(context.Background(), int64(i%2)); err != nil {
+				t.Errorf("access: %v", err)
+			}
+		}(i)
+	}
+	for len(s.reqs) != 8 {
+		time.Sleep(time.Millisecond)
+	}
+	go s.loop()
+	wg.Wait()
+	s.Close()
+
+	m := s.Metrics()
+	if m.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", m.Batches)
+	}
+	if m.MaxBatch != 8 {
+		t.Fatalf("max batch = %d, want 8", m.MaxBatch)
+	}
+	if m.DupHits != 6 {
+		t.Fatalf("dup hits = %d, want 6 (8 requests over 2 blocks)", m.DupHits)
+	}
+	if m.QueueHighWater < 2 {
+		t.Fatalf("queue high-water = %d, want >= 2", m.QueueHighWater)
+	}
+}
+
+// TestServerExpiredContext covers the pre-admission fast path.
+func TestServerExpiredContext(t *testing.T) {
+	o := newTestORAM(t, 3)
+	s := New(o, Config{})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Access(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired context returned %v", err)
+	}
+}
+
+// TestServerClose locks in the shutdown contract: concurrent in-flight
+// requests complete, later requests get ErrClosed, Close is idempotent.
+func TestServerClose(t *testing.T) {
+	o := newTestORAM(t, 4)
+	s := New(o, Config{Queue: 64, Batch: 4})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := s.Access(context.Background(), int64(i))
+			if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrQueueFull) {
+				t.Errorf("in-flight access: %v", err)
+			}
+		}(i)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := s.Access(context.Background(), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close access returned %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestServerPatternOnly checks that a pattern-only ORAM (no encryption
+// key) serves Access but fails Read/Write cleanly through the scheduler.
+func TestServerPatternOnly(t *testing.T) {
+	o, err := aboram.New(aboram.Options{Levels: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(o, Config{})
+	defer s.Close()
+	ctx := context.Background()
+	if err := s.Access(ctx, 1); err != nil {
+		t.Fatalf("access: %v", err)
+	}
+	if _, err := s.Read(ctx, 1); err == nil {
+		t.Fatal("read on pattern-only instance should fail")
+	}
+	if err := s.Write(ctx, 1, make([]byte, o.BlockSize())); err == nil {
+		t.Fatal("write on pattern-only instance should fail")
+	}
+}

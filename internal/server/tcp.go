@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server/wire"
+)
+
+// TCPConfig tunes the network front end.
+type TCPConfig struct {
+	// MaxConns caps concurrently served connections; a connection beyond
+	// the cap receives one error response and is closed. 0 = unlimited.
+	MaxConns int
+	// IdleTimeout bounds how long a connection may sit between requests
+	// (the per-read deadline). 0 = no deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. 0 = no deadline.
+	WriteTimeout time.Duration
+	// RequestTimeout bounds one request's queue wait + service time; an
+	// expired request is answered with the deadline error. 0 = no bound.
+	RequestTimeout time.Duration
+}
+
+// TCPMetrics counts front-end connection events.
+type TCPMetrics struct {
+	Accepted uint64 // connections served
+	Refused  uint64 // connections turned away by MaxConns
+	Active   int    // connections being served right now
+}
+
+// TCPServer speaks the wire protocol on a listener and forwards requests
+// to a Server.
+type TCPServer struct {
+	srv *Server
+	cfg TCPConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+	accepted uint64
+	refused  uint64
+
+	handlers sync.WaitGroup
+}
+
+// NewTCP wraps a Server with a wire-protocol front end.
+func NewTCP(srv *Server, cfg TCPConfig) *TCPServer {
+	return &TCPServer{srv: srv, cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It always
+// returns a non-nil error; after Shutdown the error is ErrServerClosed.
+func (t *TCPServer) Serve(ln net.Listener) error {
+	t.mu.Lock()
+	if t.shutdown {
+		t.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	t.ln = ln
+	t.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			t.mu.Lock()
+			down := t.shutdown
+			t.mu.Unlock()
+			if down {
+				return ErrServerClosed
+			}
+			return err
+		}
+		t.mu.Lock()
+		if t.shutdown {
+			t.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		if t.cfg.MaxConns > 0 && len(t.conns) >= t.cfg.MaxConns {
+			t.refused++
+			t.mu.Unlock()
+			// Tell the client why before hanging up, best-effort under a
+			// short deadline so a stalled peer cannot block the acceptor.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			wire.WriteResponse(conn, wire.Response{Err: "server at connection capacity"})
+			conn.Close()
+			continue
+		}
+		t.accepted++
+		t.conns[conn] = struct{}{}
+		t.handlers.Add(1)
+		t.mu.Unlock()
+		go func() {
+			defer t.handlers.Done()
+			t.handle(conn)
+			t.mu.Lock()
+			delete(t.conns, conn)
+			t.mu.Unlock()
+		}()
+	}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: tcp server closed")
+
+// Shutdown gracefully drains the front end: stop accepting, let in-flight
+// connections finish, force-close whatever remains when ctx expires. The
+// underlying Server is left running; the caller closes it separately
+// (after Shutdown, so queued requests still get answers).
+func (t *TCPServer) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	t.shutdown = true
+	ln := t.ln
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	finished := make(chan struct{})
+	go func() {
+		t.handlers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		for conn := range t.conns {
+			conn.Close()
+		}
+		t.mu.Unlock()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// Metrics returns a snapshot of the connection counters.
+func (t *TCPServer) Metrics() TCPMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TCPMetrics{Accepted: t.accepted, Refused: t.refused, Active: len(t.conns)}
+}
+
+// handle serves one connection: a loop of framed request/response pairs.
+func (t *TCPServer) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		if t.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
+		}
+		req, err := wire.ReadRequest(conn)
+		if err != nil {
+			// EOF, closed connections, and idle-deadline expiry end the
+			// conversation silently; a malformed frame earns a best-effort
+			// final error response before the hang-up, since frame sync is
+			// lost either way.
+			var ne net.Error
+			silent := err == io.EOF || errors.Is(err, net.ErrClosed) ||
+				(errors.As(err, &ne) && ne.Timeout())
+			if !silent {
+				t.reply(conn, wire.Response{Err: err.Error()})
+			}
+			return
+		}
+		resp := t.dispatch(req)
+		if !t.reply(conn, resp) {
+			return
+		}
+	}
+}
+
+// reply writes one response under the write deadline; false means the
+// connection is unusable.
+func (t *TCPServer) reply(conn net.Conn, resp wire.Response) bool {
+	if t.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	}
+	return wire.WriteResponse(conn, resp) == nil
+}
+
+// dispatch executes one wire request against the scheduler.
+func (t *TCPServer) dispatch(req wire.Request) wire.Response {
+	ctx := context.Background()
+	if t.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.cfg.RequestTimeout)
+		defer cancel()
+	}
+	switch req.Op {
+	case wire.OpInfo:
+		return wire.Response{Data: wire.EncodeInfo(wire.InfoPayload{
+			NumBlocks: t.srv.NumBlocks(),
+			BlockSize: t.srv.BlockSize(),
+			Encrypted: t.srv.Encrypted(),
+		})}
+	case wire.OpAccess:
+		if err := t.srv.Access(ctx, req.Block); err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		return wire.Response{}
+	case wire.OpRead:
+		data, err := t.srv.Read(ctx, req.Block)
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		return wire.Response{Data: data}
+	case wire.OpWrite:
+		if err := t.srv.Write(ctx, req.Block, req.Data); err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		return wire.Response{}
+	default:
+		return wire.Response{Err: fmt.Sprintf("unsupported op %d", uint8(req.Op))}
+	}
+}

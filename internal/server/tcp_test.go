@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTCP spins up a full stack — ORAM, scheduler, TCP front end — on a
+// loopback listener and returns the address plus a shutdown func.
+func startTCP(t *testing.T, seed uint64, cfg Config, tcfg TCPConfig) (addr string, srv *Server, tsrv *TCPServer, stop func()) {
+	t.Helper()
+	o := newTestORAM(t, seed)
+	srv = New(o, cfg)
+	tsrv = NewTCP(srv, tcfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- tsrv.Serve(ln) }()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		tsrv.Shutdown(ctx)
+		if err := <-served; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		srv.Close()
+	}
+	return ln.Addr().String(), srv, tsrv, stop
+}
+
+// TestTCPDifferential round-trips reads and writes over a real socket and
+// compares against a bare aboram instance with the same seed.
+func TestTCPDifferential(t *testing.T) {
+	addr, _, _, stop := startTCP(t, 11, Config{}, TCPConfig{})
+	defer stop()
+	direct := newTestORAM(t, 11)
+
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumBlocks != direct.NumBlocks() || info.BlockSize != direct.BlockSize() || !info.Encrypted {
+		t.Fatalf("info mismatch: %+v", info)
+	}
+
+	for i := 0; i < 120; i++ {
+		blk := (int64(i) * 7) % info.NumBlocks
+		switch i % 3 {
+		case 0:
+			want := payload(direct, blk, byte(i))
+			if err := c.Write(blk, want); err != nil {
+				t.Fatalf("op %d: wire write: %v", i, err)
+			}
+			if err := direct.Write(blk, want); err != nil {
+				t.Fatalf("op %d: direct write: %v", i, err)
+			}
+		case 1:
+			got, err := c.Read(blk)
+			if err != nil {
+				t.Fatalf("op %d: wire read: %v", i, err)
+			}
+			want, err := direct.Read(blk)
+			if err != nil {
+				t.Fatalf("op %d: direct read: %v", i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: wire read diverged at block %d", i, blk)
+			}
+		default:
+			if err := c.Access(blk); err != nil {
+				t.Fatalf("op %d: wire access: %v", i, err)
+			}
+			if err := direct.Access(blk); err != nil {
+				t.Fatalf("op %d: direct access: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestTCPManyClients hammers the daemon over 32 real connections under
+// -race.
+func TestTCPManyClients(t *testing.T) {
+	addr, srv, tsrv, stop := startTCP(t, 12, Config{Queue: 256, Batch: 16}, TCPConfig{})
+	defer stop()
+
+	const clients = 32
+	const ops = 12
+	blocksPer := srv.NumBlocks() / clients
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			c, err := Dial(addr, 10*time.Second)
+			if err != nil {
+				t.Errorf("client %d: dial: %v", cl, err)
+				return
+			}
+			defer c.Close()
+			base := int64(cl) * blocksPer
+			data := make([]byte, srv.BlockSize())
+			for i := range data {
+				data[i] = byte(cl)
+			}
+			for i := 0; i < ops; i++ {
+				blk := base + int64(i)%blocksPer
+				if i%2 == 0 {
+					if err := c.Write(blk, data); err != nil {
+						t.Errorf("client %d: write: %v", cl, err)
+						return
+					}
+				} else if _, err := c.Read(blk); err != nil {
+					t.Errorf("client %d: read: %v", cl, err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	if m := tsrv.Metrics(); m.Accepted != clients {
+		t.Fatalf("accepted %d connections, want %d", m.Accepted, clients)
+	}
+	if m := srv.Metrics(); m.Served() != clients*ops {
+		t.Fatalf("served %d requests, want %d", m.Served(), clients*ops)
+	}
+}
+
+// TestTCPMaxConns checks the connection cap: the over-limit connection
+// receives an error response and is closed.
+func TestTCPMaxConns(t *testing.T) {
+	addr, _, tsrv, stop := startTCP(t, 13, Config{}, TCPConfig{MaxConns: 1})
+	defer stop()
+
+	first, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := first.Info(); err != nil {
+		t.Fatalf("first connection: %v", err)
+	}
+
+	second, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	_, err = second.Info()
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("over-limit connection got %v, want capacity error", err)
+	}
+	if m := tsrv.Metrics(); m.Refused != 1 {
+		t.Fatalf("refused = %d, want 1", m.Refused)
+	}
+
+	// Closing the first connection frees the slot for a new client.
+	first.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		third, err := Dial(addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := third.Info(); err == nil {
+			third.Close()
+			break
+		}
+		third.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after first connection closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPShutdownForcesIdleConns checks that Shutdown force-closes a
+// connection that never speaks once the drain deadline passes.
+func TestTCPShutdownForcesIdleConns(t *testing.T) {
+	addr, srv, tsrv, _ := startTCP(t, 14, Config{}, TCPConfig{})
+	defer srv.Close()
+
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	// Make sure the handler picked the connection up.
+	for tsrv.Metrics().Active == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := tsrv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown returned %v, want DeadlineExceeded", err)
+	}
+	if got := tsrv.Metrics().Active; got != 0 {
+		t.Fatalf("%d connections still active after forced shutdown", got)
+	}
+}
+
+// TestTCPIdleTimeout checks the per-connection read deadline: a silent
+// client is disconnected.
+func TestTCPIdleTimeout(t *testing.T) {
+	addr, srv, _, stop := startTCP(t, 15, Config{}, TCPConfig{IdleTimeout: 50 * time.Millisecond})
+	defer stop()
+	_ = srv
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Say nothing; the server must hang up on its own.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the server to close an idle connection")
+	}
+}
+
+// TestTCPRequestTimeout checks that the per-request deadline turns into a
+// wire error response rather than a hang.
+func TestTCPRequestTimeout(t *testing.T) {
+	addr, _, _, stop := startTCP(t, 16, Config{}, TCPConfig{RequestTimeout: time.Nanosecond})
+	defer stop()
+
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Info is served at the TCP layer without a scheduler pass, so it
+	// still works; block ops race the 1ns deadline and lose.
+	if _, err := c.Info(); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	err = c.Access(0)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("access with 1ns budget got %v, want deadline error", err)
+	}
+}

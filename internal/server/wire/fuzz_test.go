@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary bytes to both frame decoders. Invariants:
+// no panic on any input, and any body that decodes must re-encode to the
+// identical bytes (the encoding is canonical), then decode again to an
+// equal value.
+func FuzzWireDecode(f *testing.F) {
+	seed := func(req Request) {
+		body, err := AppendRequest(nil, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	seed(Request{Op: OpAccess, Block: 7})
+	seed(Request{Op: OpRead, Block: 1 << 40})
+	seed(Request{Op: OpWrite, Block: 3, Data: []byte("payload")})
+	seed(Request{Op: OpInfo})
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{StatusError, 'o', 'o', 'p', 's'})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if req, err := DecodeRequest(body); err == nil {
+			re, err := AppendRequest(nil, req)
+			if err != nil {
+				t.Fatalf("decoded request %+v does not re-encode: %v", req, err)
+			}
+			if !bytes.Equal(re, body) {
+				t.Fatalf("request encoding not canonical:\n in % x\nout % x", body, re)
+			}
+			again, err := DecodeRequest(re)
+			if err != nil {
+				t.Fatalf("re-encoded request does not decode: %v", err)
+			}
+			if again.Op != req.Op || again.Block != req.Block || !bytes.Equal(again.Data, req.Data) {
+				t.Fatalf("request round trip changed %+v into %+v", req, again)
+			}
+		}
+		if resp, err := DecodeResponse(body); err == nil {
+			re, err := AppendResponse(nil, resp)
+			if err != nil {
+				t.Fatalf("decoded response %+v does not re-encode: %v", resp, err)
+			}
+			if !bytes.Equal(re, body) {
+				t.Fatalf("response encoding not canonical:\n in % x\nout % x", body, re)
+			}
+		}
+		// The info payload decoder must also never panic.
+		DecodeInfo(body)
+	})
+}

@@ -1,0 +1,301 @@
+// Package wire defines the binary protocol spoken between cmd/aboramd and
+// its clients (cmd/abload, internal/server.Client). Frames are
+// length-prefixed so a stream socket can carry a sequence of
+// request/response pairs without ambiguity:
+//
+//	frame    := uint32 big-endian body length | body
+//	request  := op byte | block int64 big-endian | payload (OpWrite only)
+//	response := status byte | payload (ok) or error text (error)
+//
+// The encoding is canonical: every valid body has exactly one byte
+// representation, which lets the fuzz target check decode→encode identity
+// in addition to encode→decode identity.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op identifies a request operation.
+type Op uint8
+
+const (
+	// OpAccess touches a block obliviously without transferring content.
+	OpAccess Op = 1
+	// OpRead fetches a block's content.
+	OpRead Op = 2
+	// OpWrite stores a block's content (exactly the server's block size).
+	OpWrite Op = 3
+	// OpInfo asks for the store geometry (block count, block size,
+	// encryption flag); Block must be 0.
+	OpInfo Op = 4
+)
+
+// String returns the op's display name.
+func (op Op) String() string {
+	switch op {
+	case OpAccess:
+		return "access"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpInfo:
+		return "info"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Response status bytes.
+const (
+	// StatusOK marks a successful response; the rest of the body is the
+	// result payload (block content for OpRead, geometry for OpInfo).
+	StatusOK = 0
+	// StatusError marks a failed response; the rest of the body is a
+	// human-readable error message.
+	StatusError = 1
+)
+
+// MaxData bounds the variable-length tail of a frame (write payloads,
+// read results, error texts). The ORAM block size is 64 bytes today; the
+// bound leaves room for larger configurations while keeping a malicious
+// length prefix from forcing a huge allocation.
+const MaxData = 1 << 16
+
+// maxBody is the largest legal frame body: header plus data.
+const maxBody = 1 + 8 + MaxData
+
+// Request is one client operation.
+type Request struct {
+	Op    Op
+	Block int64
+	Data  []byte // OpWrite payload; nil for every other op
+}
+
+// Response is the server's answer to one Request.
+type Response struct {
+	Data []byte // OpRead content or OpInfo geometry
+	Err  string // non-empty marks a failed request
+}
+
+// InfoPayload is the OpInfo response body: the store geometry a load
+// generator needs to choose keys.
+type InfoPayload struct {
+	NumBlocks int64
+	BlockSize int
+	Encrypted bool
+}
+
+// AppendRequest appends the canonical body encoding of req to dst. It
+// validates the same invariants DecodeRequest enforces, so only decodable
+// requests can be produced.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	dst = append(dst, byte(req.Op))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(req.Block))
+	dst = append(dst, req.Data...)
+	return dst, nil
+}
+
+// DecodeRequest parses a frame body into a Request. The returned request
+// aliases body's data bytes.
+func DecodeRequest(body []byte) (Request, error) {
+	if len(body) < 9 {
+		return Request{}, fmt.Errorf("wire: request body %d bytes, need at least 9", len(body))
+	}
+	req := Request{
+		Op:    Op(body[0]),
+		Block: int64(binary.BigEndian.Uint64(body[1:9])),
+	}
+	if len(body) > 9 {
+		req.Data = body[9:]
+	}
+	if err := validateRequest(req); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// validateRequest enforces the canonical-form invariants shared by the
+// encoder and the decoder.
+func validateRequest(req Request) error {
+	switch req.Op {
+	case OpAccess, OpRead:
+		if len(req.Data) != 0 {
+			return fmt.Errorf("wire: %s request carries %d payload bytes", req.Op, len(req.Data))
+		}
+	case OpWrite:
+		if len(req.Data) == 0 {
+			return fmt.Errorf("wire: write request without payload")
+		}
+		if len(req.Data) > MaxData {
+			return fmt.Errorf("wire: write payload %d bytes exceeds limit %d", len(req.Data), MaxData)
+		}
+	case OpInfo:
+		if len(req.Data) != 0 {
+			return fmt.Errorf("wire: info request carries %d payload bytes", len(req.Data))
+		}
+		if req.Block != 0 {
+			return fmt.Errorf("wire: info request with block %d, must be 0", req.Block)
+		}
+	default:
+		return fmt.Errorf("wire: unknown op %d", uint8(req.Op))
+	}
+	if req.Block < 0 {
+		return fmt.Errorf("wire: negative block %d", req.Block)
+	}
+	return nil
+}
+
+// AppendResponse appends the canonical body encoding of resp to dst.
+func AppendResponse(dst []byte, resp Response) ([]byte, error) {
+	if err := validateResponse(resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		dst = append(dst, StatusError)
+		return append(dst, resp.Err...), nil
+	}
+	dst = append(dst, StatusOK)
+	return append(dst, resp.Data...), nil
+}
+
+// DecodeResponse parses a frame body into a Response. The returned
+// response aliases body's data bytes.
+func DecodeResponse(body []byte) (Response, error) {
+	if len(body) < 1 {
+		return Response{}, fmt.Errorf("wire: empty response body")
+	}
+	switch body[0] {
+	case StatusOK:
+		resp := Response{}
+		if len(body) > 1 {
+			resp.Data = body[1:]
+		}
+		return resp, nil
+	case StatusError:
+		if len(body) == 1 {
+			return Response{}, fmt.Errorf("wire: error response without message")
+		}
+		return Response{Err: string(body[1:])}, nil
+	default:
+		return Response{}, fmt.Errorf("wire: unknown response status %d", body[0])
+	}
+}
+
+func validateResponse(resp Response) error {
+	if resp.Err != "" && len(resp.Data) != 0 {
+		return fmt.Errorf("wire: response carries both error and %d data bytes", len(resp.Data))
+	}
+	if len(resp.Data) > MaxData {
+		return fmt.Errorf("wire: response payload %d bytes exceeds limit %d", len(resp.Data), MaxData)
+	}
+	if len(resp.Err) > MaxData {
+		return fmt.Errorf("wire: error text %d bytes exceeds limit %d", len(resp.Err), MaxData)
+	}
+	return nil
+}
+
+// EncodeInfo renders an OpInfo response payload: 8 bytes of block count,
+// 4 bytes of block size, 1 flag byte.
+func EncodeInfo(info InfoPayload) []byte {
+	out := make([]byte, 13)
+	binary.BigEndian.PutUint64(out[0:8], uint64(info.NumBlocks))
+	binary.BigEndian.PutUint32(out[8:12], uint32(info.BlockSize))
+	if info.Encrypted {
+		out[12] = 1
+	}
+	return out
+}
+
+// DecodeInfo parses an OpInfo response payload.
+func DecodeInfo(data []byte) (InfoPayload, error) {
+	if len(data) != 13 {
+		return InfoPayload{}, fmt.Errorf("wire: info payload %d bytes, want 13", len(data))
+	}
+	if data[12] > 1 {
+		return InfoPayload{}, fmt.Errorf("wire: info flag byte %d", data[12])
+	}
+	info := InfoPayload{
+		NumBlocks: int64(binary.BigEndian.Uint64(data[0:8])),
+		BlockSize: int(int32(binary.BigEndian.Uint32(data[8:12]))),
+		Encrypted: data[12] == 1,
+	}
+	if info.NumBlocks < 0 || info.BlockSize < 0 {
+		return InfoPayload{}, fmt.Errorf("wire: negative geometry %d/%d", info.NumBlocks, info.BlockSize)
+	}
+	return info, nil
+}
+
+// WriteFrame writes one length-prefixed frame body.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > maxBody {
+		return fmt.Errorf("wire: frame body %d bytes exceeds limit %d", len(body), maxBody)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame body, rejecting oversized
+// length prefixes before allocating.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxBody {
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit %d", n, maxBody)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return body, nil
+}
+
+// WriteRequest frames and writes one request.
+func WriteRequest(w io.Writer, req Request) error {
+	body, err := AppendRequest(nil, req)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, body)
+}
+
+// ReadRequest reads and parses one framed request.
+func ReadRequest(r io.Reader) (Request, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(body)
+}
+
+// WriteResponse frames and writes one response.
+func WriteResponse(w io.Writer, resp Response) error {
+	body, err := AppendResponse(nil, resp)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, body)
+}
+
+// ReadResponse reads and parses one framed response.
+func ReadResponse(r io.Reader) (Response, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(body)
+}

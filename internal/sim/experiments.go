@@ -41,8 +41,15 @@ func Registry() map[string]Runner {
 		"stash":   RunStashStudy,
 		"sweep":   RunSweep,
 		"verify":  RunVerify,
+		"serve":   RunServe,
 	}
 }
+
+// WallClock reports whether an experiment measures real elapsed time
+// rather than simulated cycles. Wall-clock experiments are machine-
+// dependent, so cmd/abench excludes them from `-exp all` (which promises
+// byte-identical output at any parallelism) and runs them only by name.
+func WallClock(id string) bool { return id == "serve" }
 
 // ExperimentIDs returns the registry keys in stable order.
 func ExperimentIDs() []string {

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// This file is the serving-layer bench mode: where every other experiment
+// measures simulated DRAM cycles, RunServe measures the real concurrent
+// stack — aboram behind internal/server's batching scheduler and TCP front
+// end — under a closed-loop zipfian workload, with coalescing off and on.
+// It is the in-process equivalent of running cmd/abload against
+// cmd/aboramd, packaged as an experiment so its counters land in the same
+// report/JSON pipeline as the paper figures.
+
+// serveWorkers is the closed-loop client fleet size; 32 concurrent
+// connections matches the serving-layer acceptance bar.
+const serveWorkers = 32
+
+// serveBatchOn is the coalescing width for the batching-enabled mode (the
+// disabled mode runs with width 1).
+const serveBatchOn = 16
+
+// serveMode is one measured configuration of the serving stack.
+type serveMode struct {
+	label string
+	batch int
+}
+
+// serveResult is one mode's measurement.
+type serveResult struct {
+	mode    serveMode
+	ops     int
+	wall    time.Duration
+	lat     stats.LatencySummary
+	metrics server.Metrics
+	errors  int
+}
+
+// RunServe benchmarks the concurrent serving layer: an encrypted AB-ORAM
+// instance served over loopback TCP to 32 closed-loop clients issuing a
+// zipfian read/write mix, once with batch coalescing disabled and once
+// with it enabled. Unlike every other experiment, its headline numbers are
+// wall-clock (machine-dependent): `abench -exp all` therefore skips it,
+// and it must be requested by name.
+func RunServe(p Params) ([]*report.Table, error) {
+	ops := p.Measure
+	if ops < serveWorkers {
+		ops = serveWorkers // at least one op per worker
+	}
+	modes := []serveMode{
+		{"batching off", 1},
+		{"batching on", serveBatchOn},
+	}
+
+	results := make([]serveResult, 0, len(modes))
+	for _, m := range modes {
+		r, err := runServeMode(p, m, ops)
+		if err != nil {
+			return nil, fmt.Errorf("serve %s: %w", m.label, err)
+		}
+		results = append(results, r)
+	}
+
+	head := report.New("serving layer: closed-loop load, batching off vs on",
+		"mode", "ops", "ops/s", "p50", "p95", "p99", "mean batch", "dup hits")
+	for _, r := range results {
+		head.AddRow(
+			r.mode.label,
+			report.Int(int64(r.ops)),
+			report.Float(float64(r.ops)/r.wall.Seconds(), 1),
+			r.lat.P50.String(),
+			r.lat.P95.String(),
+			r.lat.P99.String(),
+			report.Float(r.metrics.MeanBatch, 2),
+			report.Uint(r.metrics.DupHits),
+		)
+	}
+	head.AddNote("%d closed-loop clients over loopback TCP, zipf(s=1.1) blocks, 50%% reads, %d-level tree", serveWorkers, p.Levels)
+	head.AddNote("wall-clock measurement: numbers vary by machine and are excluded from -exp all")
+
+	tables := []*report.Table{head}
+	for _, r := range results {
+		t := r.metrics.Table("serving layer: scheduler counters, " + r.mode.label)
+		if r.errors > 0 {
+			t.AddNote("%d client-observed operation errors", r.errors)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// runServeMode measures one coalescing configuration end to end.
+func runServeMode(p Params, m serveMode, ops int) (serveResult, error) {
+	o, err := aboram.New(aboram.Options{
+		Levels:        p.Levels,
+		Seed:          p.Seed,
+		EncryptionKey: []byte("0123456789abcdef"), // bench-only demo key
+	})
+	if err != nil {
+		return serveResult{}, err
+	}
+	srv := server.New(o, server.Config{Queue: 4 * serveWorkers, Batch: m.batch})
+	tsrv := server.NewTCP(srv, server.TCPConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return serveResult{}, err
+	}
+	served := make(chan error, 1)
+	go func() { served <- tsrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		tsrv.Shutdown(ctx)
+		<-served
+		srv.Close()
+	}()
+
+	addr := ln.Addr().String()
+	n := uint64(o.NumBlocks())
+	blockB := o.BlockSize()
+	root := rng.New(p.Seed)
+
+	lat := new(stats.LatencyRecorder)
+	var mu sync.Mutex
+	totalErrs := 0
+	var firstErr error
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < serveWorkers; w++ {
+		nOps := ops / serveWorkers
+		if w < ops%serveWorkers {
+			nOps++
+		}
+		src := root.Fork()
+		wg.Add(1)
+		go func(nOps int, src *rng.Source) {
+			defer wg.Done()
+			errs, err := serveWorker(addr, nOps, n, blockB, src, lat)
+			mu.Lock()
+			totalErrs += errs
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(nOps, src)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return serveResult{}, firstErr
+	}
+
+	return serveResult{
+		mode:    m,
+		ops:     ops,
+		wall:    wall,
+		lat:     lat.Summary(),
+		metrics: srv.Metrics(),
+		errors:  totalErrs,
+	}, nil
+}
+
+// serveWorker runs one closed-loop client connection. Per-op server
+// errors are counted; connection-level failures are fatal.
+func serveWorker(addr string, ops int, numBlocks uint64, blockB int, src *rng.Source, lat *stats.LatencyRecorder) (int, error) {
+	c, err := server.Dial(addr, 30*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	z := trace.NewZipf(src, 1.1, numBlocks)
+	buf := make([]byte, blockB)
+	errs := 0
+	for i := 0; i < ops; i++ {
+		blk := int64(z.Next())
+		read := src.Bool()
+		begin := time.Now()
+		if read {
+			_, err = c.Read(blk)
+		} else {
+			for j := range buf {
+				buf[j] = byte(src.Uint64())
+			}
+			err = c.Write(blk, buf)
+		}
+		lat.Record(time.Since(begin))
+		if err != nil {
+			errs++
+		}
+	}
+	return errs, nil
+}

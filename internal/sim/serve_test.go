@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunServe runs the serving-layer bench end to end at a tiny scale:
+// both modes must produce the headline comparison plus per-mode scheduler
+// counters.
+func TestRunServe(t *testing.T) {
+	p := Params{Levels: 8, Measure: 64, Seed: 1}
+	tables, err := RunServe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("RunServe returned %d tables, want 3 (headline + 2 counter sets)", len(tables))
+	}
+	head := tables[0]
+	if len(head.Rows) != 2 {
+		t.Fatalf("headline table has %d rows, want 2 modes", len(head.Rows))
+	}
+	if head.Rows[0][0] != "batching off" || head.Rows[1][0] != "batching on" {
+		t.Fatalf("unexpected mode labels: %q, %q", head.Rows[0][0], head.Rows[1][0])
+	}
+	for i, want := range []string{"batching off", "batching on"} {
+		if !strings.Contains(tables[i+1].Title, want) {
+			t.Errorf("counter table %d title %q missing %q", i+1, tables[i+1].Title, want)
+		}
+	}
+}
+
+// TestWallClockFilter pins down which experiments are excluded from
+// `-exp all`: exactly the wall-clock ones, and they must still exist in
+// the registry for by-name runs.
+func TestWallClockFilter(t *testing.T) {
+	reg := Registry()
+	found := 0
+	for _, id := range ExperimentIDs() {
+		if WallClock(id) {
+			found++
+			if reg[id] == nil {
+				t.Errorf("wall-clock experiment %q missing from registry", id)
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("expected exactly 1 wall-clock experiment, found %d", found)
+	}
+	if !WallClock("serve") {
+		t.Fatal("serve must be classified wall-clock")
+	}
+}

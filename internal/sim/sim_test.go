@@ -107,7 +107,7 @@ func TestRegistryComplete(t *testing.T) {
 	wanted := []string{
 		"table1", "table2", "table3", "table4",
 		"fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "storage", "intro", "stash", "sweep", "verify",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "storage", "intro", "stash", "sweep", "verify", "serve",
 	}
 	reg := Registry()
 	if len(reg) != len(wanted) {
@@ -281,8 +281,8 @@ func TestVerifyAuditPasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 2 {
-		t.Fatalf("verify should emit audit + harness tables, got %d", len(tables))
+	if len(tables) != 3 {
+		t.Fatalf("verify should emit audit + harness + engine-sweep tables, got %d", len(tables))
 	}
 	for _, tab := range tables {
 		for _, row := range tab.Rows {
@@ -302,6 +302,9 @@ func TestVerifyAuditPasses(t *testing.T) {
 	}
 	if len(tables[1].Rows) != len(core.Schemes()) {
 		t.Errorf("harness has %d rows, want one per scheme", len(tables[1].Rows))
+	}
+	if len(tables[2].Rows) != 5 {
+		t.Errorf("engine sweep has %d rows, want one per sweep config", len(tables[2].Rows))
 	}
 }
 

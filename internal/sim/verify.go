@@ -56,7 +56,34 @@ func RunVerify(p Params) ([]*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []*report.Table{audit, harness}, nil
+	sweep, err := ringSweepTable(p, total)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{audit, harness, sweep}, nil
+}
+
+// ringSweepTable runs the engine-direct oracle over sweep-shaped
+// configurations (non-default Z'/S/A geometries the aboram facade never
+// builds), one row per shape. A divergence becomes a FAIL verdict, not an
+// experiment error, matching harnessTable's convention.
+func ringSweepTable(p Params, total int) (*report.Table, error) {
+	t := report.New("Engine-direct oracle (sweep-shaped configs)",
+		"config", "oracle ops", "divergence", "verdict")
+	results, err := check.RunRingOracle(check.SweepConfigs(p.Levels, p.Treetop, p.Seed), p.Seed, total)
+	if results == nil {
+		return nil, err // construction failure, not a divergence
+	}
+	for _, r := range results {
+		divergence, verdict := "none", "PASS"
+		if r.Div != nil {
+			divergence = r.Div.String()
+			verdict = fmt.Sprintf("FAIL: diverged (replay seed %#x)", p.Seed)
+		}
+		t.AddRow(r.Label, report.Int(int64(r.Ops)), divergence, verdict)
+	}
+	t.AddNote("drives ringoram.ORAM directly (no facade) with an encrypted data plane; covers classic Ring knobs, per-level Z' reduction, bottom-S shrink, and DeadQ-backed remote allocation")
+	return t, nil
 }
 
 // auditScheme runs the payload/invariant audit of one scheme under one

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder collects request latencies and summarizes them as exact
+// quantiles (p50/p95/p99). Unlike the rest of this package — which serves
+// the single-threaded simulator core — the recorder is safe for concurrent
+// use: the serving layer's load generators record from many worker
+// goroutines into one instance.
+//
+// Samples are retained individually (8 bytes each), so quantiles are exact
+// rather than bucket-bounded; a closed-loop load test of a few million
+// operations costs tens of megabytes, which is acceptable for a bench tool.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one latency observation.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Merge folds another recorder's samples into r. The other recorder is
+// left unchanged.
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	o.mu.Lock()
+	samples := append([]time.Duration(nil), o.samples...)
+	o.mu.Unlock()
+	r.mu.Lock()
+	r.samples = append(r.samples, samples...)
+	r.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// LatencySummary is a point-in-time digest of a recorder.
+type LatencySummary struct {
+	Count              int
+	Mean               time.Duration
+	P50, P95, P99, Max time.Duration
+}
+
+// Summary computes the digest over everything recorded so far. Quantiles
+// use the nearest-rank definition on the sorted samples, so P50 of a
+// single observation is that observation.
+func (r *LatencyRecorder) Summary() LatencySummary {
+	r.mu.Lock()
+	sorted := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	rank := func(q float64) time.Duration {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   rank(0.50),
+		P95:   rank(0.95),
+		P99:   rank(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}

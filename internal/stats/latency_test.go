@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderQuantiles(t *testing.T) {
+	var r LatencyRecorder
+	if s := r.Summary(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty recorder summary not zero: %+v", s)
+	}
+	// 1..100 ms: nearest-rank quantiles are exact.
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", s.P50)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", s.P95)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", s.Max)
+	}
+	if want := 50500 * time.Microsecond; s.Mean != want {
+		t.Errorf("mean = %v, want %v", s.Mean, want)
+	}
+}
+
+func TestLatencyRecorderSingleSample(t *testing.T) {
+	var r LatencyRecorder
+	r.Record(7 * time.Millisecond)
+	s := r.Summary()
+	if s.P50 != 7*time.Millisecond || s.P99 != 7*time.Millisecond || s.Max != 7*time.Millisecond {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestLatencyRecorderMerge(t *testing.T) {
+	var a, b LatencyRecorder
+	a.Record(1 * time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count %d, want 2", a.Count())
+	}
+	if b.Count() != 1 {
+		t.Fatalf("source count %d, want 1", b.Count())
+	}
+}
+
+// TestLatencyRecorderConcurrent exercises the locking under -race: many
+// goroutines record while another repeatedly summarizes.
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var r LatencyRecorder
+	var wg sync.WaitGroup
+	const workers, each = 16, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Summary()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Count(); got != workers*each {
+		t.Fatalf("count %d, want %d", got, workers*each)
+	}
+}
