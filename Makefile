@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate referenced by ROADMAP.md.
 
-.PHONY: check vet build test race bench fuzz serve loadtest
+.PHONY: check vet build test race bench fuzz crash serve loadtest
 
 check:
 	sh scripts/check.sh
@@ -15,7 +15,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/sim ./internal/server/...
+	go test -race ./internal/sim ./internal/server/... ./internal/durable ./internal/faults
 
 bench:
 	go test -bench=. -benchmem
@@ -27,6 +27,12 @@ fuzz:
 	go test -run='^$$' -fuzz='^FuzzCheckpointRoundTrip$$' -fuzztime=$(FUZZTIME) ./aboram
 	go test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=$(FUZZTIME) ./internal/trace
 	go test -run='^$$' -fuzz='^FuzzWireDecode$$' -fuzztime=$(FUZZTIME) ./internal/server/wire
+	go test -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/durable
+
+# Long kill-recover campaign: the full (non-short) crash-recovery oracle
+# under the race detector. `make check` runs the -short variant.
+crash:
+	go test -race -count=1 -run '^TestCrashRecovery' -v ./internal/check
 
 # Serving layer: start a daemon on the default port, or drive one with the
 # closed-loop load generator (see README "Serving").

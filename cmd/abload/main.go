@@ -8,21 +8,30 @@
 //	abload -addr 127.0.0.1:7314 -workers 32 -ops 2000
 //	abload -dist uniform -readfrac 0.9          # read-heavy uniform workload
 //	abload -dist zipf -zipf 1.2                 # skewed popularity
+//	abload -faults 0.02 -retries 5              # chaos mode: injected resets + retrying clients
 //
 // Block choice is zipfian (default, s>1 over the store's block range) or
 // uniform; the read fraction splits the remaining ops between Read and
 // Write. All randomness is seeded, so two runs against servers in the same
 // state issue identical request streams.
+//
+// -faults injects client-side connection faults (resets and latency
+// spikes, internal/faults) at the given per-io-op rate; pair it with
+// -retries so workers redial and resend under their original request ids,
+// exercising the server's dedup window. The report then includes retry,
+// redial, and error-rate columns.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/server"
@@ -43,7 +52,19 @@ type workerResult struct {
 	ops    int
 	errors int
 	lat    *stats.LatencyRecorder
+	client server.ClientStats
 	err    error // fatal worker error (dial/protocol), nil if it ran to completion
+}
+
+// workerConfig is the per-worker slice of the command line.
+type workerConfig struct {
+	addr     string
+	timeout  time.Duration
+	readFrac float64
+	dist     string
+	zipfS    float64
+	faults   float64
+	retries  int
 }
 
 func run(args []string, out io.Writer) error {
@@ -56,6 +77,8 @@ func run(args []string, out io.Writer) error {
 	zipfS := fs.Float64("zipf", 1.1, "zipf skew parameter (must be > 1)")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client deadline")
+	faultRate := fs.Float64("faults", 0, "client-side fault rate per io op: connection resets + latency spikes (0 = off)")
+	retries := fs.Int("retries", 0, "extra attempts per op after a connection failure (redial + resend)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +96,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *dist == "zipf" && *zipfS <= 1 {
 		return fmt.Errorf("-zipf must be > 1")
+	}
+	if *faultRate < 0 || *faultRate >= 1 {
+		return fmt.Errorf("-faults must be in [0,1)")
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0")
 	}
 
 	// One probe connection learns the store geometry before the fleet dials.
@@ -103,7 +132,11 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(w, n int, src *rng.Source) {
 			defer wg.Done()
-			results[w] = worker(*addr, *timeout, n, *readFrac, *dist, *zipfS, info, src)
+			cfg := workerConfig{
+				addr: *addr, timeout: *timeout, readFrac: *readFrac,
+				dist: *dist, zipfS: *zipfS, faults: *faultRate, retries: *retries,
+			}
+			results[w] = worker(cfg, n, info, src)
 		}(w, n, src)
 	}
 	wg.Wait()
@@ -111,12 +144,16 @@ func run(args []string, out io.Writer) error {
 
 	lat := new(stats.LatencyRecorder)
 	total, errCount := 0, 0
+	var cstats server.ClientStats
 	for w, r := range results {
 		if r.err != nil {
 			return fmt.Errorf("worker %d: %w", w, r.err)
 		}
 		total += r.ops
 		errCount += r.errors
+		cstats.Retries += r.client.Retries
+		cstats.Redials += r.client.Redials
+		cstats.Broken += r.client.Broken
 		lat.Merge(r.lat)
 	}
 	sum := lat.Summary()
@@ -129,6 +166,12 @@ func run(args []string, out io.Writer) error {
 	t.AddRow("read fraction", report.Float(*readFrac, 2))
 	t.AddRow("operations completed", report.Int(int64(total)))
 	t.AddRow("operation errors", report.Int(int64(errCount)))
+	t.AddRow("error rate", report.Float(float64(errCount)/float64(total), 4))
+	if *faultRate > 0 || *retries > 0 {
+		t.AddRow("injected fault rate", report.Float(*faultRate, 3))
+		t.AddRow("request retries", report.Int(int64(cstats.Retries)))
+		t.AddRow("reconnects", report.Int(int64(cstats.Redials)))
+	}
 	t.AddRow("wall time", elapsed.Round(time.Millisecond).String())
 	t.AddRow("throughput (ops/s)", report.Float(float64(total)/elapsed.Seconds(), 1))
 	t.AddRow("latency p50", sum.P50.String())
@@ -137,6 +180,9 @@ func run(args []string, out io.Writer) error {
 	t.AddRow("latency mean", sum.Mean.String())
 	t.AddRow("latency max", sum.Max.String())
 	t.AddNote("closed loop: each worker issues its next request only after the previous response")
+	if *faultRate > 0 {
+		t.AddNote("latency includes injected faults, redial backoff, and retried attempts")
+	}
 	if !info.Encrypted {
 		t.AddNote("server is pattern-only (no key): reads/writes degrade to errors, use -readfrac with care")
 	}
@@ -152,10 +198,32 @@ func distLabel(dist string, s float64) string {
 
 // worker runs one closed-loop connection to completion. Per-op server
 // errors (e.g. admission-control rejections) are counted, not fatal;
-// connection-level failures abort the worker.
-func worker(addr string, timeout time.Duration, n int, readFrac float64, dist string, zipfS float64, info wire.InfoPayload, src *rng.Source) workerResult {
+// connection-level failures that survive the retry budget abort the
+// worker only when no faults were asked for — under -faults they are the
+// point of the exercise and are counted instead.
+func worker(cfg workerConfig, n int, info wire.InfoPayload, src *rng.Source) workerResult {
 	res := workerResult{lat: new(stats.LatencyRecorder)}
-	c, err := server.Dial(addr, timeout)
+	ccfg := server.ClientConfig{
+		Timeout:     cfg.timeout,
+		MaxAttempts: 1 + cfg.retries,
+		Seed:        src.Uint64(),
+	}
+	if cfg.faults > 0 {
+		in := faults.New(faults.Config{
+			Seed:        src.Uint64(),
+			ResetRate:   cfg.faults,
+			LatencyRate: cfg.faults,
+			MaxLatency:  5 * time.Millisecond,
+		})
+		ccfg.Dialer = func() (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", cfg.addr, cfg.timeout)
+			if err != nil {
+				return nil, err
+			}
+			return faults.WrapConn(conn, in), nil
+		}
+	}
+	c, err := server.DialConfig(cfg.addr, ccfg)
 	if err != nil {
 		res.err = err
 		return res
@@ -163,8 +231,8 @@ func worker(addr string, timeout time.Duration, n int, readFrac float64, dist st
 	defer c.Close()
 
 	var nextBlock func() int64
-	if dist == "zipf" {
-		z := trace.NewZipf(src, zipfS, uint64(info.NumBlocks))
+	if cfg.dist == "zipf" {
+		z := trace.NewZipf(src, cfg.zipfS, uint64(info.NumBlocks))
 		nextBlock = func() int64 { return int64(z.Next()) }
 	} else {
 		nextBlock = func() int64 { return int64(src.Uint64n(uint64(info.NumBlocks))) }
@@ -173,7 +241,7 @@ func worker(addr string, timeout time.Duration, n int, readFrac float64, dist st
 
 	for i := 0; i < n; i++ {
 		blk := nextBlock()
-		read := src.Float64() < readFrac
+		read := src.Float64() < cfg.readFrac
 		begin := time.Now()
 		if read {
 			_, err = c.Read(blk)
@@ -189,5 +257,6 @@ func worker(addr string, timeout time.Duration, n int, readFrac float64, dist st
 			res.errors++
 		}
 	}
+	res.client = c.Stats()
 	return res
 }

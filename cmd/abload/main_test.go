@@ -103,6 +103,38 @@ func TestLoadUniformReadHeavy(t *testing.T) {
 	}
 }
 
+// TestLoadWithFaults runs the generator in chaos mode: injected resets
+// and latency spikes with a retry budget. The run must complete, report
+// the retry columns, and — since writes are deduped server-side and
+// retried client-side — finish without fatal worker errors.
+func TestLoadWithFaults(t *testing.T) {
+	addr, stop := startStack(t, 8)
+	defer stop()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-workers", "4",
+		"-ops", "120",
+		"-seed", "5",
+		"-faults", "0.03",
+		"-retries", "6",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, pat := range []string{
+		`injected fault rate\s+0\.030`,
+		`request retries\s+\d`,
+		`reconnects\s+\d`,
+		`error rate\s+\d`,
+	} {
+		if !regexp.MustCompile(pat).MatchString(out) {
+			t.Errorf("chaos report missing /%s/:\n%s", pat, out)
+		}
+	}
+}
+
 // TestLoadFlagValidation rejects nonsense configurations before dialing.
 func TestLoadFlagValidation(t *testing.T) {
 	for _, tc := range [][]string{
@@ -111,6 +143,8 @@ func TestLoadFlagValidation(t *testing.T) {
 		{"-readfrac", "1.5"},
 		{"-dist", "pareto"},
 		{"-dist", "zipf", "-zipf", "0.9"},
+		{"-faults", "1.5"},
+		{"-retries", "-1"},
 	} {
 		var buf bytes.Buffer
 		if err := run(tc, &buf); err == nil {

@@ -8,6 +8,13 @@
 //	aboramd -addr :7314 -levels 14 -batch 32 # bigger tree, wider coalescing
 //	aboramd -maxconns 64 -idle 30s           # front-end limits
 //
+// With -data-dir the store is crash-safe: every acknowledged write is
+// appended to a write-ahead log (fsynced per -sync-every) and the full
+// instance is snapshotted every -snapshot-every writes; on start the
+// daemon recovers the newest snapshot plus the WAL suffix, discarding at
+// most a torn final record. Without -data-dir state lives in memory and
+// dies with the process (the pre-durability behavior).
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
 // lets in-flight connections finish (up to -drain), serves everything
 // already queued, then prints the scheduler counters and exits.
@@ -30,6 +37,7 @@ import (
 
 	"repro/aboram"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/server"
 )
 
@@ -62,6 +70,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	writeTO := fs.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
 	reqTO := fs.Duration("req-timeout", 10*time.Second, "per-request queue+service budget (0 = none)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight connections")
+	dataDir := fs.String("data-dir", "", "durable data directory (snapshot + WAL); empty = in-memory only")
+	snapEvery := fs.Int("snapshot-every", 1024, "with -data-dir: writes between snapshot rotations")
+	snapInterval := fs.Duration("snapshot-interval", 0, "with -data-dir: also rotate after this much wall time (0 = off)")
+	syncEvery := fs.Int("sync-every", 1, "with -data-dir: fsync the WAL every N writes (1 = zero acknowledged loss)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,17 +86,49 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		}
 		key = k
 	}
-	o, err := aboram.New(aboram.Options{
+	oramOpt := aboram.Options{
 		Scheme:        core.Scheme(*scheme),
 		Levels:        *levels,
 		Seed:          *seed,
 		EncryptionKey: key,
-	})
-	if err != nil {
-		return err
 	}
 
-	srv := server.New(o, server.Config{Queue: *queue, Batch: *batch})
+	// The scheduler serves either a bare in-memory instance or the
+	// durable engine; both satisfy server.Engine.
+	var eng server.Engine
+	var deng *durable.Engine
+	if *dataDir != "" {
+		var err error
+		deng, err = durable.Open(durable.Options{
+			Dir:              *dataDir,
+			ORAM:             oramOpt,
+			SnapshotEvery:    *snapEvery,
+			SnapshotInterval: *snapInterval,
+			SyncEvery:        *syncEvery,
+		})
+		if err != nil {
+			return err
+		}
+		rec := deng.Recovery()
+		fmt.Fprintf(out, "aboramd: recovered %s: base epoch %d, %d WAL records replayed (%d segments)",
+			*dataDir, rec.BaseEpoch, rec.RecordsReplayed, rec.SegmentsReplayed)
+		if rec.TornTail {
+			fmt.Fprint(out, ", torn tail truncated")
+		}
+		if rec.SnapshotsSkipped > 0 {
+			fmt.Fprintf(out, ", %d unreadable snapshots skipped", rec.SnapshotsSkipped)
+		}
+		fmt.Fprintln(out)
+		eng = deng
+	} else {
+		o, err := aboram.New(oramOpt)
+		if err != nil {
+			return err
+		}
+		eng = o
+	}
+
+	srv := server.New(eng, server.Config{Queue: *queue, Batch: *batch})
 	tsrv := server.NewTCP(srv, server.TCPConfig{
 		MaxConns:       *maxconns,
 		IdleTimeout:    *idle,
@@ -101,7 +145,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		onReady(ln.Addr())
 	}
 	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v) on %s\n",
-		*scheme, *levels, o.NumBlocks(), o.BlockSize(), o.Encrypted(), ln.Addr())
+		*scheme, *levels, srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), ln.Addr())
 	fmt.Fprintf(out, "aboramd: queue=%d batch=%d maxconns=%d\n", *queue, *batch, *maxconns)
 
 	served := make(chan error, 1)
@@ -110,6 +154,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	select {
 	case err := <-served:
 		srv.Close()
+		if deng != nil {
+			deng.Close()
+		}
 		return err
 	case sig := <-stop:
 		fmt.Fprintf(out, "aboramd: %v, draining (budget %v)\n", sig, *drain)
@@ -122,6 +169,16 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	}
 	<-served    // Serve has returned ErrServerClosed
 	srv.Close() // serve everything already admitted, then stop
+	if deng != nil {
+		// The scheduler is stopped, so the engine is quiescent: sync and
+		// close the WAL; recovery replays it on the next start.
+		if err := deng.Close(); err != nil {
+			fmt.Fprintf(out, "aboramd: closing data dir: %v\n", err)
+		}
+		ds := deng.Stats()
+		fmt.Fprintf(out, "aboramd: durability: %d writes logged, %d fsyncs, %d snapshots (epoch %d)\n",
+			ds.Writes, ds.Syncs, ds.Snapshots, deng.Epoch())
+	}
 
 	m := srv.Metrics()
 	if err := m.Table("aboramd scheduler counters").WriteText(out); err != nil {

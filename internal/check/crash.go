@@ -1,0 +1,240 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/aboram"
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/vfs"
+)
+
+// This file is the kill-recover oracle for the durable engine: it drives
+// a randomized op sequence against internal/durable through a
+// fault-injecting filesystem, lets the injector "kill the process" at a
+// seeded mutation count (mid-WAL-append, mid-snapshot-write, between
+// publish steps — wherever the counter lands), reopens the directory the
+// way a restarted daemon would, and checks the durability contract:
+//
+//   - every acknowledged write (Engine.Write returned nil) is present
+//     after recovery, always;
+//   - the single write in flight at the crash (returned an error) may
+//     hold either its old or its new content, but nothing else;
+//   - all other blocks are untouched.
+//
+// A schedule is a pure function of its seed, so a failing (seed, ops)
+// pair is a repro, in the same spirit as the differential oracle above.
+
+// CrashReport summarizes one seeded kill-recover schedule.
+type CrashReport struct {
+	Seed        uint64
+	Rounds      int            // engine incarnations, crashed or clean
+	Crashes     int            // injected kills (during serving or recovery)
+	Sites       map[string]int // crash-site histogram, keyed by file kind
+	AckedWrites int            // writes acknowledged across all rounds
+	Replayed    int            // WAL records replayed by recoveries
+	TornTails   int            // recoveries that truncated a damaged record
+}
+
+func (r *CrashReport) String() string {
+	return fmt.Sprintf("seed %d: %d rounds, %d crashes (sites %v), %d acked writes, %d replayed, %d torn tails",
+		r.Seed, r.Rounds, r.Crashes, r.Sites, r.AckedWrites, r.Replayed, r.TornTails)
+}
+
+// crashSiteKind buckets an injector crash site by the file it hit, so
+// reports and tests can assert coverage of both crash phases (WAL append
+// vs snapshot publish) without depending on exact op strings.
+func crashSiteKind(site string) string {
+	switch {
+	case strings.Contains(site, "wal-"):
+		return "wal"
+	case strings.Contains(site, "snap-"):
+		return "snap"
+	case site == "":
+		return "none"
+	default:
+		return strings.Fields(site)[0]
+	}
+}
+
+// pendingWrite is the op in flight at a crash: acknowledged to nobody,
+// so recovery may legally surface either value.
+type pendingWrite struct {
+	block    int64
+	old, new []byte
+}
+
+// crashOptions builds the engine configuration for one incarnation.
+// SnapshotEvery is tiny so a schedule of a few hundred writes crosses
+// many epoch rotations and the crash counter can land inside snapshot
+// publishes, not just WAL appends.
+func crashOptions(dir string, seed uint64, fs vfs.FS) durable.Options {
+	return durable.Options{
+		Dir:           dir,
+		ORAM:          aboram.Options{Levels: 8, Seed: seed, EncryptionKey: oracleKey},
+		SnapshotEvery: 8,
+		FS:            fs,
+	}
+}
+
+// RunCrashSchedule runs one seeded schedule of totalOps operations in dir
+// (which must be empty or a previous incarnation of the same schedule),
+// crashing and recovering until the op budget is spent, then does a final
+// clean recovery and full read-back. It returns the report, or an error
+// describing the first contract violation.
+func RunCrashSchedule(dir string, seed uint64, totalOps int) (*CrashReport, error) {
+	r := rng.New(seed ^ 0x6372617368) // decorrelate from the engine's protocol stream
+	rep := &CrashReport{Seed: seed, Sites: make(map[string]int)}
+
+	// The op stream is generated up front and consumed across crashes, so
+	// the workload is identical no matter where the kills land.
+	probe, err := aboram.New(aboram.Options{Levels: 8, Seed: seed, EncryptionKey: oracleKey})
+	if err != nil {
+		return nil, err
+	}
+	numBlocks, blockB := probe.NumBlocks(), probe.BlockSize()
+	ops := GenOps(seed, totalOps, numBlocks)
+
+	model := make(map[int64][]byte)
+	var pending *pendingWrite
+	next := 0 // index of the first unapplied op
+
+	maxRounds := totalOps + 16 // a crash consumes no ops, so bound incarnations explicitly
+	for next < len(ops) {
+		if rep.Rounds >= maxRounds {
+			return rep, fmt.Errorf("check: schedule %d made no progress after %d rounds", seed, rep.Rounds)
+		}
+		rep.Rounds++
+
+		in := faults.New(faults.Config{
+			Seed:       r.Uint64(),
+			CrashAfter: 1 + int(r.Uint64n(60)),
+			TornWrites: true,
+		})
+		eng, err := durable.Open(crashOptions(dir, seed, faults.WrapFS(vfs.OS{}, in)))
+		if err != nil {
+			if !in.Crashed() {
+				return rep, fmt.Errorf("check: round %d: recovery failed without a crash: %w", rep.Rounds, err)
+			}
+			// Killed during recovery itself (replay or epoch publish):
+			// nothing new was acknowledged, so the contract is unchanged;
+			// the next incarnation picks the pieces up.
+			rep.Crashes++
+			rep.Sites[crashSiteKind(in.CrashSite())]++
+			continue
+		}
+		rec := eng.Recovery()
+		rep.Replayed += rec.RecordsReplayed
+		if rec.TornTail {
+			rep.TornTails++
+		}
+
+		if err := verifyRecovered(eng, model, &pending, blockB); err != nil {
+			return rep, fmt.Errorf("check: round %d (recovery %+v): %w", rep.Rounds, rec, err)
+		}
+
+		crashed := false
+		for next < len(ops) {
+			op := ops[next]
+			switch op.Kind {
+			case OpWrite:
+				data := Fill(blockB, op.Block, op.Fill)
+				if err := eng.Write(op.Block, data); err != nil {
+					if !in.Crashed() {
+						return rep, fmt.Errorf("check: op %d: write failed without a crash: %w", next, err)
+					}
+					// Unacknowledged: either value is legal after recovery.
+					pending = &pendingWrite{block: op.Block, old: model[op.Block], new: data}
+					crashed = true
+				} else {
+					model[op.Block] = data
+					rep.AckedWrites++
+				}
+			case OpRead:
+				got, err := eng.Read(op.Block)
+				if err != nil {
+					if !in.Crashed() {
+						return rep, fmt.Errorf("check: op %d: read failed without a crash: %w", next, err)
+					}
+					crashed = true
+				} else if want := expect(model, blockB, op.Block); !bytes.Equal(got, want) {
+					return rep, fmt.Errorf("check: op %d: read(%d) diverged from model pre-crash", next, op.Block)
+				}
+			default: // OpAccess and OpCheckpoint both become pattern-only touches
+				if err := eng.Access(op.Block); err != nil {
+					if !in.Crashed() {
+						return rep, fmt.Errorf("check: op %d: access failed without a crash: %w", next, err)
+					}
+					crashed = true
+				}
+			}
+			next++
+			if crashed {
+				break
+			}
+		}
+		eng.Close() // post-crash this reports ErrCrash; either way the incarnation is over
+		if crashed {
+			rep.Crashes++
+			rep.Sites[crashSiteKind(in.CrashSite())]++
+		}
+	}
+
+	// Final incarnation on the real filesystem: recovery must succeed and
+	// the full model must read back.
+	rep.Rounds++
+	eng, err := durable.Open(crashOptions(dir, seed, vfs.OS{}))
+	if err != nil {
+		return rep, fmt.Errorf("check: final recovery: %w", err)
+	}
+	defer eng.Close()
+	rep.Replayed += eng.Recovery().RecordsReplayed
+	if eng.Recovery().TornTail {
+		rep.TornTails++
+	}
+	if err := verifyRecovered(eng, model, &pending, blockB); err != nil {
+		return rep, fmt.Errorf("check: final recovery: %w", err)
+	}
+	return rep, nil
+}
+
+// verifyRecovered checks a freshly recovered engine against the
+// acknowledged model: the pending (unacknowledged) write may read as
+// either value — and is then pinned to whatever recovery chose — while
+// every acknowledged block must match exactly.
+func verifyRecovered(eng *durable.Engine, model map[int64][]byte, pending **pendingWrite, blockB int) error {
+	if p := *pending; p != nil {
+		got, err := eng.Read(p.block)
+		if err != nil {
+			return fmt.Errorf("reading pending block %d: %w", p.block, err)
+		}
+		old := p.old
+		if old == nil {
+			old = make([]byte, blockB)
+		}
+		switch {
+		case bytes.Equal(got, p.new):
+			model[p.block] = p.new
+		case bytes.Equal(got, old):
+			if p.old != nil {
+				model[p.block] = p.old
+			}
+		default:
+			return fmt.Errorf("pending block %d holds neither its old nor its new content", p.block)
+		}
+		*pending = nil
+	}
+	for blk, want := range model {
+		got, err := eng.Read(blk)
+		if err != nil {
+			return fmt.Errorf("reading block %d: %w", blk, err)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("acknowledged write to block %d lost or corrupted after recovery", blk)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+// Package durable is the persistence engine behind the serving layer: it
+// makes an aboram.ORAM crash-safe by combining periodic atomic snapshots
+// (the aboram.Save/Load checkpoint API behind temp file + fsync + rename)
+// with a write-ahead log of acknowledged mutating operations, framed as
+// CRC-checked wire-protocol records (see wal.go).
+//
+// The contract is zero acknowledged-write loss: a Write returns only
+// after its record is appended to the WAL and — at the default
+// SyncEvery=1 — fsynced. Recovery loads the newest readable snapshot,
+// replays the WAL suffix up to the first damaged record, and discards the
+// torn tail; an op that was never acknowledged may or may not survive,
+// an acknowledged one always does. internal/check's crash harness
+// enforces exactly this contract at fault-injected kill points.
+//
+// The engine is fail-stop: any error on the durability path (append,
+// fsync, snapshot publish) poisons the instance and every later
+// operation returns the original error. A store that can no longer
+// persist must stop acknowledging — the recovery path, not optimistic
+// continuation, is the consistency story.
+//
+// Engine methods are not safe for concurrent use. The intended topology
+// is the one cmd/aboramd builds: Engine implements internal/server's
+// Engine interface and is driven only by the scheduler's single protocol
+// goroutine, which also means the WAL write order equals the
+// acknowledgment order.
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/server/wire"
+	"repro/internal/vfs"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// ORAM is the instance configuration: the same values must be passed
+	// on every open of the same directory (the snapshot image carries no
+	// key material, so the encryption key in particular must match).
+	ORAM aboram.Options
+	// SnapshotEvery rotates the epoch (snapshot + fresh WAL) after this
+	// many acknowledged writes. Default 1024.
+	SnapshotEvery int
+	// SnapshotInterval additionally rotates when this much wall time has
+	// passed since the last snapshot, checked on the write path.
+	// 0 disables the timer (the default, and what deterministic tests
+	// rely on).
+	SnapshotInterval time.Duration
+	// SyncEvery fsyncs the WAL every N appends. 1 (the default) is the
+	// zero-acknowledged-loss setting; larger values trade an N-op loss
+	// window for throughput.
+	SyncEvery int
+	// FS is the filesystem to write through; tests inject a
+	// faults-wrapped one. Default vfs.OS{}.
+	FS vfs.FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 1024
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS{}
+	}
+	return o
+}
+
+// RecoveryStats describes what Open found and replayed.
+type RecoveryStats struct {
+	// BaseEpoch is the epoch of the snapshot recovery started from;
+	// 0 means no snapshot was readable (fresh directory, or a crash
+	// before the first snapshot published).
+	BaseEpoch uint64
+	// SnapshotsSkipped counts newer snapshot files that failed to load
+	// before one succeeded.
+	SnapshotsSkipped int
+	// SegmentsReplayed and RecordsReplayed count the WAL suffix applied
+	// on top of the base snapshot.
+	SegmentsReplayed int
+	RecordsReplayed  int
+	// TornTail reports that a WAL segment ended in a damaged record,
+	// which recovery truncated — the signature of a mid-append crash.
+	TornTail bool
+}
+
+// Stats counts the engine's durability work since Open.
+type Stats struct {
+	Writes    uint64 // acknowledged (logged) writes
+	Syncs     uint64 // WAL fsyncs
+	Snapshots uint64 // epoch rotations
+}
+
+// Engine is a crash-safe aboram.ORAM: snapshots + WAL on the write path,
+// replay on Open. It implements internal/server's Engine interface.
+type Engine struct {
+	fs  vfs.FS
+	opt Options
+
+	oram  *aboram.ORAM
+	w     *wal
+	epoch uint64
+
+	sinceSnap int
+	sinceSync int
+	lastSnap  time.Time
+	failed    error
+
+	stats    Stats
+	recovery RecoveryStats
+}
+
+// Open recovers (or initializes) the data directory and returns a
+// serving-ready engine. On return a fresh epoch has been published: the
+// newest snapshot reflects everything recovered, and the WAL is empty.
+func Open(opt Options) (*Engine, error) {
+	opt = opt.withDefaults()
+	fs := opt.FS
+	if err := fs.MkdirAll(opt.Dir); err != nil {
+		return nil, fmt.Errorf("durable: creating %s: %w", opt.Dir, err)
+	}
+	names, err := fs.ReadDir(opt.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: listing %s: %w", opt.Dir, err)
+	}
+	var snaps, wals []uint64
+	for _, name := range names {
+		if e, ok := parseEpoch(name, "snap-", ".ab"); ok {
+			snaps = append(snaps, e)
+		}
+		if e, ok := parseEpoch(name, "wal-", ".log"); ok {
+			wals = append(wals, e)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+
+	e := &Engine{fs: fs, opt: opt}
+
+	// Newest readable snapshot wins; an unreadable one falls back an
+	// epoch (its WAL segment still exists and will be replayed, because
+	// records are whole-content writes and therefore idempotent).
+	for _, se := range snaps {
+		o, err := loadSnapshot(fs, opt.Dir, se, opt.ORAM)
+		if err != nil {
+			e.recovery.SnapshotsSkipped++
+			continue
+		}
+		e.oram = o
+		e.recovery.BaseEpoch = se
+		break
+	}
+	if e.oram == nil {
+		o, err := aboram.New(opt.ORAM)
+		if err != nil {
+			return nil, fmt.Errorf("durable: building instance: %w", err)
+		}
+		e.oram = o
+	}
+
+	// Replay every WAL segment at or above the base epoch, oldest first.
+	// Only OpWrite records mutate content; anything else in a segment is
+	// skipped (forward compatibility), and each segment is truncated at
+	// its first damaged record.
+	maxEpoch := e.recovery.BaseEpoch
+	for _, we := range wals {
+		if we > maxEpoch {
+			maxEpoch = we
+		}
+		if we < e.recovery.BaseEpoch {
+			continue
+		}
+		data, err := readWAL(fs, filepath.Join(opt.Dir, walName(we)))
+		if err != nil {
+			return nil, err
+		}
+		recs, _, torn := ScanWAL(data)
+		for _, rec := range recs {
+			if rec.Op != wire.OpWrite {
+				continue
+			}
+			if err := e.oram.Write(rec.Block, rec.Data); err != nil {
+				return nil, fmt.Errorf("durable: replaying write(%d): %w", rec.Block, err)
+			}
+			e.recovery.RecordsReplayed++
+		}
+		e.recovery.SegmentsReplayed++
+		e.recovery.TornTail = e.recovery.TornTail || torn
+	}
+	for _, se := range snaps {
+		if se > maxEpoch {
+			maxEpoch = se
+		}
+	}
+
+	// Publish the recovered state as a fresh epoch, then drop the old
+	// generation. Failing to publish fails Open: an engine that cannot
+	// snapshot must not start acknowledging writes.
+	e.epoch = maxEpoch
+	if err := e.rotate(); err != nil {
+		return nil, err
+	}
+	e.stats = Stats{} // rotation above is recovery work, not serving work
+	return e, nil
+}
+
+// Recovery returns what Open found and replayed.
+func (e *Engine) Recovery() RecoveryStats { return e.recovery }
+
+// Stats returns the durability counters since Open.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Epoch returns the current snapshot epoch.
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// NumBlocks returns the number of addressable blocks.
+func (e *Engine) NumBlocks() int64 { return e.oram.NumBlocks() }
+
+// BlockSize returns the block size in bytes.
+func (e *Engine) BlockSize() int { return e.oram.BlockSize() }
+
+// Encrypted reports whether the data plane is active.
+func (e *Engine) Encrypted() bool { return e.oram.Encrypted() }
+
+// fail poisons the engine: the durability layer can no longer keep its
+// promise, so every later operation refuses with the original cause.
+func (e *Engine) fail(err error) error {
+	e.failed = err
+	return err
+}
+
+// Access obliviously touches a block. Accesses mutate only the
+// randomized protocol state, never content, so they are not logged:
+// recovery reconstructs an equivalent (not bit-identical) position map
+// from the snapshot, which preserves every correctness and obliviousness
+// property.
+func (e *Engine) Access(block int64) error {
+	if e.failed != nil {
+		return e.failed
+	}
+	return e.oram.Access(block)
+}
+
+// Read obliviously fetches a block's content.
+func (e *Engine) Read(block int64) ([]byte, error) {
+	if e.failed != nil {
+		return nil, e.failed
+	}
+	return e.oram.Read(block)
+}
+
+// Write applies, logs, and (per SyncEvery) fsyncs one mutating op. On a
+// nil return the write is durable: it will survive any later crash.
+func (e *Engine) Write(block int64, data []byte) error {
+	if e.failed != nil {
+		return e.failed
+	}
+	if err := e.oram.Write(block, data); err != nil {
+		// A domain error (bad block, wrong size) touched nothing durable
+		// and does not poison the engine.
+		return err
+	}
+	if err := e.w.append(wire.Request{Op: wire.OpWrite, Block: block, Data: data}); err != nil {
+		return e.fail(err)
+	}
+	e.sinceSync++
+	if e.sinceSync >= e.opt.SyncEvery {
+		if err := e.w.sync(); err != nil {
+			return e.fail(err)
+		}
+		e.sinceSync = 0
+		e.stats.Syncs++
+	}
+	e.stats.Writes++
+	e.sinceSnap++
+	due := e.sinceSnap >= e.opt.SnapshotEvery ||
+		(e.opt.SnapshotInterval > 0 && time.Since(e.lastSnap) >= e.opt.SnapshotInterval)
+	if due {
+		if err := e.rotate(); err != nil {
+			// The write itself is durable (logged and synced above); the
+			// failed rotation is what poisons the engine, so the caller
+			// may treat this op as acknowledged-then-fail-stop. Returning
+			// the error anyway keeps the contract simple: nil means
+			// everything, including housekeeping, is healthy.
+			return e.fail(err)
+		}
+	}
+	return nil
+}
+
+// Snapshot forces an epoch rotation (snapshot + fresh WAL) now.
+func (e *Engine) Snapshot() error {
+	if e.failed != nil {
+		return e.failed
+	}
+	if err := e.rotate(); err != nil {
+		return e.fail(err)
+	}
+	return nil
+}
+
+// rotate publishes epoch+1: durable snapshot, fresh WAL segment, then
+// best-effort removal of the previous generation.
+func (e *Engine) rotate() error {
+	next := e.epoch + 1
+	if err := writeSnapshot(e.fs, e.opt.Dir, next, e.oram); err != nil {
+		return err
+	}
+	if e.w != nil {
+		e.w.close()
+	}
+	w, err := createWAL(e.fs, filepath.Join(e.opt.Dir, walName(next)))
+	if err != nil {
+		return fmt.Errorf("durable: creating WAL segment: %w", err)
+	}
+	e.w = w
+	prev := e.epoch
+	e.epoch = next
+	e.sinceSnap = 0
+	e.sinceSync = 0
+	e.lastSnap = time.Now()
+	e.stats.Snapshots++
+	// Cleanup is best-effort: stale files cost disk, not correctness —
+	// recovery always prefers the newest readable generation.
+	if names, err := e.fs.ReadDir(e.opt.Dir); err == nil {
+		for _, name := range names {
+			se, isSnap := parseEpoch(name, "snap-", ".ab")
+			we, isWAL := parseEpoch(name, "wal-", ".log")
+			stale := (isSnap && se <= prev) || (isWAL && we <= prev) ||
+				(!isSnap && !isWAL && filepath.Ext(name) == ".tmp")
+			if stale {
+				e.fs.Remove(filepath.Join(e.opt.Dir, name))
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the WAL. It does not snapshot: recovery replays
+// the log instead, and a crash immediately before Close must behave
+// identically to Close itself.
+func (e *Engine) Close() error {
+	if e.w == nil {
+		return nil
+	}
+	if e.failed != nil {
+		e.w.close()
+		return nil
+	}
+	if err := e.w.sync(); err != nil {
+		e.w.close()
+		return err
+	}
+	return e.w.close()
+}

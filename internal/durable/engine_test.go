@@ -1,0 +1,274 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/aboram"
+	"repro/internal/faults"
+	"repro/internal/vfs"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+// testOptions is a small, fast engine configuration.
+func testOptions(dir string) Options {
+	return Options{
+		Dir:  dir,
+		ORAM: aboram.Options{Levels: 8, Seed: 7, EncryptionKey: testKey},
+	}
+}
+
+// payload builds a distinguishable block content.
+func payload(size int, tag byte) []byte {
+	d := make([]byte, size)
+	for i := range d {
+		d[i] = tag ^ byte(i*7)
+	}
+	return d
+}
+
+// TestRecoverReplaysAcknowledgedWrites writes through the engine, drops
+// it without Close (the crash shape), reopens, and demands every
+// acknowledged write back.
+func TestRecoverReplaysAcknowledgedWrites(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(testOptions(dir))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := e.Write(int64(i), payload(e.BlockSize(), byte(i))); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	// No Close: SyncEvery=1 already made every acknowledged write durable.
+
+	r, err := Open(testOptions(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.BaseEpoch == 0 || rec.RecordsReplayed != n {
+		t.Fatalf("recovery = %+v, want base epoch > 0 and %d records", rec, n)
+	}
+	for i := 0; i < n; i++ {
+		got, err := r.Read(int64(i))
+		if err != nil {
+			t.Fatalf("Read %d after recovery: %v", i, err)
+		}
+		want := payload(r.BlockSize(), byte(i))
+		if string(got) != string(want) {
+			t.Fatalf("block %d diverged after recovery", i)
+		}
+	}
+}
+
+// TestRotationPrunesOldEpochs checks snapshot cadence, directory
+// hygiene, and that recovery replays only the post-snapshot suffix.
+func TestRotationPrunesOldEpochs(t *testing.T) {
+	dir := t.TempDir()
+	opt := testOptions(dir)
+	opt.SnapshotEvery = 4
+	e, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := e.Write(int64(i), payload(e.BlockSize(), byte(i))); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	if got := e.Stats().Snapshots; got != 2 {
+		t.Fatalf("snapshots = %d, want 2 (10 writes / every 4)", got)
+	}
+	names, err := vfs.OS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("directory holds %v, want exactly one snap + one wal", names)
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "snap-") && !strings.HasPrefix(name, "wal-") {
+			t.Fatalf("unexpected file %q", name)
+		}
+	}
+	e.Close()
+
+	r, err := Open(opt)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if got := r.Recovery().RecordsReplayed; got != 2 {
+		t.Fatalf("replayed %d records, want the 2 after the last snapshot", got)
+	}
+}
+
+// TestTornTailDiscarded appends garbage to the live WAL segment and
+// checks recovery truncates it while keeping every acknowledged write.
+func TestTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(testOptions(dir))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.Write(int64(i), payload(e.BlockSize(), byte(i+1))); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	e.Close()
+
+	wals, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("wal segments %v (err %v), want exactly one", wals, err)
+	}
+	f, err := os.OpenFile(wals[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a record header then junk: the shape a mid-append crash leaves.
+	if _, err := f.Write([]byte{0, 0, 0, 42, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := Open(testOptions(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	rec := r.Recovery()
+	if !rec.TornTail || rec.RecordsReplayed != 5 {
+		t.Fatalf("recovery = %+v, want torn tail and 5 intact records", rec)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := r.Read(int64(i))
+		if err != nil || string(got) != string(payload(r.BlockSize(), byte(i+1))) {
+			t.Fatalf("block %d wrong after torn-tail recovery (err %v)", i, err)
+		}
+	}
+}
+
+// noRemoveFS keeps every old generation on disk, simulating a crash (or
+// slow cleaner) between publishing an epoch and pruning the previous one.
+type noRemoveFS struct{ vfs.FS }
+
+func (noRemoveFS) Remove(string) error { return errors.New("remove disabled") }
+
+// TestCorruptSnapshotFallsBackOneEpoch damages the newest snapshot and
+// checks recovery restores from the previous generation plus full WAL
+// replay, with zero acknowledged-write loss.
+func TestCorruptSnapshotFallsBackOneEpoch(t *testing.T) {
+	dir := t.TempDir()
+	opt := testOptions(dir)
+	opt.SnapshotEvery = 3
+	opt.FS = noRemoveFS{vfs.OS{}}
+	e, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 8 // crosses two rotations at SnapshotEvery=3
+	for i := 0; i < n; i++ {
+		if err := e.Write(int64(i), payload(e.BlockSize(), byte(0x40+i))); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	e.Close()
+
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.ab"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("snapshots %v (err %v), want at least two generations", snaps, err)
+	}
+	newest := snaps[len(snaps)-1]
+	if err := os.WriteFile(newest, []byte("rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ropt := testOptions(dir) // plain OS fs for recovery
+	r, err := Open(ropt)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if got := r.Recovery().SnapshotsSkipped; got < 1 {
+		t.Fatalf("SnapshotsSkipped = %d, want >= 1", got)
+	}
+	for i := 0; i < n; i++ {
+		got, err := r.Read(int64(i))
+		if err != nil || string(got) != string(payload(r.BlockSize(), byte(0x40+i))) {
+			t.Fatalf("block %d lost after snapshot fallback (err %v)", i, err)
+		}
+	}
+}
+
+// TestFailStop checks the engine poisons itself on the first durability
+// error and refuses everything afterwards with the original cause.
+func TestFailStop(t *testing.T) {
+	dir := t.TempDir()
+	opt := testOptions(dir)
+	in := faults.New(faults.Config{Seed: 11, CrashAfter: 40, TornWrites: true})
+	opt.FS = faults.WrapFS(vfs.OS{}, in)
+	e, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open survived %d mutations budget: %v", 40, err)
+	}
+	var failAt = -1
+	for i := 0; i < 100; i++ {
+		if err := e.Write(int64(i%4), payload(e.BlockSize(), byte(i))); err != nil {
+			failAt = i
+			if !errors.Is(err, faults.ErrCrash) {
+				t.Fatalf("write %d failed with %v, want ErrCrash", i, err)
+			}
+			break
+		}
+	}
+	if failAt < 0 {
+		t.Fatal("crash point never fired")
+	}
+	if err := e.Write(0, payload(e.BlockSize(), 1)); !errors.Is(err, faults.ErrCrash) {
+		t.Fatalf("post-failure Write: %v, want ErrCrash", err)
+	}
+	if _, err := e.Read(0); !errors.Is(err, faults.ErrCrash) {
+		t.Fatalf("post-failure Read: %v, want ErrCrash", err)
+	}
+	if err := e.Access(0); !errors.Is(err, faults.ErrCrash) {
+		t.Fatalf("post-failure Access: %v, want ErrCrash", err)
+	}
+}
+
+// TestAccessAndReadNotLogged checks only writes reach the WAL.
+func TestAccessAndReadNotLogged(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(testOptions(dir))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := e.Write(1, payload(e.BlockSize(), 0xaa)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := e.Access(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Read(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	r, err := Open(testOptions(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if got := r.Recovery().RecordsReplayed; got != 1 {
+		t.Fatalf("replayed %d records, want only the single write", got)
+	}
+}

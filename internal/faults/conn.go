@@ -1,0 +1,51 @@
+package faults
+
+import (
+	"net"
+	"time"
+)
+
+// Conn interposes an Injector on a net.Conn: latency spikes delay
+// Read/Write, a reset closes the underlying connection and errors, and a
+// short write persists a prefix of the payload before erroring (the peer
+// sees a torn frame). The wrapper is what cmd/abload's -faults flag and
+// the client reconnect tests are built on: both sides of a retry story
+// can be driven from one seeded schedule.
+type Conn struct {
+	net.Conn
+	in *Injector
+}
+
+// WrapConn interposes in on c.
+func WrapConn(c net.Conn, in *Injector) *Conn { return &Conn{Conn: c, in: in} }
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	d := c.in.connEvent(0)
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.reset {
+		c.Conn.Close()
+		return 0, ErrReset
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.in.connEvent(len(p))
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.reset {
+		c.Conn.Close()
+		return 0, ErrReset
+	}
+	if d.short >= 0 && d.short < len(p) {
+		n, _ := c.Conn.Write(p[:d.short])
+		c.Conn.Close()
+		return n, ErrReset
+	}
+	return c.Conn.Write(p)
+}

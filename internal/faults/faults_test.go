@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// TestScheduleDeterminism replays the same (seed, op sequence) twice and
+// demands identical decisions — the property every seed-replay claim in
+// the harness rests on.
+func TestScheduleDeterminism(t *testing.T) {
+	run := func() ([]int, []error, Stats) {
+		in := New(Config{Seed: 42, ErrRate: 0.3, TornWrites: true})
+		tears := make([]int, 0, 64)
+		errs := make([]error, 0, 64)
+		for i := 0; i < 64; i++ {
+			tear, err := in.mutation("write x", 100)
+			tears = append(tears, tear)
+			errs = append(errs, err)
+		}
+		return tears, errs, in.Stats()
+	}
+	t1, e1, s1 := run()
+	t2, e2, s2 := run()
+	for i := range t1 {
+		if t1[i] != t2[i] || !errors.Is(e2[i], e1[i]) && e1[i] != e2[i] {
+			t.Fatalf("decision %d diverged: (%d,%v) vs (%d,%v)", i, t1[i], e1[i], t2[i], e2[i])
+		}
+	}
+	if s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.Errors == 0 {
+		t.Fatalf("ErrRate 0.3 over 64 ops injected no errors: %+v", s1)
+	}
+}
+
+// TestCrashPoint verifies the crash fires exactly at the configured
+// mutation, records its site, and pins every later operation dead.
+func TestCrashPoint(t *testing.T) {
+	in := New(Config{Seed: 1, CrashAfter: 3})
+	for i := 1; i <= 2; i++ {
+		if _, err := in.mutation("warm", 0); err != nil {
+			t.Fatalf("mutation %d failed early: %v", i, err)
+		}
+	}
+	if _, err := in.mutation("write wal-1.log", 0); !errors.Is(err, ErrCrash) {
+		t.Fatalf("mutation 3: err = %v, want ErrCrash", err)
+	}
+	if !in.Crashed() || in.CrashSite() != "write wal-1.log" {
+		t.Fatalf("crashed=%v site=%q", in.Crashed(), in.CrashSite())
+	}
+	// Dead means dead: later ops fail without advancing the count.
+	if _, err := in.mutation("after", 0); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash mutation: err = %v, want ErrCrash", err)
+	}
+	if got := in.Stats().Mutations; got != 3 {
+		t.Fatalf("mutations counted after death: %d, want 3", got)
+	}
+}
+
+// TestFSTornWrite checks that a crashing write persists exactly the torn
+// prefix through to the real file — the on-disk state recovery sees.
+func TestFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	// CrashAfter 2: op 1 is Create, op 2 the Write.
+	in := New(Config{Seed: 7, CrashAfter: 2, TornWrites: true})
+	ffs := WrapFS(vfs.OS{}, in)
+
+	f, err := ffs.Create(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := bytes.Repeat([]byte{0xab}, 100)
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("Write: err = %v, want ErrCrash", err)
+	}
+	if n < 0 || n >= len(payload) {
+		t.Fatalf("torn write persisted %d of %d bytes, want a proper prefix", n, len(payload))
+	}
+	f.Close()
+
+	r, err := vfs.OS{}.Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if len(got) != n || !bytes.Equal(got, payload[:n]) {
+		t.Fatalf("on-disk bytes %d, want the %d-byte torn prefix", len(got), n)
+	}
+
+	// The crashed FS exposes nothing anymore.
+	if _, err := ffs.Open(filepath.Join(dir, "wal.log")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash Open: err = %v, want ErrCrash", err)
+	}
+	if _, err := ffs.ReadDir(dir); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash ReadDir: err = %v, want ErrCrash", err)
+	}
+}
+
+// TestConnReset drives a pipe through a reset-heavy schedule and checks
+// that a reset closes the underlying conn.
+func TestConnReset(t *testing.T) {
+	client, srv := net.Pipe()
+	defer srv.Close()
+	in := New(Config{Seed: 3, ResetRate: 1})
+	fc := WrapConn(client, in)
+
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("Write under ResetRate 1: err = %v, want ErrReset", err)
+	}
+	// The underlying conn is closed: the peer sees EOF.
+	buf := make([]byte, 1)
+	srv.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := srv.Read(buf); err == nil {
+		t.Fatalf("peer read succeeded after reset, want closed")
+	}
+	if got := in.Stats().Resets; got != 1 {
+		t.Fatalf("resets = %d, want 1", got)
+	}
+}
+
+// TestConnLatency checks that the latency schedule delays but does not
+// corrupt traffic.
+func TestConnLatency(t *testing.T) {
+	client, srv := net.Pipe()
+	defer client.Close()
+	defer srv.Close()
+	in := New(Config{Seed: 9, LatencyRate: 1, MaxLatency: 5 * time.Millisecond})
+	fc := WrapConn(client, in)
+
+	go func() {
+		io.Copy(io.Discard, srv)
+	}()
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := fc.Write([]byte("ping")); err != nil {
+			t.Errorf("Write %d: %v", i, err)
+			return
+		}
+	}
+	if in.Stats().Delays == 0 {
+		t.Fatalf("LatencyRate 1 injected no delays in %v", time.Since(start))
+	}
+}
+
+// TestWriterTear checks the bare io.Writer wrapper persists the torn
+// prefix of a failing write.
+func TestWriterTear(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(Config{Seed: 5, CrashAfter: 1, TornWrites: true})
+	w := &Writer{W: &buf, In: in, Site: "enc"}
+	payload := bytes.Repeat([]byte{7}, 64)
+	n, err := w.Write(payload)
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("err = %v, want ErrCrash", err)
+	}
+	if n != buf.Len() || n >= len(payload) {
+		t.Fatalf("wrote %d, buffer holds %d, payload %d", n, buf.Len(), len(payload))
+	}
+}

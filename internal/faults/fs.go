@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"path/filepath"
+
+	"repro/internal/vfs"
+)
+
+// FS interposes an Injector on a vfs.FS. Mutating operations (Create,
+// Rename, Remove, file Write/Sync) consult the injector; a torn write
+// persists its prefix through the inner filesystem before erroring, so
+// the on-disk state after a simulated crash is exactly what a real crash
+// would have left. Read-side operations pass through until the crash
+// point, after which everything fails with ErrCrash.
+type FS struct {
+	inner vfs.FS
+	in    *Injector
+}
+
+// WrapFS interposes in on inner.
+func WrapFS(inner vfs.FS, in *Injector) *FS { return &FS{inner: inner, in: in} }
+
+// Create implements vfs.FS.
+func (f *FS) Create(name string) (vfs.File, error) {
+	if _, err := f.in.mutation("create "+filepath.Base(name), 0); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{name: filepath.Base(name), inner: file, in: f.in}, nil
+}
+
+// Open implements vfs.FS. Reads are not a crash surface, but a dead
+// process cannot open files either.
+func (f *FS) Open(name string) (vfs.File, error) {
+	if f.in.Crashed() {
+		return nil, ErrCrash
+	}
+	return f.inner.Open(name)
+}
+
+// Rename implements vfs.FS. This is the snapshot publish step, so the
+// crash point firing here models dying between writing a snapshot and
+// making it visible.
+func (f *FS) Rename(oldname, newname string) error {
+	if _, err := f.in.mutation("rename "+filepath.Base(newname), 0); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements vfs.FS.
+func (f *FS) Remove(name string) error {
+	if _, err := f.in.mutation("remove "+filepath.Base(name), 0); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// ReadDir implements vfs.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if f.in.Crashed() {
+		return nil, ErrCrash
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// MkdirAll implements vfs.FS.
+func (f *FS) MkdirAll(dir string) error {
+	if f.in.Crashed() {
+		return ErrCrash
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// SyncDir implements vfs.FS.
+func (f *FS) SyncDir(dir string) error {
+	if _, err := f.in.mutation("syncdir "+filepath.Base(dir), 0); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile interposes the injector on one open file.
+type faultFile struct {
+	name  string
+	inner vfs.File
+	in    *Injector
+}
+
+// Write implements vfs.File. On an injected failure the decided prefix
+// is still written through — that prefix is the torn tail recovery must
+// cope with.
+func (f *faultFile) Write(p []byte) (int, error) {
+	tear, err := f.in.mutation("write "+f.name, len(p))
+	if err != nil {
+		n := 0
+		if tear > 0 {
+			n, _ = f.inner.Write(p[:tear])
+		}
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+// Read implements vfs.File.
+func (f *faultFile) Read(p []byte) (int, error) {
+	if f.in.Crashed() {
+		return 0, ErrCrash
+	}
+	return f.inner.Read(p)
+}
+
+// Sync implements vfs.File. A failed fsync means earlier un-synced
+// writes may or may not be durable; the injector's crash mode is the
+// pessimistic reading.
+func (f *faultFile) Sync() error {
+	if _, err := f.in.mutation("sync "+f.name, 0); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close implements vfs.File. The inner file is always closed so tests
+// do not leak descriptors, but a crashed injector still reports death.
+func (f *faultFile) Close() error {
+	err := f.inner.Close()
+	if f.in.Crashed() {
+		return ErrCrash
+	}
+	return err
+}

@@ -2,50 +2,214 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/rng"
 	"repro/internal/server/wire"
 )
 
-// Client is a wire-protocol connection to an aboramd server. It is a
-// plain request/response pipe and is NOT safe for concurrent use; a load
-// generator opens one Client per worker.
+// ErrClientBroken is returned for operations on a client whose
+// connection died mid-conversation and which has no way to redial (it
+// was built with NewClient around an externally owned conn). After a
+// read/write timeout or a short frame the stream position is undefined —
+// the next frame on the wire could be the stale half of the previous
+// response — so the connection must never be reused.
+var ErrClientBroken = errors.New("server: client connection broken mid-frame; redial required")
+
+// ClientConfig tunes a wire-protocol client.
+type ClientConfig struct {
+	// Timeout bounds the dial and each request attempt's round trip
+	// (propagated to the conn as an absolute read/write deadline).
+	// 0 = no deadlines.
+	Timeout time.Duration
+	// MaxAttempts is the total tries per operation, first attempt
+	// included; the client redials between attempts. Default 1 (no
+	// retry, the conservative v1 behavior).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (full-jitter: the actual sleep is uniform in
+	// [backoff/2, backoff]). Default 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 1s.
+	MaxBackoff time.Duration
+	// Seed drives the retry jitter and the request-id nonce; defaults
+	// to 1 so runs are reproducible (inject entropy in deployments).
+	Seed uint64
+	// Dialer overrides how connections are (re)established — the hook
+	// the fault-injection harness and cmd/abload's -faults flag use.
+	// When nil, plain TCP to the Dial address.
+	Dialer func() (net.Conn, error)
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 1
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ClientStats counts a client's connection lifecycle events.
+type ClientStats struct {
+	Ops     uint64 // operations attempted
+	Retries uint64 // extra attempts after a connection-level failure
+	Redials uint64 // reconnects (successful dials after the first)
+	Broken  uint64 // connections abandoned mid-frame
+}
+
+// Client is a wire-protocol connection to an aboramd server with
+// optional retry: a connection-level failure (timeout, reset, short
+// frame) closes the broken connection, redials, and resends the request
+// under its original request id, which the server's dedup window makes
+// idempotent for mutating ops. A server-delivered error response is
+// returned to the caller, never retried. Not safe for concurrent use; a
+// load generator opens one Client per worker.
 type Client struct {
-	conn    net.Conn
-	br      *bufio.Reader
-	bw      *bufio.Writer
-	timeout time.Duration
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	cfg    ClientConfig
+	dialer func() (net.Conn, error) // nil = cannot redial
+	broken bool
+
+	jitter *rng.Source
+	nonce  uint64 // high 32 bits of every request id
+	seq    uint64
+
+	stats ClientStats
 }
 
 // Dial connects to an aboramd address. timeout bounds the dial and every
-// subsequent request round trip (0 = no deadlines).
+// subsequent request round trip (0 = no deadlines). The returned client
+// does not retry; use DialConfig for a reconnecting client.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialConfig(addr, ClientConfig{Timeout: timeout})
+}
+
+// DialConfig connects to an aboramd address with full configuration.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	dialer := cfg.Dialer
+	if dialer == nil {
+		dialer = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, cfg.Timeout)
+		}
+	}
+	conn, err := dialer()
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, timeout), nil
+	c := newClient(conn, cfg)
+	c.dialer = dialer
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established, externally owned connection. The
+// client cannot redial: the first connection-level failure marks it
+// broken and every later operation returns ErrClientBroken.
 func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	return newClient(conn, ClientConfig{Timeout: timeout}.withDefaults())
+}
+
+// clientCount distinguishes same-process clients: two clients built with
+// the same seed must still draw distinct request-id nonces, or the
+// server's dedup window would treat their writes as replays of each other.
+var clientCount atomic.Uint64
+
+func newClient(conn net.Conn, cfg ClientConfig) *Client {
+	src := rng.New(cfg.Seed ^ 0xc11e47)
+	nonce := (src.Uint64() + clientCount.Add(1)) & 0xffffffff
+	if nonce == 0 {
+		nonce = 1
+	}
 	return &Client{
-		conn:    conn,
-		br:      bufio.NewReader(conn),
-		bw:      bufio.NewWriter(conn),
-		timeout: timeout,
+		conn:   conn,
+		br:     bufio.NewReader(conn),
+		bw:     bufio.NewWriter(conn),
+		cfg:    cfg,
+		jitter: src,
+		nonce:  nonce,
 	}
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
 
-// roundTrip sends one request and reads its response.
-func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
-	if c.timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
+// Stats returns the connection lifecycle counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// nextID assigns a request id: a per-client random nonce in the high 32
+// bits (so ids from different clients do not collide in the server's
+// dedup window) and a sequence number below.
+func (c *Client) nextID() uint64 {
+	c.seq++
+	return c.nonce<<32 | (c.seq & 0xffffffff)
+}
+
+// markBroken abandons the current connection: its stream position is
+// undefined, so it is closed and never reused.
+func (c *Client) markBroken() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.broken = true
+	c.stats.Broken++
+}
+
+// redial replaces a broken connection, or reports ErrClientBroken for
+// clients that cannot.
+func (c *Client) redial() error {
+	if c.dialer == nil {
+		return ErrClientBroken
+	}
+	conn, err := c.dialer()
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.broken = false
+	c.stats.Redials++
+	return nil
+}
+
+// backoff sleeps before retry attempt n (1-based): exponential growth
+// from BaseBackoff capped at MaxBackoff, with full jitter so a fleet of
+// retrying clients does not stampede the server in lockstep.
+func (c *Client) backoff(n int) {
+	d := c.cfg.BaseBackoff << uint(n-1)
+	if d <= 0 || d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	half := uint64(d / 2)
+	sleep := time.Duration(half + c.jitter.Uint64n(half+1))
+	time.Sleep(sleep)
+}
+
+// attempt performs one request/response exchange on the live connection.
+func (c *Client) attempt(req wire.Request) (wire.Response, error) {
+	if c.cfg.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 	}
 	if err := wire.WriteRequest(c.bw, req); err != nil {
 		return wire.Response{}, err
@@ -53,19 +217,52 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 	if err := c.bw.Flush(); err != nil {
 		return wire.Response{}, err
 	}
-	resp, err := wire.ReadResponse(c.br)
-	if err != nil {
-		return wire.Response{}, err
+	return wire.ReadResponse(c.br)
+}
+
+// roundTrip sends one request, retrying connection-level failures up to
+// MaxAttempts with backoff. The request keeps its id across attempts so
+// the server can deduplicate re-executions of mutating ops.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	c.stats.Ops++
+	var lastErr error
+	for n := 0; n < c.cfg.MaxAttempts; n++ {
+		if n > 0 {
+			c.stats.Retries++
+			c.backoff(n)
+		}
+		if c.broken || c.conn == nil {
+			if err := c.redial(); err != nil {
+				lastErr = err
+				if errors.Is(err, ErrClientBroken) {
+					return wire.Response{}, err
+				}
+				continue
+			}
+		}
+		resp, err := c.attempt(req)
+		if err == nil {
+			if resp.Err != "" {
+				// The server answered: the op was delivered and its
+				// outcome is authoritative. Not a retry case.
+				return wire.Response{}, fmt.Errorf("server: %s", resp.Err)
+			}
+			return resp, nil
+		}
+		// Connection-level failure: the stream may be mid-frame, so the
+		// connection is dead either way.
+		lastErr = err
+		c.markBroken()
 	}
-	if resp.Err != "" {
-		return wire.Response{}, fmt.Errorf("server: %s", resp.Err)
+	if c.cfg.MaxAttempts > 1 {
+		return wire.Response{}, fmt.Errorf("server: request failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 	}
-	return resp, nil
+	return wire.Response{}, lastErr
 }
 
 // Access obliviously touches a block without transferring content.
 func (c *Client) Access(block int64) error {
-	_, err := c.roundTrip(wire.Request{Op: wire.OpAccess, Block: block})
+	_, err := c.roundTrip(wire.Request{Op: wire.OpAccess, ID: c.nextID(), Block: block})
 	return err
 }
 
@@ -80,7 +277,7 @@ func (c *Client) Read(block int64) ([]byte, error) {
 
 // Write obliviously stores a block's content.
 func (c *Client) Write(block int64, data []byte) error {
-	_, err := c.roundTrip(wire.Request{Op: wire.OpWrite, Block: block, Data: data})
+	_, err := c.roundTrip(wire.Request{Op: wire.OpWrite, ID: c.nextID(), Block: block, Data: data})
 	return err
 }
 

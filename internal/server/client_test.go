@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/server/wire"
+)
+
+// TestClientBrokenMidFrame is the regression test for reusing a
+// connection whose stream position is unknown. The fake server answers
+// one byte of the response, stalls past the client timeout, then sends
+// the rest. The old client left the connection registered after the
+// timeout, so the next call would read the stale tail of response one as
+// the head of response two. The fixed client abandons the connection and
+// — with no dialer to rebuild it — reports ErrClientBroken.
+func TestClientBrokenMidFrame(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+
+	release := make(chan struct{})
+	go func() {
+		if _, err := wire.ReadRequest(srvConn); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		wire.WriteResponse(&buf, wire.Response{})
+		frame := buf.Bytes()
+		srvConn.Write(frame[:1])
+		<-release
+		srvConn.Write(frame[1:])
+	}()
+
+	c := NewClient(cliConn, 100*time.Millisecond)
+	defer c.Close()
+	if err := c.Access(1); err == nil {
+		t.Fatal("stalled response should have timed out")
+	}
+	close(release)
+	// The stale tail is now sitting in the kernel-side of the dead
+	// connection; a reusable client would misparse it as the next
+	// response. The fixed client refuses to touch the stream again.
+	if err := c.Access(2); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("second call on broken connection returned %v, want ErrClientBroken", err)
+	}
+}
+
+// TestClientRedialsAfterBrokenConn checks the reconnect path end to end
+// against a real TCP stack: the first connection is cut mid-response by
+// the fault injector, and the retrying client must redial, resend the
+// request under the same id, and succeed.
+func TestClientRetriesThroughResets(t *testing.T) {
+	addr, srv, _, stop := startTCP(t, 21, Config{}, TCPConfig{})
+	defer stop()
+
+	in := faults.New(faults.Config{Seed: 5, ResetRate: 0.06, ShortWriteRate: 0.04})
+	c, err := DialConfig(addr, ClientConfig{
+		Timeout:     5 * time.Second,
+		MaxAttempts: 8,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Seed:        9,
+		Dialer: func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return faults.WrapConn(conn, in), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	direct := newTestORAM(t, 21)
+	n := srv.NumBlocks()
+	for i := 0; i < 150; i++ {
+		blk := (int64(i) * 11) % n
+		switch i % 3 {
+		case 0:
+			want := payload(direct, blk, byte(i))
+			if err := c.Write(blk, want); err != nil {
+				t.Fatalf("op %d: write through faults: %v", i, err)
+			}
+			if err := direct.Write(blk, want); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			got, err := c.Read(blk)
+			if err != nil {
+				t.Fatalf("op %d: read through faults: %v", i, err)
+			}
+			want, err := direct.Read(blk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: content diverged at block %d after retries", i, blk)
+			}
+		default:
+			if err := c.Access(blk); err != nil {
+				t.Fatalf("op %d: access through faults: %v", i, err)
+			}
+		}
+	}
+
+	st := c.Stats()
+	if st.Retries == 0 || st.Redials == 0 {
+		t.Fatalf("fault injection never fired: %+v (injector: %+v)", st, in.Stats())
+	}
+	t.Logf("client stats: %+v, injector: %+v", st, in.Stats())
+}
+
+// TestTCPDedupExactlyOnce replays a write under its original request id
+// and checks the server answers from the dedup window instead of
+// applying it twice: the block must keep the first write's content.
+func TestTCPDedupExactlyOnce(t *testing.T) {
+	addr, srv, tsrv, stop := startTCP(t, 22, Config{}, TCPConfig{})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	roundTrip := func(req wire.Request) wire.Response {
+		t.Helper()
+		if err := wire.WriteRequest(conn, req); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.ReadResponse(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	const id = 0x7a7a
+	first := bytes.Repeat([]byte{0xA1}, srv.BlockSize())
+	replay := bytes.Repeat([]byte{0xB2}, srv.BlockSize())
+
+	if resp := roundTrip(wire.Request{Op: wire.OpWrite, ID: id, Block: 3, Data: first}); resp.Err != "" {
+		t.Fatalf("original write: %s", resp.Err)
+	}
+	// The retry carries different payload bytes on purpose: a dedup hit
+	// must short-circuit before the payload is ever looked at.
+	if resp := roundTrip(wire.Request{Op: wire.OpWrite, ID: id, Block: 3, Data: replay}); resp.Err != "" {
+		t.Fatalf("replayed write: %s", resp.Err)
+	}
+	got := roundTrip(wire.Request{Op: wire.OpRead, Block: 3})
+	if got.Err != "" {
+		t.Fatalf("read back: %s", got.Err)
+	}
+	if !bytes.Equal(got.Data, first) {
+		t.Fatal("replayed write was applied a second time")
+	}
+	if m := tsrv.Metrics(); m.Deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", m.Deduped)
+	}
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/server/wire"
+)
+
+// dedupWindow makes retried mutating requests idempotent. A retrying
+// client resends a failed op under its original request id; the window
+// remembers the last N successfully executed mutating ids with their
+// responses and answers a replay from cache instead of executing twice.
+//
+// The exactly-once guarantee has to survive the nasty interleaving where
+// a retry arrives (on a new connection) while the original is still
+// queued behind the scheduler: begin() therefore reserves the id, and a
+// second arrival blocks until the owner finishes, then reuses the
+// owner's response. Failed executions are forgotten instead of cached,
+// so a retry after a genuine failure (queue full, deadline) executes
+// again — failure responses are safe to recompute, successful mutations
+// are not.
+type dedupWindow struct {
+	mu    sync.Mutex
+	cap   int
+	order []uint64 // completed ids, oldest first (eviction order)
+	m     map[uint64]*dedupEntry
+}
+
+// dedupEntry is one reserved or completed request id.
+type dedupEntry struct {
+	done chan struct{} // closed when resp is valid
+	resp wire.Response
+}
+
+// newDedupWindow builds a window remembering up to cap completed ops.
+func newDedupWindow(cap int) *dedupWindow {
+	return &dedupWindow{cap: cap, m: make(map[uint64]*dedupEntry, cap)}
+}
+
+// begin reserves id. owner=true means the caller must execute the op and
+// call finish; owner=false means someone else owns (or owned) it — wait
+// on entry.done and read entry.resp.
+func (d *dedupWindow) begin(id uint64) (entry *dedupEntry, owner bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.m[id]; ok {
+		return e, false
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	d.m[id] = e
+	return e, true
+}
+
+// finish publishes the owner's outcome. Successful responses stay cached
+// (up to cap, FIFO eviction); failures are forgotten so a retry can
+// execute for real.
+func (d *dedupWindow) finish(id uint64, resp wire.Response) {
+	d.mu.Lock()
+	e := d.m[id]
+	e.resp = resp
+	if resp.Err != "" {
+		delete(d.m, id)
+	} else {
+		d.order = append(d.order, id)
+		if len(d.order) > d.cap {
+			delete(d.m, d.order[0])
+			d.order = d.order[1:]
+		}
+	}
+	d.mu.Unlock()
+	close(e.done)
+}
+
+// len reports the number of live entries (reserved + cached).
+func (d *dedupWindow) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.m)
+}

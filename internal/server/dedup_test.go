@@ -1,0 +1,75 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/server/wire"
+)
+
+// TestDedupWindowConcurrentDuplicate covers the in-flight interleaving:
+// a duplicate that arrives while the original is still executing must
+// wait for — and reuse — the owner's response.
+func TestDedupWindowConcurrentDuplicate(t *testing.T) {
+	d := newDedupWindow(4)
+	_, owner := d.begin(1)
+	if !owner {
+		t.Fatal("first begin must own the id")
+	}
+
+	got := make(chan wire.Response, 1)
+	go func() {
+		e, owner := d.begin(1)
+		if owner {
+			t.Error("duplicate begin must not own the id")
+		}
+		<-e.done
+		got <- e.resp
+	}()
+
+	want := wire.Response{Data: []byte("outcome")}
+	d.finish(1, want)
+	if resp := <-got; string(resp.Data) != "outcome" {
+		t.Fatalf("duplicate observed %+v, want owner's response", resp)
+	}
+}
+
+// TestDedupWindowFailureForgotten checks that failed executions are not
+// cached: a retry after a genuine failure must execute for real.
+func TestDedupWindowFailureForgotten(t *testing.T) {
+	d := newDedupWindow(4)
+	if _, owner := d.begin(7); !owner {
+		t.Fatal("first begin must own")
+	}
+	d.finish(7, wire.Response{Err: "queue full"})
+	if _, owner := d.begin(7); !owner {
+		t.Fatal("retry after failure must own the id again")
+	}
+	d.finish(7, wire.Response{})
+	if e, owner := d.begin(7); owner {
+		t.Fatal("success must stay cached")
+	} else if e.resp.Err != "" {
+		t.Fatalf("cached response carries error %q", e.resp.Err)
+	}
+}
+
+// TestDedupWindowEviction checks FIFO eviction at capacity.
+func TestDedupWindowEviction(t *testing.T) {
+	d := newDedupWindow(2)
+	for id := uint64(1); id <= 3; id++ {
+		if _, owner := d.begin(id); !owner {
+			t.Fatalf("id %d: want ownership", id)
+		}
+		d.finish(id, wire.Response{})
+	}
+	if d.len() != 2 {
+		t.Fatalf("len = %d, want 2 after eviction", d.len())
+	}
+	if _, owner := d.begin(1); !owner {
+		t.Fatal("oldest id must have been evicted")
+	}
+	for _, id := range []uint64{2, 3} {
+		if _, owner := d.begin(id); owner {
+			t.Fatalf("id %d must still be cached", id)
+		}
+	}
+}

@@ -33,9 +33,26 @@ import (
 	"context"
 	"errors"
 	"sync"
-
-	"repro/aboram"
 )
+
+// Engine is the block store the scheduler serializes onto: the protocol
+// surface of aboram.ORAM. Two implementations exist: a bare
+// *aboram.ORAM (in-memory, state dies with the process) and
+// internal/durable's Engine (snapshot + write-ahead log, so an op
+// acknowledged by Write has been made durable before the scheduler
+// answers the client). The scheduler guarantees single-goroutine use,
+// which is the concurrency contract both implementations require.
+type Engine interface {
+	NumBlocks() int64
+	BlockSize() int
+	Encrypted() bool
+	Access(block int64) error
+	Read(block int64) ([]byte, error)
+	// Write must return only once the op is applied — and, for durable
+	// engines, persisted: the scheduler acknowledges the client
+	// immediately after.
+	Write(block int64, data []byte) error
+}
 
 // Errors returned by the admission path.
 var (
@@ -89,10 +106,10 @@ type result struct {
 	err  error
 }
 
-// Server serializes concurrent Access/Read/Write calls onto one ORAM.
+// Server serializes concurrent Access/Read/Write calls onto one Engine.
 type Server struct {
-	oram *aboram.ORAM
-	cfg  Config
+	eng Engine
+	cfg Config
 
 	reqs chan *request
 	done chan struct{}
@@ -106,14 +123,14 @@ type Server struct {
 	metrics metrics
 }
 
-// New starts the scheduler goroutine for the given ORAM. The ORAM must
-// not be used directly (or wrapped by another Server) while this Server
-// owns it.
-func New(o *aboram.ORAM, cfg Config) *Server {
+// New starts the scheduler goroutine for the given engine. The engine
+// must not be used directly (or wrapped by another Server) while this
+// Server owns it.
+func New(e Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		oram: o,
-		cfg:  cfg,
+		eng: e,
+		cfg: cfg,
 		reqs: make(chan *request, cfg.Queue),
 		done: make(chan struct{}),
 	}
@@ -122,15 +139,15 @@ func New(o *aboram.ORAM, cfg Config) *Server {
 	return s
 }
 
-// NumBlocks returns the number of addressable blocks of the served ORAM.
-func (s *Server) NumBlocks() int64 { return s.oram.NumBlocks() }
+// NumBlocks returns the number of addressable blocks of the served store.
+func (s *Server) NumBlocks() int64 { return s.eng.NumBlocks() }
 
-// BlockSize returns the block size in bytes of the served ORAM.
-func (s *Server) BlockSize() int { return s.oram.BlockSize() }
+// BlockSize returns the block size in bytes of the served store.
+func (s *Server) BlockSize() int { return s.eng.BlockSize() }
 
-// Encrypted reports whether the served ORAM has an active data plane
+// Encrypted reports whether the served store has an active data plane
 // (Read/Write available), as opposed to pattern-only Access.
-func (s *Server) Encrypted() bool { return s.oram.Encrypted() }
+func (s *Server) Encrypted() bool { return s.eng.Encrypted() }
 
 // Config returns the scheduler configuration (after defaulting).
 func (s *Server) Config() Config { return s.cfg }
@@ -268,11 +285,11 @@ func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 		var res result
 		switch r.op {
 		case opAccess:
-			res.err = s.oram.Access(r.block)
+			res.err = s.eng.Access(r.block)
 		case opRead:
-			res.data, res.err = s.oram.Read(r.block)
+			res.data, res.err = s.eng.Read(r.block)
 		case opWrite:
-			res.err = s.oram.Write(r.block, r.data)
+			res.err = s.eng.Write(r.block, r.data)
 		}
 		s.metrics.served(r.op)
 		r.resp <- res

@@ -25,6 +25,11 @@ type TCPConfig struct {
 	// RequestTimeout bounds one request's queue wait + service time; an
 	// expired request is answered with the deadline error. 0 = no bound.
 	RequestTimeout time.Duration
+	// DedupWindow is how many completed mutating request ids the server
+	// remembers for retry idempotency (wire protocol v2). A retried
+	// write whose original already executed is answered from this cache
+	// instead of being applied twice. Default 4096.
+	DedupWindow int
 }
 
 // TCPMetrics counts front-end connection events.
@@ -32,6 +37,7 @@ type TCPMetrics struct {
 	Accepted uint64 // connections served
 	Refused  uint64 // connections turned away by MaxConns
 	Active   int    // connections being served right now
+	Deduped  uint64 // retried mutating requests answered from the dedup window
 }
 
 // TCPServer speaks the wire protocol on a listener and forwards requests
@@ -46,13 +52,24 @@ type TCPServer struct {
 	shutdown bool
 	accepted uint64
 	refused  uint64
+	deduped  uint64
+
+	dedup *dedupWindow
 
 	handlers sync.WaitGroup
 }
 
 // NewTCP wraps a Server with a wire-protocol front end.
 func NewTCP(srv *Server, cfg TCPConfig) *TCPServer {
-	return &TCPServer{srv: srv, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 4096
+	}
+	return &TCPServer{
+		srv:   srv,
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		dedup: newDedupWindow(cfg.DedupWindow),
+	}
 }
 
 // Serve accepts connections on ln until Shutdown closes it. It always
@@ -145,7 +162,7 @@ func (t *TCPServer) Shutdown(ctx context.Context) error {
 func (t *TCPServer) Metrics() TCPMetrics {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return TCPMetrics{Accepted: t.accepted, Refused: t.refused, Active: len(t.conns)}
+	return TCPMetrics{Accepted: t.accepted, Refused: t.refused, Active: len(t.conns), Deduped: t.deduped}
 }
 
 // handle serves one connection: a loop of framed request/response pairs.
@@ -185,7 +202,8 @@ func (t *TCPServer) reply(conn net.Conn, resp wire.Response) bool {
 	return wire.WriteResponse(conn, resp) == nil
 }
 
-// dispatch executes one wire request against the scheduler.
+// dispatch executes one wire request against the scheduler, routing
+// identified mutating ops through the dedup window first.
 func (t *TCPServer) dispatch(req wire.Request) wire.Response {
 	ctx := context.Background()
 	if t.cfg.RequestTimeout > 0 {
@@ -193,6 +211,30 @@ func (t *TCPServer) dispatch(req wire.Request) wire.Response {
 		ctx, cancel = context.WithTimeout(ctx, t.cfg.RequestTimeout)
 		defer cancel()
 	}
+	if req.ID != 0 && (req.Op == wire.OpWrite || req.Op == wire.OpAccess) {
+		entry, owner := t.dedup.begin(req.ID)
+		if !owner {
+			// A replay (or a concurrent duplicate): wait for the owner's
+			// outcome instead of executing a second time.
+			select {
+			case <-entry.done:
+				t.mu.Lock()
+				t.deduped++
+				t.mu.Unlock()
+				return entry.resp
+			case <-ctx.Done():
+				return wire.Response{Err: ctx.Err().Error()}
+			}
+		}
+		resp := t.execute(ctx, req)
+		t.dedup.finish(req.ID, resp)
+		return resp
+	}
+	return t.execute(ctx, req)
+}
+
+// execute runs one wire request against the scheduler.
+func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpInfo:
 		return wire.Response{Data: wire.EncodeInfo(wire.InfoPayload{

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/server/wire"
 )
 
 // startTCP spins up a full stack — ORAM, scheduler, TCP front end — on a
@@ -211,6 +213,78 @@ func TestTCPShutdownForcesIdleConns(t *testing.T) {
 	}
 	if got := tsrv.Metrics().Active; got != 0 {
 		t.Fatalf("%d connections still active after forced shutdown", got)
+	}
+}
+
+// stubListener feeds pre-made connections (net.Pipe server ends) to
+// Serve, so tests can stall the peer precisely.
+type stubListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newStubListener() *stubListener {
+	return &stubListener{conns: make(chan net.Conn, 4), done: make(chan struct{})}
+}
+
+func (l *stubListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *stubListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *stubListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)}
+}
+
+// TestTCPShutdownStalledWriter pins down what bounds a graceful drain
+// when a connection stalls mid-response: the client sends a request and
+// then never reads, so the handler blocks writing the answer. The write
+// deadline — not the Shutdown context budget — must unblock the drain.
+func TestTCPShutdownStalledWriter(t *testing.T) {
+	o := newTestORAM(t, 17)
+	srv := New(o, Config{})
+	defer srv.Close()
+	tsrv := NewTCP(srv, TCPConfig{WriteTimeout: 300 * time.Millisecond})
+	ln := newStubListener()
+	served := make(chan error, 1)
+	go func() { served <- tsrv.Serve(ln) }()
+
+	cli, srvEnd := net.Pipe()
+	defer cli.Close()
+	ln.conns <- srvEnd
+	go func() {
+		var buf bytes.Buffer
+		wire.WriteRequest(&buf, wire.Request{Op: wire.OpAccess, Block: 1})
+		cli.Write(buf.Bytes())
+		// Stall: never read the response.
+	}()
+	for tsrv.Metrics().Active == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Give the handler time to execute the op and block in the reply.
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := tsrv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown returned %v; the write deadline should have drained the stalled conn", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %v; it must be bounded by the 300ms write deadline, not the ctx budget", elapsed)
+	}
+	if err := <-served; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
 	}
 }
 

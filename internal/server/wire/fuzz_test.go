@@ -18,11 +18,12 @@ func FuzzWireDecode(f *testing.F) {
 		f.Add(body)
 	}
 	seed(Request{Op: OpAccess, Block: 7})
-	seed(Request{Op: OpRead, Block: 1 << 40})
-	seed(Request{Op: OpWrite, Block: 3, Data: []byte("payload")})
+	seed(Request{Op: OpRead, Block: 1 << 40, ID: 99})
+	seed(Request{Op: OpWrite, Block: 3, ID: 1 << 63, Data: []byte("payload")})
 	seed(Request{Op: OpInfo})
 	f.Add([]byte{})
-	f.Add([]byte{byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 0}) // v1-length body
+	f.Add(append([]byte{byte(OpWrite)}, make([]byte, 16)...))
 	f.Add([]byte{StatusError, 'o', 'o', 'p', 's'})
 
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -38,7 +39,7 @@ func FuzzWireDecode(f *testing.F) {
 			if err != nil {
 				t.Fatalf("re-encoded request does not decode: %v", err)
 			}
-			if again.Op != req.Op || again.Block != req.Block || !bytes.Equal(again.Data, req.Data) {
+			if again.Op != req.Op || again.ID != req.ID || again.Block != req.Block || !bytes.Equal(again.Data, req.Data) {
 				t.Fatalf("request round trip changed %+v into %+v", req, again)
 			}
 		}

@@ -1,11 +1,20 @@
-// Package wire defines the binary protocol spoken between cmd/aboramd and
-// its clients (cmd/abload, internal/server.Client). Frames are
-// length-prefixed so a stream socket can carry a sequence of
+// Package wire defines the binary protocol (v2) spoken between
+// cmd/aboramd and its clients (cmd/abload, internal/server.Client).
+// Frames are length-prefixed so a stream socket can carry a sequence of
 // request/response pairs without ambiguity:
 //
 //	frame    := uint32 big-endian body length | body
-//	request  := op byte | block int64 big-endian | payload (OpWrite only)
+//	request  := op byte | id uint64 big-endian | block int64 big-endian |
+//	            payload (OpWrite only)
 //	response := status byte | payload (ok) or error text (error)
+//
+// The id is a client-assigned request identifier: a retrying client
+// resends a failed mutating request under its original id, and the
+// server's dedup window (internal/server) answers a replay from cache
+// instead of executing it twice. id 0 means "unassigned" and opts out of
+// deduplication. The same request encoding frames the write-ahead-log
+// records of internal/durable, so one canonical codec covers both the
+// network and the crash-recovery surface.
 //
 // The encoding is canonical: every valid body has exactly one byte
 // representation, which lets the fuzz target check decode→encode identity
@@ -65,12 +74,18 @@ const (
 // length prefix from forcing a huge allocation.
 const MaxData = 1 << 16
 
-// maxBody is the largest legal frame body: header plus data.
-const maxBody = 1 + 8 + MaxData
+// reqHeader is the fixed request prefix: op byte, request id, block.
+const reqHeader = 1 + 8 + 8
+
+// MaxBody is the largest legal frame body: request header plus data.
+// It also bounds the record bodies of internal/durable's write-ahead
+// log, which reuses this encoding.
+const MaxBody = reqHeader + MaxData
 
 // Request is one client operation.
 type Request struct {
 	Op    Op
+	ID    uint64 // client-assigned request id; 0 = no deduplication
 	Block int64
 	Data  []byte // OpWrite payload; nil for every other op
 }
@@ -97,6 +112,7 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 		return nil, err
 	}
 	dst = append(dst, byte(req.Op))
+	dst = binary.BigEndian.AppendUint64(dst, req.ID)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(req.Block))
 	dst = append(dst, req.Data...)
 	return dst, nil
@@ -105,15 +121,16 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 // DecodeRequest parses a frame body into a Request. The returned request
 // aliases body's data bytes.
 func DecodeRequest(body []byte) (Request, error) {
-	if len(body) < 9 {
-		return Request{}, fmt.Errorf("wire: request body %d bytes, need at least 9", len(body))
+	if len(body) < reqHeader {
+		return Request{}, fmt.Errorf("wire: request body %d bytes, need at least %d", len(body), reqHeader)
 	}
 	req := Request{
 		Op:    Op(body[0]),
-		Block: int64(binary.BigEndian.Uint64(body[1:9])),
+		ID:    binary.BigEndian.Uint64(body[1:9]),
+		Block: int64(binary.BigEndian.Uint64(body[9:17])),
 	}
-	if len(body) > 9 {
-		req.Data = body[9:]
+	if len(body) > reqHeader {
+		req.Data = body[reqHeader:]
 	}
 	if err := validateRequest(req); err != nil {
 		return Request{}, err
@@ -234,8 +251,8 @@ func DecodeInfo(data []byte) (InfoPayload, error) {
 
 // WriteFrame writes one length-prefixed frame body.
 func WriteFrame(w io.Writer, body []byte) error {
-	if len(body) > maxBody {
-		return fmt.Errorf("wire: frame body %d bytes exceeds limit %d", len(body), maxBody)
+	if len(body) > MaxBody {
+		return fmt.Errorf("wire: frame body %d bytes exceeds limit %d", len(body), MaxBody)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -254,8 +271,8 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxBody {
-		return nil, fmt.Errorf("wire: frame length %d exceeds limit %d", n, maxBody)
+	if n > MaxBody {
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxBody)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {

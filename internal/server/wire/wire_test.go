@@ -11,9 +11,9 @@ import (
 func TestRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
 		{Op: OpAccess, Block: 0},
-		{Op: OpAccess, Block: 1<<62 + 12345},
-		{Op: OpRead, Block: 42},
-		{Op: OpWrite, Block: 7, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Op: OpAccess, Block: 1<<62 + 12345, ID: 1},
+		{Op: OpRead, Block: 42, ID: ^uint64(0)},
+		{Op: OpWrite, Block: 7, ID: 0xcafe, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
 		{Op: OpWrite, Block: 0, Data: bytes.Repeat([]byte{1}, MaxData)},
 		{Op: OpInfo},
 	}
@@ -26,7 +26,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: read: %v", req.Op, err)
 		}
-		if got.Op != req.Op || got.Block != req.Block || !bytes.Equal(got.Data, req.Data) {
+		if got.Op != req.Op || got.ID != req.ID || got.Block != req.Block || !bytes.Equal(got.Data, req.Data) {
 			t.Fatalf("round trip changed %+v into %+v", req, got)
 		}
 	}
@@ -73,12 +73,19 @@ func TestInvalidRequestsRejected(t *testing.T) {
 }
 
 func TestInvalidBodiesRejected(t *testing.T) {
+	hdr := func(op byte, tail ...byte) []byte {
+		body := make([]byte, 0, 17+len(tail))
+		body = append(body, op)
+		body = append(body, make([]byte, 8)...) // id 0
+		return append(body, tail...)
+	}
 	bodies := [][]byte{
 		{},
-		{byte(OpAccess)},                        // truncated block
-		{0, 0, 0, 0, 0, 0, 0, 0, 0},             // op 0
-		{byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 1}, // write without payload
-		{byte(OpAccess), 0xff, 0, 0, 0, 0, 0, 0, 0, 1}, // negative block + payload
+		{byte(OpAccess)},            // truncated header
+		{0, 0, 0, 0, 0, 0, 0, 0, 0}, // v1-length body (no id field)
+		hdr(0, 0, 0, 0, 0, 0, 0, 0, 0),               // op 0
+		hdr(byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 1),   // write without payload
+		hdr(byte(OpAccess), 0xff, 0, 0, 0, 0, 0, 0, 0, 1), // negative block + payload
 	}
 	for _, body := range bodies {
 		if _, err := DecodeRequest(body); err == nil {
@@ -103,7 +110,7 @@ func TestFrameLimits(t *testing.T) {
 	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
 		t.Fatal("oversized frame length accepted")
 	}
-	if err := WriteFrame(io.Discard, make([]byte, maxBody+1)); err == nil {
+	if err := WriteFrame(io.Discard, make([]byte, MaxBody+1)); err == nil {
 		t.Fatal("oversized frame body accepted")
 	}
 	// A truncated body is an error, not a short read.

@@ -1,0 +1,100 @@
+// Package vfs is the minimal filesystem surface the durability layer
+// writes through. It exists so that internal/faults can interpose a
+// deterministic fault injector between internal/durable and the real
+// disk: the write-ahead log, snapshot writer, and recovery scanner all
+// speak this interface, and a test can hand them an FS that tears a
+// write, fails a rename, or "kills the process" at a seeded point.
+//
+// The interface is deliberately tiny — exactly the operations a
+// crash-safe store needs (create, append-free sequential write, fsync,
+// atomic publish via rename, directory listing) and nothing else.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is one open file. Write appends at the current offset (files are
+// opened for sequential access only); Sync flushes written data to
+// stable storage.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface of the durability layer.
+type FS interface {
+	// Create makes (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname (POSIX rename
+	// semantics; this is the snapshot publish step).
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists the file names in a directory, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs a directory so renames and creates inside it are
+	// durable. Best effort on platforms where directories cannot be
+	// fsynced.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS. Directory fsync is how a rename becomes
+// crash-durable on POSIX; errors from platforms that cannot fsync a
+// directory are swallowed (the rename itself still happened).
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems (and all of Windows) reject fsync on a
+		// directory handle; the rename is still on its way to disk.
+		return nil
+	}
+	return nil
+}

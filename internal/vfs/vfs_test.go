@@ -1,0 +1,65 @@
+package vfs
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip exercises the full OS surface: create, write, sync,
+// rename-publish, list, read back, remove.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	if err := fs.MkdirAll(filepath.Join(dir, "sub")); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+
+	tmp := filepath.Join(dir, "sub", "file.tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello vfs")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	final := filepath.Join(dir, "sub", "file.dat")
+	if err := fs.Rename(tmp, final); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.SyncDir(filepath.Join(dir, "sub")); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+
+	names, err := fs.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(names) != 1 || names[0] != "file.dat" {
+		t.Fatalf("ReadDir = %v, want [file.dat]", names)
+	}
+
+	r, err := fs.Open(final)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := io.ReadAll(r)
+	r.Close()
+	if err != nil || string(got) != "hello vfs" {
+		t.Fatalf("read back %q (err %v), want %q", got, err, "hello vfs")
+	}
+
+	if err := fs.Remove(final); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if names, _ := fs.ReadDir(filepath.Join(dir, "sub")); len(names) != 0 {
+		t.Fatalf("after Remove, ReadDir = %v, want empty", names)
+	}
+}

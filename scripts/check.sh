@@ -1,19 +1,23 @@
 #!/bin/sh
 # The full verification gate (also reachable as `make check`):
 # vet + build + tests + the race-detector pass over the concurrent
-# packages (the sim orchestrator's worker pool, the ringoram engine, and
-# the serving layer's scheduler/TCP front end), then a short-budget fuzz
-# smoke over the four native fuzz targets.
+# packages (the sim orchestrator's worker pool, the ringoram engine, the
+# serving layer's scheduler/TCP front end, and the durability stack with
+# its fault injector), a race-mode crash-recovery smoke (kill-recover
+# oracle, internal/check), then a short-budget fuzz smoke over the five
+# native fuzz targets.
 # Longer campaigns: `make fuzz FUZZTIME=10m` or see EXPERIMENTS.md.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim ./internal/server/...
+go test -race ./internal/sim ./internal/server/... ./internal/durable ./internal/faults
+go test -race -short -run '^TestCrashRecoverySchedules$' ./internal/check
 
 FUZZTIME="${FUZZTIME:-5s}"
 go test -run='^$' -fuzz='^FuzzAccess$' -fuzztime="$FUZZTIME" ./internal/ringoram
 go test -run='^$' -fuzz='^FuzzCheckpointRoundTrip$' -fuzztime="$FUZZTIME" ./aboram
 go test -run='^$' -fuzz='^FuzzTraceParse$' -fuzztime="$FUZZTIME" ./internal/trace
 go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime="$FUZZTIME" ./internal/server/wire
+go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime="$FUZZTIME" ./internal/durable
