@@ -1,9 +1,11 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	iofs "io/fs"
 
 	"repro/internal/server/wire"
 	"repro/internal/vfs"
@@ -111,12 +113,17 @@ func (w *wal) sync() error {
 // close closes the segment file.
 func (w *wal) close() error { return w.f.Close() }
 
-// readWAL loads a whole WAL segment image. A missing file is an empty
-// segment (the epoch crashed before its first record).
+// readWAL loads a whole WAL segment image. Only a missing file is an
+// empty segment (the epoch crashed before its first record); every other
+// open failure propagates so recovery fails loudly — treating a
+// transient EIO/EACCES as empty would silently drop acknowledged writes.
 func readWAL(fs vfs.FS, path string) ([]byte, error) {
 	f, err := fs.Open(path)
 	if err != nil {
-		return nil, nil
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: opening WAL %s: %w", path, err)
 	}
 	defer f.Close()
 	data, err := io.ReadAll(f)

@@ -2,9 +2,12 @@ package durable
 
 import (
 	"bytes"
+	"errors"
+	iofs "io/fs"
 	"testing"
 
 	"repro/internal/server/wire"
+	"repro/internal/vfs"
 )
 
 // sampleRecords builds a few representative WAL records.
@@ -95,6 +98,28 @@ func TestScanStopsAtCorruption(t *testing.T) {
 	recs, off, torn := ScanWAL(bad)
 	if len(recs) != 1 || off != firstEnd || !torn {
 		t.Fatalf("corrupted log: %d records, off %d, torn %v; want 1, %d, true", len(recs), off, torn, firstEnd)
+	}
+}
+
+// failOpenFS fails every Open with a fixed error.
+type failOpenFS struct {
+	vfs.FS
+	openErr error
+}
+
+func (f failOpenFS) Open(string) (vfs.File, error) { return nil, f.openErr }
+
+// TestReadWALOpenErrors pins the recovery-time error taxonomy: only a
+// missing segment reads as empty; any other open failure (EIO, EACCES)
+// must propagate, or recovery would silently drop acknowledged writes.
+func TestReadWALOpenErrors(t *testing.T) {
+	data, err := readWAL(failOpenFS{openErr: iofs.ErrNotExist}, "wal-1.log")
+	if err != nil || data != nil {
+		t.Fatalf("missing segment: got (%v, %v), want empty segment", data, err)
+	}
+	eio := errors.New("injected I/O error")
+	if _, err := readWAL(failOpenFS{openErr: eio}, "wal-1.log"); !errors.Is(err, eio) {
+		t.Fatalf("transient open failure returned %v; must propagate so recovery fails loudly", err)
 	}
 }
 

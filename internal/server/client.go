@@ -2,9 +2,12 @@ package server
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -36,8 +39,10 @@ type ClientConfig struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the exponential growth. Default 1s.
 	MaxBackoff time.Duration
-	// Seed drives the retry jitter and the request-id nonce; defaults
-	// to 1 so runs are reproducible (inject entropy in deployments).
+	// Seed drives the retry jitter; defaults to 1 so backoff schedules
+	// are reproducible. It never feeds the request-id nonce: the
+	// server's dedup window trusts ids to be globally unique, so the
+	// nonce is always drawn from real entropy (see nonceEntropy).
 	Seed uint64
 	// Dialer overrides how connections are (re)established — the hook
 	// the fault-injection harness and cmd/abload's -faults flag use.
@@ -124,14 +129,31 @@ func NewClient(conn net.Conn, timeout time.Duration) *Client {
 	return newClient(conn, ClientConfig{Timeout: timeout}.withDefaults())
 }
 
-// clientCount distinguishes same-process clients: two clients built with
-// the same seed must still draw distinct request-id nonces, or the
-// server's dedup window would treat their writes as replays of each other.
+// clientCount distinguishes same-process clients: even if two clients
+// somehow drew the same entropy, they must still end up with distinct
+// request-id nonces, or the server's dedup window would treat their
+// writes as replays of each other.
 var clientCount atomic.Uint64
+
+// nonceEntropy draws the randomness behind a client's request-id nonce.
+// Unlike retry jitter this must differ across processes and restarts
+// even under identical configuration: the server's global dedup window
+// trusts client-chosen ids to be unique, and two clients sharing a
+// nonce would have their writes silently answered from each other's
+// cache instead of applied. A deterministic seed therefore must never
+// reach the nonce; crypto/rand is the source, with a pid+clock mix as
+// the fallback if the system entropy pool is unreadable.
+func nonceEntropy() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return binary.BigEndian.Uint64(b[:])
+	}
+	return uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano())
+}
 
 func newClient(conn net.Conn, cfg ClientConfig) *Client {
 	src := rng.New(cfg.Seed ^ 0xc11e47)
-	nonce := (src.Uint64() + clientCount.Add(1)) & 0xffffffff
+	nonce := (nonceEntropy() + clientCount.Add(1)) & 0xffffffff
 	if nonce == 0 {
 		nonce = 1
 	}

@@ -116,6 +116,31 @@ func TestClientRetriesThroughResets(t *testing.T) {
 	t.Logf("client stats: %+v, injector: %+v", st, in.Stats())
 }
 
+// TestClientNonceNotSeedDerived is the regression test for cross-process
+// request-id collisions: two clients built with an identical default
+// configuration — as two processes, or a restarted load generator, would
+// be — must draw distinct, unpredictable nonces, or the server's dedup
+// window would answer one client's writes from the other's cache.
+func TestClientNonceNotSeedDerived(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 4; i++ {
+		seen[nonceEntropy()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("nonceEntropy produced %d distinct values in 4 draws; nonces must not be deterministic", len(seen))
+	}
+
+	a1, b1 := net.Pipe()
+	a2, b2 := net.Pipe()
+	defer func() { b1.Close(); b2.Close() }()
+	c1 := newClient(a1, ClientConfig{}.withDefaults())
+	c2 := newClient(a2, ClientConfig{}.withDefaults())
+	defer func() { c1.Close(); c2.Close() }()
+	if c1.nonce == c2.nonce {
+		t.Fatalf("two same-config clients share nonce %#x; their request ids would collide in the dedup window", c1.nonce)
+	}
+}
+
 // TestTCPDedupExactlyOnce replays a write under its original request id
 // and checks the server answers from the dedup window instead of
 // applying it twice: the block must keep the first write's content.

@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Engine is the block store the scheduler serializes onto: the protocol
@@ -85,13 +86,36 @@ func (c Config) withDefaults() Config {
 
 // request is one queued client operation. resp is buffered so the
 // scheduler never blocks on a caller that already gave up.
+//
+// state makes cancellation atomic with execution. Without it there is a
+// window between the scheduler's ctx check and the engine call where the
+// submitter's ctx expires: the op would be applied while the caller sees
+// a deadline error, the dedup window would forget the id, and the
+// client's retry would apply the write a second time — clobbering any
+// interleaved write by another client. The CAS closes the window: an op
+// is executed if and only if its submitter receives the real outcome.
 type request struct {
 	ctx   context.Context
 	op    opKind
 	block int64
 	data  []byte
 	resp  chan result
+	state atomic.Uint32 // reqPending → reqClaimed (scheduler) | reqAbandoned (submitter)
 }
+
+const (
+	reqPending   uint32 = iota
+	reqClaimed          // scheduler committed to delivering the authoritative outcome
+	reqAbandoned        // submitter returned ctx.Err(); the engine must not be touched
+)
+
+// claim is the scheduler's side of the cancellation race: true means the
+// submitter is now committed to reading the result from resp.
+func (r *request) claim() bool { return r.state.CompareAndSwap(reqPending, reqClaimed) }
+
+// abandon is the submitter's side: true means the scheduler has not (and
+// now never will) execute this request.
+func (r *request) abandon() bool { return r.state.CompareAndSwap(reqPending, reqAbandoned) }
 
 type opKind uint8
 
@@ -197,9 +221,18 @@ func (s *Server) submit(ctx context.Context, op opKind, block int64, data []byte
 	case res := <-r.resp:
 		return res.data, res.err
 	case <-ctx.Done():
-		// The scheduler will observe the expired context and answer into
-		// the buffered channel without touching the ORAM; nothing leaks.
-		return nil, ctx.Err()
+		if r.abandon() {
+			// The scheduler has not claimed this request and now never
+			// will execute it; the ctx error is the authoritative outcome.
+			return nil, ctx.Err()
+		}
+		// The scheduler claimed the request before we could abandon it:
+		// it is executing (or has executed) right now. Returning ctx.Err()
+		// here would report failure for an op that was applied — the
+		// retry-double-apply hazard — so wait for the real outcome; one
+		// engine op, not ctx, bounds this wait.
+		res := <-r.resp
+		return res.data, res.err
 	}
 }
 
@@ -275,6 +308,15 @@ func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 	}
 	s.metrics.batch(len(batch), dups)
 	for _, r := range batch {
+		if !r.claim() {
+			// The submitter abandoned the request on ctx expiry and has
+			// already returned; nobody reads resp, nothing to execute.
+			s.metrics.canceled()
+			continue
+		}
+		// Claimed: from here the submitter waits for resp, so whatever is
+		// delivered — including a cancellation — is the authoritative
+		// outcome and can never disagree with what the engine did.
 		if err := r.ctx.Err(); err != nil {
 			// Expired while queued: answer without touching the ORAM, so a
 			// dead client cannot force protocol work.

@@ -300,6 +300,51 @@ func TestServerClose(t *testing.T) {
 	}
 }
 
+// blockingEngine stalls Write until released, holding a request inside
+// the execution window so a test can expire its context mid-op.
+type blockingEngine struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (e *blockingEngine) NumBlocks() int64           { return 8 }
+func (e *blockingEngine) BlockSize() int             { return 4 }
+func (e *blockingEngine) Encrypted() bool            { return true }
+func (e *blockingEngine) Access(int64) error         { return nil }
+func (e *blockingEngine) Read(int64) ([]byte, error) { return make([]byte, 4), nil }
+func (e *blockingEngine) Write(int64, []byte) error {
+	e.entered <- struct{}{}
+	<-e.release
+	return nil
+}
+
+// TestServerCtxExpiryDuringExecution is the regression test for the
+// executed-but-reported-failed race: a context that expires after the
+// scheduler has committed to the op must not produce a ctx error, because
+// the dedup window would forget the id and a retry would apply the write
+// a second time. The claim/abandon handshake guarantees the submitter
+// gets the engine's real outcome whenever the engine ran.
+func TestServerCtxExpiryDuringExecution(t *testing.T) {
+	eng := &blockingEngine{entered: make(chan struct{}), release: make(chan struct{})}
+	s := New(eng, Config{})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Write(ctx, 1, []byte{1, 2, 3, 4}) }()
+
+	<-eng.entered // scheduler is inside the engine call
+	cancel()      // ctx expires while the op executes
+	close(eng.release)
+
+	if err := <-done; err != nil {
+		t.Fatalf("executed write returned %v; the applied outcome must win over ctx expiry", err)
+	}
+	if m := s.Metrics(); m.Served() != 1 || m.Canceled != 0 {
+		t.Fatalf("metrics %+v, want 1 served / 0 canceled", m)
+	}
+}
+
 // TestServerPatternOnly checks that a pattern-only ORAM (no encryption
 // key) serves Access but fails Read/Write cleanly through the scheduler.
 func TestServerPatternOnly(t *testing.T) {
