@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate referenced by ROADMAP.md.
 
-.PHONY: check vet build test race bench fuzz crash serve loadtest
+.PHONY: check vet build test race bench fuzz crash soak serve loadtest
 
 check:
 	sh scripts/check.sh
@@ -33,6 +33,14 @@ fuzz:
 # under the race detector. `make check` runs the -short variant.
 crash:
 	go test -race -count=1 -run '^TestCrashRecovery' -v ./internal/check
+
+# Chaos soak: live daemon under kill -9 schedules, overload bursts, and a
+# network blackout, checked for exactly-once and zero acked loss
+# (internal/check RunSoak). SOAKTIME sets the per-incarnation wall budget
+# (e.g. SOAKTIME=30s); `make check` runs the -short variant.
+SOAKTIME ?= 5s
+soak:
+	SOAKTIME=$(SOAKTIME) go test -race -count=1 -run '^TestChaosSoak$$' -v ./internal/check
 
 # Serving layer: start a daemon on the default port, or drive one with the
 # closed-loop load generator (see README "Serving").

@@ -20,9 +20,16 @@
 // -retries so workers redial and resend under their original request ids,
 // exercising the server's dedup window. The report then includes retry,
 // redial, and error-rate columns.
+//
+// -breaker arms each worker's circuit breaker (open after N consecutive
+// failed ops, half-open probe after -breaker-cooldown). Overloaded
+// responses from the server — admission-control shedding — are counted
+// separately from hard errors, and the report gains overloaded, shed
+// fast-fail, and breaker-open columns when any occur.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,22 +56,25 @@ func main() {
 
 // workerResult is one worker's tally, merged after the run.
 type workerResult struct {
-	ops    int
-	errors int
-	lat    *stats.LatencyRecorder
-	client server.ClientStats
-	err    error // fatal worker error (dial/protocol), nil if it ran to completion
+	ops        int
+	errors     int // hard errors (op failed for a non-overload reason)
+	overloaded int // ops refused by server shedding or an open breaker
+	lat        *stats.LatencyRecorder
+	client     server.ClientStats
+	err        error // fatal worker error (dial/protocol), nil if it ran to completion
 }
 
 // workerConfig is the per-worker slice of the command line.
 type workerConfig struct {
-	addr     string
-	timeout  time.Duration
-	readFrac float64
-	dist     string
-	zipfS    float64
-	faults   float64
-	retries  int
+	addr            string
+	timeout         time.Duration
+	readFrac        float64
+	dist            string
+	zipfS           float64
+	faults          float64
+	retries         int
+	breaker         int
+	breakerCooldown time.Duration
 }
 
 func run(args []string, out io.Writer) error {
@@ -79,6 +89,8 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client deadline")
 	faultRate := fs.Float64("faults", 0, "client-side fault rate per io op: connection resets + latency spikes (0 = off)")
 	retries := fs.Int("retries", 0, "extra attempts per op after a connection failure (redial + resend)")
+	breaker := fs.Int("breaker", 0, "open the per-worker circuit breaker after this many consecutive failed ops (0 = off)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "with -breaker: how long an open breaker fails fast before a half-open probe")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +114,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0")
+	}
+	if *breaker < 0 {
+		return fmt.Errorf("-breaker must be >= 0")
+	}
+	if *breakerCooldown <= 0 {
+		return fmt.Errorf("-breaker-cooldown must be > 0")
 	}
 
 	// One probe connection learns the store geometry before the fleet dials.
@@ -135,6 +153,7 @@ func run(args []string, out io.Writer) error {
 			cfg := workerConfig{
 				addr: *addr, timeout: *timeout, readFrac: *readFrac,
 				dist: *dist, zipfS: *zipfS, faults: *faultRate, retries: *retries,
+				breaker: *breaker, breakerCooldown: *breakerCooldown,
 			}
 			results[w] = worker(cfg, n, info, src)
 		}(w, n, src)
@@ -143,7 +162,7 @@ func run(args []string, out io.Writer) error {
 	elapsed := time.Since(start)
 
 	lat := new(stats.LatencyRecorder)
-	total, errCount := 0, 0
+	total, errCount, overCount := 0, 0, 0
 	var cstats server.ClientStats
 	for w, r := range results {
 		if r.err != nil {
@@ -151,9 +170,13 @@ func run(args []string, out io.Writer) error {
 		}
 		total += r.ops
 		errCount += r.errors
+		overCount += r.overloaded
 		cstats.Retries += r.client.Retries
 		cstats.Redials += r.client.Redials
 		cstats.Broken += r.client.Broken
+		cstats.Overloaded += r.client.Overloaded
+		cstats.BreakerOpens += r.client.BreakerOpens
+		cstats.BreakerFastFails += r.client.BreakerFastFails
 		lat.Merge(r.lat)
 	}
 	sum := lat.Summary()
@@ -167,10 +190,21 @@ func run(args []string, out io.Writer) error {
 	t.AddRow("operations completed", report.Int(int64(total)))
 	t.AddRow("operation errors", report.Int(int64(errCount)))
 	t.AddRow("error rate", report.Float(float64(errCount)/float64(total), 4))
+	if overCount > 0 {
+		t.AddNote("shed ops were refused before execution (server overload or open breaker); they are not hard errors")
+	}
 	if *faultRate > 0 || *retries > 0 {
 		t.AddRow("injected fault rate", report.Float(*faultRate, 3))
 		t.AddRow("request retries", report.Int(int64(cstats.Retries)))
 		t.AddRow("reconnects", report.Int(int64(cstats.Redials)))
+	}
+	if overCount > 0 || cstats.Overloaded > 0 || *breaker > 0 {
+		t.AddRow("overloaded (shed) ops", report.Int(int64(overCount)))
+		t.AddRow("overloaded responses", report.Int(int64(cstats.Overloaded)))
+	}
+	if *breaker > 0 {
+		t.AddRow("breaker opens", report.Int(int64(cstats.BreakerOpens)))
+		t.AddRow("breaker fast-fails", report.Int(int64(cstats.BreakerFastFails)))
 	}
 	t.AddRow("wall time", elapsed.Round(time.Millisecond).String())
 	t.AddRow("throughput (ops/s)", report.Float(float64(total)/elapsed.Seconds(), 1))
@@ -204,9 +238,11 @@ func distLabel(dist string, s float64) string {
 func worker(cfg workerConfig, n int, info wire.InfoPayload, src *rng.Source) workerResult {
 	res := workerResult{lat: new(stats.LatencyRecorder)}
 	ccfg := server.ClientConfig{
-		Timeout:     cfg.timeout,
-		MaxAttempts: 1 + cfg.retries,
-		Seed:        src.Uint64(),
+		Timeout:          cfg.timeout,
+		MaxAttempts:      1 + cfg.retries,
+		Seed:             src.Uint64(),
+		BreakerThreshold: cfg.breaker,
+		BreakerCooldown:  cfg.breakerCooldown,
 	}
 	if cfg.faults > 0 {
 		in := faults.New(faults.Config{
@@ -253,7 +289,12 @@ func worker(cfg workerConfig, n int, info wire.InfoPayload, src *rng.Source) wor
 		}
 		res.lat.Record(time.Since(begin))
 		res.ops++
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, server.ErrOverloaded) || errors.Is(err, server.ErrBreakerOpen):
+			// Refused before execution — graceful degradation, not a fault.
+			res.overloaded++
+		default:
 			res.errors++
 		}
 	}

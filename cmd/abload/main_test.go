@@ -145,6 +145,8 @@ func TestLoadFlagValidation(t *testing.T) {
 		{"-dist", "zipf", "-zipf", "0.9"},
 		{"-faults", "1.5"},
 		{"-retries", "-1"},
+		{"-breaker", "-1"},
+		{"-breaker-cooldown", "0s"},
 	} {
 		var buf bytes.Buffer
 		if err := run(tc, &buf); err == nil {
@@ -158,5 +160,37 @@ func TestLoadNoServer(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-addr", "127.0.0.1:1", "-timeout", "500ms"}, &buf); err == nil {
 		t.Fatal("expected a dial error")
+	}
+}
+
+// TestLoadBreakerColumns arms the circuit breaker against a healthy
+// server: the run must succeed, the overload/breaker columns must appear,
+// and against a healthy server they must all read zero.
+func TestLoadBreakerColumns(t *testing.T) {
+	addr, stop := startStack(t, 8)
+	defer stop()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-workers", "3",
+		"-ops", "60",
+		"-seed", "9",
+		"-breaker", "3",
+		"-breaker-cooldown", "100ms",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("breaker run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	reportShape(t, out)
+	for _, pat := range []string{
+		`overloaded \(shed\) ops\s+0\b`,
+		`overloaded responses\s+0\b`,
+		`breaker opens\s+0\b`,
+		`breaker fast-fails\s+0\b`,
+	} {
+		if !regexp.MustCompile(pat).MatchString(out) {
+			t.Errorf("breaker report missing /%s/:\n%s", pat, out)
+		}
 	}
 }

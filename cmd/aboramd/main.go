@@ -17,7 +17,9 @@
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
 // lets in-flight connections finish (up to -drain), serves everything
-// already queued, then prints the scheduler counters and exits.
+// already queued, then prints the scheduler counters and exits. SIGUSR1
+// dumps the live scheduler, front-end, and durability counters without
+// disturbing service.
 //
 // The demo key baked into -key is for benchmarking only; a deployment
 // would inject a real key (and real entropy via -seed).
@@ -43,7 +45,7 @@ import (
 
 func main() {
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
 	if err := run(os.Args[1:], os.Stdout, stop, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "aboramd:", err)
 		os.Exit(1)
@@ -74,6 +76,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	snapEvery := fs.Int("snapshot-every", 1024, "with -data-dir: writes between snapshot rotations")
 	snapInterval := fs.Duration("snapshot-interval", 0, "with -data-dir: also rotate after this much wall time (0 = off)")
 	syncEvery := fs.Int("sync-every", 1, "with -data-dir: fsync the WAL every N writes (1 = zero acknowledged loss)")
+	groupCommit := fs.Bool("group-commit", false, "with -data-dir: one WAL fsync per scheduler batch instead of per write (acks stay durable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,13 +108,17 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 			SnapshotEvery:    *snapEvery,
 			SnapshotInterval: *snapInterval,
 			SyncEvery:        *syncEvery,
+			GroupCommit:      *groupCommit,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, "aboramd: "+format+"\n", args...)
+			},
 		})
 		if err != nil {
 			return err
 		}
 		rec := deng.Recovery()
-		fmt.Fprintf(out, "aboramd: recovered %s: base epoch %d, %d WAL records replayed (%d segments)",
-			*dataDir, rec.BaseEpoch, rec.RecordsReplayed, rec.SegmentsReplayed)
+		fmt.Fprintf(out, "aboramd: recovered %s: base epoch %d, %d WAL records replayed (%d segments), %d dedup ids",
+			*dataDir, rec.BaseEpoch, rec.RecordsReplayed, rec.SegmentsReplayed, rec.IDsRecovered)
 		if rec.TornTail {
 			fmt.Fprint(out, ", torn tail truncated")
 		}
@@ -135,6 +142,12 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		WriteTimeout:   *writeTO,
 		RequestTimeout: *reqTO,
 	})
+	if deng != nil {
+		// Seed the retry-dedup window with the ids recovered from the
+		// snapshot header and WAL: a client write retried across this
+		// restart is answered from the window, not applied twice.
+		tsrv.SeedDedup(deng.RecentWriteIDs())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -151,15 +164,25 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	served := make(chan error, 1)
 	go func() { served <- tsrv.Serve(ln) }()
 
-	select {
-	case err := <-served:
-		srv.Close()
-		if deng != nil {
-			deng.Close()
+	// Serve until a terminating signal (or the listener fails). SIGUSR1
+	// dumps the live counters and keeps serving.
+wait:
+	for {
+		select {
+		case err := <-served:
+			srv.Close()
+			if deng != nil {
+				deng.Close()
+			}
+			return err
+		case sig := <-stop:
+			if sig == syscall.SIGUSR1 {
+				dumpCounters(out, srv, tsrv, deng)
+				continue
+			}
+			fmt.Fprintf(out, "aboramd: %v, draining (budget %v)\n", sig, *drain)
+			break wait
 		}
-		return err
-	case sig := <-stop:
-		fmt.Fprintf(out, "aboramd: %v, draining (budget %v)\n", sig, *drain)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -175,16 +198,28 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		if err := deng.Close(); err != nil {
 			fmt.Fprintf(out, "aboramd: closing data dir: %v\n", err)
 		}
-		ds := deng.Stats()
-		fmt.Fprintf(out, "aboramd: durability: %d writes logged, %d fsyncs, %d snapshots (epoch %d)\n",
-			ds.Writes, ds.Syncs, ds.Snapshots, deng.Epoch())
 	}
+	if err := dumpCounters(out, srv, tsrv, deng); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "aboramd: bye")
+	return nil
+}
 
-	m := srv.Metrics()
-	if err := m.Table("aboramd scheduler counters").WriteText(out); err != nil {
+// dumpCounters prints the durability, scheduler, and front-end counters.
+// SIGUSR1 triggers it on a live daemon; the shutdown path reuses it for
+// the final report.
+func dumpCounters(out io.Writer, srv *server.Server, tsrv *server.TCPServer, deng *durable.Engine) error {
+	if deng != nil {
+		ds := deng.Stats()
+		fmt.Fprintf(out, "aboramd: durability: %d writes logged, %d fsyncs (%d batched), %d snapshots (epoch %d), %d prune failures\n",
+			ds.Writes, ds.Syncs, ds.BatchedSyncs, ds.Snapshots, deng.Epoch(), ds.PruneFailures)
+	}
+	if err := srv.Metrics().Table("aboramd scheduler counters").WriteText(out); err != nil {
 		return err
 	}
 	tm := tsrv.Metrics()
-	fmt.Fprintf(out, "aboramd: %d connections served, %d refused; bye\n", tm.Accepted, tm.Refused)
+	fmt.Fprintf(out, "aboramd: %d connections served, %d refused, %d active; %d retries deduped, %d requests shed\n",
+		tm.Accepted, tm.Refused, tm.Active, tm.Deduped, tm.Shed)
 	return nil
 }

@@ -15,18 +15,23 @@ import (
 
 // startDaemon runs the daemon on an ephemeral port and returns its address
 // plus a shutdown func that sends SIGTERM and waits for a clean exit.
-func startDaemon(t *testing.T, extraArgs ...string) (addr string, out *bytes.Buffer, shutdown func()) {
+func startDaemon(t *testing.T, extraArgs ...string) (addr string, out *syncBuffer, shutdown func()) {
+	addr, out, _, shutdown = startDaemonSignals(t, extraArgs...)
+	return addr, out, shutdown
+}
+
+// startDaemonSignals is startDaemon plus the signal channel, for tests
+// that poke the daemon with non-terminating signals (SIGUSR1).
+func startDaemonSignals(t *testing.T, extraArgs ...string) (addr string, out *syncBuffer, sig chan<- os.Signal, shutdown func()) {
 	t.Helper()
 	stop := make(chan os.Signal, 1)
 	ready := make(chan net.Addr, 1)
-	var buf bytes.Buffer
-	var mu sync.Mutex // run writes buf from its goroutine; readers take the lock
-	w := lockedWriter{mu: &mu, buf: &buf}
+	buf := &syncBuffer{}
 
 	args := append([]string{"-addr", "127.0.0.1:0", "-levels", "8", "-drain", "5s"}, extraArgs...)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(args, w, stop, func(a net.Addr) { ready <- a })
+		done <- run(args, buf, stop, func(a net.Addr) { ready <- a })
 	}()
 	select {
 	case a := <-ready:
@@ -47,18 +52,26 @@ func startDaemon(t *testing.T, extraArgs ...string) (addr string, out *bytes.Buf
 			t.Error("daemon did not exit after SIGTERM")
 		}
 	}
-	return addr, &buf, shutdown
+	return addr, buf, stop, shutdown
 }
 
-type lockedWriter struct {
-	mu  *sync.Mutex
-	buf *bytes.Buffer
+// syncBuffer is a bytes.Buffer both the daemon goroutine (Write) and the
+// test (String) may touch.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
 }
 
-func (w lockedWriter) Write(p []byte) (int, error) {
+func (w *syncBuffer) Write(p []byte) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.buf.Write(p)
+}
+
+func (w *syncBuffer) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
 }
 
 // TestDaemonServesAndDrains boots the daemon, does real work over TCP,
@@ -193,6 +206,100 @@ func TestDaemonBadFlags(t *testing.T) {
 		stop := make(chan os.Signal)
 		if err := run(tc, &buf, stop, nil); err == nil {
 			t.Errorf("run(%v) succeeded, want error", tc)
+		}
+	}
+}
+
+// TestDaemonSIGUSR1DumpsCounters pokes a running durable daemon with
+// SIGUSR1 and checks the live counter dump appears — durability,
+// scheduler, and front-end lines — while service continues unharmed.
+func TestDaemonSIGUSR1DumpsCounters(t *testing.T) {
+	dir := t.TempDir()
+	addr, out, sig, shutdown := startDaemonSignals(t, "-data-dir", dir, "-group-commit")
+	defer shutdown()
+
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, info.BlockSize)
+	for blk := int64(0); blk < 4; blk++ {
+		if err := c.Write(blk, data); err != nil {
+			t.Fatalf("write %d: %v", blk, err)
+		}
+	}
+
+	sig <- syscall.SIGUSR1
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := out.String()
+		if strings.Contains(s, "durability:") && strings.Contains(s, "scheduler counters") &&
+			strings.Contains(s, "connections served") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGUSR1 dump never appeared:\n%s", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if strings.Contains(out.String(), "draining") {
+		t.Fatal("SIGUSR1 started a drain; it must only dump counters")
+	}
+	// Service continues after the dump.
+	if err := c.Access(1); err != nil {
+		t.Fatalf("access after SIGUSR1: %v", err)
+	}
+}
+
+// TestDaemonGroupCommitRestart runs a -group-commit daemon, writes
+// through it, and checks both the amortized-fsync accounting and that
+// every acknowledged write survives a restart.
+func TestDaemonGroupCommitRestart(t *testing.T) {
+	dir := t.TempDir()
+	addr, out, shutdown := startDaemon(t, "-data-dir", dir, "-group-commit")
+
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, info.BlockSize)
+	for i := range want {
+		want[i] = byte(i*3 + 1)
+	}
+	for blk := int64(0); blk < 8; blk++ {
+		if err := c.Write(blk, want); err != nil {
+			t.Fatalf("write %d: %v", blk, err)
+		}
+	}
+	c.Close()
+	shutdown()
+	if s := out.String(); !strings.Contains(s, "batched") {
+		t.Fatalf("no batched-fsync accounting in shutdown dump:\n%s", s)
+	}
+
+	addr2, _, shutdown2 := startDaemon(t, "-data-dir", dir, "-group-commit")
+	defer shutdown2()
+	c2, err := server.Dial(addr2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for blk := int64(0); blk < 8; blk++ {
+		got, err := c2.Read(blk)
+		if err != nil {
+			t.Fatalf("read %d after restart: %v", blk, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d lost across group-commit restart", blk)
 		}
 	}
 }

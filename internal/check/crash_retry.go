@@ -1,0 +1,329 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/aboram"
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/vfs"
+)
+
+// This file extends the kill-recover oracle with the exactly-once
+// contract for retried writes: every write carries a wire request id,
+// the durable engine logs the id in the WAL (and snapshot header), and a
+// restarted daemon seeds its retry-dedup window from RecentWriteIDs. The
+// schedule drives the retry protocol the real client+front-end pair
+// implements, across injected kills:
+//
+//   - a write in doubt at a crash (errored, maybe applied) is retried
+//     after recovery; if its id is in the recovered set, the retry is
+//     answered from the window (not re-executed), otherwise it executes
+//     for real — either way exactly-once;
+//   - occasionally a duplicate of an ACKED write is held back and
+//     replayed in a LATER incarnation, after a conflicting write to the
+//     same block — the crash-straddling retry. A correct recovered
+//     window absorbs it; re-executing it would roll the block back.
+//
+// RetryOptions.IgnoreRecoveredIDs is the negative control: it models a
+// server whose dedup window forgot everything at restart (i.e. the id
+// persistence reverted), so straddling duplicates re-execute and the
+// schedule must FAIL — proving the oracle detects double-applies.
+
+// RetryOptions tunes RunRetrySchedule.
+type RetryOptions struct {
+	// IgnoreRecoveredIDs makes the simulated server forget its dedup
+	// window across restarts: cross-crash duplicates re-execute instead
+	// of being answered from the recovered id set. The schedule is then
+	// expected to fail its model check.
+	IgnoreRecoveredIDs bool
+}
+
+// RetryReport summarizes one seeded retry schedule.
+type RetryReport struct {
+	Seed        uint64
+	Rounds      int
+	Crashes     int
+	AckedWrites int
+	InDoubt     int // writes retried because a crash left them in doubt
+	DedupSkips  int // retries/duplicates absorbed by the recovered id set
+	Straddles   int // cross-crash duplicates staged and replayed
+	Reexecuted  int // retries that executed for real (id not recovered)
+}
+
+func (r *RetryReport) String() string {
+	return fmt.Sprintf("seed %d: %d rounds, %d crashes, %d acked, %d in-doubt retries, %d dedup skips, %d straddling dups, %d re-executed",
+		r.Seed, r.Rounds, r.Crashes, r.AckedWrites, r.InDoubt, r.DedupSkips, r.Straddles, r.Reexecuted)
+}
+
+// retryWrite is one identified write the schedule may retry or replay.
+type retryWrite struct {
+	id    uint64
+	block int64
+	data  []byte
+	old   []byte // model content before the write (either-value rule)
+}
+
+// RunRetrySchedule runs a seeded schedule of identified writes against
+// the durable engine through crash-injected filesystems, exercising the
+// retry protocol across kills. It returns an error on the first
+// exactly-once violation (a lost acked write, a rolled-back block, an
+// acked id missing from the recovered set, or a recovered id whose write
+// did not survive).
+func RunRetrySchedule(dir string, seed uint64, totalOps int, opt RetryOptions) (*RetryReport, error) {
+	r := rng.New(seed ^ 0x7265747279) // decorrelated schedule stream
+	rep := &RetryReport{Seed: seed}
+
+	probe, err := aboram.New(crashOptions(dir, seed, vfs.OS{}).ORAM)
+	if err != nil {
+		return nil, err
+	}
+	blockB, numBlocks := probe.BlockSize(), probe.NumBlocks()
+
+	model := make(map[int64][]byte)
+	acked := make(map[uint64]bool) // ids acknowledged across the whole schedule
+	var inDoubt *retryWrite       // single write in flight at the last crash
+	var staged *retryWrite        // acked write held back as a cross-crash duplicate
+
+	nextID := uint64(0)
+	opsDone := 0
+	maxRounds := totalOps + 16
+	for opsDone < totalOps {
+		if rep.Rounds >= maxRounds {
+			return rep, fmt.Errorf("check: retry schedule %d made no progress after %d rounds", seed, rep.Rounds)
+		}
+		rep.Rounds++
+
+		in := faults.New(faults.Config{
+			Seed:       r.Uint64(),
+			CrashAfter: 1 + int(r.Uint64n(60)),
+			TornWrites: true,
+		})
+		eng, err := durable.Open(crashOptions(dir, seed, faults.WrapFS(vfs.OS{}, in)))
+		if err != nil {
+			if !in.Crashed() {
+				return rep, fmt.Errorf("check: round %d: recovery failed without a crash: %w", rep.Rounds, err)
+			}
+			rep.Crashes++
+			continue
+		}
+
+		recovered := make(map[uint64]bool)
+		for _, id := range eng.RecentWriteIDs() {
+			recovered[id] = true
+		}
+
+		// Crash-durable dedup invariant: every acknowledged id must be in
+		// the recovered set (the schedule stays far below DedupTrack, so
+		// capacity eviction cannot excuse an absence).
+		for id := range acked {
+			if !recovered[id] {
+				eng.Close()
+				return rep, fmt.Errorf("check: round %d: acked id %#x missing from recovered set (size %d)",
+					rep.Rounds, id, len(recovered))
+			}
+		}
+
+		// Resolve the write in doubt from the previous incarnation. If its
+		// id was recovered the write IS applied (recovered-implies-applied)
+		// and the retry is a dedup hit; otherwise it executes for real.
+		crashed := false
+		if inDoubt != nil {
+			w := inDoubt
+			rep.InDoubt++
+			if recovered[w.id] && !opt.IgnoreRecoveredIDs {
+				got, err := eng.Read(w.block)
+				if err != nil {
+					eng.Close()
+					return rep, fmt.Errorf("check: round %d: reading recovered block %d: %w", rep.Rounds, w.block, err)
+				}
+				if !bytes.Equal(got, w.data) {
+					eng.Close()
+					return rep, fmt.Errorf("check: round %d: id %#x recovered but block %d does not hold its write",
+						rep.Rounds, w.id, w.block)
+				}
+				rep.DedupSkips++
+				model[w.block] = w.data
+				acked[w.id] = true
+				inDoubt = nil
+			} else {
+				// Not recovered (or the control pretends it is not): the
+				// retry executes. Either-value held before; after an ack it
+				// must be the new value.
+				if err := eng.WriteIdentified(w.id, w.block, w.data); err != nil {
+					if !in.Crashed() {
+						eng.Close()
+						return rep, fmt.Errorf("check: round %d: retry failed without a crash: %w", rep.Rounds, err)
+					}
+					crashed = true // still in doubt; next round retries again
+				} else {
+					rep.Reexecuted++
+					model[w.block] = w.data
+					acked[w.id] = true
+					inDoubt = nil
+				}
+			}
+		}
+
+		// Replay the staged cross-crash duplicate: first a conflicting
+		// write to the same block (fresh id), then the duplicate itself.
+		// Correct dedup absorbs the duplicate and the conflict's value
+		// stays; re-executing it rolls the block back, which the model
+		// check below catches.
+		if !crashed && staged != nil && opsDone < totalOps {
+			dup := staged
+			nextID++
+			conflict := &retryWrite{id: nextID, block: dup.block,
+				data: Fill(blockB, dup.block, byte(r.Uint64())^0xA5), old: model[dup.block]}
+			opsDone++
+			if err := eng.WriteIdentified(conflict.id, conflict.block, conflict.data); err != nil {
+				if !in.Crashed() {
+					eng.Close()
+					return rep, fmt.Errorf("check: round %d: conflict write failed without a crash: %w", rep.Rounds, err)
+				}
+				inDoubt = conflict
+				crashed = true // duplicate stays staged for the next round
+			} else {
+				model[conflict.block] = conflict.data
+				acked[conflict.id] = true
+				rep.AckedWrites++
+				rep.Straddles++
+				staged = nil
+				if recovered[dup.id] && !opt.IgnoreRecoveredIDs {
+					rep.DedupSkips++ // absorbed: model keeps the conflict's value
+				} else {
+					// The simulated server forgot the id: the duplicate
+					// re-executes, but the MODEL keeps the conflict's value —
+					// exactly-once semantics say a duplicate of an acked
+					// write must not change state. The read-back check
+					// reports the regression.
+					if err := eng.WriteIdentified(dup.id, dup.block, dup.data); err != nil {
+						if !in.Crashed() {
+							eng.Close()
+							return rep, fmt.Errorf("check: round %d: duplicate write failed without a crash: %w", rep.Rounds, err)
+						}
+						crashed = true
+					}
+				}
+			}
+		}
+
+		// Normal serving until the op budget or the crash point.
+		for !crashed && opsDone < totalOps {
+			block := int64(r.Uint64n(uint64(numBlocks)))
+			nextID++
+			w := &retryWrite{id: nextID, block: block,
+				data: Fill(blockB, block, byte(r.Uint64())), old: model[block]}
+			opsDone++
+			if err := eng.WriteIdentified(w.id, w.block, w.data); err != nil {
+				if !in.Crashed() {
+					eng.Close()
+					return rep, fmt.Errorf("check: op %d: write failed without a crash: %w", opsDone, err)
+				}
+				inDoubt = w
+				crashed = true
+				break
+			}
+			model[w.block] = w.data
+			acked[w.id] = true
+			rep.AckedWrites++
+			// Occasionally hold an acked write back as a future
+			// cross-crash duplicate.
+			if staged == nil && r.Float64() < 0.25 {
+				staged = w
+			}
+			// Interleave reads to catch rollbacks early.
+			if r.Float64() < 0.3 {
+				got, err := eng.Read(block)
+				if err != nil {
+					if !in.Crashed() {
+						eng.Close()
+						return rep, fmt.Errorf("check: op %d: read failed without a crash: %w", opsDone, err)
+					}
+					crashed = true
+					break
+				}
+				if !bytes.Equal(got, model[block]) {
+					eng.Close()
+					return rep, fmt.Errorf("check: op %d: block %d diverged from model pre-crash", opsDone, block)
+				}
+			}
+		}
+
+		// Model read-back for this incarnation (skip blocks in doubt).
+		if !crashed {
+			for blk, want := range model {
+				if inDoubt != nil && inDoubt.block == blk {
+					continue
+				}
+				got, err := eng.Read(blk)
+				if err != nil {
+					if in.Crashed() {
+						crashed = true
+						break
+					}
+					eng.Close()
+					return rep, fmt.Errorf("check: round %d: reading block %d: %w", rep.Rounds, blk, err)
+				}
+				if !bytes.Equal(got, want) {
+					eng.Close()
+					return rep, fmt.Errorf("check: round %d: block %d lost or rolled back (exactly-once violation)",
+						rep.Rounds, blk)
+				}
+			}
+		}
+		eng.Close()
+		if crashed {
+			rep.Crashes++
+		}
+	}
+
+	// Final clean recovery: the full model must read back and every acked
+	// id must still be recoverable.
+	rep.Rounds++
+	eng, err := durable.Open(crashOptions(dir, seed, vfs.OS{}))
+	if err != nil {
+		return rep, fmt.Errorf("check: final recovery: %w", err)
+	}
+	defer eng.Close()
+	recovered := make(map[uint64]bool)
+	for _, id := range eng.RecentWriteIDs() {
+		recovered[id] = true
+	}
+	for id := range acked {
+		if !recovered[id] {
+			return rep, fmt.Errorf("check: final recovery: acked id %#x missing from recovered set", id)
+		}
+	}
+	if inDoubt != nil {
+		// The schedule ended with a write still in doubt: pin it by the
+		// either-value rule before the sweep.
+		got, err := eng.Read(inDoubt.block)
+		if err != nil {
+			return rep, fmt.Errorf("check: final recovery: reading in-doubt block %d: %w", inDoubt.block, err)
+		}
+		old := inDoubt.old
+		if old == nil {
+			old = make([]byte, blockB)
+		}
+		switch {
+		case bytes.Equal(got, inDoubt.data):
+			model[inDoubt.block] = inDoubt.data
+		case bytes.Equal(got, old):
+		default:
+			return rep, fmt.Errorf("check: final recovery: in-doubt block %d holds neither value", inDoubt.block)
+		}
+	}
+	for blk, want := range model {
+		got, err := eng.Read(blk)
+		if err != nil {
+			return rep, fmt.Errorf("check: final recovery: reading block %d: %w", blk, err)
+		}
+		if !bytes.Equal(got, want) {
+			return rep, fmt.Errorf("check: final recovery: block %d lost or rolled back (exactly-once violation)", blk)
+		}
+	}
+	return rep, nil
+}

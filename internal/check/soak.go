@@ -1,0 +1,663 @@
+package check
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/vfs"
+)
+
+// Chaos soak: the whole serving stack — durable engine on a
+// fault-injected filesystem, scheduler, TCP front end with a seeded
+// retry-dedup window, retrying clients with circuit breakers — run
+// in-process under seeded kill/restart schedules, overload bursts, and
+// one full blackout, then verified end to end:
+//
+//   - zero acked-write loss: every block's final content is an issued
+//     write with sequence >= the last acknowledged one for that block;
+//   - zero double-apply: the engine never applies a write id after that
+//     id was acknowledged (per-id write fingerprints, checked inline by
+//     an engine wrapper and again in the final sweep);
+//   - shed means shed: a request the client saw fail with ErrOverloaded
+//     or ErrBreakerOpen (the definitively-not-executed contract) is
+//     never observed applied.
+//
+// The fault schedule is a pure function of the seed; TCP and goroutine
+// interleavings are not, so the soak asserts invariants, not exact
+// counts. Workers own disjoint block sets and stamp every payload with
+// (worker, seq, block), which is what makes loss, rollback, and
+// double-apply distinguishable at read time.
+
+// SoakOptions tunes RunSoak.
+type SoakOptions struct {
+	// Seed drives the fault schedules and workload mix.
+	Seed uint64
+	// Duration is the serving-time budget (excluding final verification).
+	Duration time.Duration
+	// Workers is the number of writer/reader clients, each owning a
+	// disjoint block set. Default 3.
+	Workers int
+	// BurstClients is the number of extra overload generators that hammer
+	// the server during burst windows. Default 6.
+	BurstClients int
+	// Dir is the engine data directory (must be empty).
+	Dir string
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Workers <= 0 {
+		o.Workers = 3
+	}
+	if o.BurstClients <= 0 {
+		o.BurstClients = 6
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	return o
+}
+
+// SoakReport summarizes a soak run.
+type SoakReport struct {
+	Seed         uint64
+	Incarnations int // engine incarnations (including the final clean one)
+	Crashes      int
+
+	AckedWrites   uint64 // writes acknowledged to workers
+	ShedWrites    uint64 // writes definitively not executed (overload/breaker)
+	Indeterminate uint64 // writes whose fate a crash left unknown
+	Reads         uint64 // verified reads served
+
+	Overloaded       uint64 // overloaded responses clients received
+	BreakerOpens     uint64 // breaker open transitions across all clients
+	BreakerFastFails uint64 // ops failed fast while a breaker was open
+	PostBlackoutAcks uint64 // acks after the blackout (breakers closed again)
+
+	Applies      uint64 // identified write applies seen by the tracker
+	EngineWrites uint64 // engine-logged appends across incarnations
+	EngineSyncs  uint64 // WAL fsyncs across incarnations
+	BatchedSyncs uint64 // fsyncs issued by the scheduler's group commit
+	Deduped      uint64 // retries answered from the dedup window
+	IDsRecovered int    // ids recovered across all restarts
+
+	Violations []string // exactly-once / shed-contract violations
+}
+
+func (r *SoakReport) String() string {
+	return fmt.Sprintf("seed %d: %d incarnations (%d crashes), %d acked, %d shed, %d indeterminate, %d reads, "+
+		"%d overloaded, %d breaker opens, %d applies, %d syncs (%d batched) for %d appends, %d deduped, %d ids recovered, %d violations",
+		r.Seed, r.Incarnations, r.Crashes, r.AckedWrites, r.ShedWrites, r.Indeterminate, r.Reads,
+		r.Overloaded, r.BreakerOpens, r.Applies, r.EngineSyncs, r.BatchedSyncs, r.EngineWrites,
+		r.Deduped, r.IDsRecovered, len(r.Violations))
+}
+
+// soakMagic marks a payload written by a soak worker; anything else read
+// from an owned block (other than all-zeros) is corruption.
+const soakMagic = uint64(0x41425355414b3031) // "ABSUAK01"
+
+// encodePayload stamps (worker, seq, block) into a blockB-byte payload.
+func encodePayload(blockB int, worker, seq uint64, block int64) []byte {
+	d := make([]byte, blockB)
+	binary.BigEndian.PutUint64(d[0:], soakMagic)
+	binary.BigEndian.PutUint64(d[8:], worker)
+	binary.BigEndian.PutUint64(d[16:], seq)
+	binary.BigEndian.PutUint64(d[24:], uint64(block))
+	for i := 32; i < blockB; i++ {
+		d[i] = byte(seq) ^ byte(i*7)
+	}
+	return d
+}
+
+// decodePayload inverts encodePayload; ok=false for anything a worker
+// never wrote (including the all-zero never-written block).
+func decodePayload(d []byte) (worker, seq uint64, block int64, ok bool) {
+	if len(d) < 32 || binary.BigEndian.Uint64(d[0:]) != soakMagic {
+		return 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint64(d[8:]), binary.BigEndian.Uint64(d[16:]),
+		int64(binary.BigEndian.Uint64(d[24:])), true
+}
+
+// soakKey identifies one issued write.
+type soakKey struct {
+	worker, seq uint64
+}
+
+// ledger is the shared exactly-once bookkeeping between the client side
+// (issues, acks, sheds) and the engine side (applies). The request-id
+// registry lives here — not in a per-incarnation structure — so a retry
+// that straddles a server restart is still correlated to its write.
+type ledger struct {
+	mu         sync.Mutex
+	ids        map[uint64]soakKey // request id -> issued write
+	acked      map[soakKey]bool
+	shed       map[soakKey]bool
+	applies    map[soakKey]int
+	applyCount uint64
+	violations []string
+}
+
+func newLedger() *ledger {
+	return &ledger{
+		ids:     make(map[uint64]soakKey),
+		acked:   make(map[soakKey]bool),
+		shed:    make(map[soakKey]bool),
+		applies: make(map[soakKey]int),
+	}
+}
+
+func (l *ledger) violate(format string, args ...any) {
+	l.mu.Lock()
+	l.violations = append(l.violations, fmt.Sprintf(format, args...))
+	l.mu.Unlock()
+}
+
+// registerID records an issued write before its first network attempt.
+func (l *ledger) registerID(id uint64, k soakKey) {
+	l.mu.Lock()
+	l.ids[id] = k
+	l.mu.Unlock()
+}
+
+// apply records one engine-level apply of an identified write and checks
+// it against the acked set: applying a write AFTER its ack is the
+// double-apply the dedup window exists to prevent.
+func (l *ledger) apply(id uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k, ok := l.ids[id]
+	if !ok {
+		return // a foreign id (e.g. an access op's); not a tracked write
+	}
+	l.applyCount++
+	l.applies[k]++
+	if l.acked[k] {
+		l.violations = append(l.violations,
+			fmt.Sprintf("write (worker %d, seq %d) applied after acknowledgment (double-apply)", k.worker, k.seq))
+	}
+}
+
+func (l *ledger) markAcked(k soakKey) {
+	l.mu.Lock()
+	l.acked[k] = true
+	l.mu.Unlock()
+}
+
+func (l *ledger) markShed(k soakKey) {
+	l.mu.Lock()
+	l.shed[k] = true
+	l.mu.Unlock()
+}
+
+// finalSweepChecks runs the whole-run ledger assertions: no shed write
+// was ever applied.
+func (l *ledger) finalSweepChecks() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for k := range l.shed {
+		if l.applies[k] > 0 {
+			l.violations = append(l.violations,
+				fmt.Sprintf("shed write (worker %d, seq %d) was applied %d time(s) despite the not-executed contract",
+					k.worker, k.seq, l.applies[k]))
+		}
+	}
+}
+
+// applyTracker wraps the durable engine for the scheduler, recording
+// every identified write apply in the ledger. It forwards the group
+// commit interface so the scheduler's deferred-ack path stays active.
+type applyTracker struct {
+	eng *durable.Engine
+	led *ledger
+}
+
+func (t *applyTracker) NumBlocks() int64 { return t.eng.NumBlocks() }
+func (t *applyTracker) BlockSize() int   { return t.eng.BlockSize() }
+func (t *applyTracker) Encrypted() bool  { return t.eng.Encrypted() }
+
+func (t *applyTracker) Access(block int64) error         { return t.eng.Access(block) }
+func (t *applyTracker) Read(block int64) ([]byte, error) { return t.eng.Read(block) }
+
+func (t *applyTracker) Write(block int64, data []byte) error {
+	return t.WriteIdentified(0, block, data)
+}
+
+func (t *applyTracker) WriteIdentified(id uint64, block int64, data []byte) error {
+	err := t.eng.WriteIdentified(id, block, data)
+	if err == nil && id != 0 {
+		// Count only successful applies: a failed write poisons the
+		// engine fail-stop and never produces an ack, and recovery's
+		// recovered-id set adjudicates whatever prefix survived.
+		t.led.apply(id)
+	}
+	return err
+}
+
+func (t *applyTracker) BatchSync() error  { return t.eng.BatchSync() }
+func (t *applyTracker) GroupCommit() bool { return t.eng.GroupCommit() }
+
+// soakState is the shared runtime the supervisor, workers, and burst
+// clients coordinate through.
+type soakState struct {
+	addr     atomic.Value // string; "" while the server is down
+	burstOn  atomic.Bool
+	stop     atomic.Bool
+	blackout atomic.Bool // set once the blackout has ended
+	led      *ledger
+}
+
+func (s *soakState) dialer(timeout time.Duration) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		addr, _ := s.addr.Load().(string)
+		if addr == "" {
+			return nil, errors.New("soak: server down (blackout)")
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+}
+
+// blockState is a worker's view of one owned block.
+type blockState struct {
+	lastAcked uint64          // highest acknowledged seq
+	issued    map[uint64]bool // every seq ever sent for this block
+	shed      map[uint64]bool // seqs definitively not executed
+}
+
+// soakWorker drives identified writes and verifying reads over its own
+// block partition.
+type soakWorker struct {
+	id     uint64
+	blocks []int64
+	blockB int
+	r      *rng.Source
+	st     *soakState
+
+	seq    uint64
+	per    map[int64]*blockState
+	report struct {
+		acked, shed, indeterminate, reads uint64
+		overloaded, opens, fastFails      uint64
+		postBlackoutAcks                  uint64
+	}
+}
+
+func (w *soakWorker) run(clientSeed uint64) {
+	cfg := server.ClientConfig{
+		Timeout:          500 * time.Millisecond,
+		MaxAttempts:      3,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       20 * time.Millisecond,
+		Seed:             clientSeed,
+		Dialer:           w.st.dialer(200 * time.Millisecond),
+		BreakerThreshold: 5,
+		BreakerCooldown:  15 * time.Millisecond,
+	}
+	var c *server.Client
+	dial := func() bool {
+		var err error
+		c, err = server.DialConfig("", cfg)
+		return err == nil
+	}
+	for !dial() {
+		if w.st.stop.Load() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer func() {
+		st := c.Stats()
+		w.report.overloaded += st.Overloaded
+		w.report.opens += st.BreakerOpens
+		w.report.fastFails += st.BreakerFastFails
+		c.Close()
+	}()
+
+	for !w.st.stop.Load() {
+		block := w.blocks[w.r.Uint64n(uint64(len(w.blocks)))]
+		bs := w.per[block]
+		if bs == nil {
+			bs = &blockState{issued: make(map[uint64]bool), shed: make(map[uint64]bool)}
+			w.per[block] = bs
+		}
+		switch p := w.r.Float64(); {
+		case p < 0.55:
+			w.seq++
+			seq := w.seq
+			data := encodePayload(w.blockB, w.id, seq, block)
+			bs.issued[seq] = true
+			id := soakWriteID(w.id, seq)
+			w.st.led.registerID(id, soakKey{w.id, seq})
+			err := c.WriteID(id, block, data)
+			switch {
+			case err == nil:
+				w.st.led.markAcked(soakKey{w.id, seq})
+				bs.lastAcked = seq
+				w.report.acked++
+				if w.st.blackout.Load() {
+					w.report.postBlackoutAcks++
+				}
+			case errors.Is(err, server.ErrOverloaded) || errors.Is(err, server.ErrBreakerOpen):
+				w.st.led.markShed(soakKey{w.id, seq})
+				bs.shed[seq] = true
+				w.report.shed++
+				time.Sleep(time.Millisecond) // shed means back off
+			default:
+				// Crash, connection break, or server error: in doubt.
+				w.report.indeterminate++
+				time.Sleep(2 * time.Millisecond)
+			}
+		case p < 0.85:
+			got, err := c.Read(block)
+			if err != nil {
+				continue
+			}
+			w.report.reads++
+			if v := w.checkRead(block, got); v != "" {
+				w.st.led.violate("%s", v)
+			}
+		default:
+			c.Access(block) // pattern-only load; outcome irrelevant
+		}
+	}
+}
+
+// checkRead validates one read of an owned block against the worker's
+// issue history: the value must be all-zeros (nothing acked yet), or an
+// issued seq that is neither shed nor older than the last ack.
+func (w *soakWorker) checkRead(block int64, got []byte) string {
+	bs := w.per[block]
+	if bs == nil {
+		bs = &blockState{issued: make(map[uint64]bool), shed: make(map[uint64]bool)}
+		w.per[block] = bs
+	}
+	rw, rseq, rblock, ok := decodePayload(got)
+	if !ok {
+		allZero := true
+		for _, b := range got {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero && bs.lastAcked == 0 {
+			return ""
+		}
+		return fmt.Sprintf("worker %d block %d: unrecognized content (acked through seq %d)", w.id, block, bs.lastAcked)
+	}
+	switch {
+	case rw != w.id || rblock != block:
+		return fmt.Sprintf("worker %d block %d: holds foreign payload (worker %d, block %d)", w.id, block, rw, rblock)
+	case !bs.issued[rseq]:
+		return fmt.Sprintf("worker %d block %d: holds never-issued seq %d", w.id, block, rseq)
+	case bs.shed[rseq]:
+		return fmt.Sprintf("worker %d block %d: holds SHED seq %d (not-executed contract broken)", w.id, block, rseq)
+	case rseq < bs.lastAcked:
+		return fmt.Sprintf("worker %d block %d: rolled back to seq %d below acked seq %d", w.id, block, rseq, bs.lastAcked)
+	}
+	return ""
+}
+
+// soakWriteID derives the wire request id a worker uses for (worker,
+// seq) — the high bits identify the worker so ids never collide across
+// workers (and are far from the nonce-based ids clients mint for access
+// ops).
+func soakWriteID(worker, seq uint64) uint64 {
+	return (worker+1)<<40 | (seq & 0xffffffffff)
+}
+
+// burstStats aggregates the overload generators' client counters.
+type burstStats struct {
+	mu                           sync.Mutex
+	overloaded, opens, fastFails uint64
+}
+
+// runBurst hammers Access ops during burst windows to push the
+// scheduler into overload.
+func runBurst(st *soakState, seed uint64, numBlocks int64, stats *burstStats) {
+	cfg := server.ClientConfig{
+		Timeout:          100 * time.Millisecond,
+		MaxAttempts:      1,
+		Seed:             seed,
+		Dialer:           st.dialer(50 * time.Millisecond),
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Millisecond,
+	}
+	r := rng.New(seed ^ 0xb0057)
+	var c *server.Client
+	for !st.stop.Load() {
+		if !st.burstOn.Load() {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		if c == nil {
+			var err error
+			if c, err = server.DialConfig("", cfg); err != nil {
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+		}
+		c.Access(int64(r.Uint64n(uint64(numBlocks))))
+	}
+	if c != nil {
+		s := c.Stats()
+		stats.mu.Lock()
+		stats.overloaded += s.Overloaded
+		stats.opens += s.BreakerOpens
+		stats.fastFails += s.BreakerFastFails
+		stats.mu.Unlock()
+		c.Close()
+	}
+}
+
+// RunSoak runs the chaos soak and returns its report; the error is
+// non-nil when any exactly-once or shed-contract violation was found.
+func RunSoak(opt SoakOptions) (*SoakReport, error) {
+	opt = opt.withDefaults()
+	r := rng.New(opt.Seed ^ 0x736f616b)
+	rep := &SoakReport{Seed: opt.Seed}
+
+	oramOpt := crashOptions(opt.Dir, opt.Seed, vfs.OS{}).ORAM
+	probe, err := aboram.New(oramOpt)
+	if err != nil {
+		return nil, err
+	}
+	blockB, numBlocks := probe.BlockSize(), probe.NumBlocks()
+
+	st := &soakState{led: newLedger()}
+	st.addr.Store("")
+
+	// Workers own disjoint block partitions: worker i gets blocks
+	// congruent to i modulo Workers (capped to a small working set so
+	// blocks are rewritten, not touched once).
+	workers := make([]*soakWorker, opt.Workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		var blocks []int64
+		for b := int64(i); b < numBlocks && len(blocks) < 8; b += int64(opt.Workers) {
+			blocks = append(blocks, b)
+		}
+		workers[i] = &soakWorker{
+			id: uint64(i + 1), blocks: blocks, blockB: blockB,
+			r: rng.New(opt.Seed ^ (0x77<<8 | uint64(i))), st: st,
+			per: make(map[int64]*blockState),
+		}
+	}
+
+	var bstats burstStats
+	for i := 0; i < opt.BurstClients; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			runBurst(st, seed, numBlocks, &bstats)
+		}(opt.Seed ^ (0xb0<<8 | uint64(i)))
+	}
+	for i, w := range workers {
+		wg.Add(1)
+		go func(w *soakWorker, seed uint64) {
+			defer wg.Done()
+			w.run(seed)
+		}(w, opt.Seed^(0xc0<<8|uint64(i)))
+	}
+
+	// Burst scheduler: overload windows alternate with calm ones.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !st.stop.Load() {
+			st.burstOn.Store(true)
+			sleepUnlessStopped(st, 80*time.Millisecond)
+			st.burstOn.Store(false)
+			sleepUnlessStopped(st, 120*time.Millisecond)
+		}
+	}()
+
+	// Supervisor: run incarnations until the time budget is spent,
+	// inserting one full blackout at roughly half time.
+	deadline := time.Now().Add(opt.Duration)
+	blackoutAt := time.Now().Add(opt.Duration / 2)
+	blackoutDone := false
+	for time.Now().Before(deadline) {
+		rep.Incarnations++
+		in := faults.New(faults.Config{
+			Seed:         r.Uint64(),
+			CrashAfter:   60 + int(r.Uint64n(400)),
+			TornWrites:   true,
+			DropUnsynced: true,
+		})
+		eng, err := durable.Open(durable.Options{
+			Dir:           opt.Dir,
+			ORAM:          oramOpt,
+			SnapshotEvery: 32,
+			GroupCommit:   true,
+			FS:            faults.WrapFS(vfs.OS{}, in),
+		})
+		if err != nil {
+			if !in.Crashed() {
+				st.stop.Store(true)
+				wg.Wait()
+				return rep, fmt.Errorf("soak: incarnation %d: recovery failed without a crash: %w", rep.Incarnations, err)
+			}
+			rep.Crashes++
+			continue
+		}
+		rep.IDsRecovered += eng.Recovery().IDsRecovered
+
+		tracker := &applyTracker{eng: eng, led: st.led}
+		// A tiny queue relative to the client population guarantees the
+		// burst windows actually overflow it (overloaded responses).
+		srv := server.New(tracker, server.Config{Queue: 2, Batch: 8})
+		tsrv := server.NewTCP(srv, server.TCPConfig{
+			RequestTimeout: 250 * time.Millisecond,
+			DedupWindow:    4096,
+		})
+		tsrv.SeedDedup(eng.RecentWriteIDs())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			st.stop.Store(true)
+			wg.Wait()
+			eng.Close()
+			return rep, fmt.Errorf("soak: listen: %w", err)
+		}
+		serveDone := make(chan struct{})
+		go func() { tsrv.Serve(ln); close(serveDone) }()
+		st.addr.Store(ln.Addr().String())
+
+		// Serve until the injector kills the incarnation or time is up.
+		for !in.Crashed() && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		crashed := in.Crashed()
+		st.addr.Store("")
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		tsrv.Shutdown(ctx)
+		cancel()
+		srv.Close()
+		<-serveDone
+		rep.Deduped += tsrv.Metrics().Deduped
+		est := eng.Stats()
+		rep.EngineWrites += est.Writes
+		rep.EngineSyncs += est.Syncs
+		rep.BatchedSyncs += est.BatchedSyncs
+		eng.Close()
+		if crashed {
+			rep.Crashes++
+		}
+
+		// One blackout: leave the server down long enough for every
+		// worker's breaker to open, then continue — guaranteeing enough
+		// post-blackout serving time to observe the breakers close again,
+		// whatever the overall budget.
+		if !blackoutDone && time.Now().After(blackoutAt) {
+			blackoutDone = true
+			time.Sleep(250 * time.Millisecond)
+			st.blackout.Store(true)
+			if min := time.Now().Add(400 * time.Millisecond); deadline.Before(min) {
+				deadline = min
+			}
+		}
+	}
+	st.stop.Store(true)
+	wg.Wait()
+
+	for _, w := range workers {
+		rep.AckedWrites += w.report.acked
+		rep.ShedWrites += w.report.shed
+		rep.Indeterminate += w.report.indeterminate
+		rep.Reads += w.report.reads
+		rep.Overloaded += w.report.overloaded
+		rep.BreakerOpens += w.report.opens
+		rep.BreakerFastFails += w.report.fastFails
+		rep.PostBlackoutAcks += w.report.postBlackoutAcks
+	}
+	rep.Overloaded += bstats.overloaded
+	rep.BreakerOpens += bstats.opens
+	rep.BreakerFastFails += bstats.fastFails
+
+	// Final clean incarnation: full read-back of every owned block.
+	rep.Incarnations++
+	eng, err := durable.Open(durable.Options{Dir: opt.Dir, ORAM: oramOpt})
+	if err != nil {
+		return rep, fmt.Errorf("soak: final recovery: %w", err)
+	}
+	defer eng.Close()
+	rep.IDsRecovered += eng.Recovery().IDsRecovered
+	for _, w := range workers {
+		for _, block := range w.blocks {
+			got, err := eng.Read(block)
+			if err != nil {
+				return rep, fmt.Errorf("soak: final read of block %d: %w", block, err)
+			}
+			if v := w.checkRead(block, got); v != "" {
+				st.led.violate("final sweep: %s", v)
+			}
+		}
+	}
+	st.led.finalSweepChecks()
+
+	st.led.mu.Lock()
+	rep.Applies = st.led.applyCount
+	rep.Violations = append([]string(nil), st.led.violations...)
+	st.led.mu.Unlock()
+	if len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("soak: %d violation(s); first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	return rep, nil
+}
+
+func sleepUnlessStopped(st *soakState, d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) && !st.stop.Load() {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

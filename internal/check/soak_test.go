@@ -1,0 +1,68 @@
+package check
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestChaosSoak runs the full-stack chaos soak: engine restarts under
+// injected crashes, overload bursts, one blackout, retrying breaker
+// clients — and requires zero exactly-once or shed-contract violations.
+//
+// The default run is short and suitable for `go test`; set SOAKTIME to a
+// duration (e.g. SOAKTIME=2m) to run the long soak.
+func TestChaosSoak(t *testing.T) {
+	dur := 1500 * time.Millisecond
+	if testing.Short() {
+		dur = 800 * time.Millisecond
+	}
+	if env := os.Getenv("SOAKTIME"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("SOAKTIME=%q: %v", env, err)
+		}
+		dur = d
+	}
+
+	rep, err := RunSoak(SoakOptions{Seed: 1, Duration: dur, Dir: t.TempDir()})
+	if rep != nil {
+		t.Logf("%v", rep)
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+
+	// The soak is only evidence if the hostile conditions occurred. TCP
+	// scheduling is nondeterministic, so these are floors, not counts.
+	if rep.AckedWrites == 0 {
+		t.Fatal("no write was ever acknowledged; the soak served nothing")
+	}
+	if rep.Crashes == 0 {
+		t.Error("no incarnation ever crashed; the fault injector never fired")
+	}
+	if rep.Applies == 0 {
+		t.Error("the apply tracker saw no identified writes; correlation is broken")
+	}
+	if rep.IDsRecovered == 0 {
+		t.Error("no ids were ever recovered across restarts; dedup persistence untested")
+	}
+	if rep.Overloaded == 0 {
+		t.Error("no overloaded response was ever observed; the bursts never overflowed the queue")
+	}
+	if rep.ShedWrites == 0 {
+		t.Error("no write was ever shed; graceful degradation untested")
+	}
+	if rep.BreakerOpens == 0 {
+		t.Error("no circuit breaker ever opened despite the blackout")
+	}
+	if rep.PostBlackoutAcks == 0 {
+		t.Error("no ack after the blackout; breakers never closed again")
+	}
+	if rep.EngineWrites > 0 && rep.EngineSyncs >= rep.EngineWrites {
+		t.Errorf("group commit never amortized: %d syncs for %d appends", rep.EngineSyncs, rep.EngineWrites)
+	}
+}

@@ -12,6 +12,18 @@
 // an acknowledged one always does. internal/check's crash harness
 // enforces exactly this contract at fault-injected kill points.
 //
+// Under GroupCommit the fsync moves from the write path to BatchSync,
+// which the scheduler calls once per drained batch before releasing that
+// batch's write acknowledgments — the ack-implies-durable contract is
+// unchanged, only the fsync count drops. MaxSyncDelay bounds how long an
+// appended-but-unsynced record may wait if no BatchSync arrives.
+//
+// Writes also carry wire request ids (WriteIdentified): each id is
+// logged in the WAL record and the recent-id set rides in every snapshot
+// header, so recovery returns the ids of acknowledged writes
+// (RecentWriteIDs) and the front end can seed its retry-dedup window —
+// a retried write straddling a crash is recognized, not applied twice.
+//
 // The engine is fail-stop: any error on the durability path (append,
 // fsync, snapshot publish) poisons the instance and every later
 // operation returns the original error. A store that can no longer
@@ -29,6 +41,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/aboram"
@@ -54,8 +67,24 @@ type Options struct {
 	SnapshotInterval time.Duration
 	// SyncEvery fsyncs the WAL every N appends. 1 (the default) is the
 	// zero-acknowledged-loss setting; larger values trade an N-op loss
-	// window for throughput.
+	// window for throughput. Ignored under GroupCommit.
 	SyncEvery int
+	// GroupCommit defers WAL fsyncs to BatchSync, which the scheduler
+	// calls once per drained batch before acknowledging that batch's
+	// writes. Acknowledged writes remain crash-durable; only the fsync
+	// count changes.
+	GroupCommit bool
+	// MaxSyncDelay bounds how long an unsynced record may sit in the WAL
+	// under GroupCommit before the write path syncs it anyway (a safety
+	// net for drivers that never call BatchSync). Default 5ms.
+	MaxSyncDelay time.Duration
+	// DedupTrack is how many recent acknowledged write ids the engine
+	// remembers for crash-durable retry dedup (snapshot header + WAL
+	// replay). Default 4096, matching the front end's dedup window.
+	DedupTrack int
+	// Logf, when set, receives rare operational warnings (e.g. stale-file
+	// pruning failures). Default: discard.
+	Logf func(format string, args ...any)
 	// FS is the filesystem to write through; tests inject a
 	// faults-wrapped one. Default vfs.OS{}.
 	FS vfs.FS
@@ -67,6 +96,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 1
+	}
+	if o.MaxSyncDelay <= 0 {
+		o.MaxSyncDelay = 5 * time.Millisecond
+	}
+	if o.DedupTrack <= 0 {
+		o.DedupTrack = 4096
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
 	}
 	if o.FS == nil {
 		o.FS = vfs.OS{}
@@ -87,6 +125,9 @@ type RecoveryStats struct {
 	// on top of the base snapshot.
 	SegmentsReplayed int
 	RecordsReplayed  int
+	// IDsRecovered counts the distinct request ids recovered from the
+	// snapshot header plus WAL replay — the ids RecentWriteIDs reports.
+	IDsRecovered int
 	// TornTail reports that a WAL segment ended in a damaged record,
 	// which recovery truncated — the signature of a mid-append crash.
 	TornTail bool
@@ -94,13 +135,46 @@ type RecoveryStats struct {
 
 // Stats counts the engine's durability work since Open.
 type Stats struct {
-	Writes    uint64 // acknowledged (logged) writes
-	Syncs     uint64 // WAL fsyncs
-	Snapshots uint64 // epoch rotations
+	Writes        uint64 // acknowledged (logged) writes
+	Syncs         uint64 // WAL fsyncs (all causes)
+	BatchedSyncs  uint64 // the subset issued by BatchSync (group commit)
+	Snapshots     uint64 // epoch rotations
+	PruneFailures uint64 // stale snapshot/WAL files that could not be removed
+}
+
+// idRing is a fixed-capacity FIFO of recent acknowledged write ids.
+type idRing struct {
+	buf  []uint64
+	head int // index of the oldest element
+	n    int
+}
+
+func newIDRing(capacity int) *idRing { return &idRing{buf: make([]uint64, capacity)} }
+
+func (r *idRing) push(id uint64) {
+	if len(r.buf) == 0 {
+		return
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = id
+		r.n++
+		return
+	}
+	r.buf[r.head] = id
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+func (r *idRing) list() []uint64 {
+	out := make([]uint64, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
 }
 
 // Engine is a crash-safe aboram.ORAM: snapshots + WAL on the write path,
-// replay on Open. It implements internal/server's Engine interface.
+// replay on Open. It implements internal/server's Engine interface, plus
+// its IdentifiedEngine and BatchSyncer extensions.
 type Engine struct {
 	fs  vfs.FS
 	opt Options
@@ -109,13 +183,30 @@ type Engine struct {
 	w     *wal
 	epoch uint64
 
-	sinceSnap int
-	sinceSync int
-	lastSnap  time.Time
-	failed    error
+	sinceSnap  int
+	sinceSync  int
+	dirty      int       // appended-but-unsynced records (group commit)
+	firstDirty time.Time // when the oldest unsynced record was appended
+	lastSnap   time.Time
+	failed     error
 
+	ids         *idRing
+	pruneLogged bool
+
+	// statsMu guards stats and epoch only: the engine itself is
+	// single-goroutine (the scheduler's), but Stats and Epoch serve
+	// observability readers — a SIGUSR1 dump, a metrics poller — that
+	// run concurrently with serving.
+	statsMu  sync.Mutex
 	stats    Stats
 	recovery RecoveryStats
+}
+
+// bump applies one counter update under the stats lock.
+func (e *Engine) bump(f func(*Stats)) {
+	e.statsMu.Lock()
+	f(&e.stats)
+	e.statsMu.Unlock()
 }
 
 // Open recovers (or initializes) the data directory and returns a
@@ -143,18 +234,20 @@ func Open(opt Options) (*Engine, error) {
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
 	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
 
-	e := &Engine{fs: fs, opt: opt}
+	e := &Engine{fs: fs, opt: opt, ids: newIDRing(opt.DedupTrack)}
 
 	// Newest readable snapshot wins; an unreadable one falls back an
 	// epoch (its WAL segment still exists and will be replayed, because
 	// records are whole-content writes and therefore idempotent).
+	var snapIDs []uint64
 	for _, se := range snaps {
-		o, err := loadSnapshot(fs, opt.Dir, se, opt.ORAM)
+		o, ids, err := loadSnapshot(fs, opt.Dir, se, opt.ORAM)
 		if err != nil {
 			e.recovery.SnapshotsSkipped++
 			continue
 		}
 		e.oram = o
+		snapIDs = ids
 		e.recovery.BaseEpoch = se
 		break
 	}
@@ -164,6 +257,9 @@ func Open(opt Options) (*Engine, error) {
 			return nil, fmt.Errorf("durable: building instance: %w", err)
 		}
 		e.oram = o
+	}
+	for _, id := range snapIDs {
+		e.ids.push(id)
 	}
 
 	// Replay every WAL segment at or above the base epoch, oldest first.
@@ -190,6 +286,9 @@ func Open(opt Options) (*Engine, error) {
 			if err := e.oram.Write(rec.Block, rec.Data); err != nil {
 				return nil, fmt.Errorf("durable: replaying write(%d): %w", rec.Block, err)
 			}
+			if rec.ID != 0 {
+				e.ids.push(rec.ID)
+			}
 			e.recovery.RecordsReplayed++
 		}
 		e.recovery.SegmentsReplayed++
@@ -200,6 +299,7 @@ func Open(opt Options) (*Engine, error) {
 			maxEpoch = se
 		}
 	}
+	e.recovery.IDsRecovered = e.ids.n
 
 	// Publish the recovered state as a fresh epoch, then drop the old
 	// generation. Failing to publish fails Open: an engine that cannot
@@ -208,18 +308,30 @@ func Open(opt Options) (*Engine, error) {
 	if err := e.rotate(); err != nil {
 		return nil, err
 	}
+	e.statsMu.Lock()
 	e.stats = Stats{} // rotation above is recovery work, not serving work
+	e.statsMu.Unlock()
 	return e, nil
 }
 
 // Recovery returns what Open found and replayed.
 func (e *Engine) Recovery() RecoveryStats { return e.recovery }
 
-// Stats returns the durability counters since Open.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns the durability counters since Open. It is safe to call
+// from any goroutine.
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
 
-// Epoch returns the current snapshot epoch.
-func (e *Engine) Epoch() uint64 { return e.epoch }
+// Epoch returns the current snapshot epoch. It is safe to call from any
+// goroutine.
+func (e *Engine) Epoch() uint64 {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.epoch
+}
 
 // NumBlocks returns the number of addressable blocks.
 func (e *Engine) NumBlocks() int64 { return e.oram.NumBlocks() }
@@ -229,6 +341,16 @@ func (e *Engine) BlockSize() int { return e.oram.BlockSize() }
 
 // Encrypted reports whether the data plane is active.
 func (e *Engine) Encrypted() bool { return e.oram.Encrypted() }
+
+// RecentWriteIDs returns the request ids of recently acknowledged
+// identified writes, oldest first — after Open, the ids recovered from
+// the snapshot header and WAL replay. Seed the front end's retry-dedup
+// window with them before serving.
+func (e *Engine) RecentWriteIDs() []uint64 { return e.ids.list() }
+
+// GroupCommit reports whether BatchSync carries the fsync duty
+// (satisfies internal/server's BatchSyncer).
+func (e *Engine) GroupCommit() bool { return e.opt.GroupCommit }
 
 // fail poisons the engine: the durability layer can no longer keep its
 // promise, so every later operation refuses with the original cause.
@@ -257,9 +379,19 @@ func (e *Engine) Read(block int64) ([]byte, error) {
 	return e.oram.Read(block)
 }
 
-// Write applies, logs, and (per SyncEvery) fsyncs one mutating op. On a
-// nil return the write is durable: it will survive any later crash.
+// Write applies, logs, and (per the sync policy) fsyncs one mutating op
+// with no request id. On a nil return under the default policy the write
+// is durable; under GroupCommit durability arrives at the next BatchSync
+// (which the scheduler awaits before acknowledging).
 func (e *Engine) Write(block int64, data []byte) error {
+	return e.WriteIdentified(0, block, data)
+}
+
+// WriteIdentified is Write carrying the client's retry-dedup request id
+// (0 = unidentified). The id is logged in the WAL record and kept in the
+// recent-id set that every snapshot header carries, so recovery can
+// rebuild the retry-dedup window.
+func (e *Engine) WriteIdentified(id uint64, block int64, data []byte) error {
 	if e.failed != nil {
 		return e.failed
 	}
@@ -268,31 +400,76 @@ func (e *Engine) Write(block int64, data []byte) error {
 		// and does not poison the engine.
 		return err
 	}
-	if err := e.w.append(wire.Request{Op: wire.OpWrite, Block: block, Data: data}); err != nil {
+	if err := e.w.append(wire.Request{Op: wire.OpWrite, ID: id, Block: block, Data: data}); err != nil {
 		return e.fail(err)
 	}
-	e.sinceSync++
-	if e.sinceSync >= e.opt.SyncEvery {
-		if err := e.w.sync(); err != nil {
-			return e.fail(err)
-		}
-		e.sinceSync = 0
-		e.stats.Syncs++
+	if id != 0 {
+		e.ids.push(id)
 	}
-	e.stats.Writes++
+	if e.opt.GroupCommit {
+		if e.dirty == 0 {
+			e.firstDirty = time.Now()
+		}
+		e.dirty++
+		// Safety net: if no BatchSync has arrived for MaxSyncDelay, sync
+		// here so an unsynced record cannot linger unboundedly.
+		if time.Since(e.firstDirty) >= e.opt.MaxSyncDelay {
+			if err := e.syncWAL(); err != nil {
+				return e.fail(err)
+			}
+		}
+	} else {
+		e.sinceSync++
+		if e.sinceSync >= e.opt.SyncEvery {
+			if err := e.syncWAL(); err != nil {
+				return e.fail(err)
+			}
+		}
+	}
+	e.bump(func(s *Stats) { s.Writes++ })
 	e.sinceSnap++
 	due := e.sinceSnap >= e.opt.SnapshotEvery ||
 		(e.opt.SnapshotInterval > 0 && time.Since(e.lastSnap) >= e.opt.SnapshotInterval)
 	if due {
 		if err := e.rotate(); err != nil {
-			// The write itself is durable (logged and synced above); the
-			// failed rotation is what poisons the engine, so the caller
-			// may treat this op as acknowledged-then-fail-stop. Returning
-			// the error anyway keeps the contract simple: nil means
-			// everything, including housekeeping, is healthy.
+			// The write itself is recoverable (logged above, and the
+			// rotation attempt snapshots the applied state before anything
+			// else); the failed rotation is what poisons the engine.
+			// Returning the error anyway keeps the contract simple: nil
+			// means everything, including housekeeping, is healthy.
 			return e.fail(err)
 		}
 	}
+	return nil
+}
+
+// BatchSync flushes every appended-but-unsynced WAL record to stable
+// storage. Under group commit the scheduler calls this once per drained
+// batch, before acknowledging the batch's writes. A no-op when nothing
+// is dirty.
+func (e *Engine) BatchSync() error {
+	if e.failed != nil {
+		return e.failed
+	}
+	if e.dirty == 0 {
+		return nil
+	}
+	if err := e.syncWAL(); err != nil {
+		return e.fail(err)
+	}
+	e.bump(func(s *Stats) { s.BatchedSyncs++ })
+	return nil
+}
+
+// syncWAL fsyncs the open segment and resets the dirty accounting.
+func (e *Engine) syncWAL() error {
+	if err := e.w.sync(); err != nil {
+		return err
+	}
+	e.bump(func(s *Stats) { s.Syncs++ })
+	e.sinceSync = 0
+	e.dirty = 0
+	e.firstDirty = time.Time{}
 	return nil
 }
 
@@ -307,11 +484,12 @@ func (e *Engine) Snapshot() error {
 	return nil
 }
 
-// rotate publishes epoch+1: durable snapshot, fresh WAL segment, then
-// best-effort removal of the previous generation.
+// rotate publishes epoch+1: durable snapshot (carrying the recent-id
+// set), fresh WAL segment, then best-effort removal of the previous
+// generation.
 func (e *Engine) rotate() error {
 	next := e.epoch + 1
-	if err := writeSnapshot(e.fs, e.opt.Dir, next, e.oram); err != nil {
+	if err := writeSnapshot(e.fs, e.opt.Dir, next, e.oram, e.ids.list()); err != nil {
 		return err
 	}
 	if e.w != nil {
@@ -323,21 +501,36 @@ func (e *Engine) rotate() error {
 	}
 	e.w = w
 	prev := e.epoch
+	e.statsMu.Lock()
 	e.epoch = next
+	e.statsMu.Unlock()
 	e.sinceSnap = 0
 	e.sinceSync = 0
+	// Unsynced records from the old segment are covered by the snapshot
+	// just published (it reflects every applied write), so the dirty
+	// accounting restarts with the fresh segment.
+	e.dirty = 0
+	e.firstDirty = time.Time{}
 	e.lastSnap = time.Now()
-	e.stats.Snapshots++
+	e.bump(func(s *Stats) { s.Snapshots++ })
 	// Cleanup is best-effort: stale files cost disk, not correctness —
-	// recovery always prefers the newest readable generation.
+	// recovery always prefers the newest readable generation. Failures
+	// are counted (and logged once) so leaked disk is observable.
 	if names, err := e.fs.ReadDir(e.opt.Dir); err == nil {
 		for _, name := range names {
 			se, isSnap := parseEpoch(name, "snap-", ".ab")
 			we, isWAL := parseEpoch(name, "wal-", ".log")
 			stale := (isSnap && se <= prev) || (isWAL && we <= prev) ||
 				(!isSnap && !isWAL && filepath.Ext(name) == ".tmp")
-			if stale {
-				e.fs.Remove(filepath.Join(e.opt.Dir, name))
+			if !stale {
+				continue
+			}
+			if err := e.fs.Remove(filepath.Join(e.opt.Dir, name)); err != nil {
+				e.bump(func(s *Stats) { s.PruneFailures++ })
+				if !e.pruneLogged {
+					e.pruneLogged = true
+					e.opt.Logf("durable: pruning stale %s: %v (counting further failures silently)", name, err)
+				}
 			}
 		}
 	}

@@ -2,7 +2,11 @@ package durable
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"path/filepath"
 	"strings"
 
@@ -12,7 +16,7 @@ import (
 
 // On-disk layout: one directory, epoch-numbered file pairs.
 //
-//	snap-<epoch>.ab   full instance checkpoint (aboram.Save image)
+//	snap-<epoch>.ab   full instance checkpoint (metadata header + aboram.Save image)
 //	snap-<epoch>.tmp  snapshot in flight; never read, deleted on recovery
 //	wal-<epoch>.log   acknowledged writes since snap-<epoch> was published
 //
@@ -24,6 +28,27 @@ import (
 // older segment under a newer snapshot is idempotent, and the scheme
 // survives even a snapshot file lost to bit rot by falling back one
 // epoch.
+//
+// Snapshot metadata header (since wire v2 retry dedup became
+// crash-durable):
+//
+//	magic "ABSNAP01" | uint32 count | count x uint64 request ids |
+//	uint32 CRC-32C over (count + ids)
+//
+// followed by the aboram.Save image. The ids are the engine's recent
+// acknowledged write ids at snapshot time, oldest first; recovery seeds
+// the retry-dedup window from them so a retried write that straddles a
+// crash is recognized instead of applied twice. A file without the magic
+// is a legacy snapshot and loads with an empty id set; a corrupt header
+// fails the load, which recovery treats like any unreadable snapshot
+// (fall back one epoch).
+
+// snapMagic opens a snapshot file that carries a metadata header.
+var snapMagic = []byte("ABSNAP01")
+
+// maxSnapIDs bounds the id count a header may claim, so a corrupt count
+// cannot drive a giant allocation before the CRC check.
+const maxSnapIDs = 1 << 20
 
 // snapName / walName render the epoch file names.
 func snapName(epoch uint64) string { return fmt.Sprintf("snap-%016d.ab", epoch) }
@@ -43,11 +68,65 @@ func parseEpoch(name, prefix, suffix string) (uint64, bool) {
 	return epoch, true
 }
 
+// appendSnapMeta appends the metadata header for ids to dst.
+func appendSnapMeta(dst []byte, ids []uint64) []byte {
+	dst = append(dst, snapMagic...)
+	body := make([]byte, 0, 4+8*len(ids))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(ids)))
+	for _, id := range ids {
+		body = binary.BigEndian.AppendUint64(body, id)
+	}
+	dst = append(dst, body...)
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(body, crcTable))
+}
+
+// readSnapMeta consumes the metadata header, if present. A stream that
+// does not begin with the magic is a legacy snapshot: nothing is
+// consumed and the id set is empty. A stream that does begin with the
+// magic must carry an intact header — truncation or a CRC mismatch is an
+// error, and the caller skips the snapshot.
+func readSnapMeta(br *bufio.Reader) ([]uint64, error) {
+	head, err := br.Peek(len(snapMagic))
+	if err != nil || !bytes.Equal(head, snapMagic) {
+		// Legacy image (or one too short to say): leave the stream alone
+		// and let aboram.Load judge it.
+		return nil, nil
+	}
+	if _, err := br.Discard(len(snapMagic)); err != nil {
+		return nil, fmt.Errorf("durable: snapshot metadata: %w", err)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("durable: snapshot metadata count: %w", err)
+	}
+	count := binary.BigEndian.Uint32(cnt[:])
+	if count > maxSnapIDs {
+		return nil, fmt.Errorf("durable: snapshot metadata claims %d ids", count)
+	}
+	body := make([]byte, 4+8*int(count))
+	copy(body, cnt[:])
+	if _, err := io.ReadFull(br, body[4:]); err != nil {
+		return nil, fmt.Errorf("durable: snapshot metadata ids: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("durable: snapshot metadata checksum: %w", err)
+	}
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(sum[:]) {
+		return nil, fmt.Errorf("durable: snapshot metadata checksum mismatch")
+	}
+	ids := make([]uint64, count)
+	for i := range ids {
+		ids[i] = binary.BigEndian.Uint64(body[4+8*i:])
+	}
+	return ids, nil
+}
+
 // writeSnapshot durably publishes a full checkpoint for the given epoch:
 // write to a temp name, fsync, rename into place, fsync the directory.
 // Any error leaves at most a stale .tmp file behind, which recovery (and
 // the next successful snapshot) ignores and cleans up.
-func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM) error {
+func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM, ids []uint64) error {
 	tmp := filepath.Join(dir, fmt.Sprintf("snap-%016d.tmp", epoch))
 	f, err := fs.Create(tmp)
 	if err != nil {
@@ -57,6 +136,10 @@ func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM) error {
 	// write per buffer flush keeps the fault surface (and syscall count)
 	// proportional to the image size, not the encoder's chattiness.
 	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.Write(appendSnapMeta(nil, ids)); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing snapshot metadata: %w", err)
+	}
 	if err := o.Save(bw); err != nil {
 		f.Close()
 		return fmt.Errorf("durable: writing snapshot: %w", err)
@@ -81,12 +164,22 @@ func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM) error {
 	return nil
 }
 
-// loadSnapshot restores an instance from one snapshot file.
-func loadSnapshot(fs vfs.FS, dir string, epoch uint64, opt aboram.Options) (*aboram.ORAM, error) {
+// loadSnapshot restores an instance (and its recent-write-id metadata)
+// from one snapshot file.
+func loadSnapshot(fs vfs.FS, dir string, epoch uint64, opt aboram.Options) (*aboram.ORAM, []uint64, error) {
 	f, err := fs.Open(filepath.Join(dir, snapName(epoch)))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return aboram.Load(opt, bufio.NewReaderSize(f, 1<<16))
+	br := bufio.NewReaderSize(f, 1<<16)
+	ids, err := readSnapMeta(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	o, err := aboram.Load(opt, br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return o, ids, nil
 }

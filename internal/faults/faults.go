@@ -57,6 +57,17 @@ type Config struct {
 	// operation (1-based count of Create/Write/Sync/Rename/Remove).
 	// 0 disables the crash point.
 	CrashAfter int
+	// RemoveErrRate is an extra per-Remove probability of failing with
+	// ErrInjected even when the general ErrRate roll passes — targeted at
+	// exercising stale-file pruning failure handling, which must stay
+	// best-effort (counted, not fatal).
+	RemoveErrRate float64
+	// DropUnsynced models a volatile page cache: file writes are buffered
+	// and reach the inner filesystem only on a successful Sync or a clean
+	// Close. At a crashed Close a seeded prefix of the buffered chunks is
+	// flushed and the rest dropped — the host-failure reading of an
+	// unsynced write, and the loss surface group commit must bound.
+	DropUnsynced bool
 
 	// ResetRate is the probability a connection Read/Write fails with
 	// ErrReset and closes the underlying conn.
@@ -78,6 +89,7 @@ type Stats struct {
 	Resets    int // ErrReset returned
 	Torn      int // writes that persisted a partial prefix
 	Delays    int // latency spikes injected
+	Dropped   int // buffered unsynced writes lost at a crashed close (DropUnsynced)
 }
 
 // Injector is the shared decision engine. Safe for concurrent use; the
@@ -154,6 +166,38 @@ func (in *Injector) tearLocked(n int) int {
 	}
 	return k
 }
+
+// removeFails rolls the targeted Remove failure (RemoveErrRate), after
+// the general mutation roll has already passed.
+func (in *Injector) removeFails() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed || in.cfg.RemoveErrRate <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.cfg.RemoveErrRate {
+		in.stats.Errors++
+		return true
+	}
+	return false
+}
+
+// unsyncedFate decides how many of n buffered-but-unsynced chunks a
+// crashed close flushes — the prefix the host's page cache happened to
+// write back before death. The remainder is counted as dropped.
+func (in *Injector) unsyncedFate(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	k := int(in.rng.Uint64n(uint64(n) + 1))
+	in.stats.Dropped += n - k
+	return k
+}
+
+// dropUnsynced reports whether the volatile-page-cache model is on.
+func (in *Injector) dropUnsynced() bool { return in.cfg.DropUnsynced }
 
 // connDecision is one connection op's fate.
 type connDecision struct {

@@ -168,3 +168,111 @@ func TestWriterTear(t *testing.T) {
 		t.Fatalf("wrote %d, buffer holds %d, payload %d", n, buf.Len(), len(payload))
 	}
 }
+
+// TestDropUnsynced models the volatile page cache: buffered writes are
+// invisible to durability until a Sync; a crashed Close salvages only a
+// seeded prefix; a clean Close flushes everything.
+func TestDropUnsynced(t *testing.T) {
+	read := func(path string) []byte {
+		t.Helper()
+		r, err := vfs.OS{}.Open(path)
+		if err != nil {
+			return nil
+		}
+		defer r.Close()
+		got, _ := io.ReadAll(r)
+		return got
+	}
+
+	// Clean close: nothing may be lost without a crash.
+	dir := t.TempDir()
+	in := New(Config{Seed: 9, DropUnsynced: true})
+	ffs := WrapFS(vfs.OS{}, in)
+	path := filepath.Join(dir, "clean.log")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("aaaa"))
+	f.Write([]byte("bbbb"))
+	if err := f.Close(); err != nil {
+		t.Fatalf("clean Close: %v", err)
+	}
+	if got := read(path); string(got) != "aaaabbbb" {
+		t.Fatalf("clean close lost buffered writes: %q", got)
+	}
+	if in.Stats().Dropped != 0 {
+		t.Fatalf("clean close dropped %d chunks", in.Stats().Dropped)
+	}
+
+	// Sync is the durability boundary: synced chunks survive any crash,
+	// post-sync chunks survive only as a seeded prefix. Mutation ops:
+	// create=1, write=2, sync=3, write x1=4, write x2=5, write x3=6 — the
+	// crash fires on x3 (which, with TornWrites off, buffers nothing).
+	dir = t.TempDir()
+	in = New(Config{Seed: 9, CrashAfter: 6, DropUnsynced: true})
+	ffs = WrapFS(vfs.OS{}, in)
+	path = filepath.Join(dir, "crash.log")
+	f, err = ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("SYNCED"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	f.Write([]byte("x1"))
+	f.Write([]byte("x2"))
+	if _, err := f.Write([]byte("x3")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("crashing write: err = %v, want ErrCrash", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrash) {
+		t.Fatalf("crashed Close: err = %v, want ErrCrash", err)
+	}
+	got := read(path)
+	if !bytes.HasPrefix(got, []byte("SYNCED")) {
+		t.Fatalf("synced prefix lost: %q", got)
+	}
+	tail := string(got[len("SYNCED"):])
+	switch tail {
+	case "", "x1", "x1x2":
+	default:
+		t.Fatalf("crash salvaged a non-prefix of the unsynced chunks: %q", tail)
+	}
+	if kept, dropped := len(tail)/2, in.Stats().Dropped; kept+dropped != 2 {
+		t.Fatalf("kept %d + dropped %d chunks, want the 2 buffered ones", kept, dropped)
+	}
+}
+
+// TestRemoveErrRate checks the targeted Remove failure: the file stays,
+// the error is ErrInjected (not a crash), and the schedule is seeded.
+func TestRemoveErrRate(t *testing.T) {
+	dir := t.TempDir()
+	in := New(Config{Seed: 4, RemoveErrRate: 1})
+	ffs := WrapFS(vfs.OS{}, in)
+	path := filepath.Join(dir, "stale.ab")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("old"))
+	f.Close()
+
+	if err := ffs.Remove(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Remove: err = %v, want ErrInjected", err)
+	}
+	if in.Crashed() {
+		t.Fatal("an injected remove failure must not be a crash")
+	}
+	if _, err := (vfs.OS{}).Open(path); err != nil {
+		t.Fatalf("file gone despite failed Remove: %v", err)
+	}
+	if in.Stats().Errors == 0 {
+		t.Fatal("remove failure not counted in Stats.Errors")
+	}
+	// At rate 0 the same op succeeds.
+	in2 := New(Config{Seed: 4})
+	if err := WrapFS(vfs.OS{}, in2).Remove(path); err != nil {
+		t.Fatalf("Remove at rate 0: %v", err)
+	}
+}

@@ -29,7 +29,8 @@ func (f *FS) Create(name string) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{name: filepath.Base(name), inner: file, in: f.in}, nil
+	return &faultFile{name: filepath.Base(name), inner: file, in: f.in,
+		drop: f.in.dropUnsynced()}, nil
 }
 
 // Open implements vfs.FS. Reads are not a crash surface, but a dead
@@ -51,10 +52,15 @@ func (f *FS) Rename(oldname, newname string) error {
 	return f.inner.Rename(oldname, newname)
 }
 
-// Remove implements vfs.FS.
+// Remove implements vfs.FS. Beyond the general mutation schedule, the
+// targeted RemoveErrRate can fail a Remove that would otherwise pass —
+// the stale-file pruning path must tolerate that.
 func (f *FS) Remove(name string) error {
 	if _, err := f.in.mutation("remove "+filepath.Base(name), 0); err != nil {
 		return err
+	}
+	if f.in.removeFails() {
+		return ErrInjected
 	}
 	return f.inner.Remove(name)
 }
@@ -83,26 +89,51 @@ func (f *FS) SyncDir(dir string) error {
 	return f.inner.SyncDir(dir)
 }
 
-// faultFile interposes the injector on one open file.
+// faultFile interposes the injector on one open file. With drop set
+// (Config.DropUnsynced) writes are buffered in pending and reach the
+// inner file only via flush — on a successful Sync, a clean Close, or
+// the seeded prefix a crashed Close salvages.
 type faultFile struct {
-	name  string
-	inner vfs.File
-	in    *Injector
+	name    string
+	inner   vfs.File
+	in      *Injector
+	drop    bool
+	pending [][]byte // buffered unsynced writes, oldest first
 }
 
 // Write implements vfs.File. On an injected failure the decided prefix
-// is still written through — that prefix is the torn tail recovery must
-// cope with.
+// is still written through (or buffered, under DropUnsynced) — that
+// prefix is the torn tail recovery must cope with.
 func (f *faultFile) Write(p []byte) (int, error) {
 	tear, err := f.in.mutation("write "+f.name, len(p))
 	if err != nil {
 		n := 0
 		if tear > 0 {
-			n, _ = f.inner.Write(p[:tear])
+			if f.drop {
+				f.pending = append(f.pending, append([]byte(nil), p[:tear]...))
+				n = tear
+			} else {
+				n, _ = f.inner.Write(p[:tear])
+			}
 		}
 		return n, err
 	}
+	if f.drop {
+		f.pending = append(f.pending, append([]byte(nil), p...))
+		return len(p), nil
+	}
 	return f.inner.Write(p)
+}
+
+// flush writes the first n pending chunks through to the inner file.
+func (f *faultFile) flush(n int) error {
+	for _, chunk := range f.pending[:n] {
+		if _, err := f.inner.Write(chunk); err != nil {
+			return err
+		}
+	}
+	f.pending = f.pending[n:]
+	return nil
 }
 
 // Read implements vfs.File.
@@ -115,20 +146,40 @@ func (f *faultFile) Read(p []byte) (int, error) {
 
 // Sync implements vfs.File. A failed fsync means earlier un-synced
 // writes may or may not be durable; the injector's crash mode is the
-// pessimistic reading.
+// pessimistic reading. Under DropUnsynced a successful Sync is the only
+// operation guaranteed to move buffered writes to stable storage.
 func (f *faultFile) Sync() error {
 	if _, err := f.in.mutation("sync "+f.name, 0); err != nil {
+		return err
+	}
+	if err := f.flush(len(f.pending)); err != nil {
 		return err
 	}
 	return f.inner.Sync()
 }
 
 // Close implements vfs.File. The inner file is always closed so tests
-// do not leak descriptors, but a crashed injector still reports death.
+// do not leak descriptors, but a crashed injector still reports death —
+// and, under DropUnsynced, flushes only a seeded prefix of the buffered
+// writes (what the page cache happened to write back) before dropping
+// the rest. A clean close flushes everything: without a crash there is
+// no event that could lose buffered data.
 func (f *faultFile) Close() error {
-	err := f.inner.Close()
 	if f.in.Crashed() {
+		if len(f.pending) > 0 {
+			f.flush(f.in.unsyncedFate(len(f.pending)))
+			f.pending = nil
+		}
+		f.inner.Close()
 		return ErrCrash
+	}
+	var flushErr error
+	if len(f.pending) > 0 {
+		flushErr = f.flush(len(f.pending))
+	}
+	err := f.inner.Close()
+	if flushErr != nil {
+		return flushErr
 	}
 	return err
 }

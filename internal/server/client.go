@@ -23,6 +23,24 @@ import (
 // response — so the connection must never be reused.
 var ErrClientBroken = errors.New("server: client connection broken mid-frame; redial required")
 
+// ErrOverloaded is wrapped by errors the client returns when the server
+// shed the operation. The contract is strict: an error matching
+// errors.Is(err, ErrOverloaded) means every attempt of the op was
+// definitively not executed (the server's overloaded status, a failed
+// dial, or a client-side fast-fail) — the op was never applied and never
+// will be, so the caller may reissue it without any double-apply risk.
+// If any attempt's outcome is indeterminate (a connection died after the
+// request may have been sent), the client returns a different error.
+var ErrOverloaded = errors.New("server: overloaded, not executed")
+
+// ErrBreakerOpen is returned when the client's circuit breaker is open:
+// the operation was failed fast without touching the network (so it was
+// definitively not executed). The breaker opens after BreakerThreshold
+// consecutive overload or connection failures and lets a probe through
+// once BreakerCooldown has elapsed (half-open); a successful probe closes
+// it, a failed one re-opens it for another cooldown.
+var ErrBreakerOpen = errors.New("server: circuit breaker open")
+
 // ClientConfig tunes a wire-protocol client.
 type ClientConfig struct {
 	// Timeout bounds the dial and each request attempt's round trip
@@ -48,6 +66,15 @@ type ClientConfig struct {
 	// the fault-injection harness and cmd/abload's -faults flag use.
 	// When nil, plain TCP to the Dial address.
 	Dialer func() (net.Conn, error)
+	// BreakerThreshold opens the circuit breaker after this many
+	// consecutive failed operations (overload responses, connection
+	// failures, failed dials); while open, operations fail fast with
+	// ErrBreakerOpen instead of dog-piling a struggling server.
+	// 0 (the default) disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// letting one half-open probe through. Default 500ms.
+	BreakerCooldown time.Duration
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -63,15 +90,22 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
 	return c
 }
 
 // ClientStats counts a client's connection lifecycle events.
 type ClientStats struct {
-	Ops     uint64 // operations attempted
-	Retries uint64 // extra attempts after a connection-level failure
-	Redials uint64 // reconnects (successful dials after the first)
-	Broken  uint64 // connections abandoned mid-frame
+	Ops        uint64 // operations attempted
+	Retries    uint64 // extra attempts after a connection-level or overload failure
+	Redials    uint64 // reconnects (successful dials after the first)
+	Broken     uint64 // connections abandoned mid-frame
+	Overloaded uint64 // overloaded (shed) responses received
+
+	BreakerOpens     uint64 // closed/half-open → open transitions
+	BreakerFastFails uint64 // ops failed fast while the breaker was open
 }
 
 // Client is a wire-protocol connection to an aboramd server with
@@ -93,6 +127,13 @@ type Client struct {
 	jitter *rng.Source
 	nonce  uint64 // high 32 bits of every request id
 	seq    uint64
+
+	// Circuit breaker state (see ErrBreakerOpen). consecFails counts
+	// consecutive failed operations; at BreakerThreshold the breaker
+	// opens until openUntil, after which one probe is let through.
+	consecFails int
+	openUntil   time.Time
+	probing     bool
 
 	stats ClientStats
 }
@@ -217,15 +258,55 @@ func (c *Client) redial() error {
 
 // backoff sleeps before retry attempt n (1-based): exponential growth
 // from BaseBackoff capped at MaxBackoff, with full jitter so a fleet of
-// retrying clients does not stampede the server in lockstep.
-func (c *Client) backoff(n int) {
+// retrying clients does not stampede the server in lockstep. floor (the
+// server's retry-after hint) raises the sleep when the server asked for
+// a longer pause than the schedule would have picked.
+func (c *Client) backoff(n int, floor time.Duration) {
 	d := c.cfg.BaseBackoff << uint(n-1)
 	if d <= 0 || d > c.cfg.MaxBackoff {
 		d = c.cfg.MaxBackoff
 	}
 	half := uint64(d / 2)
 	sleep := time.Duration(half + c.jitter.Uint64n(half+1))
+	if sleep < floor {
+		sleep = floor
+	}
 	time.Sleep(sleep)
+}
+
+// breakerGate is consulted at the start of every operation: nil means
+// proceed (closed, or half-open probe), ErrBreakerOpen means fail fast.
+func (c *Client) breakerGate() error {
+	if c.cfg.BreakerThreshold <= 0 || c.consecFails < c.cfg.BreakerThreshold {
+		return nil
+	}
+	if time.Now().Before(c.openUntil) {
+		c.stats.BreakerFastFails++
+		return ErrBreakerOpen
+	}
+	// Cooldown elapsed: half-open, let this op through as the probe.
+	c.probing = true
+	return nil
+}
+
+// noteSuccess closes the breaker.
+func (c *Client) noteSuccess() {
+	c.consecFails = 0
+	c.probing = false
+}
+
+// noteFailure counts one failed attempt toward the breaker; crossing the
+// threshold (or failing a half-open probe) opens it for a cooldown.
+func (c *Client) noteFailure() {
+	c.consecFails++
+	if c.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	if c.consecFails == c.cfg.BreakerThreshold || c.probing {
+		c.openUntil = time.Now().Add(c.cfg.BreakerCooldown)
+		c.probing = false
+		c.stats.BreakerOpens++
+	}
 }
 
 // attempt performs one request/response exchange on the live connection.
@@ -242,20 +323,36 @@ func (c *Client) attempt(req wire.Request) (wire.Response, error) {
 	return wire.ReadResponse(c.br)
 }
 
-// roundTrip sends one request, retrying connection-level failures up to
-// MaxAttempts with backoff. The request keeps its id across attempts so
-// the server can deduplicate re-executions of mutating ops.
+// roundTrip sends one request, retrying connection-level and overload
+// failures up to MaxAttempts with backoff. The request keeps its id
+// across attempts so the server can deduplicate re-executions of
+// mutating ops. The error it returns classifies the op's fate for the
+// caller: errors.Is(err, ErrOverloaded) or errors.Is(err, ErrBreakerOpen)
+// guarantee the op was never executed; other failures after a mid-frame
+// break leave the outcome indeterminate (the server may have applied it),
+// which is exactly what the id-based dedup exists for.
 func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 	c.stats.Ops++
-	var lastErr error
+	if err := c.breakerGate(); err != nil {
+		return wire.Response{}, err
+	}
+	var (
+		lastErr       error
+		indeterminate bool // some attempt may have reached the engine
+		sawOverload   bool
+		retryAfter    time.Duration
+	)
 	for n := 0; n < c.cfg.MaxAttempts; n++ {
 		if n > 0 {
 			c.stats.Retries++
-			c.backoff(n)
+			c.backoff(n, retryAfter)
+			retryAfter = 0
 		}
 		if c.broken || c.conn == nil {
 			if err := c.redial(); err != nil {
+				// A failed dial never reached the server: determinate.
 				lastErr = err
+				c.noteFailure()
 				if errors.Is(err, ErrClientBroken) {
 					return wire.Response{}, err
 				}
@@ -264,6 +361,17 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 		}
 		resp, err := c.attempt(req)
 		if err == nil {
+			if resp.Overloaded {
+				// The server shed the request without executing it;
+				// honor its retry-after hint before trying again.
+				c.stats.Overloaded++
+				c.noteFailure()
+				sawOverload = true
+				retryAfter = time.Duration(resp.RetryAfterMillis) * time.Millisecond
+				lastErr = fmt.Errorf("%w (retry after %v)", ErrOverloaded, retryAfter)
+				continue
+			}
+			c.noteSuccess()
 			if resp.Err != "" {
 				// The server answered: the op was delivered and its
 				// outcome is authoritative. Not a retry case.
@@ -272,9 +380,18 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 			return resp, nil
 		}
 		// Connection-level failure: the stream may be mid-frame, so the
-		// connection is dead either way.
+		// connection is dead either way, and the request may or may not
+		// have been executed.
 		lastErr = err
+		indeterminate = true
+		c.noteFailure()
 		c.markBroken()
+	}
+	if sawOverload && !indeterminate {
+		// Every attempt was definitively not executed and at least one
+		// was an explicit shed: surface the strong not-applied contract.
+		return wire.Response{}, fmt.Errorf("server: request shed after %d attempts (%v): %w",
+			c.cfg.MaxAttempts, lastErr, ErrOverloaded)
 	}
 	if c.cfg.MaxAttempts > 1 {
 		return wire.Response{}, fmt.Errorf("server: request failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
@@ -300,6 +417,16 @@ func (c *Client) Read(block int64) ([]byte, error) {
 // Write obliviously stores a block's content.
 func (c *Client) Write(block int64, data []byte) error {
 	_, err := c.roundTrip(wire.Request{Op: wire.OpWrite, ID: c.nextID(), Block: block, Data: data})
+	return err
+}
+
+// WriteID is Write under a caller-chosen request id, for harnesses and
+// load generators that need to correlate server-side applies with the
+// writes they issued. The id must be nonzero and globally unique per
+// logical write across every client of the daemon — reusing one makes
+// the dedup window answer the second write from the first one's cache.
+func (c *Client) WriteID(id uint64, block int64, data []byte) error {
+	_, err := c.roundTrip(wire.Request{Op: wire.OpWrite, ID: id, Block: block, Data: data})
 	return err
 }
 

@@ -190,3 +190,125 @@ func TestTCPDedupExactlyOnce(t *testing.T) {
 		t.Fatalf("deduped = %d, want 1", m.Deduped)
 	}
 }
+
+// TestClientBreakerLifecycle walks the circuit breaker through its full
+// cycle against a real server: consecutive dial failures open it, an
+// open breaker fails fast without touching the dialer, and after the
+// cooldown a half-open probe against a healthy server closes it again.
+func TestClientBreakerLifecycle(t *testing.T) {
+	addr, _, _, stop := startTCP(t, 23, Config{}, TCPConfig{})
+	defer stop()
+
+	down := true // simulated blackout switch
+	var dials int
+	c, err := DialConfig("", ClientConfig{
+		Timeout:          time.Second,
+		MaxAttempts:      1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+		Dialer: func() (net.Conn, error) {
+			dials++
+			if down {
+				return nil, errors.New("blackout")
+			}
+			return net.Dial("tcp", addr)
+		},
+	})
+	if err == nil {
+		t.Fatal("DialConfig succeeded against a down server")
+	}
+	// The constructor dial failed; build the client around the config
+	// anyway via a second DialConfig once "up", then take it down.
+	down = false
+	c, err = DialConfig("", ClientConfig{
+		Timeout:          time.Second,
+		MaxAttempts:      1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+		Dialer: func() (net.Conn, error) {
+			dials++
+			if down {
+				return nil, errors.New("blackout")
+			}
+			return net.Dial("tcp", addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Access(1); err != nil {
+		t.Fatalf("healthy access: %v", err)
+	}
+
+	// Blackout: three consecutive failures open the breaker.
+	down = true
+	c.markBroken() // cut the live connection so ops must redial
+	for i := 0; i < 3; i++ {
+		if err := c.Access(1); err == nil {
+			t.Fatalf("access %d succeeded during blackout", i)
+		} else if errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("access %d failed fast before the threshold", i)
+		}
+	}
+	// Open: the next op fails fast, without a dial attempt.
+	before := dials
+	if err := c.Access(1); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	if dials != before {
+		t.Fatalf("open breaker still dialed (%d -> %d)", before, dials)
+	}
+	st := c.Stats()
+	if st.BreakerOpens == 0 || st.BreakerFastFails == 0 {
+		t.Fatalf("stats = %+v, want opens and fast fails counted", st)
+	}
+
+	// Recovery: after the cooldown the half-open probe reaches the now
+	// healthy server and closes the breaker.
+	down = false
+	time.Sleep(60 * time.Millisecond)
+	if err := c.Access(1); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if err := c.Access(2); err != nil {
+		t.Fatalf("post-recovery access: %v", err)
+	}
+	if got := c.Stats().BreakerOpens; got != st.BreakerOpens {
+		t.Fatalf("breaker re-opened after recovery: %d -> %d opens", st.BreakerOpens, got)
+	}
+}
+
+// TestClientBreakerReopensOnFailedProbe checks the half-open rule: a
+// failed probe snaps the breaker open again immediately, not after
+// another full threshold of failures.
+func TestClientBreakerReopensOnFailedProbe(t *testing.T) {
+	c := newClient(nil, ClientConfig{
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  40 * time.Millisecond,
+		Dialer:           func() (net.Conn, error) { return nil, errors.New("down") },
+	}.withDefaults())
+	c.broken = true // no live conn; every op must dial
+
+	for i := 0; i < 2; i++ {
+		if err := c.Access(1); errors.Is(err, ErrBreakerOpen) || err == nil {
+			t.Fatalf("access %d: %v before threshold", i, err)
+		}
+	}
+	if err := c.Access(1); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker not open after threshold: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Probe is admitted (no ErrBreakerOpen) but fails: one failure must
+	// re-open the breaker on the spot.
+	if err := c.Access(1); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open probe: %v, want a dial failure", err)
+	}
+	if err := c.Access(1); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("failed probe did not re-open the breaker: %v", err)
+	}
+	if got := c.Stats().BreakerOpens; got != 2 {
+		t.Fatalf("BreakerOpens = %d, want 2 (threshold + failed probe)", got)
+	}
+}

@@ -15,10 +15,15 @@ import (
 // a retry arrives (on a new connection) while the original is still
 // queued behind the scheduler: begin() therefore reserves the id, and a
 // second arrival blocks until the owner finishes, then reuses the
-// owner's response. Failed executions are forgotten instead of cached,
-// so a retry after a genuine failure (queue full, deadline) executes
-// again — failure responses are safe to recompute, successful mutations
-// are not.
+// owner's response. Failed and shed executions are forgotten instead of
+// cached, so a retry after a genuine failure (queue full, deadline)
+// executes again — failure responses are safe to recompute, successful
+// mutations are not.
+//
+// The window survives a daemon restart when the engine is durable: the
+// WAL logs each write's request id and the snapshot carries the recent-id
+// set, and seed() preloads the recovered ids, so a retry that straddles a
+// kill -9 is still answered from cache instead of applied twice.
 type dedupWindow struct {
 	mu    sync.Mutex
 	cap   int
@@ -39,7 +44,9 @@ func newDedupWindow(cap int) *dedupWindow {
 
 // begin reserves id. owner=true means the caller must execute the op and
 // call finish; owner=false means someone else owns (or owned) it — wait
-// on entry.done and read entry.resp.
+// on entry.done and read entry.resp. In-flight reservations are never
+// evicted: eviction walks only the completed-id order, so a slow op
+// cannot lose its reservation to a burst of completions.
 func (d *dedupWindow) begin(id uint64) (entry *dedupEntry, owner bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -51,24 +58,53 @@ func (d *dedupWindow) begin(id uint64) (entry *dedupEntry, owner bool) {
 	return e, true
 }
 
-// finish publishes the owner's outcome. Successful responses stay cached
-// (up to cap, FIFO eviction); failures are forgotten so a retry can
-// execute for real.
-func (d *dedupWindow) finish(id uint64, resp wire.Response) {
+// finish publishes the owner's outcome through the entry begin returned.
+// Successful responses stay cached (up to cap, FIFO eviction); failures
+// and sheds are forgotten so a retry can execute for real. The entry is
+// cached only if it still holds the reservation — a stale finish (the id
+// already evicted, or re-reserved by a later owner) just releases its own
+// waiters without disturbing the window.
+func (d *dedupWindow) finish(id uint64, e *dedupEntry, resp wire.Response) {
 	d.mu.Lock()
-	e := d.m[id]
 	e.resp = resp
-	if resp.Err != "" {
-		delete(d.m, id)
-	} else {
+	if cur, ok := d.m[id]; ok && cur == e {
+		if resp.Err != "" || resp.Overloaded {
+			delete(d.m, id)
+		} else {
+			d.order = append(d.order, id)
+			if len(d.order) > d.cap {
+				delete(d.m, d.order[0])
+				d.order = d.order[1:]
+			}
+		}
+	}
+	d.mu.Unlock()
+	close(e.done)
+}
+
+// seed preloads completed successful entries, oldest first — the request
+// ids a durable engine recovered from its snapshot metadata and WAL
+// replay. A replay of a seeded id is answered with an empty success
+// response, exactly what the original writer was acknowledged with.
+func (d *dedupWindow) seed(ids []uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, id := range ids {
+		if id == 0 {
+			continue
+		}
+		if _, ok := d.m[id]; ok {
+			continue
+		}
+		e := &dedupEntry{done: make(chan struct{})}
+		close(e.done)
+		d.m[id] = e
 		d.order = append(d.order, id)
 		if len(d.order) > d.cap {
 			delete(d.m, d.order[0])
 			d.order = d.order[1:]
 		}
 	}
-	d.mu.Unlock()
-	close(e.done)
 }
 
 // len reports the number of live entries (reserved + cached).

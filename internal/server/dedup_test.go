@@ -11,7 +11,7 @@ import (
 // wait for — and reuse — the owner's response.
 func TestDedupWindowConcurrentDuplicate(t *testing.T) {
 	d := newDedupWindow(4)
-	_, owner := d.begin(1)
+	entry, owner := d.begin(1)
 	if !owner {
 		t.Fatal("first begin must own the id")
 	}
@@ -27,24 +27,30 @@ func TestDedupWindowConcurrentDuplicate(t *testing.T) {
 	}()
 
 	want := wire.Response{Data: []byte("outcome")}
-	d.finish(1, want)
+	d.finish(1, entry, want)
 	if resp := <-got; string(resp.Data) != "outcome" {
 		t.Fatalf("duplicate observed %+v, want owner's response", resp)
 	}
 }
 
 // TestDedupWindowFailureForgotten checks that failed executions are not
-// cached: a retry after a genuine failure must execute for real.
+// cached: a retry after a genuine failure must execute for real. An
+// overloaded (shed) outcome is a failure too — the op never executed.
 func TestDedupWindowFailureForgotten(t *testing.T) {
 	d := newDedupWindow(4)
-	if _, owner := d.begin(7); !owner {
+	e, owner := d.begin(7)
+	if !owner {
 		t.Fatal("first begin must own")
 	}
-	d.finish(7, wire.Response{Err: "queue full"})
-	if _, owner := d.begin(7); !owner {
+	d.finish(7, e, wire.Response{Err: "queue full"})
+	if e, owner = d.begin(7); !owner {
 		t.Fatal("retry after failure must own the id again")
 	}
-	d.finish(7, wire.Response{})
+	d.finish(7, e, wire.Response{Overloaded: true, RetryAfterMillis: 5})
+	if e, owner = d.begin(7); !owner {
+		t.Fatal("retry after a shed must own the id again")
+	}
+	d.finish(7, e, wire.Response{})
 	if e, owner := d.begin(7); owner {
 		t.Fatal("success must stay cached")
 	} else if e.resp.Err != "" {
@@ -56,10 +62,11 @@ func TestDedupWindowFailureForgotten(t *testing.T) {
 func TestDedupWindowEviction(t *testing.T) {
 	d := newDedupWindow(2)
 	for id := uint64(1); id <= 3; id++ {
-		if _, owner := d.begin(id); !owner {
+		e, owner := d.begin(id)
+		if !owner {
 			t.Fatalf("id %d: want ownership", id)
 		}
-		d.finish(id, wire.Response{})
+		d.finish(id, e, wire.Response{})
 	}
 	if d.len() != 2 {
 		t.Fatalf("len = %d, want 2 after eviction", d.len())
@@ -70,6 +77,99 @@ func TestDedupWindowEviction(t *testing.T) {
 	for _, id := range []uint64{2, 3} {
 		if _, owner := d.begin(id); owner {
 			t.Fatalf("id %d must still be cached", id)
+		}
+	}
+}
+
+// TestDedupWindowInFlightSurvivesEviction pins the reservation rule:
+// eviction walks only completed ids, so a slow op's reservation must
+// survive any number of completions racing past it.
+func TestDedupWindowInFlightSurvivesEviction(t *testing.T) {
+	d := newDedupWindow(2)
+	slow, owner := d.begin(100)
+	if !owner {
+		t.Fatal("want ownership of the slow id")
+	}
+	// Blow well past capacity with completed ops while 100 is in flight.
+	for id := uint64(1); id <= 10; id++ {
+		e, owner := d.begin(id)
+		if !owner {
+			t.Fatalf("id %d: want ownership", id)
+		}
+		d.finish(id, e, wire.Response{})
+	}
+	if _, owner := d.begin(100); owner {
+		t.Fatal("in-flight reservation was evicted by completions")
+	}
+	d.finish(100, slow, wire.Response{Data: []byte("late")})
+	if e, owner := d.begin(100); owner {
+		t.Fatal("completed slow op must be cached")
+	} else if string(e.resp.Data) != "late" {
+		t.Fatalf("cached response = %+v, want the slow op's", e.resp)
+	}
+}
+
+// TestDedupWindowStaleFinish covers finish on an id the window already
+// evicted (or that a later owner re-reserved): the stale finish must
+// release its own waiters without panicking or resurrecting the entry.
+func TestDedupWindowStaleFinish(t *testing.T) {
+	d := newDedupWindow(1)
+	e1, owner := d.begin(1)
+	if !owner {
+		t.Fatal("want ownership of id 1")
+	}
+	d.finish(1, e1, wire.Response{})
+	// Evict id 1 by completing id 2 in the size-1 window.
+	e2, _ := d.begin(2)
+	d.finish(2, e2, wire.Response{})
+	if _, owner := d.begin(1); !owner {
+		t.Fatal("id 1 should have been evicted")
+	}
+	// The new owner's entry is live; finishing the OLD entry again (a
+	// stale finish, double-release aside) must not disturb the window.
+	// Use a fresh entry that lost its reservation instead, to keep the
+	// done channel single-close.
+	stale := &dedupEntry{done: make(chan struct{})}
+	d.finish(1, stale, wire.Response{Data: []byte("stale")})
+	select {
+	case <-stale.done:
+	default:
+		t.Fatal("stale finish must still close its entry's done channel")
+	}
+	// The live reservation for id 1 (from the begin above) must be
+	// untouched: a concurrent duplicate would still be waiting on it.
+	if d.len() == 0 {
+		t.Fatal("live reservation disappeared after stale finish")
+	}
+	if _, owner := d.begin(1); owner {
+		t.Fatal("stale finish must not displace the live reservation")
+	}
+}
+
+// TestDedupWindowSeed checks recovery preloading: seeded ids answer
+// replays immediately with a success response, honor capacity, and skip
+// id 0 and duplicates.
+func TestDedupWindowSeed(t *testing.T) {
+	d := newDedupWindow(3)
+	d.seed([]uint64{0, 5, 6, 6, 7, 8}) // 0 skipped, dup 6 skipped, 5 evicted by 8
+	if d.len() != 3 {
+		t.Fatalf("len = %d, want 3", d.len())
+	}
+	if _, owner := d.begin(5); !owner {
+		t.Fatal("id 5 must have been evicted by capacity")
+	}
+	for _, id := range []uint64{6, 7, 8} {
+		e, owner := d.begin(id)
+		if owner {
+			t.Fatalf("seeded id %d must be cached", id)
+		}
+		select {
+		case <-e.done:
+		default:
+			t.Fatalf("seeded id %d must have a closed done channel", id)
+		}
+		if e.resp.Err != "" || e.resp.Overloaded {
+			t.Fatalf("seeded id %d must replay as success, got %+v", id, e.resp)
 		}
 	}
 }

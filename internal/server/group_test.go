@@ -1,0 +1,165 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/aboram"
+)
+
+// groupEngine wraps an ORAM with the group-commit surface so tests can
+// observe the apply/sync ordering the scheduler promises: a write ack
+// may be released only after a BatchSync covering that write.
+type groupEngine struct {
+	*aboram.ORAM
+	mu         sync.Mutex
+	ids        []uint64        // ids in apply order (0 = unidentified)
+	unsynced   map[uint64]bool // applied, not yet covered by BatchSync
+	synced     map[uint64]bool
+	batchSyncs int
+}
+
+func newGroupEngine(o *aboram.ORAM) *groupEngine {
+	return &groupEngine{ORAM: o, unsynced: make(map[uint64]bool), synced: make(map[uint64]bool)}
+}
+
+func (g *groupEngine) WriteIdentified(id uint64, block int64, data []byte) error {
+	if err := g.ORAM.Write(block, data); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.ids = append(g.ids, id)
+	g.unsynced[id] = true
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *groupEngine) BatchSync() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.batchSyncs++
+	for id := range g.unsynced {
+		g.synced[id] = true
+		delete(g.unsynced, id)
+	}
+	return nil
+}
+
+func (g *groupEngine) GroupCommit() bool { return true }
+
+func (g *groupEngine) isSynced(id uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.synced[id]
+}
+
+// TestServerGroupCommitDeferral pre-fills the queue with identified
+// writes, then releases the scheduler: the acks must come back only
+// after a BatchSync covering each write, and the whole backlog must
+// share far fewer syncs than writes (one per drained batch).
+func TestServerGroupCommitDeferral(t *testing.T) {
+	g := newGroupEngine(newTestORAM(t, 31))
+	s := newPaused(g.ORAM, Config{Queue: 32, Batch: 8})
+	s.eng = g
+	s.ident = g
+	s.group = g
+
+	const writes = 12
+	var wg sync.WaitGroup
+	errs := make([]error, writes)
+	for i := 0; i < writes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := uint64(i + 1)
+			err := s.WriteID(context.Background(), id, int64(i), payload(g.ORAM, int64(i), byte(i)))
+			if err == nil && !g.isSynced(id) {
+				errs[i] = errors.New("ack released before BatchSync covered the write")
+			} else {
+				errs[i] = err
+			}
+		}(i)
+	}
+	// Let the whole backlog queue up, then start the scheduler.
+	for len(s.reqs) < writes {
+		time.Sleep(time.Millisecond)
+	}
+	go s.loop()
+	wg.Wait()
+	defer s.Close()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	g.mu.Lock()
+	syncs := g.batchSyncs
+	g.mu.Unlock()
+	// 12 writes at Batch=8 drain in at most 2 wakeups once the loop
+	// starts behind a full queue.
+	if syncs == 0 || syncs > 2 {
+		t.Fatalf("batch syncs = %d for %d writes, want 1-2 (amortized)", syncs, writes)
+	}
+	m := s.Metrics()
+	if m.GroupSyncs != uint64(syncs) || m.DeferredWrites != writes {
+		t.Fatalf("metrics = %d group syncs / %d deferred, want %d / %d", m.GroupSyncs, m.DeferredWrites, syncs, writes)
+	}
+}
+
+// TestServerWriteIDThreading checks the id reaches an IdentifiedEngine
+// verbatim and that plain Write stays unidentified.
+func TestServerWriteIDThreading(t *testing.T) {
+	g := newGroupEngine(newTestORAM(t, 32))
+	s := New(g, Config{})
+	defer s.Close()
+	ctx := context.Background()
+	if err := s.WriteID(ctx, 0xfeed, 1, payload(g.ORAM, 1, 0x1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, 2, payload(g.ORAM, 2, 0x2)); err != nil {
+		t.Fatal(err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.ids) != 2 || g.ids[0] != 0xfeed || g.ids[1] != 0 {
+		t.Fatalf("engine saw ids %v, want [0xfeed 0]", g.ids)
+	}
+}
+
+// TestServerDeadlineShed checks admission-control shedding: when the
+// estimated queue wait already exceeds the request's remaining budget,
+// submit refuses with ErrDeadlineShed — definitively unexecuted — and
+// counts the shed.
+func TestServerDeadlineShed(t *testing.T) {
+	o := newTestORAM(t, 33)
+	s := newPaused(o, Config{Queue: 8, Batch: 4})
+	// A served history of 50ms ops; nothing queued yet, so the estimate
+	// for a newcomer is one service time.
+	s.svcEWMA.Store(int64(50 * time.Millisecond))
+	if est := s.EstimatedWait(); est != 50*time.Millisecond {
+		t.Fatalf("EstimatedWait = %v, want 50ms", est)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := s.Access(ctx, 0); !errors.Is(err, ErrDeadlineShed) {
+		t.Fatalf("5ms budget against a 50ms estimate got %v, want ErrDeadlineShed", err)
+	}
+	if got := s.Metrics().Shed; got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+	if got := len(s.reqs); got != 0 {
+		t.Fatalf("%d requests queued after a shed; shed must mean never enqueued", got)
+	}
+	// A request with budget to spare is admitted (and served once the
+	// scheduler starts).
+	go s.loop()
+	defer s.Close()
+	if err := s.Access(context.Background(), 0); err != nil {
+		t.Fatalf("unbounded request after shed: %v", err)
+	}
+}

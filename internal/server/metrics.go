@@ -18,15 +18,18 @@ var batchBounds = []float64{1, 2, 4, 8, 16, 32, 64}
 type metrics struct {
 	mu sync.Mutex
 
-	enq      uint64
-	rej      uint64
-	canc     uint64
-	byOp     [3]uint64 // served, indexed by opKind
-	dupHits  uint64
-	batches  uint64
-	maxBatch int
-	queueHWM int
-	sizes    *stats.Histogram
+	enq        uint64
+	rej        uint64
+	shedCount  uint64
+	canc       uint64
+	byOp       [3]uint64 // served, indexed by opKind
+	dupHits    uint64
+	batches    uint64
+	maxBatch   int
+	queueHWM   int
+	groupSyncs uint64
+	deferred   uint64
+	sizes      *stats.Histogram
 }
 
 func (m *metrics) init() {
@@ -45,6 +48,19 @@ func (m *metrics) enqueued(depth int) {
 func (m *metrics) rejected() {
 	m.mu.Lock()
 	m.rej++
+	m.mu.Unlock()
+}
+
+func (m *metrics) shed() {
+	m.mu.Lock()
+	m.shedCount++
+	m.mu.Unlock()
+}
+
+func (m *metrics) groupSync(writes int) {
+	m.mu.Lock()
+	m.groupSyncs++
+	m.deferred += uint64(writes)
 	m.mu.Unlock()
 }
 
@@ -75,10 +91,17 @@ func (m *metrics) served(op opKind) {
 type Metrics struct {
 	Enqueued uint64 // requests admitted into the queue
 	Rejected uint64 // admission-control rejections (queue full)
+	Shed     uint64 // admission-control sheds (deadline unmeetable)
 	Canceled uint64 // expired in queue, answered without ORAM work
 	Accesses uint64 // served pattern-only accesses
 	Reads    uint64 // served reads
 	Writes   uint64 // served writes
+
+	// GroupSyncs counts batch-end fsyncs issued under group commit;
+	// DeferredWrites counts the write acks they covered (DeferredWrites /
+	// GroupSyncs is the fsync amortization factor).
+	GroupSyncs     uint64
+	DeferredWrites uint64
 
 	Batches        uint64  // scheduler wakeups that served >= 1 request
 	MeanBatch      float64 // mean requests per wakeup
@@ -103,7 +126,10 @@ func (s *Server) Metrics() Metrics {
 	out := Metrics{
 		Enqueued:        m.enq,
 		Rejected:        m.rej,
+		Shed:            m.shedCount,
 		Canceled:        m.canc,
+		GroupSyncs:      m.groupSyncs,
+		DeferredWrites:  m.deferred,
 		Accesses:        m.byOp[opAccess],
 		Reads:           m.byOp[opRead],
 		Writes:          m.byOp[opWrite],
@@ -127,6 +153,7 @@ func (m Metrics) Table(title string) *report.Table {
 	t := report.New(title, "counter", "value")
 	t.AddRow("requests admitted", report.Uint(m.Enqueued))
 	t.AddRow("requests rejected (queue full)", report.Uint(m.Rejected))
+	t.AddRow("requests shed (deadline unmeetable)", report.Uint(m.Shed))
 	t.AddRow("requests canceled/timed out in queue", report.Uint(m.Canceled))
 	t.AddRow("accesses served", report.Uint(m.Accesses))
 	t.AddRow("reads served", report.Uint(m.Reads))
@@ -136,6 +163,10 @@ func (m Metrics) Table(title string) *report.Table {
 	t.AddRow("max batch size", report.Int(int64(m.MaxBatch)))
 	t.AddRow("duplicate-block hits in batches", report.Uint(m.DupHits))
 	t.AddRow("queue depth high-water mark", report.Int(int64(m.QueueHighWater)))
+	if m.GroupSyncs > 0 {
+		t.AddRow("group-commit fsyncs", report.Uint(m.GroupSyncs))
+		t.AddRow("write acks deferred to batch fsync", report.Uint(m.DeferredWrites))
+	}
 	for i, b := range m.BatchSizeBounds {
 		t.AddRow("batches of size <= "+report.Int(int64(b)), report.Uint(m.BatchSizeBuckets[i]))
 	}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Engine is the block store the scheduler serializes onto: the protocol
@@ -55,11 +56,46 @@ type Engine interface {
 	Write(block int64, data []byte) error
 }
 
-// Errors returned by the admission path.
+// IdentifiedEngine is implemented by engines that want the client-assigned
+// request id attached to a write. The durable engine logs the id in the
+// write's WAL record (and snapshot metadata), so a restarted daemon can
+// rebuild its retry-dedup window and a retry straddling a crash is still
+// applied exactly once.
+type IdentifiedEngine interface {
+	Engine
+	// WriteIdentified is Write with the request id attached; id 0 is
+	// equivalent to Write.
+	WriteIdentified(id uint64, block int64, data []byte) error
+}
+
+// BatchSyncer is implemented by engines that support group commit: Write
+// applies and logs the op but defers the WAL fsync, and BatchSync makes
+// every applied-but-unsynced write durable at once. When GroupCommit
+// reports true the scheduler holds back write acknowledgments until the
+// end of the drained batch, calls BatchSync once, and only then answers
+// the writers — one fsync amortized over the whole batch, with the loss
+// window still limited to unacknowledged ops.
+type BatchSyncer interface {
+	// BatchSync makes every applied-but-unsynced write durable. A non-nil
+	// error means none of the deferred writes may be acknowledged.
+	BatchSync() error
+	// GroupCommit reports whether writes are deferred (acknowledgment
+	// requires BatchSync).
+	GroupCommit() bool
+}
+
+// Errors returned by the admission path. ErrQueueFull and
+// ErrDeadlineShed both mean the request was never enqueued: it was not
+// and never will be executed, so the caller may retry it freely.
 var (
 	// ErrQueueFull is returned when the bounded request queue is at
 	// capacity; the caller should back off and retry.
 	ErrQueueFull = errors.New("server: request queue full")
+	// ErrDeadlineShed is returned when admission control predicts the
+	// request's deadline will expire before the scheduler can reach it
+	// (estimated queue wait exceeds the remaining budget), so queueing it
+	// would only waste scheduler work on a guaranteed timeout.
+	ErrDeadlineShed = errors.New("server: shed: deadline expires before estimated service")
 	// ErrClosed is returned for requests submitted after Close.
 	ErrClosed = errors.New("server: closed")
 )
@@ -97,6 +133,7 @@ func (c Config) withDefaults() Config {
 type request struct {
 	ctx   context.Context
 	op    opKind
+	id    uint64 // client-assigned request id; 0 = unidentified
 	block int64
 	data  []byte
 	resp  chan result
@@ -132,11 +169,19 @@ type result struct {
 
 // Server serializes concurrent Access/Read/Write calls onto one Engine.
 type Server struct {
-	eng Engine
-	cfg Config
+	eng   Engine
+	ident IdentifiedEngine // eng, when it accepts request ids; else nil
+	group BatchSyncer      // eng, when group commit is active; else nil
+	cfg   Config
 
 	reqs chan *request
 	done chan struct{}
+
+	// svcEWMA is an exponentially weighted moving average of per-request
+	// service time in nanoseconds, maintained by the scheduler and read
+	// by the admission path to predict queue wait (load shedding) and by
+	// EstimatedWait (retry-after hints).
+	svcEWMA atomic.Int64
 
 	// admission guards the closed flag against the channel close: senders
 	// hold it shared while enqueueing, Close holds it exclusively while
@@ -158,6 +203,10 @@ func New(e Engine, cfg Config) *Server {
 		reqs: make(chan *request, cfg.Queue),
 		done: make(chan struct{}),
 	}
+	s.ident, _ = e.(IdentifiedEngine)
+	if bs, ok := e.(BatchSyncer); ok && bs.GroupCommit() {
+		s.group = bs
+	}
 	s.metrics.init()
 	go s.loop()
 	return s
@@ -178,28 +227,52 @@ func (s *Server) Config() Config { return s.cfg }
 
 // Access obliviously touches a block without transferring content.
 func (s *Server) Access(ctx context.Context, block int64) error {
-	_, err := s.submit(ctx, opAccess, block, nil)
+	_, err := s.submit(ctx, opAccess, 0, block, nil)
 	return err
 }
 
 // Read obliviously fetches a block's content.
 func (s *Server) Read(ctx context.Context, block int64) ([]byte, error) {
-	return s.submit(ctx, opRead, block, nil)
+	return s.submit(ctx, opRead, 0, block, nil)
 }
 
 // Write obliviously stores a block's content. The data slice is copied
 // before Write returns from enqueueing, so the caller may reuse it.
 func (s *Server) Write(ctx context.Context, block int64, data []byte) error {
-	_, err := s.submit(ctx, opWrite, block, append([]byte(nil), data...))
+	return s.WriteID(ctx, 0, block, data)
+}
+
+// WriteID is Write with the client-assigned request id attached. When the
+// engine is an IdentifiedEngine (the durable engine), the id is logged
+// with the write's WAL record so the retry-dedup window survives a crash;
+// other engines serve it as a plain Write. id 0 means unidentified.
+func (s *Server) WriteID(ctx context.Context, id uint64, block int64, data []byte) error {
+	_, err := s.submit(ctx, opWrite, id, block, append([]byte(nil), data...))
 	return err
 }
 
+// EstimatedWait predicts how long a newly admitted request would sit in
+// the queue: current depth (plus itself) times the moving average of
+// observed service time. Zero until the scheduler has served anything.
+func (s *Server) EstimatedWait() time.Duration {
+	return time.Duration(int64(len(s.reqs)+1) * s.svcEWMA.Load())
+}
+
 // submit enqueues one operation and waits for its result or for ctx.
-func (s *Server) submit(ctx context.Context, op opKind, block int64, data []byte) ([]byte, error) {
+func (s *Server) submit(ctx context.Context, op opKind, id uint64, block int64, data []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := &request{ctx: ctx, op: op, block: block, data: data, resp: make(chan result, 1)}
+	// Load shedding: if the queue is deep enough that the request's
+	// deadline will expire before the scheduler reaches it, refuse now —
+	// definitively unexecuted — instead of queueing a guaranteed timeout.
+	if dl, ok := ctx.Deadline(); ok {
+		if est := s.EstimatedWait(); est > 0 && time.Until(dl) < est {
+			s.metrics.shed()
+			return nil, ErrDeadlineShed
+		}
+	}
+	r := &request{ctx: ctx, op: op, id: id, block: block, data: data, resp: make(chan result, 1)}
 
 	s.admission.RLock()
 	if s.closed {
@@ -293,7 +366,10 @@ func (s *Server) loop() {
 }
 
 // serveBatch executes one drained batch in arrival order, recording batch
-// shape and duplicate-block hits.
+// shape and duplicate-block hits. Under group commit, successful writes
+// are held back until one BatchSync at the end of the batch makes them
+// durable; only then are the writers answered, so an acknowledgment still
+// implies durability while the batch shares a single fsync.
 func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 	if len(batch) == 0 {
 		return
@@ -307,6 +383,7 @@ func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 		}
 	}
 	s.metrics.batch(len(batch), dups)
+	var deferred []*request // applied writes awaiting the batch fsync
 	for _, r := range batch {
 		if !r.claim() {
 			// The submitter abandoned the request on ctx expiry and has
@@ -325,15 +402,46 @@ func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 			continue
 		}
 		var res result
+		begin := time.Now()
 		switch r.op {
 		case opAccess:
 			res.err = s.eng.Access(r.block)
 		case opRead:
 			res.data, res.err = s.eng.Read(r.block)
 		case opWrite:
-			res.err = s.eng.Write(r.block, r.data)
+			if s.ident != nil {
+				res.err = s.ident.WriteIdentified(r.id, r.block, r.data)
+			} else {
+				res.err = s.eng.Write(r.block, r.data)
+			}
 		}
+		s.observeService(time.Since(begin))
 		s.metrics.served(r.op)
+		if r.op == opWrite && res.err == nil && s.group != nil {
+			deferred = append(deferred, r)
+			continue
+		}
 		r.resp <- res
 	}
+	if len(deferred) > 0 {
+		// One fsync covers the whole batch; a sync failure means none of
+		// the deferred writes became durable, so none may be acknowledged.
+		err := s.group.BatchSync()
+		s.metrics.groupSync(len(deferred))
+		for _, r := range deferred {
+			r.resp <- result{err: err}
+		}
+	}
+}
+
+// observeService folds one measured service time into the EWMA the
+// admission path sheds against (weight 1/8: responsive to load changes,
+// stable against single-op noise).
+func (s *Server) observeService(d time.Duration) {
+	old := s.svcEWMA.Load()
+	if old == 0 {
+		s.svcEWMA.Store(int64(d))
+		return
+	}
+	s.svcEWMA.Store(old - old/8 + int64(d)/8)
 }

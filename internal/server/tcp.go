@@ -38,6 +38,7 @@ type TCPMetrics struct {
 	Refused  uint64 // connections turned away by MaxConns
 	Active   int    // connections being served right now
 	Deduped  uint64 // retried mutating requests answered from the dedup window
+	Shed     uint64 // requests answered with the overloaded status (never executed)
 }
 
 // TCPServer speaks the wire protocol on a listener and forwards requests
@@ -53,6 +54,7 @@ type TCPServer struct {
 	accepted uint64
 	refused  uint64
 	deduped  uint64
+	shed     uint64
 
 	dedup *dedupWindow
 
@@ -162,7 +164,16 @@ func (t *TCPServer) Shutdown(ctx context.Context) error {
 func (t *TCPServer) Metrics() TCPMetrics {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return TCPMetrics{Accepted: t.accepted, Refused: t.refused, Active: len(t.conns), Deduped: t.deduped}
+	return TCPMetrics{Accepted: t.accepted, Refused: t.refused, Active: len(t.conns),
+		Deduped: t.deduped, Shed: t.shed}
+}
+
+// SeedDedup preloads the retry-dedup window with request ids recovered by
+// a durable engine (oldest first). Call before Serve: a retry whose
+// original write was acknowledged before a crash is then answered from
+// the window instead of being applied a second time.
+func (t *TCPServer) SeedDedup(ids []uint64) {
+	t.dedup.seed(ids)
 }
 
 // handle serves one connection: a loop of framed request/response pairs.
@@ -227,7 +238,7 @@ func (t *TCPServer) dispatch(req wire.Request) wire.Response {
 			}
 		}
 		resp := t.execute(ctx, req)
-		t.dedup.finish(req.ID, resp)
+		t.dedup.finish(req.ID, entry, resp)
 		return resp
 	}
 	return t.execute(ctx, req)
@@ -244,21 +255,53 @@ func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response
 		})}
 	case wire.OpAccess:
 		if err := t.srv.Access(ctx, req.Block); err != nil {
-			return wire.Response{Err: err.Error()}
+			return t.failure(err)
 		}
 		return wire.Response{}
 	case wire.OpRead:
 		data, err := t.srv.Read(ctx, req.Block)
 		if err != nil {
-			return wire.Response{Err: err.Error()}
+			return t.failure(err)
 		}
 		return wire.Response{Data: data}
 	case wire.OpWrite:
-		if err := t.srv.Write(ctx, req.Block, req.Data); err != nil {
-			return wire.Response{Err: err.Error()}
+		if err := t.srv.WriteID(ctx, req.ID, req.Block, req.Data); err != nil {
+			return t.failure(err)
 		}
 		return wire.Response{}
 	default:
 		return wire.Response{Err: fmt.Sprintf("unsupported op %d", uint8(req.Op))}
 	}
+}
+
+// failure maps a scheduler error onto the wire. Outcomes the scheduler
+// guarantees were never executed — admission rejections and context
+// expiry before the claim (the claim/abandon handshake makes a context
+// error from submit authoritative for "not executed") — become the
+// distinguishable overloaded status with a retry-after hint, so clients
+// can back off and retry safely; everything else is a plain error.
+func (t *TCPServer) failure(err error) wire.Response {
+	notExecuted := errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadlineShed) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+	if !notExecuted {
+		return wire.Response{Err: err.Error()}
+	}
+	t.mu.Lock()
+	t.shed++
+	t.mu.Unlock()
+	return wire.Response{Overloaded: true, RetryAfterMillis: t.retryAfterMillis()}
+}
+
+// retryAfterMillis turns the scheduler's estimated queue wait into the
+// hint an overloaded response carries, clamped to [1ms, 30s].
+func (t *TCPServer) retryAfterMillis() uint32 {
+	est := t.srv.EstimatedWait()
+	ms := int64(est / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 30_000 {
+		ms = 30_000
+	}
+	return uint32(ms)
 }

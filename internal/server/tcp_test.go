@@ -308,8 +308,10 @@ func TestTCPIdleTimeout(t *testing.T) {
 	}
 }
 
-// TestTCPRequestTimeout checks that the per-request deadline turns into a
-// wire error response rather than a hang.
+// TestTCPRequestTimeout checks that the per-request deadline turns into
+// the overloaded wire status rather than a hang: a deadline that expires
+// before the scheduler claims the request is a guaranteed-not-executed
+// outcome, so the client surfaces ErrOverloaded after its retries.
 func TestTCPRequestTimeout(t *testing.T) {
 	addr, _, _, stop := startTCP(t, 16, Config{}, TCPConfig{RequestTimeout: time.Nanosecond})
 	defer stop()
@@ -325,7 +327,7 @@ func TestTCPRequestTimeout(t *testing.T) {
 		t.Fatalf("info: %v", err)
 	}
 	err = c.Access(0)
-	if err == nil || !strings.Contains(err.Error(), "deadline") {
-		t.Fatalf("access with 1ns budget got %v, want deadline error", err)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("access with 1ns budget got %v, want ErrOverloaded", err)
 	}
 }

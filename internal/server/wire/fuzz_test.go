@@ -25,6 +25,8 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 0}) // v1-length body
 	f.Add(append([]byte{byte(OpWrite)}, make([]byte, 16)...))
 	f.Add([]byte{StatusError, 'o', 'o', 'p', 's'})
+	f.Add([]byte{StatusOverloaded, 0, 0, 5, 220}) // retry after 1500ms
+	f.Add([]byte{StatusOverloaded})               // truncated retry-after
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		if req, err := DecodeRequest(body); err == nil {

@@ -6,7 +6,8 @@
 //	frame    := uint32 big-endian body length | body
 //	request  := op byte | id uint64 big-endian | block int64 big-endian |
 //	            payload (OpWrite only)
-//	response := status byte | payload (ok) or error text (error)
+//	response := status byte | payload (ok) or error text (error) or
+//	            retry-after millis uint32 big-endian (overloaded)
 //
 // The id is a client-assigned request identifier: a retrying client
 // resends a failed mutating request under its original id, and the
@@ -66,6 +67,14 @@ const (
 	// StatusError marks a failed response; the rest of the body is a
 	// human-readable error message.
 	StatusError = 1
+	// StatusOverloaded marks a request the server shed without executing
+	// it: admission control rejected it (queue full, or its deadline
+	// could not be met) before it touched the store. The body is a
+	// uint32 big-endian retry-after hint in milliseconds. Unlike
+	// StatusError, an overloaded response guarantees the op was not — and
+	// never will be — applied, so a client may retry it freely (under the
+	// original request id) after backing off.
+	StatusOverloaded = 2
 )
 
 // MaxData bounds the variable-length tail of a frame (write payloads,
@@ -94,6 +103,10 @@ type Request struct {
 type Response struct {
 	Data []byte // OpRead content or OpInfo geometry
 	Err  string // non-empty marks a failed request
+	// Overloaded marks a shed request (StatusOverloaded): definitively
+	// not executed, retry after RetryAfterMillis.
+	Overloaded       bool
+	RetryAfterMillis uint32
 }
 
 // InfoPayload is the OpInfo response body: the store geometry a load
@@ -174,6 +187,10 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 	if err := validateResponse(resp); err != nil {
 		return nil, err
 	}
+	if resp.Overloaded {
+		dst = append(dst, StatusOverloaded)
+		return binary.BigEndian.AppendUint32(dst, resp.RetryAfterMillis), nil
+	}
 	if resp.Err != "" {
 		dst = append(dst, StatusError)
 		return append(dst, resp.Err...), nil
@@ -200,12 +217,23 @@ func DecodeResponse(body []byte) (Response, error) {
 			return Response{}, fmt.Errorf("wire: error response without message")
 		}
 		return Response{Err: string(body[1:])}, nil
+	case StatusOverloaded:
+		if len(body) != 5 {
+			return Response{}, fmt.Errorf("wire: overloaded response body %d bytes, want 5", len(body))
+		}
+		return Response{Overloaded: true, RetryAfterMillis: binary.BigEndian.Uint32(body[1:5])}, nil
 	default:
 		return Response{}, fmt.Errorf("wire: unknown response status %d", body[0])
 	}
 }
 
 func validateResponse(resp Response) error {
+	if resp.Overloaded && (resp.Err != "" || len(resp.Data) != 0) {
+		return fmt.Errorf("wire: overloaded response carries error or data")
+	}
+	if !resp.Overloaded && resp.RetryAfterMillis != 0 {
+		return fmt.Errorf("wire: retry-after %d ms on a non-overloaded response", resp.RetryAfterMillis)
+	}
 	if resp.Err != "" && len(resp.Data) != 0 {
 		return fmt.Errorf("wire: response carries both error and %d data bytes", len(resp.Data))
 	}

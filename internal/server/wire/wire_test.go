@@ -37,6 +37,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{},
 		{Data: []byte("payload")},
 		{Err: "block out of range"},
+		{Overloaded: true},
+		{Overloaded: true, RetryAfterMillis: 1500},
 	}
 	for _, resp := range resps {
 		var buf bytes.Buffer
@@ -47,8 +49,20 @@ func TestResponseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("read: %v", err)
 		}
-		if !bytes.Equal(got.Data, resp.Data) || got.Err != resp.Err {
+		if !bytes.Equal(got.Data, resp.Data) || got.Err != resp.Err ||
+			got.Overloaded != resp.Overloaded || got.RetryAfterMillis != resp.RetryAfterMillis {
 			t.Fatalf("round trip changed %+v into %+v", resp, got)
+		}
+	}
+	// An overloaded response excludes data and error; retry-after demands
+	// the overloaded status.
+	for _, bad := range []Response{
+		{Overloaded: true, Err: "x"},
+		{Overloaded: true, Data: []byte{1}},
+		{RetryAfterMillis: 9},
+	} {
+		if _, err := AppendResponse(nil, bad); err == nil {
+			t.Errorf("encoder accepted invalid response %+v", bad)
 		}
 	}
 }

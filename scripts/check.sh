@@ -3,17 +3,19 @@
 # vet + build + tests + the race-detector pass over the concurrent
 # packages (the sim orchestrator's worker pool, the ringoram engine, the
 # serving layer's scheduler/TCP front end, and the durability stack with
-# its fault injector), a race-mode crash-recovery smoke (kill-recover
-# oracle, internal/check), then a short-budget fuzz smoke over the five
-# native fuzz targets.
-# Longer campaigns: `make fuzz FUZZTIME=10m` or see EXPERIMENTS.md.
+# its fault injector), race-mode crash-recovery and exactly-once smokes
+# (kill-recover oracle, retry/group-commit schedules, chaos soak;
+# internal/check), then a short-budget fuzz smoke over the five native
+# fuzz targets.
+# Longer campaigns: `make fuzz FUZZTIME=10m`, `make crash`,
+# `make soak SOAKTIME=60s`, or see EXPERIMENTS.md.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim ./internal/server/... ./internal/durable ./internal/faults
-go test -race -short -run '^TestCrashRecoverySchedules$' ./internal/check
+go test -race -short -run '^TestCrashRecoverySchedules$|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak$' ./internal/check
 
 FUZZTIME="${FUZZTIME:-5s}"
 go test -run='^$' -fuzz='^FuzzAccess$' -fuzztime="$FUZZTIME" ./internal/ringoram
