@@ -57,6 +57,10 @@ type Options struct {
 	// authenticated data plane. nil keeps the instance pattern-only:
 	// Access works but Read/Write are unavailable.
 	EncryptionKey []byte
+	// XORRead enables Ring ORAM's XOR online fast path: each online
+	// ReadPath's block reads collapse into a single combined transfer that
+	// remote clients peel with locally regenerated CTR pads (see ReadXOR).
+	XORRead bool
 }
 
 // Stats summarizes an instance's activity.
@@ -76,6 +80,7 @@ type ORAM struct {
 	inner *ringoram.ORAM
 	mem   *secmem.Memory
 	dq    *core.DeadQ
+	xor   bool // Options.XORRead
 }
 
 // New builds an ORAM instance.
@@ -90,7 +95,8 @@ func New(opt Options) (*ORAM, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &ORAM{dq: dq}
+	cfg.XORRead = opt.XORRead
+	o := &ORAM{dq: dq, xor: opt.XORRead}
 	if opt.EncryptionKey != nil {
 		var slots int64
 		// The data plane must cover every physical slot of the tree.
@@ -134,6 +140,66 @@ func (o *ORAM) Read(block int64) ([]byte, error) {
 	}
 	data, _, err := o.inner.ReadBlock(block)
 	return data, err
+}
+
+// XORResult is one read served through the online-transfer surface: the
+// verified plaintext plus a model of what actually crossed the memory bus,
+// which the serving layer re-ships to remote clients.
+type XORResult struct {
+	// Data is the block's verified plaintext.
+	Data []byte
+	// Env is the XOR envelope — one combined block plus pad descriptors —
+	// set when Options.XORRead is on and the read hit an off-chip slot.
+	// Remote clients peel it with secmem.PeelPayload.
+	Env *secmem.XORRead
+	// PathBlocks models the baseline online transfer when XORRead is off:
+	// one block per off-chip bucket of the ReadPath, with the real block's
+	// position carrying the verified plaintext (the others are filler the
+	// client discards). RealPos indexes the real block; -1 with nil
+	// PathBlocks means the read was served from the stash or the on-chip
+	// treetop and only the plaintext travels.
+	PathBlocks [][]byte
+	RealPos    int
+}
+
+// ReadXOR is Read plus the online-transfer envelope: what a remote client
+// would receive over the wire. With Options.XORRead the envelope is the
+// single combined XOR block; without it, the full per-bucket path transfer.
+// Requires an EncryptionKey.
+func (o *ORAM) ReadXOR(block int64) (*XORResult, error) {
+	if o.mem == nil {
+		return nil, fmt.Errorf("aboram: ReadXOR requires Options.EncryptionKey")
+	}
+	data, _, err := o.inner.ReadBlock(block)
+	if err != nil {
+		return nil, err
+	}
+	res := &XORResult{Data: data, RealPos: -1}
+	on := o.inner.LastOnline()
+	if on.Env != nil {
+		res.Env = on.Env
+		return res, nil
+	}
+	if o.xor || on.Real < 0 {
+		// XOR mode with a stash/on-chip hit, or no off-chip real read:
+		// only the plaintext travels.
+		return res, nil
+	}
+	// XOR disabled: model the baseline (L+1)·B online transfer. Dummy
+	// positions ship the current stored bytes as filler; the real position
+	// ships the verified plaintext (maintenance may already have rewritten
+	// its slot, so the stored ciphertext is not authoritative).
+	blockB := uint64(o.BlockSize())
+	res.PathBlocks = make([][]byte, len(on.Blocks))
+	for i, addr := range on.Blocks {
+		if i == on.Real {
+			res.PathBlocks[i] = data
+			continue
+		}
+		res.PathBlocks[i] = o.mem.Ciphertext(int64(addr / blockB))
+	}
+	res.RealPos = on.Real
+	return res, nil
 }
 
 // Write obliviously stores a block's content (exactly BlockSize bytes).

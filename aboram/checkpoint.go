@@ -61,7 +61,8 @@ func Load(opt Options, r io.Reader) (*ORAM, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &ORAM{dq: dq}
+	cfg.XORRead = opt.XORRead
+	o := &ORAM{dq: dq, xor: opt.XORRead}
 	if img.Memory != nil {
 		if opt.EncryptionKey == nil {
 			return nil, fmt.Errorf("aboram: checkpoint is encrypted; Options.EncryptionKey required")

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -75,7 +76,11 @@ type workerConfig struct {
 	retries         int
 	breaker         int
 	breakerCooldown time.Duration
+	xorKey          []byte // non-nil switches reads to OpXRead + client-side peeling
 }
+
+// devKey is aboramd's well-known demo encryption key (16 bytes of hex).
+const devKey = "30313233343536373839616263646566"
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("abload", flag.ContinueOnError)
@@ -91,6 +96,8 @@ func run(args []string, out io.Writer) error {
 	retries := fs.Int("retries", 0, "extra attempts per op after a connection failure (redial + resend)")
 	breaker := fs.Int("breaker", 0, "open the per-worker circuit breaker after this many consecutive failed ops (0 = off)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "with -breaker: how long an open breaker fails fast before a half-open probe")
+	xor := fs.Bool("xor", false, "reads use the OpXRead online fast path; pads are peeled client-side with -key")
+	keyHex := fs.String("key", devKey, "with -xor: 16-byte AES data key, hex (must match the server's -key)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +127,17 @@ func run(args []string, out io.Writer) error {
 	}
 	if *breakerCooldown <= 0 {
 		return fmt.Errorf("-breaker-cooldown must be > 0")
+	}
+	var xorKey []byte
+	if *xor {
+		k, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			return fmt.Errorf("bad -key: %w", err)
+		}
+		if len(k) != 16 {
+			return fmt.Errorf("-key must be 16 bytes, got %d", len(k))
+		}
+		xorKey = k
 	}
 
 	// One probe connection learns the store geometry before the fleet dials.
@@ -154,6 +172,7 @@ func run(args []string, out io.Writer) error {
 				addr: *addr, timeout: *timeout, readFrac: *readFrac,
 				dist: *dist, zipfS: *zipfS, faults: *faultRate, retries: *retries,
 				breaker: *breaker, breakerCooldown: *breakerCooldown,
+				xorKey: xorKey,
 			}
 			results[w] = worker(cfg, n, info, src)
 		}(w, n, src)
@@ -177,6 +196,8 @@ func run(args []string, out io.Writer) error {
 		cstats.Overloaded += r.client.Overloaded
 		cstats.BreakerOpens += r.client.BreakerOpens
 		cstats.BreakerFastFails += r.client.BreakerFastFails
+		cstats.ReadOps += r.client.ReadOps
+		cstats.ReadBytes += r.client.ReadBytes
 		lat.Merge(r.lat)
 	}
 	sum := lat.Summary()
@@ -188,6 +209,12 @@ func run(args []string, out io.Writer) error {
 	t.AddRow("distribution", distLabel(*dist, *zipfS))
 	t.AddRow("read fraction", report.Float(*readFrac, 2))
 	t.AddRow("operations completed", report.Int(int64(total)))
+	if *xor {
+		t.AddRow("read path", "xread (XOR online fast path)")
+	}
+	if cstats.ReadOps > 0 {
+		t.AddRow("read payload B/op", report.Float(float64(cstats.ReadBytes)/float64(cstats.ReadOps), 1))
+	}
 	t.AddRow("operation errors", report.Int(int64(errCount)))
 	t.AddRow("error rate", report.Float(float64(errCount)/float64(total), 4))
 	if overCount > 0 {
@@ -243,6 +270,7 @@ func worker(cfg workerConfig, n int, info wire.InfoPayload, src *rng.Source) wor
 		Seed:             src.Uint64(),
 		BreakerThreshold: cfg.breaker,
 		BreakerCooldown:  cfg.breakerCooldown,
+		XORKey:           cfg.xorKey,
 	}
 	if cfg.faults > 0 {
 		in := faults.New(faults.Config{

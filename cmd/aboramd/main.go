@@ -65,6 +65,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	levels := fs.Int("levels", 12, "ORAM tree levels")
 	seed := fs.Uint64("seed", 1, "random seed")
 	keyHex := fs.String("key", devKey, "16-byte AES key, hex (demo default; empty = pattern-only, no Read/Write)")
+	xor := fs.Bool("xor", false, "enable the XOR online fast path: OpXRead answers carry one combined block instead of the full path (requires -key)")
 	queue := fs.Int("queue", 256, "request queue capacity (admission control)")
 	batch := fs.Int("batch", 16, "max requests coalesced per scheduler wakeup (1 = off)")
 	maxconns := fs.Int("maxconns", 128, "max concurrent connections (0 = unlimited)")
@@ -89,11 +90,15 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		}
 		key = k
 	}
+	if *xor && key == nil {
+		return fmt.Errorf("-xor requires -key (the XOR fast path serves encrypted content)")
+	}
 	oramOpt := aboram.Options{
 		Scheme:        core.Scheme(*scheme),
 		Levels:        *levels,
 		Seed:          *seed,
 		EncryptionKey: key,
+		XORRead:       *xor,
 	}
 
 	// The scheduler serves either a bare in-memory instance or the
@@ -157,8 +162,8 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	if onReady != nil {
 		onReady(ln.Addr())
 	}
-	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v) on %s\n",
-		*scheme, *levels, srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), ln.Addr())
+	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v, xor=%v) on %s\n",
+		*scheme, *levels, srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), *xor, ln.Addr())
 	fmt.Fprintf(out, "aboramd: queue=%d batch=%d maxconns=%d\n", *queue, *batch, *maxconns)
 
 	served := make(chan error, 1)

@@ -1,0 +1,137 @@
+package check
+
+import (
+	"testing"
+
+	"repro/aboram"
+	"repro/internal/core"
+)
+
+// newXORSchemeTarget builds an encrypted aboram oracle target with the XOR
+// online fast path enabled — the same construction NewSchemeTarget uses,
+// plus the flag under test.
+func newXORSchemeTarget(s core.Scheme, levels int, seed uint64) (Target, error) {
+	opt := aboram.Options{Scheme: s, Levels: levels, Seed: seed, EncryptionKey: oracleKey, XORRead: true}
+	o, err := aboram.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &aboramTarget{o: o, opt: opt}, nil
+}
+
+// TestXORSweepOracle is the acceptance gate for the fast path: the full
+// engine-direct oracle — every sweep-shaped geometry, randomized ops,
+// checkpoint round trips, final exhaustive sweep — must pass with
+// Config.XORRead on. The name is wired into the race-mode smoke in
+// check.sh; keep it stable.
+func TestXORSweepOracle(t *testing.T) {
+	cfgs := SweepConfigs(8, 3, 7)
+	for i := range cfgs {
+		cfgs[i].Config.XORRead = true
+	}
+	results, err := RunRingOracle(cfgs, 0x5eed, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Div != nil {
+			t.Errorf("%s (xor on) diverged: %s", r.Label, r.Div)
+		}
+	}
+}
+
+// TestXORSchemeOracle drives all five §VII schemes with XORRead enabled
+// through the shared randomized workload. Every scheme reads back what the
+// plaintext model expects, which also makes the xor-on schemes equivalent
+// to their xor-off selves (oracle_test exercises those against the same
+// model).
+func TestXORSchemeOracle(t *testing.T) {
+	for _, s := range core.Schemes() {
+		tgt, err := newXORSchemeTarget(s, 8, 3)
+		if err != nil {
+			t.Fatalf("building %s: %v", s, err)
+		}
+		ops := GenOps(3, 800, tgt.NumBlocks())
+		if d := RunTarget(tgt, ops); d != nil {
+			t.Errorf("%s (xor on) diverged: %s", s, d)
+		}
+	}
+}
+
+// TestXORLockstepEquivalence pins the fast path's zero-perturbation
+// property: the flag changes how online bytes move, not what the protocol
+// does. For every sweep shape, an xor-off and an xor-on instance built from
+// the same seed and driven through the same ops must agree with the model
+// AND finish with identical protocol statistics — the flag draws no
+// randomness of its own, so the two runs stay in RNG lockstep.
+func TestXORLockstepEquivalence(t *testing.T) {
+	// SweepConfigs is called once per variant: the allocator-backed shape
+	// carries a live DeadQ instance that must not be shared across targets.
+	off := SweepConfigs(8, 3, 7)
+	on := SweepConfigs(8, 3, 7)
+	for i := range on {
+		on[i].Config.XORRead = true
+	}
+	for i := range off {
+		label := off[i].Label
+		toff, err := NewRingTarget(off[i].Config)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		ton, err := NewRingTarget(on[i].Config)
+		if err != nil {
+			t.Fatalf("%s (xor on): %v", label, err)
+		}
+		ops := GenOps(0x10c5+uint64(i), 400, toff.NumBlocks())
+		if d := RunTarget(toff, ops); d != nil {
+			t.Fatalf("%s (xor off) diverged: %s", label, d)
+		}
+		if d := RunTarget(ton, ops); d != nil {
+			t.Fatalf("%s (xor on) diverged: %s", label, d)
+		}
+		soff := toff.(*ringTarget).o.Stats()
+		son := ton.(*ringTarget).o.Stats()
+		if son.XORReads == 0 {
+			t.Errorf("%s: xor-on run recorded no combined transfers", label)
+		}
+		if son.BlocksRead >= soff.BlocksRead {
+			t.Errorf("%s: xor on read %d blocks, off read %d — the collapse is the whole point",
+				label, son.BlocksRead, soff.BlocksRead)
+		}
+		// Neutralize the fields the flag is expected to move — the combined
+		// transfer counts as one BlocksRead where the slow path counted each
+		// slot — then demand byte-identical protocol counters.
+		soff.XORReads, son.XORReads = 0, 0
+		soff.BlocksRead, son.BlocksRead = 0, 0
+		if soff != son {
+			t.Errorf("%s: xor on/off stats diverged:\n off: %+v\n  on: %+v", label, soff, son)
+		}
+	}
+}
+
+// TestXORRemoteSlotsCovered proves the fast path exercises AB-ORAM's
+// remote/guest slot indirection, not just plain in-bucket reads: the
+// DeadQ-backed sweep shape under XORRead must both redirect reads to
+// remote slots and collapse them into combined transfers.
+func TestXORRemoteSlotsCovered(t *testing.T) {
+	cfg := SweepConfigs(8, 3, 7)[4] // cb-drRemote
+	if cfg.Label != "cb-drRemote" {
+		t.Fatalf("sweep shape 4 is %q, want cb-drRemote", cfg.Label)
+	}
+	cfg.Config.XORRead = true
+	tgt, err := NewRingTarget(cfg.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := GenOps(0xd15c, 800, tgt.NumBlocks())
+	if d := RunTarget(tgt, ops); d != nil {
+		t.Fatalf("cb-drRemote (xor on) diverged: %s", d)
+	}
+	st := tgt.(*ringTarget).o.Stats()
+	if st.RemoteReads == 0 {
+		t.Fatal("workload never hit a remote slot; the shape no longer covers dead-region allocation")
+	}
+	if st.XORReads == 0 {
+		t.Fatal("xor-on run recorded no combined transfers")
+	}
+}

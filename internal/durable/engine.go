@@ -379,6 +379,16 @@ func (e *Engine) Read(block int64) ([]byte, error) {
 	return e.oram.Read(block)
 }
 
+// ReadXOR fetches a block's content as an online-transfer payload
+// (server.XORReader). Reads mutate no durable content, so — like Read —
+// nothing is logged.
+func (e *Engine) ReadXOR(block int64) (*aboram.XORResult, error) {
+	if e.failed != nil {
+		return nil, e.failed
+	}
+	return e.oram.ReadXOR(block)
+}
+
 // Write applies, logs, and (per the sync policy) fsyncs one mutating op
 // with no request id. On a nil return under the default policy the write
 // is durable; under GroupCommit durability arrives at the next BatchSync

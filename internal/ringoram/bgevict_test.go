@@ -82,6 +82,63 @@ func TestBGEvictionTriggerAndHysteresis(t *testing.T) {
 // empty stash (or demonstrate the loop cap). This is the exact-bound
 // case of the >= comparison — an off-by-one to > would leave single
 // residents behind and fail here.
+// TestBGEvictionSaturationCounted pins the saturation statistic: with the
+// EvictPath interval stretched far past what 64 dummy accesses can reach,
+// the background loop hits its cap with the stash still over threshold on
+// essentially every access, and BGEvictSaturated must count exactly those
+// accesses — the post-loop "stash still >= threshold" condition. Before
+// the counter existed this misconfiguration was silent.
+func TestBGEvictionSaturationCounted(t *testing.T) {
+	cfg := bgCfg(1)
+	cfg.A = 200 // evictions ~never fire inside one 64-iteration loop
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for i := 0; i < 300; i++ {
+		before := o.Stats().BGEvictSaturated
+		if _, err := o.Access(int64(r.Uint64n(uint64(cfg.NumBlocks)))); err != nil {
+			t.Fatal(err)
+		}
+		delta := o.Stats().BGEvictSaturated - before
+		over := o.Stash().Size() >= cfg.BGEvictThreshold
+		switch {
+		case over && delta != 1:
+			t.Fatalf("access %d ended over threshold but BGEvictSaturated moved by %d", i, delta)
+		case !over && delta != 0:
+			t.Fatalf("access %d ended under threshold but BGEvictSaturated moved by %d", i, delta)
+		}
+	}
+	if o.Stats().BGEvictSaturated == 0 {
+		t.Fatal("degenerate (threshold=1, A=200) config never saturated the background loop")
+	}
+}
+
+// TestBGEvictionNoSaturationOnHealthyConfig is the other side: a config
+// whose loop converges must never count a saturation.
+func TestBGEvictionNoSaturationOnHealthyConfig(t *testing.T) {
+	cfg := bgCfg(6)
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	capped := false
+	for i := 0; i < 1500; i++ {
+		before := o.Stats().DummyAccesses
+		if _, err := o.Access(int64(r.Uint64n(uint64(cfg.NumBlocks)))); err != nil {
+			t.Fatal(err)
+		}
+		if int(o.Stats().DummyAccesses-before) >= maxDummyLoop {
+			capped = true
+		}
+	}
+	if !capped && o.Stats().BGEvictSaturated != 0 {
+		t.Fatalf("loop never hit its cap yet BGEvictSaturated = %d", o.Stats().BGEvictSaturated)
+	}
+}
+
 func TestBGEvictionExactBound(t *testing.T) {
 	cfg := bgCfg(1)
 	o, err := New(cfg)

@@ -18,6 +18,8 @@ package ringoram
 
 import (
 	"fmt"
+
+	"repro/internal/secmem"
 )
 
 // SlotRef identifies one physical bucket slot, the unit tracked by the
@@ -40,6 +42,19 @@ type DataPlane interface {
 	ReadBlock(addr uint64) ([]byte, error)
 	// WriteBlock stores content at a physical block address.
 	WriteBlock(addr uint64, data []byte) error
+}
+
+// XORDataPlane extends DataPlane with Ring ORAM's XOR technique: one
+// ReadPath's real slot plus its reserved-dummy slots collapse into a
+// single combined block transfer (secmem implements it over encrypted
+// known-plaintext dummies). Config.XORRead requires the data plane, when
+// present, to implement this interface.
+type XORDataPlane interface {
+	DataPlane
+	// ReadBlocksXOR combines the ciphertexts at the real and dummy
+	// physical addresses into one block-sized payload, returning the wire
+	// envelope and the verified plaintext of the real block.
+	ReadBlocksXOR(realAddr uint64, dummyAddrs []uint64) (*secmem.XORRead, []byte, error)
 }
 
 // RemoteAllocator is the AB-ORAM dead-block pool. The engine offers dead
@@ -104,6 +119,17 @@ type Config struct {
 	// runs the protocol pattern-only (the mode used by the timing
 	// experiments).
 	Data DataPlane
+
+	// XORRead enables Ring ORAM's XOR online fast path: the ReadPath's
+	// per-bucket block reads collapse into one combined transfer (the
+	// server XORs the real ciphertext with the reserved-dummy ciphertexts,
+	// the client peels with locally regenerated CTR pads). Green blocks —
+	// compaction fallbacks whose real content must reach the stash — keep
+	// individual transfers. With a non-nil Data, it must implement
+	// XORDataPlane; with Data == nil the flag still collapses the modeled
+	// memory traffic, which is how the timing experiments quantify the
+	// bandwidth win.
+	XORRead bool
 
 	// TrackLifetimes enables per-slot death timestamps for the dead-block
 	// lifetime study (Fig 12); costs 8 bytes per slot.

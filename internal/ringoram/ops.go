@@ -22,6 +22,16 @@ type remoteSlot struct {
 // misconfiguration into a visible statistic instead of a hang.
 const maxDummyLoop = 64
 
+// consumeSlot classifications, recorded in o.lastConsumed so readPath can
+// route each off-chip read: dummies and the target ride the combined XOR
+// transfer, greens keep individual transfers (their content must reach the
+// stash, breaking the one-real-block-per-path invariant XOR relies on).
+const (
+	consumedDummy uint8 = iota
+	consumedTarget
+	consumedGreen
+)
+
 // Access services one user request (load and store are identical — the
 // indistinguishability is the point). The returned ops are valid until the
 // next Access call.
@@ -100,6 +110,12 @@ func (o *ORAM) access(block int64, newData []byte) ([]byte, []memop.Op, error) {
 	for i := 0; o.cfg.BGEvictThreshold > 0 && o.st.Size() >= o.cfg.BGEvictThreshold && i < maxDummyLoop; i++ {
 		o.dummyAccess()
 	}
+	// The loop's post-condition: the stash is still over threshold exactly
+	// when the cap cut the loop short. Silent saturation hides a
+	// misconfigured (threshold, A, Y) triple, so count it.
+	if o.cfg.BGEvictThreshold > 0 && o.st.Size() >= o.cfg.BGEvictThreshold {
+		o.stats.BGEvictSaturated++
+	}
 	o.servedLevel = served
 	if o.dataErr != nil {
 		err := o.dataErr
@@ -150,12 +166,25 @@ func (o *ORAM) trigger(b int64) int {
 func (o *ORAM) now() uint64 { return o.stats.OnlineAccesses }
 
 // readPath implements the ReadPath operation: a metadata access for every
-// bucket along the path followed by exactly one block read per bucket.
-// target < 0 performs a dummy access.
+// bucket along the path followed by exactly one block read per bucket —
+// or, with Config.XORRead, one combined block transfer for the real slot
+// plus all dummy slots (green blocks keep individual reads). target < 0
+// performs a dummy access.
 func (o *ORAM) readPath(p int64, target int64, kind memop.Kind) {
 	metaOp := memop.Op{Kind: kind}
 	blockOp := memop.Op{Kind: kind}
 	o.servedLevel = -1
+	xor := o.cfg.XORRead
+	if xor {
+		o.xorDummies = o.xorDummies[:0]
+		o.xorHasReal = false
+	}
+	capture := kind == memop.KindReadPath
+	if capture {
+		o.online.Blocks = o.online.Blocks[:0]
+		o.online.Real = -1
+		o.online.Env = nil
+	}
 	o.bufA = o.geom.PathBuckets(p, o.bufA[:0])
 	for lvl, b := range o.bufA {
 		offChip := lvl >= o.cfg.TreetopLevels
@@ -166,8 +195,28 @@ func (o *ORAM) readPath(p int64, target int64, kind memop.Kind) {
 		addr, ok := o.touchBucket(b, lvl, target)
 		if offChip {
 			if ok {
-				blockOp.Reads = append(blockOp.Reads, addr)
-				o.stats.BlocksRead++
+				individual := true
+				if xor {
+					switch o.lastConsumed {
+					case consumedDummy:
+						o.xorDummies = append(o.xorDummies, addr)
+						individual = false
+					case consumedTarget:
+						o.xorRealAddr = addr
+						o.xorHasReal = true
+						individual = false
+					}
+				}
+				if individual {
+					blockOp.Reads = append(blockOp.Reads, addr)
+					o.stats.BlocksRead++
+				}
+				if capture {
+					o.online.Blocks = append(o.online.Blocks, addr)
+					if o.lastConsumed == consumedTarget {
+						o.online.Real = len(o.online.Blocks) - 1
+					}
+				}
 			}
 			blockOp.Writes = append(blockOp.Writes, o.metaAddr(b))
 			o.stats.MetaWrites++
@@ -177,6 +226,30 @@ func (o *ORAM) readPath(p int64, target int64, kind memop.Kind) {
 		// allocator's queues during the metadata access.
 		if o.cfg.Allocator != nil {
 			o.gatherDeads(b, lvl)
+		}
+	}
+	if xor && (o.xorHasReal || len(o.xorDummies) > 0) {
+		// The combined transfer: one block crosses the bus regardless of
+		// path length. Its address is the real slot's when present (remote
+		// and guest slots naturally contribute their donor-bucket address),
+		// else the first dummy's.
+		combined := o.xorRealAddr
+		if !o.xorHasReal {
+			combined = o.xorDummies[0]
+		}
+		blockOp.Reads = append(blockOp.Reads, combined)
+		o.stats.BlocksRead++
+		o.stats.XORReads++
+		if o.xorHasReal && o.cfg.Data != nil && o.dataErr == nil {
+			env, data, err := o.xdp.ReadBlocksXOR(o.xorRealAddr, o.xorDummies)
+			if err != nil {
+				o.dataErr = err
+			} else {
+				o.stashData[o.xorRealBlk] = data
+				if capture {
+					o.online.Env = env
+				}
+			}
 		}
 	}
 	o.ops = append(o.ops, metaOp, blockOp)
@@ -318,13 +391,23 @@ func (o *ORAM) consumeSlot(b int64, lvl, pick int, target int64) uint64 {
 		// Real content: the target joins the stash under its (already
 		// remapped) position-map path; a green block keeps its mapping.
 		o.st.Put(blk, o.pos.Peek(blk))
-		if o.cfg.Data != nil {
+		// With the XOR fast path, an off-chip target's content arrives via
+		// the combined transfer at the end of readPath instead of an
+		// individual data-plane read.
+		deferred := o.cfg.XORRead && blk == target && lvl >= o.cfg.TreetopLevels
+		if o.cfg.Data != nil && !deferred {
 			o.loadPayload(blk, o.slotAddr(host.Bucket, host.Slot))
 		}
 		if blk != target {
 			o.stats.GreenBlocks++
+			o.lastConsumed = consumedGreen
+		} else {
+			o.lastConsumed = consumedTarget
+			o.xorRealBlk = blk
 		}
 		o.slotBlock[idx] = dummyBlock
+	} else {
+		o.lastConsumed = consumedDummy
 	}
 	o.setFlags(idx, false, statusDead)
 	if o.slotDeadAt != nil {

@@ -6,10 +6,23 @@ import (
 	"repro/internal/memop"
 	"repro/internal/posmap"
 	"repro/internal/rng"
+	"repro/internal/secmem"
 	"repro/internal/stash"
 	"repro/internal/stats"
 	"repro/internal/tree"
 )
+
+// OnlineRead describes the most recent online ReadPath's off-chip block
+// transfer. The serving layer uses it to model what actually crosses the
+// memory bus per read: with the XOR fast path, one combined block (Env
+// carries the envelope the remote client peels); without it, one block per
+// off-chip bucket. Blocks aliases internal scratch and is valid only until
+// the next access.
+type OnlineRead struct {
+	Blocks []uint64        // physical addresses read off-chip along the path
+	Real   int             // index in Blocks of the real target's read; -1 = stash hit or on-chip
+	Env    *secmem.XORRead // XOR envelope when the combined transfer carried the real block
+}
 
 // Slot status values. Table I's status field names three states
 // (REFRESHED, ALLOCATED, DEAD); the implementation splits ALLOCATED into
@@ -51,6 +64,9 @@ type Stats struct {
 	BlocksWritten uint64
 	MetaReads     uint64
 	MetaWrites    uint64
+
+	XORReads         uint64 // ReadPaths collapsed into one combined transfer
+	BGEvictSaturated uint64 // accesses where the dummy loop hit its cap with the stash still over threshold
 }
 
 // ORAM is a Ring ORAM instance (optionally with compaction, IR-style Z'
@@ -88,6 +104,22 @@ type ORAM struct {
 	// blocks, keyed by block ID, plus the first deferred storage error.
 	stashData map[int64][]byte
 	dataErr   error
+
+	// XOR fast-path state (Config.XORRead). xdp is Data's XOR extension
+	// (nil when Data is nil); the rest is per-ReadPath scratch: the dummy
+	// addresses accumulated for the combined transfer, the real slot's
+	// address/block when it was deferred to that transfer, and the last
+	// consumeSlot classification.
+	xdp          XORDataPlane
+	xorDummies   []uint64
+	xorRealAddr  uint64
+	xorRealBlk   int64
+	xorHasReal   bool
+	lastConsumed uint8
+
+	// online captures the most recent online ReadPath's off-chip transfer
+	// for serving layers that re-ship it to a remote client.
+	online OnlineRead
 
 	stats      Stats
 	reshufPerL *stats.LevelTally // EarlyReshuffles per level (Fig 10)
@@ -154,6 +186,13 @@ func New(cfg Config) (*ORAM, error) {
 	}
 	if cfg.Data != nil {
 		o.stashData = make(map[int64][]byte)
+	}
+	if cfg.XORRead && cfg.Data != nil {
+		xdp, ok := cfg.Data.(XORDataPlane)
+		if !ok {
+			return nil, fmt.Errorf("ringoram: XORRead requires a data plane implementing XORDataPlane")
+		}
+		o.xdp = xdp
 	}
 	nb := g.NumBuckets()
 	o.count = make([]uint16, nb)
@@ -251,6 +290,11 @@ func (o *ORAM) DeadBlocks() uint64 { return o.deadPerL.Total() }
 // LifetimeAt returns the min/avg/max dead-block lifetime tracker for a
 // level (Fig 12); only populated with Config.TrackLifetimes.
 func (o *ORAM) LifetimeAt(level int) stats.MinAvgMax { return o.lifetimes[level] }
+
+// LastOnline returns the off-chip transfer description of the most recent
+// online ReadPath. The Blocks slice aliases internal scratch: it is valid
+// only until the next access.
+func (o *ORAM) LastOnline() OnlineRead { return o.online }
 
 // LastServedLevel returns the tree level whose bucket delivered the real
 // block on the most recent online access, or -1 when the block came from

@@ -30,8 +30,9 @@ type Memory struct {
 	versions []uint64 // per-block write counter (IV component)
 	written  []bool   // blocks that have been written at least once
 	tree     *merkle.Tree
+	scratch  []byte // authInput assembly buffer (hashed immediately, never retained)
 
-	Reads, Writes, Verifies uint64
+	Reads, Writes, Verifies, XORReads uint64
 }
 
 // New builds a store of n blocks of blockB bytes under the given 16-byte
@@ -59,6 +60,7 @@ func New(n int64, blockB int, key []byte) (*Memory, error) {
 		versions: make([]uint64, n),
 		written:  make([]bool, n),
 		tree:     tree,
+		scratch:  make([]byte, 16+blockB),
 	}
 	// Unwritten blocks read back as zeros without verification, so the
 	// initial tree (all empty leaves) needs no O(n log n) hashing pass —
@@ -77,19 +79,34 @@ func (m *Memory) Root() merkle.Digest { return m.tree.Root() }
 
 // keystream XORs data in place with the CTR keystream for (block, version).
 func (m *Memory) keystream(idx int64, version uint64, data []byte) {
+	xorKeystream(m.block, idx, version, data)
+}
+
+// xorKeystream XORs data in place with the CTR keystream for (block,
+// version) under an arbitrary AES instance. The client side of the XOR
+// online fast path uses it to regenerate dummy pads without a Memory.
+func xorKeystream(b cipher.Block, idx int64, version uint64, data []byte) {
 	var iv [aes.BlockSize]byte
 	binary.LittleEndian.PutUint64(iv[0:8], uint64(idx))
 	binary.LittleEndian.PutUint64(iv[8:16], version)
-	cipher.NewCTR(m.block, iv[:]).XORKeyStream(data, data)
+	cipher.NewCTR(b, iv[:]).XORKeyStream(data, data)
 }
 
 // authInput binds ciphertext to its position and version, so relocating or
 // replaying ciphertext fails verification.
 func (m *Memory) authInput(idx int64) []byte {
-	buf := make([]byte, 16+m.blockB)
+	return m.authInputFor(idx, m.versions[idx], m.ciphertext(idx))
+}
+
+// authInputFor assembles the (position, version, ciphertext) binding into
+// the shared scratch buffer. The Merkle tree hashes its input immediately
+// and never retains the slice, so reusing one buffer is safe — and removes
+// a per-access heap allocation from the hottest path (every Write reauths).
+func (m *Memory) authInputFor(idx int64, version uint64, ct []byte) []byte {
+	buf := m.scratch
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(idx))
-	binary.LittleEndian.PutUint64(buf[8:16], m.versions[idx])
-	copy(buf[16:], m.ciphertext(idx))
+	binary.LittleEndian.PutUint64(buf[8:16], version)
+	copy(buf[16:], ct)
 	return buf
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/rng"
+	"repro/internal/secmem"
 	"repro/internal/server/wire"
 )
 
@@ -75,6 +76,12 @@ type ClientConfig struct {
 	// BreakerCooldown is how long an open breaker fails fast before
 	// letting one half-open probe through. Default 500ms.
 	BreakerCooldown time.Duration
+	// XORKey, when set (16 bytes), switches Read to the protocol-v3
+	// OpXRead online fast path: the server answers with a single XORed
+	// block plus pad descriptors, and the client peels the dummy pads
+	// locally by regenerating their keystreams under this key (the
+	// store's AES-128 data key). Leave nil for plain OpRead.
+	XORKey []byte
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -106,6 +113,14 @@ type ClientStats struct {
 
 	BreakerOpens     uint64 // closed/half-open → open transitions
 	BreakerFastFails uint64 // ops failed fast while the breaker was open
+
+	// ReadOps / ReadBytes account the online read traffic actually
+	// carried on the wire: every successful Read counts one op plus the
+	// response payload's size in bytes (the XRead envelope for XOR-mode
+	// clients, the raw block for plain ones). ReadBytes / ReadOps is the
+	// per-read online transfer the XOR fast path is meant to collapse.
+	ReadOps   uint64
+	ReadBytes uint64
 }
 
 // Client is a wire-protocol connection to an aboramd server with
@@ -147,6 +162,9 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 
 // DialConfig connects to an aboramd address with full configuration.
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.XORKey != nil && len(cfg.XORKey) != 16 {
+		return nil, fmt.Errorf("server: XOR key must be 16 bytes, got %d", len(cfg.XORKey))
+	}
 	cfg = cfg.withDefaults()
 	dialer := cfg.Dialer
 	if dialer == nil {
@@ -405,13 +423,48 @@ func (c *Client) Access(block int64) error {
 	return err
 }
 
-// Read obliviously fetches a block's content.
+// Read obliviously fetches a block's content. With an XORKey configured
+// it rides the OpXRead online fast path and peels the XOR envelope
+// locally; otherwise it is a plain OpRead.
 func (c *Client) Read(block int64) ([]byte, error) {
+	if c.cfg.XORKey != nil {
+		return c.readXOR(block)
+	}
 	resp, err := c.roundTrip(wire.Request{Op: wire.OpRead, Block: block})
 	if err != nil {
 		return nil, err
 	}
+	c.stats.ReadOps++
+	c.stats.ReadBytes += uint64(len(resp.Data))
 	return resp.Data, nil
+}
+
+// readXOR fetches a block over OpXRead and recovers the plaintext from
+// whichever transfer shape the server chose: inline plaintext (stash or
+// treetop hit), the baseline per-bucket path transfer, or the XOR fast
+// path's single combined block, peeled with the client-held data key.
+func (c *Client) readXOR(block int64) ([]byte, error) {
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpXRead, Block: block})
+	if err != nil {
+		return nil, err
+	}
+	c.stats.ReadOps++
+	c.stats.ReadBytes += uint64(len(resp.Data))
+	x, err := wire.DecodeXRead(resp.Data)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Mode {
+	case wire.XReadInline:
+		return x.Data, nil
+	case wire.XReadPath:
+		if x.RealPos < 0 || x.RealPos >= len(x.Blocks) {
+			return nil, fmt.Errorf("server: xread real position %d outside path of %d blocks", x.RealPos, len(x.Blocks))
+		}
+		return x.Blocks[x.RealPos], nil
+	default: // wire.XReadXOR, DecodeXRead admits nothing else
+		return secmem.PeelPayload(c.cfg.XORKey, x.Env)
+	}
 }
 
 // Write obliviously stores a block's content.

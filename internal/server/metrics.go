@@ -22,7 +22,7 @@ type metrics struct {
 	rej        uint64
 	shedCount  uint64
 	canc       uint64
-	byOp       [3]uint64 // served, indexed by opKind
+	byOp       [4]uint64 // served, indexed by opKind
 	dupHits    uint64
 	batches    uint64
 	maxBatch   int
@@ -96,6 +96,7 @@ type Metrics struct {
 	Accesses uint64 // served pattern-only accesses
 	Reads    uint64 // served reads
 	Writes   uint64 // served writes
+	XReads   uint64 // served online-transfer (OpXRead) reads
 
 	// GroupSyncs counts batch-end fsyncs issued under group commit;
 	// DeferredWrites counts the write acks they covered (DeferredWrites /
@@ -116,7 +117,7 @@ type Metrics struct {
 }
 
 // Served returns the total number of requests served by the scheduler.
-func (m Metrics) Served() uint64 { return m.Accesses + m.Reads + m.Writes }
+func (m Metrics) Served() uint64 { return m.Accesses + m.Reads + m.Writes + m.XReads }
 
 // Metrics returns a snapshot of the scheduler counters.
 func (s *Server) Metrics() Metrics {
@@ -133,6 +134,7 @@ func (s *Server) Metrics() Metrics {
 		Accesses:        m.byOp[opAccess],
 		Reads:           m.byOp[opRead],
 		Writes:          m.byOp[opWrite],
+		XReads:          m.byOp[opXRead],
 		Batches:         m.batches,
 		MeanBatch:       m.sizes.Mean(),
 		MaxBatch:        m.maxBatch,
@@ -158,6 +160,9 @@ func (m Metrics) Table(title string) *report.Table {
 	t.AddRow("accesses served", report.Uint(m.Accesses))
 	t.AddRow("reads served", report.Uint(m.Reads))
 	t.AddRow("writes served", report.Uint(m.Writes))
+	if m.XReads > 0 {
+		t.AddRow("xreads served", report.Uint(m.XReads))
+	}
 	t.AddRow("scheduler batches", report.Uint(m.Batches))
 	t.AddRow("mean batch size", report.Float(m.MeanBatch, 2))
 	t.AddRow("max batch size", report.Int(int64(m.MaxBatch)))

@@ -35,6 +35,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/aboram"
 )
 
 // Engine is the block store the scheduler serializes onto: the protocol
@@ -82,6 +84,15 @@ type BatchSyncer interface {
 	// GroupCommit reports whether writes are deferred (acknowledgment
 	// requires BatchSync).
 	GroupCommit() bool
+}
+
+// XORReader is implemented by engines that serve reads through the online
+// transfer surface (aboram.ORAM and the durable engine): the result
+// carries, alongside the plaintext, either the XOR fast path's combined
+// block + pad descriptors or the baseline per-bucket path transfer, which
+// the TCP front end ships to remote clients as an OpXRead response.
+type XORReader interface {
+	ReadXOR(block int64) (*aboram.XORResult, error)
 }
 
 // Errors returned by the admission path. ErrQueueFull and
@@ -160,10 +171,12 @@ const (
 	opAccess opKind = iota
 	opRead
 	opWrite
+	opXRead
 )
 
 type result struct {
 	data []byte
+	xres *aboram.XORResult // opXRead only
 	err  error
 }
 
@@ -172,6 +185,7 @@ type Server struct {
 	eng   Engine
 	ident IdentifiedEngine // eng, when it accepts request ids; else nil
 	group BatchSyncer      // eng, when group commit is active; else nil
+	xread XORReader        // eng, when it serves online-transfer reads; else nil
 	cfg   Config
 
 	reqs chan *request
@@ -204,6 +218,7 @@ func New(e Engine, cfg Config) *Server {
 		done: make(chan struct{}),
 	}
 	s.ident, _ = e.(IdentifiedEngine)
+	s.xread, _ = e.(XORReader)
 	if bs, ok := e.(BatchSyncer); ok && bs.GroupCommit() {
 		s.group = bs
 	}
@@ -227,13 +242,24 @@ func (s *Server) Config() Config { return s.cfg }
 
 // Access obliviously touches a block without transferring content.
 func (s *Server) Access(ctx context.Context, block int64) error {
-	_, err := s.submit(ctx, opAccess, 0, block, nil)
-	return err
+	return s.submit(ctx, opAccess, 0, block, nil).err
 }
 
 // Read obliviously fetches a block's content.
 func (s *Server) Read(ctx context.Context, block int64) ([]byte, error) {
-	return s.submit(ctx, opRead, 0, block, nil)
+	res := s.submit(ctx, opRead, 0, block, nil)
+	return res.data, res.err
+}
+
+// ReadXOR fetches a block's content as an online-transfer payload (XOR
+// combined block, baseline path transfer, or inline plaintext). Requires
+// the engine to implement XORReader.
+func (s *Server) ReadXOR(ctx context.Context, block int64) (*aboram.XORResult, error) {
+	if s.xread == nil {
+		return nil, errors.New("server: engine does not support XOR reads")
+	}
+	res := s.submit(ctx, opXRead, 0, block, nil)
+	return res.xres, res.err
 }
 
 // Write obliviously stores a block's content. The data slice is copied
@@ -247,8 +273,7 @@ func (s *Server) Write(ctx context.Context, block int64, data []byte) error {
 // with the write's WAL record so the retry-dedup window survives a crash;
 // other engines serve it as a plain Write. id 0 means unidentified.
 func (s *Server) WriteID(ctx context.Context, id uint64, block int64, data []byte) error {
-	_, err := s.submit(ctx, opWrite, id, block, append([]byte(nil), data...))
-	return err
+	return s.submit(ctx, opWrite, id, block, append([]byte(nil), data...)).err
 }
 
 // EstimatedWait predicts how long a newly admitted request would sit in
@@ -258,10 +283,11 @@ func (s *Server) EstimatedWait() time.Duration {
 	return time.Duration(int64(len(s.reqs)+1) * s.svcEWMA.Load())
 }
 
-// submit enqueues one operation and waits for its result or for ctx.
-func (s *Server) submit(ctx context.Context, op opKind, id uint64, block int64, data []byte) ([]byte, error) {
+// submit enqueues one operation and waits for its result or for ctx; any
+// failure travels in the result's err field.
+func (s *Server) submit(ctx context.Context, op opKind, id uint64, block int64, data []byte) result {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return result{err: err}
 	}
 	// Load shedding: if the queue is deep enough that the request's
 	// deadline will expire before the scheduler reaches it, refuse now —
@@ -269,7 +295,7 @@ func (s *Server) submit(ctx context.Context, op opKind, id uint64, block int64, 
 	if dl, ok := ctx.Deadline(); ok {
 		if est := s.EstimatedWait(); est > 0 && time.Until(dl) < est {
 			s.metrics.shed()
-			return nil, ErrDeadlineShed
+			return result{err: ErrDeadlineShed}
 		}
 	}
 	r := &request{ctx: ctx, op: op, id: id, block: block, data: data, resp: make(chan result, 1)}
@@ -277,7 +303,7 @@ func (s *Server) submit(ctx context.Context, op opKind, id uint64, block int64, 
 	s.admission.RLock()
 	if s.closed {
 		s.admission.RUnlock()
-		return nil, ErrClosed
+		return result{err: ErrClosed}
 	}
 	select {
 	case s.reqs <- r:
@@ -287,25 +313,24 @@ func (s *Server) submit(ctx context.Context, op opKind, id uint64, block int64, 
 	default:
 		s.admission.RUnlock()
 		s.metrics.rejected()
-		return nil, ErrQueueFull
+		return result{err: ErrQueueFull}
 	}
 
 	select {
 	case res := <-r.resp:
-		return res.data, res.err
+		return res
 	case <-ctx.Done():
 		if r.abandon() {
 			// The scheduler has not claimed this request and now never
 			// will execute it; the ctx error is the authoritative outcome.
-			return nil, ctx.Err()
+			return result{err: ctx.Err()}
 		}
 		// The scheduler claimed the request before we could abandon it:
 		// it is executing (or has executed) right now. Returning ctx.Err()
 		// here would report failure for an op that was applied — the
 		// retry-double-apply hazard — so wait for the real outcome; one
 		// engine op, not ctx, bounds this wait.
-		res := <-r.resp
-		return res.data, res.err
+		return <-r.resp
 	}
 }
 
@@ -408,6 +433,8 @@ func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 			res.err = s.eng.Access(r.block)
 		case opRead:
 			res.data, res.err = s.eng.Read(r.block)
+		case opXRead:
+			res.xres, res.err = s.xread.ReadXOR(r.block)
 		case opWrite:
 			if s.ident != nil {
 				res.err = s.ident.WriteIdentified(r.id, r.block, r.data)

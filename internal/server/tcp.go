@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/aboram"
 	"repro/internal/server/wire"
 )
 
@@ -264,6 +265,16 @@ func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response
 			return t.failure(err)
 		}
 		return wire.Response{Data: data}
+	case wire.OpXRead:
+		x, err := t.srv.ReadXOR(ctx, req.Block)
+		if err != nil {
+			return t.failure(err)
+		}
+		data, err := wire.EncodeXRead(xreadPayload(x))
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		return wire.Response{Data: data}
 	case wire.OpWrite:
 		if err := t.srv.WriteID(ctx, req.ID, req.Block, req.Data); err != nil {
 			return t.failure(err)
@@ -271,6 +282,20 @@ func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response
 		return wire.Response{}
 	default:
 		return wire.Response{Err: fmt.Sprintf("unsupported op %d", uint8(req.Op))}
+	}
+}
+
+// xreadPayload maps an engine XOR result onto the wire payload: the XOR
+// envelope when the fast path produced one, the baseline path transfer
+// when it modeled one, inline plaintext otherwise (stash/treetop hits).
+func xreadPayload(x *aboram.XORResult) wire.XReadPayload {
+	switch {
+	case x.Env != nil:
+		return wire.XReadPayload{Mode: wire.XReadXOR, Env: x.Env}
+	case x.PathBlocks != nil:
+		return wire.XReadPayload{Mode: wire.XReadPath, Blocks: x.PathBlocks, RealPos: x.RealPos}
+	default:
+		return wire.XReadPayload{Mode: wire.XReadInline, Data: x.Data}
 	}
 }
 

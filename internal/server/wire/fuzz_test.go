@@ -3,12 +3,14 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/secmem"
 )
 
-// FuzzWireDecode feeds arbitrary bytes to both frame decoders. Invariants:
-// no panic on any input, and any body that decodes must re-encode to the
-// identical bytes (the encoding is canonical), then decode again to an
-// equal value.
+// FuzzWireDecode feeds arbitrary bytes to the frame decoders — requests,
+// responses, and the v3 XRead payload codec. Invariants: no panic on any
+// input, and any body that decodes must re-encode to the identical bytes
+// (the encoding is canonical), then decode again to an equal value.
 func FuzzWireDecode(f *testing.F) {
 	seed := func(req Request) {
 		body, err := AppendRequest(nil, req)
@@ -27,6 +29,26 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{StatusError, 'o', 'o', 'p', 's'})
 	f.Add([]byte{StatusOverloaded, 0, 0, 5, 220}) // retry after 1500ms
 	f.Add([]byte{StatusOverloaded})               // truncated retry-after
+	// One seed per XRead response mode.
+	seedX := func(x XReadPayload) {
+		body, err := EncodeXRead(x)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	seedX(XReadPayload{Mode: XReadInline, Data: []byte("hello block")})
+	seedX(XReadPayload{Mode: XReadPath, RealPos: 1, Blocks: [][]byte{
+		bytes.Repeat([]byte{1}, 8), bytes.Repeat([]byte{2}, 8), bytes.Repeat([]byte{3}, 8),
+	}})
+	seedX(XReadPayload{Mode: XReadXOR, Env: &secmem.XORRead{
+		Real:        secmem.PadRef{Idx: 5, Version: 2},
+		RealWritten: true,
+		Pads:        []secmem.PadRef{{Idx: 1, Version: 1}, {Idx: 9, Version: 3}},
+		Payload:     bytes.Repeat([]byte{0xEE}, 16),
+	}})
+	f.Add([]byte{XReadXOR, 0, 0, 0, 0, 0, 0, 0, 1}) // truncated xor header
+	f.Add([]byte{XReadPath, 0, 2, 0, 0, 0, 8})      // path header, missing body
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		if req, err := DecodeRequest(body); err == nil {
@@ -52,6 +74,18 @@ func FuzzWireDecode(f *testing.F) {
 			}
 			if !bytes.Equal(re, body) {
 				t.Fatalf("response encoding not canonical:\n in % x\nout % x", body, re)
+			}
+		}
+		if x, err := DecodeXRead(body); err == nil {
+			re, err := EncodeXRead(x)
+			if err != nil {
+				t.Fatalf("decoded xread %+v does not re-encode: %v", x, err)
+			}
+			if !bytes.Equal(re, body) {
+				t.Fatalf("xread encoding not canonical:\n in % x\nout % x", body, re)
+			}
+			if _, err := DecodeXRead(re); err != nil {
+				t.Fatalf("re-encoded xread does not decode: %v", err)
 			}
 		}
 		// The info payload decoder must also never panic.

@@ -1,4 +1,4 @@
-// Package wire defines the binary protocol (v2) spoken between
+// Package wire defines the binary protocol (v3) spoken between
 // cmd/aboramd and its clients (cmd/abload, internal/server.Client).
 // Frames are length-prefixed so a stream socket can carry a sequence of
 // request/response pairs without ambiguity:
@@ -41,6 +41,11 @@ const (
 	// OpInfo asks for the store geometry (block count, block size,
 	// encryption flag); Block must be 0.
 	OpInfo Op = 4
+	// OpXRead (protocol v3) fetches a block's content as an online-transfer
+	// payload: the XOR fast path's combined block plus pad descriptors, the
+	// baseline per-bucket path transfer, or the inline plaintext — see the
+	// XRead codec in xread.go.
+	OpXRead Op = 5
 )
 
 // String returns the op's display name.
@@ -54,6 +59,8 @@ func (op Op) String() string {
 		return "write"
 	case OpInfo:
 		return "info"
+	case OpXRead:
+		return "xread"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -155,7 +162,7 @@ func DecodeRequest(body []byte) (Request, error) {
 // encoder and the decoder.
 func validateRequest(req Request) error {
 	switch req.Op {
-	case OpAccess, OpRead:
+	case OpAccess, OpRead, OpXRead:
 		if len(req.Data) != 0 {
 			return fmt.Errorf("wire: %s request carries %d payload bytes", req.Op, len(req.Data))
 		}

@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/secmem"
+)
+
+// Protocol v3 adds OpXRead, the online-transfer read: the response models
+// what actually crosses the memory bus for one oblivious read. Its OK
+// payload is self-describing, led by a mode byte:
+//
+//	inline := 0x00 | plaintext block
+//	path   := 0x01 | n uint16 | realPos uint16 | blockB uint16 | n x blockB blocks
+//	xor    := 0x02 | realIdx uint64 | realVer uint64 | written byte |
+//	          npads uint16 | npads x (idx uint64, ver uint64) | payload
+//
+// "inline" serves stash/treetop hits (only the plaintext exists), "path"
+// is the baseline (L+1)-block transfer when the server runs without the
+// XOR fast path, and "xor" is the fast path: one combined block plus the
+// (idx, version) pad descriptors the client needs to regenerate the CTR
+// dummy pads and peel (secmem.PeelPayload). All integers are big-endian,
+// and the encoding is canonical: every valid payload has exactly one byte
+// representation.
+
+// XRead response modes (the first payload byte).
+const (
+	XReadInline byte = 0
+	XReadPath   byte = 1
+	XReadXOR    byte = 2
+)
+
+// XReadPayload is the decoded body of an OpXRead OK response. Exactly one
+// of Data / Blocks / Env is populated, per Mode.
+type XReadPayload struct {
+	Mode    byte
+	Data    []byte          // XReadInline: the plaintext block
+	Blocks  [][]byte        // XReadPath: one block per off-chip bucket
+	RealPos int             // XReadPath: index of the real block in Blocks
+	Env     *secmem.XORRead // XReadXOR: combined block + pad descriptors
+}
+
+// EncodeXRead renders the canonical byte form of an XRead payload.
+func EncodeXRead(x XReadPayload) ([]byte, error) {
+	switch x.Mode {
+	case XReadInline:
+		if len(x.Data) == 0 || len(x.Data) > MaxData-1 {
+			return nil, fmt.Errorf("wire: inline xread block of %d bytes", len(x.Data))
+		}
+		out := make([]byte, 0, 1+len(x.Data))
+		return append(append(out, XReadInline), x.Data...), nil
+
+	case XReadPath:
+		n := len(x.Blocks)
+		if n == 0 || n > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: path xread with %d blocks", n)
+		}
+		if x.RealPos < 0 || x.RealPos >= n {
+			return nil, fmt.Errorf("wire: path xread real position %d of %d", x.RealPos, n)
+		}
+		blockB := len(x.Blocks[0])
+		if blockB == 0 || blockB > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: path xread block size %d", blockB)
+		}
+		total := 1 + 6 + n*blockB
+		if total > MaxData {
+			return nil, fmt.Errorf("wire: path xread payload %d bytes exceeds limit %d", total, MaxData)
+		}
+		out := make([]byte, 0, total)
+		out = append(out, XReadPath)
+		out = binary.BigEndian.AppendUint16(out, uint16(n))
+		out = binary.BigEndian.AppendUint16(out, uint16(x.RealPos))
+		out = binary.BigEndian.AppendUint16(out, uint16(blockB))
+		for _, b := range x.Blocks {
+			if len(b) != blockB {
+				return nil, fmt.Errorf("wire: path xread block of %d bytes, want %d", len(b), blockB)
+			}
+			out = append(out, b...)
+		}
+		return out, nil
+
+	case XReadXOR:
+		e := x.Env
+		if e == nil || len(e.Payload) == 0 {
+			return nil, fmt.Errorf("wire: xor xread without envelope")
+		}
+		if e.Real.Idx < 0 {
+			return nil, fmt.Errorf("wire: xor xread negative real index %d", e.Real.Idx)
+		}
+		if len(e.Pads) > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: xor xread with %d pads", len(e.Pads))
+		}
+		total := 1 + 8 + 8 + 1 + 2 + 16*len(e.Pads) + len(e.Payload)
+		if total > MaxData {
+			return nil, fmt.Errorf("wire: xor xread payload %d bytes exceeds limit %d", total, MaxData)
+		}
+		out := make([]byte, 0, total)
+		out = append(out, XReadXOR)
+		out = binary.BigEndian.AppendUint64(out, uint64(e.Real.Idx))
+		out = binary.BigEndian.AppendUint64(out, e.Real.Version)
+		if e.RealWritten {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(len(e.Pads)))
+		for _, p := range e.Pads {
+			if p.Idx < 0 {
+				return nil, fmt.Errorf("wire: xor xread negative pad index %d", p.Idx)
+			}
+			out = binary.BigEndian.AppendUint64(out, uint64(p.Idx))
+			out = binary.BigEndian.AppendUint64(out, p.Version)
+		}
+		return append(out, e.Payload...), nil
+
+	default:
+		return nil, fmt.Errorf("wire: unknown xread mode %d", x.Mode)
+	}
+}
+
+// DecodeXRead parses an OpXRead OK payload. Slices in the result alias
+// data.
+func DecodeXRead(data []byte) (XReadPayload, error) {
+	if len(data) == 0 {
+		return XReadPayload{}, fmt.Errorf("wire: empty xread payload")
+	}
+	if len(data) > MaxData {
+		return XReadPayload{}, fmt.Errorf("wire: xread payload %d bytes exceeds limit %d", len(data), MaxData)
+	}
+	switch data[0] {
+	case XReadInline:
+		if len(data) == 1 {
+			return XReadPayload{}, fmt.Errorf("wire: inline xread without block")
+		}
+		return XReadPayload{Mode: XReadInline, Data: data[1:], RealPos: -1}, nil
+
+	case XReadPath:
+		if len(data) < 7 {
+			return XReadPayload{}, fmt.Errorf("wire: truncated path xread header")
+		}
+		n := int(binary.BigEndian.Uint16(data[1:3]))
+		realPos := int(binary.BigEndian.Uint16(data[3:5]))
+		blockB := int(binary.BigEndian.Uint16(data[5:7]))
+		if n == 0 || blockB == 0 || realPos >= n {
+			return XReadPayload{}, fmt.Errorf("wire: invalid path xread header n=%d realPos=%d blockB=%d", n, realPos, blockB)
+		}
+		rest := data[7:]
+		if len(rest) != n*blockB {
+			return XReadPayload{}, fmt.Errorf("wire: path xread body %d bytes, want %d", len(rest), n*blockB)
+		}
+		blocks := make([][]byte, n)
+		for i := range blocks {
+			blocks[i] = rest[i*blockB : (i+1)*blockB]
+		}
+		return XReadPayload{Mode: XReadPath, Blocks: blocks, RealPos: realPos}, nil
+
+	case XReadXOR:
+		if len(data) < 20 {
+			return XReadPayload{}, fmt.Errorf("wire: truncated xor xread header")
+		}
+		realIdx := binary.BigEndian.Uint64(data[1:9])
+		realVer := binary.BigEndian.Uint64(data[9:17])
+		if realIdx > math.MaxInt64 {
+			return XReadPayload{}, fmt.Errorf("wire: xor xread real index overflow")
+		}
+		if data[17] > 1 {
+			return XReadPayload{}, fmt.Errorf("wire: xor xread written flag %d", data[17])
+		}
+		npads := int(binary.BigEndian.Uint16(data[18:20]))
+		rest := data[20:]
+		if len(rest) < 16*npads+1 {
+			return XReadPayload{}, fmt.Errorf("wire: xor xread body %d bytes, need > %d", len(rest), 16*npads)
+		}
+		env := &secmem.XORRead{
+			Real:        secmem.PadRef{Idx: int64(realIdx), Version: realVer},
+			RealWritten: data[17] == 1,
+		}
+		if npads > 0 {
+			env.Pads = make([]secmem.PadRef, npads)
+			for i := 0; i < npads; i++ {
+				idx := binary.BigEndian.Uint64(rest[i*16 : i*16+8])
+				if idx > math.MaxInt64 {
+					return XReadPayload{}, fmt.Errorf("wire: xor xread pad index overflow")
+				}
+				env.Pads[i] = secmem.PadRef{
+					Idx:     int64(idx),
+					Version: binary.BigEndian.Uint64(rest[i*16+8 : i*16+16]),
+				}
+			}
+		}
+		env.Payload = rest[16*npads:]
+		return XReadPayload{Mode: XReadXOR, Env: env, RealPos: -1}, nil
+
+	default:
+		return XReadPayload{}, fmt.Errorf("wire: unknown xread mode %d", data[0])
+	}
+}

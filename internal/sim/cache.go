@@ -45,10 +45,10 @@ func jobKey(p Params, j Job) string {
 // scalar fields in a fixed order, per-level maps with sorted keys, and
 // the allocator/data plane via CacheKeyer or pointer identity.
 func writeConfigKey(b *strings.Builder, cfg ringoram.Config) {
-	fmt.Fprintf(b, "L%d z'%d s%d a%d y%d n%d blk%d stash%d bg%d top%d r%d life%v seed%d",
+	fmt.Fprintf(b, "L%d z'%d s%d a%d y%d n%d blk%d stash%d bg%d top%d r%d life%v xor%v seed%d",
 		cfg.Levels, cfg.ZPrime, cfg.S, cfg.A, cfg.Y, cfg.NumBlocks, cfg.BlockB,
 		cfg.StashCapacity, cfg.BGEvictThreshold, cfg.TreetopLevels, cfg.MaxRemote,
-		cfg.TrackLifetimes, cfg.Seed)
+		cfg.TrackLifetimes, cfg.XORRead, cfg.Seed)
 	writeLevelMap(b, "z'", cfg.ZPrimePerLevel)
 	writeLevelMap(b, "s", cfg.SPerLevel)
 	writeLevelMap(b, "st", cfg.STargetPerLevel)

@@ -42,6 +42,7 @@ func Registry() map[string]Runner {
 		"sweep":   RunSweep,
 		"verify":  RunVerify,
 		"serve":   RunServe,
+		"xor":     RunXOR,
 	}
 }
 

@@ -33,8 +33,10 @@ const serveBatchOn = 16
 
 // serveMode is one measured configuration of the serving stack.
 type serveMode struct {
-	label string
-	batch int
+	label     string
+	batch     int
+	xread     bool // clients read over OpXRead (protocol v3)
+	serverXOR bool // server engine runs the XOR online fast path
 }
 
 // serveResult is one mode's measurement.
@@ -44,7 +46,17 @@ type serveResult struct {
 	wall    time.Duration
 	lat     stats.LatencySummary
 	metrics server.Metrics
+	client  server.ClientStats
 	errors  int
+}
+
+// readBytesPerOp is the mean wire payload per successful read — the
+// online-transfer number the XOR fast path collapses from (L+1)·B to ~B.
+func (r serveResult) readBytesPerOp() float64 {
+	if r.client.ReadOps == 0 {
+		return 0
+	}
+	return float64(r.client.ReadBytes) / float64(r.client.ReadOps)
 }
 
 // RunServe benchmarks the concurrent serving layer: an encrypted AB-ORAM
@@ -59,8 +71,10 @@ func RunServe(p Params) ([]*report.Table, error) {
 		ops = serveWorkers // at least one op per worker
 	}
 	modes := []serveMode{
-		{"batching off", 1},
-		{"batching on", serveBatchOn},
+		{label: "batching off", batch: 1},
+		{label: "batching on", batch: serveBatchOn},
+		{label: "xread, xor off", batch: serveBatchOn, xread: true},
+		{label: "xread, xor on", batch: serveBatchOn, xread: true, serverXOR: true},
 	}
 
 	results := make([]serveResult, 0, len(modes))
@@ -72,8 +86,8 @@ func RunServe(p Params) ([]*report.Table, error) {
 		results = append(results, r)
 	}
 
-	head := report.New("serving layer: closed-loop load, batching off vs on",
-		"mode", "ops", "ops/s", "p50", "p95", "p99", "mean batch", "dup hits")
+	head := report.New("serving layer: closed-loop load, batching and XOR fast path",
+		"mode", "ops", "ops/s", "p50", "p95", "p99", "mean batch", "dup hits", "read B/op")
 	for _, r := range results {
 		head.AddRow(
 			r.mode.label,
@@ -84,9 +98,11 @@ func RunServe(p Params) ([]*report.Table, error) {
 			r.lat.P99.String(),
 			report.Float(r.metrics.MeanBatch, 2),
 			report.Uint(r.metrics.DupHits),
+			report.Float(r.readBytesPerOp(), 1),
 		)
 	}
 	head.AddNote("%d closed-loop clients over loopback TCP, zipf(s=1.1) blocks, 50%% reads, %d-level tree", serveWorkers, p.Levels)
+	head.AddNote("read B/op is the wire payload per read: xread xor-off ships the whole path ((L+1)·B per off-chip read), xor-on one XORed block plus pad descriptors")
 	head.AddNote("wall-clock measurement: numbers vary by machine and are excluded from -exp all")
 
 	tables := []*report.Table{head}
@@ -102,10 +118,12 @@ func RunServe(p Params) ([]*report.Table, error) {
 
 // runServeMode measures one coalescing configuration end to end.
 func runServeMode(p Params, m serveMode, ops int) (serveResult, error) {
+	key := []byte("0123456789abcdef") // bench-only demo key
 	o, err := aboram.New(aboram.Options{
 		Levels:        p.Levels,
 		Seed:          p.Seed,
-		EncryptionKey: []byte("0123456789abcdef"), // bench-only demo key
+		EncryptionKey: key,
+		XORRead:       m.serverXOR,
 	})
 	if err != nil {
 		return serveResult{}, err
@@ -132,9 +150,18 @@ func runServeMode(p Params, m serveMode, ops int) (serveResult, error) {
 	blockB := o.BlockSize()
 	root := rng.New(p.Seed)
 
+	var xorKey []byte
+	if m.xread {
+		// A key on the client switches Read to OpXRead; with the server's
+		// fast path off the response is the baseline path transfer, with it
+		// on the XOR envelope the client peels under this key.
+		xorKey = key
+	}
+
 	lat := new(stats.LatencyRecorder)
 	var mu sync.Mutex
 	totalErrs := 0
+	var cstats server.ClientStats
 	var firstErr error
 
 	var wg sync.WaitGroup
@@ -148,9 +175,11 @@ func runServeMode(p Params, m serveMode, ops int) (serveResult, error) {
 		wg.Add(1)
 		go func(nOps int, src *rng.Source) {
 			defer wg.Done()
-			errs, err := serveWorker(addr, nOps, n, blockB, src, lat)
+			cs, errs, err := serveWorker(addr, xorKey, nOps, n, blockB, src, lat)
 			mu.Lock()
 			totalErrs += errs
+			cstats.ReadOps += cs.ReadOps
+			cstats.ReadBytes += cs.ReadBytes
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -169,16 +198,17 @@ func runServeMode(p Params, m serveMode, ops int) (serveResult, error) {
 		wall:    wall,
 		lat:     lat.Summary(),
 		metrics: srv.Metrics(),
+		client:  cstats,
 		errors:  totalErrs,
 	}, nil
 }
 
 // serveWorker runs one closed-loop client connection. Per-op server
 // errors are counted; connection-level failures are fatal.
-func serveWorker(addr string, ops int, numBlocks uint64, blockB int, src *rng.Source, lat *stats.LatencyRecorder) (int, error) {
-	c, err := server.Dial(addr, 30*time.Second)
+func serveWorker(addr string, xorKey []byte, ops int, numBlocks uint64, blockB int, src *rng.Source, lat *stats.LatencyRecorder) (server.ClientStats, int, error) {
+	c, err := server.DialConfig(addr, server.ClientConfig{Timeout: 30 * time.Second, XORKey: xorKey})
 	if err != nil {
-		return 0, err
+		return server.ClientStats{}, 0, err
 	}
 	defer c.Close()
 	z := trace.NewZipf(src, 1.1, numBlocks)
@@ -201,5 +231,5 @@ func serveWorker(addr string, ops int, numBlocks uint64, blockB int, src *rng.So
 			errs++
 		}
 	}
-	return errs, nil
+	return c.Stats(), errs, nil
 }

@@ -6,7 +6,7 @@ import (
 )
 
 // TestRunServe runs the serving-layer bench end to end at a tiny scale:
-// both modes must produce the headline comparison plus per-mode scheduler
+// every mode must produce the headline comparison plus per-mode scheduler
 // counters.
 func TestRunServe(t *testing.T) {
 	p := Params{Levels: 8, Measure: 64, Seed: 1}
@@ -14,17 +14,18 @@ func TestRunServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 3 {
-		t.Fatalf("RunServe returned %d tables, want 3 (headline + 2 counter sets)", len(tables))
+	modes := []string{"batching off", "batching on", "xread, xor off", "xread, xor on"}
+	if len(tables) != len(modes)+1 {
+		t.Fatalf("RunServe returned %d tables, want %d (headline + counter sets)", len(tables), len(modes)+1)
 	}
 	head := tables[0]
-	if len(head.Rows) != 2 {
-		t.Fatalf("headline table has %d rows, want 2 modes", len(head.Rows))
+	if len(head.Rows) != len(modes) {
+		t.Fatalf("headline table has %d rows, want %d modes", len(head.Rows), len(modes))
 	}
-	if head.Rows[0][0] != "batching off" || head.Rows[1][0] != "batching on" {
-		t.Fatalf("unexpected mode labels: %q, %q", head.Rows[0][0], head.Rows[1][0])
-	}
-	for i, want := range []string{"batching off", "batching on"} {
+	for i, want := range modes {
+		if head.Rows[i][0] != want {
+			t.Errorf("headline row %d is %q, want %q", i, head.Rows[i][0], want)
+		}
 		if !strings.Contains(tables[i+1].Title, want) {
 			t.Errorf("counter table %d title %q missing %q", i+1, tables[i+1].Title, want)
 		}

@@ -141,6 +141,8 @@ func (s *Simulator) Finish() Result {
 	delta.BlocksWritten -= d0.BlocksWritten
 	delta.MetaReads -= d0.MetaReads
 	delta.MetaWrites -= d0.MetaWrites
+	delta.XORReads -= d0.XORReads
+	delta.BGEvictSaturated -= d0.BGEvictSaturated
 
 	bd := make(map[memop.Kind]uint64, len(s.breakdown))
 	for k, v := range s.breakdown {

@@ -14,7 +14,7 @@ import (
 // reports the distribution plus overflow counts (which must be zero).
 func RunStashStudy(p Params) ([]*report.Table, error) {
 	t := report.New("Stash occupancy by scheme (§VI-D correctness)",
-		"scheme", "mean", "p50", "p99", "max", "capacity", "overflows", "bg dummies/access")
+		"scheme", "mean", "p50", "p99", "max", "capacity", "overflows", "bg dummies/access", "bg saturated")
 	bounds := make([]float64, 0, 32)
 	for b := 2.0; b <= 512; b *= 1.3 {
 		bounds = append(bounds, b)
@@ -47,8 +47,10 @@ func RunStashStudy(p Params) ([]*report.Table, error) {
 			report.Int(int64(o.Stash().Peak())),
 			report.Int(int64(o.Config().StashCapacity)),
 			report.Uint(o.Stash().Overflows()),
-			report.Float(bg, 3))
+			report.Float(bg, 3),
+			report.Uint(st.BGEvictSaturated))
 	}
 	t.AddNote("overflows must be 0 for every scheme; CB-based schemes rely on background eviction (dummy insertion) to cap occupancy")
+	t.AddNote("bg saturated counts accesses whose background-eviction loop hit its iteration cap with the stash still over threshold — nonzero means the (threshold, A, Y) triple cannot keep up")
 	return []*report.Table{t}, nil
 }

@@ -4,37 +4,103 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/rng"
 )
 
-// LatencyRecorder collects request latencies and summarizes them as exact
+// defaultLatencyLimit bounds retained samples when the caller does not set
+// an explicit limit: 2^20 samples (8 MiB), far above any short bench run,
+// so quantiles stay exact where they used to be, while an unbounded soak
+// no longer grows the recorder without limit.
+const defaultLatencyLimit = 1 << 20
+
+// LatencyRecorder collects request latencies and summarizes them as
 // quantiles (p50/p95/p99). Unlike the rest of this package — which serves
 // the single-threaded simulator core — the recorder is safe for concurrent
 // use: the serving layer's load generators record from many worker
 // goroutines into one instance.
 //
-// Samples are retained individually (8 bytes each), so quantiles are exact
-// rather than bucket-bounded; a closed-loop load test of a few million
-// operations costs tens of megabytes, which is acceptable for a bench tool.
+// Retention is bounded: up to Limit samples (default 2^20) are kept
+// individually, so short runs get exact quantiles byte-identical to the
+// previous unbounded recorder. Past the bound, reservoir sampling
+// (Algorithm R) keeps a uniform sample of everything seen, so a soak test
+// of hundreds of millions of operations holds memory constant while the
+// quantiles remain unbiased estimates. Count, Mean, and Max always cover
+// every observation exactly — only the quantile sample is bounded.
 type LatencyRecorder struct {
+	// Limit caps retained samples; 0 means defaultLatencyLimit. Set it
+	// before the first Record — changing it later is undefined.
+	Limit int
+
 	mu      sync.Mutex
 	samples []time.Duration
+	seen    uint64        // total observations, including evicted ones
+	sum     time.Duration // running sum over all observations
+	max     time.Duration // running max over all observations
+	src     *rng.Source   // reservoir randomness, lazily seeded
+}
+
+func (r *LatencyRecorder) limit() uint64 {
+	if r.Limit > 0 {
+		return uint64(r.Limit)
+	}
+	return defaultLatencyLimit
+}
+
+// observe folds one observation in under r.mu.
+func (r *LatencyRecorder) observe(d time.Duration) {
+	r.seen++
+	r.sum += d
+	if d > r.max {
+		r.max = d
+	}
+	if uint64(len(r.samples)) < r.limit() {
+		r.samples = append(r.samples, d)
+		return
+	}
+	// Algorithm R: the new observation replaces a uniformly random
+	// retained sample with probability limit/seen.
+	if r.src == nil {
+		r.src = rng.New(r.seen ^ 0x1a7e9c)
+	}
+	if j := r.src.Uint64n(r.seen); j < uint64(len(r.samples)) {
+		r.samples[j] = d
+	}
 }
 
 // Record adds one latency observation.
 func (r *LatencyRecorder) Record(d time.Duration) {
 	r.mu.Lock()
-	r.samples = append(r.samples, d)
+	r.observe(d)
 	r.mu.Unlock()
 }
 
-// Merge folds another recorder's samples into r. The other recorder is
-// left unchanged.
+// Merge folds another recorder's observations into r. The other recorder
+// is left unchanged. Aggregates (count, mean, max) merge exactly; the
+// quantile sample absorbs the other recorder's retained samples through
+// the same bounded path as Record.
 func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
 	o.mu.Lock()
 	samples := append([]time.Duration(nil), o.samples...)
+	evicted := o.seen - uint64(len(o.samples))
+	extraSum := o.sum
+	extraMax := o.max
+	for _, d := range samples {
+		extraSum -= d
+	}
 	o.mu.Unlock()
+
 	r.mu.Lock()
-	r.samples = append(r.samples, samples...)
+	for _, d := range samples {
+		r.observe(d)
+	}
+	// Samples the other recorder already evicted cannot be replayed;
+	// account for them in the exact aggregates only.
+	r.seen += evicted
+	r.sum += extraSum
+	if extraMax > r.max {
+		r.max = extraMax
+	}
 	r.mu.Unlock()
 }
 
@@ -42,7 +108,7 @@ func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
 func (r *LatencyRecorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.seen)
 }
 
 // LatencySummary is a point-in-time digest of a recorder.
@@ -53,20 +119,20 @@ type LatencySummary struct {
 }
 
 // Summary computes the digest over everything recorded so far. Quantiles
-// use the nearest-rank definition on the sorted samples, so P50 of a
-// single observation is that observation.
+// use the nearest-rank definition on the sorted retained samples, so P50
+// of a single observation is that observation; below the retention bound
+// they are exact.
 func (r *LatencyRecorder) Summary() LatencySummary {
 	r.mu.Lock()
 	sorted := append([]time.Duration(nil), r.samples...)
+	seen := r.seen
+	sum := r.sum
+	max := r.max
 	r.mu.Unlock()
-	if len(sorted) == 0 {
+	if seen == 0 {
 		return LatencySummary{}
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var sum time.Duration
-	for _, d := range sorted {
-		sum += d
-	}
 	rank := func(q float64) time.Duration {
 		i := int(q*float64(len(sorted))+0.5) - 1
 		if i < 0 {
@@ -78,11 +144,11 @@ func (r *LatencyRecorder) Summary() LatencySummary {
 		return sorted[i]
 	}
 	return LatencySummary{
-		Count: len(sorted),
-		Mean:  sum / time.Duration(len(sorted)),
+		Count: int(seen),
+		Mean:  sum / time.Duration(seen),
 		P50:   rank(0.50),
 		P95:   rank(0.95),
 		P99:   rank(0.99),
-		Max:   sorted[len(sorted)-1],
+		Max:   max,
 	}
 }

@@ -58,6 +58,75 @@ func TestLatencyRecorderMerge(t *testing.T) {
 	}
 }
 
+// TestLatencyRecorderBounded checks the retention bound: aggregates
+// (count, mean, max) stay exact past the bound while the quantile sample
+// holds at Limit entries, uniformly drawn from everything seen.
+func TestLatencyRecorderBounded(t *testing.T) {
+	r := LatencyRecorder{Limit: 64}
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := r.Count(); got != n {
+		t.Fatalf("count %d, want %d", got, n)
+	}
+	if got := len(r.samples); got != 64 {
+		t.Fatalf("retained %d samples, want limit 64", got)
+	}
+	s := r.Summary()
+	if want := time.Duration(n*(n+1)/2) * time.Microsecond / n; s.Mean != want {
+		t.Errorf("mean = %v, want exact %v", s.Mean, want)
+	}
+	if want := n * time.Microsecond; s.Max != want {
+		t.Errorf("max = %v, want exact %v", s.Max, want)
+	}
+	// The reservoir is a uniform sample of 1..n µs: p50 must land well
+	// inside the middle half (a fair coin landing 64 heads in a row is
+	// beyond this seeded deterministic stream).
+	if s.P50 < n/4*time.Microsecond || s.P50 > 3*n/4*time.Microsecond {
+		t.Errorf("reservoir p50 = %v implausible for uniform 1..%dµs", s.P50, n)
+	}
+}
+
+// TestLatencyRecorderExactBelowBound pins the backward-compatibility
+// contract: a run under the default bound produces the same summary the
+// old unbounded recorder did (nearest-rank quantiles over every sample).
+func TestLatencyRecorderExactBelowBound(t *testing.T) {
+	var r LatencyRecorder
+	for i := 1; i <= 1000; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := r.Summary()
+	if s.P50 != 500*time.Microsecond || s.P95 != 950*time.Microsecond || s.P99 != 990*time.Microsecond {
+		t.Fatalf("quantiles not exact below bound: %+v", s)
+	}
+	if want := 500500 * time.Nanosecond; s.Mean != want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+}
+
+// TestLatencyRecorderMergeBounded checks that merging a recorder that
+// already evicted samples keeps the exact aggregates exact.
+func TestLatencyRecorderMergeBounded(t *testing.T) {
+	a := LatencyRecorder{Limit: 8}
+	b := LatencyRecorder{Limit: 8}
+	for i := 1; i <= 100; i++ {
+		b.Record(time.Duration(i) * time.Microsecond)
+	}
+	a.Record(1000 * time.Microsecond)
+	a.Merge(&b)
+	if got := a.Count(); got != 101 {
+		t.Fatalf("merged count %d, want 101", got)
+	}
+	s := a.Summary()
+	if want := (5050 + 1000) * time.Microsecond / 101; s.Mean != want {
+		t.Fatalf("merged mean = %v, want %v", s.Mean, want)
+	}
+	if s.Max != 1000*time.Microsecond {
+		t.Fatalf("merged max = %v, want 1000µs", s.Max)
+	}
+}
+
 // TestLatencyRecorderConcurrent exercises the locking under -race: many
 // goroutines record while another repeatedly summarizes.
 func TestLatencyRecorderConcurrent(t *testing.T) {
