@@ -27,6 +27,7 @@ fuzz:
 	go test -run='^$$' -fuzz='^FuzzCheckpointRoundTrip$$' -fuzztime=$(FUZZTIME) ./aboram
 	go test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=$(FUZZTIME) ./internal/trace
 	go test -run='^$$' -fuzz='^FuzzWireDecode$$' -fuzztime=$(FUZZTIME) ./internal/server/wire
+	go test -run='^$$' -fuzz='^FuzzShardRoute$$' -fuzztime=$(FUZZTIME) ./internal/server
 	go test -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/durable
 	go test -run='^$$' -fuzz='^FuzzXORPeel$$' -fuzztime=$(FUZZTIME) ./internal/secmem
 
@@ -37,11 +38,12 @@ crash:
 
 # Chaos soak: live daemon under kill -9 schedules, overload bursts, and a
 # network blackout, checked for exactly-once and zero acked loss
-# (internal/check RunSoak). SOAKTIME sets the per-incarnation wall budget
-# (e.g. SOAKTIME=30s); `make check` runs the -short variant.
+# (internal/check RunSoak) — run both unsharded and against a 2-shard
+# fleet with cross-shard apply checks. SOAKTIME sets the per-incarnation
+# wall budget (e.g. SOAKTIME=30s); `make check` runs the -short variant.
 SOAKTIME ?= 5s
 soak:
-	SOAKTIME=$(SOAKTIME) go test -race -count=1 -run '^TestChaosSoak$$' -v ./internal/check
+	SOAKTIME=$(SOAKTIME) go test -race -count=1 -run '^TestChaosSoak' -v ./internal/check
 
 # Serving layer: start a daemon on the default port, or drive one with the
 # closed-loop load generator (see README "Serving").

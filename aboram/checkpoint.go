@@ -1,9 +1,12 @@
 package aboram
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/ringoram"
@@ -41,6 +44,58 @@ func (o *ORAM) Save(w io.Writer) error {
 		img.DeadQ = o.dq.Snapshot()
 	}
 	return gob.NewEncoder(w).Encode(&img)
+}
+
+// Fingerprint returns a deterministic digest of the complete instance
+// state — everything Save captures. Save's byte stream is NOT canonical
+// (gob writes the stash and DeadQ maps in Go's randomized iteration
+// order), so state equality must be judged on fingerprints, not image
+// bytes: the maps are folded in here in sorted key order. Two instances
+// with equal fingerprints are byte-for-byte restorable to the same
+// state; the isolation checks in internal/check are built on this.
+func (o *ORAM) Fingerprint() ([sha256.Size]byte, error) {
+	var out [sha256.Size]byte
+	h := sha256.New()
+	enc := gob.NewEncoder(h)
+
+	cp := o.inner.Checkpoint()
+	stash := cp.StashData
+	cp.StashData = nil // folded canonically below
+	if err := enc.Encode(cp); err != nil {
+		return out, fmt.Errorf("aboram: fingerprinting protocol state: %w", err)
+	}
+	stashBlocks := make([]int64, 0, len(stash))
+	for blk := range stash {
+		stashBlocks = append(stashBlocks, blk)
+	}
+	sort.Slice(stashBlocks, func(i, j int) bool { return stashBlocks[i] < stashBlocks[j] })
+	for _, blk := range stashBlocks {
+		binary.Write(h, binary.BigEndian, blk)
+		binary.Write(h, binary.BigEndian, uint64(len(stash[blk])))
+		h.Write(stash[blk])
+	}
+
+	if o.mem != nil {
+		if err := enc.Encode(o.mem.State()); err != nil {
+			return out, fmt.Errorf("aboram: fingerprinting data plane: %w", err)
+		}
+	}
+	if o.dq != nil {
+		dq := o.dq.Snapshot()
+		levels := make([]int, 0, len(dq))
+		for lvl := range dq {
+			levels = append(levels, lvl)
+		}
+		sort.Ints(levels)
+		for _, lvl := range levels {
+			binary.Write(h, binary.BigEndian, int64(lvl))
+			if err := enc.Encode(dq[lvl]); err != nil {
+				return out, fmt.Errorf("aboram: fingerprinting DeadQ level %d: %w", lvl, err)
+			}
+		}
+	}
+	copy(out[:], h.Sum(nil))
+	return out, nil
 }
 
 // Load restores an instance saved with Save. opt must describe the same

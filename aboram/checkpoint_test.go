@@ -139,3 +139,59 @@ func TestFacadeLoadWrongKeyDetected(t *testing.T) {
 		}
 	}
 }
+
+// TestFingerprintDeterministic pins the fingerprint contract: repeated
+// calls on an unchanged instance agree (Save's gob bytes do not — maps
+// serialize in randomized order — which is the reason Fingerprint
+// exists), a Save/Load round trip preserves the fingerprint, and any
+// state change moves it.
+func TestFingerprintDeterministic(t *testing.T) {
+	opt := Options{Scheme: SchemeAB, Levels: 10, Seed: 5, EncryptionKey: key}
+	o, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 300; i++ {
+		if err := o.Access((i * 13) % o.NumBlocks()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp1, err := o.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := o.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint not deterministic on an unchanged instance:\n %x\n %x", fp1, fp2)
+	}
+
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := Load(opt, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp3, err := clone.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 != fp1 {
+		t.Fatalf("Save/Load round trip changed the fingerprint:\n before %x\n after  %x", fp1, fp3)
+	}
+
+	if err := o.Write(7, bytes.Repeat([]byte{0xd7}, o.BlockSize())); err != nil {
+		t.Fatal(err)
+	}
+	fp4, err := o.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp4 == fp1 {
+		t.Fatal("a write left the fingerprint unchanged")
+	}
+}

@@ -58,8 +58,9 @@ func main() {
 // workerResult is one worker's tally, merged after the run.
 type workerResult struct {
 	ops        int
-	errors     int // hard errors (op failed for a non-overload reason)
-	overloaded int // ops refused by server shedding or an open breaker
+	errors     int   // hard errors (op failed for a non-overload reason)
+	overloaded int   // ops refused by server shedding or an open breaker
+	shardOps   []int // ops per server shard (block mod shards), len = info.Shards
 	lat        *stats.LatencyRecorder
 	client     server.ClientStats
 	err        error // fatal worker error (dial/protocol), nil if it ran to completion
@@ -182,6 +183,7 @@ func run(args []string, out io.Writer) error {
 
 	lat := new(stats.LatencyRecorder)
 	total, errCount, overCount := 0, 0, 0
+	shardOps := make([]int, info.Shards)
 	var cstats server.ClientStats
 	for w, r := range results {
 		if r.err != nil {
@@ -190,6 +192,9 @@ func run(args []string, out io.Writer) error {
 		total += r.ops
 		errCount += r.errors
 		overCount += r.overloaded
+		for i, n := range r.shardOps {
+			shardOps[i] += n
+		}
 		cstats.Retries += r.client.Retries
 		cstats.Redials += r.client.Redials
 		cstats.Broken += r.client.Broken
@@ -209,6 +214,24 @@ func run(args []string, out io.Writer) error {
 	t.AddRow("distribution", distLabel(*dist, *zipfS))
 	t.AddRow("read fraction", report.Float(*readFrac, 2))
 	t.AddRow("operations completed", report.Int(int64(total)))
+	if info.Shards > 1 {
+		t.AddRow("server shards", report.Int(int64(info.Shards)))
+		minOps, maxOps := shardOps[0], shardOps[0]
+		for i, n := range shardOps {
+			t.AddRow(fmt.Sprintf("shard %d ops (blocks ≡ %d mod %d)", i, i, info.Shards), report.Int(int64(n)))
+			if n < minOps {
+				minOps = n
+			}
+			if n > maxOps {
+				maxOps = n
+			}
+		}
+		if mean := float64(total) / float64(info.Shards); mean > 0 {
+			t.AddRow("shard balance (max/mean)", report.Float(float64(maxOps)/mean, 2))
+			t.AddRow("shard balance (min/mean)", report.Float(float64(minOps)/mean, 2))
+		}
+		t.AddNote("shard of an op is block mod shards: per-shard traffic reveals exactly the low log2(shards) address bits")
+	}
 	if *xor {
 		t.AddRow("read path", "xread (XOR online fast path)")
 	}
@@ -263,7 +286,7 @@ func distLabel(dist string, s float64) string {
 // worker only when no faults were asked for — under -faults they are the
 // point of the exercise and are counted instead.
 func worker(cfg workerConfig, n int, info wire.InfoPayload, src *rng.Source) workerResult {
-	res := workerResult{lat: new(stats.LatencyRecorder)}
+	res := workerResult{lat: new(stats.LatencyRecorder), shardOps: make([]int, info.Shards)}
 	ccfg := server.ClientConfig{
 		Timeout:          cfg.timeout,
 		MaxAttempts:      1 + cfg.retries,
@@ -305,6 +328,9 @@ func worker(cfg workerConfig, n int, info wire.InfoPayload, src *rng.Source) wor
 
 	for i := 0; i < n; i++ {
 		blk := nextBlock()
+		if shard, _ := server.RouteBlock(blk, info.Shards); shard < len(res.shardOps) {
+			res.shardOps[shard]++
+		}
 		read := src.Float64() < cfg.readFrac
 		begin := time.Now()
 		if read {

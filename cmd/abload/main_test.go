@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net"
 	"regexp"
 	"testing"
@@ -192,5 +193,102 @@ func TestLoadBreakerColumns(t *testing.T) {
 		if !regexp.MustCompile(pat).MatchString(out) {
 			t.Errorf("breaker report missing /%s/:\n%s", pat, out)
 		}
+	}
+}
+
+// startShardedStack is startStack over a P-shard fleet: P same-geometry
+// trees behind a Sharded router and one TCP front end.
+func startShardedStack(t *testing.T, shards, batch int) (addr string, stop func()) {
+	t.Helper()
+	engines := make([]server.Engine, shards)
+	for i := range engines {
+		o, err := aboram.New(aboram.Options{
+			Levels:        8,
+			Seed:          server.ShardSeed(1, i),
+			EncryptionKey: []byte("0123456789abcdef"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = o
+	}
+	sh, err := server.NewSharded(engines, server.Config{Queue: 256, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsrv := server.NewTCP(sh, server.TCPConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- tsrv.Serve(ln) }()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		tsrv.Shutdown(ctx)
+		<-served
+		sh.Close()
+	}
+	return ln.Addr().String(), stop
+}
+
+// TestLoadShardBalance runs the generator against a 4-shard server and
+// checks the report gains the per-shard balance rows: one ops row per
+// shard summing to the total, plus the max/mean balance figure.
+func TestLoadShardBalance(t *testing.T) {
+	addr, stop := startShardedStack(t, 4, 8)
+	defer stop()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-workers", "4",
+		"-ops", "120",
+		"-dist", "uniform",
+		"-seed", "11",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("sharded run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	reportShape(t, out)
+	for _, pat := range []string{
+		`server shards\s+4\b`,
+		`shard 0 ops \(blocks ≡ 0 mod 4\)\s+\d`,
+		`shard 3 ops \(blocks ≡ 3 mod 4\)\s+\d`,
+		`shard balance \(max/mean\)\s+\d`,
+		`shard balance \(min/mean\)\s+\d`,
+	} {
+		if !regexp.MustCompile(pat).MatchString(out) {
+			t.Errorf("sharded report missing /%s/:\n%s", pat, out)
+		}
+	}
+	// The per-shard rows must partition the completed ops.
+	rows := regexp.MustCompile(`shard \d ops \(blocks ≡ \d mod 4\)\s+(\d+)`).FindAllStringSubmatch(out, -1)
+	if len(rows) != 4 {
+		t.Fatalf("found %d per-shard rows, want 4:\n%s", len(rows), out)
+	}
+	sum := 0
+	for _, m := range rows {
+		n := 0
+		fmt.Sscanf(m[1], "%d", &n)
+		sum += n
+	}
+	if sum != 120 {
+		t.Errorf("per-shard ops sum to %d, want 120:\n%s", sum, out)
+	}
+}
+
+// TestLoadUnshardedReportOmitsShardRows checks a 1-shard server keeps the
+// pre-sharding report shape.
+func TestLoadUnshardedReportOmitsShardRows(t *testing.T) {
+	addr, stop := startStack(t, 8)
+	defer stop()
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", addr, "-workers", "2", "-ops", "20"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if regexp.MustCompile(`server shards|shard \d ops`).MatchString(buf.String()) {
+		t.Errorf("unsharded report grew shard rows:\n%s", buf.String())
 	}
 }

@@ -1,19 +1,32 @@
-// Command aboramd serves one AB-ORAM instance over TCP: the deployment
-// shape the serving layer targets, with many clients multiplexed onto one
-// oblivious store through internal/server's batching scheduler.
+// Command aboramd serves AB-ORAM over TCP: the deployment shape the
+// serving layer targets, with many clients multiplexed onto oblivious
+// storage through internal/server's batching scheduler.
 //
 // Usage:
 //
 //	aboramd                                  # AB scheme, 12 levels, 127.0.0.1:7314
 //	aboramd -addr :7314 -levels 14 -batch 32 # bigger tree, wider coalescing
 //	aboramd -maxconns 64 -idle 30s           # front-end limits
+//	aboramd -shards 4                        # 4 trees, block b on shard b mod 4
+//
+// With -shards P the daemon partitions the block address space across P
+// independent ORAM trees (stable modulo routing), each behind its own
+// scheduler goroutine — throughput scales with cores because different
+// shards serve in parallel while each tree keeps the totally ordered
+// access sequence its obliviousness argument needs. The trade-off: the
+// shard index of every access is the low log2(P) bits of its block id,
+// visible to an observer of per-shard traffic (see README, "Sharded
+// serving"). -shards 1 (the default) is observationally identical to the
+// unsharded daemon.
 //
 // With -data-dir the store is crash-safe: every acknowledged write is
 // appended to a write-ahead log (fsynced per -sync-every) and the full
 // instance is snapshotted every -snapshot-every writes; on start the
 // daemon recovers the newest snapshot plus the WAL suffix, discarding at
-// most a torn final record. Without -data-dir state lives in memory and
-// dies with the process (the pre-durability behavior).
+// most a torn final record. Under -shards P with P > 1 each shard keeps
+// its own snapshot+WAL under <data-dir>/shard-<i>, all recovered on
+// start. Without -data-dir state lives in memory and dies with the
+// process (the pre-durability behavior).
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
 // lets in-flight connections finish (up to -drain), serves everything
@@ -34,6 +47,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -66,7 +80,8 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	seed := fs.Uint64("seed", 1, "random seed")
 	keyHex := fs.String("key", devKey, "16-byte AES key, hex (demo default; empty = pattern-only, no Read/Write)")
 	xor := fs.Bool("xor", false, "enable the XOR online fast path: OpXRead answers carry one combined block instead of the full path (requires -key)")
-	queue := fs.Int("queue", 256, "request queue capacity (admission control)")
+	shards := fs.Int("shards", 1, "independent ORAM trees; block b is served by shard b mod P (leaks the low log2(P) address bits to a per-shard observer)")
+	queue := fs.Int("queue", 256, "request queue capacity (admission control), per shard")
 	batch := fs.Int("batch", 16, "max requests coalesced per scheduler wakeup (1 = off)")
 	maxconns := fs.Int("maxconns", 128, "max concurrent connections (0 = unlimited)")
 	idle := fs.Duration("idle", 2*time.Minute, "per-connection idle read deadline (0 = none)")
@@ -93,22 +108,37 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	if *xor && key == nil {
 		return fmt.Errorf("-xor requires -key (the XOR fast path serves encrypted content)")
 	}
-	oramOpt := aboram.Options{
-		Scheme:        core.Scheme(*scheme),
-		Levels:        *levels,
-		Seed:          *seed,
-		EncryptionKey: key,
-		XORRead:       *xor,
+	if *shards < 1 || *shards > 1<<16-1 {
+		return fmt.Errorf("-shards %d out of range [1, %d]", *shards, 1<<16-1)
 	}
 
-	// The scheduler serves either a bare in-memory instance or the
-	// durable engine; both satisfy server.Engine.
-	var eng server.Engine
-	var deng *durable.Engine
-	if *dataDir != "" {
-		var err error
-		deng, err = durable.Open(durable.Options{
-			Dir:              *dataDir,
+	// One engine per shard; each shard draws from its own seed (shard 0
+	// keeps the base seed, so -shards 1 is RNG-identical to the unsharded
+	// daemon) and, when durable, owns its own snapshot+WAL directory.
+	engines := make([]server.Engine, *shards)
+	dengs := make([]*durable.Engine, *shards)
+	for i := range engines {
+		oramOpt := aboram.Options{
+			Scheme:        core.Scheme(*scheme),
+			Levels:        *levels,
+			Seed:          server.ShardSeed(*seed, i),
+			EncryptionKey: key,
+			XORRead:       *xor,
+		}
+		if *dataDir == "" {
+			o, err := aboram.New(oramOpt)
+			if err != nil {
+				return err
+			}
+			engines[i] = o
+			continue
+		}
+		dir := *dataDir
+		if *shards > 1 {
+			dir = filepath.Join(*dataDir, fmt.Sprintf("shard-%d", i))
+		}
+		deng, err := durable.Open(durable.Options{
+			Dir:              dir,
 			ORAM:             oramOpt,
 			SnapshotEvery:    *snapEvery,
 			SnapshotInterval: *snapInterval,
@@ -119,11 +149,11 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 			},
 		})
 		if err != nil {
-			return err
+			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		rec := deng.Recovery()
 		fmt.Fprintf(out, "aboramd: recovered %s: base epoch %d, %d WAL records replayed (%d segments), %d dedup ids",
-			*dataDir, rec.BaseEpoch, rec.RecordsReplayed, rec.SegmentsReplayed, rec.IDsRecovered)
+			dir, rec.BaseEpoch, rec.RecordsReplayed, rec.SegmentsReplayed, rec.IDsRecovered)
 		if rec.TornTail {
 			fmt.Fprint(out, ", torn tail truncated")
 		}
@@ -131,27 +161,29 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 			fmt.Fprintf(out, ", %d unreadable snapshots skipped", rec.SnapshotsSkipped)
 		}
 		fmt.Fprintln(out)
-		eng = deng
-	} else {
-		o, err := aboram.New(oramOpt)
-		if err != nil {
-			return err
-		}
-		eng = o
+		engines[i] = deng
+		dengs[i] = deng
 	}
 
-	srv := server.New(eng, server.Config{Queue: *queue, Batch: *batch})
+	srv, err := server.NewSharded(engines, server.Config{Queue: *queue, Batch: *batch})
+	if err != nil {
+		return err
+	}
 	tsrv := server.NewTCP(srv, server.TCPConfig{
 		MaxConns:       *maxconns,
 		IdleTimeout:    *idle,
 		WriteTimeout:   *writeTO,
 		RequestTimeout: *reqTO,
 	})
-	if deng != nil {
-		// Seed the retry-dedup window with the ids recovered from the
-		// snapshot header and WAL: a client write retried across this
-		// restart is answered from the window, not applied twice.
-		tsrv.SeedDedup(deng.RecentWriteIDs())
+	if *dataDir != "" {
+		// Seed the retry-dedup window with the ids recovered from every
+		// shard's snapshot header and WAL: a client write retried across
+		// this restart is answered from the window, not applied twice.
+		// (The window skips ids it already holds, so the per-shard seeding
+		// order is immaterial.)
+		for _, deng := range dengs {
+			tsrv.SeedDedup(deng.RecentWriteIDs())
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -162,9 +194,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	if onReady != nil {
 		onReady(ln.Addr())
 	}
-	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v, xor=%v) on %s\n",
-		*scheme, *levels, srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), *xor, ln.Addr())
-	fmt.Fprintf(out, "aboramd: queue=%d batch=%d maxconns=%d\n", *queue, *batch, *maxconns)
+	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v, xor=%v, shards=%d) on %s\n",
+		*scheme, *levels, srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), *xor, srv.Shards(), ln.Addr())
+	fmt.Fprintf(out, "aboramd: queue=%d batch=%d maxconns=%d shards=%d\n", *queue, *batch, *maxconns, *shards)
 
 	served := make(chan error, 1)
 	go func() { served <- tsrv.Serve(ln) }()
@@ -176,13 +208,11 @@ wait:
 		select {
 		case err := <-served:
 			srv.Close()
-			if deng != nil {
-				deng.Close()
-			}
+			closeShards(out, dengs)
 			return err
 		case sig := <-stop:
 			if sig == syscall.SIGUSR1 {
-				dumpCounters(out, srv, tsrv, deng)
+				dumpCounters(out, srv, tsrv, dengs)
 				continue
 			}
 			fmt.Fprintf(out, "aboramd: %v, draining (budget %v)\n", sig, *drain)
@@ -196,32 +226,60 @@ wait:
 		fmt.Fprintf(out, "aboramd: forced close of lingering connections: %v\n", err)
 	}
 	<-served    // Serve has returned ErrServerClosed
-	srv.Close() // serve everything already admitted, then stop
-	if deng != nil {
-		// The scheduler is stopped, so the engine is quiescent: sync and
-		// close the WAL; recovery replays it on the next start.
-		if err := deng.Close(); err != nil {
-			fmt.Fprintf(out, "aboramd: closing data dir: %v\n", err)
-		}
-	}
-	if err := dumpCounters(out, srv, tsrv, deng); err != nil {
+	srv.Close() // serve everything already admitted on every shard, then stop
+	closeShards(out, dengs)
+	if err := dumpCounters(out, srv, tsrv, dengs); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "aboramd: bye")
 	return nil
 }
 
+// closeShards closes every durable engine. The schedulers are stopped by
+// now, so the engines are quiescent: each syncs and closes its WAL;
+// recovery replays them on the next start.
+func closeShards(out io.Writer, dengs []*durable.Engine) {
+	for i, deng := range dengs {
+		if deng == nil {
+			continue
+		}
+		if err := deng.Close(); err != nil {
+			fmt.Fprintf(out, "aboramd: closing shard %d data dir: %v\n", i, err)
+		}
+	}
+}
+
 // dumpCounters prints the durability, scheduler, and front-end counters.
 // SIGUSR1 triggers it on a live daemon; the shutdown path reuses it for
-// the final report.
-func dumpCounters(out io.Writer, srv *server.Server, tsrv *server.TCPServer, deng *durable.Engine) error {
-	if deng != nil {
+// the final report. With more than one shard, durability lines and
+// scheduler tables are printed per shard plus one aggregate table.
+func dumpCounters(out io.Writer, srv *server.Sharded, tsrv *server.TCPServer, dengs []*durable.Engine) error {
+	multi := srv.Shards() > 1
+	for i, deng := range dengs {
+		if deng == nil {
+			continue
+		}
+		label := "durability"
+		if multi {
+			label = fmt.Sprintf("shard %d durability", i)
+		}
 		ds := deng.Stats()
-		fmt.Fprintf(out, "aboramd: durability: %d writes logged, %d fsyncs (%d batched), %d snapshots (epoch %d), %d prune failures\n",
-			ds.Writes, ds.Syncs, ds.BatchedSyncs, ds.Snapshots, deng.Epoch(), ds.PruneFailures)
+		fmt.Fprintf(out, "aboramd: %s: %d writes logged, %d fsyncs (%d batched), %d snapshots (epoch %d), %d prune failures\n",
+			label, ds.Writes, ds.Syncs, ds.BatchedSyncs, ds.Snapshots, deng.Epoch(), ds.PruneFailures)
 	}
-	if err := srv.Metrics().Table("aboramd scheduler counters").WriteText(out); err != nil {
+	title := "aboramd scheduler counters"
+	if multi {
+		title = fmt.Sprintf("aboramd scheduler counters (aggregate over %d shards)", srv.Shards())
+	}
+	if err := srv.Metrics().Table(title).WriteText(out); err != nil {
 		return err
+	}
+	if multi {
+		for i, m := range srv.ShardMetrics() {
+			if err := m.Table(fmt.Sprintf("aboramd scheduler counters, shard %d", i)).WriteText(out); err != nil {
+				return err
+			}
+		}
 	}
 	tm := tsrv.Metrics()
 	fmt.Fprintf(out, "aboramd: %d connections served, %d refused, %d active; %d retries deduped, %d requests shed\n",

@@ -303,3 +303,91 @@ func TestDaemonGroupCommitRestart(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonShardedDurableRestart boots a -shards 4 durable daemon,
+// writes across the whole global address space, restarts it, and checks
+// (a) the client sees the sharded geometry, (b) every shard recovered
+// from its own subdirectory, and (c) all content survived — including
+// the per-shard + aggregate counter dump on shutdown.
+func TestDaemonShardedDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-shards", "4", "-data-dir", dir, "-snapshot-every", "4", "-group-commit"}
+	addr, out, shutdown := startDaemon(t, args...)
+
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 4 {
+		t.Fatalf("info shards %d, want 4", info.Shards)
+	}
+	// One write per shard residue class, plus more to cross snapshots.
+	want := func(blk int64) []byte {
+		d := make([]byte, info.BlockSize)
+		for i := range d {
+			d[i] = byte(blk*11) ^ byte(i*5)
+		}
+		return d
+	}
+	for blk := int64(0); blk < 12; blk++ {
+		if err := c.Write(blk, want(blk)); err != nil {
+			t.Fatalf("write %d: %v", blk, err)
+		}
+	}
+	c.Close()
+	shutdown()
+	s := out.String()
+	for _, wantLine := range []string{
+		"shards=4",
+		"shard 0 durability", "shard 3 durability",
+		"scheduler counters (aggregate over 4 shards)",
+		"scheduler counters, shard 2",
+	} {
+		if !strings.Contains(s, wantLine) {
+			t.Errorf("sharded daemon output missing %q:\n%s", wantLine, s)
+		}
+	}
+
+	addr2, out2, shutdown2 := startDaemon(t, args...)
+	defer shutdown2()
+	s2 := out2.String()
+	for i := 0; i < 4; i++ {
+		wantLine := "recovered " + dir + "/shard-" + string(rune('0'+i))
+		if !strings.Contains(s2, wantLine) {
+			t.Errorf("second incarnation missing %q:\n%s", wantLine, s2)
+		}
+	}
+	c2, err := server.Dial(addr2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for blk := int64(0); blk < 12; blk++ {
+		got, err := c2.Read(blk)
+		if err != nil {
+			t.Fatalf("read %d after restart: %v", blk, err)
+		}
+		if !bytes.Equal(got, want(blk)) {
+			t.Fatalf("block %d lost across sharded restart", blk)
+		}
+	}
+}
+
+// TestDaemonShardsFlagValidation checks out-of-range -shards fails fast.
+func TestDaemonShardsFlagValidation(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-shards", "0"},
+		{"-shards", "-2"},
+		{"-shards", "65536"},
+	} {
+		var buf bytes.Buffer
+		stop := make(chan os.Signal)
+		if err := run(tc, &buf, stop, nil); err == nil {
+			t.Errorf("run(%v) succeeded, want error", tc)
+		}
+	}
+}

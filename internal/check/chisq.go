@@ -31,6 +31,36 @@ func ChiSquare(counts []uint64) (stat float64, df int) {
 	return stat, len(counts) - 1
 }
 
+// ChiSquareExpected returns Pearson's chi-square statistic of the
+// observed counts against an arbitrary expected distribution (absolute
+// expected counts, same length), plus the degrees of freedom over the
+// cells with nonzero expectation. An observation in a cell the
+// expectation rules out entirely is an unconditional violation and
+// yields +Inf. Fewer than two live cells yields (0, 0), the degenerate
+// pass.
+func ChiSquareExpected(counts []uint64, expected []float64) (stat float64, df int) {
+	n := len(counts)
+	if len(expected) < n {
+		n = len(expected)
+	}
+	live := 0
+	for i := 0; i < n; i++ {
+		if expected[i] <= 0 {
+			if counts[i] > 0 {
+				return math.Inf(1), 0
+			}
+			continue
+		}
+		live++
+		d := float64(counts[i]) - expected[i]
+		stat += d * d / expected[i]
+	}
+	if live < 2 {
+		return 0, 0
+	}
+	return stat, live - 1
+}
+
 // ChiSquareCritical returns the upper critical value of the chi-square
 // distribution with df degrees of freedom at the significance level whose
 // standard-normal quantile is z, via the Wilson–Hilferty cube

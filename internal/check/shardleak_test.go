@@ -1,0 +1,149 @@
+package check
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// TestShardLeakUniformWorkload audits a real 4-shard engine under a
+// uniform workload: the per-shard histogram must match the routing law's
+// prediction and every shard's leaf sequence must stay uniform.
+func TestShardLeakUniformWorkload(t *testing.T) {
+	res, err := CheckShardLeak(core.SchemeAB, 8, 4, 11, 512, UniformBlocks(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", res)
+	var total uint64
+	for _, c := range res.Observed {
+		total += c
+	}
+	if total != 512 {
+		t.Fatalf("observed histogram sums to %d, want 512 (ops lost or double-counted)", total)
+	}
+	if len(res.Leaves) != 4 {
+		t.Fatalf("leaf-audited %d shards, want all 4 under a uniform workload", len(res.Leaves))
+	}
+	if !res.Pass() {
+		t.Fatalf("honest router failed the audit: %v", res)
+	}
+}
+
+// TestShardLeakHotBlock pins the "nothing more" side of the bound: a
+// workload hammering one block concentrates ALL traffic on one shard
+// (that is the log2(P)-bit leak, and the routing law predicts it
+// exactly), yet the hot shard's revealed leaf sequence must remain
+// uniform — the intra-shard pattern stays oblivious.
+func TestShardLeakHotBlock(t *testing.T) {
+	const hot = 5 // 5 mod 4 = shard 1
+	res, err := CheckShardLeak(core.SchemeAB, 8, 4, 13, 512, HotBlock(hot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", res)
+	for i, c := range res.Observed {
+		want := uint64(0)
+		if i == hot%4 {
+			want = 512
+		}
+		if c != want {
+			t.Fatalf("shard %d observed %d ops, want %d", i, c, want)
+		}
+	}
+	if len(res.Leaves) != 1 {
+		t.Fatalf("leaf-audited %d shards, want exactly the hot one", len(res.Leaves))
+	}
+	if !res.Pass() {
+		t.Fatalf("hot-block audit failed: the predicted concentration or leaf uniformity broke: %v", res)
+	}
+}
+
+// TestShardLeakDetectsBiasedRouter is the negative control: histograms
+// produced by deliberately broken routers must fail the chi-square
+// comparison against the honest law's prediction.
+func TestShardLeakDetectsBiasedRouter(t *testing.T) {
+	const shards, n = 4, 1024
+	w := UniformBlocks(17)
+	blocks := make([]int64, n)
+	for i := range blocks {
+		blocks[i] = w(i) % (1 << 20)
+	}
+	crit := ChiSquareCritical(shards-1, ZCrit999)
+
+	// A router that collapses everything onto shard 0: gross bias.
+	collapsed := routeHistogram(blocks, shards, func(b int64, p int) (int, int64) { return 0, b })
+	if stat, _ := shardHistogramChi2(collapsed, blocks, shards); stat <= crit {
+		t.Fatalf("collapse-to-0 router passed: chi2 %.3f <= critical %.3f", stat, crit)
+	}
+
+	// A router that sticks shard 1's traffic onto shard 0 (a wedged
+	// scheduler silently absorbing a neighbor's load): under a uniform
+	// workload shard 1's predicted quarter lands on shard 0 — and the
+	// prediction rules shard-1 silence out entirely, so the statistic
+	// must blow up.
+	stuck := routeHistogram(blocks, shards, func(b int64, p int) (int, int64) {
+		s, l := server.RouteBlock(b, p)
+		if s == 1 {
+			s = 0
+		}
+		return s, l
+	})
+	if stat, _ := shardHistogramChi2(stuck, blocks, shards); stat <= crit {
+		t.Fatalf("stuck-shard router passed: chi2 %.3f <= critical %.3f", stat, crit)
+	}
+
+	// A router that swaps shards 0 and 1. Under a uniform workload the
+	// marginals barely move (a histogram audit cannot see a
+	// load-preserving permutation), so the control uses a skewed
+	// workload — most traffic ≡ 1 mod 4 — where the swap visibly moves
+	// mass onto the wrong shard.
+	skewed := make([]int64, n)
+	for i := range skewed {
+		if i%10 < 7 {
+			skewed[i] = int64(4*i + 1) // ≡ 1 mod 4
+		} else {
+			skewed[i] = w(i) % (1 << 20)
+		}
+	}
+	swapped := routeHistogram(skewed, shards, func(b int64, p int) (int, int64) {
+		s, l := server.RouteBlock(b, p)
+		if s < 2 {
+			s = 1 - s
+		}
+		return s, l
+	})
+	if stat, _ := shardHistogramChi2(swapped, skewed, shards); stat <= crit {
+		t.Fatalf("swap-0-1 router passed under a skewed workload: chi2 %.3f <= critical %.3f", stat, crit)
+	}
+
+	// The honest router is its own prediction: exact agreement.
+	honest := routeHistogram(blocks, shards, server.RouteBlock)
+	if stat, _ := shardHistogramChi2(honest, blocks, shards); stat != 0 {
+		t.Fatalf("honest router chi2 %.3f, want exact 0 against its own law", stat)
+	}
+}
+
+// TestChiSquareExpected covers the comparison primitive itself: exact
+// match, bounded noise, an impossible-cell observation, and degenerate
+// inputs.
+func TestChiSquareExpected(t *testing.T) {
+	if stat, df := ChiSquareExpected([]uint64{10, 20, 30}, []float64{10, 20, 30}); stat != 0 || df != 2 {
+		t.Fatalf("exact match: (%.3f, %d), want (0, 2)", stat, df)
+	}
+	if stat, _ := ChiSquareExpected([]uint64{1, 0, 0}, []float64{0, 0.5, 0.5}); !math.IsInf(stat, 1) {
+		t.Fatalf("observation in an impossible cell scored %.3f, want +Inf", stat)
+	}
+	if stat, df := ChiSquareExpected([]uint64{0, 7}, []float64{0, 7}); stat != 0 || df != 0 {
+		t.Fatalf("single live cell: (%.3f, %d), want the degenerate (0, 0)", stat, df)
+	}
+	stat, df := ChiSquareExpected([]uint64{12, 8}, []float64{10, 10})
+	if df != 1 || stat <= 0 {
+		t.Fatalf("noisy counts: (%.3f, %d), want positive stat with df 1", stat, df)
+	}
+	if want := 0.8; math.Abs(stat-want) > 1e-9 {
+		t.Fatalf("noisy counts stat %.6f, want %.6f", stat, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,7 +52,15 @@ type SoakOptions struct {
 	// BurstClients is the number of extra overload generators that hammer
 	// the server during burst windows. Default 6.
 	BurstClients int
-	// Dir is the engine data directory (must be empty).
+	// Shards is the number of independent ORAM trees behind the router
+	// (block b on shard b mod Shards). 1 (the default) is the unsharded
+	// soak; larger values run every incarnation as a sharded fleet whose
+	// shards share one fault injector, so a kill takes down all trees at
+	// once and recovery must bring every shard back consistent.
+	Shards int
+	// Dir is the engine data directory (must be empty). With Shards > 1
+	// each shard keeps its own snapshot+WAL under Dir/shard-<i>, the
+	// daemon's layout.
 	Dir string
 }
 
@@ -62,6 +71,9 @@ func (o SoakOptions) withDefaults() SoakOptions {
 	if o.BurstClients <= 0 {
 		o.BurstClients = 6
 	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if o.Duration <= 0 {
 		o.Duration = 2 * time.Second
 	}
@@ -71,6 +83,7 @@ func (o SoakOptions) withDefaults() SoakOptions {
 // SoakReport summarizes a soak run.
 type SoakReport struct {
 	Seed         uint64
+	Shards       int // ORAM trees behind the router
 	Incarnations int // engine incarnations (including the final clean one)
 	Crashes      int
 
@@ -95,9 +108,9 @@ type SoakReport struct {
 }
 
 func (r *SoakReport) String() string {
-	return fmt.Sprintf("seed %d: %d incarnations (%d crashes), %d acked, %d shed, %d indeterminate, %d reads, "+
+	return fmt.Sprintf("seed %d (%d shards): %d incarnations (%d crashes), %d acked, %d shed, %d indeterminate, %d reads, "+
 		"%d overloaded, %d breaker opens, %d applies, %d syncs (%d batched) for %d appends, %d deduped, %d ids recovered, %d violations",
-		r.Seed, r.Incarnations, r.Crashes, r.AckedWrites, r.ShedWrites, r.Indeterminate, r.Reads,
+		r.Seed, r.Shards, r.Incarnations, r.Crashes, r.AckedWrites, r.ShedWrites, r.Indeterminate, r.Reads,
 		r.Overloaded, r.BreakerOpens, r.Applies, r.EngineSyncs, r.BatchedSyncs, r.EngineWrites,
 		r.Deduped, r.IDsRecovered, len(r.Violations))
 }
@@ -134,13 +147,20 @@ type soakKey struct {
 	worker, seq uint64
 }
 
+// soakIssue is the ledger's record of one issued write: its identity and
+// the shard the routing law says must apply it.
+type soakIssue struct {
+	key       soakKey
+	wantShard int
+}
+
 // ledger is the shared exactly-once bookkeeping between the client side
 // (issues, acks, sheds) and the engine side (applies). The request-id
 // registry lives here — not in a per-incarnation structure — so a retry
 // that straddles a server restart is still correlated to its write.
 type ledger struct {
 	mu         sync.Mutex
-	ids        map[uint64]soakKey // request id -> issued write
+	ids        map[uint64]soakIssue // request id -> issued write
 	acked      map[soakKey]bool
 	shed       map[soakKey]bool
 	applies    map[soakKey]int
@@ -150,7 +170,7 @@ type ledger struct {
 
 func newLedger() *ledger {
 	return &ledger{
-		ids:     make(map[uint64]soakKey),
+		ids:     make(map[uint64]soakIssue),
 		acked:   make(map[soakKey]bool),
 		shed:    make(map[soakKey]bool),
 		applies: make(map[soakKey]int),
@@ -163,25 +183,34 @@ func (l *ledger) violate(format string, args ...any) {
 	l.mu.Unlock()
 }
 
-// registerID records an issued write before its first network attempt.
-func (l *ledger) registerID(id uint64, k soakKey) {
+// registerID records an issued write — and the shard that must serve it
+// — before its first network attempt.
+func (l *ledger) registerID(id uint64, k soakKey, wantShard int) {
 	l.mu.Lock()
-	l.ids[id] = k
+	l.ids[id] = soakIssue{key: k, wantShard: wantShard}
 	l.mu.Unlock()
 }
 
-// apply records one engine-level apply of an identified write and checks
-// it against the acked set: applying a write AFTER its ack is the
-// double-apply the dedup window exists to prevent.
-func (l *ledger) apply(id uint64) {
+// apply records one engine-level apply of an identified write on the
+// given shard and checks it against the ledger: applying a write AFTER
+// its ack is the double-apply the dedup window exists to prevent, and
+// applying it on any shard but the one the routing law names is a
+// cross-shard leak — the router executed a write on the wrong tree.
+func (l *ledger) apply(id uint64, shard int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	k, ok := l.ids[id]
+	iss, ok := l.ids[id]
 	if !ok {
 		return // a foreign id (e.g. an access op's); not a tracked write
 	}
+	k := iss.key
 	l.applyCount++
 	l.applies[k]++
+	if shard != iss.wantShard {
+		l.violations = append(l.violations,
+			fmt.Sprintf("write (worker %d, seq %d) applied on shard %d, routing law names shard %d (cross-shard apply)",
+				k.worker, k.seq, shard, iss.wantShard))
+	}
 	if l.acked[k] {
 		l.violations = append(l.violations,
 			fmt.Sprintf("write (worker %d, seq %d) applied after acknowledgment (double-apply)", k.worker, k.seq))
@@ -214,12 +243,14 @@ func (l *ledger) finalSweepChecks() {
 	}
 }
 
-// applyTracker wraps the durable engine for the scheduler, recording
-// every identified write apply in the ledger. It forwards the group
-// commit interface so the scheduler's deferred-ack path stays active.
+// applyTracker wraps one shard's durable engine for the scheduler,
+// recording every identified write apply (tagged with the shard it
+// landed on) in the ledger. It forwards the group commit interface so
+// the scheduler's deferred-ack path stays active.
 type applyTracker struct {
-	eng *durable.Engine
-	led *ledger
+	eng   *durable.Engine
+	led   *ledger
+	shard int
 }
 
 func (t *applyTracker) NumBlocks() int64 { return t.eng.NumBlocks() }
@@ -239,7 +270,7 @@ func (t *applyTracker) WriteIdentified(id uint64, block int64, data []byte) erro
 		// Count only successful applies: a failed write poisons the
 		// engine fail-stop and never produces an ack, and recovery's
 		// recovered-id set adjudicates whatever prefix survived.
-		t.led.apply(id)
+		t.led.apply(id, t.shard)
 	}
 	return err
 }
@@ -280,6 +311,7 @@ type soakWorker struct {
 	id     uint64
 	blocks []int64
 	blockB int
+	shards int
 	r      *rng.Source
 	st     *soakState
 
@@ -337,7 +369,8 @@ func (w *soakWorker) run(clientSeed uint64) {
 			data := encodePayload(w.blockB, w.id, seq, block)
 			bs.issued[seq] = true
 			id := soakWriteID(w.id, seq)
-			w.st.led.registerID(id, soakKey{w.id, seq})
+			wantShard, _ := server.RouteBlock(block, w.shards)
+			w.st.led.registerID(id, soakKey{w.id, seq}, wantShard)
 			err := c.WriteID(id, block, data)
 			switch {
 			case err == nil:
@@ -460,19 +493,38 @@ func runBurst(st *soakState, seed uint64, numBlocks int64, stats *burstStats) {
 	}
 }
 
+// shardDir is the daemon's data layout: the base dir itself for an
+// unsharded store, shard-<i> subdirectories for a fleet.
+func shardDir(dir string, shards, i int) string {
+	if shards <= 1 {
+		return dir
+	}
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+}
+
 // RunSoak runs the chaos soak and returns its report; the error is
-// non-nil when any exactly-once or shed-contract violation was found.
+// non-nil when any exactly-once, shed-contract, or cross-shard
+// violation was found.
 func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	opt = opt.withDefaults()
 	r := rng.New(opt.Seed ^ 0x736f616b)
-	rep := &SoakReport{Seed: opt.Seed}
+	rep := &SoakReport{Seed: opt.Seed, Shards: opt.Shards}
 
-	oramOpt := crashOptions(opt.Dir, opt.Seed, vfs.OS{}).ORAM
-	probe, err := aboram.New(oramOpt)
+	// One aboram configuration per shard, seeds derived exactly as the
+	// daemon derives them (shard 0 keeps the base seed, so Shards=1 is
+	// the pre-sharding soak unchanged).
+	baseOpt := crashOptions(opt.Dir, opt.Seed, vfs.OS{}).ORAM
+	oramOpts := make([]aboram.Options, opt.Shards)
+	for i := range oramOpts {
+		oramOpts[i] = baseOpt
+		oramOpts[i].Seed = server.ShardSeed(opt.Seed, i)
+	}
+	probe, err := aboram.New(oramOpts[0])
 	if err != nil {
 		return nil, err
 	}
-	blockB, numBlocks := probe.BlockSize(), probe.NumBlocks()
+	blockB := probe.BlockSize()
+	numBlocks := probe.NumBlocks() * int64(opt.Shards) // global address space
 
 	st := &soakState{led: newLedger()}
 	st.addr.Store("")
@@ -488,7 +540,7 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			blocks = append(blocks, b)
 		}
 		workers[i] = &soakWorker{
-			id: uint64(i + 1), blocks: blocks, blockB: blockB,
+			id: uint64(i + 1), blocks: blocks, blockB: blockB, shards: opt.Shards,
 			r: rng.New(opt.Seed ^ (0x77<<8 | uint64(i))), st: st,
 			per: make(map[int64]*blockState),
 		}
@@ -529,44 +581,74 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	blackoutDone := false
 	for time.Now().Before(deadline) {
 		rep.Incarnations++
+		// One injector shared by every shard's filesystem: the kill hits
+		// the whole fleet at once, the daemon's failure mode.
 		in := faults.New(faults.Config{
 			Seed:         r.Uint64(),
 			CrashAfter:   60 + int(r.Uint64n(400)),
 			TornWrites:   true,
 			DropUnsynced: true,
 		})
-		eng, err := durable.Open(durable.Options{
-			Dir:           opt.Dir,
-			ORAM:          oramOpt,
-			SnapshotEvery: 32,
-			GroupCommit:   true,
-			FS:            faults.WrapFS(vfs.OS{}, in),
-		})
-		if err != nil {
+		fs := faults.WrapFS(vfs.OS{}, in)
+		engines := make([]*durable.Engine, opt.Shards)
+		var openErr error
+		for si := range engines {
+			engines[si], openErr = durable.Open(durable.Options{
+				Dir:           shardDir(opt.Dir, opt.Shards, si),
+				ORAM:          oramOpts[si],
+				SnapshotEvery: 32,
+				GroupCommit:   true,
+				FS:            fs,
+			})
+			if openErr != nil {
+				break
+			}
+		}
+		if openErr != nil {
+			for _, eng := range engines {
+				if eng != nil {
+					eng.Close()
+				}
+			}
 			if !in.Crashed() {
 				st.stop.Store(true)
 				wg.Wait()
-				return rep, fmt.Errorf("soak: incarnation %d: recovery failed without a crash: %w", rep.Incarnations, err)
+				return rep, fmt.Errorf("soak: incarnation %d: recovery failed without a crash: %w", rep.Incarnations, openErr)
 			}
 			rep.Crashes++
 			continue
 		}
-		rep.IDsRecovered += eng.Recovery().IDsRecovered
 
-		tracker := &applyTracker{eng: eng, led: st.led}
+		trackers := make([]server.Engine, opt.Shards)
+		for si, eng := range engines {
+			rep.IDsRecovered += eng.Recovery().IDsRecovered
+			trackers[si] = &applyTracker{eng: eng, led: st.led, shard: si}
+		}
 		// A tiny queue relative to the client population guarantees the
 		// burst windows actually overflow it (overloaded responses).
-		srv := server.New(tracker, server.Config{Queue: 2, Batch: 8})
+		srv, err := server.NewSharded(trackers, server.Config{Queue: 2, Batch: 8})
+		if err != nil {
+			st.stop.Store(true)
+			wg.Wait()
+			for _, eng := range engines {
+				eng.Close()
+			}
+			return rep, fmt.Errorf("soak: incarnation %d: %w", rep.Incarnations, err)
+		}
 		tsrv := server.NewTCP(srv, server.TCPConfig{
 			RequestTimeout: 250 * time.Millisecond,
 			DedupWindow:    4096,
 		})
-		tsrv.SeedDedup(eng.RecentWriteIDs())
+		for _, eng := range engines {
+			tsrv.SeedDedup(eng.RecentWriteIDs())
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			st.stop.Store(true)
 			wg.Wait()
-			eng.Close()
+			for _, eng := range engines {
+				eng.Close()
+			}
 			return rep, fmt.Errorf("soak: listen: %w", err)
 		}
 		serveDone := make(chan struct{})
@@ -585,11 +667,13 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 		srv.Close()
 		<-serveDone
 		rep.Deduped += tsrv.Metrics().Deduped
-		est := eng.Stats()
-		rep.EngineWrites += est.Writes
-		rep.EngineSyncs += est.Syncs
-		rep.BatchedSyncs += est.BatchedSyncs
-		eng.Close()
+		for _, eng := range engines {
+			est := eng.Stats()
+			rep.EngineWrites += est.Writes
+			rep.EngineSyncs += est.Syncs
+			rep.BatchedSyncs += est.BatchedSyncs
+			eng.Close()
+		}
 		if crashed {
 			rep.Crashes++
 		}
@@ -624,19 +708,25 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	rep.BreakerOpens += bstats.opens
 	rep.BreakerFastFails += bstats.fastFails
 
-	// Final clean incarnation: full read-back of every owned block.
+	// Final clean incarnation: recover every shard and read back every
+	// owned block through the routing law.
 	rep.Incarnations++
-	eng, err := durable.Open(durable.Options{Dir: opt.Dir, ORAM: oramOpt})
-	if err != nil {
-		return rep, fmt.Errorf("soak: final recovery: %w", err)
+	finals := make([]*durable.Engine, opt.Shards)
+	for si := range finals {
+		eng, err := durable.Open(durable.Options{Dir: shardDir(opt.Dir, opt.Shards, si), ORAM: oramOpts[si]})
+		if err != nil {
+			return rep, fmt.Errorf("soak: final recovery of shard %d: %w", si, err)
+		}
+		defer eng.Close()
+		finals[si] = eng
+		rep.IDsRecovered += eng.Recovery().IDsRecovered
 	}
-	defer eng.Close()
-	rep.IDsRecovered += eng.Recovery().IDsRecovered
 	for _, w := range workers {
 		for _, block := range w.blocks {
-			got, err := eng.Read(block)
+			shard, local := server.RouteBlock(block, opt.Shards)
+			got, err := finals[shard].Read(local)
 			if err != nil {
-				return rep, fmt.Errorf("soak: final read of block %d: %w", block, err)
+				return rep, fmt.Errorf("soak: final read of block %d (shard %d): %w", block, shard, err)
 			}
 			if v := w.checkRead(block, got); v != "" {
 				st.led.violate("final sweep: %s", v)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -114,6 +115,22 @@ type Metrics struct {
 	// sizes up to BatchSizeBounds[i], the final bucket is overflow.
 	BatchSizeBounds  []float64
 	BatchSizeBuckets []uint64
+
+	// ServiceEWMA is the scheduler's moving average of per-request
+	// service time; OpEWMA breaks it down by op kind. Both are zero until
+	// the corresponding requests have been served. Retry-after hints and
+	// deadline shedding quote these, so they are part of the observable
+	// scheduler state.
+	ServiceEWMA time.Duration
+	OpEWMA      OpEWMA
+}
+
+// OpEWMA is the per-op-kind service-time breakdown of ServiceEWMA.
+type OpEWMA struct {
+	Access time.Duration
+	Read   time.Duration
+	Write  time.Duration
+	XRead  time.Duration
 }
 
 // Served returns the total number of requests served by the scheduler.
@@ -146,6 +163,91 @@ func (s *Server) Metrics() Metrics {
 	for i := range out.BatchSizeBuckets {
 		out.BatchSizeBuckets[i] = m.sizes.Bucket(i)
 	}
+	out.ServiceEWMA = time.Duration(s.svcEWMA.Load())
+	out.OpEWMA = OpEWMA{
+		Access: time.Duration(s.opEWMA[opAccess].Load()),
+		Read:   time.Duration(s.opEWMA[opRead].Load()),
+		Write:  time.Duration(s.opEWMA[opWrite].Load()),
+		XRead:  time.Duration(s.opEWMA[opXRead].Load()),
+	}
+	return out
+}
+
+// AggregateMetrics merges per-shard scheduler snapshots into one
+// fleet-wide view: counters and histogram buckets sum, MeanBatch is
+// weighted by batch count, high-water marks take the max, and the
+// service EWMAs are averaged weighted by requests served (so an idle
+// shard does not dilute the quote). Every Server shares batchBounds, so
+// bucket layouts always line up.
+func AggregateMetrics(ms []Metrics) Metrics {
+	var out Metrics
+	if len(ms) == 0 {
+		return out
+	}
+	if len(ms) == 1 {
+		// One shard: the aggregate is the snapshot itself, bit-for-bit (no
+		// float round trips), so P=1 stays observationally identical.
+		out = ms[0]
+		out.BatchSizeBounds = append([]float64(nil), ms[0].BatchSizeBounds...)
+		out.BatchSizeBuckets = append([]uint64(nil), ms[0].BatchSizeBuckets...)
+		return out
+	}
+	out.BatchSizeBounds = append([]float64(nil), ms[0].BatchSizeBounds...)
+	out.BatchSizeBuckets = make([]uint64, len(ms[0].BatchSizeBuckets))
+	var meanNum float64
+	var ewmaNum, ewmaDen [5]float64 // aggregate + four op kinds
+	for _, m := range ms {
+		out.Enqueued += m.Enqueued
+		out.Rejected += m.Rejected
+		out.Shed += m.Shed
+		out.Canceled += m.Canceled
+		out.Accesses += m.Accesses
+		out.Reads += m.Reads
+		out.Writes += m.Writes
+		out.XReads += m.XReads
+		out.GroupSyncs += m.GroupSyncs
+		out.DeferredWrites += m.DeferredWrites
+		out.Batches += m.Batches
+		out.DupHits += m.DupHits
+		meanNum += m.MeanBatch * float64(m.Batches)
+		if m.MaxBatch > out.MaxBatch {
+			out.MaxBatch = m.MaxBatch
+		}
+		if m.QueueHighWater > out.QueueHighWater {
+			out.QueueHighWater = m.QueueHighWater
+		}
+		for i, b := range m.BatchSizeBuckets {
+			if i < len(out.BatchSizeBuckets) {
+				out.BatchSizeBuckets[i] += b
+			}
+		}
+		for i, pair := range [5]struct {
+			ewma   time.Duration
+			weight uint64
+		}{
+			{m.ServiceEWMA, m.Served()},
+			{m.OpEWMA.Access, m.Accesses},
+			{m.OpEWMA.Read, m.Reads},
+			{m.OpEWMA.Write, m.Writes},
+			{m.OpEWMA.XRead, m.XReads},
+		} {
+			if pair.ewma > 0 && pair.weight > 0 {
+				ewmaNum[i] += float64(pair.ewma) * float64(pair.weight)
+				ewmaDen[i] += float64(pair.weight)
+			}
+		}
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = meanNum / float64(out.Batches)
+	}
+	weighted := func(i int) time.Duration {
+		if ewmaDen[i] == 0 {
+			return 0
+		}
+		return time.Duration(ewmaNum[i] / ewmaDen[i])
+	}
+	out.ServiceEWMA = weighted(0)
+	out.OpEWMA = OpEWMA{Access: weighted(1), Read: weighted(2), Write: weighted(3), XRead: weighted(4)}
 	return out
 }
 
@@ -171,6 +273,22 @@ func (m Metrics) Table(title string) *report.Table {
 	if m.GroupSyncs > 0 {
 		t.AddRow("group-commit fsyncs", report.Uint(m.GroupSyncs))
 		t.AddRow("write acks deferred to batch fsync", report.Uint(m.DeferredWrites))
+	}
+	if m.ServiceEWMA > 0 {
+		t.AddRow("service EWMA (all ops)", m.ServiceEWMA.String())
+	}
+	for _, row := range []struct {
+		label string
+		d     time.Duration
+	}{
+		{"service EWMA (access)", m.OpEWMA.Access},
+		{"service EWMA (read)", m.OpEWMA.Read},
+		{"service EWMA (write)", m.OpEWMA.Write},
+		{"service EWMA (xread)", m.OpEWMA.XRead},
+	} {
+		if row.d > 0 {
+			t.AddRow(row.label, row.d.String())
+		}
 	}
 	for i, b := range m.BatchSizeBounds {
 		t.AddRow("batches of size <= "+report.Int(int64(b)), report.Uint(m.BatchSizeBuckets[i]))

@@ -197,6 +197,13 @@ type Server struct {
 	// EstimatedWait (retry-after hints).
 	svcEWMA atomic.Int64
 
+	// opEWMA breaks the service-time average down by op kind: an XOR read
+	// and a group-committed write differ by an order of magnitude, so
+	// shedding and retry-after quotes use the cost of the op actually
+	// being admitted, not the mixed average. Zero until that kind has
+	// been served; readers fall back to svcEWMA.
+	opEWMA [4]atomic.Int64
+
 	// admission guards the closed flag against the channel close: senders
 	// hold it shared while enqueueing, Close holds it exclusively while
 	// flipping closed, so no send can race the close(reqs).
@@ -283,6 +290,20 @@ func (s *Server) EstimatedWait() time.Duration {
 	return time.Duration(int64(len(s.reqs)+1) * s.svcEWMA.Load())
 }
 
+// estimatedWaitOp is EstimatedWait specialized to one op kind: the
+// requests already queued ahead are a mix of kinds and cost the aggregate
+// average each, but the admitted op itself costs its own kind's average —
+// so a cheap access behind a short queue is not quoted a write-sized
+// wait. Falls back to the aggregate until the kind has been observed.
+func (s *Server) estimatedWaitOp(op opKind) time.Duration {
+	agg := s.svcEWMA.Load()
+	own := s.opEWMA[op].Load()
+	if own == 0 {
+		own = agg
+	}
+	return time.Duration(int64(len(s.reqs))*agg + own)
+}
+
 // submit enqueues one operation and waits for its result or for ctx; any
 // failure travels in the result's err field.
 func (s *Server) submit(ctx context.Context, op opKind, id uint64, block int64, data []byte) result {
@@ -293,7 +314,7 @@ func (s *Server) submit(ctx context.Context, op opKind, id uint64, block int64, 
 	// deadline will expire before the scheduler reaches it, refuse now —
 	// definitively unexecuted — instead of queueing a guaranteed timeout.
 	if dl, ok := ctx.Deadline(); ok {
-		if est := s.EstimatedWait(); est > 0 && time.Until(dl) < est {
+		if est := s.estimatedWaitOp(op); est > 0 && time.Until(dl) < est {
 			s.metrics.shed()
 			return result{err: ErrDeadlineShed}
 		}
@@ -442,7 +463,7 @@ func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 				res.err = s.eng.Write(r.block, r.data)
 			}
 		}
-		s.observeService(time.Since(begin))
+		s.observeService(r.op, time.Since(begin))
 		s.metrics.served(r.op)
 		if r.op == opWrite && res.err == nil && s.group != nil {
 			deferred = append(deferred, r)
@@ -461,14 +482,19 @@ func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 	}
 }
 
-// observeService folds one measured service time into the EWMA the
+// observeService folds one measured service time into the EWMAs the
 // admission path sheds against (weight 1/8: responsive to load changes,
-// stable against single-op noise).
-func (s *Server) observeService(d time.Duration) {
-	old := s.svcEWMA.Load()
-	if old == 0 {
-		s.svcEWMA.Store(int64(d))
-		return
+// stable against single-op noise) — both the aggregate and the op kind's
+// own average.
+func (s *Server) observeService(op opKind, d time.Duration) {
+	fold := func(a *atomic.Int64) {
+		old := a.Load()
+		if old == 0 {
+			a.Store(int64(d))
+			return
+		}
+		a.Store(old - old/8 + int64(d)/8)
 	}
-	s.svcEWMA.Store(old - old/8 + int64(d)/8)
+	fold(&s.svcEWMA)
+	fold(&s.opEWMA[op])
 }

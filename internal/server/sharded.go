@@ -1,0 +1,228 @@
+// Sharded serving: the ORAM protocol is inherently serial *per tree* —
+// obliviousness needs one totally ordered access sequence — so the only
+// way to use more than one core is to run more than one tree. A Sharded
+// engine partitions the block address space across P independent ORAM
+// instances by stable modulo routing and gives each shard its own
+// scheduler goroutine (a full *Server: bounded admission queue, batch
+// coalescing, group commit, service EWMAs). Requests for different
+// shards proceed in parallel; requests for the same shard stay totally
+// ordered, preserving each tree's obliviousness argument.
+//
+// The trade-off is quantified, not hidden: the shard index of every
+// access is the low log2(P) bits of the block id, so an observer of
+// per-shard request streams learns exactly those address bits and
+// nothing more (leaf positions within each shard stay uniform — see
+// internal/check's shard-leakage audit).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/server/wire"
+)
+
+// Backend is the serving surface the TCP front end dispatches to. Both
+// *Server (one tree) and *Sharded (P trees) implement it; geometry is
+// global, ops carry global block ids, and RetryAfterHint quotes the
+// queue that would actually serve the op — shard-local under sharding,
+// so one hot shard cannot inflate backoff hints for the others.
+type Backend interface {
+	NumBlocks() int64
+	BlockSize() int
+	Encrypted() bool
+	// Shards reports the partition width (1 = unsharded).
+	Shards() int
+	Access(ctx context.Context, block int64) error
+	Read(ctx context.Context, block int64) ([]byte, error)
+	ReadXOR(ctx context.Context, block int64) (*aboram.XORResult, error)
+	Write(ctx context.Context, block int64, data []byte) error
+	WriteID(ctx context.Context, id uint64, block int64, data []byte) error
+	// RetryAfterHint estimates how long a client should back off before
+	// retrying the given op, from the serving queue's depth and per-op
+	// service EWMAs.
+	RetryAfterHint(block int64, op wire.Op) time.Duration
+	Close() error
+}
+
+// Compile-time checks: both serving engines satisfy the front-end surface.
+var (
+	_ Backend = (*Server)(nil)
+	_ Backend = (*Sharded)(nil)
+)
+
+// RouteBlock maps a global block id onto (shard, shard-local block) under
+// stable modulo routing: shard = block mod shards, local = block div
+// shards. The inverse is block = local*shards + shard. Out-of-domain ids
+// (negative) and shards <= 1 pass through to shard 0 unchanged, so the
+// shard engine reports the same range error the unsharded engine would.
+func RouteBlock(block int64, shards int) (shard int, local int64) {
+	if shards <= 1 || block < 0 {
+		return 0, block
+	}
+	p := int64(shards)
+	return int(block % p), block / p
+}
+
+// ShardSeed derives shard i's deterministic RNG seed from a base seed.
+// Shard 0 keeps the base seed itself, so a 1-shard deployment is
+// RNG-lockstep identical to the unsharded engine it replaces.
+func ShardSeed(seed uint64, shard int) uint64 {
+	return seed ^ (uint64(shard) << 32)
+}
+
+// Shards reports 1: a Server serves one unpartitioned tree.
+func (s *Server) Shards() int { return 1 }
+
+// RetryAfterHint quotes this scheduler's estimated wait for one op kind.
+func (s *Server) RetryAfterHint(block int64, op wire.Op) time.Duration {
+	return s.estimatedWaitOp(kindOf(op))
+}
+
+// kindOf maps a wire op onto the scheduler's op kind; OpInfo never
+// reaches a scheduler queue, so it prices as the cheapest kind.
+func kindOf(op wire.Op) opKind {
+	switch op {
+	case wire.OpRead:
+		return opRead
+	case wire.OpWrite:
+		return opWrite
+	case wire.OpXRead:
+		return opXRead
+	default:
+		return opAccess
+	}
+}
+
+// Sharded partitions the global block address space across P independent
+// engines, each behind its own scheduler goroutine. It implements the
+// same Backend surface as a single Server, so the TCP front end and the
+// daemons are indifferent to the partition width.
+type Sharded struct {
+	shards    []*Server
+	perShard  int64 // blocks per shard engine
+	numBlocks int64 // global: perShard * len(shards)
+	blockB    int
+	encrypted bool
+}
+
+// NewSharded starts one scheduler per engine and routes the global
+// address space [0, P*perShard) across them. Every engine must have the
+// same geometry (block count, block size, encryption); each must be
+// exclusively owned by this Sharded from here on.
+func NewSharded(engines []Engine, cfg Config) (*Sharded, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("server: sharded engine needs at least one shard")
+	}
+	per := engines[0].NumBlocks()
+	blockB := engines[0].BlockSize()
+	enc := engines[0].Encrypted()
+	for i, e := range engines[1:] {
+		if e.NumBlocks() != per || e.BlockSize() != blockB || e.Encrypted() != enc {
+			return nil, fmt.Errorf("server: shard %d geometry %d×%dB/enc=%v differs from shard 0 %d×%dB/enc=%v",
+				i+1, e.NumBlocks(), e.BlockSize(), e.Encrypted(), per, blockB, enc)
+		}
+	}
+	sh := &Sharded{
+		perShard:  per,
+		numBlocks: per * int64(len(engines)),
+		blockB:    blockB,
+		encrypted: enc,
+	}
+	for _, e := range engines {
+		sh.shards = append(sh.shards, New(e, cfg))
+	}
+	return sh, nil
+}
+
+// NumBlocks returns the global address-space size across all shards.
+func (sh *Sharded) NumBlocks() int64 { return sh.numBlocks }
+
+// BlockSize returns the (shared) block size in bytes.
+func (sh *Sharded) BlockSize() int { return sh.blockB }
+
+// Encrypted reports whether the shards have an active data plane.
+func (sh *Sharded) Encrypted() bool { return sh.encrypted }
+
+// Shards reports the partition width.
+func (sh *Sharded) Shards() int { return len(sh.shards) }
+
+// Shard exposes one shard's scheduler (for per-shard metrics and tests).
+func (sh *Sharded) Shard(i int) *Server { return sh.shards[i] }
+
+// route picks the shard scheduler serving a global block id and the
+// shard-local id to hand it. Out-of-range global ids (>= NumBlocks) still
+// route by modulo: the local id is then >= perShard and the shard engine
+// reports the range error, exactly as the unsharded engine would.
+func (sh *Sharded) route(block int64) (*Server, int64) {
+	shard, local := RouteBlock(block, len(sh.shards))
+	return sh.shards[shard], local
+}
+
+// Access obliviously touches a block on its shard.
+func (sh *Sharded) Access(ctx context.Context, block int64) error {
+	srv, local := sh.route(block)
+	return srv.Access(ctx, local)
+}
+
+// Read obliviously fetches a block's content from its shard.
+func (sh *Sharded) Read(ctx context.Context, block int64) ([]byte, error) {
+	srv, local := sh.route(block)
+	return srv.Read(ctx, local)
+}
+
+// ReadXOR fetches a block as an online-transfer payload from its shard.
+func (sh *Sharded) ReadXOR(ctx context.Context, block int64) (*aboram.XORResult, error) {
+	srv, local := sh.route(block)
+	return srv.ReadXOR(ctx, local)
+}
+
+// Write obliviously stores a block's content on its shard.
+func (sh *Sharded) Write(ctx context.Context, block int64, data []byte) error {
+	srv, local := sh.route(block)
+	return srv.Write(ctx, local, data)
+}
+
+// WriteID is Write with the client-assigned request id attached; the id
+// travels to the shard's durable engine untouched, so the dedup window
+// semantics are identical to the unsharded path.
+func (sh *Sharded) WriteID(ctx context.Context, id uint64, block int64, data []byte) error {
+	srv, local := sh.route(block)
+	return srv.WriteID(ctx, id, local, data)
+}
+
+// RetryAfterHint quotes the serving shard's own queue — overload on one
+// shard must not inflate the backoff of clients bound for another.
+func (sh *Sharded) RetryAfterHint(block int64, op wire.Op) time.Duration {
+	srv, _ := sh.route(block)
+	return srv.RetryAfterHint(block, op)
+}
+
+// Metrics aggregates all shard schedulers into one fleet-wide snapshot.
+func (sh *Sharded) Metrics() Metrics {
+	return AggregateMetrics(sh.ShardMetrics())
+}
+
+// ShardMetrics returns each shard scheduler's snapshot, indexed by shard.
+func (sh *Sharded) ShardMetrics() []Metrics {
+	out := make([]Metrics, len(sh.shards))
+	for i, s := range sh.shards {
+		out[i] = s.Metrics()
+	}
+	return out
+}
+
+// Close shuts every shard scheduler down (draining admitted requests)
+// and returns the first error.
+func (sh *Sharded) Close() error {
+	var first error
+	for _, s := range sh.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

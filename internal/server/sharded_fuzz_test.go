@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/server/wire"
+)
+
+// FuzzShardRoute fuzzes the front-end path a sharded daemon takes for
+// every frame: decode the request body, route its block across a range
+// of partition widths, and encode/decode the acknowledgment. Invariants:
+// routing never panics and never leaves [0,P), it inverts back to the
+// global id (no aliasing between shards), P=1 is the identity, and the
+// ack round-trips canonically.
+func FuzzShardRoute(f *testing.F) {
+	add := func(req wire.Request) {
+		body, err := wire.AppendRequest(nil, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body, uint8(4))
+	}
+	add(wire.Request{Op: wire.OpAccess, Block: 7})
+	add(wire.Request{Op: wire.OpRead, Block: 1<<40 + 3, ID: 12})
+	add(wire.Request{Op: wire.OpWrite, Block: 255, ID: 1 << 50, Data: []byte("shard me")})
+	add(wire.Request{Op: wire.OpInfo})
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{byte(wire.OpAccess), 0, 0, 0, 0, 0, 0, 0, 0}, uint8(9))
+
+	f.Fuzz(func(t *testing.T, body []byte, pRaw uint8) {
+		req, err := wire.DecodeRequest(body)
+		if err != nil {
+			return
+		}
+		widths := []int{1, 2, 3, 4, 8, int(pRaw)%16 + 1}
+		for _, p := range widths {
+			shard, local := RouteBlock(req.Block, p)
+			if shard < 0 || shard >= p {
+				t.Fatalf("P=%d block %d: shard %d out of range", p, req.Block, shard)
+			}
+			if local < 0 {
+				t.Fatalf("P=%d block %d: negative local id %d", p, req.Block, local)
+			}
+			if inv := local*int64(p) + int64(shard); inv != req.Block {
+				t.Fatalf("P=%d block %d: routing does not invert (shard %d local %d)", p, req.Block, shard, local)
+			}
+			if p == 1 && (shard != 0 || local != req.Block) {
+				t.Fatalf("P=1 block %d not the identity: (%d,%d)", req.Block, shard, local)
+			}
+			s2, l2 := RouteBlock(req.Block, p)
+			if s2 != shard || l2 != local {
+				t.Fatalf("P=%d block %d: routing unstable", p, req.Block)
+			}
+		}
+		// The ack for a routed mutating op: an overloaded response carrying
+		// a shard-local retry hint must round-trip canonically.
+		ack := wire.Response{Overloaded: true, RetryAfterMillis: uint32(req.ID)}
+		encoded, err := wire.AppendResponse(nil, ack)
+		if err != nil {
+			t.Fatalf("ack does not encode: %v", err)
+		}
+		back, err := wire.DecodeResponse(encoded)
+		if err != nil {
+			t.Fatalf("ack does not decode: %v", err)
+		}
+		if !back.Overloaded || back.RetryAfterMillis != ack.RetryAfterMillis {
+			t.Fatalf("ack round trip changed %+v into %+v", ack, back)
+		}
+		re, err := wire.AppendResponse(nil, back)
+		if err != nil || !bytes.Equal(re, encoded) {
+			t.Fatalf("ack encoding not canonical (err %v)", err)
+		}
+	})
+}

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/server/wire"
+)
+
+// shardWidths are the partition widths the router properties are checked
+// over, per the sharding acceptance bar.
+var shardWidths = []int{1, 2, 3, 4, 8}
+
+// TestRouteBlockProperties checks the router's algebra: every block maps
+// to exactly one in-range shard, the mapping inverts (local*P+shard
+// recovers the global id, so no two blocks can collide on one slot), and
+// routing is a pure function of (block, P) — stable across calls, which
+// is what makes it stable across restarts.
+func TestRouteBlockProperties(t *testing.T) {
+	blocks := []int64{0, 1, 2, 3, 7, 8, 100, 255, 256, 1<<20 + 17, 1<<40 + 3, 1<<62 - 1}
+	for b := int64(0); b < 1000; b++ {
+		blocks = append(blocks, b)
+	}
+	for _, p := range shardWidths {
+		for _, b := range blocks {
+			shard, local := RouteBlock(b, p)
+			if shard < 0 || shard >= p {
+				t.Fatalf("P=%d block %d: shard %d out of range", p, b, shard)
+			}
+			if local < 0 {
+				t.Fatalf("P=%d block %d: negative local id %d", p, b, local)
+			}
+			if inv := local*int64(p) + int64(shard); inv != b {
+				t.Fatalf("P=%d block %d: routing does not invert (shard %d local %d → %d)", p, b, shard, local, inv)
+			}
+			s2, l2 := RouteBlock(b, p)
+			if s2 != shard || l2 != local {
+				t.Fatalf("P=%d block %d: routing unstable (%d,%d) then (%d,%d)", p, b, shard, local, s2, l2)
+			}
+		}
+	}
+	// P=1 is the identity: global id is the local id, everything on shard 0.
+	for _, b := range blocks {
+		if shard, local := RouteBlock(b, 1); shard != 0 || local != b {
+			t.Fatalf("P=1 block %d routed to (%d,%d), want (0,%d)", b, shard, local, b)
+		}
+	}
+	// Out-of-domain ids pass through to shard 0 so the shard engine
+	// reports the same range error the unsharded engine would.
+	if shard, local := RouteBlock(-5, 4); shard != 0 || local != -5 {
+		t.Fatalf("negative block routed to (%d,%d), want (0,-5)", shard, local)
+	}
+}
+
+// TestShardSeed checks the per-shard seed derivation: shard 0 keeps the
+// base seed (the P=1 identity depends on it), and no two shards share a
+// seed.
+func TestShardSeed(t *testing.T) {
+	const base = 0xfeedface
+	if ShardSeed(base, 0) != base {
+		t.Fatalf("shard 0 seed %d, want base %d", ShardSeed(base, 0), uint64(base))
+	}
+	seen := map[uint64]int{}
+	for i := 0; i < 16; i++ {
+		s := ShardSeed(base, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestShardedGeometryMismatch checks that NewSharded refuses engines
+// with differing geometry — a mixed fleet would silently corrupt the
+// global address arithmetic.
+func TestShardedGeometryMismatch(t *testing.T) {
+	taller, err := aboram.New(aboram.Options{Levels: 9, Seed: 1, EncryptionKey: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := newTestORAM(t, 2)
+	if _, err := NewSharded([]Engine{base, taller}, Config{}); err == nil {
+		t.Fatal("NewSharded accepted engines with mismatched geometry")
+	}
+	if _, err := NewSharded(nil, Config{}); err == nil {
+		t.Fatal("NewSharded accepted an empty engine list")
+	}
+}
+
+// stripNondeterministic zeroes the timing-derived fields of a metrics
+// snapshot — service EWMAs (wall clock) and the queue high-water mark
+// (the admission-time depth races with the scheduler's drain) — so the
+// deterministic counters can be compared exactly.
+func stripNondeterministic(m Metrics) Metrics {
+	m.ServiceEWMA = 0
+	m.OpEWMA = OpEWMA{}
+	m.QueueHighWater = 0
+	return m
+}
+
+// TestShardedLockstepP1 is the P=1 identity check: a Sharded router over
+// one engine must be observationally identical to a bare Server over the
+// same engine — same RNG lockstep (byte-identical reads for the same op
+// sequence against same-seed trees) and same scheduler counters.
+func TestShardedLockstepP1(t *testing.T) {
+	const seed = 777
+	plain := New(newTestORAM(t, seed), Config{Queue: 32, Batch: 8})
+	defer plain.Close()
+	sharded, err := NewSharded([]Engine{newTestORAM(t, seed)}, Config{Queue: 32, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	if sharded.NumBlocks() != plain.NumBlocks() || sharded.BlockSize() != plain.BlockSize() ||
+		sharded.Encrypted() != plain.Encrypted() {
+		t.Fatalf("geometry diverged: sharded %d×%d enc=%v, plain %d×%d enc=%v",
+			sharded.NumBlocks(), sharded.BlockSize(), sharded.Encrypted(),
+			plain.NumBlocks(), plain.BlockSize(), plain.Encrypted())
+	}
+	if sharded.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", sharded.Shards())
+	}
+
+	ctx := context.Background()
+	n := plain.NumBlocks()
+	o := plain.eng.(*aboram.ORAM)
+	// Sequential ops keep both engines in RNG lockstep: every access must
+	// produce identical results because shard 0 keeps the base seed and
+	// the router adds no RNG draws of its own.
+	for i := 0; i < 200; i++ {
+		blk := (int64(i) * 17) % n
+		switch i % 4 {
+		case 0:
+			d := payload(o, blk, 0xA5)
+			if err := plain.Write(ctx, blk, d); err != nil {
+				t.Fatalf("plain write %d: %v", i, err)
+			}
+			if err := sharded.Write(ctx, blk, d); err != nil {
+				t.Fatalf("sharded write %d: %v", i, err)
+			}
+		case 1, 2:
+			a, err := plain.Read(ctx, blk)
+			if err != nil {
+				t.Fatalf("plain read %d: %v", i, err)
+			}
+			b, err := sharded.Read(ctx, blk)
+			if err != nil {
+				t.Fatalf("sharded read %d: %v", i, err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("op %d block %d: sharded read diverged from plain:\n plain   % x\n sharded % x", i, blk, a, b)
+			}
+		case 3:
+			if err := plain.Access(ctx, blk); err != nil {
+				t.Fatalf("plain access %d: %v", i, err)
+			}
+			if err := sharded.Access(ctx, blk); err != nil {
+				t.Fatalf("sharded access %d: %v", i, err)
+			}
+		}
+	}
+
+	pm, sm := stripNondeterministic(plain.Metrics()), stripNondeterministic(sharded.Metrics())
+	if !reflect.DeepEqual(pm, sm) {
+		t.Fatalf("P=1 metrics diverged:\n plain   %+v\n sharded %+v", pm, sm)
+	}
+}
+
+// TestShardedRoutingCounts drives a P=4 fleet through known blocks and
+// checks (a) data round-trips through the global address space and (b)
+// each op landed on exactly the shard the routing law names — per-shard
+// scheduler counters are the witness.
+func TestShardedRoutingCounts(t *testing.T) {
+	const p = 4
+	engines := make([]Engine, p)
+	for i := range engines {
+		o, err := aboram.New(aboram.Options{Levels: 8, Seed: ShardSeed(99, i), EncryptionKey: testKey})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = o
+	}
+	sh, err := NewSharded(engines, Config{Queue: 32, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	ctx := context.Background()
+	n := sh.NumBlocks()
+	if want := engines[0].NumBlocks() * p; n != want {
+		t.Fatalf("global NumBlocks %d, want %d", n, want)
+	}
+
+	wantWrites := make([]uint64, p)
+	wrote := map[int64][]byte{}
+	for i := 0; i < 64; i++ {
+		blk := (int64(i)*31 + 5) % n
+		if _, dup := wrote[blk]; dup {
+			continue
+		}
+		d := make([]byte, sh.BlockSize())
+		for j := range d {
+			d[j] = byte(i) ^ byte(j*7)
+		}
+		if err := sh.Write(ctx, blk, d); err != nil {
+			t.Fatalf("write %d: %v", blk, err)
+		}
+		wrote[blk] = d
+		shard, _ := RouteBlock(blk, p)
+		wantWrites[shard]++
+	}
+	for blk, want := range wrote {
+		got, err := sh.Read(ctx, blk)
+		if err != nil {
+			t.Fatalf("read %d: %v", blk, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d round trip: got % x want % x", blk, got, want)
+		}
+	}
+	for i, m := range sh.ShardMetrics() {
+		if m.Writes != wantWrites[i] {
+			t.Fatalf("shard %d served %d writes, routing law predicts %d", i, m.Writes, wantWrites[i])
+		}
+	}
+	// The aggregate must see every op exactly once.
+	agg := sh.Metrics()
+	var total uint64
+	for _, w := range wantWrites {
+		total += w
+	}
+	if agg.Writes != total {
+		t.Fatalf("aggregate writes %d, want %d", agg.Writes, total)
+	}
+	if agg.Reads != uint64(len(wrote)) {
+		t.Fatalf("aggregate reads %d, want %d", agg.Reads, len(wrote))
+	}
+}
+
+// TestShardedRetryAfterHintIsShardLocal drives only one shard and checks
+// the backoff quote for a block bound to an idle shard stays zero — one
+// hot shard must not inflate another shard's retry hints.
+func TestShardedRetryAfterHintIsShardLocal(t *testing.T) {
+	const p = 2
+	engines := make([]Engine, p)
+	for i := range engines {
+		o, err := aboram.New(aboram.Options{Levels: 8, Seed: ShardSeed(3, i), EncryptionKey: testKey})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = o
+	}
+	sh, err := NewSharded(engines, Config{Queue: 32, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	ctx := context.Background()
+	// Blocks ≡ 1 (mod 2) all land on shard 1; shard 0 stays idle.
+	for i := 0; i < 20; i++ {
+		if err := sh.Access(ctx, int64(2*i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hint := sh.RetryAfterHint(1, wire.OpAccess); hint <= 0 {
+		t.Fatalf("hot shard quoted %v, want positive (service EWMA observed)", hint)
+	}
+	if hint := sh.RetryAfterHint(0, wire.OpAccess); hint != 0 {
+		t.Fatalf("idle shard quoted %v, want 0", hint)
+	}
+	var zero time.Duration
+	if m := sh.Shard(0).Metrics(); m.ServiceEWMA != zero || m.Served() != 0 {
+		t.Fatalf("idle shard served work: %+v", m)
+	}
+}

@@ -43,9 +43,9 @@ type TCPMetrics struct {
 }
 
 // TCPServer speaks the wire protocol on a listener and forwards requests
-// to a Server.
+// to a Backend — one Server, or a Sharded router over P of them.
 type TCPServer struct {
-	srv *Server
+	srv Backend
 	cfg TCPConfig
 
 	mu       sync.Mutex
@@ -62,8 +62,9 @@ type TCPServer struct {
 	handlers sync.WaitGroup
 }
 
-// NewTCP wraps a Server with a wire-protocol front end.
-func NewTCP(srv *Server, cfg TCPConfig) *TCPServer {
+// NewTCP wraps a serving backend (a single Server or a Sharded router)
+// with a wire-protocol front end.
+func NewTCP(srv Backend, cfg TCPConfig) *TCPServer {
 	if cfg.DedupWindow <= 0 {
 		cfg.DedupWindow = 4096
 	}
@@ -253,22 +254,23 @@ func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response
 			NumBlocks: t.srv.NumBlocks(),
 			BlockSize: t.srv.BlockSize(),
 			Encrypted: t.srv.Encrypted(),
+			Shards:    t.srv.Shards(),
 		})}
 	case wire.OpAccess:
 		if err := t.srv.Access(ctx, req.Block); err != nil {
-			return t.failure(err)
+			return t.failure(req, err)
 		}
 		return wire.Response{}
 	case wire.OpRead:
 		data, err := t.srv.Read(ctx, req.Block)
 		if err != nil {
-			return t.failure(err)
+			return t.failure(req, err)
 		}
 		return wire.Response{Data: data}
 	case wire.OpXRead:
 		x, err := t.srv.ReadXOR(ctx, req.Block)
 		if err != nil {
-			return t.failure(err)
+			return t.failure(req, err)
 		}
 		data, err := wire.EncodeXRead(xreadPayload(x))
 		if err != nil {
@@ -277,7 +279,7 @@ func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response
 		return wire.Response{Data: data}
 	case wire.OpWrite:
 		if err := t.srv.WriteID(ctx, req.ID, req.Block, req.Data); err != nil {
-			return t.failure(err)
+			return t.failure(req, err)
 		}
 		return wire.Response{}
 	default:
@@ -305,7 +307,7 @@ func xreadPayload(x *aboram.XORResult) wire.XReadPayload {
 // error from submit authoritative for "not executed") — become the
 // distinguishable overloaded status with a retry-after hint, so clients
 // can back off and retry safely; everything else is a plain error.
-func (t *TCPServer) failure(err error) wire.Response {
+func (t *TCPServer) failure(req wire.Request, err error) wire.Response {
 	notExecuted := errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadlineShed) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 	if !notExecuted {
@@ -314,13 +316,15 @@ func (t *TCPServer) failure(err error) wire.Response {
 	t.mu.Lock()
 	t.shed++
 	t.mu.Unlock()
-	return wire.Response{Overloaded: true, RetryAfterMillis: t.retryAfterMillis()}
+	return wire.Response{Overloaded: true, RetryAfterMillis: t.retryAfterMillis(req)}
 }
 
-// retryAfterMillis turns the scheduler's estimated queue wait into the
-// hint an overloaded response carries, clamped to [1ms, 30s].
-func (t *TCPServer) retryAfterMillis() uint32 {
-	est := t.srv.EstimatedWait()
+// retryAfterMillis turns the serving queue's estimated wait — the shard
+// and op kind that would actually execute the request, so one hot shard
+// cannot inflate another's backoff — into the hint an overloaded response
+// carries, clamped to [1ms, 30s].
+func (t *TCPServer) retryAfterMillis(req wire.Request) uint32 {
+	est := t.srv.RetryAfterHint(req.Block, req.Op)
 	ms := int64(est / time.Millisecond)
 	if ms < 1 {
 		ms = 1

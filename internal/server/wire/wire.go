@@ -117,11 +117,14 @@ type Response struct {
 }
 
 // InfoPayload is the OpInfo response body: the store geometry a load
-// generator needs to choose keys.
+// generator needs to choose keys. NumBlocks is the global address space;
+// when Shards > 1 the daemon routes block b to shard b mod Shards, which
+// a load generator uses to report per-shard balance.
 type InfoPayload struct {
 	NumBlocks int64
 	BlockSize int
 	Encrypted bool
+	Shards    int
 }
 
 // AppendRequest appends the canonical body encoding of req to dst. It
@@ -254,21 +257,27 @@ func validateResponse(resp Response) error {
 }
 
 // EncodeInfo renders an OpInfo response payload: 8 bytes of block count,
-// 4 bytes of block size, 1 flag byte.
+// 4 bytes of block size, 1 flag byte, 2 bytes of shard count. Shards 0
+// ("unset") encodes as 1, the unsharded geometry.
 func EncodeInfo(info InfoPayload) []byte {
-	out := make([]byte, 13)
+	out := make([]byte, 15)
 	binary.BigEndian.PutUint64(out[0:8], uint64(info.NumBlocks))
 	binary.BigEndian.PutUint32(out[8:12], uint32(info.BlockSize))
 	if info.Encrypted {
 		out[12] = 1
 	}
+	shards := info.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	binary.BigEndian.PutUint16(out[13:15], uint16(shards))
 	return out
 }
 
 // DecodeInfo parses an OpInfo response payload.
 func DecodeInfo(data []byte) (InfoPayload, error) {
-	if len(data) != 13 {
-		return InfoPayload{}, fmt.Errorf("wire: info payload %d bytes, want 13", len(data))
+	if len(data) != 15 {
+		return InfoPayload{}, fmt.Errorf("wire: info payload %d bytes, want 15", len(data))
 	}
 	if data[12] > 1 {
 		return InfoPayload{}, fmt.Errorf("wire: info flag byte %d", data[12])
@@ -277,9 +286,13 @@ func DecodeInfo(data []byte) (InfoPayload, error) {
 		NumBlocks: int64(binary.BigEndian.Uint64(data[0:8])),
 		BlockSize: int(int32(binary.BigEndian.Uint32(data[8:12]))),
 		Encrypted: data[12] == 1,
+		Shards:    int(binary.BigEndian.Uint16(data[13:15])),
 	}
 	if info.NumBlocks < 0 || info.BlockSize < 0 {
 		return InfoPayload{}, fmt.Errorf("wire: negative geometry %d/%d", info.NumBlocks, info.BlockSize)
+	}
+	if info.Shards == 0 {
+		return InfoPayload{}, fmt.Errorf("wire: info shard count 0")
 	}
 	return info, nil
 }

@@ -138,13 +138,22 @@ func TestFrameLimits(t *testing.T) {
 }
 
 func TestInfoRoundTrip(t *testing.T) {
-	in := InfoPayload{NumBlocks: 81900, BlockSize: 64, Encrypted: true}
+	in := InfoPayload{NumBlocks: 81900, BlockSize: 64, Encrypted: true, Shards: 4}
 	got, err := DecodeInfo(EncodeInfo(in))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != in {
 		t.Fatalf("info round trip changed %+v into %+v", in, got)
+	}
+	// Shards 0 means "unset": it encodes as the unsharded geometry.
+	unset := InfoPayload{NumBlocks: 10, BlockSize: 64}
+	got, err = DecodeInfo(EncodeInfo(unset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 1 {
+		t.Fatalf("unset shard count decoded as %d, want 1", got.Shards)
 	}
 	if _, err := DecodeInfo([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short info payload accepted")
@@ -153,6 +162,11 @@ func TestInfoRoundTrip(t *testing.T) {
 	bad[12] = 9
 	if _, err := DecodeInfo(bad); err == nil {
 		t.Fatal("bad flag byte accepted")
+	}
+	zero := EncodeInfo(in)
+	zero[13], zero[14] = 0, 0
+	if _, err := DecodeInfo(zero); err == nil {
+		t.Fatal("zero shard count accepted")
 	}
 }
 

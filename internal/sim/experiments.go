@@ -42,6 +42,7 @@ func Registry() map[string]Runner {
 		"sweep":   RunSweep,
 		"verify":  RunVerify,
 		"serve":   RunServe,
+		"shards":  RunShardScale,
 		"xor":     RunXOR,
 	}
 }
@@ -50,7 +51,7 @@ func Registry() map[string]Runner {
 // rather than simulated cycles. Wall-clock experiments are machine-
 // dependent, so cmd/abench excludes them from `-exp all` (which promises
 // byte-identical output at any parallelism) and runs them only by name.
-func WallClock(id string) bool { return id == "serve" }
+func WallClock(id string) bool { return id == "serve" || id == "shards" }
 
 // ExperimentIDs returns the registry keys in stable order.
 func ExperimentIDs() []string {

@@ -46,10 +46,10 @@ func TestWallClockFilter(t *testing.T) {
 			}
 		}
 	}
-	if found != 1 {
-		t.Fatalf("expected exactly 1 wall-clock experiment, found %d", found)
+	if found != 2 {
+		t.Fatalf("expected exactly 2 wall-clock experiments, found %d", found)
 	}
-	if !WallClock("serve") {
-		t.Fatal("serve must be classified wall-clock")
+	if !WallClock("serve") || !WallClock("shards") {
+		t.Fatal("serve and shards must be classified wall-clock")
 	}
 }

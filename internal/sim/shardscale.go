@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// Shard-scaling bench mode: the serving stack again, but with the block
+// address space partitioned across P independent ORAM trees behind the
+// modulo router (internal/server.Sharded). Each tree keeps the totally
+// ordered access sequence its obliviousness argument needs, so shards
+// serve in parallel and throughput should scale with P — this experiment
+// measures how much of that scaling survives the real stack (TCP front
+// end, scheduler wakeups, Go runtime). The trade-off it buys is a
+// bounded leak: the shard index of every access is the low log2(P) bits
+// of its block id (README, "Sharded serving").
+
+// shardWidths are the partition widths the scaling table sweeps.
+var shardScaleWidths = []int{1, 2, 4}
+
+// shardScaleResult is one width's measurement.
+type shardScaleResult struct {
+	shards   int
+	ops      int
+	wall     time.Duration
+	lat      stats.LatencySummary
+	metrics  server.Metrics // aggregate over shards
+	perShard []uint64       // ops served per shard
+	errors   int
+}
+
+// balance returns max/mean and min/mean of the per-shard served counts —
+// 1.00/1.00 is a perfectly level fleet.
+func (r shardScaleResult) balance() (maxOverMean, minOverMean float64) {
+	if len(r.perShard) == 0 {
+		return 0, 0
+	}
+	var total, max uint64
+	min := r.perShard[0]
+	for _, c := range r.perShard {
+		total += c
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	mean := float64(total) / float64(len(r.perShard))
+	if mean == 0 {
+		return 0, 0
+	}
+	return float64(max) / mean, float64(min) / mean
+}
+
+// RunShardScale benchmarks sharded serving throughput at P ∈ {1, 2, 4}:
+// each width runs the same closed-loop fleet (32 clients, uniform
+// blocks over the GLOBAL address space, 50% reads) against a P-tree
+// engine, and the table reports ops/s plus the speedup over the P=1
+// baseline. Uniform block choice makes the routing distribution level,
+// so the speedup column isolates the router and scheduler, not workload
+// skew. Like `serve`, the numbers are wall-clock and machine-dependent:
+// excluded from `-exp all`, run by name.
+func RunShardScale(p Params) ([]*report.Table, error) {
+	ops := p.Measure
+	if ops < serveWorkers {
+		ops = serveWorkers
+	}
+	results := make([]shardScaleResult, 0, len(shardScaleWidths))
+	for _, w := range shardScaleWidths {
+		r, err := runShardWidth(p, w, ops)
+		if err != nil {
+			return nil, fmt.Errorf("shards P=%d: %w", w, err)
+		}
+		results = append(results, r)
+	}
+
+	base := float64(results[0].ops) / results[0].wall.Seconds()
+	head := report.New("sharded serving: throughput scaling over P trees",
+		"shards", "ops", "ops/s", "speedup", "p50", "p95", "balance max", "balance min")
+	for _, r := range results {
+		rate := float64(r.ops) / r.wall.Seconds()
+		maxB, minB := r.balance()
+		head.AddRow(
+			report.Int(int64(r.shards)),
+			report.Int(int64(r.ops)),
+			report.Float(rate, 1),
+			report.Float(rate/base, 2),
+			r.lat.P50.String(),
+			r.lat.P95.String(),
+			report.Float(maxB, 2),
+			report.Float(minB, 2),
+		)
+	}
+	head.AddNote("%d closed-loop clients over loopback TCP, uniform blocks over the global space, 50%% reads, %d-level trees (one per shard)", serveWorkers, p.Levels)
+	head.AddNote("GOMAXPROCS=%d during this run; shards scale by running their CPU-bound schedulers on distinct cores, so on a single-CPU host the speedup column degenerates to ~1.0", runtime.GOMAXPROCS(0))
+	head.AddNote("speedup is ops/s relative to the P=1 row; balance is per-shard served ops over the fleet mean (1.00 = level)")
+	head.AddNote("sharding leaks the low log2(P) block-address bits per access (see README \"Sharded serving\"); within each shard the pattern stays oblivious")
+	head.AddNote("wall-clock measurement: numbers vary by machine and are excluded from -exp all")
+
+	tables := []*report.Table{head}
+	for _, r := range results {
+		t := r.metrics.Table(fmt.Sprintf("sharded serving: aggregate scheduler counters, P=%d", r.shards))
+		if r.errors > 0 {
+			t.AddNote("%d client-observed operation errors", r.errors)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// runShardWidth measures one partition width end to end.
+func runShardWidth(p Params, shards, ops int) (shardScaleResult, error) {
+	key := []byte("0123456789abcdef") // bench-only demo key
+	engines := make([]server.Engine, shards)
+	for i := range engines {
+		o, err := aboram.New(aboram.Options{
+			Levels:        p.Levels,
+			Seed:          server.ShardSeed(p.Seed, i),
+			EncryptionKey: key,
+		})
+		if err != nil {
+			return shardScaleResult{}, err
+		}
+		engines[i] = o
+	}
+	srv, err := server.NewSharded(engines, server.Config{Queue: 4 * serveWorkers, Batch: serveBatchOn})
+	if err != nil {
+		return shardScaleResult{}, err
+	}
+	tsrv := server.NewTCP(srv, server.TCPConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return shardScaleResult{}, err
+	}
+	served := make(chan error, 1)
+	go func() { served <- tsrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		tsrv.Shutdown(ctx)
+		<-served
+		srv.Close()
+	}()
+
+	addr := ln.Addr().String()
+	n := uint64(srv.NumBlocks())
+	blockB := srv.BlockSize()
+	root := rng.New(p.Seed)
+
+	lat := new(stats.LatencyRecorder)
+	var mu sync.Mutex
+	totalErrs := 0
+	var firstErr error
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < serveWorkers; w++ {
+		nOps := ops / serveWorkers
+		if w < ops%serveWorkers {
+			nOps++
+		}
+		src := root.Fork()
+		wg.Add(1)
+		go func(nOps int, src *rng.Source) {
+			defer wg.Done()
+			errs, err := shardScaleWorker(addr, nOps, n, blockB, src, lat)
+			mu.Lock()
+			totalErrs += errs
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(nOps, src)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return shardScaleResult{}, firstErr
+	}
+
+	perShard := make([]uint64, shards)
+	for i, m := range srv.ShardMetrics() {
+		perShard[i] = m.Served()
+	}
+	return shardScaleResult{
+		shards:   shards,
+		ops:      ops,
+		wall:     wall,
+		lat:      lat.Summary(),
+		metrics:  srv.Metrics(),
+		perShard: perShard,
+		errors:   totalErrs,
+	}, nil
+}
+
+// shardScaleWorker runs one closed-loop client: uniform blocks over the
+// global address space, 50% reads. Per-op server errors are counted;
+// connection-level failures are fatal.
+func shardScaleWorker(addr string, ops int, numBlocks uint64, blockB int, src *rng.Source, lat *stats.LatencyRecorder) (int, error) {
+	c, err := server.DialConfig(addr, server.ClientConfig{Timeout: 30 * time.Second})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	buf := make([]byte, blockB)
+	errs := 0
+	for i := 0; i < ops; i++ {
+		blk := int64(src.Uint64n(numBlocks))
+		read := src.Bool()
+		begin := time.Now()
+		if read {
+			_, err = c.Read(blk)
+		} else {
+			for j := range buf {
+				buf[j] = byte(src.Uint64())
+			}
+			err = c.Write(blk, buf)
+		}
+		lat.Record(time.Since(begin))
+		if err != nil {
+			errs++
+		}
+	}
+	return errs, nil
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunShardScale runs the shard-scaling bench end to end at a tiny
+// scale: one headline row per partition width plus per-width aggregate
+// counters, every op accounted for, and the P=1 speedup pinned at 1.00.
+func TestRunShardScale(t *testing.T) {
+	p := Params{Levels: 8, Measure: 64, Seed: 1}
+	tables, err := RunShardScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(shardScaleWidths)+1 {
+		t.Fatalf("RunShardScale returned %d tables, want %d (headline + per-width counters)",
+			len(tables), len(shardScaleWidths)+1)
+	}
+	head := tables[0]
+	if len(head.Rows) != len(shardScaleWidths) {
+		t.Fatalf("headline table has %d rows, want %d widths", len(head.Rows), len(shardScaleWidths))
+	}
+	for i, w := range shardScaleWidths {
+		if head.Rows[i][0] != strconv.Itoa(w) {
+			t.Errorf("headline row %d shards column is %q, want %d", i, head.Rows[i][0], w)
+		}
+		if !strings.Contains(tables[i+1].Title, "P="+strconv.Itoa(w)) {
+			t.Errorf("counter table %d title %q missing width P=%d", i+1, tables[i+1].Title, w)
+		}
+	}
+	if head.Rows[0][3] != "1.00" {
+		t.Errorf("P=1 speedup is %q, want the 1.00 baseline", head.Rows[0][3])
+	}
+	leaked := false
+	for _, n := range head.Notes {
+		if strings.Contains(n, "log2(P)") {
+			leaked = true
+		}
+	}
+	if !leaked {
+		t.Error("headline table does not state the log2(P) address-bit leak")
+	}
+}
+
+// TestShardScaleAccounting checks one width in isolation: the per-shard
+// served counts must sum to the issued ops and the aggregate counters
+// must agree.
+func TestShardScaleAccounting(t *testing.T) {
+	p := Params{Levels: 8, Measure: 64, Seed: 3}
+	r, err := runShardWidth(p, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.errors != 0 {
+		t.Fatalf("%d client-observed errors under a clean bench", r.errors)
+	}
+	var total uint64
+	for _, c := range r.perShard {
+		total += c
+	}
+	if total != 64 {
+		t.Fatalf("per-shard served counts sum to %d, want 64", total)
+	}
+	if got := r.metrics.Served(); got != 64 {
+		t.Fatalf("aggregate served %d, want 64", got)
+	}
+	maxB, minB := r.balance()
+	if maxB < 1 || minB > 1 || minB < 0 {
+		t.Fatalf("balance (%.2f, %.2f) out of order: max/mean must be >= 1 >= min/mean >= 0", maxB, minB)
+	}
+}

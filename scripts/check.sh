@@ -4,10 +4,11 @@
 # packages (the sim orchestrator's worker pool, the ringoram engine, the
 # serving layer's scheduler/TCP front end, and the durability stack with
 # its fault injector), race-mode crash-recovery and exactly-once smokes
-# (kill-recover oracle, retry/group-commit schedules, chaos soak;
-# internal/check), a race-mode pass of the XOR fast-path oracle (the
-# sweep-shaped differential oracle with Config.XORRead on), then a
-# short-budget fuzz smoke over the six native fuzz targets.
+# (kill-recover oracle, retry/group-commit schedules, single- and
+# multi-shard chaos soak; internal/check), a race-mode pass of the XOR
+# fast-path oracle (the sweep-shaped differential oracle with
+# Config.XORRead on) and of the shard oracle/isolation/leakage audits,
+# then a short-budget fuzz smoke over the seven native fuzz targets.
 # Longer campaigns: `make fuzz FUZZTIME=10m`, `make crash`,
 # `make soak SOAKTIME=60s`, or see EXPERIMENTS.md.
 set -eux
@@ -16,12 +17,13 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim ./internal/server/... ./internal/durable ./internal/faults
-go test -race -short -run '^TestCrashRecoverySchedules$|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak$|^TestXORSweepOracle$|^TestXORRemoteSlotsCovered$' ./internal/check
+go test -race -short -run '^TestCrashRecoverySchedules$|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak|^TestXORSweepOracle$|^TestXORRemoteSlotsCovered$|^TestShardOracleClean$|^TestShardIsolation$|^TestShardLeak' ./internal/check
 
 FUZZTIME="${FUZZTIME:-5s}"
 go test -run='^$' -fuzz='^FuzzAccess$' -fuzztime="$FUZZTIME" ./internal/ringoram
 go test -run='^$' -fuzz='^FuzzCheckpointRoundTrip$' -fuzztime="$FUZZTIME" ./aboram
 go test -run='^$' -fuzz='^FuzzTraceParse$' -fuzztime="$FUZZTIME" ./internal/trace
 go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime="$FUZZTIME" ./internal/server/wire
+go test -run='^$' -fuzz='^FuzzShardRoute$' -fuzztime="$FUZZTIME" ./internal/server
 go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime="$FUZZTIME" ./internal/durable
 go test -run='^$' -fuzz='^FuzzXORPeel$' -fuzztime="$FUZZTIME" ./internal/secmem
