@@ -1,0 +1,391 @@
+package aboram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/ringoram"
+	"repro/internal/rng"
+	"repro/internal/secmem"
+	"repro/internal/stash"
+)
+
+// Delta checkpoints: SaveDelta writes only the state mutated since an
+// epoch cut, so a durability layer can checkpoint at O(dirty set)
+// instead of O(tree). The stream is a sequence of CRC-framed records —
+// each frame is `u32 length | u32 CRC-32C | body`, body is one tag byte
+// plus a gob payload — terminated by an explicit end marker, so a torn
+// tail is detected instead of silently truncating state. ApplyDelta
+// decodes and CRC-verifies the whole stream before mutating anything;
+// semantic validation failures mid-apply leave the instance undefined
+// and callers must rebuild from the base image (the durable recovery
+// path does exactly that).
+//
+// Record tags, in stream order:
+//
+//	'H'  header: geometry handshake + the epoch window [Since, Cut]
+//	'B'  bucket batch ([]ringoram.BucketDelta), repeated
+//	'P'  position-map batch (parallel block/path slices), repeated
+//	'M'  encrypted-store slot batch (*secmem.SlotDelta), repeated
+//	'S'  full stash + stash data plane (always present: small, and its
+//	     absence must mean "empty", never "unchanged")
+//	'X'  misc scalars: counters, tallies, both random streams
+//	'D'  full DeadQ snapshot (DR/AB schemes only)
+//	'E'  end marker — a stream without one is torn
+const (
+	deltaTagHeader = 'H'
+	deltaTagBucket = 'B'
+	deltaTagPos    = 'P'
+	deltaTagMem    = 'M'
+	deltaTagStash  = 'S'
+	deltaTagMisc   = 'X'
+	deltaTagDeadQ  = 'D'
+	deltaTagEnd    = 'E'
+)
+
+// maxDeltaBody caps a single record body so a hostile length prefix
+// cannot force an arbitrary allocation before the CRC is checked.
+const maxDeltaBody = 1 << 24
+
+// Batch sizes keep every record comfortably under maxDeltaBody at any
+// supported geometry while still amortizing the frame overhead.
+const (
+	deltaBucketBatch = 1024
+	deltaSlotBatch   = 8192
+	deltaPosBatch    = 8192
+)
+
+var deltaCRC = crc32.MakeTable(crc32.Castagnoli)
+
+type deltaHeader struct {
+	Levels    int
+	Since     uint64
+	Cut       uint64
+	Encrypted bool
+	HasDeadQ  bool
+}
+
+type deltaPos struct {
+	Blocks []int64
+	Paths  []int64
+}
+
+type deltaStash struct {
+	Stash     []stash.Entry
+	StashData map[int64][]byte
+}
+
+type deltaMisc struct {
+	EvictGen       int64
+	Stats          ringoram.Stats
+	ReshufPerLevel []uint64
+	DeadPerLevel   []uint64
+	Rng            *rng.Source
+	PosRng         *rng.Source
+}
+
+// CutEpoch closes the current mutation epoch across every tracked
+// component (protocol engine, position map, encrypted store) and
+// returns it. Mutations from now on belong to the next epoch; a later
+// SaveDelta(w, cut) captures exactly them. All component clocks start
+// at 1 and only advance here, so one epoch value addresses them all.
+func (o *ORAM) CutEpoch() uint64 {
+	if o.mem != nil {
+		o.mem.Cut()
+	}
+	return o.inner.Cut()
+}
+
+// DeltaSnapshot is a captured-but-not-yet-encoded delta checkpoint:
+// self-owned copies of everything mutated in one epoch window, safe to
+// Encode from another goroutine while the instance keeps serving. The
+// split is what makes checkpoints non-blocking — the serving pause
+// holds only the O(dirty set) memory capture; the gob encode (the
+// expensive half) runs at publish time.
+type DeltaSnapshot struct {
+	hdr    deltaHeader
+	d      *ringoram.Delta
+	mem    *secmem.SlotDelta
+	blockB int
+	deadq  map[int][]ringoram.SlotRef
+}
+
+// CaptureDelta closes the current epoch and captures everything mutated
+// after epoch `since` (exclusive) into a self-owned snapshot, returning
+// it with the cut: pass the cut as `since` to the next capture to chain
+// deltas gap-free. since=0 captures all mutations since construction or
+// the last Load/ApplyDelta rebuild — which is why a durability layer
+// re-bases with a full Save after recovery instead of persisting epoch
+// clocks.
+func (o *ORAM) CaptureDelta(since uint64) (*DeltaSnapshot, uint64, error) {
+	cut := o.CutEpoch()
+	if since > cut {
+		return nil, 0, fmt.Errorf("aboram: delta since epoch %d is in the future (cut %d)", since, cut)
+	}
+	d := o.inner.CaptureDelta(since)
+	// The protocol capture aliases the live random streams (they are the
+	// only part it does not copy); the snapshot must own them so a
+	// background Encode cannot race the next access.
+	r, pr := *d.Rng, *d.PosRng
+	d.Rng, d.PosRng = &r, &pr
+	s := &DeltaSnapshot{
+		hdr: deltaHeader{
+			Levels:    d.Levels,
+			Since:     since,
+			Cut:       cut,
+			Encrypted: o.mem != nil,
+			HasDeadQ:  o.dq != nil,
+		},
+		d: d,
+	}
+	if o.mem != nil {
+		s.mem = o.mem.CaptureDirty(since)
+		s.blockB = o.mem.BlockBytes()
+	}
+	if o.dq != nil {
+		s.deadq = o.dq.Snapshot()
+	}
+	return s, cut, nil
+}
+
+// Encode writes the snapshot as a SaveDelta stream.
+func (s *DeltaSnapshot) Encode(w io.Writer) error {
+	d := s.d
+	if err := writeDeltaFrame(w, deltaTagHeader, &s.hdr); err != nil {
+		return err
+	}
+	for i := 0; i < len(d.Buckets); i += deltaBucketBatch {
+		end := min(i+deltaBucketBatch, len(d.Buckets))
+		if err := writeDeltaFrame(w, deltaTagBucket, d.Buckets[i:end]); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < len(d.PosBlocks); i += deltaPosBatch {
+		end := min(i+deltaPosBatch, len(d.PosBlocks))
+		p := deltaPos{Blocks: d.PosBlocks[i:end], Paths: d.PosPaths[i:end]}
+		if err := writeDeltaFrame(w, deltaTagPos, &p); err != nil {
+			return err
+		}
+	}
+	if s.mem != nil {
+		for i := 0; i < len(s.mem.Idx); i += deltaSlotBatch {
+			end := min(i+deltaSlotBatch, len(s.mem.Idx))
+			chunk := secmem.SlotDelta{
+				Idx:      s.mem.Idx[i:end],
+				Versions: s.mem.Versions[i:end],
+				Written:  s.mem.Written[i:end],
+				Data:     s.mem.Data[i*s.blockB : end*s.blockB],
+			}
+			if err := writeDeltaFrame(w, deltaTagMem, &chunk); err != nil {
+				return err
+			}
+		}
+	}
+	st := deltaStash{Stash: d.Stash, StashData: d.StashData}
+	if err := writeDeltaFrame(w, deltaTagStash, &st); err != nil {
+		return err
+	}
+	misc := deltaMisc{
+		EvictGen:       d.EvictGen,
+		Stats:          d.Stats,
+		ReshufPerLevel: d.ReshufPerLevel,
+		DeadPerLevel:   d.DeadPerLevel,
+		Rng:            d.Rng,
+		PosRng:         d.PosRng,
+	}
+	if err := writeDeltaFrame(w, deltaTagMisc, &misc); err != nil {
+		return err
+	}
+	if s.hdr.HasDeadQ {
+		if err := writeDeltaFrame(w, deltaTagDeadQ, s.deadq); err != nil {
+			return err
+		}
+	}
+	return writeDeltaFrame(w, deltaTagEnd, nil)
+}
+
+// SaveDelta captures and encodes in one synchronous step: everything
+// mutated after epoch `since` (exclusive), closing the current epoch
+// and returning the cut. Callers that must not pay the encode on the
+// serving path use CaptureDelta and Encode separately.
+func (o *ORAM) SaveDelta(w io.Writer, since uint64) (uint64, error) {
+	s, cut, err := o.CaptureDelta(since)
+	if err != nil {
+		return 0, err
+	}
+	return cut, s.Encode(w)
+}
+
+// ApplyDelta replays a SaveDelta stream over the current state. The
+// whole stream is decoded and CRC-verified first — a torn or corrupt
+// stream is rejected with no state change. Semantic validation during
+// the apply stage (out-of-range indices and the like) can still fail
+// after partial mutation; on any error the caller must discard the
+// instance and rebuild from its base image.
+func (o *ORAM) ApplyDelta(r io.Reader) error {
+	var (
+		hdr     *deltaHeader
+		buckets []ringoram.BucketDelta
+		posB    []int64
+		posP    []int64
+		mem     []*secmem.SlotDelta
+		st      *deltaStash
+		misc    *deltaMisc
+		deadq   map[int][]ringoram.SlotRef
+		haveDQ  bool
+		done    bool
+	)
+	for !done {
+		tag, body, err := readDeltaFrame(r)
+		if err != nil {
+			return err
+		}
+		dec := gob.NewDecoder(bytes.NewReader(body))
+		if hdr == nil && tag != deltaTagHeader {
+			return fmt.Errorf("aboram: delta stream starts with record %q, want header", tag)
+		}
+		switch tag {
+		case deltaTagHeader:
+			if hdr != nil {
+				return fmt.Errorf("aboram: duplicate delta header")
+			}
+			var h deltaHeader
+			if err := dec.Decode(&h); err != nil {
+				return fmt.Errorf("aboram: decoding delta header: %w", err)
+			}
+			if h.Levels != o.inner.Config().Levels {
+				return fmt.Errorf("aboram: delta for a %d-level tree, instance has %d", h.Levels, o.inner.Config().Levels)
+			}
+			if h.Encrypted != (o.mem != nil) {
+				return fmt.Errorf("aboram: delta data-plane mismatch (delta encrypted=%v)", h.Encrypted)
+			}
+			if h.HasDeadQ != (o.dq != nil) {
+				return fmt.Errorf("aboram: delta DeadQ mismatch (delta hasDeadQ=%v)", h.HasDeadQ)
+			}
+			hdr = &h
+		case deltaTagBucket:
+			var chunk []ringoram.BucketDelta
+			if err := dec.Decode(&chunk); err != nil {
+				return fmt.Errorf("aboram: decoding delta buckets: %w", err)
+			}
+			buckets = append(buckets, chunk...)
+		case deltaTagPos:
+			var p deltaPos
+			if err := dec.Decode(&p); err != nil {
+				return fmt.Errorf("aboram: decoding delta positions: %w", err)
+			}
+			posB = append(posB, p.Blocks...)
+			posP = append(posP, p.Paths...)
+		case deltaTagMem:
+			var chunk secmem.SlotDelta
+			if err := dec.Decode(&chunk); err != nil {
+				return fmt.Errorf("aboram: decoding delta store slots: %w", err)
+			}
+			mem = append(mem, &chunk)
+		case deltaTagStash:
+			var s deltaStash
+			if err := dec.Decode(&s); err != nil {
+				return fmt.Errorf("aboram: decoding delta stash: %w", err)
+			}
+			st = &s
+		case deltaTagMisc:
+			var m deltaMisc
+			if err := dec.Decode(&m); err != nil {
+				return fmt.Errorf("aboram: decoding delta counters: %w", err)
+			}
+			misc = &m
+		case deltaTagDeadQ:
+			var dq map[int][]ringoram.SlotRef
+			if err := dec.Decode(&dq); err != nil {
+				return fmt.Errorf("aboram: decoding delta DeadQ: %w", err)
+			}
+			deadq, haveDQ = dq, true
+		case deltaTagEnd:
+			done = true
+		default:
+			return fmt.Errorf("aboram: unknown delta record %q", tag)
+		}
+	}
+	if st == nil || misc == nil {
+		return fmt.Errorf("aboram: delta stream missing required sections")
+	}
+	if o.dq != nil && !haveDQ {
+		return fmt.Errorf("aboram: delta stream missing DeadQ section")
+	}
+
+	d := &ringoram.Delta{
+		Levels:         hdr.Levels,
+		Buckets:        buckets,
+		PosBlocks:      posB,
+		PosPaths:       posP,
+		EvictGen:       misc.EvictGen,
+		Stats:          misc.Stats,
+		ReshufPerLevel: misc.ReshufPerLevel,
+		DeadPerLevel:   misc.DeadPerLevel,
+		Rng:            misc.Rng,
+		PosRng:         misc.PosRng,
+		Stash:          st.Stash,
+		StashData:      st.StashData,
+	}
+	if err := o.inner.ApplyDelta(d); err != nil {
+		return err
+	}
+	for _, chunk := range mem {
+		if err := o.mem.ApplySlots(chunk); err != nil {
+			return err
+		}
+	}
+	if o.dq != nil {
+		if err := o.dq.Restore(deadq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDeltaFrame(w io.Writer, tag byte, payload any) error {
+	var body bytes.Buffer
+	body.WriteByte(tag)
+	if payload != nil {
+		if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+			return fmt.Errorf("aboram: encoding delta record %q: %w", tag, err)
+		}
+	}
+	if body.Len() > maxDeltaBody {
+		return fmt.Errorf("aboram: delta record %q overflows frame (%d bytes)", tag, body.Len())
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(body.Len()))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body.Bytes(), deltaCRC))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+func readDeltaFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("aboram: torn delta frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxDeltaBody {
+		return 0, nil, fmt.Errorf("aboram: delta frame length %d out of range", n)
+	}
+	// Grow the buffer as bytes actually arrive rather than trusting the
+	// length prefix: a hostile header must not force a large allocation.
+	var body bytes.Buffer
+	if m, err := io.CopyN(&body, r, int64(n)); err != nil {
+		return 0, nil, fmt.Errorf("aboram: torn delta frame body (%d of %d bytes): %w", m, n, err)
+	}
+	b := body.Bytes()
+	if crc32.Checksum(b, deltaCRC) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return 0, nil, fmt.Errorf("aboram: delta frame CRC mismatch")
+	}
+	return b[0], b[1:], nil
+}

@@ -1,0 +1,231 @@
+package aboram
+
+import (
+	"bytes"
+	"testing"
+)
+
+// deltaOps drives a deterministic mixed workload: writes (remembered in
+// model when non-nil) plus pattern-only accesses.
+func deltaOps(t *testing.T, o *ORAM, model map[int64][]byte, seed, n int64) {
+	t.Helper()
+	nb := o.NumBlocks()
+	for i := int64(0); i < n; i++ {
+		blk := (seed + i*31) % nb
+		if o.Encrypted() && i%3 == 0 {
+			d := fuzzPayload(o.BlockSize(), blk, byte(seed+i))
+			if err := o.Write(blk, d); err != nil {
+				t.Fatalf("write %d: %v", blk, err)
+			}
+			if model != nil {
+				model[blk] = d
+			}
+			continue
+		}
+		if err := o.Access(blk); err != nil {
+			t.Fatalf("access %d: %v", blk, err)
+		}
+	}
+}
+
+// TestDeltaChainFingerprint pins the core delta-correctness contract:
+// full base + chain of deltas reconstructs the exact state of the live
+// instance, fingerprint-identical, across every scheme.
+func TestDeltaChainFingerprint(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeBaseline, SchemeIR, SchemeDR, SchemeNS, SchemeAB} {
+		t.Run(string(scheme), func(t *testing.T) {
+			opt := Options{Scheme: scheme, Levels: 9, Seed: 7, EncryptionKey: key}
+			a, err := New(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := map[int64][]byte{}
+			deltaOps(t, a, model, 3, 400)
+
+			var base bytes.Buffer
+			if err := a.Save(&base); err != nil {
+				t.Fatal(err)
+			}
+			cut := a.CutEpoch()
+
+			var deltas []bytes.Buffer
+			for round := int64(0); round < 3; round++ {
+				deltaOps(t, a, model, 1000+round*77, 150)
+				var buf bytes.Buffer
+				next, err := a.SaveDelta(&buf, cut)
+				if err != nil {
+					t.Fatalf("delta %d: %v", round, err)
+				}
+				if next <= cut {
+					t.Fatalf("cut did not advance: %d -> %d", cut, next)
+				}
+				cut = next
+				deltas = append(deltas, buf)
+			}
+
+			b, err := Load(opt, &base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range deltas {
+				if err := b.ApplyDelta(&deltas[i]); err != nil {
+					t.Fatalf("apply delta %d: %v", i, err)
+				}
+			}
+
+			fpA, err := a.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fpB, err := b.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fpA != fpB {
+				t.Fatal("base+delta chain diverged from the live instance")
+			}
+			if err := b.CheckIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+			for blk, want := range model {
+				got, err := b.Read(blk)
+				if err != nil {
+					t.Fatalf("read %d: %v", blk, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("block %d lost across delta chain", blk)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaPatternOnly covers the nil-data-plane configuration: deltas
+// carry no 'M' records and the DeadQ section is absent for schemes
+// without remote allocation.
+func TestDeltaPatternOnly(t *testing.T) {
+	opt := Options{Scheme: SchemeBaseline, Levels: 9, Seed: 4}
+	a, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaOps(t, a, nil, 5, 300)
+	var base bytes.Buffer
+	if err := a.Save(&base); err != nil {
+		t.Fatal(err)
+	}
+	cut := a.CutEpoch()
+	deltaOps(t, a, nil, 9000, 200)
+	var delta bytes.Buffer
+	if _, err := a.SaveDelta(&delta, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Load(opt, &base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ApplyDelta(&delta); err != nil {
+		t.Fatal(err)
+	}
+	fpA, _ := a.Fingerprint()
+	fpB, _ := b.Fingerprint()
+	if fpA != fpB {
+		t.Fatal("pattern-only delta diverged")
+	}
+}
+
+// TestDeltaSmallerThanBase sanity-checks the point of the feature: a
+// delta covering a small touched set is much smaller than a full image.
+func TestDeltaSmallerThanBase(t *testing.T) {
+	opt := Options{Scheme: SchemeAB, Levels: 12, Seed: 2, EncryptionKey: key}
+	a, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaOps(t, a, nil, 1, 500)
+	var base bytes.Buffer
+	if err := a.Save(&base); err != nil {
+		t.Fatal(err)
+	}
+	cut := a.CutEpoch()
+	deltaOps(t, a, nil, 7777, 40)
+	var delta bytes.Buffer
+	if _, err := a.SaveDelta(&delta, cut); err != nil {
+		t.Fatal(err)
+	}
+	if delta.Len()*5 >= base.Len() {
+		t.Fatalf("delta %d bytes not ≥5x smaller than base %d bytes", delta.Len(), base.Len())
+	}
+}
+
+// TestDeltaTornAndCorrupt: every truncation is rejected, and every
+// single-byte corruption is caught by the frame CRCs.
+func TestDeltaTornAndCorrupt(t *testing.T) {
+	opt := Options{Scheme: SchemeAB, Levels: 9, Seed: 3, EncryptionKey: key}
+	a, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaOps(t, a, nil, 2, 200)
+	var base bytes.Buffer
+	if err := a.Save(&base); err != nil {
+		t.Fatal(err)
+	}
+	cut := a.CutEpoch()
+	deltaOps(t, a, nil, 31, 100)
+	var delta bytes.Buffer
+	if _, err := a.SaveDelta(&delta, cut); err != nil {
+		t.Fatal(err)
+	}
+	stream := delta.Bytes()
+
+	fresh := func() *ORAM {
+		b, err := Load(opt, bytes.NewReader(base.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for _, cutAt := range []int{0, 1, 7, 8, 9, len(stream) / 2, len(stream) - 1} {
+		if err := fresh().ApplyDelta(bytes.NewReader(stream[:cutAt])); err == nil {
+			t.Fatalf("torn delta (%d of %d bytes) accepted", cutAt, len(stream))
+		}
+	}
+	for _, flip := range []int{4, 8, 20, len(stream) / 3, len(stream) - 2} {
+		mut := append([]byte(nil), stream...)
+		mut[flip] ^= 0x40
+		if err := fresh().ApplyDelta(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("corrupt delta (byte %d flipped) accepted", flip)
+		}
+	}
+}
+
+// TestDeltaGeometryMismatch: a delta saved against one geometry or
+// configuration must be rejected by an incompatible instance.
+func TestDeltaGeometryMismatch(t *testing.T) {
+	a, err := New(Options{Scheme: SchemeAB, Levels: 9, Seed: 3, EncryptionKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaOps(t, a, nil, 2, 50)
+	cut := uint64(0)
+	var delta bytes.Buffer
+	if _, err := a.SaveDelta(&delta, cut); err != nil {
+		t.Fatal(err)
+	}
+	stream := delta.Bytes()
+
+	wrongLevels, _ := New(Options{Scheme: SchemeAB, Levels: 10, Seed: 3, EncryptionKey: key})
+	if err := wrongLevels.ApplyDelta(bytes.NewReader(stream)); err == nil {
+		t.Fatal("delta for 9 levels accepted by a 10-level instance")
+	}
+	patternOnly, _ := New(Options{Scheme: SchemeAB, Levels: 9, Seed: 3})
+	if err := patternOnly.ApplyDelta(bytes.NewReader(stream)); err == nil {
+		t.Fatal("encrypted delta accepted by a pattern-only instance")
+	}
+	noDQ, _ := New(Options{Scheme: SchemeBaseline, Levels: 9, Seed: 3, EncryptionKey: key})
+	if err := noDQ.ApplyDelta(bytes.NewReader(stream)); err == nil {
+		t.Fatal("AB delta (with DeadQ) accepted by a baseline instance")
+	}
+}

@@ -3,6 +3,7 @@ package aboram
 import (
 	"bytes"
 	"sort"
+	"sync"
 	"testing"
 )
 
@@ -107,6 +108,95 @@ func FuzzCheckpointRoundTrip(f *testing.F) {
 		}
 		if err := o.CheckIntegrity(); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// deltaFuzzBase builds the fixed small instance hostile delta streams
+// are applied against, after a short warm-up so its state is non-trivial.
+func deltaFuzzBase(t testing.TB) *ORAM {
+	o, err := New(Options{Scheme: SchemeAB, Levels: 8, Seed: 13, EncryptionKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 24; i++ {
+		blk := (i * 19) % o.NumBlocks()
+		if i%4 == 0 {
+			if err := o.Write(blk, fuzzPayload(o.BlockSize(), blk, byte(i))); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := o.Access(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+// deltaFuzz holds instances shared across fuzz executions: rebuilding
+// an ORAM per exec dominates the instrumented run time and every
+// assertion below is state-independent (ApplyDelta must never panic on
+// any instance, and single-bit corruption is rejected at the frame CRC
+// layer before any state is consulted), so reuse is sound. Workers
+// restart on failure, so the lazy init also reruns after a crash.
+var deltaFuzz struct {
+	once    sync.Once
+	hostile *ORAM // absorbs hostile streams; state may drift arbitrarily
+	src     *ORAM // stays healthy; produces genuine deltas to corrupt
+	cut     uint64
+}
+
+// FuzzDeltaDecode exercises the delta stream decoder two ways. First,
+// the raw input bytes are fed straight to ApplyDelta — hostile frames,
+// truncations, and gob garbage must surface as errors, never panics or
+// unbounded allocations. Second, the input seeds a byte flip in a
+// genuine SaveDelta stream, which the frame CRCs must always reject.
+func FuzzDeltaDecode(f *testing.F) {
+	// Seed with a genuine delta stream so the corpus starts structurally
+	// valid, plus framing edge cases.
+	seedSrc := deltaFuzzBase(f)
+	cutSeed := seedSrc.CutEpoch()
+	for i := int64(0); i < 12; i++ {
+		seedSrc.Access(i % seedSrc.NumBlocks())
+	}
+	var seed bytes.Buffer
+	seedSrc.SaveDelta(&seed, cutSeed)
+	f.Add(seed.Bytes()[:64])
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0, 'H'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 'E'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		deltaFuzz.once.Do(func() {
+			deltaFuzz.hostile = deltaFuzzBase(t)
+			deltaFuzz.src = deltaFuzzBase(t)
+			deltaFuzz.cut = deltaFuzz.src.CutEpoch()
+		})
+		_ = deltaFuzz.hostile.ApplyDelta(bytes.NewReader(data)) // must not panic
+
+		if len(data) == 0 {
+			return
+		}
+		src := deltaFuzz.src
+		for i := int64(0); i < 2; i++ {
+			if err := src.Access((int64(data[0]) + i*7) % src.NumBlocks()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var delta bytes.Buffer
+		next, err := src.SaveDelta(&delta, deltaFuzz.cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltaFuzz.cut = next
+		stream := append([]byte(nil), delta.Bytes()...)
+		flip := int(data[0]) % len(stream)
+		var bit byte = 1
+		if len(data) > 1 {
+			bit = 1 << (data[1] % 8)
+		}
+		stream[flip] ^= bit
+		if err := deltaFuzz.hostile.ApplyDelta(bytes.NewReader(stream)); err == nil {
+			t.Fatalf("single-bit corruption at byte %d went undetected", flip)
 		}
 	})
 }

@@ -181,6 +181,17 @@ func run(args []string, out io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Re-probe after the run: the durability counters in the Info tail
+	// are cumulative, so the end-of-run values reflect this workload.
+	if info.Durability != nil {
+		if probe, err := server.Dial(*addr, *timeout); err == nil {
+			if end, err := probe.Info(); err == nil && end.Durability != nil {
+				info.Durability = end.Durability
+			}
+			probe.Close()
+		}
+	}
+
 	lat := new(stats.LatencyRecorder)
 	total, errCount, overCount := 0, 0, 0
 	shardOps := make([]int, info.Shards)
@@ -255,6 +266,14 @@ func run(args []string, out io.Writer) error {
 	if *breaker > 0 {
 		t.AddRow("breaker opens", report.Int(int64(cstats.BreakerOpens)))
 		t.AddRow("breaker fast-fails", report.Int(int64(cstats.BreakerFastFails)))
+	}
+	if d := info.Durability; d != nil {
+		t.AddRow("server checkpoints (full + delta)", fmt.Sprintf("%d + %d (epoch %d)", d.Snapshots, d.Deltas, d.Epoch))
+		t.AddRow("server WAL fsyncs", report.Int(int64(d.Syncs)))
+		t.AddRow("server WAL compactions", report.Int(int64(d.Compactions)))
+		t.AddRow("server checkpoint pause (cumulative)", time.Duration(d.SnapshotPauseNanos).Round(time.Microsecond).String())
+		t.AddRow("server last checkpoint bytes", report.Int(int64(d.LastSnapshotBytes)))
+		t.AddNote("durability rows are server-lifetime counters (summed across shards), not per-run deltas")
 	}
 	t.AddRow("wall time", elapsed.Round(time.Millisecond).String())
 	t.AddRow("throughput (ops/s)", report.Float(float64(total)/elapsed.Seconds(), 1))

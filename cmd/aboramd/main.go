@@ -25,8 +25,19 @@
 // daemon recovers the newest snapshot plus the WAL suffix, discarding at
 // most a torn final record. Under -shards P with P > 1 each shard keeps
 // its own snapshot+WAL under <data-dir>/shard-<i>, all recovered on
-// start. Without -data-dir state lives in memory and dies with the
-// process (the pre-durability behavior).
+// start; shard checkpoint schedules are phase-staggered so the fleet
+// never pauses in lockstep. Without -data-dir state lives in memory and
+// dies with the process (the pre-durability behavior).
+//
+// -delta-snapshots makes checkpoints incremental: most rotations
+// capture only the state touched since the previous cut (a pause
+// proportional to the dirty set, not the tree) and publish in the
+// background while serving continues, with a full base image every
+// -base-every rotations bounding the recovery chain. -compact-every N
+// additionally rewrites the live WAL after N appends, shrinking
+// superseded whole-block writes to id-only stubs. Both compose with
+// -group-commit and -shards; recovery reads either layout regardless of
+// the current flags.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
 // lets in-flight connections finish (up to -drain), serves everything
@@ -93,6 +104,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	snapInterval := fs.Duration("snapshot-interval", 0, "with -data-dir: also rotate after this much wall time (0 = off)")
 	syncEvery := fs.Int("sync-every", 1, "with -data-dir: fsync the WAL every N writes (1 = zero acknowledged loss)")
 	groupCommit := fs.Bool("group-commit", false, "with -data-dir: one WAL fsync per scheduler batch instead of per write (acks stay durable)")
+	deltaSnaps := fs.Bool("delta-snapshots", false, "with -data-dir: incremental checkpoints — rotations capture only state touched since the last cut and publish in the background, with a full base every -base-every rotations")
+	baseEvery := fs.Int("base-every", 8, "with -delta-snapshots: delta rotations between full base images")
+	compactEvery := fs.Int("compact-every", 0, "with -data-dir: rewrite the live WAL segment after N appends, shrinking superseded writes to id stubs (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,6 +156,17 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 			ORAM:             oramOpt,
 			SnapshotEvery:    *snapEvery,
 			SnapshotInterval: *snapInterval,
+			// Stagger the shards' rotation schedules deterministically: shard
+			// i's first checkpoint lands i/P of a period early, so a fleet
+			// opened together never pauses (or publishes) in lockstep.
+			SnapshotPhase:  (*snapEvery * i) / *shards,
+			DeltaSnapshots: *deltaSnaps,
+			BaseEvery:      *baseEvery,
+			CompactEvery:   *compactEvery,
+			// Checkpoint work rides batch boundaries (the scheduler calls
+			// MaybeCheckpoint), so a delta's consistent cut never lands
+			// between a write and its acknowledgment.
+			DeferCheckpoints: true,
 			SyncEvery:        *syncEvery,
 			GroupCommit:      *groupCommit,
 			Logf: func(format string, args ...any) {
@@ -154,11 +179,17 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		rec := deng.Recovery()
 		fmt.Fprintf(out, "aboramd: recovered %s: base epoch %d, %d WAL records replayed (%d segments), %d dedup ids",
 			dir, rec.BaseEpoch, rec.RecordsReplayed, rec.SegmentsReplayed, rec.IDsRecovered)
+		if rec.DeltasApplied > 0 {
+			fmt.Fprintf(out, ", %d deltas applied", rec.DeltasApplied)
+		}
 		if rec.TornTail {
 			fmt.Fprint(out, ", torn tail truncated")
 		}
 		if rec.SnapshotsSkipped > 0 {
 			fmt.Fprintf(out, ", %d unreadable snapshots skipped", rec.SnapshotsSkipped)
+		}
+		if rec.DeltasSkipped > 0 {
+			fmt.Fprintf(out, ", %d unreadable deltas skipped", rec.DeltasSkipped)
 		}
 		fmt.Fprintln(out)
 		engines[i] = deng
@@ -264,8 +295,9 @@ func dumpCounters(out io.Writer, srv *server.Sharded, tsrv *server.TCPServer, de
 			label = fmt.Sprintf("shard %d durability", i)
 		}
 		ds := deng.Stats()
-		fmt.Fprintf(out, "aboramd: %s: %d writes logged, %d fsyncs (%d batched), %d snapshots (epoch %d), %d prune failures\n",
-			label, ds.Writes, ds.Syncs, ds.BatchedSyncs, ds.Snapshots, deng.Epoch(), ds.PruneFailures)
+		fmt.Fprintf(out, "aboramd: %s: %d writes logged, %d fsyncs (%d batched), %d snapshots + %d deltas (epoch %d), %d compactions, %.1fms checkpoint pause, last checkpoint %d B, %d prune failures\n",
+			label, ds.Writes, ds.Syncs, ds.BatchedSyncs, ds.Snapshots, ds.DeltasWritten, deng.Epoch(),
+			ds.CompactionRuns, float64(ds.SnapshotPauseNanos)/1e6, ds.LastSnapshotBytes, ds.PruneFailures)
 	}
 	title := "aboramd scheduler counters"
 	if multi {

@@ -30,29 +30,39 @@ import (
 
 // CrashReport summarizes one seeded kill-recover schedule.
 type CrashReport struct {
-	Seed        uint64
-	Rounds      int            // engine incarnations, crashed or clean
-	Crashes     int            // injected kills (during serving or recovery)
-	Sites       map[string]int // crash-site histogram, keyed by file kind
-	AckedWrites int            // writes acknowledged across all rounds
-	Replayed    int            // WAL records replayed by recoveries
-	TornTails   int            // recoveries that truncated a damaged record
+	Seed          uint64
+	Rounds        int            // engine incarnations, crashed or clean
+	Crashes       int            // injected kills (during serving or recovery)
+	Sites         map[string]int // crash-site histogram, keyed by file kind
+	AckedWrites   int            // writes acknowledged across all rounds
+	Replayed      int            // WAL records replayed by recoveries
+	TornTails     int            // recoveries that truncated a damaged record
+	DeltasApplied int            // chain deltas applied across all recoveries
+	DeltasSkipped int            // unreadable deltas recoveries stopped short of
+	DeltasWritten uint64         // delta checkpoints published across all rounds
+	Compactions   uint64         // live-WAL compaction runs across all rounds
 }
 
 func (r *CrashReport) String() string {
-	return fmt.Sprintf("seed %d: %d rounds, %d crashes (sites %v), %d acked writes, %d replayed, %d torn tails",
-		r.Seed, r.Rounds, r.Crashes, r.Sites, r.AckedWrites, r.Replayed, r.TornTails)
+	return fmt.Sprintf("seed %d: %d rounds, %d crashes (sites %v), %d acked writes, %d replayed, %d torn tails, "+
+		"%d deltas applied (%d skipped), %d deltas written, %d compactions",
+		r.Seed, r.Rounds, r.Crashes, r.Sites, r.AckedWrites, r.Replayed, r.TornTails,
+		r.DeltasApplied, r.DeltasSkipped, r.DeltasWritten, r.Compactions)
 }
 
 // crashSiteKind buckets an injector crash site by the file it hit, so
-// reports and tests can assert coverage of both crash phases (WAL append
-// vs snapshot publish) without depending on exact op strings.
+// reports and tests can assert coverage of every crash phase (WAL append
+// or compaction rewrite, full-snapshot publish, delta publish) without
+// depending on exact op strings. Compaction temps are named wal-*.tmp,
+// so a kill inside a compaction rewrite lands in the "wal" bucket.
 func crashSiteKind(site string) string {
 	switch {
 	case strings.Contains(site, "wal-"):
 		return "wal"
 	case strings.Contains(site, "snap-"):
 		return "snap"
+	case strings.Contains(site, "delta-"):
+		return "delta"
 	case site == "":
 		return "none"
 	default:
@@ -70,14 +80,24 @@ type pendingWrite struct {
 // crashOptions builds the engine configuration for one incarnation.
 // SnapshotEvery is tiny so a schedule of a few hundred writes crosses
 // many epoch rotations and the crash counter can land inside snapshot
-// publishes, not just WAL appends.
-func crashOptions(dir string, seed uint64, fs vfs.FS) durable.Options {
-	return durable.Options{
+// publishes, not just WAL appends. The delta variant is the incremental
+// configuration: most rotations publish a delta, every third a full
+// base, the live segment compacts every 5 appends, and publishes are
+// synchronous so the whole schedule stays a pure function of its seed.
+func crashOptions(dir string, seed uint64, fs vfs.FS, delta bool) durable.Options {
+	opt := durable.Options{
 		Dir:           dir,
 		ORAM:          aboram.Options{Levels: 8, Seed: seed, EncryptionKey: oracleKey},
 		SnapshotEvery: 8,
 		FS:            fs,
 	}
+	if delta {
+		opt.DeltaSnapshots = true
+		opt.BaseEvery = 3
+		opt.CompactEvery = 5
+		opt.SyncPublish = true
+	}
+	return opt
 }
 
 // RunCrashSchedule runs one seeded schedule of totalOps operations in dir
@@ -86,6 +106,19 @@ func crashOptions(dir string, seed uint64, fs vfs.FS) durable.Options {
 // clean recovery and full read-back. It returns the report, or an error
 // describing the first contract violation.
 func RunCrashSchedule(dir string, seed uint64, totalOps int) (*CrashReport, error) {
+	return runCrashSchedule(dir, seed, totalOps, false)
+}
+
+// RunCrashScheduleDelta is RunCrashSchedule against the delta-snapshot
+// engine configuration: incremental checkpoints chained on periodic full
+// bases plus live-WAL compaction, so the seeded kills also land inside
+// delta publishes and compaction rewrites. The durability contract being
+// checked is identical.
+func RunCrashScheduleDelta(dir string, seed uint64, totalOps int) (*CrashReport, error) {
+	return runCrashSchedule(dir, seed, totalOps, true)
+}
+
+func runCrashSchedule(dir string, seed uint64, totalOps int, delta bool) (*CrashReport, error) {
 	r := rng.New(seed ^ 0x6372617368) // decorrelate from the engine's protocol stream
 	rep := &CrashReport{Seed: seed, Sites: make(map[string]int)}
 
@@ -114,7 +147,7 @@ func RunCrashSchedule(dir string, seed uint64, totalOps int) (*CrashReport, erro
 			CrashAfter: 1 + int(r.Uint64n(60)),
 			TornWrites: true,
 		})
-		eng, err := durable.Open(crashOptions(dir, seed, faults.WrapFS(vfs.OS{}, in)))
+		eng, err := durable.Open(crashOptions(dir, seed, faults.WrapFS(vfs.OS{}, in), delta))
 		if err != nil {
 			if !in.Crashed() {
 				return rep, fmt.Errorf("check: round %d: recovery failed without a crash: %w", rep.Rounds, err)
@@ -128,6 +161,8 @@ func RunCrashSchedule(dir string, seed uint64, totalOps int) (*CrashReport, erro
 		}
 		rec := eng.Recovery()
 		rep.Replayed += rec.RecordsReplayed
+		rep.DeltasApplied += rec.DeltasApplied
+		rep.DeltasSkipped += rec.DeltasSkipped
 		if rec.TornTail {
 			rep.TornTails++
 		}
@@ -176,6 +211,9 @@ func RunCrashSchedule(dir string, seed uint64, totalOps int) (*CrashReport, erro
 				break
 			}
 		}
+		st := eng.Stats() // counters survive poisoning; Close discards nothing
+		rep.DeltasWritten += st.DeltasWritten
+		rep.Compactions += st.CompactionRuns
 		eng.Close() // post-crash this reports ErrCrash; either way the incarnation is over
 		if crashed {
 			rep.Crashes++
@@ -186,12 +224,14 @@ func RunCrashSchedule(dir string, seed uint64, totalOps int) (*CrashReport, erro
 	// Final incarnation on the real filesystem: recovery must succeed and
 	// the full model must read back.
 	rep.Rounds++
-	eng, err := durable.Open(crashOptions(dir, seed, vfs.OS{}))
+	eng, err := durable.Open(crashOptions(dir, seed, vfs.OS{}, delta))
 	if err != nil {
 		return rep, fmt.Errorf("check: final recovery: %w", err)
 	}
 	defer eng.Close()
 	rep.Replayed += eng.Recovery().RecordsReplayed
+	rep.DeltasApplied += eng.Recovery().DeltasApplied
+	rep.DeltasSkipped += eng.Recovery().DeltasSkipped
 	if eng.Recovery().TornTail {
 		rep.TornTails++
 	}

@@ -47,7 +47,7 @@ func (r *GroupReport) String() string {
 // safety net parked out of the way, so sync counts reflect BatchSync
 // alone and the test is deterministic under scheduler stalls.
 func groupOptions(dir string, seed uint64, fs vfs.FS) durable.Options {
-	o := crashOptions(dir, seed, fs)
+	o := crashOptions(dir, seed, fs, false)
 	o.GroupCommit = true
 	o.MaxSyncDelay = 1 << 40 // ~18min: never fires inside a test
 	return o
@@ -60,7 +60,7 @@ func RunGroupCommitSchedule(dir string, seed uint64, totalOps int) (*GroupReport
 	r := rng.New(seed ^ 0x67726f7570)
 	rep := &GroupReport{Seed: seed}
 
-	probe, err := aboram.New(crashOptions(dir, seed, vfs.OS{}).ORAM)
+	probe, err := aboram.New(crashOptions(dir, seed, vfs.OS{}, false).ORAM)
 	if err != nil {
 		return nil, err
 	}

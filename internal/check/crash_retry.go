@@ -76,7 +76,7 @@ func RunRetrySchedule(dir string, seed uint64, totalOps int, opt RetryOptions) (
 	r := rng.New(seed ^ 0x7265747279) // decorrelated schedule stream
 	rep := &RetryReport{Seed: seed}
 
-	probe, err := aboram.New(crashOptions(dir, seed, vfs.OS{}).ORAM)
+	probe, err := aboram.New(crashOptions(dir, seed, vfs.OS{}, false).ORAM)
 	if err != nil {
 		return nil, err
 	}
@@ -84,8 +84,8 @@ func RunRetrySchedule(dir string, seed uint64, totalOps int, opt RetryOptions) (
 
 	model := make(map[int64][]byte)
 	acked := make(map[uint64]bool) // ids acknowledged across the whole schedule
-	var inDoubt *retryWrite       // single write in flight at the last crash
-	var staged *retryWrite        // acked write held back as a cross-crash duplicate
+	var inDoubt *retryWrite        // single write in flight at the last crash
+	var staged *retryWrite         // acked write held back as a cross-crash duplicate
 
 	nextID := uint64(0)
 	opsDone := 0
@@ -101,7 +101,7 @@ func RunRetrySchedule(dir string, seed uint64, totalOps int, opt RetryOptions) (
 			CrashAfter: 1 + int(r.Uint64n(60)),
 			TornWrites: true,
 		})
-		eng, err := durable.Open(crashOptions(dir, seed, faults.WrapFS(vfs.OS{}, in)))
+		eng, err := durable.Open(crashOptions(dir, seed, faults.WrapFS(vfs.OS{}, in), false))
 		if err != nil {
 			if !in.Crashed() {
 				return rep, fmt.Errorf("check: round %d: recovery failed without a crash: %w", rep.Rounds, err)
@@ -283,7 +283,7 @@ func RunRetrySchedule(dir string, seed uint64, totalOps int, opt RetryOptions) (
 	// Final clean recovery: the full model must read back and every acked
 	// id must still be recoverable.
 	rep.Rounds++
-	eng, err := durable.Open(crashOptions(dir, seed, vfs.OS{}))
+	eng, err := durable.Open(crashOptions(dir, seed, vfs.OS{}, false))
 	if err != nil {
 		return rep, fmt.Errorf("check: final recovery: %w", err)
 	}

@@ -51,6 +51,67 @@ func TestCrashRecoverySchedules(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryDeltaSchedules runs the same kill-recover oracle
+// against the delta-snapshot engine configuration: incremental
+// checkpoints chained on periodic full bases plus live-WAL compaction.
+// Beyond the zero-acked-loss contract, the run must actually exercise
+// the new crash phases — kills inside delta publishes as well as base
+// publishes and WAL work — and recoveries must both apply delta chains
+// and survive damaged ones.
+func TestCrashRecoveryDeltaSchedules(t *testing.T) {
+	opsPer := 300
+	seeds := 12
+	if testing.Short() {
+		opsPer, seeds = 120, 4
+	}
+
+	total := &CrashReport{Sites: make(map[string]int)}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		rep, err := RunCrashScheduleDelta(t.TempDir(), seed, opsPer)
+		if err != nil {
+			t.Fatalf("delta schedule %d: %v (report so far: %v)", seed, err, rep)
+		}
+		t.Logf("%v", rep)
+		total.Crashes += rep.Crashes
+		total.AckedWrites += rep.AckedWrites
+		total.Replayed += rep.Replayed
+		total.TornTails += rep.TornTails
+		total.DeltasApplied += rep.DeltasApplied
+		total.DeltasSkipped += rep.DeltasSkipped
+		total.DeltasWritten += rep.DeltasWritten
+		total.Compactions += rep.Compactions
+		for site, n := range rep.Sites {
+			total.Sites[site] += n
+		}
+	}
+
+	if total.Crashes == 0 {
+		t.Fatal("no crashes were injected; the harness is not testing anything")
+	}
+	if total.AckedWrites == 0 || total.Replayed == 0 {
+		t.Fatalf("degenerate schedules: %d acked writes, %d replayed", total.AckedWrites, total.Replayed)
+	}
+	if total.DeltasWritten == 0 {
+		t.Fatalf("delta machinery idle: %d deltas written", total.DeltasWritten)
+	}
+	if total.DeltasApplied == 0 {
+		t.Fatal("no recovery ever applied a delta chain; the chain path is untested")
+	}
+	if !testing.Short() {
+		// Phase coverage: kills must land in WAL work (appends, syncs,
+		// compaction rewrites), full-base publishes, and delta publishes —
+		// and compactions must actually rewrite something (CompactionRuns
+		// counts only shrinking runs, which short schedules' few writes
+		// per segment rarely produce).
+		if total.Compactions == 0 {
+			t.Fatal("no compaction ever shrank a segment; the rewrite path is untested")
+		}
+		if total.Sites["wal"] == 0 || total.Sites["snap"] == 0 || total.Sites["delta"] == 0 {
+			t.Fatalf("crash phases not covered: sites %v", total.Sites)
+		}
+	}
+}
+
 // TestCrashScheduleDeterminism locks in that a schedule is a pure
 // function of its seed: same seed, same directory history, same report.
 func TestCrashScheduleDeterminism(t *testing.T) {
@@ -68,18 +129,35 @@ func TestCrashScheduleDeterminism(t *testing.T) {
 	if a.Crashes == 0 {
 		t.Fatalf("seed 42 never crashed: %v", a)
 	}
+
+	// The delta configuration must be just as pure: synchronous publishes
+	// keep the whole schedule a function of the seed.
+	da, err := RunCrashScheduleDelta(t.TempDir(), 42, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := RunCrashScheduleDelta(t.TempDir(), 42, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.String() != db.String() {
+		t.Fatalf("same delta seed diverged:\n  %v\n  %v", da, db)
+	}
 }
 
 // TestCrashSiteKind pins the site classifier used for coverage
 // accounting.
 func TestCrashSiteKind(t *testing.T) {
 	cases := map[string]string{
-		"write wal-0000000000000003.log": "wal",
-		"sync wal-0000000000000003.log":  "wal",
-		"write snap-0000000000000002.tmp": "snap",
-		"rename snap-0000000000000002.ab": "snap",
-		"syncdir data":                    "syncdir",
-		"":                                "none",
+		"write wal-0000000000000003.log":    "wal",
+		"sync wal-0000000000000003.log":     "wal",
+		"write wal-0000000000000003.tmp":    "wal", // compaction rewrite temp
+		"write snap-0000000000000002.tmp":   "snap",
+		"rename snap-0000000000000002.ab":   "snap",
+		"write delta-0000000000000004.tmp":  "delta",
+		"rename delta-0000000000000004.abd": "delta",
+		"syncdir data":                      "syncdir",
+		"":                                  "none",
 	}
 	for site, want := range cases {
 		if got := crashSiteKind(site); got != want {

@@ -58,6 +58,12 @@ type SoakOptions struct {
 	// shards share one fault injector, so a kill takes down all trees at
 	// once and recovery must bring every shard back consistent.
 	Shards int
+	// Delta switches every incarnation to the incremental durability
+	// configuration: delta checkpoints with periodic full bases, live-WAL
+	// compaction, rotations deferred to batch boundaries, and — unlike
+	// the deterministic crash schedules — background checkpoint
+	// publishes, so kills race genuinely concurrent publish goroutines.
+	Delta bool
 	// Dir is the engine data directory (must be empty). With Shards > 1
 	// each shard keeps its own snapshot+WAL under Dir/shard-<i>, the
 	// daemon's layout.
@@ -104,15 +110,20 @@ type SoakReport struct {
 	Deduped      uint64 // retries answered from the dedup window
 	IDsRecovered int    // ids recovered across all restarts
 
+	EngineDeltas      uint64 // delta checkpoints published (Delta mode)
+	EngineCompactions uint64 // live-WAL compaction runs (Delta mode)
+	DeltasApplied     int    // chain deltas applied across all recoveries
+
 	Violations []string // exactly-once / shed-contract violations
 }
 
 func (r *SoakReport) String() string {
 	return fmt.Sprintf("seed %d (%d shards): %d incarnations (%d crashes), %d acked, %d shed, %d indeterminate, %d reads, "+
-		"%d overloaded, %d breaker opens, %d applies, %d syncs (%d batched) for %d appends, %d deduped, %d ids recovered, %d violations",
+		"%d overloaded, %d breaker opens, %d applies, %d syncs (%d batched) for %d appends, %d deduped, %d ids recovered, "+
+		"%d deltas (%d applied on recovery), %d compactions, %d violations",
 		r.Seed, r.Shards, r.Incarnations, r.Crashes, r.AckedWrites, r.ShedWrites, r.Indeterminate, r.Reads,
 		r.Overloaded, r.BreakerOpens, r.Applies, r.EngineSyncs, r.BatchedSyncs, r.EngineWrites,
-		r.Deduped, r.IDsRecovered, len(r.Violations))
+		r.Deduped, r.IDsRecovered, r.EngineDeltas, r.DeltasApplied, r.EngineCompactions, len(r.Violations))
 }
 
 // soakMagic marks a payload written by a soak worker; anything else read
@@ -277,6 +288,11 @@ func (t *applyTracker) WriteIdentified(id uint64, block int64, data []byte) erro
 
 func (t *applyTracker) BatchSync() error  { return t.eng.BatchSync() }
 func (t *applyTracker) GroupCommit() bool { return t.eng.GroupCommit() }
+
+// MaybeCheckpoint forwards the scheduler's batch-boundary checkpoint
+// hook, so deferred rotations and compactions stay active behind the
+// tracker (the scheduler discovers the hook by type assertion).
+func (t *applyTracker) MaybeCheckpoint() error { return t.eng.MaybeCheckpoint() }
 
 // soakState is the shared runtime the supervisor, workers, and burst
 // clients coordinate through.
@@ -513,7 +529,7 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	// One aboram configuration per shard, seeds derived exactly as the
 	// daemon derives them (shard 0 keeps the base seed, so Shards=1 is
 	// the pre-sharding soak unchanged).
-	baseOpt := crashOptions(opt.Dir, opt.Seed, vfs.OS{}).ORAM
+	baseOpt := crashOptions(opt.Dir, opt.Seed, vfs.OS{}, false).ORAM
 	oramOpts := make([]aboram.Options, opt.Shards)
 	for i := range oramOpts {
 		oramOpts[i] = baseOpt
@@ -593,13 +609,20 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 		engines := make([]*durable.Engine, opt.Shards)
 		var openErr error
 		for si := range engines {
-			engines[si], openErr = durable.Open(durable.Options{
+			dopt := durable.Options{
 				Dir:           shardDir(opt.Dir, opt.Shards, si),
 				ORAM:          oramOpts[si],
 				SnapshotEvery: 32,
 				GroupCommit:   true,
 				FS:            fs,
-			})
+			}
+			if opt.Delta {
+				dopt.DeltaSnapshots = true
+				dopt.BaseEvery = 3
+				dopt.CompactEvery = 12
+				dopt.DeferCheckpoints = true // cuts land at batch boundaries via MaybeCheckpoint
+			}
+			engines[si], openErr = durable.Open(dopt)
 			if openErr != nil {
 				break
 			}
@@ -622,6 +645,7 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 		trackers := make([]server.Engine, opt.Shards)
 		for si, eng := range engines {
 			rep.IDsRecovered += eng.Recovery().IDsRecovered
+			rep.DeltasApplied += eng.Recovery().DeltasApplied
 			trackers[si] = &applyTracker{eng: eng, led: st.led, shard: si}
 		}
 		// A tiny queue relative to the client population guarantees the
@@ -672,6 +696,8 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			rep.EngineWrites += est.Writes
 			rep.EngineSyncs += est.Syncs
 			rep.BatchedSyncs += est.BatchedSyncs
+			rep.EngineDeltas += est.DeltasWritten
+			rep.EngineCompactions += est.CompactionRuns
 			eng.Close()
 		}
 		if crashed {
@@ -720,6 +746,7 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 		defer eng.Close()
 		finals[si] = eng
 		rep.IDsRecovered += eng.Recovery().IDsRecovered
+		rep.DeltasApplied += eng.Recovery().DeltasApplied
 	}
 	for _, w := range workers {
 		for _, block := range w.blocks {

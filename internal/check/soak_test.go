@@ -67,6 +67,57 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosSoakDelta runs the chaos soak with the incremental durability
+// configuration: delta checkpoints on periodic full bases, live-WAL
+// compaction, rotations deferred to batch boundaries, and background
+// publishes racing the kills. The exactly-once and shed contracts are
+// unchanged; on top, the delta machinery must have actually run.
+func TestChaosSoakDelta(t *testing.T) {
+	dur := 1500 * time.Millisecond
+	if testing.Short() {
+		dur = 800 * time.Millisecond
+	}
+	if env := os.Getenv("SOAKTIME"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("SOAKTIME=%q: %v", env, err)
+		}
+		dur = d
+	}
+
+	rep, err := RunSoak(SoakOptions{Seed: 3, Duration: dur, Delta: true, Dir: t.TempDir()})
+	if rep != nil {
+		t.Logf("%v", rep)
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if err != nil {
+		t.Fatalf("delta soak: %v", err)
+	}
+
+	if rep.AckedWrites == 0 {
+		t.Fatal("no write was ever acknowledged; the delta soak served nothing")
+	}
+	if rep.Crashes == 0 {
+		t.Error("no incarnation ever crashed; the fault injector never fired")
+	}
+	if rep.Applies == 0 {
+		t.Error("the apply tracker saw no identified writes; correlation is broken")
+	}
+	if rep.EngineDeltas == 0 {
+		t.Error("no delta checkpoint was ever published; the incremental path never ran")
+	}
+	if rep.EngineCompactions == 0 {
+		t.Error("no WAL compaction ever ran; the compaction path is untested")
+	}
+	if !testing.Short() && rep.DeltasApplied == 0 {
+		// A short run may crash only right after a base; the full run has
+		// enough incarnations that some restart must see a delta tail.
+		t.Error("no recovery ever applied a delta chain; restarts never exercised chain recovery")
+	}
+}
+
 // TestChaosSoakSharded runs the same chaos soak against a 2-shard fleet:
 // every kill -9 takes down both trees at once, recovery must bring both
 // shards back consistent, and on top of the exactly-once and shed

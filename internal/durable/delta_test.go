@@ -1,0 +1,397 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/aboram"
+	"repro/internal/rng"
+	"repro/internal/vfs"
+)
+
+// deltaOptions is testOptions switched to the incremental configuration:
+// a rotation every 2 writes, a full base every 4th rotation, synchronous
+// publishes so tests see the directory settle deterministically.
+func deltaOptions(dir string) Options {
+	opt := testOptions(dir)
+	opt.SnapshotEvery = 2
+	opt.DeltaSnapshots = true
+	opt.BaseEvery = 4
+	opt.SyncPublish = true
+	return opt
+}
+
+// TestDeltaChainRecovery drives enough writes through a delta engine to
+// publish a base plus a chain of deltas, drops it without Close (the
+// crash shape), and demands recovery apply the chain and lose nothing.
+func TestDeltaChainRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(deltaOptions(dir))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 13 // 6 rotations at every-2: a base, deltas, another base, deltas
+	for i := 0; i < n; i++ {
+		if err := e.Write(int64(i), payload(e.BlockSize(), byte(0x10+i))); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Snapshots == 0 || st.DeltasWritten == 0 {
+		t.Fatalf("stats = %+v, want both full bases and deltas published", st)
+	}
+	// No Close: SyncEvery=1 already made every acknowledged write durable.
+
+	r, err := Open(deltaOptions(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.DeltasApplied == 0 {
+		t.Fatalf("recovery = %+v, want a delta chain applied", rec)
+	}
+	for i := 0; i < n; i++ {
+		got, err := r.Read(int64(i))
+		if err != nil || !bytes.Equal(got, payload(r.BlockSize(), byte(0x10+i))) {
+			t.Fatalf("block %d wrong after chain recovery (err %v)", i, err)
+		}
+	}
+}
+
+// TestCorruptMiddleDeltaShortensChain damages a delta in the middle of
+// the chain and checks recovery rebuilds from the base, stops the chain
+// short of the damage, and covers the gap from the retained WAL segments
+// — zero acknowledged-write loss. Old generations are kept on disk
+// (noRemoveFS) because a pruned-away WAL segment is only redundant while
+// the chain element covering it stays readable.
+func TestCorruptMiddleDeltaShortensChain(t *testing.T) {
+	dir := t.TempDir()
+	opt := deltaOptions(dir)
+	opt.FS = noRemoveFS{vfs.OS{}}
+	e, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 8 // base + a 3-delta chain at every-2, BaseEvery=4
+	for i := 0; i < n; i++ {
+		if err := e.Write(int64(i), payload(e.BlockSize(), byte(0x20+i))); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	e.Close()
+
+	deltas, err := filepath.Glob(filepath.Join(dir, "delta-*.abd"))
+	if err != nil || len(deltas) < 2 {
+		t.Fatalf("deltas %v (err %v), want a chain of at least two", deltas, err)
+	}
+	sort.Strings(deltas)
+	middle := deltas[len(deltas)-2] // not the newest: the chain must stop early
+	if err := os.WriteFile(middle, []byte("rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(deltaOptions(dir)) // plain OS fs for recovery
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.DeltasSkipped == 0 {
+		t.Fatalf("recovery = %+v, want the damaged delta skipped", rec)
+	}
+	if want := len(deltas) - 2; rec.DeltasApplied > want {
+		t.Fatalf("recovery = %+v, applied past the damaged delta (chain of %d)", rec, len(deltas))
+	}
+	for i := 0; i < n; i++ {
+		got, err := r.Read(int64(i))
+		if err != nil || !bytes.Equal(got, payload(r.BlockSize(), byte(0x20+i))) {
+			t.Fatalf("block %d lost after mid-chain damage (err %v)", i, err)
+		}
+	}
+}
+
+// TestCrossModeDirectories checks a directory written in either mode
+// opens in either mode: recovery is driven by the files present, the
+// flag only selects what new rotations write.
+func TestCrossModeDirectories(t *testing.T) {
+	dir := t.TempDir()
+	full := testOptions(dir)
+	full.SnapshotEvery = 3
+
+	e, err := Open(full)
+	if err != nil {
+		t.Fatalf("Open full: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.Write(int64(i), payload(e.BlockSize(), byte(0x30+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+
+	// Full-mode directory opened by a delta engine; write more through it.
+	d, err := Open(deltaOptions(dir))
+	if err != nil {
+		t.Fatalf("Open delta over full dir: %v", err)
+	}
+	for i := 5; i < 10; i++ {
+		if err := d.Write(int64(i), payload(d.BlockSize(), byte(0x30+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Stats().DeltasWritten == 0 {
+		t.Fatalf("stats = %+v, want delta rotations after the mode switch", d.Stats())
+	}
+	d.Close()
+
+	// Delta-mode directory (chain on disk) opened by a full engine.
+	r, err := Open(full)
+	if err != nil {
+		t.Fatalf("Open full over delta dir: %v", err)
+	}
+	defer r.Close()
+	for i := 0; i < 10; i++ {
+		got, err := r.Read(int64(i))
+		if err != nil || !bytes.Equal(got, payload(r.BlockSize(), byte(0x30+i))) {
+			t.Fatalf("block %d wrong after mode round-trip (err %v)", i, err)
+		}
+	}
+	// A full engine must not keep extending the old chain.
+	names, err := vfs.OS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "delta-") {
+			t.Fatalf("full-mode open left chain file %q alive after its base rotation", name)
+		}
+	}
+}
+
+// TestLegacyHeaderlessSnapshotLoads pins backward compatibility with the
+// oldest checkpoint format: a raw aboram.Save image with neither the
+// ABSNAP01 id header nor delta framing, dropped into the directory under
+// a snapshot name, must recover in both modes.
+func TestLegacyHeaderlessSnapshotLoads(t *testing.T) {
+	dir := t.TempDir()
+	opt := testOptions(dir)
+	o, err := aboram.New(opt.ORAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload(o.BlockSize(), 0x5a)
+	if err := o.Write(3, want); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snapName(1))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"full", opt},
+		{"delta", deltaOptions(dir)},
+	} {
+		e, err := Open(mode.opts)
+		if err != nil {
+			t.Fatalf("%s Open over legacy snapshot: %v", mode.name, err)
+		}
+		if e.Recovery().BaseEpoch != 1 {
+			t.Fatalf("%s recovery = %+v, want the legacy snapshot as base", mode.name, e.Recovery())
+		}
+		got, err := e.Read(3)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s: legacy content lost (err %v)", mode.name, err)
+		}
+		e.Close()
+		// Reinstate the legacy layout for the second mode's pass.
+		if mode.name == "full" {
+			names, _ := vfs.OS{}.ReadDir(dir)
+			for _, name := range names {
+				os.Remove(filepath.Join(dir, name))
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestDeltaRecoveryFingerprintMatchesFull is the correctness pin for the
+// whole incremental path: two engines — one full-image, one delta — are
+// driven through the identical seeded op sequence, dropped without Close,
+// and recovered. Their logical-state fingerprints must be identical: the
+// chain of base + deltas + WAL replay reconstructs bit-for-bit the state
+// the full snapshot + WAL replay does.
+func TestDeltaRecoveryFingerprintMatchesFull(t *testing.T) {
+	run := func(t *testing.T, opt Options, clean bool) [32]byte {
+		e, err := Open(opt)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		r := rng.New(99)
+		for i := 0; i < 40; i++ {
+			blk := int64(r.Uint64n(uint64(e.NumBlocks())))
+			switch {
+			case r.Float64() < 0.6:
+				if err := e.Write(blk, payload(e.BlockSize(), byte(i))); err != nil {
+					t.Fatalf("Write %d: %v", i, err)
+				}
+			default:
+				if err := e.Access(blk); err != nil {
+					t.Fatalf("Access %d: %v", i, err)
+				}
+			}
+		}
+		if clean {
+			e.Close()
+		}
+		rec, err := Open(opt)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer rec.Close()
+		fp, err := rec.Fingerprint()
+		if err != nil {
+			t.Fatalf("Fingerprint: %v", err)
+		}
+		return fp
+	}
+
+	for _, clean := range []bool{false, true} {
+		name := "crash"
+		if clean {
+			name = "clean-close"
+		}
+		t.Run(name, func(t *testing.T) {
+			fullOpt := testOptions(t.TempDir())
+			fullOpt.SnapshotEvery = 2
+			fpFull := run(t, fullOpt, clean)
+
+			// Same rotation cadence on both engines: the recovered protocol
+			// state is a function of (checkpoint cut, replayed suffix), and
+			// the fingerprint is bit-exact, so only the checkpoint FORMAT
+			// may differ between the two runs.
+			deltaOpt := deltaOptions(t.TempDir())
+			fpDelta := run(t, deltaOpt, clean)
+			if fpFull != fpDelta {
+				t.Fatalf("recovered fingerprints diverge: full %x, delta %x", fpFull[:8], fpDelta[:8])
+			}
+		})
+	}
+}
+
+// TestDeferredCheckpoints checks the write path only marks work due
+// under DeferCheckpoints, and MaybeCheckpoint performs it.
+func TestDeferredCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	opt := deltaOptions(dir)
+	opt.DeferCheckpoints = true
+	e, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer e.Close()
+	for i := 0; i < 4; i++ { // two rotations due at every-2
+		if err := e.Write(int64(i), payload(e.BlockSize(), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.MaybeCheckpoint(); err != nil {
+			t.Fatalf("MaybeCheckpoint after write %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Snapshots+st.DeltasWritten < 2 {
+		t.Fatalf("stats = %+v, want deferred rotations performed at the batch boundary", st)
+	}
+
+	// Without the MaybeCheckpoint call nothing rotates, however many
+	// writes pass: the work only becomes due.
+	dir2 := t.TempDir()
+	opt2 := deltaOptions(dir2)
+	opt2.DeferCheckpoints = true
+	e2, err := Open(opt2)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer e2.Close()
+	for i := 0; i < 6; i++ {
+		if err := e2.Write(int64(i), payload(e2.BlockSize(), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e2.Stats(); st.Snapshots != 0 || st.DeltasWritten != 0 {
+		t.Fatalf("stats = %+v, want no rotation without MaybeCheckpoint", st)
+	}
+}
+
+// TestCompactionShrinksReplay hammers two blocks so the live segment
+// fills with superseded writes, compacts, and checks recovery replays
+// the shrunken log with full dedup-id fidelity.
+func TestCompactionShrinksReplay(t *testing.T) {
+	dir := t.TempDir()
+	opt := testOptions(dir)
+	opt.SnapshotEvery = 1 << 20 // no rotations: the segment only compacts
+	opt.CompactEvery = 10
+	e, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var lastA, lastB []byte
+	var ids []uint64
+	for i := 0; i < 20; i++ {
+		blk := int64(i % 2)
+		data := payload(e.BlockSize(), byte(0x60+i))
+		id := uint64(1000 + i)
+		if err := e.WriteIdentified(id, blk, data); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+		ids = append(ids, id)
+		if blk == 0 {
+			lastA = data
+		} else {
+			lastB = data
+		}
+	}
+	if got := e.Stats().CompactionRuns; got == 0 {
+		t.Fatalf("compactions = %d, want at least one at every-10 over 20 appends", got)
+	}
+	e.Close()
+
+	r, err := Open(opt)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if rec := r.Recovery(); rec.RecordsReplayed >= 20 {
+		t.Fatalf("recovery = %+v, want fewer whole-content records than the %d appends", rec, 20)
+	}
+	gotA, errA := r.Read(0)
+	gotB, errB := r.Read(1)
+	if errA != nil || errB != nil || !bytes.Equal(gotA, lastA) || !bytes.Equal(gotB, lastB) {
+		t.Fatalf("final contents wrong after compacted replay (errs %v, %v)", errA, errB)
+	}
+	// Every acknowledged id must survive compaction, in order: superseded
+	// writes shrink to id stubs, they don't vanish.
+	got := r.RecentWriteIDs()
+	if len(got) != len(ids) {
+		t.Fatalf("recovered %d ids, want %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("id order diverged at %d: got %d, want %d", i, got[i], ids[i])
+		}
+	}
+}

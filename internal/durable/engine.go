@@ -19,25 +19,44 @@
 // appended-but-unsynced record may wait if no BatchSync arrives.
 //
 // Writes also carry wire request ids (WriteIdentified): each id is
-// logged in the WAL record and the recent-id set rides in every snapshot
-// header, so recovery returns the ids of acknowledged writes
+// logged in the WAL record and the recent-id set rides in every
+// checkpoint header, so recovery returns the ids of acknowledged writes
 // (RecentWriteIDs) and the front end can seed its retry-dedup window —
 // a retried write straddling a crash is recognized, not applied twice.
 //
+// DeltaSnapshots replaces most full-image rotations with incremental
+// checkpoints: the instance stamps every bucket, position-map entry, and
+// data slot it mutates, and a rotation captures only the state touched
+// since the previous cut (plus a full base image every BaseEvery
+// rotations, bounding the recovery chain). The capture is an in-memory
+// copy of the dirty set, so the serving pause is proportional to what
+// changed, not to the tree; the encoded checkpoint publishes in the
+// background while serving continues, and publishes are serialized so a
+// crash can tear at most the newest chain element — which recovery
+// drops, falling back to the WAL segment that the unpublished element
+// would have covered. CompactEvery independently bounds replay work for
+// write-hot blocks by rewriting the live WAL segment in place,
+// shrinking superseded whole-block writes to id-only dedup stubs.
+//
 // The engine is fail-stop: any error on the durability path (append,
-// fsync, snapshot publish) poisons the instance and every later
-// operation returns the original error. A store that can no longer
-// persist must stop acknowledging — the recovery path, not optimistic
-// continuation, is the consistency story.
+// fsync, checkpoint capture or publish, compaction) poisons the instance
+// and every later operation returns the original error. A store that can
+// no longer persist must stop acknowledging — the recovery path, not
+// optimistic continuation, is the consistency story. A background
+// publish failure is promoted to fail-stop at the next write, sync,
+// rotation, or Close.
 //
 // Engine methods are not safe for concurrent use. The intended topology
 // is the one cmd/aboramd builds: Engine implements internal/server's
 // Engine interface and is driven only by the scheduler's single protocol
 // goroutine, which also means the WAL write order equals the
-// acknowledgment order.
+// acknowledgment order. Under DeferCheckpoints the scheduler additionally
+// calls MaybeCheckpoint at batch boundaries, so the checkpoint cut lands
+// between batches, never between a write and its acknowledgment.
 package durable
 
 import (
+	"bytes"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -57,14 +76,47 @@ type Options struct {
 	// on every open of the same directory (the snapshot image carries no
 	// key material, so the encryption key in particular must match).
 	ORAM aboram.Options
-	// SnapshotEvery rotates the epoch (snapshot + fresh WAL) after this
+	// SnapshotEvery rotates the epoch (checkpoint + fresh WAL) after this
 	// many acknowledged writes. Default 1024.
 	SnapshotEvery int
 	// SnapshotInterval additionally rotates when this much wall time has
-	// passed since the last snapshot, checked on the write path.
+	// passed since the last checkpoint, checked on the write path.
 	// 0 disables the timer (the default, and what deterministic tests
 	// rely on).
 	SnapshotInterval time.Duration
+	// SnapshotPhase offsets the first rotation after Open by this many
+	// writes (taken modulo SnapshotEvery), so a fleet of shards opened
+	// together staggers its checkpoint work instead of pausing in
+	// lockstep. The same fraction offsets the SnapshotInterval timer.
+	SnapshotPhase int
+	// DeltaSnapshots switches rotation to incremental checkpoints: most
+	// rotations publish a delta of the state touched since the last cut,
+	// and every BaseEvery-th rotation publishes a full base image.
+	// Recovery follows the chain (newest readable base, then its
+	// consecutive readable deltas) before WAL replay. Directories written
+	// in either mode open in either mode: recovery is driven by the files
+	// present, the flag only selects what new rotations write.
+	DeltaSnapshots bool
+	// BaseEvery is the full-base cadence under DeltaSnapshots: after this
+	// many consecutive delta rotations, the next rotation writes a full
+	// snapshot (bounding chain length and reclaiming chain disk).
+	// Default 8.
+	BaseEvery int
+	// CompactEvery, when > 0, rewrites the live WAL segment after this
+	// many appends since the segment started (or was last compacted):
+	// superseded whole-block writes shrink to id-only dedup stubs. This
+	// bounds replay work and log disk for write-hot blocks even when
+	// rotations are far apart.
+	CompactEvery int
+	// DeferCheckpoints moves rotation and compaction off the write path:
+	// writes only mark them due, and MaybeCheckpoint — called by the
+	// scheduler at batch boundaries — performs them. This gives delta
+	// captures a consistent cut between batches.
+	DeferCheckpoints bool
+	// SyncPublish forces delta-mode rotations to publish the encoded
+	// checkpoint inline before returning, instead of in the background.
+	// Deterministic crash tests use it; serving keeps the default.
+	SyncPublish bool
 	// SyncEvery fsyncs the WAL every N appends. 1 (the default) is the
 	// zero-acknowledged-loss setting; larger values trade an N-op loss
 	// window for throughput. Ignored under GroupCommit.
@@ -79,7 +131,7 @@ type Options struct {
 	// net for drivers that never call BatchSync). Default 5ms.
 	MaxSyncDelay time.Duration
 	// DedupTrack is how many recent acknowledged write ids the engine
-	// remembers for crash-durable retry dedup (snapshot header + WAL
+	// remembers for crash-durable retry dedup (checkpoint header + WAL
 	// replay). Default 4096, matching the front end's dedup window.
 	DedupTrack int
 	// Logf, when set, receives rare operational warnings (e.g. stale-file
@@ -93,6 +145,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.SnapshotEvery <= 0 {
 		o.SnapshotEvery = 1024
+	}
+	if o.BaseEvery <= 0 {
+		o.BaseEvery = 8
 	}
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 1
@@ -121,12 +176,20 @@ type RecoveryStats struct {
 	// SnapshotsSkipped counts newer snapshot files that failed to load
 	// before one succeeded.
 	SnapshotsSkipped int
+	// DeltasApplied counts the consecutive delta checkpoints applied on
+	// top of the base snapshot; the chain covers epochs
+	// BaseEpoch+1 .. BaseEpoch+DeltasApplied.
+	DeltasApplied int
+	// DeltasSkipped counts delta files that failed to decode or apply —
+	// recovery rebuilt from the base and stopped the chain short of the
+	// damage.
+	DeltasSkipped int
 	// SegmentsReplayed and RecordsReplayed count the WAL suffix applied
-	// on top of the base snapshot.
+	// on top of the recovered chain.
 	SegmentsReplayed int
 	RecordsReplayed  int
 	// IDsRecovered counts the distinct request ids recovered from the
-	// snapshot header plus WAL replay — the ids RecentWriteIDs reports.
+	// checkpoint header plus WAL replay — the ids RecentWriteIDs reports.
 	IDsRecovered int
 	// TornTail reports that a WAL segment ended in a damaged record,
 	// which recovery truncated — the signature of a mid-append crash.
@@ -138,8 +201,18 @@ type Stats struct {
 	Writes        uint64 // acknowledged (logged) writes
 	Syncs         uint64 // WAL fsyncs (all causes)
 	BatchedSyncs  uint64 // the subset issued by BatchSync (group commit)
-	Snapshots     uint64 // epoch rotations
-	PruneFailures uint64 // stale snapshot/WAL files that could not be removed
+	Snapshots     uint64 // full-image checkpoints (all rotations in full mode)
+	DeltasWritten uint64 // delta checkpoints (delta-mode rotations between bases)
+	// SnapshotPauseNanos is cumulative wall time serving was blocked by
+	// rotations: the whole publish in full mode; only the in-memory
+	// capture, final old-segment fsync, and fresh-segment creation in
+	// delta mode (the publish itself overlaps serving).
+	SnapshotPauseNanos uint64
+	// LastSnapshotBytes is the encoded size of the newest checkpoint
+	// (full or delta) captured so far.
+	LastSnapshotBytes uint64
+	CompactionRuns    uint64 // live WAL segments rewritten by compaction
+	PruneFailures     uint64 // stale files that could not be removed
 }
 
 // idRing is a fixed-capacity FIFO of recent acknowledged write ids.
@@ -172,9 +245,10 @@ func (r *idRing) list() []uint64 {
 	return out
 }
 
-// Engine is a crash-safe aboram.ORAM: snapshots + WAL on the write path,
-// replay on Open. It implements internal/server's Engine interface, plus
-// its IdentifiedEngine and BatchSyncer extensions.
+// Engine is a crash-safe aboram.ORAM: checkpoints + WAL on the write
+// path, replay on Open. It implements internal/server's Engine
+// interface, plus its IdentifiedEngine, BatchSyncer, and Checkpointer
+// extensions.
 type Engine struct {
 	fs  vfs.FS
 	opt Options
@@ -183,20 +257,32 @@ type Engine struct {
 	w     *wal
 	epoch uint64
 
-	sinceSnap  int
-	sinceSync  int
-	dirty      int       // appended-but-unsynced records (group commit)
-	firstDirty time.Time // when the oldest unsynced record was appended
-	lastSnap   time.Time
-	failed     error
+	sinceSnap    int
+	sinceSync    int
+	sinceBase    int    // delta rotations since the last full base
+	sinceCompact int    // appends to the live segment since its last compaction
+	lastCut      uint64 // instance mutation epoch of the newest capture's cut
+	ckptDue      bool   // rotation requested, deferred to MaybeCheckpoint
+	compactDue   bool   // compaction requested, deferred to MaybeCheckpoint
+	dirty        int    // appended-but-unsynced records (group commit)
+	firstDirty   time.Time
+	lastSnap     time.Time
+	failed       error
 
 	ids         *idRing
 	pruneLogged bool
 
+	// Background checkpoint publish (delta mode): at most one in flight,
+	// serialized by awaitPublish before the next rotation or compaction.
+	pubWG  sync.WaitGroup
+	pubMu  sync.Mutex
+	pubErr error
+
 	// statsMu guards stats and epoch only: the engine itself is
 	// single-goroutine (the scheduler's), but Stats and Epoch serve
 	// observability readers — a SIGUSR1 dump, a metrics poller — that
-	// run concurrently with serving.
+	// run concurrently with serving, as does the publish goroutine's
+	// counter bookkeeping.
 	statsMu  sync.Mutex
 	stats    Stats
 	recovery RecoveryStats
@@ -211,7 +297,8 @@ func (e *Engine) bump(f func(*Stats)) {
 
 // Open recovers (or initializes) the data directory and returns a
 // serving-ready engine. On return a fresh epoch has been published: the
-// newest snapshot reflects everything recovered, and the WAL is empty.
+// newest checkpoint (always a full image, regardless of mode) reflects
+// everything recovered, and the WAL is empty.
 func Open(opt Options) (*Engine, error) {
 	opt = opt.withDefaults()
 	fs := opt.FS
@@ -223,9 +310,13 @@ func Open(opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("durable: listing %s: %w", opt.Dir, err)
 	}
 	var snaps, wals []uint64
+	deltaSet := map[uint64]bool{}
 	for _, name := range names {
 		if e, ok := parseEpoch(name, "snap-", ".ab"); ok {
 			snaps = append(snaps, e)
+		}
+		if e, ok := parseEpoch(name, "delta-", ".abd"); ok {
+			deltaSet[e] = true
 		}
 		if e, ok := parseEpoch(name, "wal-", ".log"); ok {
 			wals = append(wals, e)
@@ -236,20 +327,46 @@ func Open(opt Options) (*Engine, error) {
 
 	e := &Engine{fs: fs, opt: opt, ids: newIDRing(opt.DedupTrack)}
 
-	// Newest readable snapshot wins; an unreadable one falls back an
-	// epoch (its WAL segment still exists and will be replayed, because
-	// records are whole-content writes and therefore idempotent).
-	var snapIDs []uint64
+	// Newest readable base extended by the longest cleanly-applying run
+	// of consecutive deltas wins. A delta that fails to decode or apply
+	// may have partially mutated the instance, so the chain is rebuilt
+	// from the base, stopping short of the damage; an unreadable base
+	// falls back an epoch (its WAL segments still exist and will be
+	// replayed, because records are whole-content writes and therefore
+	// idempotent).
+	var chainIDs []uint64
+	var chainTail uint64 // epoch of the newest applied chain element
+baseLoop:
 	for _, se := range snaps {
-		o, ids, err := loadSnapshot(fs, opt.Dir, se, opt.ORAM)
-		if err != nil {
-			e.recovery.SnapshotsSkipped++
-			continue
+		limit := -1 // deltas to apply; <0 = every consecutive one, shrinks on damage
+		for {
+			o, ids, err := loadSnapshot(fs, opt.Dir, se, opt.ORAM)
+			if err != nil {
+				e.recovery.SnapshotsSkipped++
+				continue baseLoop
+			}
+			applied, damaged := 0, false
+			for de := se + 1; deltaSet[de] && (limit < 0 || applied < limit); de++ {
+				dids, err := loadDelta(fs, opt.Dir, de, o)
+				if err != nil {
+					e.recovery.DeltasSkipped++
+					limit = applied
+					damaged = true
+					break
+				}
+				ids = dids
+				applied++
+			}
+			if damaged {
+				continue // rebuild from the base, stopping before the bad delta
+			}
+			e.oram = o
+			chainIDs = ids
+			e.recovery.BaseEpoch = se
+			e.recovery.DeltasApplied = applied
+			chainTail = se + uint64(applied)
+			break baseLoop
 		}
-		e.oram = o
-		snapIDs = ids
-		e.recovery.BaseEpoch = se
-		break
 	}
 	if e.oram == nil {
 		o, err := aboram.New(opt.ORAM)
@@ -258,20 +375,24 @@ func Open(opt Options) (*Engine, error) {
 		}
 		e.oram = o
 	}
-	for _, id := range snapIDs {
+	// The newest applied chain element carries the id window as of its
+	// cut; WAL replay pushes anything acknowledged after it.
+	for _, id := range chainIDs {
 		e.ids.push(id)
 	}
 
-	// Replay every WAL segment at or above the base epoch, oldest first.
-	// Only OpWrite records mutate content; anything else in a segment is
-	// skipped (forward compatibility), and each segment is truncated at
-	// its first damaged record.
-	maxEpoch := e.recovery.BaseEpoch
+	// Replay every WAL segment at or above the newest applied chain
+	// element, oldest first. OpWrite records mutate content; OpAccess
+	// records with an id are compaction stubs and only reseed the dedup
+	// window (in original acknowledgment order). Anything else in a
+	// segment is skipped (forward compatibility), and each segment is
+	// truncated at its first damaged record.
+	maxEpoch := chainTail
 	for _, we := range wals {
 		if we > maxEpoch {
 			maxEpoch = we
 		}
-		if we < e.recovery.BaseEpoch {
+		if we < chainTail {
 			continue
 		}
 		data, err := readWAL(fs, filepath.Join(opt.Dir, walName(we)))
@@ -280,16 +401,20 @@ func Open(opt Options) (*Engine, error) {
 		}
 		recs, _, torn := ScanWAL(data)
 		for _, rec := range recs {
-			if rec.Op != wire.OpWrite {
-				continue
+			switch rec.Op {
+			case wire.OpWrite:
+				if err := e.oram.Write(rec.Block, rec.Data); err != nil {
+					return nil, fmt.Errorf("durable: replaying write(%d): %w", rec.Block, err)
+				}
+				if rec.ID != 0 {
+					e.ids.push(rec.ID)
+				}
+				e.recovery.RecordsReplayed++
+			case wire.OpAccess:
+				if rec.ID != 0 {
+					e.ids.push(rec.ID)
+				}
 			}
-			if err := e.oram.Write(rec.Block, rec.Data); err != nil {
-				return nil, fmt.Errorf("durable: replaying write(%d): %w", rec.Block, err)
-			}
-			if rec.ID != 0 {
-				e.ids.push(rec.ID)
-			}
-			e.recovery.RecordsReplayed++
 		}
 		e.recovery.SegmentsReplayed++
 		e.recovery.TornTail = e.recovery.TornTail || torn
@@ -299,18 +424,35 @@ func Open(opt Options) (*Engine, error) {
 			maxEpoch = se
 		}
 	}
+	for de := range deltaSet {
+		if de > maxEpoch {
+			maxEpoch = de
+		}
+	}
 	e.recovery.IDsRecovered = e.ids.n
 
 	// Publish the recovered state as a fresh epoch, then drop the old
-	// generation. Failing to publish fails Open: an engine that cannot
-	// snapshot must not start acknowledging writes.
+	// generation. The first delta-mode rotation must be a full base (the
+	// recovered instance's mutation stamps don't line up with any on-disk
+	// cut), which sinceBase = BaseEvery forces. Failing to publish fails
+	// Open: an engine that cannot checkpoint must not start acknowledging
+	// writes.
 	e.epoch = maxEpoch
-	if err := e.rotate(); err != nil {
+	e.sinceBase = e.opt.BaseEvery
+	if err := e.rotate(true); err != nil {
 		return nil, err
 	}
 	e.statsMu.Lock()
 	e.stats = Stats{} // rotation above is recovery work, not serving work
 	e.statsMu.Unlock()
+	if opt.SnapshotPhase > 0 {
+		phase := opt.SnapshotPhase % opt.SnapshotEvery
+		e.sinceSnap = phase
+		if opt.SnapshotInterval > 0 {
+			e.lastSnap = e.lastSnap.Add(-time.Duration(
+				float64(opt.SnapshotInterval) * float64(phase) / float64(opt.SnapshotEvery)))
+		}
+	}
 	return e, nil
 }
 
@@ -325,8 +467,8 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// Epoch returns the current snapshot epoch. It is safe to call from any
-// goroutine.
+// Epoch returns the current checkpoint epoch. It is safe to call from
+// any goroutine.
 func (e *Engine) Epoch() uint64 {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
@@ -342,15 +484,36 @@ func (e *Engine) BlockSize() int { return e.oram.BlockSize() }
 // Encrypted reports whether the data plane is active.
 func (e *Engine) Encrypted() bool { return e.oram.Encrypted() }
 
+// Fingerprint hashes the complete logical state of the underlying
+// instance (see aboram.Fingerprint). Recovery-identity tests compare
+// engines recovered through different checkpoint formats with it.
+func (e *Engine) Fingerprint() ([32]byte, error) { return e.oram.Fingerprint() }
+
 // RecentWriteIDs returns the request ids of recently acknowledged
 // identified writes, oldest first — after Open, the ids recovered from
-// the snapshot header and WAL replay. Seed the front end's retry-dedup
+// the checkpoint header and WAL replay. Seed the front end's retry-dedup
 // window with them before serving.
 func (e *Engine) RecentWriteIDs() []uint64 { return e.ids.list() }
 
 // GroupCommit reports whether BatchSync carries the fsync duty
 // (satisfies internal/server's BatchSyncer).
 func (e *Engine) GroupCommit() bool { return e.opt.GroupCommit }
+
+// Durability reports the engine's durability counters in wire form, for
+// the serving layer's Info response (satisfies internal/server's
+// DurabilityReporter). Safe to call from any goroutine.
+func (e *Engine) Durability() wire.DurabilityInfo {
+	st := e.Stats()
+	return wire.DurabilityInfo{
+		Epoch:              e.Epoch(),
+		Snapshots:          st.Snapshots,
+		Deltas:             st.DeltasWritten,
+		Compactions:        st.CompactionRuns,
+		SnapshotPauseNanos: st.SnapshotPauseNanos,
+		LastSnapshotBytes:  st.LastSnapshotBytes,
+		Syncs:              st.Syncs,
+	}
+}
 
 // fail poisons the engine: the durability layer can no longer keep its
 // promise, so every later operation refuses with the original cause.
@@ -359,11 +522,25 @@ func (e *Engine) fail(err error) error {
 	return err
 }
 
+// pollPublish reports a background publish failure without waiting.
+func (e *Engine) pollPublish() error {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	return e.pubErr
+}
+
+// awaitPublish blocks until any in-flight background publish completes,
+// then reports its failure if it had one.
+func (e *Engine) awaitPublish() error {
+	e.pubWG.Wait()
+	return e.pollPublish()
+}
+
 // Access obliviously touches a block. Accesses mutate only the
 // randomized protocol state, never content, so they are not logged:
 // recovery reconstructs an equivalent (not bit-identical) position map
-// from the snapshot, which preserves every correctness and obliviousness
-// property.
+// from the checkpoint, which preserves every correctness and
+// obliviousness property.
 func (e *Engine) Access(block int64) error {
 	if e.failed != nil {
 		return e.failed
@@ -399,11 +576,16 @@ func (e *Engine) Write(block int64, data []byte) error {
 
 // WriteIdentified is Write carrying the client's retry-dedup request id
 // (0 = unidentified). The id is logged in the WAL record and kept in the
-// recent-id set that every snapshot header carries, so recovery can
+// recent-id set that every checkpoint header carries, so recovery can
 // rebuild the retry-dedup window.
 func (e *Engine) WriteIdentified(id uint64, block int64, data []byte) error {
 	if e.failed != nil {
 		return e.failed
+	}
+	if err := e.pollPublish(); err != nil {
+		// A background checkpoint publish failed: stop acknowledging
+		// before the WAL segments the lost checkpoint covers go stale.
+		return e.fail(err)
 	}
 	if err := e.oram.Write(block, data); err != nil {
 		// A domain error (bad block, wrong size) touched nothing durable
@@ -438,15 +620,53 @@ func (e *Engine) WriteIdentified(id uint64, block int64, data []byte) error {
 	}
 	e.bump(func(s *Stats) { s.Writes++ })
 	e.sinceSnap++
+	if e.opt.CompactEvery > 0 {
+		e.sinceCompact++
+	}
 	due := e.sinceSnap >= e.opt.SnapshotEvery ||
 		(e.opt.SnapshotInterval > 0 && time.Since(e.lastSnap) >= e.opt.SnapshotInterval)
-	if due {
-		if err := e.rotate(); err != nil {
+	compactNow := e.opt.CompactEvery > 0 && e.sinceCompact >= e.opt.CompactEvery
+	switch {
+	case due && e.opt.DeferCheckpoints:
+		e.ckptDue = true
+	case due:
+		if err := e.rotate(e.opt.SyncPublish); err != nil {
 			// The write itself is recoverable (logged above, and the
-			// rotation attempt snapshots the applied state before anything
+			// rotation attempt captures the applied state before anything
 			// else); the failed rotation is what poisons the engine.
 			// Returning the error anyway keeps the contract simple: nil
 			// means everything, including housekeeping, is healthy.
+			return e.fail(err)
+		}
+	case compactNow && e.opt.DeferCheckpoints:
+		e.compactDue = true
+	case compactNow:
+		if err := e.compactWAL(); err != nil {
+			return e.fail(err)
+		}
+	}
+	return nil
+}
+
+// MaybeCheckpoint performs any rotation or compaction the write path
+// deferred (satisfies internal/server's Checkpointer). The scheduler
+// calls it at batch boundaries, so under DeferCheckpoints the delta cut
+// is consistent: no request is between its apply and its acknowledgment
+// when the capture happens. A no-op when nothing is due.
+func (e *Engine) MaybeCheckpoint() error {
+	if e.failed != nil {
+		return e.failed
+	}
+	switch {
+	case e.ckptDue:
+		e.ckptDue = false
+		e.compactDue = false // the fresh segment starts empty
+		if err := e.rotate(e.opt.SyncPublish); err != nil {
+			return e.fail(err)
+		}
+	case e.compactDue:
+		e.compactDue = false
+		if err := e.compactWAL(); err != nil {
 			return e.fail(err)
 		}
 	}
@@ -483,23 +703,36 @@ func (e *Engine) syncWAL() error {
 	return nil
 }
 
-// Snapshot forces an epoch rotation (snapshot + fresh WAL) now.
+// Snapshot forces an epoch rotation (checkpoint + fresh WAL) now. In
+// delta mode the checkpoint is whichever chain element is due.
 func (e *Engine) Snapshot() error {
 	if e.failed != nil {
 		return e.failed
 	}
-	if err := e.rotate(); err != nil {
+	if err := e.rotate(e.opt.SyncPublish); err != nil {
 		return e.fail(err)
 	}
 	return nil
 }
 
-// rotate publishes epoch+1: durable snapshot (carrying the recent-id
-// set), fresh WAL segment, then best-effort removal of the previous
-// generation.
-func (e *Engine) rotate() error {
+// rotate publishes epoch+1 and opens its fresh WAL segment. Full mode
+// writes the image synchronously; delta mode splits the rotation into a
+// serving pause (in-memory capture of the dirty set, any final fsync of
+// the old segment, fresh segment creation) and a publish — encoding the
+// captured snapshot and writing it out — that runs in the background
+// unless syncPublish is set.
+func (e *Engine) rotate(syncPublish bool) error {
+	if !e.opt.DeltaSnapshots {
+		return e.rotateFull()
+	}
+	return e.rotateDelta(syncPublish)
+}
+
+func (e *Engine) rotateFull() error {
+	start := time.Now()
 	next := e.epoch + 1
-	if err := writeSnapshot(e.fs, e.opt.Dir, next, e.oram, e.ids.list()); err != nil {
+	n, err := writeSnapshot(e.fs, e.opt.Dir, next, e.oram, e.ids.list())
+	if err != nil {
 		return err
 	}
 	if e.w != nil {
@@ -510,53 +743,274 @@ func (e *Engine) rotate() error {
 		return fmt.Errorf("durable: creating WAL segment: %w", err)
 	}
 	e.w = w
-	prev := e.epoch
+	e.finishRotation(next)
+	e.bump(func(s *Stats) {
+		s.Snapshots++
+		s.SnapshotPauseNanos += uint64(time.Since(start))
+		s.LastSnapshotBytes = n
+	})
+	e.prune(next, true)
+	return nil
+}
+
+func (e *Engine) rotateDelta(syncPublish bool) error {
+	// Publishes are serialized: the previous chain element must be
+	// durable before its successor captures (and before the WAL segments
+	// it covers are pruned), so a crash can tear at most the newest
+	// element — whose writes the surviving WAL still covers.
+	if err := e.awaitPublish(); err != nil {
+		return err
+	}
+	start := time.Now()
+	next := e.epoch + 1
+	isBase := e.sinceBase >= e.opt.BaseEvery
+	// Bases are encoded here (they are rare and recovery depends on them
+	// being the simple path); deltas are only *captured* here — the gob
+	// encode, the expensive half of a delta cut, runs at publish time so
+	// the serving pause is proportional to the dirty set alone.
+	var buf bytes.Buffer
+	var snap *aboram.DeltaSnapshot
+	var meta []byte
+	var tmp, final string
+	if isBase {
+		tmp, final = snapTmpName(next), snapName(next)
+		buf.Write(appendSnapMeta(nil, e.ids.list()))
+		if err := e.oram.Save(&buf); err != nil {
+			return fmt.Errorf("durable: capturing snapshot: %w", err)
+		}
+		e.lastCut = e.oram.CutEpoch()
+	} else {
+		tmp, final = deltaTmpName(next), deltaName(next)
+		meta = appendDeltaMeta(nil, e.ids.list())
+		s, cut, err := e.oram.CaptureDelta(e.lastCut)
+		if err != nil {
+			return fmt.Errorf("durable: capturing delta: %w", err)
+		}
+		snap, e.lastCut = s, cut
+	}
+	// The in-memory capture is not durable until the publish lands, so
+	// the old segment — which covers everything the capture holds — must
+	// be fully on stable storage before it stops being the newest. When
+	// every append already is (the per-write sync policy, or a
+	// group-commit flush at the batch boundary), the fsync is skipped and
+	// the serving pause holds only the capture and the segment handoff.
+	if e.w != nil {
+		if e.dirty != 0 || e.sinceSync != 0 {
+			if err := e.syncWAL(); err != nil {
+				return err
+			}
+		}
+		e.w.close()
+	}
+	w, err := createWAL(e.fs, filepath.Join(e.opt.Dir, walName(next)))
+	if err != nil {
+		return fmt.Errorf("durable: creating WAL segment: %w", err)
+	}
+	e.w = w
+	if isBase {
+		e.sinceBase = 0
+	} else {
+		e.sinceBase++
+	}
+	e.finishRotation(next)
+	e.bump(func(s *Stats) {
+		if isBase {
+			s.Snapshots++
+			s.LastSnapshotBytes = uint64(buf.Len())
+		} else {
+			s.DeltasWritten++
+		}
+		s.SnapshotPauseNanos += uint64(time.Since(start))
+	})
+	publish := func() error {
+		blob := buf.Bytes()
+		if snap != nil {
+			var db bytes.Buffer
+			db.Write(meta)
+			if err := snap.Encode(&db); err != nil {
+				return fmt.Errorf("durable: encoding delta: %w", err)
+			}
+			blob = db.Bytes()
+			// A delta's encoded size is known only now; bump is
+			// lock-protected, so the async path updates it safely when
+			// the publish lands.
+			e.bump(func(s *Stats) { s.LastSnapshotBytes = uint64(len(blob)) })
+		}
+		if err := writeBlob(e.fs, e.opt.Dir, tmp, final, blob); err != nil {
+			return err
+		}
+		e.prune(next, isBase)
+		return nil
+	}
+	if syncPublish {
+		return publish()
+	}
+	e.pubWG.Add(1)
+	go func() {
+		defer e.pubWG.Done()
+		if err := publish(); err != nil {
+			e.pubMu.Lock()
+			e.pubErr = err
+			e.pubMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// finishRotation installs the new epoch and resets the per-segment
+// accounting.
+func (e *Engine) finishRotation(next uint64) {
 	e.statsMu.Lock()
 	e.epoch = next
 	e.statsMu.Unlock()
 	e.sinceSnap = 0
 	e.sinceSync = 0
-	// Unsynced records from the old segment are covered by the snapshot
-	// just published (it reflects every applied write), so the dirty
-	// accounting restarts with the fresh segment.
+	e.sinceCompact = 0
+	// Unsynced records from the old segment are covered by the checkpoint
+	// just captured (full mode: already published; delta mode: the old
+	// segment was fsynced before closing), so the dirty accounting
+	// restarts with the fresh segment.
 	e.dirty = 0
 	e.firstDirty = time.Time{}
 	e.lastSnap = time.Now()
-	e.bump(func(s *Stats) { s.Snapshots++ })
-	// Cleanup is best-effort: stale files cost disk, not correctness —
-	// recovery always prefers the newest readable generation. Failures
-	// are counted (and logged once) so leaked disk is observable.
-	if names, err := e.fs.ReadDir(e.opt.Dir); err == nil {
-		for _, name := range names {
-			se, isSnap := parseEpoch(name, "snap-", ".ab")
-			we, isWAL := parseEpoch(name, "wal-", ".log")
-			stale := (isSnap && se <= prev) || (isWAL && we <= prev) ||
-				(!isSnap && !isWAL && filepath.Ext(name) == ".tmp")
-			if !stale {
-				continue
-			}
-			if err := e.fs.Remove(filepath.Join(e.opt.Dir, name)); err != nil {
-				e.bump(func(s *Stats) { s.PruneFailures++ })
-				if !e.pruneLogged {
-					e.pruneLogged = true
-					e.opt.Logf("durable: pruning stale %s: %v (counting further failures silently)", name, err)
-				}
+}
+
+// prune removes files the checkpoint just published at epoch pub makes
+// redundant: WAL segments below it always (chain element N captures
+// everything through wal-(N-1)), older snapshots and deltas only when
+// pub is a full image (a delta still needs its base and predecessors),
+// and any orphaned temp file. Cleanup is best-effort: stale files cost
+// disk, not correctness — recovery always prefers the newest readable
+// generation. Failures are counted (and logged once) so leaked disk is
+// observable.
+func (e *Engine) prune(pub uint64, dropChain bool) {
+	names, err := e.fs.ReadDir(e.opt.Dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		se, isSnap := parseEpoch(name, "snap-", ".ab")
+		de, isDelta := parseEpoch(name, "delta-", ".abd")
+		we, isWAL := parseEpoch(name, "wal-", ".log")
+		var stale bool
+		switch {
+		case isSnap:
+			stale = dropChain && se < pub
+		case isDelta:
+			stale = dropChain && de < pub
+		case isWAL:
+			stale = we < pub
+		default:
+			stale = filepath.Ext(name) == ".tmp"
+		}
+		if !stale {
+			continue
+		}
+		if err := e.fs.Remove(filepath.Join(e.opt.Dir, name)); err != nil {
+			e.bump(func(s *Stats) { s.PruneFailures++ })
+			if !e.pruneLogged {
+				e.pruneLogged = true
+				e.opt.Logf("durable: pruning stale %s: %v (counting further failures silently)", name, err)
 			}
 		}
 	}
+}
+
+// compactWAL rewrites the live segment in place, shrinking superseded
+// whole-block writes to id-only dedup stubs. Records are whole-content
+// writes, so for each block only its newest record matters to recovery;
+// the ids of older ones must still survive for retry dedup, encoded as
+// OpAccess records at their original positions so replay reseeds the id
+// window in exact acknowledgment order.
+func (e *Engine) compactWAL() error {
+	// Serialized with background publishes: the publish prune sweep
+	// removes temp files and must not race the compaction temp.
+	if err := e.awaitPublish(); err != nil {
+		return err
+	}
+	// The rewrite reads the segment back from the filesystem, so every
+	// buffered append must be flushed (and, for the group-commit ack
+	// contract, durable) first.
+	if err := e.syncWAL(); err != nil {
+		return err
+	}
+	path := filepath.Join(e.opt.Dir, walName(e.epoch))
+	data, err := readWAL(e.fs, path)
+	if err != nil {
+		return err
+	}
+	recs, _, _ := ScanWAL(data)
+	lastWrite := make(map[int64]int, len(recs))
+	for i, rec := range recs {
+		if rec.Op == wire.OpWrite {
+			lastWrite[rec.Block] = i
+		}
+	}
+	out := make([]byte, 0, len(data))
+	shrunk := 0
+	for i, rec := range recs {
+		if rec.Op == wire.OpWrite && lastWrite[rec.Block] != i {
+			shrunk++
+			if rec.ID == 0 {
+				continue // nothing a replay would need
+			}
+			rec = wire.Request{Op: wire.OpAccess, ID: rec.ID}
+		}
+		if out, err = AppendRecord(out, rec); err != nil {
+			return fmt.Errorf("durable: compacting WAL: %w", err)
+		}
+	}
+	e.sinceCompact = 0
+	if shrunk == 0 {
+		return nil
+	}
+	tmpPath := filepath.Join(e.opt.Dir, fmt.Sprintf("wal-%016d.tmp", e.epoch))
+	f, err := e.fs.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("durable: creating compaction temp: %w", err)
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing compacted WAL: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: syncing compacted WAL: %w", err)
+	}
+	// The handle stays open across the rename and becomes the live
+	// segment's handle: a POSIX fd follows the file, not the name, and
+	// the vfs has no append-open to reacquire one.
+	if err := e.fs.Rename(tmpPath, path); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: publishing compacted WAL: %w", err)
+	}
+	if err := e.fs.SyncDir(e.opt.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: syncing directory: %w", err)
+	}
+	e.w.close() // orphaned pre-compaction inode
+	e.w = &wal{f: f, path: path}
+	e.bump(func(s *Stats) { s.CompactionRuns++ })
 	return nil
 }
 
-// Close syncs and closes the WAL. It does not snapshot: recovery replays
-// the log instead, and a crash immediately before Close must behave
-// identically to Close itself.
+// Close syncs and closes the WAL. It does not checkpoint: recovery
+// replays the log instead, and a crash immediately before Close must
+// behave identically to Close itself.
 func (e *Engine) Close() error {
+	// A background publish may still be writing into the directory; wait
+	// it out even when poisoned, so Close is a clean barrier.
+	e.pubWG.Wait()
 	if e.w == nil {
 		return nil
 	}
 	if e.failed != nil {
 		e.w.close()
 		return nil
+	}
+	if err := e.pollPublish(); err != nil {
+		e.w.close()
+		return err
 	}
 	if err := e.w.sync(); err != nil {
 		e.w.close()

@@ -26,7 +26,7 @@ func FuzzWALReplay(f *testing.F) {
 		}
 	}
 	f.Add(intact)
-	f.Add(intact[:len(intact)-3])                   // torn tail
+	f.Add(intact[:len(intact)-3])                    // torn tail
 	f.Add(append(append([]byte{}, intact...), 9, 9)) // garbage suffix
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0, 0xff}) // one-byte body, bad CRC

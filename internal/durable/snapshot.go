@@ -14,20 +14,29 @@ import (
 	"repro/internal/vfs"
 )
 
-// On-disk layout: one directory, epoch-numbered file pairs.
+// On-disk layout: one directory, epoch-numbered files.
 //
-//	snap-<epoch>.ab   full instance checkpoint (metadata header + aboram.Save image)
-//	snap-<epoch>.tmp  snapshot in flight; never read, deleted on recovery
-//	wal-<epoch>.log   acknowledged writes since snap-<epoch> was published
+//	snap-<epoch>.ab    full instance checkpoint (metadata header + aboram.Save image)
+//	delta-<epoch>.abd  incremental checkpoint (metadata header + aboram.SaveDelta stream)
+//	*.tmp              checkpoint in flight; never read, deleted on recovery
+//	wal-<epoch>.log    acknowledged writes since epoch <epoch> was captured
 //
-// Invariant: wal-<E>.log is created only after snap-<E>.ab is durably
-// published (temp file + fsync + rename + directory fsync), so a WAL
-// segment always has its base snapshot. Recovery loads the newest
-// readable snapshot and replays every WAL segment with epoch >= its own
-// in ascending order: records are whole-content writes, so replaying an
-// older segment under a newer snapshot is idempotent, and the scheme
-// survives even a snapshot file lost to bit rot by falling back one
-// epoch.
+// In full-snapshot mode every epoch is a snap file. In delta mode most
+// epochs are delta files over the previous chain element, with a full
+// snap every BaseEvery rotations; a delta at epoch E applies on top of
+// the chain snap-B, delta-(B+1), ..., delta-(E-1).
+//
+// Invariant: wal-<E>.log is created only after the epoch-E checkpoint
+// is captured, and the checkpoint is durably published (temp file +
+// fsync + rename + directory fsync) before wal-(E-1) is pruned — so the
+// chain element covering a WAL segment always exists before the segment
+// is dropped. Recovery loads the newest readable snapshot, extends it
+// with the longest cleanly-applying run of consecutive deltas above it,
+// and replays every WAL segment with epoch >= the newest applied chain
+// element in ascending order: records are whole-content writes, so
+// replaying an older segment under a newer checkpoint is idempotent,
+// and the scheme survives a checkpoint file lost to bit rot by falling
+// back to an older base or a shorter chain.
 //
 // Snapshot metadata header (since wire v2 retry dedup became
 // crash-durable):
@@ -46,13 +55,26 @@ import (
 // snapMagic opens a snapshot file that carries a metadata header.
 var snapMagic = []byte("ABSNAP01")
 
+// deltaMagic opens a delta checkpoint file (same id-meta header shape as
+// ABSNAP01, followed by an aboram.SaveDelta stream). Deltas postdate the
+// header format, so unlike snapshots they have no headerless legacy form:
+// a delta file without the magic is corrupt, never legacy.
+var deltaMagic = []byte("ABDELT01")
+
 // maxSnapIDs bounds the id count a header may claim, so a corrupt count
 // cannot drive a giant allocation before the CRC check.
 const maxSnapIDs = 1 << 20
 
-// snapName / walName render the epoch file names.
-func snapName(epoch uint64) string { return fmt.Sprintf("snap-%016d.ab", epoch) }
-func walName(epoch uint64) string  { return fmt.Sprintf("wal-%016d.log", epoch) }
+// snapName / deltaName / walName render the epoch file names.
+func snapName(epoch uint64) string  { return fmt.Sprintf("snap-%016d.ab", epoch) }
+func deltaName(epoch uint64) string { return fmt.Sprintf("delta-%016d.abd", epoch) }
+func walName(epoch uint64) string   { return fmt.Sprintf("wal-%016d.log", epoch) }
+
+// Temp names keep the ".tmp" extension (the prune sweep removes any
+// orphan) and the "snap-"/"delta-"/"wal-" prefix (fault-injection tests
+// bucket crash sites by it).
+func snapTmpName(epoch uint64) string  { return fmt.Sprintf("snap-%016d.tmp", epoch) }
+func deltaTmpName(epoch uint64) string { return fmt.Sprintf("delta-%016d.tmp", epoch) }
 
 // parseEpoch extracts the epoch from a snapshot or WAL file name,
 // returning ok=false for foreign files.
@@ -68,9 +90,10 @@ func parseEpoch(name, prefix, suffix string) (uint64, bool) {
 	return epoch, true
 }
 
-// appendSnapMeta appends the metadata header for ids to dst.
-func appendSnapMeta(dst []byte, ids []uint64) []byte {
-	dst = append(dst, snapMagic...)
+// appendMeta appends a metadata header (magic, id count, ids, CRC) to
+// dst; snapshots and deltas share the shape and differ in the magic.
+func appendMeta(dst []byte, magic []byte, ids []uint64) []byte {
+	dst = append(dst, magic...)
 	body := make([]byte, 0, 4+8*len(ids))
 	body = binary.BigEndian.AppendUint32(body, uint32(len(ids)))
 	for _, id := range ids {
@@ -79,6 +102,12 @@ func appendSnapMeta(dst []byte, ids []uint64) []byte {
 	dst = append(dst, body...)
 	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(body, crcTable))
 }
+
+// appendSnapMeta appends the full-snapshot metadata header for ids.
+func appendSnapMeta(dst []byte, ids []uint64) []byte { return appendMeta(dst, snapMagic, ids) }
+
+// appendDeltaMeta appends the delta-checkpoint metadata header for ids.
+func appendDeltaMeta(dst []byte, ids []uint64) []byte { return appendMeta(dst, deltaMagic, ids) }
 
 // readSnapMeta consumes the metadata header, if present. A stream that
 // does not begin with the magic is a legacy snapshot: nothing is
@@ -95,6 +124,26 @@ func readSnapMeta(br *bufio.Reader) ([]uint64, error) {
 	if _, err := br.Discard(len(snapMagic)); err != nil {
 		return nil, fmt.Errorf("durable: snapshot metadata: %w", err)
 	}
+	return readMetaBody(br)
+}
+
+// readDeltaMeta consumes a delta checkpoint's metadata header. Deltas
+// postdate the header format, so unlike snapshots there is no
+// headerless legacy form to tolerate: a missing or damaged header is an
+// error, and recovery treats the file as unreadable.
+func readDeltaMeta(br *bufio.Reader) ([]uint64, error) {
+	head := make([]byte, len(deltaMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("durable: delta metadata: %w", err)
+	}
+	if !bytes.Equal(head, deltaMagic) {
+		return nil, fmt.Errorf("durable: not a delta checkpoint")
+	}
+	return readMetaBody(br)
+}
+
+// readMetaBody reads the post-magic portion of a metadata header.
+func readMetaBody(br *bufio.Reader) ([]uint64, error) {
 	var cnt [4]byte
 	if _, err := io.ReadFull(br, cnt[:]); err != nil {
 		return nil, fmt.Errorf("durable: snapshot metadata count: %w", err)
@@ -122,41 +171,84 @@ func readSnapMeta(br *bufio.Reader) ([]uint64, error) {
 	return ids, nil
 }
 
+// countingWriter counts bytes passed through to the wrapped writer.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}
+
 // writeSnapshot durably publishes a full checkpoint for the given epoch:
 // write to a temp name, fsync, rename into place, fsync the directory.
 // Any error leaves at most a stale .tmp file behind, which recovery (and
-// the next successful snapshot) ignores and cleans up.
-func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM, ids []uint64) error {
-	tmp := filepath.Join(dir, fmt.Sprintf("snap-%016d.tmp", epoch))
+// the next successful snapshot) ignores and cleans up. Returns the
+// published file size.
+func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM, ids []uint64) (uint64, error) {
+	tmp := filepath.Join(dir, snapTmpName(epoch))
 	f, err := fs.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("durable: creating snapshot temp: %w", err)
+		return 0, fmt.Errorf("durable: creating snapshot temp: %w", err)
 	}
 	// Buffer the gob stream: Save emits many small writes, and one large
 	// write per buffer flush keeps the fault surface (and syscall count)
 	// proportional to the image size, not the encoder's chattiness.
-	bw := bufio.NewWriterSize(f, 1<<16)
+	cw := &countingWriter{w: f}
+	bw := bufio.NewWriterSize(cw, 1<<16)
 	if _, err := bw.Write(appendSnapMeta(nil, ids)); err != nil {
 		f.Close()
-		return fmt.Errorf("durable: writing snapshot metadata: %w", err)
+		return 0, fmt.Errorf("durable: writing snapshot metadata: %w", err)
 	}
 	if err := o.Save(bw); err != nil {
 		f.Close()
-		return fmt.Errorf("durable: writing snapshot: %w", err)
+		return 0, fmt.Errorf("durable: writing snapshot: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
 		f.Close()
-		return fmt.Errorf("durable: flushing snapshot: %w", err)
+		return 0, fmt.Errorf("durable: flushing snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("durable: syncing snapshot: %w", err)
+		return 0, fmt.Errorf("durable: syncing snapshot: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("durable: closing snapshot: %w", err)
+		return 0, fmt.Errorf("durable: closing snapshot: %w", err)
 	}
 	if err := fs.Rename(tmp, filepath.Join(dir, snapName(epoch))); err != nil {
-		return fmt.Errorf("durable: publishing snapshot: %w", err)
+		return 0, fmt.Errorf("durable: publishing snapshot: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return 0, fmt.Errorf("durable: syncing directory: %w", err)
+	}
+	return cw.n, nil
+}
+
+// writeBlob durably publishes one already-encoded checkpoint blob:
+// temp file, single write, fsync, rename into place, directory fsync.
+// Any error leaves at most a stale .tmp behind.
+func writeBlob(fs vfs.FS, dir, tmpName, finalName string, data []byte) error {
+	tmp := filepath.Join(dir, tmpName)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: creating checkpoint temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: closing checkpoint: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, finalName)); err != nil {
+		return fmt.Errorf("durable: publishing checkpoint: %w", err)
 	}
 	if err := fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("durable: syncing directory: %w", err)
@@ -182,4 +274,24 @@ func loadSnapshot(fs vfs.FS, dir string, epoch uint64, opt aboram.Options) (*abo
 		return nil, nil, err
 	}
 	return o, ids, nil
+}
+
+// loadDelta applies one delta checkpoint file on top of o and returns
+// the recent-id set it carried. On error o may be partially mutated —
+// the caller discards it and rebuilds from the base.
+func loadDelta(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM) ([]uint64, error) {
+	f, err := fs.Open(filepath.Join(dir, deltaName(epoch)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	ids, err := readDeltaMeta(br)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.ApplyDelta(br); err != nil {
+		return nil, err
+	}
+	return ids, nil
 }

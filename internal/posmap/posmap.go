@@ -27,6 +27,13 @@ type Map struct {
 
 	lookups uint64
 	remaps  uint64
+
+	// Dirty tracking for incremental checkpoints: Remap stamps the entry
+	// with the current epoch clock, Cut closes the epoch, CaptureDirty
+	// collects the entries remapped since a cut. Volatile — full
+	// checkpoints (Positions/SetPositions) carry no stamps.
+	clock      uint64
+	entryEpoch []uint64
 }
 
 // New creates a position map for numBlocks blocks, each assigned a uniform
@@ -36,9 +43,11 @@ func New(g tree.Geometry, numBlocks int64, r *rng.Source, plbEntries int) (*Map,
 		return nil, fmt.Errorf("posmap: non-positive block count %d", numBlocks)
 	}
 	m := &Map{
-		geom: g,
-		pos:  make([]int64, numBlocks),
-		r:    r,
+		geom:       g,
+		pos:        make([]int64, numBlocks),
+		r:          r,
+		clock:      1,
+		entryEpoch: make([]uint64, numBlocks),
 	}
 	for i := range m.pos {
 		m.pos[i] = int64(r.Uint64n(uint64(g.NumPaths())))
@@ -69,6 +78,7 @@ func (m *Map) Remap(block int64) int64 {
 	m.remaps++
 	p := int64(m.r.Uint64n(uint64(m.geom.NumPaths())))
 	m.pos[block] = p
+	m.entryEpoch[block] = m.clock
 	return p
 }
 
@@ -150,3 +160,40 @@ func (m *Map) SetPositions(pos []int64) error {
 // Rand exposes the remap random stream so checkpointing can preserve the
 // exact sequence of future path assignments.
 func (m *Map) Rand() *rng.Source { return m.r }
+
+// Cut closes the current mutation epoch and opens the next, returning
+// the epoch just closed (the `since` for a later CaptureDirty).
+func (m *Map) Cut() uint64 {
+	e := m.clock
+	m.clock++
+	return e
+}
+
+// CaptureDirty returns the (block, path) pairs remapped after `since`
+// (exclusive), in ascending block order. since=0 captures only entries
+// remapped at least once — initial random assignments are never
+// stamped, so full captures still go through Positions.
+func (m *Map) CaptureDirty(since uint64) (blocks, paths []int64) {
+	for b := range m.entryEpoch {
+		if m.entryEpoch[b] <= since {
+			continue
+		}
+		blocks = append(blocks, int64(b))
+		paths = append(paths, m.pos[b])
+	}
+	return blocks, paths
+}
+
+// SetPosition installs one entry of a captured delta, with the same
+// range validation as SetPositions.
+func (m *Map) SetPosition(block, path int64) error {
+	if block < 0 || block >= m.NumBlocks() {
+		return fmt.Errorf("posmap: restored block %d out of range", block)
+	}
+	if path < 0 || path >= m.geom.NumPaths() {
+		return fmt.Errorf("posmap: restored path %d out of range", path)
+	}
+	m.pos[block] = path
+	m.entryEpoch[block] = m.clock
+	return nil
+}

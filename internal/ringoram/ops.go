@@ -187,6 +187,7 @@ func (o *ORAM) readPath(p int64, target int64, kind memop.Kind) {
 	}
 	o.bufA = o.geom.PathBuckets(p, o.bufA[:0])
 	for lvl, b := range o.bufA {
+		o.markBucket(b) // count bump + slot consumption below
 		offChip := lvl >= o.cfg.TreetopLevels
 		if offChip {
 			metaOp.Reads = append(metaOp.Reads, o.metaAddr(b))
@@ -382,6 +383,7 @@ func (o *ORAM) consumeSlot(b int64, lvl, pick int, target int64) uint64 {
 		rs.consumed = true
 		host = rs.ref
 		idx = o.slotIndex(host.Bucket, host.Slot)
+		o.markBucket(host.Bucket) // the (possibly off-path) host slot dies
 		o.stats.RemoteReads++
 	} else {
 		host = SlotRef{Bucket: b, Slot: pick}
@@ -498,6 +500,7 @@ func (o *ORAM) earlyReshuffle(b int64, lvl int) {
 // Z' block reads (real blocks padded with dummy reads), the fixed pattern
 // Ring ORAM mandates for obliviousness.
 func (o *ORAM) drainBucket(b int64, lvl int, op *memop.Op) {
+	o.markBucket(b)
 	offChip := lvl >= o.cfg.TreetopLevels
 	if offChip {
 		op.Reads = append(op.Reads, o.metaAddr(b))
@@ -540,6 +543,7 @@ func (o *ORAM) drainBucket(b int64, lvl int, op *memop.Op) {
 			continue // already dead and possibly re-pooled elsewhere
 		}
 		idx := o.slotIndex(rs.ref.Bucket, rs.ref.Slot)
+		o.markBucket(rs.ref.Bucket) // host slot released or turned dead below
 		if valid, _ := o.flags(idx); valid && o.slotBlock[idx] >= 0 {
 			blk := o.slotBlock[idx]
 			o.st.Put(blk, o.pos.Peek(blk))
@@ -587,6 +591,7 @@ func (o *ORAM) drainBucket(b int64, lvl int, op *memop.Op) {
 // eligibility rule) into uniformly random logical slots, and fill the rest
 // with dummies. Traffic: every rewritten slot plus one metadata write.
 func (o *ORAM) refillBucket(b int64, lvl int, take func(max int) []stash.Entry, op *memop.Op) {
+	o.markBucket(b)
 	physZ := o.physZ[lvl]
 	offChip := lvl >= o.cfg.TreetopLevels
 
@@ -652,6 +657,7 @@ func (o *ORAM) refillBucket(b int64, lvl int, take func(max int) []stash.Entry, 
 					continue
 				}
 				o.slotGen[idx]++
+				o.markBucket(ref.Bucket) // host slot turns hosting below
 				claimed = append(claimed, ref)
 				o.remote[b] = append(o.remote[b], remoteSlot{ref: ref})
 			}

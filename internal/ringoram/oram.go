@@ -126,6 +126,12 @@ type ORAM struct {
 	deadPerL   *stats.LevelTally // current dead blocks per level (Figs 2, 3)
 	lifetimes  []stats.MinAvgMax // dead-block lifetime per level (Fig 12)
 
+	// Dirty tracking for incremental checkpoints (delta.go): every
+	// operation that mutates a bucket's slots or metadata stamps it with
+	// the current epoch clock. Volatile — never checkpointed.
+	clock       uint64
+	bucketEpoch []uint64
+
 	ops  []memop.Op
 	bufA []int64 // path bucket scratch (readPath)
 	bufB []int64 // path bucket scratch (afterReadPath)
@@ -198,6 +204,8 @@ func New(cfg Config) (*ORAM, error) {
 	o.count = make([]uint16, nb)
 	o.dynS = make([]int16, nb)
 	o.remote = make([][]remoteSlot, nb)
+	o.clock = 1
+	o.bucketEpoch = make([]uint64, nb)
 	for b := int64(0); b < nb; b++ {
 		o.dynS[b] = int16(cfg.sAt(g.LevelOf(b)))
 	}
@@ -226,6 +234,12 @@ func (o *ORAM) flags(idx int64) (valid bool, status uint8) {
 	f := o.slotFlags[idx]
 	return f&flagValid != 0, (f & statusMask) >> statusShift
 }
+
+// markBucket stamps bucket b as mutated in the current epoch. Every
+// path that rewrites a bucket's slots, counters, or remote extensions —
+// including a host bucket whose slot is consumed or reclaimed on behalf
+// of a guest — must pass through here for delta checkpoints to be sound.
+func (o *ORAM) markBucket(b int64) { o.bucketEpoch[b] = o.clock }
 
 func (o *ORAM) setFlags(idx int64, valid bool, status uint8) {
 	f := status << statusShift

@@ -32,6 +32,14 @@ type Memory struct {
 	tree     *merkle.Tree
 	scratch  []byte // authInput assembly buffer (hashed immediately, never retained)
 
+	// Dirty tracking for incremental checkpoints (delta.go): every Write
+	// stamps its block with the current epoch clock; CaptureDirty collects
+	// the blocks stamped after a cut. The clock is volatile — it never
+	// serializes (State carries no stamps), so a restored Memory starts a
+	// fresh epoch history.
+	clock     uint64
+	slotEpoch []uint64
+
 	Reads, Writes, Verifies, XORReads uint64
 }
 
@@ -53,14 +61,16 @@ func New(n int64, blockB int, key []byte) (*Memory, error) {
 		return nil, err
 	}
 	m := &Memory{
-		blockB:   blockB,
-		block:    blk,
-		kcv:      keyCheck(key),
-		store:    make([]byte, n*int64(blockB)),
-		versions: make([]uint64, n),
-		written:  make([]bool, n),
-		tree:     tree,
-		scratch:  make([]byte, 16+blockB),
+		blockB:    blockB,
+		block:     blk,
+		kcv:       keyCheck(key),
+		store:     make([]byte, n*int64(blockB)),
+		versions:  make([]uint64, n),
+		written:   make([]bool, n),
+		tree:      tree,
+		scratch:   make([]byte, 16+blockB),
+		clock:     1,
+		slotEpoch: make([]uint64, n),
 	}
 	// Unwritten blocks read back as zeros without verification, so the
 	// initial tree (all empty leaves) needs no O(n log n) hashing pass —
@@ -130,6 +140,7 @@ func (m *Memory) Write(idx int64, plaintext []byte) error {
 	m.Writes++
 	m.versions[idx]++ // fresh IV per write: CTR never reuses a stream
 	m.written[idx] = true
+	m.slotEpoch[idx] = m.clock
 	ct := m.ciphertext(idx)
 	copy(ct, plaintext)
 	m.keystream(idx, m.versions[idx], ct)

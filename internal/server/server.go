@@ -86,6 +86,19 @@ type BatchSyncer interface {
 	GroupCommit() bool
 }
 
+// Checkpointer is implemented by engines that defer checkpoint work to
+// batch boundaries (the durable engine under DeferCheckpoints): the
+// write path only marks a rotation or log compaction due, and the
+// scheduler calls MaybeCheckpoint once per drained batch — after the
+// batch's acknowledgments — so the checkpoint's consistent cut never
+// lands between a write and its acknowledgment, and no client waits on
+// checkpoint housekeeping.
+type Checkpointer interface {
+	// MaybeCheckpoint performs any deferred rotation or compaction; a
+	// no-op when nothing is due.
+	MaybeCheckpoint() error
+}
+
 // XORReader is implemented by engines that serve reads through the online
 // transfer surface (aboram.ORAM and the durable engine): the result
 // carries, alongside the plaintext, either the XOR fast path's combined
@@ -183,9 +196,11 @@ type result struct {
 // Server serializes concurrent Access/Read/Write calls onto one Engine.
 type Server struct {
 	eng   Engine
-	ident IdentifiedEngine // eng, when it accepts request ids; else nil
-	group BatchSyncer      // eng, when group commit is active; else nil
-	xread XORReader        // eng, when it serves online-transfer reads; else nil
+	ident IdentifiedEngine   // eng, when it accepts request ids; else nil
+	group BatchSyncer        // eng, when group commit is active; else nil
+	xread XORReader          // eng, when it serves online-transfer reads; else nil
+	ckpt  Checkpointer       // eng, when it defers checkpoints to batch ends; else nil
+	durab DurabilityReporter // eng, when it exposes durability counters; else nil
 	cfg   Config
 
 	reqs chan *request
@@ -219,13 +234,15 @@ type Server struct {
 func New(e Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		eng: e,
-		cfg: cfg,
+		eng:  e,
+		cfg:  cfg,
 		reqs: make(chan *request, cfg.Queue),
 		done: make(chan struct{}),
 	}
 	s.ident, _ = e.(IdentifiedEngine)
 	s.xread, _ = e.(XORReader)
+	s.ckpt, _ = e.(Checkpointer)
+	s.durab, _ = e.(DurabilityReporter)
 	if bs, ok := e.(BatchSyncer); ok && bs.GroupCommit() {
 		s.group = bs
 	}
@@ -479,6 +496,13 @@ func (s *Server) serveBatch(batch []*request, seen map[int64]int) {
 		for _, r := range deferred {
 			r.resp <- result{err: err}
 		}
+	}
+	if s.ckpt != nil {
+		// Deferred checkpoint work runs after the batch is fully answered:
+		// the cut lands between batches, and no client in this batch waits
+		// on it. The error is intentionally dropped — a failing engine
+		// poisons itself and the next client op surfaces the cause.
+		_ = s.ckpt.MaybeCheckpoint()
 	}
 }
 

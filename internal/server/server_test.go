@@ -28,8 +28,8 @@ func newTestORAM(t testing.TB, seed uint64) *aboram.ORAM {
 func newPaused(o *aboram.ORAM, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		eng: o,
-		cfg: cfg,
+		eng:  o,
+		cfg:  cfg,
 		reqs: make(chan *request, cfg.Queue),
 		done: make(chan struct{}),
 	}

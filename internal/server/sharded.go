@@ -45,7 +45,20 @@ type Backend interface {
 	// retrying the given op, from the serving queue's depth and per-op
 	// service EWMAs.
 	RetryAfterHint(block int64, op wire.Op) time.Duration
+	// Durability reports the backend's durability counters for the Info
+	// response: nil when the engine(s) have no durability layer, summed
+	// across shards (max for Epoch) otherwise.
+	Durability() *wire.DurabilityInfo
 	Close() error
+}
+
+// DurabilityReporter is implemented by engines that expose durability
+// counters (internal/durable's Engine). The serving layer forwards them
+// into the OpInfo response so remote clients can observe checkpoint and
+// log-maintenance behavior without shell access to the daemon. Must be
+// safe to call from any goroutine.
+type DurabilityReporter interface {
+	Durability() wire.DurabilityInfo
 }
 
 // Compile-time checks: both serving engines satisfy the front-end surface.
@@ -80,6 +93,16 @@ func (s *Server) Shards() int { return 1 }
 // RetryAfterHint quotes this scheduler's estimated wait for one op kind.
 func (s *Server) RetryAfterHint(block int64, op wire.Op) time.Duration {
 	return s.estimatedWaitOp(kindOf(op))
+}
+
+// Durability reports the engine's durability counters, or nil for
+// engines without a durability layer.
+func (s *Server) Durability() *wire.DurabilityInfo {
+	if s.durab == nil {
+		return nil
+	}
+	d := s.durab.Durability()
+	return &d
 }
 
 // kindOf maps a wire op onto the scheduler's op kind; OpInfo never
@@ -199,6 +222,31 @@ func (sh *Sharded) WriteID(ctx context.Context, id uint64, block int64, data []b
 func (sh *Sharded) RetryAfterHint(block int64, op wire.Op) time.Duration {
 	srv, _ := sh.route(block)
 	return srv.RetryAfterHint(block, op)
+}
+
+// Durability sums the shard engines' durability counters (max for
+// Epoch); nil when no shard has a durability layer.
+func (sh *Sharded) Durability() *wire.DurabilityInfo {
+	var agg *wire.DurabilityInfo
+	for _, s := range sh.shards {
+		d := s.Durability()
+		if d == nil {
+			continue
+		}
+		if agg == nil {
+			agg = &wire.DurabilityInfo{}
+		}
+		if d.Epoch > agg.Epoch {
+			agg.Epoch = d.Epoch
+		}
+		agg.Snapshots += d.Snapshots
+		agg.Deltas += d.Deltas
+		agg.Compactions += d.Compactions
+		agg.SnapshotPauseNanos += d.SnapshotPauseNanos
+		agg.LastSnapshotBytes += d.LastSnapshotBytes
+		agg.Syncs += d.Syncs
+	}
+	return agg
 }
 
 // Metrics aggregates all shard schedulers into one fleet-wide snapshot.

@@ -251,10 +251,11 @@ func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response
 	switch req.Op {
 	case wire.OpInfo:
 		return wire.Response{Data: wire.EncodeInfo(wire.InfoPayload{
-			NumBlocks: t.srv.NumBlocks(),
-			BlockSize: t.srv.BlockSize(),
-			Encrypted: t.srv.Encrypted(),
-			Shards:    t.srv.Shards(),
+			NumBlocks:  t.srv.NumBlocks(),
+			BlockSize:  t.srv.BlockSize(),
+			Encrypted:  t.srv.Encrypted(),
+			Shards:     t.srv.Shards(),
+			Durability: t.srv.Durability(),
 		})}
 	case wire.OpAccess:
 		if err := t.srv.Access(ctx, req.Block); err != nil {

@@ -119,13 +119,34 @@ type Response struct {
 // InfoPayload is the OpInfo response body: the store geometry a load
 // generator needs to choose keys. NumBlocks is the global address space;
 // when Shards > 1 the daemon routes block b to shard b mod Shards, which
-// a load generator uses to report per-shard balance.
+// a load generator uses to report per-shard balance. Durability, when
+// non-nil, is the optional counter tail a durability-backed server
+// appends (summed across shards); servers without a durable engine omit
+// it, and old clients ignore it by length.
 type InfoPayload struct {
-	NumBlocks int64
-	BlockSize int
-	Encrypted bool
-	Shards    int
+	NumBlocks  int64
+	BlockSize  int
+	Encrypted  bool
+	Shards     int
+	Durability *DurabilityInfo
 }
+
+// DurabilityInfo is the optional durability-counter tail of an OpInfo
+// response: checkpoint and log-maintenance totals since the server
+// started. Epoch is the newest checkpoint epoch (the maximum across
+// shards when sharded); the remaining fields are sums.
+type DurabilityInfo struct {
+	Epoch              uint64
+	Snapshots          uint64 // full-image checkpoints published
+	Deltas             uint64 // delta checkpoints published
+	Compactions        uint64 // live WAL segments rewritten
+	SnapshotPauseNanos uint64 // cumulative serving pause spent capturing
+	LastSnapshotBytes  uint64 // size of the newest checkpoint (sum of per-shard newest)
+	Syncs              uint64 // WAL fsyncs
+}
+
+// durabilityTail is the encoded size of DurabilityInfo: 7 uint64 fields.
+const durabilityTail = 7 * 8
 
 // AppendRequest appends the canonical body encoding of req to dst. It
 // validates the same invariants DecodeRequest enforces, so only decodable
@@ -257,10 +278,12 @@ func validateResponse(resp Response) error {
 }
 
 // EncodeInfo renders an OpInfo response payload: 8 bytes of block count,
-// 4 bytes of block size, 1 flag byte, 2 bytes of shard count. Shards 0
+// 4 bytes of block size, 1 flag byte, 2 bytes of shard count, then —
+// only when the server reports durability counters — 56 bytes of
+// DurabilityInfo (7 big-endian uint64s in struct order). Shards 0
 // ("unset") encodes as 1, the unsharded geometry.
 func EncodeInfo(info InfoPayload) []byte {
-	out := make([]byte, 15)
+	out := make([]byte, 15, 15+durabilityTail)
 	binary.BigEndian.PutUint64(out[0:8], uint64(info.NumBlocks))
 	binary.BigEndian.PutUint32(out[8:12], uint32(info.BlockSize))
 	if info.Encrypted {
@@ -271,13 +294,22 @@ func EncodeInfo(info InfoPayload) []byte {
 		shards = 1
 	}
 	binary.BigEndian.PutUint16(out[13:15], uint16(shards))
+	if d := info.Durability; d != nil {
+		for _, v := range [7]uint64{
+			d.Epoch, d.Snapshots, d.Deltas, d.Compactions,
+			d.SnapshotPauseNanos, d.LastSnapshotBytes, d.Syncs,
+		} {
+			out = binary.BigEndian.AppendUint64(out, v)
+		}
+	}
 	return out
 }
 
-// DecodeInfo parses an OpInfo response payload.
+// DecodeInfo parses an OpInfo response payload, with or without the
+// durability tail.
 func DecodeInfo(data []byte) (InfoPayload, error) {
-	if len(data) != 15 {
-		return InfoPayload{}, fmt.Errorf("wire: info payload %d bytes, want 15", len(data))
+	if len(data) != 15 && len(data) != 15+durabilityTail {
+		return InfoPayload{}, fmt.Errorf("wire: info payload %d bytes, want 15 or %d", len(data), 15+durabilityTail)
 	}
 	if data[12] > 1 {
 		return InfoPayload{}, fmt.Errorf("wire: info flag byte %d", data[12])
@@ -293,6 +325,17 @@ func DecodeInfo(data []byte) (InfoPayload, error) {
 	}
 	if info.Shards == 0 {
 		return InfoPayload{}, fmt.Errorf("wire: info shard count 0")
+	}
+	if len(data) == 15+durabilityTail {
+		d := &DurabilityInfo{}
+		fields := [7]*uint64{
+			&d.Epoch, &d.Snapshots, &d.Deltas, &d.Compactions,
+			&d.SnapshotPauseNanos, &d.LastSnapshotBytes, &d.Syncs,
+		}
+		for i, p := range fields {
+			*p = binary.BigEndian.Uint64(data[15+8*i:])
+		}
+		info.Durability = d
 	}
 	return info, nil
 }

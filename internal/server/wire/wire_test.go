@@ -95,10 +95,10 @@ func TestInvalidBodiesRejected(t *testing.T) {
 	}
 	bodies := [][]byte{
 		{},
-		{byte(OpAccess)},            // truncated header
-		{0, 0, 0, 0, 0, 0, 0, 0, 0}, // v1-length body (no id field)
-		hdr(0, 0, 0, 0, 0, 0, 0, 0, 0),               // op 0
-		hdr(byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 1),   // write without payload
+		{byte(OpAccess)},               // truncated header
+		{0, 0, 0, 0, 0, 0, 0, 0, 0},    // v1-length body (no id field)
+		hdr(0, 0, 0, 0, 0, 0, 0, 0, 0), // op 0
+		hdr(byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 1),        // write without payload
 		hdr(byte(OpAccess), 0xff, 0, 0, 0, 0, 0, 0, 0, 1), // negative block + payload
 	}
 	for _, body := range bodies {

@@ -20,30 +20,31 @@ type Runner func(Params) ([]*report.Table, error)
 // entry in a testing.B benchmark.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"table1":  RunTable1,
-		"table2":  RunTable2,
-		"table3":  RunTable3,
-		"table4":  RunTable4,
-		"fig2":    RunFig2,
-		"fig3":    RunFig3,
-		"fig4":    RunFig4,
-		"fig7":    RunFig7,
-		"fig8":    RunFig8,
-		"fig9":    RunFig9,
-		"fig10":   RunFig10,
-		"fig11":   RunFig11,
-		"fig12":   RunFig12,
-		"fig13":   RunFig13,
-		"fig14":   RunFig14,
-		"fig15":   RunFig15,
-		"storage": RunStorage,
-		"intro":   RunIntro,
-		"stash":   RunStashStudy,
-		"sweep":   RunSweep,
-		"verify":  RunVerify,
-		"serve":   RunServe,
-		"shards":  RunShardScale,
-		"xor":     RunXOR,
+		"table1":   RunTable1,
+		"table2":   RunTable2,
+		"table3":   RunTable3,
+		"table4":   RunTable4,
+		"fig2":     RunFig2,
+		"fig3":     RunFig3,
+		"fig4":     RunFig4,
+		"fig7":     RunFig7,
+		"fig8":     RunFig8,
+		"fig9":     RunFig9,
+		"fig10":    RunFig10,
+		"fig11":    RunFig11,
+		"fig12":    RunFig12,
+		"fig13":    RunFig13,
+		"fig14":    RunFig14,
+		"fig15":    RunFig15,
+		"storage":  RunStorage,
+		"intro":    RunIntro,
+		"stash":    RunStashStudy,
+		"sweep":    RunSweep,
+		"verify":   RunVerify,
+		"serve":    RunServe,
+		"shards":   RunShardScale,
+		"snapshot": RunSnapshot,
+		"xor":      RunXOR,
 	}
 }
 
@@ -51,7 +52,7 @@ func Registry() map[string]Runner {
 // rather than simulated cycles. Wall-clock experiments are machine-
 // dependent, so cmd/abench excludes them from `-exp all` (which promises
 // byte-identical output at any parallelism) and runs them only by name.
-func WallClock(id string) bool { return id == "serve" || id == "shards" }
+func WallClock(id string) bool { return id == "serve" || id == "shards" || id == "snapshot" }
 
 // ExperimentIDs returns the registry keys in stable order.
 func ExperimentIDs() []string {

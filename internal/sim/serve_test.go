@@ -46,10 +46,10 @@ func TestWallClockFilter(t *testing.T) {
 			}
 		}
 	}
-	if found != 2 {
-		t.Fatalf("expected exactly 2 wall-clock experiments, found %d", found)
+	if found != 3 {
+		t.Fatalf("expected exactly 3 wall-clock experiments, found %d", found)
 	}
-	if !WallClock("serve") || !WallClock("shards") {
-		t.Fatal("serve and shards must be classified wall-clock")
+	if !WallClock("serve") || !WallClock("shards") || !WallClock("snapshot") {
+		t.Fatal("serve, shards, and snapshot must be classified wall-clock")
 	}
 }

@@ -4,11 +4,12 @@
 # packages (the sim orchestrator's worker pool, the ringoram engine, the
 # serving layer's scheduler/TCP front end, and the durability stack with
 # its fault injector), race-mode crash-recovery and exactly-once smokes
-# (kill-recover oracle, retry/group-commit schedules, single- and
-# multi-shard chaos soak; internal/check), a race-mode pass of the XOR
+# (kill-recover oracle in both full-snapshot and delta-chain modes,
+# retry/group-commit schedules, single- and multi-shard chaos soak plus
+# its delta-mode variant; internal/check), a race-mode pass of the XOR
 # fast-path oracle (the sweep-shaped differential oracle with
 # Config.XORRead on) and of the shard oracle/isolation/leakage audits,
-# then a short-budget fuzz smoke over the seven native fuzz targets.
+# then a short-budget fuzz smoke over the eight native fuzz targets.
 # Longer campaigns: `make fuzz FUZZTIME=10m`, `make crash`,
 # `make soak SOAKTIME=60s`, or see EXPERIMENTS.md.
 set -eux
@@ -17,11 +18,12 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim ./internal/server/... ./internal/durable ./internal/faults
-go test -race -short -run '^TestCrashRecoverySchedules$|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak|^TestXORSweepOracle$|^TestXORRemoteSlotsCovered$|^TestShardOracleClean$|^TestShardIsolation$|^TestShardLeak' ./internal/check
+go test -race -short -run '^TestCrashRecoverySchedules$|^TestCrashRecoveryDeltaSchedules$|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak|^TestXORSweepOracle$|^TestXORRemoteSlotsCovered$|^TestShardOracleClean$|^TestShardIsolation$|^TestShardLeak' ./internal/check
 
 FUZZTIME="${FUZZTIME:-5s}"
 go test -run='^$' -fuzz='^FuzzAccess$' -fuzztime="$FUZZTIME" ./internal/ringoram
 go test -run='^$' -fuzz='^FuzzCheckpointRoundTrip$' -fuzztime="$FUZZTIME" ./aboram
+go test -run='^$' -fuzz='^FuzzDeltaDecode$' -fuzztime="$FUZZTIME" ./aboram
 go test -run='^$' -fuzz='^FuzzTraceParse$' -fuzztime="$FUZZTIME" ./internal/trace
 go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime="$FUZZTIME" ./internal/server/wire
 go test -run='^$' -fuzz='^FuzzShardRoute$' -fuzztime="$FUZZTIME" ./internal/server
