@@ -30,18 +30,21 @@ fuzz:
 	go test -run='^$$' -fuzz='^FuzzWireDecode$$' -fuzztime=$(FUZZTIME) ./internal/server/wire
 	go test -run='^$$' -fuzz='^FuzzShardRoute$$' -fuzztime=$(FUZZTIME) ./internal/server
 	go test -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/durable
+	go test -run='^$$' -fuzz='^FuzzReshardJournal$$' -fuzztime=$(FUZZTIME) ./internal/durable
 	go test -run='^$$' -fuzz='^FuzzXORPeel$$' -fuzztime=$(FUZZTIME) ./internal/secmem
 
-# Long kill-recover campaign: the full (non-short) crash-recovery oracle
-# under the race detector. `make check` runs the -short variant.
+# Long kill-recover campaign: the full (non-short) crash-recovery and
+# live-reshard oracles under the race detector. `make check` runs the
+# -short variants.
 crash:
-	go test -race -count=1 -run '^TestCrashRecovery' -v ./internal/check
+	go test -race -count=1 -run '^TestCrashRecovery|^TestReshardKillRecover' -v ./internal/check
 
 # Chaos soak: live daemon under kill -9 schedules, overload bursts, and a
 # network blackout, checked for exactly-once and zero acked loss
-# (internal/check RunSoak) — run both unsharded and against a 2-shard
-# fleet with cross-shard apply checks. SOAKTIME sets the per-incarnation
-# wall budget (e.g. SOAKTIME=30s); `make check` runs the -short variant.
+# (internal/check RunSoak) — run unsharded, against a 2-shard fleet with
+# cross-shard apply checks, and in reshard mode (live 2→3→2 migrations
+# under the same fire). SOAKTIME sets the per-incarnation wall budget
+# (e.g. SOAKTIME=30s); `make check` runs the -short variant.
 SOAKTIME ?= 5s
 soak:
 	SOAKTIME=$(SOAKTIME) go test -race -count=1 -run '^TestChaosSoak' -v ./internal/check

@@ -37,6 +37,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -62,6 +63,7 @@ type workerResult struct {
 	overloaded int   // ops refused by server shedding or an open breaker
 	shardOps   []int // ops per server shard (block mod shards), len = info.Shards
 	lat        *stats.LatencyRecorder
+	phaseLat   [3]*stats.LatencyRecorder // before / during / after a -reshard migration
 	client     server.ClientStats
 	err        error // fatal worker error (dial/protocol), nil if it ran to completion
 }
@@ -77,7 +79,8 @@ type workerConfig struct {
 	retries         int
 	breaker         int
 	breakerCooldown time.Duration
-	xorKey          []byte // non-nil switches reads to OpXRead + client-side peeling
+	xorKey          []byte        // non-nil switches reads to OpXRead + client-side peeling
+	phase           *atomic.Int32 // -reshard phase clock (0 before, 1 during, 2 after); nil = off
 }
 
 // devKey is aboramd's well-known demo encryption key (16 bytes of hex).
@@ -99,6 +102,8 @@ func run(args []string, out io.Writer) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "with -breaker: how long an open breaker fails fast before a half-open probe")
 	xor := fs.Bool("xor", false, "reads use the OpXRead online fast path; pads are peeled client-side with -key")
 	keyHex := fs.String("key", devKey, "with -xor: 16-byte AES data key, hex (must match the server's -key)")
+	reshardTo := fs.Int("reshard", 0, "trigger a live server migration to this many shards mid-run and report before/during/after latency (0 = off)")
+	reshardDelay := fs.Duration("reshard-delay", 200*time.Millisecond, "with -reshard: how long into the run to send the start command")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +134,9 @@ func run(args []string, out io.Writer) error {
 	if *breakerCooldown <= 0 {
 		return fmt.Errorf("-breaker-cooldown must be > 0")
 	}
+	if *reshardTo < 0 || *reshardTo > 1<<16-1 {
+		return fmt.Errorf("-reshard must be in [0, %d]", 1<<16-1)
+	}
 	var xorKey []byte
 	if *xor {
 		k, err := hex.DecodeString(*keyHex)
@@ -155,6 +163,18 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("server reports %d blocks", info.NumBlocks)
 	}
 
+	// With -reshard, an admin goroutine triggers the migration mid-run and
+	// advances a phase clock the workers stamp each op with, so the report
+	// can split latency into before / during / after the migration.
+	var phase *atomic.Int32
+	var rsh *reshardObs
+	runDone := make(chan struct{})
+	if *reshardTo > 0 {
+		phase = new(atomic.Int32)
+		rsh = &reshardObs{}
+		go triggerReshard(*addr, *timeout, *reshardTo, *reshardDelay, phase, rsh, runDone)
+	}
+
 	root := rng.New(*seed)
 	results := make([]workerResult, *workers)
 	var wg sync.WaitGroup
@@ -173,12 +193,13 @@ func run(args []string, out io.Writer) error {
 				addr: *addr, timeout: *timeout, readFrac: *readFrac,
 				dist: *dist, zipfS: *zipfS, faults: *faultRate, retries: *retries,
 				breaker: *breaker, breakerCooldown: *breakerCooldown,
-				xorKey: xorKey,
+				xorKey: xorKey, phase: phase,
 			}
 			results[w] = worker(cfg, n, info, src)
 		}(w, n, src)
 	}
 	wg.Wait()
+	close(runDone)
 	elapsed := time.Since(start)
 
 	// Re-probe after the run: the durability counters in the Info tail
@@ -193,12 +214,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	lat := new(stats.LatencyRecorder)
+	var phaseLat [3]*stats.LatencyRecorder
+	for i := range phaseLat {
+		phaseLat[i] = new(stats.LatencyRecorder)
+	}
 	total, errCount, overCount := 0, 0, 0
 	shardOps := make([]int, info.Shards)
 	var cstats server.ClientStats
 	for w, r := range results {
 		if r.err != nil {
 			return fmt.Errorf("worker %d: %w", w, r.err)
+		}
+		for i, pl := range r.phaseLat {
+			if pl != nil {
+				phaseLat[i].Merge(pl)
+			}
 		}
 		total += r.ops
 		errCount += r.errors
@@ -282,6 +312,9 @@ func run(args []string, out io.Writer) error {
 	t.AddRow("latency p99", sum.P99.String())
 	t.AddRow("latency mean", sum.Mean.String())
 	t.AddRow("latency max", sum.Max.String())
+	if rsh != nil {
+		rsh.report(t, phaseLat)
+	}
 	t.AddNote("closed loop: each worker issues its next request only after the previous response")
 	if *faultRate > 0 {
 		t.AddNote("latency includes injected faults, redial backoff, and retried attempts")
@@ -299,6 +332,112 @@ func distLabel(dist string, s float64) string {
 	return "uniform"
 }
 
+// reshardObs records what the -reshard admin goroutine saw.
+type reshardObs struct {
+	mu       sync.Mutex
+	target   int
+	started  time.Time
+	finished time.Time
+	last     wire.ReshardInfo // latest status observed
+	err      error
+}
+
+// triggerReshard sends the start command after delay, then polls status
+// until the migration reaches a terminal phase (or the run ends),
+// advancing the workers' phase clock at the start and end transitions.
+func triggerReshard(addr string, timeout time.Duration, to int, delay time.Duration, phase *atomic.Int32, obs *reshardObs, runDone <-chan struct{}) {
+	obs.mu.Lock()
+	obs.target = to
+	obs.mu.Unlock()
+	select {
+	case <-time.After(delay):
+	case <-runDone:
+		return
+	}
+	fail := func(err error) {
+		obs.mu.Lock()
+		obs.err = err
+		obs.mu.Unlock()
+	}
+	c, err := server.Dial(addr, timeout)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer c.Close()
+	info, err := c.Reshard(wire.ReshardCmdStart, to)
+	if err != nil {
+		fail(err)
+		return
+	}
+	obs.mu.Lock()
+	obs.started = time.Now()
+	obs.last = info
+	obs.mu.Unlock()
+	phase.Store(1)
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-runDone:
+			return
+		case <-tick.C:
+		}
+		info, err := c.Reshard(wire.ReshardCmdStatus, 0)
+		if err != nil {
+			fail(err)
+			return
+		}
+		obs.mu.Lock()
+		obs.last = info
+		obs.mu.Unlock()
+		switch info.Phase {
+		case wire.ReshardPhaseDone, wire.ReshardPhaseAborted, wire.ReshardPhaseFailed:
+			obs.mu.Lock()
+			obs.finished = time.Now()
+			obs.mu.Unlock()
+			phase.Store(2)
+			return
+		}
+	}
+}
+
+// report appends the migration outcome and the phase-split latency to
+// the run table.
+func (o *reshardObs) report(t *report.Table, phaseLat [3]*stats.LatencyRecorder) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t.AddRow("reshard target shards", report.Int(int64(o.target)))
+	if o.err != nil {
+		t.AddRow("reshard error", o.err.Error())
+	}
+	if o.started.IsZero() {
+		t.AddNote("the reshard never started within the run; phase-split latency omitted")
+		return
+	}
+	if !o.finished.IsZero() {
+		dur := o.finished.Sub(o.started)
+		t.AddRow("reshard outcome", o.last.Phase.String())
+		t.AddRow("reshard migration time", dur.Round(time.Millisecond).String())
+		if o.last.Total > 0 && dur > 0 {
+			t.AddRow("migration throughput (blocks/s)", report.Float(float64(o.last.Total)/dur.Seconds(), 1))
+		}
+	} else {
+		t.AddRow("reshard status at run end", fmt.Sprintf("%s, watermark %d/%d", o.last.Phase, o.last.Watermark, o.last.Total))
+		t.AddNote("the migration outlived the run; the 'after' phase is empty")
+	}
+	for i, label := range [3]string{"before reshard", "during reshard", "after reshard"} {
+		pl := phaseLat[i]
+		if pl.Count() == 0 {
+			continue
+		}
+		s := pl.Summary()
+		t.AddRow(fmt.Sprintf("ops (%s)", label), report.Int(int64(s.Count)))
+		t.AddRow(fmt.Sprintf("latency p50 (%s)", label), s.P50.String())
+		t.AddRow(fmt.Sprintf("latency p99 (%s)", label), s.P99.String())
+	}
+}
+
 // worker runs one closed-loop connection to completion. Per-op server
 // errors (e.g. admission-control rejections) are counted, not fatal;
 // connection-level failures that survive the retry budget abort the
@@ -306,6 +445,11 @@ func distLabel(dist string, s float64) string {
 // point of the exercise and are counted instead.
 func worker(cfg workerConfig, n int, info wire.InfoPayload, src *rng.Source) workerResult {
 	res := workerResult{lat: new(stats.LatencyRecorder), shardOps: make([]int, info.Shards)}
+	if cfg.phase != nil {
+		for i := range res.phaseLat {
+			res.phaseLat[i] = new(stats.LatencyRecorder)
+		}
+	}
 	ccfg := server.ClientConfig{
 		Timeout:          cfg.timeout,
 		MaxAttempts:      1 + cfg.retries,
@@ -360,7 +504,11 @@ func worker(cfg workerConfig, n int, info wire.InfoPayload, src *rng.Source) wor
 			}
 			err = c.Write(blk, buf)
 		}
-		res.lat.Record(time.Since(begin))
+		took := time.Since(begin)
+		res.lat.Record(took)
+		if cfg.phase != nil {
+			res.phaseLat[cfg.phase.Load()].Record(took)
+		}
 		res.ops++
 		switch {
 		case err == nil:

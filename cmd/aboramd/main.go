@@ -8,6 +8,7 @@
 //	aboramd -addr :7314 -levels 14 -batch 32 # bigger tree, wider coalescing
 //	aboramd -maxconns 64 -idle 30s           # front-end limits
 //	aboramd -shards 4                        # 4 trees, block b on shard b mod 4
+//	aboramd -data-dir d -reshard 3           # live-migrate to 3 shards at boot
 //
 // With -shards P the daemon partitions the block address space across P
 // independent ORAM trees (stable modulo routing), each behind its own
@@ -39,11 +40,22 @@
 // -group-commit and -shards; recovery reads either layout regardless of
 // the current flags.
 //
+// Live resharding (-reshard P′, or the OpReshard admin op at runtime)
+// migrates a serving deployment to a different shard count without
+// downtime: a fresh fleet of P′ trees is opened under
+// <data-dir>/gen-<g>/shard-<i>, a background copier streams blocks over
+// while dual routing serves every block from whichever layout owns it,
+// and progress is journaled crash-safely in <data-dir>/reshard.log — a
+// daemon killed mid-migration resumes (or finishes rolling back) on the
+// next start. The journal, not the -shards flag, is authoritative for
+// the serving layout once a migration has ever run. See README, "Live
+// resharding".
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
 // lets in-flight connections finish (up to -drain), serves everything
 // already queued, then prints the scheduler counters and exits. SIGUSR1
-// dumps the live scheduler, front-end, and durability counters without
-// disturbing service.
+// dumps the live scheduler, front-end, durability, and migration
+// counters without disturbing service.
 //
 // The demo key baked into -key is for benchmarking only; a deployment
 // would inject a real key (and real entropy via -seed).
@@ -58,7 +70,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -66,6 +78,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/server"
+	"repro/internal/server/wire"
+	"repro/internal/vfs"
 )
 
 func main() {
@@ -79,6 +93,93 @@ func main() {
 
 // devKey is the well-known demo encryption key (16 bytes of hex).
 const devKey = "30313233343536373839616263646566"
+
+// fleetCfg carries everything needed to open one generation's fleet of
+// shard engines — the boot path opens the authoritative generation with
+// it, and the reshard controller opens target generations.
+type fleetCfg struct {
+	out     io.Writer
+	dataDir string // empty = in-memory engines
+	seed    uint64
+
+	oram func(seed uint64) aboram.Options // per-shard options, seed filled in
+
+	snapEvery    int
+	snapInterval time.Duration
+	syncEvery    int
+	groupCommit  bool
+	deltaSnaps   bool
+	baseEvery    int
+	compactEvery int
+}
+
+// open builds generation gen's fleet of shards engines (durable when a
+// data dir is configured, in-memory otherwise). Each shard draws from
+// its own seed: shard 0 of generation 0 keeps the base seed, so the
+// default layout is RNG-identical to the unsharded daemon.
+func (fc *fleetCfg) open(gen uint64, shards int) ([]server.Engine, []*durable.Engine, error) {
+	engines := make([]server.Engine, shards)
+	dengs := make([]*durable.Engine, shards)
+	genSeed := server.GenSeed(fc.seed, gen)
+	for i := range engines {
+		oramOpt := fc.oram(server.ShardSeed(genSeed, i))
+		if fc.dataDir == "" {
+			o, err := aboram.New(oramOpt)
+			if err != nil {
+				closeEngines(fc.out, dengs)
+				return nil, nil, err
+			}
+			engines[i] = o
+			continue
+		}
+		dir := durable.ShardDir(fc.dataDir, gen, i, shards)
+		deng, err := durable.Open(durable.Options{
+			Dir:              dir,
+			ORAM:             oramOpt,
+			SnapshotEvery:    fc.snapEvery,
+			SnapshotInterval: fc.snapInterval,
+			// Stagger the shards' rotation schedules deterministically: shard
+			// i's first checkpoint lands i/P of a period early, so a fleet
+			// opened together never pauses (or publishes) in lockstep.
+			SnapshotPhase:  (fc.snapEvery * i) / shards,
+			DeltaSnapshots: fc.deltaSnaps,
+			BaseEvery:      fc.baseEvery,
+			CompactEvery:   fc.compactEvery,
+			// Checkpoint work rides batch boundaries (the scheduler calls
+			// MaybeCheckpoint), so a delta's consistent cut never lands
+			// between a write and its acknowledgment.
+			DeferCheckpoints: true,
+			SyncEvery:        fc.syncEvery,
+			GroupCommit:      fc.groupCommit,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(fc.out, "aboramd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			closeEngines(fc.out, dengs)
+			return nil, nil, fmt.Errorf("gen %d shard %d: %w", gen, i, err)
+		}
+		rec := deng.Recovery()
+		fmt.Fprintf(fc.out, "aboramd: recovered %s: base epoch %d, %d WAL records replayed (%d segments), %d dedup ids",
+			dir, rec.BaseEpoch, rec.RecordsReplayed, rec.SegmentsReplayed, rec.IDsRecovered)
+		if rec.DeltasApplied > 0 {
+			fmt.Fprintf(fc.out, ", %d deltas applied", rec.DeltasApplied)
+		}
+		if rec.TornTail {
+			fmt.Fprint(fc.out, ", torn tail truncated")
+		}
+		if rec.SnapshotsSkipped > 0 {
+			fmt.Fprintf(fc.out, ", %d unreadable snapshots skipped", rec.SnapshotsSkipped)
+		}
+		if rec.DeltasSkipped > 0 {
+			fmt.Fprintf(fc.out, ", %d unreadable deltas skipped", rec.DeltasSkipped)
+		}
+		fmt.Fprintln(fc.out)
+		engines[i] = deng
+		dengs[i] = deng
+	}
+	return engines, dengs, nil
+}
 
 // run starts the daemon and blocks until the stop channel fires (or the
 // listener fails). onReady, when non-nil, receives the bound address —
@@ -107,6 +208,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	deltaSnaps := fs.Bool("delta-snapshots", false, "with -data-dir: incremental checkpoints — rotations capture only state touched since the last cut and publish in the background, with a full base every -base-every rotations")
 	baseEvery := fs.Int("base-every", 8, "with -delta-snapshots: delta rotations between full base images")
 	compactEvery := fs.Int("compact-every", 0, "with -data-dir: rewrite the live WAL segment after N appends, shrinking superseded writes to id stubs (0 = off)")
+	reshardTo := fs.Int("reshard", 0, "begin a live migration to this many shards at startup (0 = none); also available at runtime via the OpReshard admin op")
+	reshardRange := fs.Int64("reshard-range", 64, "blocks fenced and copied per migration step (smaller = shorter write stalls)")
+	reshardPace := fs.Duration("reshard-pace", 0, "sleep between migration steps, bounding the copy's share of scheduler time (0 = as fast as shedding allows)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,86 +229,87 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	if *shards < 1 || *shards > 1<<16-1 {
 		return fmt.Errorf("-shards %d out of range [1, %d]", *shards, 1<<16-1)
 	}
-
-	// One engine per shard; each shard draws from its own seed (shard 0
-	// keeps the base seed, so -shards 1 is RNG-identical to the unsharded
-	// daemon) and, when durable, owns its own snapshot+WAL directory.
-	engines := make([]server.Engine, *shards)
-	dengs := make([]*durable.Engine, *shards)
-	for i := range engines {
-		oramOpt := aboram.Options{
-			Scheme:        core.Scheme(*scheme),
-			Levels:        *levels,
-			Seed:          server.ShardSeed(*seed, i),
-			EncryptionKey: key,
-			XORRead:       *xor,
-		}
-		if *dataDir == "" {
-			o, err := aboram.New(oramOpt)
-			if err != nil {
-				return err
-			}
-			engines[i] = o
-			continue
-		}
-		dir := *dataDir
-		if *shards > 1 {
-			dir = filepath.Join(*dataDir, fmt.Sprintf("shard-%d", i))
-		}
-		deng, err := durable.Open(durable.Options{
-			Dir:              dir,
-			ORAM:             oramOpt,
-			SnapshotEvery:    *snapEvery,
-			SnapshotInterval: *snapInterval,
-			// Stagger the shards' rotation schedules deterministically: shard
-			// i's first checkpoint lands i/P of a period early, so a fleet
-			// opened together never pauses (or publishes) in lockstep.
-			SnapshotPhase:  (*snapEvery * i) / *shards,
-			DeltaSnapshots: *deltaSnaps,
-			BaseEvery:      *baseEvery,
-			CompactEvery:   *compactEvery,
-			// Checkpoint work rides batch boundaries (the scheduler calls
-			// MaybeCheckpoint), so a delta's consistent cut never lands
-			// between a write and its acknowledgment.
-			DeferCheckpoints: true,
-			SyncEvery:        *syncEvery,
-			GroupCommit:      *groupCommit,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(out, "aboramd: "+format+"\n", args...)
-			},
-		})
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
-		}
-		rec := deng.Recovery()
-		fmt.Fprintf(out, "aboramd: recovered %s: base epoch %d, %d WAL records replayed (%d segments), %d dedup ids",
-			dir, rec.BaseEpoch, rec.RecordsReplayed, rec.SegmentsReplayed, rec.IDsRecovered)
-		if rec.DeltasApplied > 0 {
-			fmt.Fprintf(out, ", %d deltas applied", rec.DeltasApplied)
-		}
-		if rec.TornTail {
-			fmt.Fprint(out, ", torn tail truncated")
-		}
-		if rec.SnapshotsSkipped > 0 {
-			fmt.Fprintf(out, ", %d unreadable snapshots skipped", rec.SnapshotsSkipped)
-		}
-		if rec.DeltasSkipped > 0 {
-			fmt.Fprintf(out, ", %d unreadable deltas skipped", rec.DeltasSkipped)
-		}
-		fmt.Fprintln(out)
-		engines[i] = deng
-		dengs[i] = deng
+	if *reshardTo < 0 || *reshardTo > 1<<16-1 {
+		return fmt.Errorf("-reshard %d out of range [1, %d]", *reshardTo, 1<<16-1)
 	}
 
-	srv, err := server.NewSharded(engines, server.Config{Queue: *queue, Batch: *batch})
+	fc := &fleetCfg{
+		out:     out,
+		dataDir: *dataDir,
+		seed:    *seed,
+		oram: func(shardSeed uint64) aboram.Options {
+			return aboram.Options{
+				Scheme:        core.Scheme(*scheme),
+				Levels:        *levels,
+				Seed:          shardSeed,
+				EncryptionKey: key,
+				XORRead:       *xor,
+			}
+		},
+		snapEvery:    *snapEvery,
+		snapInterval: *snapInterval,
+		syncEvery:    *syncEvery,
+		groupCommit:  *groupCommit,
+		deltaSnaps:   *deltaSnaps,
+		baseEvery:    *baseEvery,
+		compactEvery: *compactEvery,
+	}
+
+	// The reshard journal — not the -shards flag — is authoritative for
+	// the serving layout once a migration has ever run: it knows which
+	// generation survived the last cutover and whether one is mid-flight.
+	lay := durable.ReshardLayout{Shards: *shards}
+	var journal *durable.ReshardJournal
+	if *dataDir != "" {
+		var err error
+		journal, err = durable.OpenReshardJournal(vfs.OS{}, *dataDir)
+		if err != nil {
+			return err
+		}
+		recs := journal.Records()
+		def := *shards
+		if len(recs) > 0 {
+			// The journal's first Begin record pins the pre-reshard shard
+			// count; trusting it (rather than the flag) keeps a restart with
+			// a stale -shards from refusing a layout the journal proves.
+			def = 0
+		}
+		if lay, err = durable.ResolveReshard(recs, def); err != nil {
+			return fmt.Errorf("reshard journal: %w", err)
+		}
+		if lay.Shards != *shards {
+			fmt.Fprintf(out, "aboramd: reshard journal overrides -shards %d: serving generation %d with %d shards\n",
+				*shards, lay.Gen, lay.Shards)
+		}
+	}
+
+	engines, dengs, err := fc.open(lay.Gen, lay.Shards)
 	if err != nil {
 		return err
+	}
+	srv, err := server.NewSharded(engines, server.Config{Queue: *queue, Batch: *batch})
+	if err != nil {
+		closeEngines(out, dengs)
+		return err
+	}
+	srv.SetGeneration(lay.Gen)
+
+	rc := &reshardController{
+		fc:        fc,
+		srv:       srv,
+		journal:   journal,
+		rangeSize: *reshardRange,
+		pace:      *reshardPace,
+		gen:       lay.Gen,
+		maxGen:    lay.MaxGen,
+		cur:       dengs,
 	}
 	tsrv := server.NewTCP(srv, server.TCPConfig{
 		MaxConns:       *maxconns,
 		IdleTimeout:    *idle,
 		WriteTimeout:   *writeTO,
 		RequestTimeout: *reqTO,
+		Reshard:        rc.handle,
 	})
 	if *dataDir != "" {
 		// Seed the retry-dedup window with the ids recovered from every
@@ -217,17 +322,36 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		}
 	}
 
+	// A daemon killed mid-migration resumes it before serving: the target
+	// fleet recovers from its own snapshots+WALs, dual routing picks up at
+	// the journaled watermark, and the copier continues (or keeps rolling
+	// back). Retried client writes are deduped against both fleets.
+	if lay.Active != nil {
+		if err := rc.resume(tsrv, lay.Active); err != nil {
+			srv.Close()
+			closeEngines(out, rc.engines())
+			return fmt.Errorf("resuming reshard to gen %d: %w", lay.Active.Gen, err)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		srv.Close()
+		closeEngines(out, rc.engines())
 		return err
 	}
 	if onReady != nil {
 		onReady(ln.Addr())
 	}
-	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v, xor=%v, shards=%d) on %s\n",
-		*scheme, *levels, srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), *xor, srv.Shards(), ln.Addr())
-	fmt.Fprintf(out, "aboramd: queue=%d batch=%d maxconns=%d shards=%d\n", *queue, *batch, *maxconns, *shards)
+	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v, xor=%v, shards=%d, gen=%d) on %s\n",
+		*scheme, *levels, srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), *xor, srv.Shards(), srv.Generation(), ln.Addr())
+	fmt.Fprintf(out, "aboramd: queue=%d batch=%d maxconns=%d shards=%d\n", *queue, *batch, *maxconns, srv.Shards())
+
+	if *reshardTo > 0 {
+		if err := rc.start(*reshardTo); err != nil {
+			fmt.Fprintf(out, "aboramd: -reshard %d: %v\n", *reshardTo, err)
+		}
+	}
 
 	served := make(chan error, 1)
 	go func() { served <- tsrv.Serve(ln) }()
@@ -239,11 +363,11 @@ wait:
 		select {
 		case err := <-served:
 			srv.Close()
-			closeShards(out, dengs)
+			closeEngines(out, rc.engines())
 			return err
 		case sig := <-stop:
 			if sig == syscall.SIGUSR1 {
-				dumpCounters(out, srv, tsrv, dengs)
+				dumpCounters(out, srv, tsrv, rc.engines())
 				continue
 			}
 			fmt.Fprintf(out, "aboramd: %v, draining (budget %v)\n", sig, *drain)
@@ -258,18 +382,226 @@ wait:
 	}
 	<-served    // Serve has returned ErrServerClosed
 	srv.Close() // serve everything already admitted on every shard, then stop
-	closeShards(out, dengs)
-	if err := dumpCounters(out, srv, tsrv, dengs); err != nil {
+	closeEngines(out, rc.engines())
+	if err := dumpCounters(out, srv, tsrv, rc.engines()); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "aboramd: bye")
 	return nil
 }
 
-// closeShards closes every durable engine. The schedulers are stopped by
-// now, so the engines are quiescent: each syncs and closes its WAL;
-// recovery replays them on the next start.
-func closeShards(out io.Writer, dengs []*durable.Engine) {
+// reshardController owns the daemon side of live resharding: the
+// journal, the durable engines of every open generation, and the
+// translation from OpReshard admin commands to Resharder calls.
+type reshardController struct {
+	fc        *fleetCfg
+	srv       *server.Sharded
+	journal   *durable.ReshardJournal // nil = in-memory (volatile) migrations
+	rangeSize int64
+	pace      time.Duration
+
+	mu     sync.Mutex
+	gen    uint64             // authoritative generation
+	maxGen uint64             // highest generation the journal mentions
+	cur    []*durable.Engine  // serving fleet (nil entries when in-memory)
+	target []*durable.Engine  // in-flight migration's fleet, nil when none
+}
+
+// genJournal binds the shared on-disk journal to one migration's
+// generation, giving the Resharder the MigrationJournal it needs.
+type genJournal struct {
+	j   *durable.ReshardJournal
+	gen uint64
+	to  int
+}
+
+func (g genJournal) RecordRange(w int64) error {
+	return g.j.Append(durable.ReshardRecord{Op: durable.ReshardRange, Gen: g.gen, Watermark: w})
+}
+func (g genJournal) RecordCutover() error {
+	return g.j.Append(durable.ReshardRecord{Op: durable.ReshardCutover, Gen: g.gen, To: g.to})
+}
+func (g genJournal) RecordAbortBegin() error {
+	return g.j.Append(durable.ReshardRecord{Op: durable.ReshardAbortBegin, Gen: g.gen})
+}
+func (g genJournal) RecordAborted() error {
+	return g.j.Append(durable.ReshardRecord{Op: durable.ReshardAborted, Gen: g.gen})
+}
+
+// engines snapshots every durable engine the controller currently owns
+// (serving fleet plus any in-flight migration target fleet).
+func (rc *reshardController) engines() []*durable.Engine {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := append([]*durable.Engine(nil), rc.cur...)
+	return append(out, rc.target...)
+}
+
+// handle serves one OpReshard admin command.
+func (rc *reshardController) handle(cmd wire.ReshardCmd, target int) (wire.ReshardInfo, error) {
+	var err error
+	switch cmd {
+	case wire.ReshardCmdStatus:
+		// fall through to the status snapshot
+	case wire.ReshardCmdStart:
+		err = rc.start(target)
+	case wire.ReshardCmdPause, wire.ReshardCmdResume, wire.ReshardCmdAbort:
+		r := rc.srv.CurrentReshard()
+		if r == nil {
+			err = fmt.Errorf("reshard: no migration to %s", cmd)
+			break
+		}
+		switch cmd {
+		case wire.ReshardCmdPause:
+			err = r.Pause()
+		case wire.ReshardCmdResume:
+			err = r.Resume()
+		default:
+			err = r.Abort()
+		}
+	default:
+		err = fmt.Errorf("reshard: unknown command %d", uint8(cmd))
+	}
+	if err != nil {
+		return wire.ReshardInfo{}, err
+	}
+	return rc.srv.ReshardInfo(), nil
+}
+
+// start opens a fresh fleet of `to` shard trees under the next
+// generation, journals the migration begin durably, and launches the
+// background copier.
+func (rc *reshardController) start(to int) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if r := rc.srv.CurrentReshard(); r != nil {
+		if ph := r.Status().Phase; ph == wire.ReshardPhaseRunning || ph == wire.ReshardPhasePaused ||
+			ph == wire.ReshardPhaseAborting || ph == wire.ReshardPhaseFailed {
+			return fmt.Errorf("reshard: migration already %s", ph)
+		}
+	}
+	from := rc.srv.Shards()
+	if to == from {
+		return fmt.Errorf("reshard: already serving %d shards", from)
+	}
+	if to < 1 || to > 1<<16-1 {
+		return fmt.Errorf("reshard: target %d out of range [1, %d]", to, 1<<16-1)
+	}
+	gen := rc.maxGen + 1
+	engines, dengs, err := rc.fc.open(gen, to)
+	if err != nil {
+		return err
+	}
+	var mj server.MigrationJournal
+	if rc.journal != nil {
+		if err := rc.journal.Append(durable.ReshardRecord{
+			Op: durable.ReshardBegin, Gen: gen, From: from, To: to,
+		}); err != nil {
+			closeEngines(rc.fc.out, dengs)
+			return err
+		}
+		mj = genJournal{rc.journal, gen, to}
+	}
+	r, err := rc.srv.BeginReshard(engines, server.ReshardConfig{
+		Journal:   mj,
+		RangeSize: rc.rangeSize,
+		Pace:      rc.pace,
+		Gen:       gen,
+		OnDone:    func(ph wire.ReshardPhase, err error) { rc.finished(gen, ph, err) },
+	})
+	if err != nil {
+		// Retire the journaled Begin with an immediate (empty) rollback so
+		// the next start does not try to resume a migration that never ran.
+		if rc.journal != nil {
+			if e := rc.journal.Append(durable.ReshardRecord{Op: durable.ReshardAbortBegin, Gen: gen}); e == nil {
+				rc.journal.Append(durable.ReshardRecord{Op: durable.ReshardAborted, Gen: gen})
+			}
+		}
+		closeEngines(rc.fc.out, dengs)
+		return err
+	}
+	rc.maxGen = gen
+	rc.target = dengs
+	fmt.Fprintf(rc.fc.out, "aboramd: reshard: migrating %d -> %d shards (generation %d)\n", from, to, gen)
+	go r.Run()
+	return nil
+}
+
+// resume relaunches a migration the journal says was in flight when the
+// daemon last stopped.
+func (rc *reshardController) resume(tsrv *server.TCPServer, p *durable.ReshardProgress) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	engines, dengs, err := rc.fc.open(p.Gen, p.To)
+	if err != nil {
+		return err
+	}
+	for _, deng := range dengs {
+		if deng != nil {
+			tsrv.SeedDedup(deng.RecentWriteIDs())
+		}
+	}
+	r, err := rc.srv.BeginReshard(engines, server.ReshardConfig{
+		Journal:   genJournal{rc.journal, p.Gen, p.To},
+		RangeSize: rc.rangeSize,
+		Pace:      rc.pace,
+		Watermark: p.Watermark,
+		Aborting:  p.Aborting,
+		Gen:       p.Gen,
+		OnDone:    func(ph wire.ReshardPhase, err error) { rc.finished(p.Gen, ph, err) },
+	})
+	if err != nil {
+		closeEngines(rc.fc.out, dengs)
+		return err
+	}
+	rc.target = dengs
+	verb := "resuming"
+	if p.Aborting {
+		verb = "resuming rollback of"
+	}
+	fmt.Fprintf(rc.fc.out, "aboramd: reshard: %s migration %d -> %d shards (generation %d) at watermark %d\n",
+		verb, p.From, p.To, p.Gen, p.Watermark)
+	go r.Run()
+	return nil
+}
+
+// finished is the Resharder's OnDone: it retires whichever fleet lost
+// (the old one after a cutover, the target after a rollback), closes its
+// engines, and prunes dead generation directories.
+func (rc *reshardController) finished(gen uint64, phase wire.ReshardPhase, err error) {
+	rc.mu.Lock()
+	var retired []*durable.Engine
+	switch phase {
+	case wire.ReshardPhaseDone:
+		retired, rc.cur, rc.target = rc.cur, rc.target, nil
+		rc.gen = gen
+	case wire.ReshardPhaseAborted:
+		retired, rc.target = rc.target, nil
+	}
+	keep := rc.gen
+	maxGen := rc.maxGen
+	rc.mu.Unlock()
+
+	switch phase {
+	case wire.ReshardPhaseDone, wire.ReshardPhaseAborted:
+		closeEngines(rc.fc.out, retired)
+		if rc.journal != nil {
+			if n := durable.PruneGens(vfs.OS{}, rc.fc.dataDir, maxGen, keep); n > 0 {
+				fmt.Fprintf(rc.fc.out, "aboramd: reshard: pruned %d dead generation directories\n", n)
+			}
+		}
+		fmt.Fprintf(rc.fc.out, "aboramd: reshard: %s (generation %d, now %d shards)\n", phase, rc.srv.Generation(), rc.srv.Shards())
+	default:
+		// Failed: both fleets stay open — routing keeps serving the last
+		// durable watermark, and a restart resumes the migration.
+		fmt.Fprintf(rc.fc.out, "aboramd: reshard: migration to generation %d failed: %v (serving continues; restart resumes)\n", gen, err)
+	}
+}
+
+// closeEngines closes every non-nil durable engine. The schedulers that
+// fed them are stopped by now, so the engines are quiescent: each syncs
+// and closes its WAL; recovery replays them on the next start.
+func closeEngines(out io.Writer, dengs []*durable.Engine) {
 	for i, deng := range dengs {
 		if deng == nil {
 			continue
@@ -280,10 +612,11 @@ func closeShards(out io.Writer, dengs []*durable.Engine) {
 	}
 }
 
-// dumpCounters prints the durability, scheduler, and front-end counters.
-// SIGUSR1 triggers it on a live daemon; the shutdown path reuses it for
-// the final report. With more than one shard, durability lines and
-// scheduler tables are printed per shard plus one aggregate table.
+// dumpCounters prints the durability, scheduler, migration, and
+// front-end counters. SIGUSR1 triggers it on a live daemon; the shutdown
+// path reuses it for the final report. With more than one shard,
+// durability lines and scheduler tables are printed per shard plus one
+// aggregate table.
 func dumpCounters(out io.Writer, srv *server.Sharded, tsrv *server.TCPServer, dengs []*durable.Engine) error {
 	multi := srv.Shards() > 1
 	for i, deng := range dengs {
@@ -291,13 +624,17 @@ func dumpCounters(out io.Writer, srv *server.Sharded, tsrv *server.TCPServer, de
 			continue
 		}
 		label := "durability"
-		if multi {
+		if multi || len(dengs) > 1 {
 			label = fmt.Sprintf("shard %d durability", i)
 		}
 		ds := deng.Stats()
 		fmt.Fprintf(out, "aboramd: %s: %d writes logged, %d fsyncs (%d batched), %d snapshots + %d deltas (epoch %d), %d compactions, %.1fms checkpoint pause, last checkpoint %d B, %d prune failures\n",
 			label, ds.Writes, ds.Syncs, ds.BatchedSyncs, ds.Snapshots, ds.DeltasWritten, deng.Epoch(),
 			ds.CompactionRuns, float64(ds.SnapshotPauseNanos)/1e6, ds.LastSnapshotBytes, ds.PruneFailures)
+	}
+	if info := srv.ReshardInfo(); info.Phase != wire.ReshardPhaseIdle {
+		fmt.Fprintf(out, "aboramd: reshard: phase=%s %d->%d shards, watermark %d/%d, serving %d shards (gen %d)\n",
+			info.Phase, info.From, info.To, info.Watermark, info.Total, info.Shards, info.Gen)
 	}
 	title := "aboramd scheduler counters"
 	if multi {
@@ -309,6 +646,13 @@ func dumpCounters(out io.Writer, srv *server.Sharded, tsrv *server.TCPServer, de
 	if multi {
 		for i, m := range srv.ShardMetrics() {
 			if err := m.Table(fmt.Sprintf("aboramd scheduler counters, shard %d", i)).WriteText(out); err != nil {
+				return err
+			}
+		}
+	}
+	if next := srv.NextShardMetrics(); next != nil {
+		for i, m := range next {
+			if err := m.Table(fmt.Sprintf("aboramd scheduler counters, migration target shard %d", i)).WriteText(out); err != nil {
 				return err
 			}
 		}

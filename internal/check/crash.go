@@ -63,6 +63,9 @@ func crashSiteKind(site string) string {
 		return "snap"
 	case strings.Contains(site, "delta-"):
 		return "delta"
+	case strings.Contains(site, "reshard."):
+		return "reshard" // reshard.tmp / reshard.log — the migration journal
+
 	case site == "":
 		return "none"
 	default:

@@ -156,6 +156,8 @@ func TestCrashSiteKind(t *testing.T) {
 		"rename snap-0000000000000002.ab":   "snap",
 		"write delta-0000000000000004.tmp":  "delta",
 		"rename delta-0000000000000004.abd": "delta",
+		"write reshard.tmp":                 "reshard",
+		"rename reshard.tmp reshard.log":    "reshard",
 		"syncdir data":                      "syncdir",
 		"":                                  "none",
 	}

@@ -78,6 +78,177 @@ func shardHistogramChi2(observed []uint64, blocks []int64, shards int) (stat flo
 	return ChiSquareExpected(observed, expected)
 }
 
+// MigratingLeakResult summarizes one mid-migration audit run: the
+// deployment is frozen mid-reshard (dual routing at a fixed watermark),
+// so the observable cells are the old fleet's From shards followed by
+// the target fleet's To shards.
+type MigratingLeakResult struct {
+	From, To  int
+	Watermark int64
+	Accesses  int
+	Observed  []uint64  // ops served per cell: From old-fleet cells, then To target cells
+	Expected  []float64 // what the dual routing law predicts per cell
+	Chi2      float64   // observed vs. expected (+Inf: op in a cell the law forbids)
+	Critical  float64
+	Leaves    []ObliviousResult // per-cell leaf uniformity (thin cells skipped)
+}
+
+// Pass reports whether the mid-migration leak is exactly the dual
+// routing law's: the cell histogram within the critical band and every
+// audited cell's leaf distribution uniform.
+func (r MigratingLeakResult) Pass() bool {
+	if r.Chi2 > r.Critical {
+		return false
+	}
+	for _, l := range r.Leaves {
+		if !l.Uniform() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r MigratingLeakResult) String() string {
+	return fmt.Sprintf("mid-migration leak audit: %d→%d at watermark %d, %d accesses, histogram chi2 %.3f (critical %.3f), %d cells leaf-audited, pass=%v",
+		r.From, r.To, r.Watermark, r.Accesses, r.Chi2, r.Critical, len(r.Leaves), r.Pass())
+}
+
+// migratingHistogram bins a block sequence into the From+To cells the
+// dual routing law (RouteBlockMigrating at the given watermark) sends
+// them to. The audit compares the engines' counters against the law at
+// the true watermark; tests recompute it at a wrong watermark as a
+// negative control (mass appears in cells the law gives zero
+// expectation, driving the statistic to +Inf).
+func migratingHistogram(blocks []int64, watermark int64, from, to int) []float64 {
+	cells := make([]float64, from+to)
+	for _, b := range blocks {
+		shard, _, target := server.RouteBlockMigrating(b, watermark, from, to)
+		if target {
+			cells[from+shard]++
+		} else {
+			cells[shard]++
+		}
+	}
+	return cells
+}
+
+// CheckShardLeakMigrating audits the leakage bound of a deployment
+// frozen MID-migration: a From-shard fleet with a To-shard target fleet
+// installed behind dual routing at a fixed watermark (the state a live
+// reshard serves from between copy ranges, held still so the histogram
+// has a single law to match). The bound generalizes the static one:
+//
+//   - an observer of per-tree traffic learns which cell (fleet, shard)
+//     every access lands in — exactly what RouteBlockMigrating reveals
+//     about the block id given the public watermark — and must learn
+//     nothing more;
+//   - within each cell the revealed leaf sequence must stay chi-square
+//     uniform under that tree's own seed (old-fleet trees under the
+//     generation-0 seeds, target trees under the generation-1 seeds).
+//
+// The copy traffic itself is excluded by freezing the watermark: what
+// is audited is the serving path's routing, the part an adversary
+// watching a mid-migration trace actually correlates with block ids.
+func CheckShardLeakMigrating(s core.Scheme, levels, from, to int, watermark int64, seed uint64, accesses int, w Workload) (MigratingLeakResult, error) {
+	res := MigratingLeakResult{From: from, To: to, Watermark: watermark, Accesses: accesses}
+	old := make([]server.Engine, from)
+	for i := range old {
+		o, err := aboram.New(aboram.Options{
+			Scheme: s, Levels: levels,
+			Seed:          server.ShardSeed(seed, i),
+			EncryptionKey: oracleKey,
+		})
+		if err != nil {
+			return res, fmt.Errorf("check: building shard %d: %w", i, err)
+		}
+		old[i] = o
+	}
+	sh, err := server.NewSharded(old, server.Config{Queue: 64, Batch: 8})
+	if err != nil {
+		return res, err
+	}
+	defer sh.Close()
+	target := make([]server.Engine, to)
+	for i := range target {
+		o, err := aboram.New(aboram.Options{
+			Scheme: s, Levels: levels,
+			Seed:          server.ShardSeed(server.GenSeed(seed, 1), i),
+			EncryptionKey: oracleKey,
+		})
+		if err != nil {
+			return res, fmt.Errorf("check: building target shard %d: %w", i, err)
+		}
+		target[i] = o
+	}
+	// Install dual routing at the frozen watermark. The Resharder is
+	// never run — no copier, no fences — so the deployment holds still
+	// in the exact mid-migration state under audit. (Close stops the
+	// never-started migration along with both fleets.)
+	if _, err := sh.BeginReshard(target, server.ReshardConfig{Watermark: watermark, Gen: 1}); err != nil {
+		return res, fmt.Errorf("check: freezing mid-migration state: %w", err)
+	}
+
+	// Drive the workload, recording the block sequence (for the cell
+	// prediction) and each cell's local sequence (for the leaf audits).
+	ctx := context.Background()
+	n := sh.NumBlocks()
+	blocks := make([]int64, accesses)
+	locals := make([][]int64, from+to)
+	for i := 0; i < accesses; i++ {
+		blk := w(i) % n
+		if blk < 0 {
+			blk += n
+		}
+		blocks[i] = blk
+		shard, local, isTarget := server.RouteBlockMigrating(blk, watermark, from, to)
+		cell := shard
+		if isTarget {
+			cell = from + shard
+		}
+		locals[cell] = append(locals[cell], local)
+		if err := sh.Access(ctx, blk); err != nil {
+			return res, fmt.Errorf("check: access %d (block %d): %w", i, blk, err)
+		}
+	}
+
+	// Side one: both fleets' served counters, cell for cell, against the
+	// dual routing law. Cells the law gives zero expectation are dead
+	// (ChiSquareExpected excludes them from df — and any observed op in
+	// one is an immediate +Inf).
+	res.Observed = make([]uint64, 0, from+to)
+	for _, m := range sh.ShardMetrics() {
+		res.Observed = append(res.Observed, m.Served())
+	}
+	for _, m := range sh.NextShardMetrics() {
+		res.Observed = append(res.Observed, m.Served())
+	}
+	res.Expected = migratingHistogram(blocks, watermark, from, to)
+	var df int
+	res.Chi2, df = ChiSquareExpected(res.Observed, res.Expected)
+	if df < 1 {
+		df = 1
+	}
+	res.Critical = ChiSquareCritical(df, ZCrit999)
+
+	// Side two: each cell's revealed leaf sequence must stay uniform
+	// under its own tree's seed.
+	for cell, seq := range locals {
+		if len(seq) < 64 {
+			continue
+		}
+		cellSeed := server.ShardSeed(seed, cell)
+		if cell >= from {
+			cellSeed = server.ShardSeed(server.GenSeed(seed, 1), cell-from)
+		}
+		leaf, err := CheckOblivious(s, core.DefaultOptions(levels, cellSeed), len(seq), func(j int) int64 { return seq[j] })
+		if err != nil {
+			return res, fmt.Errorf("check: cell %d leaf audit: %w", cell, err)
+		}
+		res.Leaves = append(res.Leaves, leaf)
+	}
+	return res, nil
+}
+
 // CheckShardLeak drives a real P-shard serving engine through `accesses`
 // ops of the workload and audits the leak bound from both sides (see the
 // package comment above). The returned result carries the verdict; the

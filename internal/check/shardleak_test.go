@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/aboram"
 	"repro/internal/core"
 	"repro/internal/server"
 )
@@ -123,6 +124,59 @@ func TestShardLeakDetectsBiasedRouter(t *testing.T) {
 	honest := routeHistogram(blocks, shards, server.RouteBlock)
 	if stat, _ := shardHistogramChi2(honest, blocks, shards); stat != 0 {
 		t.Fatalf("honest router chi2 %.3f, want exact 0 against its own law", stat)
+	}
+}
+
+// TestShardLeakMidMigration audits a deployment frozen mid-reshard
+// (2→3 at a fixed watermark): the per-cell histogram across BOTH fleets
+// must match what dual routing predicts, and every tree's revealed leaf
+// sequence must stay uniform under its own generation's seed. The
+// negative control scores the same observations against the
+// pre-migration law (watermark 0): every op the target fleet served
+// lands in a cell that law forbids, so the statistic must blow up to
+// +Inf — a trace that leaked "a migration is under way, and this far
+// along" in any cell placement the public watermark doesn't explain
+// would be caught the same way.
+func TestShardLeakMidMigration(t *testing.T) {
+	const from, to, watermark, accesses = 2, 3, 400, 1024
+	const seed = 19
+	res, err := CheckShardLeakMigrating(core.SchemeAB, 8, from, to, watermark, seed, accesses, UniformBlocks(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", res)
+	var total uint64
+	for _, c := range res.Observed {
+		total += c
+	}
+	if total != accesses {
+		t.Fatalf("observed histogram sums to %d, want %d (ops lost or double-counted)", total, accesses)
+	}
+	if len(res.Leaves) != from+to {
+		t.Fatalf("leaf-audited %d cells, want all %d under a uniform workload", len(res.Leaves), from+to)
+	}
+	if !res.Pass() {
+		t.Fatalf("honest dual routing failed the mid-migration audit: %v", res)
+	}
+
+	// Negative control: the same observations against the wrong law.
+	probe, err := aboram.New(aboram.Options{Levels: 8, Seed: server.ShardSeed(seed, 0), EncryptionKey: oracleKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := probe.NumBlocks() * int64(from) // served space mid-migration: perShard*min(from, to)
+	w := UniformBlocks(seed)
+	blocks := make([]int64, accesses)
+	for i := range blocks {
+		b := w(i) % n
+		if b < 0 {
+			b += n
+		}
+		blocks[i] = b
+	}
+	wrong := migratingHistogram(blocks, 0, from, to)
+	if stat, _ := ChiSquareExpected(res.Observed, wrong); !math.IsInf(stat, 1) {
+		t.Fatalf("mid-migration trace passed against the watermark-0 law: chi2 %.3f", stat)
 	}
 }
 

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +57,15 @@ type SoakOptions struct {
 	// shards share one fault injector, so a kill takes down all trees at
 	// once and recovery must bring every shard back consistent.
 	Shards int
+	// Reshard runs the soak across a live resharding plan: the fleet
+	// starts at 2 shards and the supervisor drives 2→3 and then 3→2
+	// live migrations through the crash-safe journal, so kills land
+	// mid-copy, mid-journal-append, and mid-cutover while clients keep
+	// writing. Each incarnation recovers the layout the journal names
+	// (resuming any in-flight migration from its durable watermark),
+	// and after the serving budget any unfinished migration is driven
+	// to completion cleanly before the final sweep. Forces Shards=2.
+	Reshard bool
 	// Delta switches every incarnation to the incremental durability
 	// configuration: delta checkpoints with periodic full bases, live-WAL
 	// compaction, rotations deferred to batch boundaries, and — unlike
@@ -71,6 +79,9 @@ type SoakOptions struct {
 }
 
 func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Reshard {
+		o.Shards = 2 // the plan's starting (and final) width
+	}
 	if o.Workers <= 0 {
 		o.Workers = 3
 	}
@@ -114,16 +125,27 @@ type SoakReport struct {
 	EngineCompactions uint64 // live-WAL compaction runs (Delta mode)
 	DeltasApplied     int    // chain deltas applied across all recoveries
 
+	ReshardsStarted   int    // Begin records in the journal (Reshard mode)
+	ReshardsResumed   int    // incarnations that resumed an in-flight migration
+	ReshardsCompleted int    // cutovers + completed rollbacks in the journal
+	FinalShards       int    // serving width after the plan completed
+	FinalGen          uint64 // serving generation after the plan completed
+
 	Violations []string // exactly-once / shed-contract violations
 }
 
 func (r *SoakReport) String() string {
-	return fmt.Sprintf("seed %d (%d shards): %d incarnations (%d crashes), %d acked, %d shed, %d indeterminate, %d reads, "+
+	s := fmt.Sprintf("seed %d (%d shards): %d incarnations (%d crashes), %d acked, %d shed, %d indeterminate, %d reads, "+
 		"%d overloaded, %d breaker opens, %d applies, %d syncs (%d batched) for %d appends, %d deduped, %d ids recovered, "+
 		"%d deltas (%d applied on recovery), %d compactions, %d violations",
 		r.Seed, r.Shards, r.Incarnations, r.Crashes, r.AckedWrites, r.ShedWrites, r.Indeterminate, r.Reads,
 		r.Overloaded, r.BreakerOpens, r.Applies, r.EngineSyncs, r.BatchedSyncs, r.EngineWrites,
 		r.Deduped, r.IDsRecovered, r.EngineDeltas, r.DeltasApplied, r.EngineCompactions, len(r.Violations))
+	if r.ReshardsStarted > 0 {
+		s += fmt.Sprintf(", %d reshards (%d resumed, %d completed) → %d shards gen %d",
+			r.ReshardsStarted, r.ReshardsResumed, r.ReshardsCompleted, r.FinalShards, r.FinalGen)
+	}
+	return s
 }
 
 // soakMagic marks a payload written by a soak worker; anything else read
@@ -159,19 +181,25 @@ type soakKey struct {
 }
 
 // soakIssue is the ledger's record of one issued write: its identity and
-// the shard the routing law says must apply it.
+// the block it targets (the routing law derives the owning shard from
+// the block and the width of whichever layout generation applies it).
 type soakIssue struct {
-	key       soakKey
-	wantShard int
+	key   soakKey
+	block int64
 }
 
 // ledger is the shared exactly-once bookkeeping between the client side
 // (issues, acks, sheds) and the engine side (applies). The request-id
 // registry lives here — not in a per-incarnation structure — so a retry
 // that straddles a server restart is still correlated to its write.
+// widths maps each layout generation to its shard count, so the
+// cross-shard check stays exact while a live migration has two layouts
+// applying writes at once (an apply is judged against the width of the
+// generation whose tree it landed in).
 type ledger struct {
 	mu         sync.Mutex
 	ids        map[uint64]soakIssue // request id -> issued write
+	widths     map[uint64]int       // layout generation -> shard count
 	acked      map[soakKey]bool
 	shed       map[soakKey]bool
 	applies    map[soakKey]int
@@ -182,10 +210,19 @@ type ledger struct {
 func newLedger() *ledger {
 	return &ledger{
 		ids:     make(map[uint64]soakIssue),
+		widths:  make(map[uint64]int),
 		acked:   make(map[soakKey]bool),
 		shed:    make(map[soakKey]bool),
 		applies: make(map[soakKey]int),
 	}
+}
+
+// setWidth registers a layout generation's shard count before any of its
+// trees can apply writes.
+func (l *ledger) setWidth(gen uint64, shards int) {
+	l.mu.Lock()
+	l.widths[gen] = shards
+	l.mu.Unlock()
 }
 
 func (l *ledger) violate(format string, args ...any) {
@@ -194,20 +231,24 @@ func (l *ledger) violate(format string, args ...any) {
 	l.mu.Unlock()
 }
 
-// registerID records an issued write — and the shard that must serve it
-// — before its first network attempt.
-func (l *ledger) registerID(id uint64, k soakKey, wantShard int) {
+// registerID records an issued write — and the block that determines the
+// shard that must serve it — before its first network attempt.
+func (l *ledger) registerID(id uint64, k soakKey, block int64) {
 	l.mu.Lock()
-	l.ids[id] = soakIssue{key: k, wantShard: wantShard}
+	l.ids[id] = soakIssue{key: k, block: block}
 	l.mu.Unlock()
 }
 
 // apply records one engine-level apply of an identified write on the
-// given shard and checks it against the ledger: applying a write AFTER
-// its ack is the double-apply the dedup window exists to prevent, and
-// applying it on any shard but the one the routing law names is a
-// cross-shard leak — the router executed a write on the wrong tree.
-func (l *ledger) apply(id uint64, shard int) {
+// given (generation, shard) tree and checks it against the ledger:
+// applying a write AFTER its ack is the double-apply the dedup window
+// exists to prevent, and applying it on any shard but the one the
+// routing law names for that generation's width is a cross-shard leak —
+// the router executed a write on the wrong tree. (During a migration the
+// write re-apply protocol may legally apply one write in both layouts
+// before acknowledging it; each apply must still land on the shard its
+// own layout's law names.)
+func (l *ledger) apply(id uint64, gen uint64, shard int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	iss, ok := l.ids[id]
@@ -217,10 +258,14 @@ func (l *ledger) apply(id uint64, shard int) {
 	k := iss.key
 	l.applyCount++
 	l.applies[k]++
-	if shard != iss.wantShard {
+	width := l.widths[gen]
+	if width == 0 {
 		l.violations = append(l.violations,
-			fmt.Sprintf("write (worker %d, seq %d) applied on shard %d, routing law names shard %d (cross-shard apply)",
-				k.worker, k.seq, shard, iss.wantShard))
+			fmt.Sprintf("write (worker %d, seq %d) applied in unknown layout generation %d", k.worker, k.seq, gen))
+	} else if want, _ := server.RouteBlock(iss.block, width); shard != want {
+		l.violations = append(l.violations,
+			fmt.Sprintf("write (worker %d, seq %d) applied on gen-%d shard %d, routing law names shard %d (cross-shard apply)",
+				k.worker, k.seq, gen, shard, want))
 	}
 	if l.acked[k] {
 		l.violations = append(l.violations,
@@ -255,12 +300,15 @@ func (l *ledger) finalSweepChecks() {
 }
 
 // applyTracker wraps one shard's durable engine for the scheduler,
-// recording every identified write apply (tagged with the shard it
-// landed on) in the ledger. It forwards the group commit interface so
-// the scheduler's deferred-ack path stays active.
+// recording every identified write apply (tagged with the generation
+// and shard it landed on) in the ledger. It forwards the group commit
+// interface so the scheduler's deferred-ack path stays active. Reshard
+// copy traffic writes with id 0 and is not tracked — the copier moves
+// already-applied content, it does not apply client writes.
 type applyTracker struct {
 	eng   *durable.Engine
 	led   *ledger
+	gen   uint64
 	shard int
 }
 
@@ -281,7 +329,7 @@ func (t *applyTracker) WriteIdentified(id uint64, block int64, data []byte) erro
 		// Count only successful applies: a failed write poisons the
 		// engine fail-stop and never produces an ack, and recovery's
 		// recovered-id set adjudicates whatever prefix survived.
-		t.led.apply(id, t.shard)
+		t.led.apply(id, t.gen, t.shard)
 	}
 	return err
 }
@@ -327,7 +375,6 @@ type soakWorker struct {
 	id     uint64
 	blocks []int64
 	blockB int
-	shards int
 	r      *rng.Source
 	st     *soakState
 
@@ -385,8 +432,7 @@ func (w *soakWorker) run(clientSeed uint64) {
 			data := encodePayload(w.blockB, w.id, seq, block)
 			bs.issued[seq] = true
 			id := soakWriteID(w.id, seq)
-			wantShard, _ := server.RouteBlock(block, w.shards)
-			w.st.led.registerID(id, soakKey{w.id, seq}, wantShard)
+			w.st.led.registerID(id, soakKey{w.id, seq}, block)
 			err := c.WriteID(id, block, data)
 			switch {
 			case err == nil:
@@ -509,14 +555,6 @@ func runBurst(st *soakState, seed uint64, numBlocks int64, stats *burstStats) {
 	}
 }
 
-// shardDir is the daemon's data layout: the base dir itself for an
-// unsharded store, shard-<i> subdirectories for a fleet.
-func shardDir(dir string, shards, i int) string {
-	if shards <= 1 {
-		return dir
-	}
-	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
-}
 
 // RunSoak runs the chaos soak and returns its report; the error is
 // non-nil when any exactly-once, shed-contract, or cross-shard
@@ -526,24 +564,29 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	r := rng.New(opt.Seed ^ 0x736f616b)
 	rep := &SoakReport{Seed: opt.Seed, Shards: opt.Shards}
 
-	// One aboram configuration per shard, seeds derived exactly as the
-	// daemon derives them (shard 0 keeps the base seed, so Shards=1 is
-	// the pre-sharding soak unchanged).
-	baseOpt := crashOptions(opt.Dir, opt.Seed, vfs.OS{}, false).ORAM
-	oramOpts := make([]aboram.Options, opt.Shards)
-	for i := range oramOpts {
-		oramOpts[i] = baseOpt
-		oramOpts[i].Seed = server.ShardSeed(opt.Seed, i)
-	}
-	probe, err := aboram.New(oramOpts[0])
+	// Per-shard tree configurations are derived exactly as the daemon
+	// derives them — ShardSeed over the generation seed (generation 0
+	// keeps the base seed, so Shards=1 is the pre-sharding soak
+	// unchanged); soakFleet applies the law when opening a fleet.
+	probe, err := aboram.New(crashOptions(opt.Dir, opt.Seed, vfs.OS{}, false).ORAM)
 	if err != nil {
 		return nil, err
 	}
 	blockB := probe.BlockSize()
-	numBlocks := probe.NumBlocks() * int64(opt.Shards) // global address space
+	// Global address space the workers write: the plan's minimum width,
+	// so every owned block stays in range through every layout the
+	// Reshard plan serves (migrations serve perShard*min(P, P′)).
+	numBlocks := probe.NumBlocks() * int64(opt.Shards)
 
 	st := &soakState{led: newLedger()}
 	st.addr.Store("")
+	st.led.setWidth(0, opt.Shards)
+	if opt.Reshard {
+		// The fixed migration plan's layouts: gen 1 grows to 3 shards,
+		// gen 2 shrinks back to 2.
+		st.led.setWidth(1, 3)
+		st.led.setWidth(2, 2)
+	}
 
 	// Workers own disjoint block partitions: worker i gets blocks
 	// congruent to i modulo Workers (capped to a small working set so
@@ -556,7 +599,7 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			blocks = append(blocks, b)
 		}
 		workers[i] = &soakWorker{
-			id: uint64(i + 1), blocks: blocks, blockB: blockB, shards: opt.Shards,
+			id: uint64(i + 1), blocks: blocks, blockB: blockB,
 			r: rng.New(opt.Seed ^ (0x77<<8 | uint64(i))), st: st,
 			per: make(map[int64]*blockState),
 		}
@@ -606,73 +649,153 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			DropUnsynced: true,
 		})
 		fs := faults.WrapFS(vfs.OS{}, in)
-		engines := make([]*durable.Engine, opt.Shards)
-		var openErr error
-		for si := range engines {
-			dopt := durable.Options{
-				Dir:           shardDir(opt.Dir, opt.Shards, si),
-				ORAM:          oramOpts[si],
-				SnapshotEvery: 32,
-				GroupCommit:   true,
-				FS:            fs,
-			}
-			if opt.Delta {
-				dopt.DeltaSnapshots = true
-				dopt.BaseEvery = 3
-				dopt.CompactEvery = 12
-				dopt.DeferCheckpoints = true // cuts land at batch boundaries via MaybeCheckpoint
-			}
-			engines[si], openErr = durable.Open(dopt)
-			if openErr != nil {
-				break
-			}
-		}
-		if openErr != nil {
-			for _, eng := range engines {
-				if eng != nil {
-					eng.Close()
-				}
-			}
+
+		// crashSkip adjudicates an incarnation-setup failure: under an
+		// injected crash the incarnation simply ends and the next one
+		// recovers; without one the failure is a soak bug.
+		crashSkip := func(stage string, err error) error {
 			if !in.Crashed() {
 				st.stop.Store(true)
 				wg.Wait()
-				return rep, fmt.Errorf("soak: incarnation %d: recovery failed without a crash: %w", rep.Incarnations, openErr)
+				return fmt.Errorf("soak: incarnation %d: %s failed without a crash: %w", rep.Incarnations, stage, err)
 			}
 			rep.Crashes++
+			return nil
+		}
+
+		// Resolve the serving layout: static without Reshard; with it,
+		// whatever the migration journal names — resuming any in-flight
+		// migration from its durable watermark, exactly what a restarted
+		// daemon does.
+		gen, shards := uint64(0), opt.Shards
+		var jn *durable.ReshardJournal
+		var lay durable.ReshardLayout
+		if opt.Reshard {
+			var jerr error
+			jn, jerr = durable.OpenReshardJournal(fs, opt.Dir)
+			if jerr == nil {
+				lay, jerr = durable.ResolveReshard(jn.Records(), opt.Shards)
+			}
+			if jerr != nil {
+				if err := crashSkip("journal recovery", jerr); err != nil {
+					return rep, err
+				}
+				continue
+			}
+			gen, shards = lay.Gen, lay.Shards
+		}
+
+		engines, openErr := soakFleet(opt, fs, gen, shards)
+		if openErr != nil {
+			if err := crashSkip("recovery", openErr); err != nil {
+				return rep, err
+			}
 			continue
 		}
 
-		trackers := make([]server.Engine, opt.Shards)
+		// Pick this incarnation's migration: resume the journaled one, or
+		// durably begin the next step of the 2→3→2 plan.
+		migrate, tgen, tto := false, uint64(0), 0
+		var targets []*durable.Engine
+		if opt.Reshard {
+			switch {
+			case lay.Active != nil:
+				migrate, tgen, tto = true, lay.Active.Gen, lay.Active.To
+				rep.ReshardsResumed++
+			case lay.MaxGen == 0:
+				migrate, tgen, tto = true, 1, 3
+			case lay.Gen == 1 && lay.Shards == 3:
+				migrate, tgen, tto = true, 2, 2
+			}
+			if migrate && lay.Active == nil {
+				if err := jn.Append(durable.ReshardRecord{Op: durable.ReshardBegin, Gen: tgen, From: shards, To: tto}); err != nil {
+					closeReshardFleet(engines)
+					if err := crashSkip("journal begin", err); err != nil {
+						return rep, err
+					}
+					continue
+				}
+			}
+			if migrate {
+				var terr error
+				if targets, terr = soakFleet(opt, fs, tgen, tto); terr != nil {
+					closeReshardFleet(engines)
+					if err := crashSkip("target recovery", terr); err != nil {
+						return rep, err
+					}
+					continue
+				}
+			}
+		}
+
+		trackers := make([]server.Engine, len(engines))
 		for si, eng := range engines {
 			rep.IDsRecovered += eng.Recovery().IDsRecovered
 			rep.DeltasApplied += eng.Recovery().DeltasApplied
-			trackers[si] = &applyTracker{eng: eng, led: st.led, shard: si}
+			trackers[si] = &applyTracker{eng: eng, led: st.led, gen: gen, shard: si}
 		}
 		// A tiny queue relative to the client population guarantees the
-		// burst windows actually overflow it (overloaded responses).
-		srv, err := server.NewSharded(trackers, server.Config{Queue: 2, Batch: 8})
+		// burst windows actually overflow it (overloaded responses). The
+		// Reshard soak runs slightly deeper: the copier's persistent ops
+		// share the queue, and with depth 2 they plus the bursts can
+		// starve the workers of every single ack.
+		queue := 2
+		if opt.Reshard {
+			queue = 8
+		}
+		srv, err := server.NewSharded(trackers, server.Config{Queue: queue, Batch: 8})
 		if err != nil {
 			st.stop.Store(true)
 			wg.Wait()
-			for _, eng := range engines {
-				eng.Close()
-			}
+			closeReshardFleet(engines)
+			closeReshardFleet(targets)
 			return rep, fmt.Errorf("soak: incarnation %d: %w", rep.Incarnations, err)
+		}
+		srv.SetGeneration(gen)
+		var res *server.Resharder
+		if migrate {
+			ttrackers := make([]server.Engine, len(targets))
+			for si, eng := range targets {
+				rep.IDsRecovered += eng.Recovery().IDsRecovered
+				rep.DeltasApplied += eng.Recovery().DeltasApplied
+				ttrackers[si] = &applyTracker{eng: eng, led: st.led, gen: tgen, shard: si}
+			}
+			cfg := server.ReshardConfig{
+				Journal: &reshardJournalAdapter{j: jn, gen: tgen, to: tto},
+				// Small fenced ranges keep write stalls short while the
+				// copy competes with client and burst traffic, and the
+				// pace guarantees client ops a window between ranges.
+				RangeSize: 16,
+				Pace:      2 * time.Millisecond,
+				Gen:       tgen,
+			}
+			if lay.Active != nil {
+				cfg.Watermark, cfg.Aborting = lay.Active.Watermark, lay.Active.Aborting
+			}
+			if res, err = srv.BeginReshard(ttrackers, cfg); err != nil {
+				st.stop.Store(true)
+				wg.Wait()
+				srv.Close()
+				closeReshardFleet(engines)
+				closeReshardFleet(targets)
+				return rep, fmt.Errorf("soak: incarnation %d: begin reshard: %w", rep.Incarnations, err)
+			}
+			go res.Run() // terminal state is adjudicated by the journal
 		}
 		tsrv := server.NewTCP(srv, server.TCPConfig{
 			RequestTimeout: 250 * time.Millisecond,
 			DedupWindow:    4096,
 		})
-		for _, eng := range engines {
+		for _, eng := range append(append([]*durable.Engine(nil), engines...), targets...) {
 			tsrv.SeedDedup(eng.RecentWriteIDs())
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			st.stop.Store(true)
 			wg.Wait()
-			for _, eng := range engines {
-				eng.Close()
-			}
+			srv.Close()
+			closeReshardFleet(engines)
+			closeReshardFleet(targets)
 			return rep, fmt.Errorf("soak: listen: %w", err)
 		}
 		serveDone := make(chan struct{})
@@ -688,10 +811,13 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		tsrv.Shutdown(ctx)
 		cancel()
-		srv.Close()
+		srv.Close() // stops any in-flight migration before draining the schedulers
+		if res != nil {
+			<-res.Done() // the copier goroutine must be out of the engines
+		}
 		<-serveDone
 		rep.Deduped += tsrv.Metrics().Deduped
-		for _, eng := range engines {
+		for _, eng := range append(append([]*durable.Engine(nil), engines...), targets...) {
 			est := eng.Stats()
 			rep.EngineWrites += est.Writes
 			rep.EngineSyncs += est.Syncs
@@ -734,23 +860,49 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	rep.BreakerOpens += bstats.opens
 	rep.BreakerFastFails += bstats.fastFails
 
+	// In Reshard mode, drive the migration plan to completion on the
+	// clean filesystem first — a daemon restarted after the chaos does
+	// the same — so the final sweep reads through the plan's terminal
+	// layout.
+	finalGen, finalShards := uint64(0), opt.Shards
+	if opt.Reshard {
+		lay, err := finishReshardPlan(opt)
+		if err != nil {
+			return rep, err
+		}
+		finalGen, finalShards = lay.Gen, lay.Shards
+		rep.FinalShards, rep.FinalGen = lay.Shards, lay.Gen
+		// Plan activity is counted from the journal itself, so chaos-time
+		// and clean-coda work land in the same tallies.
+		jn, err := durable.OpenReshardJournal(vfs.OS{}, opt.Dir)
+		if err != nil {
+			return rep, fmt.Errorf("soak: recounting the journal: %w", err)
+		}
+		for _, rec := range jn.Records() {
+			switch rec.Op {
+			case durable.ReshardBegin:
+				rep.ReshardsStarted++
+			case durable.ReshardCutover, durable.ReshardAborted:
+				rep.ReshardsCompleted++
+			}
+		}
+	}
+
 	// Final clean incarnation: recover every shard and read back every
 	// owned block through the routing law.
 	rep.Incarnations++
-	finals := make([]*durable.Engine, opt.Shards)
-	for si := range finals {
-		eng, err := durable.Open(durable.Options{Dir: shardDir(opt.Dir, opt.Shards, si), ORAM: oramOpts[si]})
-		if err != nil {
-			return rep, fmt.Errorf("soak: final recovery of shard %d: %w", si, err)
-		}
-		defer eng.Close()
-		finals[si] = eng
+	finals, err := soakFleet(opt, vfs.OS{}, finalGen, finalShards)
+	if err != nil {
+		return rep, fmt.Errorf("soak: final recovery: %w", err)
+	}
+	defer closeReshardFleet(finals)
+	for _, eng := range finals {
 		rep.IDsRecovered += eng.Recovery().IDsRecovered
 		rep.DeltasApplied += eng.Recovery().DeltasApplied
 	}
 	for _, w := range workers {
 		for _, block := range w.blocks {
-			shard, local := server.RouteBlock(block, opt.Shards)
+			shard, local := server.RouteBlock(block, finalShards)
 			got, err := finals[shard].Read(local)
 			if err != nil {
 				return rep, fmt.Errorf("soak: final read of block %d (shard %d): %w", block, shard, err)
@@ -770,6 +922,107 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 		return rep, fmt.Errorf("soak: %d violation(s); first: %s", len(rep.Violations), rep.Violations[0])
 	}
 	return rep, nil
+}
+
+// soakFleet opens one layout generation's shard engines with the soak's
+// engine configuration, deriving each tree's seed and directory the way
+// the daemon does (generation 0 of a width-1 fleet is the plain
+// unsharded layout). On failure the opened prefix is closed.
+func soakFleet(opt SoakOptions, fs vfs.FS, gen uint64, shards int) ([]*durable.Engine, error) {
+	base := crashOptions(opt.Dir, opt.Seed, fs, false).ORAM
+	engines := make([]*durable.Engine, 0, shards)
+	for i := 0; i < shards; i++ {
+		oram := base
+		oram.Seed = server.ShardSeed(server.GenSeed(opt.Seed, gen), i)
+		dopt := durable.Options{
+			Dir:           durable.ShardDir(opt.Dir, gen, i, shards),
+			ORAM:          oram,
+			SnapshotEvery: 32,
+			GroupCommit:   true,
+			FS:            fs,
+		}
+		if opt.Delta {
+			dopt.DeltaSnapshots = true
+			dopt.BaseEvery = 3
+			dopt.CompactEvery = 12
+			dopt.DeferCheckpoints = true // cuts land at batch boundaries via MaybeCheckpoint
+		}
+		eng, err := durable.Open(dopt)
+		if err != nil {
+			closeReshardFleet(engines)
+			return nil, err
+		}
+		engines = append(engines, eng)
+	}
+	return engines, nil
+}
+
+// finishReshardPlan drives any journaled in-flight migration — and the
+// remaining steps of the 2→3→2 plan — to completion on the clean
+// filesystem, the way a restarted daemon would, and returns the
+// terminal layout.
+func finishReshardPlan(opt SoakOptions) (durable.ReshardLayout, error) {
+	for step := 0; ; step++ {
+		if step > 8 {
+			return durable.ReshardLayout{}, errors.New("soak: reshard plan failed to converge")
+		}
+		jn, err := durable.OpenReshardJournal(vfs.OS{}, opt.Dir)
+		if err != nil {
+			return durable.ReshardLayout{}, fmt.Errorf("soak: reshard coda: %w", err)
+		}
+		lay, err := durable.ResolveReshard(jn.Records(), opt.Shards)
+		if err != nil {
+			return lay, fmt.Errorf("soak: reshard coda: %w", err)
+		}
+		if lay.Active == nil && lay.Gen >= 2 {
+			return lay, nil
+		}
+		tgen, tto := lay.MaxGen+1, 2
+		if lay.Active != nil {
+			tgen, tto = lay.Active.Gen, lay.Active.To
+		} else {
+			if lay.Shards == 2 {
+				tto = 3
+			}
+			if err := jn.Append(durable.ReshardRecord{Op: durable.ReshardBegin, Gen: tgen, From: lay.Shards, To: tto}); err != nil {
+				return lay, fmt.Errorf("soak: reshard coda begin: %w", err)
+			}
+		}
+		cur, err := soakFleet(opt, vfs.OS{}, lay.Gen, lay.Shards)
+		if err != nil {
+			return lay, fmt.Errorf("soak: reshard coda recovery: %w", err)
+		}
+		targets, err := soakFleet(opt, vfs.OS{}, tgen, tto)
+		if err != nil {
+			closeReshardFleet(cur)
+			return lay, fmt.Errorf("soak: reshard coda target recovery: %w", err)
+		}
+		sh, err := server.NewSharded(asServerEngines(cur), server.Config{Queue: 64, Batch: 8})
+		if err != nil {
+			closeReshardFleet(cur)
+			closeReshardFleet(targets)
+			return lay, err
+		}
+		sh.SetGeneration(lay.Gen)
+		cfg := server.ReshardConfig{
+			Journal:   &reshardJournalAdapter{j: jn, gen: tgen, to: tto},
+			RangeSize: 128, // no client traffic to stall; big strides for speed
+			Gen:       tgen,
+		}
+		if lay.Active != nil {
+			cfg.Watermark, cfg.Aborting = lay.Active.Watermark, lay.Active.Aborting
+		}
+		res, err := sh.BeginReshard(asServerEngines(targets), cfg)
+		if err == nil {
+			err = res.Run()
+		}
+		sh.Close()
+		closeReshardFleet(cur)
+		closeReshardFleet(targets)
+		if err != nil {
+			return lay, fmt.Errorf("soak: reshard coda migration to gen %d: %w", tgen, err)
+		}
+	}
 }
 
 func sleepUnlessStopped(st *soakState, d time.Duration) {

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +40,7 @@ var (
 	ErrCrash    = errors.New("faults: crashed (simulated process death)")
 	ErrInjected = errors.New("faults: injected I/O error")
 	ErrReset    = errors.New("faults: injected connection reset")
+	ErrNoSpace  = errors.New("faults: injected ENOSPC (no space left on device)")
 )
 
 // Config tunes an Injector. All probabilities are per instrumented
@@ -68,6 +70,13 @@ type Config struct {
 	// flushed and the rest dropped — the host-failure reading of an
 	// unsynced write, and the loss surface group commit must bound.
 	DropUnsynced bool
+	// DiskBudget, when > 0, bounds the total payload bytes the filesystem
+	// accepts. The write that crosses the budget persists only the prefix
+	// that still fits (a short write) and fails with ErrNoSpace, and from
+	// then on every mutating operation except Remove/RemoveAll fails the
+	// same way — the no-free-space steady state a durable engine must
+	// fail-stop on rather than silently ack into.
+	DiskBudget int
 
 	// ResetRate is the probability a connection Read/Write fails with
 	// ErrReset and closes the underlying conn.
@@ -90,18 +99,22 @@ type Stats struct {
 	Torn      int // writes that persisted a partial prefix
 	Delays    int // latency spikes injected
 	Dropped   int // buffered unsynced writes lost at a crashed close (DropUnsynced)
+	NoSpace   int // operations refused with ErrNoSpace (DiskBudget)
 }
 
 // Injector is the shared decision engine. Safe for concurrent use; the
 // decision order (and therefore the schedule) is deterministic whenever
 // the instrumented call order is.
 type Injector struct {
-	mu        sync.Mutex
-	rng       *rng.Source
-	cfg       Config
-	crashed   bool
-	crashSite string
-	stats     Stats
+	mu          sync.Mutex
+	rng         *rng.Source
+	cfg         Config
+	crashed     bool
+	crashSite   string
+	full        bool // DiskBudget exhausted
+	spent       int  // payload bytes accepted against DiskBudget
+	noSpaceSite string
+	stats       Stats
 }
 
 // New builds an Injector for the given schedule config.
@@ -125,6 +138,16 @@ func (in *Injector) CrashSite() string {
 	return in.crashSite
 }
 
+// NoSpaceSite names the operation whose write crossed the DiskBudget
+// (e.g. "write snap-0000000000000004.tmp"), so a harness can assert
+// which phase — WAL append, snapshot rotation, delta publish — the disk
+// filled under. Empty until the budget is exhausted.
+func (in *Injector) NoSpaceSite() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.noSpaceSite
+}
+
 // Stats returns a snapshot of the injection counters.
 func (in *Injector) Stats() Stats {
 	in.mu.Lock()
@@ -146,6 +169,27 @@ func (in *Injector) mutation(site string, n int) (tear int, err error) {
 		in.crashed = true
 		in.crashSite = site
 		return in.tearLocked(n), ErrCrash
+	}
+	if in.cfg.DiskBudget > 0 {
+		if in.full {
+			// A full disk still deletes: pruning may be the only way out.
+			if !strings.HasPrefix(site, "remove") {
+				in.stats.NoSpace++
+				return 0, ErrNoSpace
+			}
+		} else if n > in.cfg.DiskBudget-in.spent {
+			fit := in.cfg.DiskBudget - in.spent
+			in.spent = in.cfg.DiskBudget
+			in.full = true
+			in.noSpaceSite = site
+			in.stats.NoSpace++
+			if fit > 0 {
+				in.stats.Torn++
+			}
+			return fit, ErrNoSpace
+		} else {
+			in.spent += n
+		}
 	}
 	if in.cfg.ErrRate > 0 && in.rng.Float64() < in.cfg.ErrRate {
 		in.stats.Errors++

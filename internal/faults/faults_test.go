@@ -276,3 +276,73 @@ func TestRemoveErrRate(t *testing.T) {
 		t.Fatalf("Remove at rate 0: %v", err)
 	}
 }
+
+// TestDiskBudget checks the ENOSPC schedule: writes within the budget
+// pass, the crossing write persists exactly the fitting prefix and
+// fails with ErrNoSpace, and from then on every mutation except removal
+// fails the same way (deleting is how a full disk recovers).
+func TestDiskBudget(t *testing.T) {
+	in := New(Config{Seed: 3, DiskBudget: 250})
+	for i := 1; i <= 2; i++ {
+		if tear, err := in.mutation("write wal-1", 100); err != nil || tear != -1 {
+			t.Fatalf("write %d within budget: tear=%d err=%v", i, tear, err)
+		}
+	}
+	tear, err := in.mutation("write snap-2", 100)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("crossing write: err = %v, want ErrNoSpace", err)
+	}
+	if tear != 50 {
+		t.Fatalf("crossing write persisted %d bytes, want the fitting 50", tear)
+	}
+	if got := in.NoSpaceSite(); got != "write snap-2" {
+		t.Fatalf("NoSpaceSite = %q, want the crossing write's site", got)
+	}
+	// The disk is full: creates, writes, syncs, renames all refuse.
+	for _, site := range []string{"create snap-3", "write snap-3", "sync wal-1", "rename snap.tmp", "syncdir d"} {
+		if _, err := in.mutation(site, 10); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("%s on full disk: err = %v, want ErrNoSpace", site, err)
+		}
+	}
+	// Removal still works — pruning may be the only way out.
+	for _, site := range []string{"remove wal-0", "removeall gen-000001"} {
+		if _, err := in.mutation(site, 0); err != nil {
+			t.Fatalf("%s on full disk: err = %v, want nil", site, err)
+		}
+	}
+	st := in.Stats()
+	if st.NoSpace != 6 {
+		t.Fatalf("NoSpace = %d, want 6", st.NoSpace)
+	}
+}
+
+// TestFSDiskBudgetShortWrite checks the FS wrapper persists the fitting
+// prefix of the crossing write to the real file — the torn on-disk state
+// recovery must tolerate.
+func TestFSDiskBudgetShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := New(Config{Seed: 9, DiskBudget: 64})
+	ffs := WrapFS(vfs.OS{}, in)
+	f, err := ffs.Create(filepath.Join(dir, "wal-1.log"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := bytes.Repeat([]byte{0xcd}, 100)
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Write: err = %v, want ErrNoSpace", err)
+	}
+	if n != 64 {
+		t.Fatalf("short write persisted %d bytes, want 64", n)
+	}
+	f.Close()
+	r, err := vfs.OS{}.Open(filepath.Join(dir, "wal-1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if !bytes.Equal(got, payload[:64]) {
+		t.Fatalf("on-disk bytes %d, want the 64-byte prefix", len(got))
+	}
+}

@@ -65,6 +65,18 @@ func (f *FS) Remove(name string) error {
 	return f.inner.Remove(name)
 }
 
+// RemoveAll implements vfs.FS. Like Remove it stays allowed on a full
+// disk (deleting frees space).
+func (f *FS) RemoveAll(dir string) error {
+	if _, err := f.in.mutation("removeall "+filepath.Base(dir), 0); err != nil {
+		return err
+	}
+	if f.in.removeFails() {
+		return ErrInjected
+	}
+	return f.inner.RemoveAll(dir)
+}
+
 // ReadDir implements vfs.FS.
 func (f *FS) ReadDir(dir string) ([]string, error) {
 	if f.in.Crashed() {

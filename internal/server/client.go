@@ -491,3 +491,18 @@ func (c *Client) Info() (wire.InfoPayload, error) {
 	}
 	return wire.DecodeInfo(resp.Data)
 }
+
+// Reshard sends one live-resharding admin command and returns the
+// migration status. target is the new shard count for
+// wire.ReshardCmdStart and must be 0 for every other command.
+func (c *Client) Reshard(cmd wire.ReshardCmd, target int) (wire.ReshardInfo, error) {
+	data, err := wire.EncodeReshardReq(wire.ReshardReq{Cmd: cmd, Target: target})
+	if err != nil {
+		return wire.ReshardInfo{}, err
+	}
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpReshard, Data: data})
+	if err != nil {
+		return wire.ReshardInfo{}, err
+	}
+	return wire.DecodeReshardInfo(resp.Data)
+}

@@ -105,6 +105,13 @@ type Metrics struct {
 	GroupSyncs     uint64
 	DeferredWrites uint64
 
+	// OutOfRange counts requests whose block id fell outside the served
+	// address space (negative, or >= NumBlocks). The sharded router counts
+	// them before modulo routing — without the counter a negative id would
+	// silently land on shard 0 and a too-large id on an arbitrary shard,
+	// visible only as a confusing engine range error.
+	OutOfRange uint64
+
 	Batches        uint64  // scheduler wakeups that served >= 1 request
 	MeanBatch      float64 // mean requests per wakeup
 	MaxBatch       int     // largest single drain
@@ -201,6 +208,7 @@ func AggregateMetrics(ms []Metrics) Metrics {
 		out.Rejected += m.Rejected
 		out.Shed += m.Shed
 		out.Canceled += m.Canceled
+		out.OutOfRange += m.OutOfRange
 		out.Accesses += m.Accesses
 		out.Reads += m.Reads
 		out.Writes += m.Writes
@@ -259,6 +267,9 @@ func (m Metrics) Table(title string) *report.Table {
 	t.AddRow("requests rejected (queue full)", report.Uint(m.Rejected))
 	t.AddRow("requests shed (deadline unmeetable)", report.Uint(m.Shed))
 	t.AddRow("requests canceled/timed out in queue", report.Uint(m.Canceled))
+	if m.OutOfRange > 0 {
+		t.AddRow("out-of-range block ids", report.Uint(m.OutOfRange))
+	}
 	t.AddRow("accesses served", report.Uint(m.Accesses))
 	t.AddRow("reads served", report.Uint(m.Reads))
 	t.AddRow("writes served", report.Uint(m.Writes))

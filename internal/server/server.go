@@ -304,7 +304,8 @@ func (s *Server) WriteID(ctx context.Context, id uint64, block int64, data []byt
 // the queue: current depth (plus itself) times the moving average of
 // observed service time. Zero until the scheduler has served anything.
 func (s *Server) EstimatedWait() time.Duration {
-	return time.Duration(int64(len(s.reqs)+1) * s.svcEWMA.Load())
+	agg := s.svcEWMA.Load()
+	return estimateWait(len(s.reqs), agg, agg)
 }
 
 // estimatedWaitOp is EstimatedWait specialized to one op kind: the
@@ -313,12 +314,65 @@ func (s *Server) EstimatedWait() time.Duration {
 // so a cheap access behind a short queue is not quoted a write-sized
 // wait. Falls back to the aggregate until the kind has been observed.
 func (s *Server) estimatedWaitOp(op opKind) time.Duration {
-	agg := s.svcEWMA.Load()
-	own := s.opEWMA[op].Load()
-	if own == 0 {
+	return estimateWait(len(s.reqs), s.svcEWMA.Load(), s.opEWMA[op].Load())
+}
+
+// estimateWait is the pure quoting law shared by EstimatedWait,
+// estimatedWaitOp, and the retry-after hints: depth queued requests at
+// the aggregate average each, plus the admitted op at its own kind's
+// average (falling back to the aggregate while the kind is unobserved).
+// The result is nonnegative and monotone in depth and in both averages.
+func estimateWait(depth int, agg, own int64) time.Duration {
+	if agg < 0 {
+		agg = 0
+	}
+	if own <= 0 {
 		own = agg
 	}
-	return time.Duration(int64(len(s.reqs))*agg + own)
+	if depth < 0 {
+		depth = 0
+	}
+	return time.Duration(int64(depth)*agg + own)
+}
+
+// opCost is the scheduler's per-op service estimate without queueing —
+// the op kind's EWMA, falling back to the aggregate. The resharder uses
+// it to price the remaining blocks of a fenced range copy into
+// retry-after hints.
+func (s *Server) opCost(op opKind) time.Duration {
+	return estimateWait(0, s.svcEWMA.Load(), s.opEWMA[op].Load())
+}
+
+// SeedServiceEstimates pre-loads zero-valued service EWMAs from another
+// scheduler's snapshot. A freshly started scheduler quotes a zero wait
+// until its first op of each kind completes — harmless at daemon boot
+// (nothing is queued yet), but wrong for the fresh target fleet of a
+// live reshard joining a loaded deployment: its cold shards would
+// under-quote retry-after hints and never shed. Seeding from the old
+// fleet's aggregate closes the cold-start window; observed service times
+// take over from the first real op (the EWMA fold replaces a seeded
+// value at the usual 1/8 weight).
+func (s *Server) SeedServiceEstimates(m Metrics) {
+	seed := func(a *atomic.Int64, d time.Duration) {
+		if d > 0 {
+			a.CompareAndSwap(0, int64(d))
+		}
+	}
+	seed(&s.svcEWMA, m.ServiceEWMA)
+	// Per-op kinds fall back to the kind's own average from the source,
+	// then to its aggregate — the satellite fix: no kind may quote zero
+	// once any estimate exists.
+	for op, d := range map[opKind]time.Duration{
+		opAccess: m.OpEWMA.Access,
+		opRead:   m.OpEWMA.Read,
+		opWrite:  m.OpEWMA.Write,
+		opXRead:  m.OpEWMA.XRead,
+	} {
+		if d == 0 {
+			d = m.ServiceEWMA
+		}
+		seed(&s.opEWMA[op], d)
+	}
 }
 
 // submit enqueues one operation and waits for its result or for ctx; any

@@ -19,6 +19,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/aboram"
@@ -87,6 +89,30 @@ func ShardSeed(seed uint64, shard int) uint64 {
 	return seed ^ (uint64(shard) << 32)
 }
 
+// GenSeed derives the base seed of a reshard generation: the fresh trees
+// a migration builds must not replay the retiring generation's RNG
+// stream. Generation 0 keeps the base seed itself, so deployments that
+// never reshard are unchanged.
+func GenSeed(seed, gen uint64) uint64 {
+	return seed ^ gen*0x9e3779b97f4a7c15
+}
+
+// RouteBlockMigrating is the dual-routing law served during a live
+// reshard from a `from`-shard layout to a `to`-shard layout: block ids
+// below the migrated watermark resolve in the target layout, everything
+// else still resolves in the old one. It returns which layout serves the
+// block (target=true means the new To-shard fleet) plus the shard and
+// shard-local id within that layout. The mid-migration leakage audit
+// predicts per-shard load with exactly this function.
+func RouteBlockMigrating(block, watermark int64, from, to int) (shard int, local int64, target bool) {
+	if block >= 0 && block < watermark {
+		shard, local = RouteBlock(block, to)
+		return shard, local, true
+	}
+	shard, local = RouteBlock(block, from)
+	return shard, local, false
+}
+
 // Shards reports 1: a Server serves one unpartitioned tree.
 func (s *Server) Shards() int { return 1 }
 
@@ -120,16 +146,60 @@ func kindOf(op wire.Op) opKind {
 	}
 }
 
+// routeTable is the atomically published routing state of a Sharded.
+// Outside a migration only cur is set. During one, next holds the
+// target fleet and the watermark/fence fields drive dual routing; every
+// transition publishes a fresh immutable table, so op paths read one
+// consistent snapshot with a single atomic load.
+type routeTable struct {
+	cur       []*Server
+	curShards int
+	numBlocks int64 // global address space served under this table
+
+	next           []*Server // target fleet; nil when no migration is in flight
+	nextShards     int
+	watermark      int64 // blocks [0, watermark) are served by next
+	moveLo, moveHi int64 // range the copier holds fenced; equal = none
+	fence          chan struct{}
+}
+
+// route resolves a global block id under this table.
+func (rt *routeTable) route(block int64) (srv *Server, local int64, target bool) {
+	if rt.next != nil {
+		shard, local, target := RouteBlockMigrating(block, rt.watermark, rt.curShards, rt.nextShards)
+		if target {
+			return rt.next[shard], local, true
+		}
+		return rt.cur[shard], local, false
+	}
+	shard, local := RouteBlock(block, rt.curShards)
+	return rt.cur[shard], local, false
+}
+
+// fenced reports whether writes to block must wait for the in-flight
+// range copy to land.
+func (rt *routeTable) fenced(block int64) bool {
+	return rt.fence != nil && block >= rt.moveLo && block < rt.moveHi
+}
+
 // Sharded partitions the global block address space across P independent
 // engines, each behind its own scheduler goroutine. It implements the
 // same Backend surface as a single Server, so the TCP front end and the
 // daemons are indifferent to the partition width.
 type Sharded struct {
-	shards    []*Server
 	perShard  int64 // blocks per shard engine
-	numBlocks int64 // global: perShard * len(shards)
 	blockB    int
 	encrypted bool
+	cfg       Config
+	gen       atomic.Uint64 // reshard generation of the cur fleet
+
+	rt         atomic.Pointer[routeTable]
+	outOfRange atomic.Uint64
+
+	// reshardMu serializes migration lifecycle transitions (Begin,
+	// cutover, abort completion); op paths never take it.
+	reshardMu sync.Mutex
+	resharder *Resharder // latest migration, possibly finished; nil before the first
 }
 
 // NewSharded starts one scheduler per engine and routes the global
@@ -151,18 +221,28 @@ func NewSharded(engines []Engine, cfg Config) (*Sharded, error) {
 	}
 	sh := &Sharded{
 		perShard:  per,
-		numBlocks: per * int64(len(engines)),
 		blockB:    blockB,
 		encrypted: enc,
+		cfg:       cfg,
 	}
+	servers := make([]*Server, 0, len(engines))
 	for _, e := range engines {
-		sh.shards = append(sh.shards, New(e, cfg))
+		servers = append(servers, New(e, cfg))
 	}
+	sh.rt.Store(&routeTable{
+		cur:       servers,
+		curShards: len(servers),
+		numBlocks: per * int64(len(servers)),
+	})
 	return sh, nil
 }
 
 // NumBlocks returns the global address-space size across all shards.
-func (sh *Sharded) NumBlocks() int64 { return sh.numBlocks }
+// During a migration this is the space both layouts can hold — perShard
+// times the smaller shard count — and after a cutover it reflects the
+// new layout (a grow exposes fresh zero blocks; a shrink retires the
+// tail range by administrative decision).
+func (sh *Sharded) NumBlocks() int64 { return sh.rt.Load().numBlocks }
 
 // BlockSize returns the (shared) block size in bytes.
 func (sh *Sharded) BlockSize() int { return sh.blockB }
@@ -170,65 +250,198 @@ func (sh *Sharded) BlockSize() int { return sh.blockB }
 // Encrypted reports whether the shards have an active data plane.
 func (sh *Sharded) Encrypted() bool { return sh.encrypted }
 
-// Shards reports the partition width.
-func (sh *Sharded) Shards() int { return len(sh.shards) }
+// Shards reports the authoritative partition width.
+func (sh *Sharded) Shards() int { return sh.rt.Load().curShards }
 
 // Shard exposes one shard's scheduler (for per-shard metrics and tests).
-func (sh *Sharded) Shard(i int) *Server { return sh.shards[i] }
+func (sh *Sharded) Shard(i int) *Server { return sh.rt.Load().cur[i] }
 
-// route picks the shard scheduler serving a global block id and the
-// shard-local id to hand it. Out-of-range global ids (>= NumBlocks) still
-// route by modulo: the local id is then >= perShard and the shard engine
-// reports the range error, exactly as the unsharded engine would.
-func (sh *Sharded) route(block int64) (*Server, int64) {
-	shard, local := RouteBlock(block, len(sh.shards))
-	return sh.shards[shard], local
+// Generation reports the reshard generation of the serving layout (0
+// until the first cutover; see SetGeneration).
+func (sh *Sharded) Generation() uint64 { return sh.gen.Load() }
+
+// SetGeneration records the serving layout's reshard generation for
+// status reporting; the daemon sets it from the recovered journal.
+func (sh *Sharded) SetGeneration(gen uint64) { sh.gen.Store(gen) }
+
+// checkRange classifies a global block id against the served address
+// space. Out-of-domain ids are counted; outside a migration they pass
+// through (the shard engine reports the same range error the unsharded
+// engine would), but during one a non-negative id past the served space
+// is refused here — modulo routing would land it in tail space the
+// cutover is about to drop, turning an acknowledged write into silent
+// loss.
+func (sh *Sharded) checkRange(rt *routeTable, block int64) error {
+	if block >= 0 && block < rt.numBlocks {
+		return nil
+	}
+	sh.outOfRange.Add(1)
+	if rt.next != nil && block >= 0 {
+		return fmt.Errorf("server: block %d outside the address space [0,%d) served during resharding", block, rt.numBlocks)
+	}
+	return nil
+}
+
+// retryRouting decides whether a failed shard call should be replayed
+// against a fresh routing table: the server it routed to was retired by
+// a concurrent cutover/abort (ErrClosed) after this op picked up the old
+// table. Any other failure is authoritative.
+func retryRouting(rt, rt2 *routeTable, err error) bool {
+	return errors.Is(err, ErrClosed) && rt2 != rt
 }
 
 // Access obliviously touches a block on its shard.
 func (sh *Sharded) Access(ctx context.Context, block int64) error {
-	srv, local := sh.route(block)
-	return srv.Access(ctx, local)
+	rt := sh.rt.Load()
+	if err := sh.checkRange(rt, block); err != nil {
+		return err
+	}
+	for {
+		srv, local, _ := rt.route(block)
+		err := srv.Access(ctx, local)
+		if rt2 := sh.rt.Load(); retryRouting(rt, rt2, err) {
+			rt = rt2
+			continue
+		}
+		return err
+	}
 }
 
 // Read obliviously fetches a block's content from its shard.
 func (sh *Sharded) Read(ctx context.Context, block int64) ([]byte, error) {
-	srv, local := sh.route(block)
-	return srv.Read(ctx, local)
+	rt := sh.rt.Load()
+	if err := sh.checkRange(rt, block); err != nil {
+		return nil, err
+	}
+	for {
+		srv, local, _ := rt.route(block)
+		data, err := srv.Read(ctx, local)
+		if rt2 := sh.rt.Load(); retryRouting(rt, rt2, err) {
+			rt = rt2
+			continue
+		}
+		return data, err
+	}
 }
 
 // ReadXOR fetches a block as an online-transfer payload from its shard.
 func (sh *Sharded) ReadXOR(ctx context.Context, block int64) (*aboram.XORResult, error) {
-	srv, local := sh.route(block)
-	return srv.ReadXOR(ctx, local)
+	rt := sh.rt.Load()
+	if err := sh.checkRange(rt, block); err != nil {
+		return nil, err
+	}
+	for {
+		srv, local, _ := rt.route(block)
+		res, err := srv.ReadXOR(ctx, local)
+		if rt2 := sh.rt.Load(); retryRouting(rt, rt2, err) {
+			rt = rt2
+			continue
+		}
+		return res, err
+	}
 }
 
 // Write obliviously stores a block's content on its shard.
 func (sh *Sharded) Write(ctx context.Context, block int64, data []byte) error {
-	srv, local := sh.route(block)
-	return srv.Write(ctx, local, data)
+	return sh.WriteID(ctx, 0, block, data)
 }
 
 // WriteID is Write with the client-assigned request id attached; the id
 // travels to the shard's durable engine untouched, so the dedup window
 // semantics are identical to the unsharded path.
+//
+// During a migration the write obeys the fence/re-apply protocol that
+// keeps the background copy linearizable: a write into the range being
+// copied waits out the brief per-range barrier, and a write that lands
+// while its block's routing moves underneath it (the copy may have read
+// the block before this write applied) is re-applied through the new
+// layout before it is acknowledged. Acknowledgment therefore always
+// implies the value is visible in whichever layout serves the block
+// next.
 func (sh *Sharded) WriteID(ctx context.Context, id uint64, block int64, data []byte) error {
-	srv, local := sh.route(block)
-	return srv.WriteID(ctx, id, local, data)
+	rt := sh.rt.Load()
+	if err := sh.checkRange(rt, block); err != nil {
+		return err
+	}
+	var (
+		applied bool
+		last    *Server // shard that holds the most recent apply
+	)
+	for {
+		if rt.fenced(block) {
+			select {
+			case <-rt.fence:
+			case <-ctx.Done():
+				return writeOutcome(applied, ctx.Err())
+			}
+			rt = sh.rt.Load()
+			continue
+		}
+		srv, local, _ := rt.route(block)
+		if err := srv.WriteID(ctx, id, local, data); err != nil {
+			if rt2 := sh.rt.Load(); !applied && retryRouting(rt, rt2, err) {
+				rt = rt2
+				continue
+			}
+			return writeOutcome(applied, err)
+		}
+		applied, last = true, srv
+		rt2 := sh.rt.Load()
+		if rt2 == rt {
+			return nil
+		}
+		// The routing table moved while this write was in flight. If the
+		// block still resolves to the shard that just applied it (and is
+		// not being copied right now), the copy — which reads through the
+		// same shard queue, hence after this write — carries the value.
+		// Otherwise the copy may have read the block before this write
+		// landed, so re-apply through the current table before acking.
+		rt = rt2
+		if !rt.fenced(block) {
+			if cur, _, _ := rt.route(block); cur == last {
+				return nil
+			}
+		}
+	}
+}
+
+// writeOutcome shapes a failure on the re-apply leg of a migrating
+// write: the first apply already landed, so the op may well survive —
+// the returned error must not be (or wrap) one of the "definitively not
+// executed" sentinels the TCP front end maps to StatusOverloaded, or a
+// client would retry an op that was applied.
+func writeOutcome(applied bool, err error) error {
+	if !applied {
+		return err
+	}
+	return fmt.Errorf("server: reshard handoff: write applied to the retiring layout but not confirmed on the target (outcome indeterminate): %v", err)
 }
 
 // RetryAfterHint quotes the serving shard's own queue — overload on one
-// shard must not inflate the backoff of clients bound for another.
+// shard must not inflate the backoff of clients bound for another. A
+// write aimed into the range the migration copier currently holds
+// fenced additionally prices the remaining copy work (one read plus one
+// write per block still to move), so clients shed by migration pressure
+// back off long enough for the barrier to clear.
 func (sh *Sharded) RetryAfterHint(block int64, op wire.Op) time.Duration {
-	srv, _ := sh.route(block)
-	return srv.RetryAfterHint(block, op)
+	rt := sh.rt.Load()
+	srv, _, _ := rt.route(block)
+	hint := srv.RetryAfterHint(block, op)
+	if op == wire.OpWrite && rt.fenced(block) {
+		span := rt.moveHi - rt.moveLo
+		hint += time.Duration(span) * (srv.opCost(opRead) + srv.opCost(opWrite))
+	}
+	return hint
 }
 
 // Durability sums the shard engines' durability counters (max for
-// Epoch); nil when no shard has a durability layer.
+// Epoch); nil when no shard has a durability layer. During a migration
+// the target fleet's counters are included — both fleets fsync on the
+// daemon's behalf.
 func (sh *Sharded) Durability() *wire.DurabilityInfo {
+	rt := sh.rt.Load()
 	var agg *wire.DurabilityInfo
-	for _, s := range sh.shards {
+	for _, s := range append(append([]*Server(nil), rt.cur...), rt.next...) {
 		d := s.Durability()
 		if d == nil {
 			continue
@@ -249,25 +462,52 @@ func (sh *Sharded) Durability() *wire.DurabilityInfo {
 	return agg
 }
 
-// Metrics aggregates all shard schedulers into one fleet-wide snapshot.
+// Metrics aggregates all shard schedulers into one fleet-wide snapshot
+// (the authoritative fleet; a migration's target fleet reports via
+// NextShardMetrics until cutover), plus the router's own counters.
 func (sh *Sharded) Metrics() Metrics {
-	return AggregateMetrics(sh.ShardMetrics())
+	m := AggregateMetrics(sh.ShardMetrics())
+	m.OutOfRange += sh.outOfRange.Load()
+	return m
 }
 
 // ShardMetrics returns each shard scheduler's snapshot, indexed by shard.
 func (sh *Sharded) ShardMetrics() []Metrics {
-	out := make([]Metrics, len(sh.shards))
-	for i, s := range sh.shards {
+	rt := sh.rt.Load()
+	out := make([]Metrics, len(rt.cur))
+	for i, s := range rt.cur {
 		out[i] = s.Metrics()
 	}
 	return out
 }
 
-// Close shuts every shard scheduler down (draining admitted requests)
-// and returns the first error.
+// NextShardMetrics returns the migration target fleet's snapshots, or
+// nil when no migration is in flight. The mid-migration leakage audit
+// reads per-shard served counts across both fleets through this.
+func (sh *Sharded) NextShardMetrics() []Metrics {
+	rt := sh.rt.Load()
+	if rt.next == nil {
+		return nil
+	}
+	out := make([]Metrics, len(rt.next))
+	for i, s := range rt.next {
+		out[i] = s.Metrics()
+	}
+	return out
+}
+
+// Close stops any in-flight migration, then shuts every shard scheduler
+// down (draining admitted requests) and returns the first error.
 func (sh *Sharded) Close() error {
+	sh.reshardMu.Lock()
+	r := sh.resharder
+	sh.reshardMu.Unlock()
+	if r != nil {
+		r.Stop()
+	}
+	rt := sh.rt.Load()
 	var first error
-	for _, s := range sh.shards {
+	for _, s := range append(append([]*Server(nil), rt.cur...), rt.next...) {
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}

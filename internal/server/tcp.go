@@ -31,6 +31,9 @@ type TCPConfig struct {
 	// write whose original already executed is answered from this cache
 	// instead of being applied twice. Default 4096.
 	DedupWindow int
+	// Reshard handles OpReshard admin commands (live P→P′ migration).
+	// The daemon wires it to its reshard controller; nil refuses the op.
+	Reshard func(cmd wire.ReshardCmd, target int) (wire.ReshardInfo, error)
 }
 
 // TCPMetrics counts front-end connection events.
@@ -283,6 +286,23 @@ func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response
 			return t.failure(req, err)
 		}
 		return wire.Response{}
+	case wire.OpReshard:
+		if t.cfg.Reshard == nil {
+			return wire.Response{Err: "reshard: not supported by this server"}
+		}
+		cmd, err := wire.DecodeReshardReq(req.Data)
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		info, err := t.cfg.Reshard(cmd.Cmd, cmd.Target)
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		data, err := wire.EncodeReshardInfo(info)
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		return wire.Response{Data: data}
 	default:
 		return wire.Response{Err: fmt.Sprintf("unsupported op %d", uint8(req.Op))}
 	}

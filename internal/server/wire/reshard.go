@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// OpReshard codec. The request payload is one admin command:
+//
+//	reshard-req  := cmd u8 | target uint16 big-endian
+//
+// where target is the new shard count for ReshardCmdStart and must be 0
+// for every other command. A successful response carries the migration
+// status:
+//
+//	reshard-info := phase u8 | from uint16 | to uint16 |
+//	                watermark uint64 | total uint64 |
+//	                shards uint16 | numBlocks uint64 | gen uint64
+//
+// (all big-endian). Like the rest of the protocol both encodings are
+// canonical: one byte representation per valid value.
+
+// ReshardCmd is an OpReshard admin command.
+type ReshardCmd uint8
+
+const (
+	// ReshardCmdStatus reports migration progress without changing it.
+	ReshardCmdStatus ReshardCmd = 1
+	// ReshardCmdStart begins a migration to Target shards.
+	ReshardCmdStart ReshardCmd = 2
+	// ReshardCmdPause pauses the background copy (serving continues on
+	// the dual-routing layout).
+	ReshardCmdPause ReshardCmd = 3
+	// ReshardCmdResume resumes a paused copy.
+	ReshardCmdResume ReshardCmd = 4
+	// ReshardCmdAbort rolls the migration back to the old layout.
+	ReshardCmdAbort ReshardCmd = 5
+)
+
+// String names a command for logs.
+func (c ReshardCmd) String() string {
+	switch c {
+	case ReshardCmdStatus:
+		return "status"
+	case ReshardCmdStart:
+		return "start"
+	case ReshardCmdPause:
+		return "pause"
+	case ReshardCmdResume:
+		return "resume"
+	case ReshardCmdAbort:
+		return "abort"
+	}
+	return fmt.Sprintf("reshard-cmd(%d)", uint8(c))
+}
+
+// ReshardPhase is where a migration currently stands.
+type ReshardPhase uint8
+
+const (
+	// ReshardPhaseIdle: no migration has run since startup.
+	ReshardPhaseIdle ReshardPhase = 0
+	// ReshardPhaseRunning: the background copy is advancing.
+	ReshardPhaseRunning ReshardPhase = 1
+	// ReshardPhasePaused: copy paused; dual routing still serves.
+	ReshardPhasePaused ReshardPhase = 2
+	// ReshardPhaseAborting: rolling back toward the old layout.
+	ReshardPhaseAborting ReshardPhase = 3
+	// ReshardPhaseDone: cutover complete, target layout authoritative.
+	ReshardPhaseDone ReshardPhase = 4
+	// ReshardPhaseAborted: rollback complete, old layout authoritative.
+	ReshardPhaseAborted ReshardPhase = 5
+	// ReshardPhaseFailed: the copy hit a non-retryable error and froze;
+	// routing still serves the last durable watermark, and a daemon
+	// restart resumes the migration from it.
+	ReshardPhaseFailed ReshardPhase = 6
+)
+
+// String names a phase for logs.
+func (p ReshardPhase) String() string {
+	switch p {
+	case ReshardPhaseIdle:
+		return "idle"
+	case ReshardPhaseRunning:
+		return "running"
+	case ReshardPhasePaused:
+		return "paused"
+	case ReshardPhaseAborting:
+		return "aborting"
+	case ReshardPhaseDone:
+		return "done"
+	case ReshardPhaseAborted:
+		return "aborted"
+	case ReshardPhaseFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("reshard-phase(%d)", uint8(p))
+}
+
+// reshardReqLen and reshardInfoLen are the fixed payload sizes.
+const (
+	reshardReqLen  = 1 + 2
+	reshardInfoLen = 1 + 2 + 2 + 8 + 8 + 2 + 8 + 8
+)
+
+// ReshardReq is one decoded admin command.
+type ReshardReq struct {
+	Cmd    ReshardCmd
+	Target int // new shard count; only for ReshardCmdStart
+}
+
+// EncodeReshardReq renders a command payload.
+func EncodeReshardReq(r ReshardReq) ([]byte, error) {
+	if err := validateReshardReq(r); err != nil {
+		return nil, err
+	}
+	out := make([]byte, reshardReqLen)
+	out[0] = byte(r.Cmd)
+	binary.BigEndian.PutUint16(out[1:3], uint16(r.Target))
+	return out, nil
+}
+
+// DecodeReshardReq parses a command payload.
+func DecodeReshardReq(data []byte) (ReshardReq, error) {
+	if len(data) != reshardReqLen {
+		return ReshardReq{}, fmt.Errorf("wire: reshard request payload %d bytes, want %d", len(data), reshardReqLen)
+	}
+	r := ReshardReq{Cmd: ReshardCmd(data[0]), Target: int(binary.BigEndian.Uint16(data[1:3]))}
+	if err := validateReshardReq(r); err != nil {
+		return ReshardReq{}, err
+	}
+	return r, nil
+}
+
+func validateReshardReq(r ReshardReq) error {
+	switch r.Cmd {
+	case ReshardCmdStart:
+		if r.Target < 1 {
+			return fmt.Errorf("wire: reshard start with target %d shards", r.Target)
+		}
+		if r.Target > 1<<16-1 {
+			return fmt.Errorf("wire: reshard target %d exceeds %d shards", r.Target, 1<<16-1)
+		}
+	case ReshardCmdStatus, ReshardCmdPause, ReshardCmdResume, ReshardCmdAbort:
+		if r.Target != 0 {
+			return fmt.Errorf("wire: reshard %s with target %d, must be 0", r.Cmd, r.Target)
+		}
+	default:
+		return fmt.Errorf("wire: unknown reshard command %d", uint8(r.Cmd))
+	}
+	return nil
+}
+
+// ReshardInfo is the OpReshard status response: the in-flight (or most
+// recent) migration plus the layout currently being served.
+type ReshardInfo struct {
+	Phase     ReshardPhase
+	From, To  int   // migration endpoints; 0 when idle
+	Watermark int64 // blocks [0, Watermark) live in the target layout
+	Total     int64 // blocks the migration must move
+	Shards    int   // authoritative shard count serving now
+	NumBlocks int64 // global address space serving now
+	Gen       uint64
+}
+
+// EncodeReshardInfo renders a status payload.
+func EncodeReshardInfo(info ReshardInfo) ([]byte, error) {
+	if err := validateReshardInfo(info); err != nil {
+		return nil, err
+	}
+	out := make([]byte, reshardInfoLen)
+	out[0] = byte(info.Phase)
+	binary.BigEndian.PutUint16(out[1:3], uint16(info.From))
+	binary.BigEndian.PutUint16(out[3:5], uint16(info.To))
+	binary.BigEndian.PutUint64(out[5:13], uint64(info.Watermark))
+	binary.BigEndian.PutUint64(out[13:21], uint64(info.Total))
+	binary.BigEndian.PutUint16(out[21:23], uint16(info.Shards))
+	binary.BigEndian.PutUint64(out[23:31], uint64(info.NumBlocks))
+	binary.BigEndian.PutUint64(out[31:39], info.Gen)
+	return out, nil
+}
+
+// DecodeReshardInfo parses a status payload.
+func DecodeReshardInfo(data []byte) (ReshardInfo, error) {
+	if len(data) != reshardInfoLen {
+		return ReshardInfo{}, fmt.Errorf("wire: reshard info payload %d bytes, want %d", len(data), reshardInfoLen)
+	}
+	info := ReshardInfo{
+		Phase:     ReshardPhase(data[0]),
+		From:      int(binary.BigEndian.Uint16(data[1:3])),
+		To:        int(binary.BigEndian.Uint16(data[3:5])),
+		Watermark: int64(binary.BigEndian.Uint64(data[5:13])),
+		Total:     int64(binary.BigEndian.Uint64(data[13:21])),
+		Shards:    int(binary.BigEndian.Uint16(data[21:23])),
+		NumBlocks: int64(binary.BigEndian.Uint64(data[23:31])),
+		Gen:       binary.BigEndian.Uint64(data[31:39]),
+	}
+	if err := validateReshardInfo(info); err != nil {
+		return ReshardInfo{}, err
+	}
+	return info, nil
+}
+
+func validateReshardInfo(info ReshardInfo) error {
+	if info.Phase > ReshardPhaseFailed {
+		return fmt.Errorf("wire: unknown reshard phase %d", uint8(info.Phase))
+	}
+	if info.Watermark < 0 || info.Total < 0 || info.NumBlocks < 0 {
+		return fmt.Errorf("wire: negative reshard progress")
+	}
+	if info.From < 0 || info.From > 1<<16-1 || info.To < 0 || info.To > 1<<16-1 ||
+		info.Shards < 0 || info.Shards > 1<<16-1 {
+		return fmt.Errorf("wire: reshard shard count out of range")
+	}
+	return nil
+}

@@ -46,6 +46,11 @@ const (
 	// baseline per-bucket path transfer, or the inline plaintext — see the
 	// XRead codec in xread.go.
 	OpXRead Op = 5
+	// OpReshard (protocol v3) is the live-resharding admin op: the Data
+	// field carries a ReshardReq command (status/start/pause/resume/abort)
+	// and a successful response carries a ReshardInfo payload — see the
+	// codec in reshard.go. Block must be 0.
+	OpReshard Op = 6
 )
 
 // String returns the op's display name.
@@ -61,6 +66,8 @@ func (op Op) String() string {
 		return "info"
 	case OpXRead:
 		return "xread"
+	case OpReshard:
+		return "reshard"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -103,7 +110,7 @@ type Request struct {
 	Op    Op
 	ID    uint64 // client-assigned request id; 0 = no deduplication
 	Block int64
-	Data  []byte // OpWrite payload; nil for every other op
+	Data  []byte // OpWrite payload or OpReshard command; nil otherwise
 }
 
 // Response is the server's answer to one Request.
@@ -203,6 +210,13 @@ func validateRequest(req Request) error {
 		}
 		if req.Block != 0 {
 			return fmt.Errorf("wire: info request with block %d, must be 0", req.Block)
+		}
+	case OpReshard:
+		if req.Block != 0 {
+			return fmt.Errorf("wire: reshard request with block %d, must be 0", req.Block)
+		}
+		if _, err := DecodeReshardReq(req.Data); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("wire: unknown op %d", uint8(req.Op))

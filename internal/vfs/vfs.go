@@ -38,6 +38,9 @@ type FS interface {
 	Rename(oldname, newname string) error
 	// Remove deletes a file.
 	Remove(name string) error
+	// RemoveAll deletes a directory tree (used to retire a whole shard
+	// generation after a reshard cutover). Missing paths are not errors.
+	RemoveAll(dir string) error
 	// ReadDir lists the file names in a directory, sorted.
 	ReadDir(dir string) ([]string, error)
 	// MkdirAll creates a directory and any missing parents.
@@ -62,6 +65,9 @@ func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newn
 
 // Remove implements FS.
 func (OS) Remove(name string) error { return os.Remove(name) }
+
+// RemoveAll implements FS.
+func (OS) RemoveAll(dir string) error { return os.RemoveAll(dir) }
 
 // ReadDir implements FS.
 func (OS) ReadDir(dir string) ([]string, error) {

@@ -5,11 +5,13 @@
 # serving layer's scheduler/TCP front end, and the durability stack with
 # its fault injector), race-mode crash-recovery and exactly-once smokes
 # (kill-recover oracle in both full-snapshot and delta-chain modes,
-# retry/group-commit schedules, single- and multi-shard chaos soak plus
-# its delta-mode variant; internal/check), a race-mode pass of the XOR
-# fast-path oracle (the sweep-shaped differential oracle with
-# Config.XORRead on) and of the shard oracle/isolation/leakage audits,
-# then a short-budget fuzz smoke over the eight native fuzz targets.
+# the live-reshard kill-recover oracle in forward and rollback
+# directions, retry/group-commit schedules, single- and multi-shard
+# chaos soak plus its delta- and reshard-mode variants; internal/check),
+# a race-mode pass of the XOR fast-path oracle (the sweep-shaped
+# differential oracle with Config.XORRead on) and of the shard
+# oracle/isolation/leakage audits (including the mid-migration audit),
+# then a short-budget fuzz smoke over the nine native fuzz targets.
 # Longer campaigns: `make fuzz FUZZTIME=10m`, `make crash`,
 # `make soak SOAKTIME=60s`, or see EXPERIMENTS.md.
 set -eux
@@ -18,7 +20,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim ./internal/server/... ./internal/durable ./internal/faults
-go test -race -short -run '^TestCrashRecoverySchedules$|^TestCrashRecoveryDeltaSchedules$|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak|^TestXORSweepOracle$|^TestXORRemoteSlotsCovered$|^TestShardOracleClean$|^TestShardIsolation$|^TestShardLeak' ./internal/check
+go test -race -short -run '^TestCrashRecoverySchedules$|^TestCrashRecoveryDeltaSchedules$|^TestReshardKillRecover|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak|^TestXORSweepOracle$|^TestXORRemoteSlotsCovered$|^TestShardOracleClean$|^TestShardIsolation$|^TestShardLeak' ./internal/check
 
 FUZZTIME="${FUZZTIME:-5s}"
 go test -run='^$' -fuzz='^FuzzAccess$' -fuzztime="$FUZZTIME" ./internal/ringoram
@@ -28,4 +30,5 @@ go test -run='^$' -fuzz='^FuzzTraceParse$' -fuzztime="$FUZZTIME" ./internal/trac
 go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime="$FUZZTIME" ./internal/server/wire
 go test -run='^$' -fuzz='^FuzzShardRoute$' -fuzztime="$FUZZTIME" ./internal/server
 go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime="$FUZZTIME" ./internal/durable
+go test -run='^$' -fuzz='^FuzzReshardJournal$' -fuzztime="$FUZZTIME" ./internal/durable
 go test -run='^$' -fuzz='^FuzzXORPeel$' -fuzztime="$FUZZTIME" ./internal/secmem
