@@ -29,21 +29,24 @@ fuzz:
 	go test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=$(FUZZTIME) ./internal/trace
 	go test -run='^$$' -fuzz='^FuzzWireDecode$$' -fuzztime=$(FUZZTIME) ./internal/server/wire
 	go test -run='^$$' -fuzz='^FuzzShardRoute$$' -fuzztime=$(FUZZTIME) ./internal/server
+	go test -run='^$$' -fuzz='^FuzzReplStream$$' -fuzztime=$(FUZZTIME) ./internal/server/wire
 	go test -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/durable
 	go test -run='^$$' -fuzz='^FuzzReshardJournal$$' -fuzztime=$(FUZZTIME) ./internal/durable
 	go test -run='^$$' -fuzz='^FuzzXORPeel$$' -fuzztime=$(FUZZTIME) ./internal/secmem
 
-# Long kill-recover campaign: the full (non-short) crash-recovery and
-# live-reshard oracles under the race detector. `make check` runs the
-# -short variants.
+# Long kill-recover campaign: the full (non-short) crash-recovery,
+# live-reshard, and replication-failover oracles under the race
+# detector. `make check` runs the -short variants.
 crash:
-	go test -race -count=1 -run '^TestCrashRecovery|^TestReshardKillRecover' -v ./internal/check
+	go test -race -count=1 -run '^TestCrashRecovery|^TestReshardKillRecover|^TestFailover' -v ./internal/check
 
 # Chaos soak: live daemon under kill -9 schedules, overload bursts, and a
 # network blackout, checked for exactly-once and zero acked loss
 # (internal/check RunSoak) — run unsharded, against a 2-shard fleet with
-# cross-shard apply checks, and in reshard mode (live 2→3→2 migrations
-# under the same fire). SOAKTIME sets the per-incarnation wall budget
+# cross-shard apply checks, in reshard mode (live 2→3→2 migrations
+# under the same fire), and in replication mode (semi-sync shipping to a
+# chaos-partitioned standby, promoted and re-verified at the end).
+# SOAKTIME sets the per-incarnation wall budget
 # (e.g. SOAKTIME=30s); `make check` runs the -short variant.
 SOAKTIME ?= 5s
 soak:

@@ -9,6 +9,7 @@
 //	abload -dist uniform -readfrac 0.9          # read-heavy uniform workload
 //	abload -dist zipf -zipf 1.2                 # skewed popularity
 //	abload -faults 0.02 -retries 5              # chaos mode: injected resets + retrying clients
+//	abload -addr standby:7314 -promote          # admin: promote a warm standby to primary
 //
 // Block choice is zipfian (default, s>1 over the store's block range) or
 // uniform; the read fraction splits the remaining ops between Read and
@@ -104,6 +105,7 @@ func run(args []string, out io.Writer) error {
 	keyHex := fs.String("key", devKey, "with -xor: 16-byte AES data key, hex (must match the server's -key)")
 	reshardTo := fs.Int("reshard", 0, "trigger a live server migration to this many shards mid-run and report before/during/after latency (0 = off)")
 	reshardDelay := fs.Duration("reshard-delay", 200*time.Millisecond, "with -reshard: how long into the run to send the start command")
+	promote := fs.Bool("promote", false, "send OpPromote to -addr (promote a standby to primary) and exit without running load")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,6 +149,21 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-key must be 16 bytes, got %d", len(k))
 		}
 		xorKey = k
+	}
+
+	// -promote is an admin verb, not a workload: promote and report.
+	if *promote {
+		c, err := server.Dial(*addr, *timeout)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", *addr, err)
+		}
+		defer c.Close()
+		pi, err := c.Promote()
+		if err != nil {
+			return fmt.Errorf("promote: %w", err)
+		}
+		_, err = fmt.Fprintf(out, "promoted %s: term %d, %d shards\n", *addr, pi.Term, pi.Shards)
+		return err
 	}
 
 	// One probe connection learns the store geometry before the fleet dials.
@@ -202,12 +219,18 @@ func run(args []string, out io.Writer) error {
 	close(runDone)
 	elapsed := time.Since(start)
 
-	// Re-probe after the run: the durability counters in the Info tail
-	// are cumulative, so the end-of-run values reflect this workload.
-	if info.Durability != nil {
+	// Re-probe after the run: the durability and replication counters in
+	// the Info tail are cumulative, so the end-of-run values reflect this
+	// workload (e.g. how far a standby's ack watermark trailed it).
+	if info.Durability != nil || info.Replication != nil {
 		if probe, err := server.Dial(*addr, *timeout); err == nil {
-			if end, err := probe.Info(); err == nil && end.Durability != nil {
-				info.Durability = end.Durability
+			if end, err := probe.Info(); err == nil {
+				if end.Durability != nil {
+					info.Durability = end.Durability
+				}
+				if end.Replication != nil {
+					info.Replication = end.Replication
+				}
 			}
 			probe.Close()
 		}
@@ -304,6 +327,25 @@ func run(args []string, out io.Writer) error {
 		t.AddRow("server checkpoint pause (cumulative)", time.Duration(d.SnapshotPauseNanos).Round(time.Microsecond).String())
 		t.AddRow("server last checkpoint bytes", report.Int(int64(d.LastSnapshotBytes)))
 		t.AddNote("durability rows are server-lifetime counters (summed across shards), not per-run deltas")
+	}
+	if r := info.Replication; r != nil {
+		role := "unknown"
+		switch r.Role {
+		case wire.RolePrimary:
+			role = "primary"
+		case wire.RoleReplica:
+			role = "replica"
+		}
+		t.AddRow("replication role", fmt.Sprintf("%s (term %d, attached=%v)", role, r.Term, r.Attached))
+		if r.Role == wire.RolePrimary {
+			t.AddRow("replication shipped / acked seq", fmt.Sprintf("%d / %d", r.ShippedSeq, r.AckedSeq))
+			t.AddRow("replication lag", fmt.Sprintf("%d records, %d B", r.ShippedSeq-r.AckedSeq, r.LagBytes))
+			if !r.Attached {
+				t.AddNote("no standby attached: semi-sync writes degrade to local-only acks")
+			}
+		} else {
+			t.AddRow("replication applied seq", report.Int(int64(r.AckedSeq)))
+		}
 	}
 	t.AddRow("wall time", elapsed.Round(time.Millisecond).String())
 	t.AddRow("throughput (ops/s)", report.Float(float64(total)/elapsed.Seconds(), 1))

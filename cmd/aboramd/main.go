@@ -9,6 +9,8 @@
 //	aboramd -maxconns 64 -idle 30s           # front-end limits
 //	aboramd -shards 4                        # 4 trees, block b on shard b mod 4
 //	aboramd -data-dir d -reshard 3           # live-migrate to 3 shards at boot
+//	aboramd -data-dir d -ack replica         # semi-sync: ack after standby fsync
+//	aboramd -data-dir r -replica-of host:7314 # warm standby mirroring host:7314
 //
 // With -shards P the daemon partitions the block address space across P
 // independent ORAM trees (stable modulo routing), each behind its own
@@ -51,6 +53,23 @@
 // the serving layout once a migration has ever run. See README, "Live
 // resharding".
 //
+// Warm-standby replication: a durable primary serves the replication
+// sub-protocol on its ordinary port — a second daemon started with
+// -replica-of <addrs> dials it, mirrors every shard's snapshot+WAL
+// byte-for-byte into its own -data-dir, and acknowledges durable
+// watermarks. With -ack=replica the primary acknowledges a client
+// write only after the standby has fsynced it (semi-sync; a slow or
+// partitioned link degrades to local-only acks after a bounded wait
+// rather than wedging service). The standby refuses data ops (clients
+// rotate to the primary via its not-primary status) until the
+// OpPromote admin op stops the mirror, opens the mirrored fleet,
+// bumps the fencing term, and swaps it in as the serving backend —
+// after which the deposed primary's stale stream is rejected
+// (split-brain safe) and the promoted node itself ships to the next
+// standby. Replication covers the boot-time layout: detach standbys
+// before starting a live reshard. See README, "Replication &
+// failover".
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
 // lets in-flight connections finish (up to -drain), serves everything
 // already queued, then prints the scheduler counters and exits. SIGUSR1
@@ -70,6 +89,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -111,6 +131,13 @@ type fleetCfg struct {
 	deltaSnaps   bool
 	baseEvery    int
 	compactEvery int
+
+	// ships, when set, are wired into the fleet of generation shipGen
+	// (the boot-time layout) as it opens: shard i's engine streams its
+	// durability events through ships[i]. Reshard target generations are
+	// never shipped — replication covers the layout the standby joined.
+	ships   []*durable.Shipper
+	shipGen uint64
 }
 
 // open builds generation gen's fleet of shards engines (durable when a
@@ -133,7 +160,12 @@ func (fc *fleetCfg) open(gen uint64, shards int) ([]server.Engine, []*durable.En
 			continue
 		}
 		dir := durable.ShardDir(fc.dataDir, gen, i, shards)
+		var ship *durable.Shipper
+		if fc.ships != nil && gen == fc.shipGen && len(fc.ships) == shards {
+			ship = fc.ships[i]
+		}
 		deng, err := durable.Open(durable.Options{
+			Ship:             ship,
 			Dir:              dir,
 			ORAM:             oramOpt,
 			SnapshotEvery:    fc.snapEvery,
@@ -211,6 +243,8 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	reshardTo := fs.Int("reshard", 0, "begin a live migration to this many shards at startup (0 = none); also available at runtime via the OpReshard admin op")
 	reshardRange := fs.Int64("reshard-range", 64, "blocks fenced and copied per migration step (smaller = shorter write stalls)")
 	reshardPace := fs.Duration("reshard-pace", 0, "sleep between migration steps, bounding the copy's share of scheduler time (0 = as fast as shedding allows)")
+	ackMode := fs.String("ack", "local", "write acknowledgment policy with -data-dir: local (primary fsync) or replica (semi-sync: ack after the standby fsyncs the shipped record; degrades to local after a bounded wait when the link is down)")
+	replicaOf := fs.String("replica-of", "", "run as a warm standby of the primary at this comma-separated address list: mirror its log into -data-dir and refuse data ops until OpPromote")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,6 +265,20 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	}
 	if *reshardTo < 0 || *reshardTo > 1<<16-1 {
 		return fmt.Errorf("-reshard %d out of range [1, %d]", *reshardTo, 1<<16-1)
+	}
+	if *ackMode != "local" && *ackMode != "replica" {
+		return fmt.Errorf("-ack %q: want local or replica", *ackMode)
+	}
+	if *ackMode == "replica" && *dataDir == "" {
+		return fmt.Errorf("-ack=replica requires -data-dir (semi-sync gates acks on the standby fsyncing the shipped log)")
+	}
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-replica-of requires -data-dir (the standby mirrors the primary's log into it)")
+		}
+		if *reshardTo != 0 {
+			return fmt.Errorf("-replica-of is incompatible with -reshard (a standby mirrors one fixed layout)")
+		}
 	}
 
 	fc := &fleetCfg{
@@ -253,6 +301,18 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		deltaSnaps:   *deltaSnaps,
 		baseEvery:    *baseEvery,
 		compactEvery: *compactEvery,
+	}
+
+	if *replicaOf != "" {
+		return runReplica(replicaArgs{
+			out: out, stop: stop, onReady: onReady, fc: fc,
+			addr:      *addr,
+			primaries: strings.Split(*replicaOf, ","),
+			shards:    *shards,
+			semiSync:  *ackMode == "replica",
+			queue:     *queue, batch: *batch, maxconns: *maxconns,
+			idle: *idle, writeTO: *writeTO, reqTO: *reqTO, drain: *drain,
+		})
 	}
 
 	// The reshard journal — not the -shards flag — is authoritative for
@@ -283,6 +343,14 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		}
 	}
 
+	// Durable fleets ship their log: the replication sub-protocol is
+	// served on the ordinary port (OpReplJoin) whether or not a standby
+	// ever attaches. The shippers must exist before the engines open.
+	if *dataDir != "" {
+		fc.ships = makeShips(lay.Shards, *ackMode == "replica", out)
+		fc.shipGen = lay.Gen
+	}
+
 	engines, dengs, err := fc.open(lay.Gen, lay.Shards)
 	if err != nil {
 		return err
@@ -304,13 +372,34 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 		maxGen:    lay.MaxGen,
 		cur:       dengs,
 	}
-	tsrv := server.NewTCP(srv, server.TCPConfig{
+	tcfg := server.TCPConfig{
 		MaxConns:       *maxconns,
 		IdleTimeout:    *idle,
 		WriteTimeout:   *writeTO,
 		RequestTimeout: *reqTO,
 		Reshard:        rc.handle,
-	})
+	}
+	if fc.ships != nil {
+		hub := &server.ReplicaHub{
+			Shippers: fc.ships,
+			Term:     fleetTerm(dengs),
+			Nudge: func(shard int) {
+				srv.Access(context.Background(), int64(shard))
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, "aboramd: "+format+"\n", args...)
+			},
+		}
+		tcfg.ReplJoin = hub.Serve
+		tcfg.Replication = hub.Info
+		// OpPromote against a node already serving as primary is an
+		// idempotent no-op: an operator script retrying a failover
+		// converges instead of erroring.
+		tcfg.Promote = func() (wire.PromoteInfo, error) {
+			return wire.PromoteInfo{Term: hub.Term(), Shards: srv.Shards()}, nil
+		}
+	}
+	tsrv := server.NewTCP(srv, tcfg)
 	if *dataDir != "" {
 		// Seed the retry-dedup window with the ids recovered from every
 		// shard's snapshot header and WAL: a client write retried across
@@ -346,6 +435,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal, onReady func(net.A
 	fmt.Fprintf(out, "aboramd: serving %s (levels=%d, %d blocks of %d B, encrypted=%v, xor=%v, shards=%d, gen=%d) on %s\n",
 		*scheme, *levels, srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), *xor, srv.Shards(), srv.Generation(), ln.Addr())
 	fmt.Fprintf(out, "aboramd: queue=%d batch=%d maxconns=%d shards=%d\n", *queue, *batch, *maxconns, srv.Shards())
+	if fc.ships != nil {
+		fmt.Fprintf(out, "aboramd: replication: shipping enabled, ack policy %s\n", *ackMode)
+	}
 
 	if *reshardTo > 0 {
 		if err := rc.start(*reshardTo); err != nil {
@@ -368,6 +460,7 @@ wait:
 		case sig := <-stop:
 			if sig == syscall.SIGUSR1 {
 				dumpCounters(out, srv, tsrv, rc.engines())
+				dumpReplication(out, fc.ships)
 				continue
 			}
 			fmt.Fprintf(out, "aboramd: %v, draining (budget %v)\n", sig, *drain)
@@ -386,6 +479,7 @@ wait:
 	if err := dumpCounters(out, srv, tsrv, rc.engines()); err != nil {
 		return err
 	}
+	dumpReplication(out, fc.ships)
 	fmt.Fprintln(out, "aboramd: bye")
 	return nil
 }
@@ -401,10 +495,10 @@ type reshardController struct {
 	pace      time.Duration
 
 	mu     sync.Mutex
-	gen    uint64             // authoritative generation
-	maxGen uint64             // highest generation the journal mentions
-	cur    []*durable.Engine  // serving fleet (nil entries when in-memory)
-	target []*durable.Engine  // in-flight migration's fleet, nil when none
+	gen    uint64            // authoritative generation
+	maxGen uint64            // highest generation the journal mentions
+	cur    []*durable.Engine // serving fleet (nil entries when in-memory)
+	target []*durable.Engine // in-flight migration's fleet, nil when none
 }
 
 // genJournal binds the shared on-disk journal to one migration's
@@ -483,6 +577,13 @@ func (rc *reshardController) start(to int) error {
 	from := rc.srv.Shards()
 	if to == from {
 		return fmt.Errorf("reshard: already serving %d shards", from)
+	}
+	// Replication covers the layout the standby joined: a migration would
+	// cut service over to a fleet the standby never hears about.
+	for _, s := range rc.fc.ships {
+		if s != nil && s.Stats().Attached {
+			return fmt.Errorf("reshard: unsupported while a standby is attached (detach the replica first)")
+		}
 	}
 	if to < 1 || to > 1<<16-1 {
 		return fmt.Errorf("reshard: target %d out of range [1, %d]", to, 1<<16-1)
@@ -595,6 +696,256 @@ func (rc *reshardController) finished(gen uint64, phase wire.ReshardPhase, err e
 		// Failed: both fleets stay open — routing keeps serving the last
 		// durable watermark, and a restart resumes the migration.
 		fmt.Fprintf(rc.fc.out, "aboramd: reshard: migration to generation %d failed: %v (serving continues; restart resumes)\n", gen, err)
+	}
+}
+
+// replicaArgs carries the flag subset the standby serving path needs.
+type replicaArgs struct {
+	out       io.Writer
+	stop      <-chan os.Signal
+	onReady   func(net.Addr)
+	fc        *fleetCfg
+	addr      string
+	primaries []string
+	shards    int
+	semiSync  bool
+	queue     int
+	batch     int
+	maxconns  int
+	idle      time.Duration
+	writeTO   time.Duration
+	reqTO     time.Duration
+	drain     time.Duration
+}
+
+// runReplica is the -replica-of serving loop: mirror the primary's log
+// into the data directory, refuse data ops (clients rotate to the
+// primary), and stand ready for OpPromote — which stops the mirror,
+// opens the mirrored fleet under a bumped fencing term, and swaps it in
+// as the serving backend.
+func runReplica(a replicaArgs) error {
+	// Geometry must match the primary's: both daemons are launched from
+	// the same configuration. A probe tree derives it without state.
+	probe, err := aboram.New(a.fc.oram(server.ShardSeed(server.GenSeed(a.fc.seed, 0), 0)))
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(a.out, "aboramd: "+format+"\n", args...)
+	}
+
+	sess := server.NewReplicaSession(server.ReplicaSessionConfig{
+		Addrs:   a.primaries,
+		DataDir: a.fc.dataDir,
+		Shards:  a.shards,
+		Logf:    logf,
+	})
+	go sess.Run()
+
+	// Promotion state: empty until OpPromote succeeds, after which this
+	// node is a full primary — serving fleet plus a hub shipping to the
+	// next standby.
+	var (
+		mu    sync.Mutex
+		psrv  *server.Sharded
+		pengs []*durable.Engine
+		hub   *server.ReplicaHub
+	)
+	term := func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if pengs != nil {
+			return fleetTerm(pengs)()
+		}
+		return sess.Info().Term
+	}
+	stub := server.NewReplicaStub(probe.NumBlocks()*int64(a.shards), probe.BlockSize(),
+		probe.Encrypted(), a.shards, term)
+
+	var tsrv *server.TCPServer
+	promote := func() (wire.PromoteInfo, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if psrv != nil {
+			// Idempotent: a retried promote reports the serving state.
+			return wire.PromoteInfo{Term: fleetTerm(pengs)(), Shards: a.shards}, nil
+		}
+		// The mirrors must be quiescent before recovery opens their
+		// directories.
+		sess.Stop()
+		a.fc.ships = makeShips(a.shards, a.semiSync, a.out)
+		a.fc.shipGen = 0
+		engines, dengs, err := a.fc.open(0, a.shards)
+		if err != nil {
+			return wire.PromoteInfo{}, fmt.Errorf("promote: %w", err)
+		}
+		newTerm := fleetTerm(dengs)() + 1
+		for _, d := range dengs {
+			if err := d.SetTerm(newTerm); err != nil {
+				closeEngines(a.out, dengs)
+				return wire.PromoteInfo{}, fmt.Errorf("promote: fencing term: %w", err)
+			}
+		}
+		srv, err := server.NewSharded(engines, server.Config{Queue: a.queue, Batch: a.batch})
+		if err != nil {
+			closeEngines(a.out, dengs)
+			return wire.PromoteInfo{}, fmt.Errorf("promote: %w", err)
+		}
+		for _, d := range dengs {
+			tsrv.SeedDedup(d.RecentWriteIDs())
+		}
+		hub = &server.ReplicaHub{
+			Shippers: a.fc.ships,
+			Term:     fleetTerm(dengs),
+			Nudge: func(shard int) {
+				srv.Access(context.Background(), int64(shard))
+			},
+			Logf: logf,
+		}
+		psrv, pengs = srv, dengs
+		tsrv.SwapBackend(srv)
+		fmt.Fprintf(a.out, "aboramd: promoted to primary at term %d (%d shards)\n", newTerm, a.shards)
+		return wire.PromoteInfo{Term: newTerm, Shards: a.shards}, nil
+	}
+
+	tsrv = server.NewTCP(stub, server.TCPConfig{
+		MaxConns:       a.maxconns,
+		IdleTimeout:    a.idle,
+		WriteTimeout:   a.writeTO,
+		RequestTimeout: a.reqTO,
+		Promote:        promote,
+		Replication: func() *wire.ReplicationInfo {
+			mu.Lock()
+			h := hub
+			mu.Unlock()
+			if h != nil {
+				return h.Info()
+			}
+			return sess.Info()
+		},
+		ReplJoin: func(conn net.Conn) error {
+			mu.Lock()
+			h := hub
+			mu.Unlock()
+			if h == nil {
+				return fmt.Errorf("standby: not shipping a log (promote first)")
+			}
+			return h.Serve(conn)
+		},
+	})
+
+	ln, err := net.Listen("tcp", a.addr)
+	if err != nil {
+		sess.Stop()
+		return err
+	}
+	if a.onReady != nil {
+		a.onReady(ln.Addr())
+	}
+	fmt.Fprintf(a.out, "aboramd: standby mirroring %s (%d shards) on %s; data ops refused until promotion\n",
+		strings.Join(a.primaries, ","), a.shards, ln.Addr())
+
+	served := make(chan error, 1)
+	go func() { served <- tsrv.Serve(ln) }()
+
+	dump := func() {
+		mu.Lock()
+		srv, dengs := psrv, pengs
+		mu.Unlock()
+		if srv != nil {
+			dumpCounters(a.out, srv, tsrv, dengs)
+			dumpReplication(a.out, a.fc.ships)
+			return
+		}
+		si := sess.Info()
+		fmt.Fprintf(a.out, "aboramd: standby: attached=%v term=%d applied=%d records\n",
+			si.Attached, si.Term, si.AckedSeq)
+	}
+
+wait:
+	for {
+		select {
+		case err := <-served:
+			sess.Stop()
+			mu.Lock()
+			srv, dengs := psrv, pengs
+			mu.Unlock()
+			if srv != nil {
+				srv.Close()
+				closeEngines(a.out, dengs)
+			}
+			return err
+		case sig := <-a.stop:
+			if sig == syscall.SIGUSR1 {
+				dump()
+				continue
+			}
+			fmt.Fprintf(a.out, "aboramd: %v, draining (budget %v)\n", sig, a.drain)
+			break wait
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), a.drain)
+	defer cancel()
+	if err := tsrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(a.out, "aboramd: forced close of lingering connections: %v\n", err)
+	}
+	<-served
+	sess.Stop()
+	mu.Lock()
+	srv, dengs := psrv, pengs
+	mu.Unlock()
+	if srv != nil {
+		srv.Close()
+		closeEngines(a.out, dengs)
+	}
+	dump()
+	fmt.Fprintln(a.out, "aboramd: bye")
+	return nil
+}
+
+// makeShips builds shard i's log shipper for a replication-capable
+// primary. semiSync is the -ack=replica policy: the engine acknowledges
+// a write only after the standby fsyncs it (bounded by the shipper's
+// ack timeout, after which the link degrades to async).
+func makeShips(shards int, semiSync bool, out io.Writer) []*durable.Shipper {
+	ships := make([]*durable.Shipper, shards)
+	for i := range ships {
+		ships[i] = &durable.Shipper{
+			Shard:    i,
+			SemiSync: semiSync,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, "aboramd: "+format+"\n", args...)
+			},
+		}
+	}
+	return ships
+}
+
+// fleetTerm derives the fleet's fencing term: the max across shards.
+func fleetTerm(dengs []*durable.Engine) func() uint64 {
+	return func() uint64 {
+		var t uint64
+		for _, d := range dengs {
+			if d == nil {
+				continue
+			}
+			if v := d.Term(); v > t {
+				t = v
+			}
+		}
+		return t
+	}
+}
+
+// dumpReplication prints one line per shard's replication shipper; a
+// nil slice (in-memory daemon) prints nothing.
+func dumpReplication(out io.Writer, ships []*durable.Shipper) {
+	for i, s := range ships {
+		st := s.Stats()
+		fmt.Fprintf(out, "aboramd: shard %d replication: attached=%v shipped=%d acked=%d lag=%d records/%d B degraded=%v, %d boots, %d send errors, %d ack waits (%d timed out)\n",
+			i, st.Attached, st.Seq, st.AckedSeq, st.LagRecords, st.LagBytes, st.Degraded,
+			st.Boots, st.SendErrors, st.AckWaits, st.AckTimeouts)
 	}
 }
 

@@ -391,3 +391,111 @@ func TestDaemonShardsFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonReplicationFailover runs the full two-daemon failover story:
+// a durable semi-sync primary, a -replica-of standby mirroring it over
+// the wire, writes acknowledged only after the standby's fsync, then
+// primary shutdown, OpPromote on the standby, and every write read back
+// from the promoted fleet. The client dials the standby's address first,
+// so not-primary rotation is exercised on the way in.
+func TestDaemonReplicationFailover(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	paddr, pout, psig, pshutdown := startDaemonSignals(t,
+		"-data-dir", pdir, "-shards", "2", "-ack", "replica", "-group-commit", "-drain", "1s")
+	raddr, rout, rshutdown := startDaemon(t,
+		"-data-dir", rdir, "-shards", "2", "-replica-of", paddr, "-drain", "1s")
+
+	// Standby first in the address list: every op starts with a
+	// not-primary rotation.
+	c, err := server.DialConfig(raddr+","+paddr, server.ClientConfig{Timeout: 5 * time.Second, MaxAttempts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int64][]byte)
+	for b := int64(0); b < 10; b++ {
+		d := make([]byte, info.BlockSize)
+		for i := range d {
+			d[i] = byte(b) ^ byte(i*3)
+		}
+		if err := c.Write(b, d); err != nil {
+			t.Fatalf("write %d: %v", b, err)
+		}
+		want[b] = d
+	}
+	if st := c.Stats(); st.NotPrimary == 0 || st.Failovers == 0 {
+		t.Errorf("client never rotated off the standby: %+v", st)
+	}
+
+	// Wait until the primary reports the standby attached and fully
+	// acknowledged (semi-sync has it there already; the poll guards
+	// scheduling noise).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		pc, err := server.Dial(paddr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := pc.Info()
+		pc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := pi.Replication; r != nil && r.Attached && r.AckedSeq == r.ShippedSeq && r.ShippedSeq > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never drained: %+v", pi.Replication)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// SIGUSR1 on the primary must include the replication columns.
+	psig <- syscall.SIGUSR1
+	usr1Deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(pout.String(), "replication: attached=true") {
+		if time.Now().After(usr1Deadline) {
+			t.Fatalf("SIGUSR1 dump lacks replication lines:\n%s", pout.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Fail the primary over: stop it, promote the standby, read back.
+	pshutdown()
+	rc, err := server.Dial(raddr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := rc.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	rc.Close()
+	if pi.Term == 0 || pi.Shards != 2 {
+		t.Fatalf("promote info %+v, want term >= 1 and 2 shards", pi)
+	}
+	for b, d := range want {
+		got, err := c.Read(b)
+		if err != nil {
+			t.Fatalf("read %d after failover: %v", b, err)
+		}
+		if !bytes.Equal(got, d) {
+			t.Fatalf("block %d diverged after failover", b)
+		}
+	}
+
+	rshutdown()
+	s := rout.String()
+	for _, wantLine := range []string{"standby mirroring", "promoted to primary at term 1"} {
+		if !strings.Contains(s, wantLine) {
+			t.Errorf("standby output missing %q:\n%s", wantLine, s)
+		}
+	}
+	if !strings.Contains(pout.String(), "ack policy replica") {
+		t.Errorf("primary banner missing semi-sync ack policy:\n%s", pout.String())
+	}
+}

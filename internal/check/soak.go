@@ -72,6 +72,19 @@ type SoakOptions struct {
 	// the deterministic crash schedules — background checkpoint
 	// publishes, so kills race genuinely concurrent publish goroutines.
 	Delta bool
+	// Replicate runs the whole soak with warm-standby replication live:
+	// every incarnation's shards ship their durability stream (semi-sync,
+	// short ack timeout) to one long-lived ReplicaSession mirroring into
+	// a sibling replica directory, while a chaos goroutine subjects the
+	// replication link to blackouts (hard drops) and one-way partitions
+	// — frames vanishing while acks flow, and the reverse. After the
+	// serving budget a final clean incarnation lets the link drain
+	// (bootstrap + acked == shipped), then the replica directory is
+	// promoted and every owned block re-verified through the promoted
+	// fleet: acked-write loss on the standby fails the soak exactly as
+	// it would on the primary. Incompatible with Reshard (a standby pins
+	// one layout generation).
+	Replicate bool
 	// Dir is the engine data directory (must be empty). With Shards > 1
 	// each shard keeps its own snapshot+WAL under Dir/shard-<i>, the
 	// daemon's layout.
@@ -131,6 +144,12 @@ type SoakReport struct {
 	FinalShards       int    // serving width after the plan completed
 	FinalGen          uint64 // serving generation after the plan completed
 
+	ReplBoots       uint64 // replica bootstraps completed (Replicate mode)
+	ReplDegraded    uint64 // semi-sync waits that timed out into local-only acks
+	ReplSendErrors  uint64 // frame sends that dropped the replication link
+	ReplPromoteTerm uint64 // fencing term the promoted replica took
+	ReplicaReads    uint64 // blocks verified through the promoted replica
+
 	Violations []string // exactly-once / shed-contract violations
 }
 
@@ -144,6 +163,10 @@ func (r *SoakReport) String() string {
 	if r.ReshardsStarted > 0 {
 		s += fmt.Sprintf(", %d reshards (%d resumed, %d completed) → %d shards gen %d",
 			r.ReshardsStarted, r.ReshardsResumed, r.ReshardsCompleted, r.FinalShards, r.FinalGen)
+	}
+	if r.ReplicaReads > 0 || r.ReplBoots > 0 {
+		s += fmt.Sprintf(", replication: %d boots, %d degradations, %d send errors, %d replica reads at term %d",
+			r.ReplBoots, r.ReplDegraded, r.ReplSendErrors, r.ReplicaReads, r.ReplPromoteTerm)
 	}
 	return s
 }
@@ -555,12 +578,14 @@ func runBurst(st *soakState, seed uint64, numBlocks int64, stats *burstStats) {
 	}
 }
 
-
 // RunSoak runs the chaos soak and returns its report; the error is
 // non-nil when any exactly-once, shed-contract, or cross-shard
 // violation was found.
 func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	opt = opt.withDefaults()
+	if opt.Replicate && opt.Reshard {
+		return nil, errors.New("soak: Replicate and Reshard are mutually exclusive (a standby pins one layout generation)")
+	}
 	r := rng.New(opt.Seed ^ 0x736f616b)
 	rep := &SoakReport{Seed: opt.Seed, Shards: opt.Shards}
 
@@ -603,6 +628,44 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			r: rng.New(opt.Seed ^ (0x77<<8 | uint64(i))), st: st,
 			per: make(map[int64]*blockState),
 		}
+	}
+
+	// Replicate mode: one standby session lives across every primary
+	// incarnation, redialing whatever address the supervisor publishes;
+	// its link runs through a faults.Conn so the chaos goroutine can
+	// partition it one direction at a time or drop it outright.
+	var sess *server.ReplicaSession
+	var link *soakReplLink
+	if opt.Replicate {
+		link = &soakReplLink{}
+		linkIn := faults.New(faults.Config{Seed: r.Uint64()})
+		sess = server.NewReplicaSession(server.ReplicaSessionConfig{
+			Addrs:         []string{"soak-primary"}, // placeholder; the dial hook resolves st.addr
+			DataDir:       opt.Dir + "-replica",
+			Shards:        opt.Shards,
+			Timeout:       250 * time.Millisecond,
+			RedialBackoff: 15 * time.Millisecond,
+			Dial: func(string) (net.Conn, error) {
+				addr, _ := st.addr.Load().(string)
+				if addr == "" {
+					return nil, errors.New("soak: primary down")
+				}
+				raw, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+				if err != nil {
+					return nil, err
+				}
+				c := faults.WrapConn(raw, linkIn)
+				link.set(c)
+				return c, nil
+			},
+		})
+		go sess.Run()
+		defer sess.Stop()
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			runLinkChaos(st, link, seed)
+		}(r.Uint64())
 	}
 
 	var bstats burstStats
@@ -685,7 +748,15 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			gen, shards = lay.Gen, lay.Shards
 		}
 
-		engines, openErr := soakFleet(opt, fs, gen, shards)
+		// Replicate mode ships every shard's durability stream semi-sync;
+		// the short ack timeout means a partitioned link degrades to
+		// local-only acks instead of wedging the schedulers.
+		var ships []*durable.Shipper
+		if opt.Replicate {
+			ships = soakShips(shards)
+		}
+
+		engines, openErr := soakFleet(opt, fs, gen, shards, ships)
 		if openErr != nil {
 			if err := crashSkip("recovery", openErr); err != nil {
 				return rep, err
@@ -718,7 +789,7 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			}
 			if migrate {
 				var terr error
-				if targets, terr = soakFleet(opt, fs, tgen, tto); terr != nil {
+				if targets, terr = soakFleet(opt, fs, tgen, tto, nil); terr != nil {
 					closeReshardFleet(engines)
 					if err := crashSkip("target recovery", terr); err != nil {
 						return rep, err
@@ -782,10 +853,23 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			}
 			go res.Run() // terminal state is adjudicated by the journal
 		}
-		tsrv := server.NewTCP(srv, server.TCPConfig{
+		tcfg := server.TCPConfig{
 			RequestTimeout: 250 * time.Millisecond,
 			DedupWindow:    4096,
-		})
+		}
+		if opt.Replicate {
+			hub := &server.ReplicaHub{
+				Shippers: ships,
+				Term:     fleetTerm(engines),
+				Nudge: func(shard int) {
+					srv.Access(context.Background(), int64(shard))
+				},
+				HeartbeatEvery: 20 * time.Millisecond,
+			}
+			tcfg.ReplJoin = hub.Serve
+			tcfg.Replication = hub.Info
+		}
+		tsrv := server.NewTCP(srv, tcfg)
 		for _, eng := range append(append([]*durable.Engine(nil), engines...), targets...) {
 			tsrv.SeedDedup(eng.RecentWriteIDs())
 		}
@@ -825,6 +909,12 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			rep.EngineDeltas += est.DeltasWritten
 			rep.EngineCompactions += est.CompactionRuns
 			eng.Close()
+		}
+		for _, s := range ships {
+			sst := s.Stats()
+			rep.ReplBoots += sst.Boots
+			rep.ReplDegraded += sst.AckTimeouts
+			rep.ReplSendErrors += sst.SendErrors
 		}
 		if crashed {
 			rep.Crashes++
@@ -891,7 +981,11 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	// Final clean incarnation: recover every shard and read back every
 	// owned block through the routing law.
 	rep.Incarnations++
-	finals, err := soakFleet(opt, vfs.OS{}, finalGen, finalShards)
+	var finalShips []*durable.Shipper
+	if opt.Replicate {
+		finalShips = soakShips(finalShards)
+	}
+	finals, err := soakFleet(opt, vfs.OS{}, finalGen, finalShards, finalShips)
 	if err != nil {
 		return rep, fmt.Errorf("soak: final recovery: %w", err)
 	}
@@ -899,6 +993,15 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 	for _, eng := range finals {
 		rep.IDsRecovered += eng.Recovery().IDsRecovered
 		rep.DeltasApplied += eng.Recovery().DeltasApplied
+	}
+	// Replicate mode: before reading anything, serve the final fleet to
+	// the standby with the chaos stopped, until every shard bootstraps
+	// and the whole stream is acknowledged — the replica directory is
+	// then a durable image of the final state, ready for promotion.
+	if opt.Replicate {
+		if err := drainReplica(st, finals, finalShips, sess, rep); err != nil {
+			return rep, err
+		}
 	}
 	for _, w := range workers {
 		for _, block := range w.blocks {
@@ -909,6 +1012,44 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 			}
 			if v := w.checkRead(block, got); v != "" {
 				st.led.violate("final sweep: %s", v)
+			}
+		}
+	}
+	// Promote the drained replica and run the same sweep through it: the
+	// standby must satisfy the zero-acked-loss contract exactly as the
+	// primary does, or a failover after this soak would lose writes.
+	if opt.Replicate {
+		ropt := opt
+		ropt.Dir = opt.Dir + "-replica"
+		promoted, err := soakFleet(ropt, vfs.OS{}, finalGen, finalShards, nil)
+		if err != nil {
+			return rep, fmt.Errorf("soak: promoting the replica: %w", err)
+		}
+		defer closeReshardFleet(promoted)
+		term := uint64(0)
+		for _, eng := range promoted {
+			if t := eng.Term(); t > term {
+				term = t
+			}
+		}
+		term++
+		for _, eng := range promoted {
+			if err := eng.SetTerm(term); err != nil {
+				return rep, fmt.Errorf("soak: fencing the promoted replica: %w", err)
+			}
+		}
+		rep.ReplPromoteTerm = term
+		for _, w := range workers {
+			for _, block := range w.blocks {
+				shard, local := server.RouteBlock(block, finalShards)
+				got, err := promoted[shard].Read(local)
+				if err != nil {
+					return rep, fmt.Errorf("soak: promoted read of block %d (shard %d): %w", block, shard, err)
+				}
+				if v := w.checkRead(block, got); v != "" {
+					st.led.violate("promoted replica sweep: %s", v)
+				}
+				rep.ReplicaReads++
 			}
 		}
 	}
@@ -927,8 +1068,9 @@ func RunSoak(opt SoakOptions) (*SoakReport, error) {
 // soakFleet opens one layout generation's shard engines with the soak's
 // engine configuration, deriving each tree's seed and directory the way
 // the daemon does (generation 0 of a width-1 fleet is the plain
-// unsharded layout). On failure the opened prefix is closed.
-func soakFleet(opt SoakOptions, fs vfs.FS, gen uint64, shards int) ([]*durable.Engine, error) {
+// unsharded layout). A non-nil ships wires shard i's log shipper into
+// engine i (Replicate mode). On failure the opened prefix is closed.
+func soakFleet(opt SoakOptions, fs vfs.FS, gen uint64, shards int, ships []*durable.Shipper) ([]*durable.Engine, error) {
 	base := crashOptions(opt.Dir, opt.Seed, fs, false).ORAM
 	engines := make([]*durable.Engine, 0, shards)
 	for i := 0; i < shards; i++ {
@@ -940,6 +1082,9 @@ func soakFleet(opt SoakOptions, fs vfs.FS, gen uint64, shards int) ([]*durable.E
 			SnapshotEvery: 32,
 			GroupCommit:   true,
 			FS:            fs,
+		}
+		if ships != nil {
+			dopt.Ship = ships[i]
 		}
 		if opt.Delta {
 			dopt.DeltaSnapshots = true
@@ -955,6 +1100,156 @@ func soakFleet(opt SoakOptions, fs vfs.FS, gen uint64, shards int) ([]*durable.E
 		engines = append(engines, eng)
 	}
 	return engines, nil
+}
+
+// soakShips builds one semi-sync shipper per shard for an incarnation.
+// The short ack timeout is the soak's liveness guarantee: a blackholed
+// or partitioned link degrades to local-only acks within one client
+// timeout instead of wedging a shard's scheduler.
+func soakShips(shards int) []*durable.Shipper {
+	ships := make([]*durable.Shipper, shards)
+	for i := range ships {
+		ships[i] = &durable.Shipper{
+			Shard:      i,
+			SemiSync:   true,
+			AckTimeout: 20 * time.Millisecond,
+			ChunkBytes: 4 << 10,
+		}
+	}
+	return ships
+}
+
+// fleetTerm derives a ReplicaHub's term source from a fleet: the max
+// across shards, the same law the daemon applies.
+func fleetTerm(engines []*durable.Engine) func() uint64 {
+	return func() uint64 {
+		var t uint64
+		for _, e := range engines {
+			if v := e.Term(); v > t {
+				t = v
+			}
+		}
+		return t
+	}
+}
+
+// soakReplLink hands the chaos goroutine the standby's most recently
+// dialed connection, the one the session is currently reading.
+type soakReplLink struct {
+	mu  sync.Mutex
+	cur *faults.Conn
+}
+
+func (l *soakReplLink) set(c *faults.Conn) {
+	l.mu.Lock()
+	l.cur = c
+	l.mu.Unlock()
+}
+
+func (l *soakReplLink) current() *faults.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cur
+}
+
+// runLinkChaos subjects the replication link to seeded blackouts and
+// one-way partitions while the soak serves: the standby's sends
+// (acks) vanish while frames still arrive, or the wire goes silent
+// while acks still flow out, or the link drops outright and the
+// session redials. On exit it heals the current link so the final
+// drain isn't reading a stalled connection.
+func runLinkChaos(st *soakState, link *soakReplLink, seed uint64) {
+	r := rng.New(seed ^ 0x1e4c4a05)
+	for !st.stop.Load() {
+		sleepUnlessStopped(st, time.Duration(20+r.Uint64n(100))*time.Millisecond)
+		// Only act while a primary is serving: a partition nobody is
+		// writing through exercises nothing.
+		if addr, _ := st.addr.Load().(string); addr == "" {
+			continue
+		}
+		c := link.current()
+		if c == nil {
+			continue
+		}
+		switch r.Uint64n(6) {
+		case 0, 1:
+			if r.Uint64n(2) == 0 {
+				c.SetPartition(true, false) // acks vanish; the primary's semi-sync degrades
+			} else {
+				c.SetPartition(false, true) // frames stall; delivered in a burst on heal
+			}
+			// Dwell for several ack timeouts so the partition provably
+			// outlives the semi-sync wait, then heal.
+			sleepUnlessStopped(st, time.Duration(100+r.Uint64n(100))*time.Millisecond)
+			c.SetPartition(false, false)
+		case 2:
+			c.Close() // blackout: the session redials and re-bootstraps
+		default:
+			c.SetPartition(false, false) // heal anything a dead link left set
+		}
+	}
+	if c := link.current(); c != nil {
+		c.SetPartition(false, false)
+	}
+}
+
+// drainReplica serves the final clean fleet to the standby — no chaos,
+// no clients — until every shard's mirror bootstraps and the standby's
+// durable watermark matches everything shipped, then tears the link
+// down. Afterwards the replica directories hold a byte-faithful image
+// of the final fleet's durable state.
+func drainReplica(st *soakState, finals []*durable.Engine, ships []*durable.Shipper, sess *server.ReplicaSession, rep *SoakReport) error {
+	srv, err := server.NewSharded(asServerEngines(finals), server.Config{Queue: 64, Batch: 8})
+	if err != nil {
+		return fmt.Errorf("soak: replica drain: %w", err)
+	}
+	hub := &server.ReplicaHub{
+		Shippers: ships,
+		Term:     fleetTerm(finals),
+		Nudge: func(shard int) {
+			srv.Access(context.Background(), int64(shard))
+		},
+		HeartbeatEvery: 10 * time.Millisecond,
+	}
+	tsrv := server.NewTCP(srv, server.TCPConfig{ReplJoin: hub.Serve, Replication: hub.Info})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("soak: replica drain: %w", err)
+	}
+	serveDone := make(chan struct{})
+	go func() { tsrv.Serve(ln); close(serveDone) }()
+	st.addr.Store(ln.Addr().String())
+
+	deadline := time.Now().Add(15 * time.Second)
+	drained := false
+	for time.Now().Before(deadline) {
+		hi, si := hub.Info(), sess.Info()
+		if hi.Attached && si.Attached && hi.AckedSeq == hi.ShippedSeq {
+			drained = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st.addr.Store("")
+	// The session must be fully stopped before promotion opens the
+	// mirror directories: a live link would still be writing them.
+	sess.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	tsrv.Shutdown(ctx)
+	cancel()
+	srv.Close() // drains the schedulers; the engines stay open for the sweep
+	<-serveDone
+	for _, s := range ships {
+		sst := s.Stats()
+		rep.ReplBoots += sst.Boots
+		rep.ReplDegraded += sst.AckTimeouts
+		rep.ReplSendErrors += sst.SendErrors
+	}
+	if !drained {
+		return fmt.Errorf("soak: replication never drained: primary %+v, standby %+v", hub.Info(), sess.Info())
+	}
+	return nil
 }
 
 // finishReshardPlan drives any journaled in-flight migration — and the
@@ -988,11 +1283,11 @@ func finishReshardPlan(opt SoakOptions) (durable.ReshardLayout, error) {
 				return lay, fmt.Errorf("soak: reshard coda begin: %w", err)
 			}
 		}
-		cur, err := soakFleet(opt, vfs.OS{}, lay.Gen, lay.Shards)
+		cur, err := soakFleet(opt, vfs.OS{}, lay.Gen, lay.Shards, nil)
 		if err != nil {
 			return lay, fmt.Errorf("soak: reshard coda recovery: %w", err)
 		}
-		targets, err := soakFleet(opt, vfs.OS{}, tgen, tto)
+		targets, err := soakFleet(opt, vfs.OS{}, tgen, tto, nil)
 		if err != nil {
 			closeReshardFleet(cur)
 			return lay, fmt.Errorf("soak: reshard coda target recovery: %w", err)

@@ -134,6 +134,12 @@ type Options struct {
 	// remembers for crash-durable retry dedup (checkpoint header + WAL
 	// replay). Default 4096, matching the front end's dedup window.
 	DedupTrack int
+	// Ship, when set, streams every durability event (fsynced WAL
+	// records, rotations, published checkpoints, compactions) to a
+	// warm standby as replication frames; see Shipper. Under
+	// Ship.SemiSync the ack path additionally waits for the replica's
+	// durable watermark.
+	Ship *Shipper
 	// Logf, when set, receives rare operational warnings (e.g. stale-file
 	// pruning failures). Default: discard.
 	Logf func(format string, args ...any)
@@ -286,6 +292,11 @@ type Engine struct {
 	statsMu  sync.Mutex
 	stats    Stats
 	recovery RecoveryStats
+	// term is the promotion-fencing term (term.go), recovered by Open
+	// and raised only by SetTerm. Guarded by statsMu for the same
+	// reason as stats: observability readers and the publish goroutine
+	// read it concurrently with serving.
+	term uint64
 }
 
 // bump applies one counter update under the stats lock.
@@ -310,16 +321,23 @@ func Open(opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("durable: listing %s: %w", opt.Dir, err)
 	}
 	var snaps, wals []uint64
+	var maxTerm uint64
 	deltaSet := map[uint64]bool{}
 	for _, name := range names {
-		if e, ok := parseEpoch(name, "snap-", ".ab"); ok {
-			snaps = append(snaps, e)
+		if se, ok := parseEpoch(name, "snap-", ".ab"); ok {
+			snaps = append(snaps, se)
+			if t := fileTerm(fs, filepath.Join(opt.Dir, name), false); t > maxTerm {
+				maxTerm = t
+			}
 		}
-		if e, ok := parseEpoch(name, "delta-", ".abd"); ok {
-			deltaSet[e] = true
+		if de, ok := parseEpoch(name, "delta-", ".abd"); ok {
+			deltaSet[de] = true
+			if t := fileTerm(fs, filepath.Join(opt.Dir, name), true); t > maxTerm {
+				maxTerm = t
+			}
 		}
-		if e, ok := parseEpoch(name, "wal-", ".log"); ok {
-			wals = append(wals, e)
+		if we, ok := parseEpoch(name, "wal-", ".log"); ok {
+			wals = append(wals, we)
 		}
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
@@ -340,14 +358,14 @@ baseLoop:
 	for _, se := range snaps {
 		limit := -1 // deltas to apply; <0 = every consecutive one, shrinks on damage
 		for {
-			o, ids, err := loadSnapshot(fs, opt.Dir, se, opt.ORAM)
+			o, ids, _, err := loadSnapshot(fs, opt.Dir, se, opt.ORAM)
 			if err != nil {
 				e.recovery.SnapshotsSkipped++
 				continue baseLoop
 			}
 			applied, damaged := 0, false
 			for de := se + 1; deltaSet[de] && (limit < 0 || applied < limit); de++ {
-				dids, err := loadDelta(fs, opt.Dir, de, o)
+				dids, _, err := loadDelta(fs, opt.Dir, de, o)
 				if err != nil {
 					e.recovery.DeltasSkipped++
 					limit = applied
@@ -414,6 +432,13 @@ baseLoop:
 				if rec.ID != 0 {
 					e.ids.push(rec.ID)
 				}
+			case wire.OpTerm:
+				// A fencing-term bump (SetTerm); the ID field holds the
+				// term. Checkpoint headers carry the term too, so the
+				// maximum over both sources survives any crash.
+				if rec.ID > maxTerm {
+					maxTerm = rec.ID
+				}
 			}
 		}
 		e.recovery.SegmentsReplayed++
@@ -439,6 +464,7 @@ baseLoop:
 	// writes.
 	e.epoch = maxEpoch
 	e.sinceBase = e.opt.BaseEvery
+	e.term = maxTerm // before the rotation below, so the fresh base stamps it
 	if err := e.rotate(true); err != nil {
 		return nil, err
 	}
@@ -545,6 +571,9 @@ func (e *Engine) Access(block int64) error {
 	if e.failed != nil {
 		return e.failed
 	}
+	if err := e.maybeAttach(); err != nil {
+		return err
+	}
 	return e.oram.Access(block)
 }
 
@@ -552,6 +581,9 @@ func (e *Engine) Access(block int64) error {
 func (e *Engine) Read(block int64) ([]byte, error) {
 	if e.failed != nil {
 		return nil, e.failed
+	}
+	if err := e.maybeAttach(); err != nil {
+		return nil, err
 	}
 	return e.oram.Read(block)
 }
@@ -562,6 +594,9 @@ func (e *Engine) Read(block int64) ([]byte, error) {
 func (e *Engine) ReadXOR(block int64) (*aboram.XORResult, error) {
 	if e.failed != nil {
 		return nil, e.failed
+	}
+	if err := e.maybeAttach(); err != nil {
+		return nil, err
 	}
 	return e.oram.ReadXOR(block)
 }
@@ -582,6 +617,9 @@ func (e *Engine) WriteIdentified(id uint64, block int64, data []byte) error {
 	if e.failed != nil {
 		return e.failed
 	}
+	if err := e.maybeAttach(); err != nil {
+		return err
+	}
 	if err := e.pollPublish(); err != nil {
 		// A background checkpoint publish failed: stop acknowledging
 		// before the WAL segments the lost checkpoint covers go stale.
@@ -592,9 +630,11 @@ func (e *Engine) WriteIdentified(id uint64, block int64, data []byte) error {
 		// and does not poison the engine.
 		return err
 	}
-	if err := e.w.append(wire.Request{Op: wire.OpWrite, ID: id, Block: block, Data: data}); err != nil {
+	frame, err := e.w.append(wire.Request{Op: wire.OpWrite, ID: id, Block: block, Data: data})
+	if err != nil {
 		return e.fail(err)
 	}
+	e.shipRecord(frame)
 	if id != 0 {
 		e.ids.push(id)
 	}
@@ -604,7 +644,9 @@ func (e *Engine) WriteIdentified(id uint64, block int64, data []byte) error {
 		}
 		e.dirty++
 		// Safety net: if no BatchSync has arrived for MaxSyncDelay, sync
-		// here so an unsynced record cannot linger unboundedly.
+		// here so an unsynced record cannot linger unboundedly. The
+		// semi-sync replica wait stays at BatchSync — the batch's acks
+		// are not released before then anyway.
 		if time.Since(e.firstDirty) >= e.opt.MaxSyncDelay {
 			if err := e.syncWAL(); err != nil {
 				return e.fail(err)
@@ -616,6 +658,9 @@ func (e *Engine) WriteIdentified(id uint64, block int64, data []byte) error {
 			if err := e.syncWAL(); err != nil {
 				return e.fail(err)
 			}
+			// Semi-sync: the write is locally durable and shipped; hold
+			// the acknowledgment until the replica has fsynced it too.
+			e.shipSemiSync()
 		}
 	}
 	e.bump(func(s *Stats) { s.Writes++ })
@@ -657,6 +702,9 @@ func (e *Engine) MaybeCheckpoint() error {
 	if e.failed != nil {
 		return e.failed
 	}
+	if err := e.maybeAttach(); err != nil {
+		return err
+	}
 	switch {
 	case e.ckptDue:
 		e.ckptDue = false
@@ -681,17 +729,28 @@ func (e *Engine) BatchSync() error {
 	if e.failed != nil {
 		return e.failed
 	}
-	if e.dirty == 0 {
-		return nil
+	if err := e.maybeAttach(); err != nil {
+		return err
 	}
-	if err := e.syncWAL(); err != nil {
-		return e.fail(err)
+	if e.dirty != 0 {
+		if err := e.syncWAL(); err != nil {
+			return e.fail(err)
+		}
+		e.bump(func(s *Stats) { s.BatchedSyncs++ })
 	}
-	e.bump(func(s *Stats) { s.BatchedSyncs++ })
+	// Semi-sync: hold the batch's acknowledgments until the replica has
+	// fsynced everything flushed so far — including records the safety
+	// net synced mid-batch, which is why this runs even with no dirty
+	// records.
+	e.shipSemiSync()
 	return nil
 }
 
-// syncWAL fsyncs the open segment and resets the dirty accounting.
+// syncWAL fsyncs the open segment and resets the dirty accounting. The
+// replication flush rides here — after the fsync, so a shipped record
+// is always locally durable first. The flush only sends (never waits
+// for acks): rotation and compaction call syncWAL too, and a replica
+// stall must not poison housekeeping.
 func (e *Engine) syncWAL() error {
 	if err := e.w.sync(); err != nil {
 		return err
@@ -700,6 +759,7 @@ func (e *Engine) syncWAL() error {
 	e.sinceSync = 0
 	e.dirty = 0
 	e.firstDirty = time.Time{}
+	e.shipFlush()
 	return nil
 }
 
@@ -731,9 +791,21 @@ func (e *Engine) rotate(syncPublish bool) error {
 func (e *Engine) rotateFull() error {
 	start := time.Now()
 	next := e.epoch + 1
-	n, err := writeSnapshot(e.fs, e.opt.Dir, next, e.oram, e.ids.list())
+	term := e.Term()
+	n, err := writeSnapshot(e.fs, e.opt.Dir, next, e.oram, term, e.ids.list())
 	if err != nil {
 		return err
+	}
+	// Ship the published image before the rotate frame, mirroring the
+	// local order (checkpoint durable before the fresh segment exists).
+	// Reading the file back costs one pass, only when a replica is on.
+	if s := e.opt.Ship; s != nil && s.isAttached() {
+		if blob, err := readFile(e.fs, filepath.Join(e.opt.Dir, snapName(next))); err == nil {
+			s.shipFile(term, wire.ReplFileBase, next, blob)
+		} else {
+			s.logf("durable: shard %d reading back snapshot to ship: %v", s.Shard, err)
+			s.Detach()
+		}
 	}
 	if e.w != nil {
 		e.w.close()
@@ -744,6 +816,9 @@ func (e *Engine) rotateFull() error {
 	}
 	e.w = w
 	e.finishRotation(next)
+	if s := e.opt.Ship; s != nil {
+		s.rotate(term, next)
+	}
 	e.bump(func(s *Stats) {
 		s.Snapshots++
 		s.SnapshotPauseNanos += uint64(time.Since(start))
@@ -763,6 +838,7 @@ func (e *Engine) rotateDelta(syncPublish bool) error {
 	}
 	start := time.Now()
 	next := e.epoch + 1
+	term := e.Term()
 	isBase := e.sinceBase >= e.opt.BaseEvery
 	// Bases are encoded here (they are rare and recovery depends on them
 	// being the simple path); deltas are only *captured* here — the gob
@@ -774,14 +850,14 @@ func (e *Engine) rotateDelta(syncPublish bool) error {
 	var tmp, final string
 	if isBase {
 		tmp, final = snapTmpName(next), snapName(next)
-		buf.Write(appendSnapMeta(nil, e.ids.list()))
+		buf.Write(appendSnapMeta(nil, term, e.ids.list()))
 		if err := e.oram.Save(&buf); err != nil {
 			return fmt.Errorf("durable: capturing snapshot: %w", err)
 		}
 		e.lastCut = e.oram.CutEpoch()
 	} else {
 		tmp, final = deltaTmpName(next), deltaName(next)
-		meta = appendDeltaMeta(nil, e.ids.list())
+		meta = appendDeltaMeta(nil, term, e.ids.list())
 		s, cut, err := e.oram.CaptureDelta(e.lastCut)
 		if err != nil {
 			return fmt.Errorf("durable: capturing delta: %w", err)
@@ -813,6 +889,13 @@ func (e *Engine) rotateDelta(syncPublish bool) error {
 		e.sinceBase++
 	}
 	e.finishRotation(next)
+	// The rotate frame ships from the engine thread, before the
+	// checkpoint blob (which publishes — and ships — in the background):
+	// the replica opens its fresh segment in lockstep and the blob
+	// catches up later, exactly as the local directory does.
+	if s := e.opt.Ship; s != nil {
+		s.rotate(term, next)
+	}
 	e.bump(func(s *Stats) {
 		if isBase {
 			s.Snapshots++
@@ -840,6 +923,13 @@ func (e *Engine) rotateDelta(syncPublish bool) error {
 			return err
 		}
 		e.prune(next, isBase)
+		if s := e.opt.Ship; s != nil {
+			kind := wire.ReplFileDelta
+			if isBase {
+				kind = wire.ReplFileBase
+			}
+			s.shipFile(term, kind, next, blob)
+		}
 		return nil
 	}
 	if syncPublish {
@@ -939,58 +1029,28 @@ func (e *Engine) compactWAL() error {
 	if err != nil {
 		return err
 	}
-	recs, _, _ := ScanWAL(data)
-	lastWrite := make(map[int64]int, len(recs))
-	for i, rec := range recs {
-		if rec.Op == wire.OpWrite {
-			lastWrite[rec.Block] = i
-		}
-	}
-	out := make([]byte, 0, len(data))
-	shrunk := 0
-	for i, rec := range recs {
-		if rec.Op == wire.OpWrite && lastWrite[rec.Block] != i {
-			shrunk++
-			if rec.ID == 0 {
-				continue // nothing a replay would need
-			}
-			rec = wire.Request{Op: wire.OpAccess, ID: rec.ID}
-		}
-		if out, err = AppendRecord(out, rec); err != nil {
-			return fmt.Errorf("durable: compacting WAL: %w", err)
-		}
+	out, shrunk, err := compactRecords(data)
+	if err != nil {
+		return err
 	}
 	e.sinceCompact = 0
 	if shrunk == 0 {
 		return nil
 	}
-	tmpPath := filepath.Join(e.opt.Dir, fmt.Sprintf("wal-%016d.tmp", e.epoch))
-	f, err := e.fs.Create(tmpPath)
+	f, err := publishCompacted(e.fs, e.opt.Dir, e.epoch, out)
 	if err != nil {
-		return fmt.Errorf("durable: creating compaction temp: %w", err)
-	}
-	if _, err := f.Write(out); err != nil {
-		f.Close()
-		return fmt.Errorf("durable: writing compacted WAL: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("durable: syncing compacted WAL: %w", err)
-	}
-	// The handle stays open across the rename and becomes the live
-	// segment's handle: a POSIX fd follows the file, not the name, and
-	// the vfs has no append-open to reacquire one.
-	if err := e.fs.Rename(tmpPath, path); err != nil {
-		f.Close()
-		return fmt.Errorf("durable: publishing compacted WAL: %w", err)
-	}
-	if err := e.fs.SyncDir(e.opt.Dir); err != nil {
-		f.Close()
-		return fmt.Errorf("durable: syncing directory: %w", err)
+		return err
 	}
 	e.w.close() // orphaned pre-compaction inode
 	e.w = &wal{f: f, path: path}
 	e.bump(func(s *Stats) { s.CompactionRuns++ })
+	// The rewrite is a pure function of the segment bytes, and the
+	// replica's copy is byte-identical (wal-batches ship records
+	// verbatim): announcing the compaction is enough for it to re-run
+	// the same rewrite and stay byte-identical.
+	if s := e.opt.Ship; s != nil {
+		s.compact(e.Term(), e.epoch)
+	}
 	return nil
 }
 
@@ -1016,5 +1076,8 @@ func (e *Engine) Close() error {
 		e.w.close()
 		return err
 	}
+	// Ship whatever the final sync covered, so a clean shutdown leaves
+	// the standby holding every acknowledged write.
+	e.shipFlush()
 	return e.w.close()
 }

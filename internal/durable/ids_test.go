@@ -108,15 +108,18 @@ func TestIDRingCapacity(t *testing.T) {
 // legacy (headerless) fallback and corruption detection.
 func TestSnapMetaRoundTrip(t *testing.T) {
 	ids := []uint64{1, 2, 1 << 60}
-	buf := appendSnapMeta(nil, ids)
+	buf := appendSnapMeta(nil, 42, ids)
 	rest := []byte("snapshot image bytes")
 	br := bufio.NewReader(bytes.NewReader(append(append([]byte(nil), buf...), rest...)))
-	got, err := readSnapMeta(br)
+	got, term, err := readSnapMeta(br)
 	if err != nil {
 		t.Fatalf("readSnapMeta: %v", err)
 	}
 	if fmt.Sprint(got) != fmt.Sprint(ids) {
 		t.Fatalf("ids = %v, want %v", got, ids)
+	}
+	if term != 42 {
+		t.Fatalf("term = %d, want 42", term)
 	}
 	if tail, _ := br.Peek(len(rest)); string(tail) != string(rest) {
 		t.Fatalf("header read consumed into the image: %q", tail)
@@ -124,8 +127,8 @@ func TestSnapMetaRoundTrip(t *testing.T) {
 
 	// Legacy file: no magic. The reader must stay unconsumed.
 	br = bufio.NewReader(bytes.NewReader(rest))
-	if got, err := readSnapMeta(br); err != nil || got != nil {
-		t.Fatalf("legacy readSnapMeta = %v, %v; want nil, nil", got, err)
+	if got, term, err := readSnapMeta(br); err != nil || got != nil || term != 0 {
+		t.Fatalf("legacy readSnapMeta = %v, %d, %v; want nil, 0, nil", got, term, err)
 	}
 	if tail, _ := br.Peek(len(rest)); string(tail) != string(rest) {
 		t.Fatalf("legacy probe consumed the image: %q", tail)
@@ -133,12 +136,12 @@ func TestSnapMetaRoundTrip(t *testing.T) {
 
 	// Flip a bit inside an id: the CRC must catch it.
 	bad := append([]byte(nil), buf...)
-	bad[len(snapMagic)+4+3] ^= 0x40
-	if _, err := readSnapMeta(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+	bad[len(snapMagic)+12+3] ^= 0x40
+	if _, _, err := readSnapMeta(bufio.NewReader(bytes.NewReader(bad))); err == nil {
 		t.Fatal("corrupt header accepted")
 	}
 	// Truncated header: error, not a silent legacy fallback.
-	if _, err := readSnapMeta(bufio.NewReader(bytes.NewReader(buf[:10]))); err == nil {
+	if _, _, err := readSnapMeta(bufio.NewReader(bytes.NewReader(buf[:10]))); err == nil {
 		t.Fatal("truncated header accepted")
 	}
 }
@@ -169,7 +172,7 @@ func TestLegacySnapshotLoads(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Strip the metadata header, leaving the bare image — the old format.
-	hdr := len(appendSnapMeta(nil, []uint64{20, 21, 22}))
+	hdr := len(appendSnapMeta(nil, 0, []uint64{20, 21, 22}))
 	if err := os.WriteFile(snaps[0], raw[hdr:], 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -46,17 +46,17 @@ func TestReshardRecordRoundTrip(t *testing.T) {
 // TestReshardRecordValidation rejects malformed records at encode time.
 func TestReshardRecordValidation(t *testing.T) {
 	bad := []ReshardRecord{
-		{Op: ReshardBegin, Gen: 0, From: 2, To: 3},              // gen 0 reserved
-		{Op: ReshardBegin, Gen: 1, From: 2, To: 2},              // no-op migration
-		{Op: ReshardBegin, Gen: 1, From: 0, To: 2},              // zero shards
+		{Op: ReshardBegin, Gen: 0, From: 2, To: 3}, // gen 0 reserved
+		{Op: ReshardBegin, Gen: 1, From: 2, To: 2}, // no-op migration
+		{Op: ReshardBegin, Gen: 1, From: 0, To: 2}, // zero shards
 		{Op: ReshardBegin, Gen: 1, From: 2, To: 3, Watermark: 1},
 		{Op: ReshardRange, Gen: 1, Watermark: -1},
 		{Op: ReshardRange, Gen: 1, Watermark: 1, From: 2},
-		{Op: ReshardCutover, Gen: 1},                  // missing To
-		{Op: ReshardCutover, Gen: 1, To: 2, From: 2},  // stray From
-		{Op: ReshardAbortBegin, Gen: 1, To: 2},        // stray field
-		{Op: ReshardAborted, Gen: 1, Watermark: 3},    // stray field
-		{Op: ReshardOp(9), Gen: 1},                    // unknown kind
+		{Op: ReshardCutover, Gen: 1},                 // missing To
+		{Op: ReshardCutover, Gen: 1, To: 2, From: 2}, // stray From
+		{Op: ReshardAbortBegin, Gen: 1, To: 2},       // stray field
+		{Op: ReshardAborted, Gen: 1, Watermark: 3},   // stray field
+		{Op: ReshardOp(9), Gen: 1},                   // unknown kind
 	}
 	for _, rec := range bad {
 		if _, err := AppendReshardRecord(nil, rec); err == nil {

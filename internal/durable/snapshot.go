@@ -41,25 +41,37 @@ import (
 // Snapshot metadata header (since wire v2 retry dedup became
 // crash-durable):
 //
-//	magic "ABSNAP01" | uint32 count | count x uint64 request ids |
-//	uint32 CRC-32C over (count + ids)
+//	magic "ABSNAP02" | uint64 term | uint32 count |
+//	count x uint64 request ids |
+//	uint32 CRC-32C over (term + count + ids)
 //
 // followed by the aboram.Save image. The ids are the engine's recent
 // acknowledged write ids at snapshot time, oldest first; recovery seeds
 // the retry-dedup window from them so a retried write that straddles a
-// crash is recognized instead of applied twice. A file without the magic
-// is a legacy snapshot and loads with an empty id set; a corrupt header
-// fails the load, which recovery treats like any unreadable snapshot
-// (fall back one epoch).
+// crash is recognized instead of applied twice. The term is the
+// engine's fencing term at capture (see term.go): a standby promoted
+// under a higher term stamps it into every checkpoint, so a deposed
+// primary's stale replication stream is rejected by the header alone.
+// The previous format "ABSNAP01" omitted the term and loads as term 0;
+// a file without either magic is a legacy snapshot and loads with an
+// empty id set; a corrupt header fails the load, which recovery treats
+// like any unreadable snapshot (fall back one epoch).
 
-// snapMagic opens a snapshot file that carries a metadata header.
-var snapMagic = []byte("ABSNAP01")
+// snapMagic opens a snapshot file that carries a term-bearing metadata
+// header; snapMagicV1 is the pre-term format, still readable.
+var (
+	snapMagic   = []byte("ABSNAP02")
+	snapMagicV1 = []byte("ABSNAP01")
+)
 
-// deltaMagic opens a delta checkpoint file (same id-meta header shape as
-// ABSNAP01, followed by an aboram.SaveDelta stream). Deltas postdate the
+// deltaMagic opens a delta checkpoint file (same meta header shape as
+// ABSNAP02, followed by an aboram.SaveDelta stream). Deltas postdate the
 // header format, so unlike snapshots they have no headerless legacy form:
-// a delta file without the magic is corrupt, never legacy.
-var deltaMagic = []byte("ABDELT01")
+// a delta file without one of the magics is corrupt, never legacy.
+var (
+	deltaMagic   = []byte("ABDELT02")
+	deltaMagicV1 = []byte("ABDELT01")
+)
 
 // maxSnapIDs bounds the id count a header may claim, so a corrupt count
 // cannot drive a giant allocation before the CRC check.
@@ -90,11 +102,13 @@ func parseEpoch(name, prefix, suffix string) (uint64, bool) {
 	return epoch, true
 }
 
-// appendMeta appends a metadata header (magic, id count, ids, CRC) to
-// dst; snapshots and deltas share the shape and differ in the magic.
-func appendMeta(dst []byte, magic []byte, ids []uint64) []byte {
+// appendMeta appends a metadata header (magic, term, id count, ids,
+// CRC) to dst; snapshots and deltas share the shape and differ in the
+// magic.
+func appendMeta(dst []byte, magic []byte, term uint64, ids []uint64) []byte {
 	dst = append(dst, magic...)
-	body := make([]byte, 0, 4+8*len(ids))
+	body := make([]byte, 0, 8+4+8*len(ids))
+	body = binary.BigEndian.AppendUint64(body, term)
 	body = binary.BigEndian.AppendUint32(body, uint32(len(ids)))
 	for _, id := range ids {
 		body = binary.BigEndian.AppendUint64(body, id)
@@ -103,72 +117,92 @@ func appendMeta(dst []byte, magic []byte, ids []uint64) []byte {
 	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(body, crcTable))
 }
 
-// appendSnapMeta appends the full-snapshot metadata header for ids.
-func appendSnapMeta(dst []byte, ids []uint64) []byte { return appendMeta(dst, snapMagic, ids) }
+// appendSnapMeta appends the full-snapshot metadata header.
+func appendSnapMeta(dst []byte, term uint64, ids []uint64) []byte {
+	return appendMeta(dst, snapMagic, term, ids)
+}
 
-// appendDeltaMeta appends the delta-checkpoint metadata header for ids.
-func appendDeltaMeta(dst []byte, ids []uint64) []byte { return appendMeta(dst, deltaMagic, ids) }
+// appendDeltaMeta appends the delta-checkpoint metadata header.
+func appendDeltaMeta(dst []byte, term uint64, ids []uint64) []byte {
+	return appendMeta(dst, deltaMagic, term, ids)
+}
 
 // readSnapMeta consumes the metadata header, if present. A stream that
-// does not begin with the magic is a legacy snapshot: nothing is
-// consumed and the id set is empty. A stream that does begin with the
-// magic must carry an intact header — truncation or a CRC mismatch is an
-// error, and the caller skips the snapshot.
-func readSnapMeta(br *bufio.Reader) ([]uint64, error) {
+// does not begin with either magic is a legacy snapshot: nothing is
+// consumed, the id set is empty, and the term is 0. A stream that does
+// begin with a magic must carry an intact header — truncation or a CRC
+// mismatch is an error, and the caller skips the snapshot.
+func readSnapMeta(br *bufio.Reader) ([]uint64, uint64, error) {
 	head, err := br.Peek(len(snapMagic))
-	if err != nil || !bytes.Equal(head, snapMagic) {
-		// Legacy image (or one too short to say): leave the stream alone
-		// and let aboram.Load judge it.
-		return nil, nil
+	if err != nil {
+		// Too short to carry a magic: leave the stream alone and let
+		// aboram.Load judge it.
+		return nil, 0, nil
+	}
+	withTerm := bytes.Equal(head, snapMagic)
+	if !withTerm && !bytes.Equal(head, snapMagicV1) {
+		// Legacy image: no header to consume.
+		return nil, 0, nil
 	}
 	if _, err := br.Discard(len(snapMagic)); err != nil {
-		return nil, fmt.Errorf("durable: snapshot metadata: %w", err)
+		return nil, 0, fmt.Errorf("durable: snapshot metadata: %w", err)
 	}
-	return readMetaBody(br)
+	return readMetaBody(br, withTerm)
 }
 
 // readDeltaMeta consumes a delta checkpoint's metadata header. Deltas
 // postdate the header format, so unlike snapshots there is no
 // headerless legacy form to tolerate: a missing or damaged header is an
 // error, and recovery treats the file as unreadable.
-func readDeltaMeta(br *bufio.Reader) ([]uint64, error) {
+func readDeltaMeta(br *bufio.Reader) ([]uint64, uint64, error) {
 	head := make([]byte, len(deltaMagic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("durable: delta metadata: %w", err)
+		return nil, 0, fmt.Errorf("durable: delta metadata: %w", err)
 	}
-	if !bytes.Equal(head, deltaMagic) {
-		return nil, fmt.Errorf("durable: not a delta checkpoint")
+	withTerm := bytes.Equal(head, deltaMagic)
+	if !withTerm && !bytes.Equal(head, deltaMagicV1) {
+		return nil, 0, fmt.Errorf("durable: not a delta checkpoint")
 	}
-	return readMetaBody(br)
+	return readMetaBody(br, withTerm)
 }
 
-// readMetaBody reads the post-magic portion of a metadata header.
-func readMetaBody(br *bufio.Reader) ([]uint64, error) {
-	var cnt [4]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, fmt.Errorf("durable: snapshot metadata count: %w", err)
+// readMetaBody reads the post-magic portion of a metadata header;
+// withTerm selects the current (term-bearing) or the V1 body layout.
+func readMetaBody(br *bufio.Reader, withTerm bool) ([]uint64, uint64, error) {
+	var term uint64
+	pre := 4
+	if withTerm {
+		pre = 12
 	}
-	count := binary.BigEndian.Uint32(cnt[:])
+	head := make([]byte, pre)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, 0, fmt.Errorf("durable: snapshot metadata count: %w", err)
+	}
+	cnt := head[pre-4:]
+	if withTerm {
+		term = binary.BigEndian.Uint64(head[:8])
+	}
+	count := binary.BigEndian.Uint32(cnt)
 	if count > maxSnapIDs {
-		return nil, fmt.Errorf("durable: snapshot metadata claims %d ids", count)
+		return nil, 0, fmt.Errorf("durable: snapshot metadata claims %d ids", count)
 	}
-	body := make([]byte, 4+8*int(count))
-	copy(body, cnt[:])
-	if _, err := io.ReadFull(br, body[4:]); err != nil {
-		return nil, fmt.Errorf("durable: snapshot metadata ids: %w", err)
+	body := make([]byte, pre+8*int(count))
+	copy(body, head)
+	if _, err := io.ReadFull(br, body[pre:]); err != nil {
+		return nil, 0, fmt.Errorf("durable: snapshot metadata ids: %w", err)
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(br, sum[:]); err != nil {
-		return nil, fmt.Errorf("durable: snapshot metadata checksum: %w", err)
+		return nil, 0, fmt.Errorf("durable: snapshot metadata checksum: %w", err)
 	}
 	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(sum[:]) {
-		return nil, fmt.Errorf("durable: snapshot metadata checksum mismatch")
+		return nil, 0, fmt.Errorf("durable: snapshot metadata checksum mismatch")
 	}
 	ids := make([]uint64, count)
 	for i := range ids {
-		ids[i] = binary.BigEndian.Uint64(body[4+8*i:])
+		ids[i] = binary.BigEndian.Uint64(body[pre+8*i:])
 	}
-	return ids, nil
+	return ids, term, nil
 }
 
 // countingWriter counts bytes passed through to the wrapped writer.
@@ -188,7 +222,7 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // Any error leaves at most a stale .tmp file behind, which recovery (and
 // the next successful snapshot) ignores and cleans up. Returns the
 // published file size.
-func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM, ids []uint64) (uint64, error) {
+func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM, term uint64, ids []uint64) (uint64, error) {
 	tmp := filepath.Join(dir, snapTmpName(epoch))
 	f, err := fs.Create(tmp)
 	if err != nil {
@@ -199,7 +233,7 @@ func writeSnapshot(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM, ids []ui
 	// proportional to the image size, not the encoder's chattiness.
 	cw := &countingWriter{w: f}
 	bw := bufio.NewWriterSize(cw, 1<<16)
-	if _, err := bw.Write(appendSnapMeta(nil, ids)); err != nil {
+	if _, err := bw.Write(appendSnapMeta(nil, term, ids)); err != nil {
 		f.Close()
 		return 0, fmt.Errorf("durable: writing snapshot metadata: %w", err)
 	}
@@ -256,42 +290,42 @@ func writeBlob(fs vfs.FS, dir, tmpName, finalName string, data []byte) error {
 	return nil
 }
 
-// loadSnapshot restores an instance (and its recent-write-id metadata)
-// from one snapshot file.
-func loadSnapshot(fs vfs.FS, dir string, epoch uint64, opt aboram.Options) (*aboram.ORAM, []uint64, error) {
+// loadSnapshot restores an instance (and its recent-write-id and term
+// metadata) from one snapshot file.
+func loadSnapshot(fs vfs.FS, dir string, epoch uint64, opt aboram.Options) (*aboram.ORAM, []uint64, uint64, error) {
 	f, err := fs.Open(filepath.Join(dir, snapName(epoch)))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
-	ids, err := readSnapMeta(br)
+	ids, term, err := readSnapMeta(br)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	o, err := aboram.Load(opt, br)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	return o, ids, nil
+	return o, ids, term, nil
 }
 
 // loadDelta applies one delta checkpoint file on top of o and returns
-// the recent-id set it carried. On error o may be partially mutated —
-// the caller discards it and rebuilds from the base.
-func loadDelta(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM) ([]uint64, error) {
+// the recent-id set and term it carried. On error o may be partially
+// mutated — the caller discards it and rebuilds from the base.
+func loadDelta(fs vfs.FS, dir string, epoch uint64, o *aboram.ORAM) ([]uint64, uint64, error) {
 	f, err := fs.Open(filepath.Join(dir, deltaName(epoch)))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
-	ids, err := readDeltaMeta(br)
+	ids, term, err := readDeltaMeta(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := o.ApplyDelta(br); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return ids, nil
+	return ids, term, nil
 }

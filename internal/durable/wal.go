@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	iofs "io/fs"
+	"path/filepath"
 
 	"repro/internal/server/wire"
 	"repro/internal/vfs"
@@ -89,17 +90,19 @@ func createWAL(fs vfs.FS, path string) (*wal, error) {
 }
 
 // append frames one record and writes it with a single Write call, so a
-// crash can tear at most the final record.
-func (w *wal) append(req wire.Request) error {
+// crash can tear at most the final record. It returns the framed bytes
+// so a replication shipper can forward them without re-encoding; the
+// slice is valid only until the next append (the buffer is reused).
+func (w *wal) append(req wire.Request) ([]byte, error) {
 	frame, err := AppendRecord(w.buf[:0], req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	w.buf = frame[:0]
 	if _, err := w.f.Write(frame); err != nil {
-		return fmt.Errorf("durable: WAL append: %w", err)
+		return nil, fmt.Errorf("durable: WAL append: %w", err)
 	}
-	return nil
+	return frame, nil
 }
 
 // sync flushes appended records to stable storage.
@@ -112,6 +115,71 @@ func (w *wal) sync() error {
 
 // close closes the segment file.
 func (w *wal) close() error { return w.f.Close() }
+
+// compactRecords rewrites a WAL segment image, shrinking superseded
+// whole-block writes to id-only dedup stubs (or dropping them when
+// unidentified). Records are whole-content writes, so for each block
+// only its newest record matters to recovery; the ids of older ones
+// must still survive for retry dedup, encoded as OpAccess records at
+// their original positions so replay reseeds the id window in exact
+// acknowledgment order. The rewrite is a pure function of the segment
+// bytes — a replication mirror re-runs it on its copy and lands on the
+// identical output (mirror.go).
+func compactRecords(data []byte) (out []byte, shrunk int, err error) {
+	recs, _, _ := ScanWAL(data)
+	lastWrite := make(map[int64]int, len(recs))
+	for i, rec := range recs {
+		if rec.Op == wire.OpWrite {
+			lastWrite[rec.Block] = i
+		}
+	}
+	out = make([]byte, 0, len(data))
+	for i, rec := range recs {
+		if rec.Op == wire.OpWrite && lastWrite[rec.Block] != i {
+			shrunk++
+			if rec.ID == 0 {
+				continue // nothing a replay would need
+			}
+			rec = wire.Request{Op: wire.OpAccess, ID: rec.ID}
+		}
+		if out, err = AppendRecord(out, rec); err != nil {
+			return nil, 0, fmt.Errorf("durable: compacting WAL: %w", err)
+		}
+	}
+	return out, shrunk, nil
+}
+
+// publishCompacted durably replaces a live WAL segment with its
+// compacted rewrite: temp file, write, fsync, rename over the segment,
+// directory fsync. The returned handle is the temp file's, kept open
+// across the rename — a POSIX fd follows the file, not the name, and
+// the vfs has no append-open to reacquire one — so it becomes the live
+// segment's handle.
+func publishCompacted(fs vfs.FS, dir string, epoch uint64, out []byte) (vfs.File, error) {
+	path := filepath.Join(dir, walName(epoch))
+	tmpPath := filepath.Join(dir, fmt.Sprintf("wal-%016d.tmp", epoch))
+	f, err := fs.Create(tmpPath)
+	if err != nil {
+		return nil, fmt.Errorf("durable: creating compaction temp: %w", err)
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: writing compacted WAL: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: syncing compacted WAL: %w", err)
+	}
+	if err := fs.Rename(tmpPath, path); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: publishing compacted WAL: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: syncing directory: %w", err)
+	}
+	return f, nil
+}
 
 // readWAL loads a whole WAL segment image. Only a missing file is an
 // empty segment (the epoch crashed before its first record); every other

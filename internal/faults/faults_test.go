@@ -346,3 +346,122 @@ func TestFSDiskBudgetShortWrite(t *testing.T) {
 		t.Fatalf("on-disk bytes %d, want the 64-byte prefix", len(got))
 	}
 }
+
+// TestConnOneWayPartition exercises the asymmetric-partition mode in
+// both directions, standalone: a dropped send direction blackholes
+// writes while the other direction flows, and a dropped receive
+// direction stalls reads without erroring until it heals.
+func TestConnOneWayPartition(t *testing.T) {
+	t.Run("drop-send", func(t *testing.T) {
+		// net.Pipe is synchronous: an honest write blocks until the peer
+		// reads, so a blackholed write returning immediately proves the
+		// bytes were dropped rather than delivered.
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		c := WrapConn(a, New(Config{Seed: 1}))
+		c.SetPartition(true, false)
+		done := make(chan error, 1)
+		go func() {
+			n, err := c.Write([]byte("lost"))
+			if err == nil && n != 4 {
+				err = io.ErrShortWrite
+			}
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("blackholed write should claim success, got %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("blackholed write blocked: bytes were delivered, not dropped")
+		}
+		// The other direction still flows: the peer writes, this side reads.
+		go b.Write([]byte("ok"))
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ok" {
+			t.Fatalf("healthy direction broken during send partition: %q, %v", buf, err)
+		}
+		// Healing restores delivery.
+		c.SetPartition(false, false)
+		got := make([]byte, 5)
+		go io.ReadFull(b, got)
+		if _, err := c.Write([]byte("alive")); err != nil {
+			t.Fatalf("post-heal write: %v", err)
+		}
+	})
+
+	t.Run("drop-recv", func(t *testing.T) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		accepted := make(chan net.Conn, 1)
+		go func() {
+			conn, err := ln.Accept()
+			if err == nil {
+				accepted <- conn
+			}
+		}()
+		raw, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		peer := <-accepted
+		defer peer.Close()
+		c := WrapConn(raw, New(Config{Seed: 2}))
+		defer c.Close()
+
+		c.SetPartition(false, true)
+		if _, err := peer.Write([]byte("late")); err != nil {
+			t.Fatal(err)
+		}
+		read := make(chan struct{})
+		buf := make([]byte, 4)
+		go func() {
+			io.ReadFull(c, buf)
+			close(read)
+		}()
+		select {
+		case <-read:
+			t.Fatal("read returned during receive partition")
+		case <-time.After(100 * time.Millisecond):
+		}
+		// Writes still flow out during the receive partition.
+		go io.ReadFull(peer, make([]byte, 3))
+		if _, err := c.Write([]byte("out")); err != nil {
+			t.Fatalf("healthy direction broken during recv partition: %v", err)
+		}
+		// Healing delivers the stalled bytes (the retransmit burst).
+		c.SetPartition(false, false)
+		select {
+		case <-read:
+			if string(buf) != "late" {
+				t.Fatalf("post-heal read got %q", buf)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("read never unblocked after the partition healed")
+		}
+	})
+
+	t.Run("close-unblocks-stalled-read", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer b.Close()
+		c := WrapConn(a, New(Config{Seed: 3}))
+		c.SetPartition(false, true)
+		read := make(chan struct{})
+		go func() {
+			c.Read(make([]byte, 1))
+			close(read)
+		}()
+		time.Sleep(20 * time.Millisecond)
+		c.Close()
+		select {
+		case <-read:
+		case <-time.After(2 * time.Second):
+			t.Fatal("Close did not unblock a partition-stalled read")
+		}
+	})
+}

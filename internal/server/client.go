@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,15 @@ var ErrOverloaded = errors.New("server: overloaded, not executed")
 // once BreakerCooldown has elapsed (half-open); a successful probe closes
 // it, a failed one re-opens it for another cooldown.
 var ErrBreakerOpen = errors.New("server: circuit breaker open")
+
+// ErrNotPrimary is wrapped by errors the client returns when every
+// address it knows answered with the standby status: the op was
+// definitively not executed anywhere (the refusal is a fast, healthy
+// answer, not a failure), so the caller may reissue it. During a
+// failover the client rotates through its address list on each
+// StatusNotPrimary response and normally finds the promoted node
+// without surfacing this error at all.
+var ErrNotPrimary = errors.New("server: not the primary")
 
 // ClientConfig tunes a wire-protocol client.
 type ClientConfig struct {
@@ -114,6 +124,11 @@ type ClientStats struct {
 	BreakerOpens     uint64 // closed/half-open → open transitions
 	BreakerFastFails uint64 // ops failed fast while the breaker was open
 
+	// NotPrimary counts standby refusals; Failovers counts the address
+	// rotations they triggered (equal unless the list has one entry).
+	NotPrimary uint64
+	Failovers  uint64
+
 	// ReadOps / ReadBytes account the online read traffic actually
 	// carried on the wire: every successful Read counts one op plus the
 	// response payload's size in bytes (the XRead envelope for XOR-mode
@@ -130,14 +145,26 @@ type ClientStats struct {
 // idempotent for mutating ops. A server-delivered error response is
 // returned to the caller, never retried. Not safe for concurrent use; a
 // load generator opens one Client per worker.
+// endpoint is one server address a client can reach, with its own
+// failure history. Keeping the backoff clock per address matters for
+// failover: after a primary dies, the exponential schedule its failures
+// built up must not be charged to the freshly promoted standby — the
+// first attempt against a different address starts from a cold clock.
+type endpoint struct {
+	addr  string
+	dial  func() (net.Conn, error)
+	fails int // consecutive failures against this address
+}
+
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
-	cfg    ClientConfig
-	dialer func() (net.Conn, error) // nil = cannot redial
-	broken bool
+	cfg       ClientConfig
+	endpoints []endpoint // empty = cannot redial
+	cur       int        // endpoint the next (re)dial targets
+	broken    bool
 
 	jitter *rng.Source
 	nonce  uint64 // high 32 bits of every request id
@@ -150,6 +177,10 @@ type Client struct {
 	openUntil   time.Time
 	probing     bool
 
+	// sleep is time.Sleep, replaceable so tests can observe the backoff
+	// schedule instead of racing a wall clock.
+	sleep func(time.Duration)
+
 	stats ClientStats
 }
 
@@ -160,25 +191,50 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return DialConfig(addr, ClientConfig{Timeout: timeout})
 }
 
-// DialConfig connects to an aboramd address with full configuration.
+// DialConfig connects to an aboramd deployment with full configuration.
+// addr may be a comma-separated address list (primary plus standbys):
+// the client connects to the first reachable one and fails over — on a
+// dead connection or a StatusNotPrimary refusal it rotates to the next
+// address, each with its own backoff clock.
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.XORKey != nil && len(cfg.XORKey) != 16 {
 		return nil, fmt.Errorf("server: XOR key must be 16 bytes, got %d", len(cfg.XORKey))
 	}
 	cfg = cfg.withDefaults()
-	dialer := cfg.Dialer
-	if dialer == nil {
-		dialer = func() (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, cfg.Timeout)
+	var eps []endpoint
+	if cfg.Dialer != nil {
+		// A custom dialer is one virtual endpoint; the fault-injection
+		// harnesses own any multi-target behavior behind it.
+		eps = []endpoint{{addr: addr, dial: cfg.Dialer}}
+	} else {
+		for _, one := range strings.Split(addr, ",") {
+			one = strings.TrimSpace(one)
+			if one == "" {
+				continue
+			}
+			target := one
+			eps = append(eps, endpoint{addr: target, dial: func() (net.Conn, error) {
+				return net.DialTimeout("tcp", target, cfg.Timeout)
+			}})
+		}
+		if len(eps) == 0 {
+			return nil, fmt.Errorf("server: no addresses in %q", addr)
 		}
 	}
-	conn, err := dialer()
-	if err != nil {
-		return nil, err
+	var (
+		conn net.Conn
+		err  error
+	)
+	for i := range eps {
+		if conn, err = eps[i].dial(); err == nil {
+			c := newClient(conn, cfg)
+			c.endpoints = eps
+			c.cur = i
+			return c, nil
+		}
+		eps[i].fails++
 	}
-	c := newClient(conn, cfg)
-	c.dialer = dialer
-	return c, nil
+	return nil, err
 }
 
 // NewClient wraps an established, externally owned connection. The
@@ -223,6 +279,7 @@ func newClient(conn net.Conn, cfg ClientConfig) *Client {
 		cfg:    cfg,
 		jitter: src,
 		nonce:  nonce,
+		sleep:  time.Sleep,
 	}
 }
 
@@ -256,14 +313,21 @@ func (c *Client) markBroken() {
 	c.stats.Broken++
 }
 
-// redial replaces a broken connection, or reports ErrClientBroken for
-// clients that cannot.
+// redial replaces a broken connection with one to the current endpoint,
+// or reports ErrClientBroken for clients that cannot redial. A failed
+// dial rotates to the next address, so the following attempt tries a
+// different node — the failover path when the primary is unreachable.
 func (c *Client) redial() error {
-	if c.dialer == nil {
+	if len(c.endpoints) == 0 {
 		return ErrClientBroken
 	}
-	conn, err := c.dialer()
+	ep := &c.endpoints[c.cur]
+	conn, err := ep.dial()
 	if err != nil {
+		ep.fails++
+		if len(c.endpoints) > 1 {
+			c.cur = (c.cur + 1) % len(c.endpoints)
+		}
 		return err
 	}
 	c.conn = conn
@@ -272,6 +336,21 @@ func (c *Client) redial() error {
 	c.broken = false
 	c.stats.Redials++
 	return nil
+}
+
+// rotate abandons the current connection and targets the next address:
+// the node just told us it is a standby, so the op must be re-sent
+// elsewhere, immediately.
+func (c *Client) rotate() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.broken = true
+	if len(c.endpoints) > 1 {
+		c.cur = (c.cur + 1) % len(c.endpoints)
+		c.stats.Failovers++
+	}
 }
 
 // backoff sleeps before retry attempt n (1-based): exponential growth
@@ -289,7 +368,7 @@ func (c *Client) backoff(n int, floor time.Duration) {
 	if sleep < floor {
 		sleep = floor
 	}
-	time.Sleep(sleep)
+	c.sleep(sleep)
 }
 
 // breakerGate is consulted at the start of every operation: nil means
@@ -358,18 +437,35 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 		lastErr       error
 		indeterminate bool // some attempt may have reached the engine
 		sawOverload   bool
+		sawNotPrimary bool
 		retryAfter    time.Duration
 	)
+	// The backoff clock is charged per address: attemptsHere counts this
+	// op's failures against the endpoint the next attempt will try, and
+	// resets whenever a rotation targets a different address — a dead
+	// primary's accumulated schedule must not delay the first attempt
+	// against the promoted standby.
+	attemptsHere := 0
+	lastEp := c.cur
 	for n := 0; n < c.cfg.MaxAttempts; n++ {
+		if c.cur != lastEp {
+			lastEp = c.cur
+			attemptsHere = 0
+		}
 		if n > 0 {
 			c.stats.Retries++
-			c.backoff(n, retryAfter)
+			if attemptsHere > 0 {
+				c.backoff(attemptsHere, retryAfter)
+			} else if retryAfter > 0 {
+				c.sleep(retryAfter)
+			}
 			retryAfter = 0
 		}
 		if c.broken || c.conn == nil {
 			if err := c.redial(); err != nil {
 				// A failed dial never reached the server: determinate.
 				lastErr = err
+				attemptsHere++
 				c.noteFailure()
 				if errors.Is(err, ErrClientBroken) {
 					return wire.Response{}, err
@@ -385,8 +481,21 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 				c.stats.Overloaded++
 				c.noteFailure()
 				sawOverload = true
+				attemptsHere++
 				retryAfter = time.Duration(resp.RetryAfterMillis) * time.Millisecond
 				lastErr = fmt.Errorf("%w (retry after %v)", ErrOverloaded, retryAfter)
+				continue
+			}
+			if resp.NotPrimary {
+				// A standby refused the op (definitively not executed)
+				// and told us its term: rotate to the next address and
+				// retry immediately — the refusal is a healthy answer,
+				// not a failure worth a backoff.
+				c.stats.NotPrimary++
+				c.noteFailure()
+				sawNotPrimary = true
+				lastErr = fmt.Errorf("%w (standby at term %d)", ErrNotPrimary, resp.Term)
+				c.rotate()
 				continue
 			}
 			c.noteSuccess()
@@ -402,8 +511,16 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 		// have been executed.
 		lastErr = err
 		indeterminate = true
+		attemptsHere++
 		c.noteFailure()
 		c.markBroken()
+	}
+	if sawNotPrimary && !sawOverload && !indeterminate {
+		// Every node we reached called itself a standby: not executed
+		// anywhere. Carry both sentinels — ErrNotPrimary for diagnosis,
+		// ErrOverloaded for the strong may-reissue contract.
+		return wire.Response{}, fmt.Errorf("server: no primary found after %d attempts (%v): %w, %w",
+			c.cfg.MaxAttempts, lastErr, ErrNotPrimary, ErrOverloaded)
 	}
 	if sawOverload && !indeterminate {
 		// Every attempt was definitively not executed and at least one
@@ -490,6 +607,20 @@ func (c *Client) Info() (wire.InfoPayload, error) {
 		return wire.InfoPayload{}, err
 	}
 	return wire.DecodeInfo(resp.Data)
+}
+
+// Promote orders the connected node — a standby — to take over as
+// primary: it detaches from the deposed primary's stream, opens its
+// mirrored state, bumps the fencing term, and starts serving. Returns
+// the promoted node's new term and shard count. Aim this at the standby
+// directly (a client with only its address): the op is answered by
+// whichever node receives it.
+func (c *Client) Promote() (wire.PromoteInfo, error) {
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpPromote})
+	if err != nil {
+		return wire.PromoteInfo{}, err
+	}
+	return wire.DecodePromoteInfo(resp.Data)
 }
 
 // Reshard sends one live-resharding admin command and returns the

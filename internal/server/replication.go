@@ -1,0 +1,466 @@
+// Warm-standby replication, serving side. The durable layer owns the
+// mechanics (internal/durable's Shipper streams every durability event;
+// its Mirror lands them byte-identically); this file owns the wire
+// topology: a primary's ReplicaHub serves the replication sub-protocol
+// to one standby over a connection the TCP front end hands it
+// (OpReplJoin), and a standby's ReplicaSession dials the primary,
+// maintains per-shard mirrors, and acknowledges durable watermarks —
+// the acks semi-sync primaries gate client responses on.
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/durable"
+	"repro/internal/server/wire"
+)
+
+// NotPrimaryError is returned by a standby's serving stub for data ops:
+// the node mirrors a primary and must not serve (a write here would
+// fork the store; a read could be stale). The TCP front end maps it to
+// StatusNotPrimary with the node's fencing term, which clients use to
+// rotate to the next address.
+type NotPrimaryError struct{ Term uint64 }
+
+func (e *NotPrimaryError) Error() string {
+	return fmt.Sprintf("server: not the primary (term %d)", e.Term)
+}
+
+// ReplicaHub is the primary's side of a replication link: it owns one
+// standby connection at a time, fanning every shard's Shipper into it
+// and routing the standby's acks back by shard. A reconnecting standby
+// replaces the previous link (newest wins — the old one is dead or
+// about to be).
+type ReplicaHub struct {
+	// Shippers holds shard i's log shipper at index i; the same Shipper
+	// values must be wired into the shard engines' Options.Ship.
+	Shippers []*durable.Shipper
+	// Term supplies the primary's fencing term (max across shards).
+	Term func() uint64
+	// Nudge prods one shard's scheduler with a no-op access so an idle
+	// shard services its pending bootstrap promptly rather than at the
+	// next client op. nil = bootstrap waits for organic traffic.
+	Nudge func(shard int)
+	// HeartbeatEvery paces idle-link heartbeats (keeps acks flowing and
+	// lag observable when no writes happen). Default 500ms.
+	HeartbeatEvery time.Duration
+	// Logf receives link lifecycle events. Default: discard.
+	Logf func(format string, args ...any)
+
+	mu   sync.Mutex
+	conn net.Conn // active standby link, nil when none
+}
+
+// lockedSink serializes concurrent shard shippers (and the hub's own
+// hello) onto one connection.
+type lockedSink struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (ls *lockedSink) SendFrame(f wire.ReplFrame) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return wire.WriteReplFrame(ls.conn, f)
+}
+
+// Serve runs one standby connection until it dies: hello, per-shard
+// attach, then the ack reader loop. The TCP front end calls it from the
+// connection's handler goroutine (via TCPConfig.ReplJoin) after the
+// OpReplJoin handshake; Serve owns the conn and closes it.
+func (h *ReplicaHub) Serve(conn net.Conn) error {
+	logf := h.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	h.mu.Lock()
+	if h.conn != nil {
+		// Newest wins: kill the stale link; its Serve goroutine unwinds
+		// without detaching (it no longer owns the hub).
+		h.conn.Close()
+	}
+	h.conn = conn
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		owner := h.conn == conn
+		if owner {
+			h.conn = nil
+		}
+		h.mu.Unlock()
+		if owner {
+			for _, s := range h.Shippers {
+				s.Detach()
+			}
+		}
+		conn.Close()
+	}()
+
+	sink := &lockedSink{conn: conn}
+	if err := sink.SendFrame(wire.ReplFrame{
+		Kind: wire.ReplHello, Term: h.Term(), Shards: len(h.Shippers),
+	}); err != nil {
+		return err
+	}
+	for _, s := range h.Shippers {
+		s.Attach(sink)
+	}
+	logf("server: replica attached (%d shards, term %d)", len(h.Shippers), h.Term())
+	// Bootstraps are serviced on each shard's engine thread at its next
+	// operation; prod idle shards so a quiet fleet still boots promptly.
+	if h.Nudge != nil {
+		go func() {
+			for i := range h.Shippers {
+				h.Nudge(i)
+			}
+		}()
+	}
+
+	hbEvery := h.HeartbeatEvery
+	if hbEvery <= 0 {
+		hbEvery = 500 * time.Millisecond
+	}
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	go func() {
+		tick := time.NewTicker(hbEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-tick.C:
+				term := h.Term()
+				for _, s := range h.Shippers {
+					s.Heartbeat(term)
+				}
+			}
+		}
+	}()
+
+	br := bufio.NewReader(conn)
+	for {
+		f, err := wire.ReadReplFrame(br)
+		if err != nil {
+			logf("server: replica link closed: %v", err)
+			return err
+		}
+		if f.Kind != wire.ReplAck {
+			return fmt.Errorf("server: replica sent %s frame, want ack", f.Kind)
+		}
+		if f.Term > h.Term() {
+			// The standby has been promoted past us: this node is the
+			// deposed primary. Drop the link; serving-layer fencing (the
+			// standby's mirror) already refuses our frames.
+			logf("server: replica at term %d outranks this primary (term %d); detaching", f.Term, h.Term())
+			return fmt.Errorf("server: replica term %d outranks primary term %d", f.Term, h.Term())
+		}
+		if f.Shard >= len(h.Shippers) {
+			return fmt.Errorf("server: ack for shard %d of %d", f.Shard, len(h.Shippers))
+		}
+		h.Shippers[f.Shard].Ack(f.Seq)
+	}
+}
+
+// Info aggregates the fleet's shipping state for OpInfo responses.
+func (h *ReplicaHub) Info() *wire.ReplicationInfo {
+	info := &wire.ReplicationInfo{Role: wire.RolePrimary, Term: h.Term()}
+	for _, s := range h.Shippers {
+		st := s.Stats()
+		info.Attached = info.Attached || st.Attached
+		info.ShippedSeq += st.Seq
+		info.AckedSeq += st.AckedSeq
+		info.LagBytes += st.LagBytes
+	}
+	return info
+}
+
+// ReplicaSessionConfig configures a standby's replication session.
+type ReplicaSessionConfig struct {
+	// Addrs are the primary's addresses, tried round-robin.
+	Addrs []string
+	// DataDir is the standby's data directory root; shard mirrors live
+	// in the same per-shard layout the primary uses, so promotion opens
+	// them in place.
+	DataDir string
+	// Gen is the reshard generation the mirrored fleet serves.
+	Gen uint64
+	// Shards, when nonzero, pins the expected shard count; a hello
+	// announcing a different width fails the link (the deployments are
+	// misconfigured). 0 accepts whatever the primary announces.
+	Shards int
+	// Timeout bounds each dial. Default 5s.
+	Timeout time.Duration
+	// RedialBackoff is the pause between connection attempts. Default
+	// 200ms.
+	RedialBackoff time.Duration
+	// FenceOff disables the mirrors' term fencing — only the failover
+	// oracle's negative control sets it.
+	FenceOff bool
+	// Dial overrides connection establishment (fault injection). nil =
+	// plain TCP.
+	Dial func(addr string) (net.Conn, error)
+	// Logf receives link lifecycle events. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+// ReplicaSession is the standby's side of the link: it dials the
+// primary, joins the replication sub-protocol, applies every frame to
+// the shard's mirror, and acknowledges the durable watermark. It
+// redials across Addrs until Stop.
+type ReplicaSession struct {
+	cfg ReplicaSessionConfig
+
+	mu       sync.Mutex
+	conn     net.Conn
+	stopped  bool
+	attached bool
+	booted   int // shards that completed bootstrap
+	term     uint64
+	applied  uint64 // records applied+fsynced, summed across shards
+	shards   int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReplicaSession builds a session; Run starts it.
+func NewReplicaSession(cfg ReplicaSessionConfig) *ReplicaSession {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 200 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, cfg.Timeout)
+		}
+	}
+	return &ReplicaSession{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Run dials and serves replication links until Stop, redialing across
+// the configured addresses after each failure. It blocks; callers run
+// it in a goroutine.
+func (rs *ReplicaSession) Run() {
+	defer close(rs.done)
+	for i := 0; ; i++ {
+		select {
+		case <-rs.stop:
+			return
+		default:
+		}
+		addr := rs.cfg.Addrs[i%len(rs.cfg.Addrs)]
+		if err := rs.serveLink(addr); err != nil {
+			rs.cfg.Logf("server: replica link to %s: %v", addr, err)
+		}
+		select {
+		case <-rs.stop:
+			return
+		case <-time.After(rs.cfg.RedialBackoff):
+		}
+	}
+}
+
+// Stop ends the session: the live link drops and Run returns. The
+// mirrors' directories are left ready for promotion.
+func (rs *ReplicaSession) Stop() {
+	rs.mu.Lock()
+	if rs.stopped {
+		rs.mu.Unlock()
+		<-rs.done
+		return
+	}
+	rs.stopped = true
+	close(rs.stop)
+	if rs.conn != nil {
+		rs.conn.Close()
+	}
+	rs.mu.Unlock()
+	<-rs.done
+}
+
+// Info reports the standby's replication state for OpInfo responses.
+func (rs *ReplicaSession) Info() *wire.ReplicationInfo {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return &wire.ReplicationInfo{
+		Role:       wire.RoleReplica,
+		Attached:   rs.attached && rs.booted == rs.shards && rs.shards > 0,
+		Term:       rs.term,
+		ShippedSeq: rs.applied,
+		AckedSeq:   rs.applied,
+	}
+}
+
+// serveLink runs one connection's lifetime: join, hello, frame loop.
+func (rs *ReplicaSession) serveLink(addr string) error {
+	conn, err := rs.cfg.Dial(addr)
+	if err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	if rs.stopped {
+		rs.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	rs.conn = conn
+	rs.mu.Unlock()
+	defer func() {
+		rs.mu.Lock()
+		if rs.conn == conn {
+			rs.conn = nil
+			rs.attached = false
+		}
+		rs.mu.Unlock()
+		conn.Close()
+	}()
+
+	if err := wire.WriteRequest(conn, wire.Request{Op: wire.OpReplJoin}); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := wire.ReadResponse(br)
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("repl-join refused: %s", resp.Err)
+	}
+	hello, err := wire.ReadReplFrame(br)
+	if err != nil {
+		return err
+	}
+	if hello.Kind != wire.ReplHello {
+		return fmt.Errorf("first frame is %s, want hello", hello.Kind)
+	}
+	if rs.cfg.Shards != 0 && hello.Shards != rs.cfg.Shards {
+		return fmt.Errorf("primary serves %d shards, this standby is configured for %d", hello.Shards, rs.cfg.Shards)
+	}
+
+	mirrors := make([]*durable.Mirror, hello.Shards)
+	for i := range mirrors {
+		dir := durable.ShardDir(rs.cfg.DataDir, rs.cfg.Gen, i, hello.Shards)
+		m, err := durable.NewMirror(dir, durable.MirrorOptions{
+			Shard: i, FenceOff: rs.cfg.FenceOff, Logf: rs.cfg.Logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		// The hello's term passes through every mirror's fence up front:
+		// a deposed primary is rejected before it ships a byte.
+		if err := m.Apply(hello); err != nil {
+			return err
+		}
+		mirrors[i] = m
+	}
+	seqs := make([]uint64, hello.Shards)
+	rs.mu.Lock()
+	rs.attached = true
+	rs.shards = hello.Shards
+	rs.booted = 0
+	rs.applied = 0
+	if hello.Term > rs.term {
+		rs.term = hello.Term
+	}
+	rs.mu.Unlock()
+	rs.cfg.Logf("server: mirroring %s (%d shards, term %d)", addr, hello.Shards, hello.Term)
+
+	for {
+		f, err := wire.ReadReplFrame(br)
+		if err != nil {
+			return err
+		}
+		if f.Shard >= len(mirrors) {
+			return fmt.Errorf("frame for shard %d of %d", f.Shard, len(mirrors))
+		}
+		m := mirrors[f.Shard]
+		wasBooted := m.Booted()
+		if err := m.Apply(f); err != nil {
+			// Any apply failure (a stale term above all) means the local
+			// bytes can no longer be trusted to match the primary's; drop
+			// the link and let the next bootstrap rebuild.
+			return err
+		}
+		rs.mu.Lock()
+		if m.Term() > rs.term {
+			rs.term = m.Term()
+		}
+		if !wasBooted && m.Booted() {
+			rs.booted++
+		}
+		rs.applied += m.Seq() - seqs[f.Shard]
+		seqs[f.Shard] = m.Seq()
+		rs.mu.Unlock()
+		switch f.Kind {
+		case wire.ReplWALBatch, wire.ReplBootDone, wire.ReplHeartbeat:
+			// The mirror fsynced before returning: this ack is a
+			// durability promise the primary's semi-sync mode relies on.
+			ack := wire.ReplFrame{Kind: wire.ReplAck, Term: m.Term(), Shard: f.Shard, Seq: m.Seq()}
+			if err := wire.WriteReplFrame(conn, ack); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ReplicaStub is the Backend a standby daemon serves while mirroring:
+// geometry and info work (monitoring keeps functioning), every data op
+// is refused with NotPrimaryError so clients rotate to the primary.
+type ReplicaStub struct {
+	numBlocks int64
+	blockSize int
+	encrypted bool
+	shards    int
+	term      func() uint64
+}
+
+// NewReplicaStub builds the standby serving stub. The geometry must
+// match the primary's (both daemons are launched from the same
+// configuration).
+func NewReplicaStub(numBlocks int64, blockSize int, encrypted bool, shards int, term func() uint64) *ReplicaStub {
+	return &ReplicaStub{numBlocks: numBlocks, blockSize: blockSize, encrypted: encrypted, shards: shards, term: term}
+}
+
+var _ Backend = (*ReplicaStub)(nil)
+
+func (r *ReplicaStub) NumBlocks() int64 { return r.numBlocks }
+func (r *ReplicaStub) BlockSize() int   { return r.blockSize }
+func (r *ReplicaStub) Encrypted() bool  { return r.encrypted }
+func (r *ReplicaStub) Shards() int      { return r.shards }
+
+func (r *ReplicaStub) refuse() error { return &NotPrimaryError{Term: r.term()} }
+
+func (r *ReplicaStub) Access(ctx context.Context, block int64) error { return r.refuse() }
+func (r *ReplicaStub) Read(ctx context.Context, block int64) ([]byte, error) {
+	return nil, r.refuse()
+}
+func (r *ReplicaStub) ReadXOR(ctx context.Context, block int64) (*aboram.XORResult, error) {
+	return nil, r.refuse()
+}
+func (r *ReplicaStub) Write(ctx context.Context, block int64, data []byte) error {
+	return r.refuse()
+}
+func (r *ReplicaStub) WriteID(ctx context.Context, id uint64, block int64, data []byte) error {
+	return r.refuse()
+}
+func (r *ReplicaStub) RetryAfterHint(block int64, op wire.Op) time.Duration { return 0 }
+
+// Durability reports a zero counter tail: the wire format only carries
+// the replication tail after a durability tail, and a standby's
+// interesting numbers (lag, term) live in the replication tail.
+func (r *ReplicaStub) Durability() *wire.DurabilityInfo { return &wire.DurabilityInfo{} }
+
+func (r *ReplicaStub) Close() error { return nil }

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/aboram"
+	"repro/internal/durable"
+	"repro/internal/server/wire"
+)
+
+// startReplicatedFleet opens a durable shard fleet under dir with one
+// Shipper per shard wired into both the engines and the returned hub,
+// serves it over TCP, and returns everything a failover test needs.
+func startReplicatedFleet(t *testing.T, dir string, shards int, semiSync bool) (
+	addr string, srv *Sharded, tsrv *TCPServer, engines []*durable.Engine,
+	hub *ReplicaHub, kill func()) {
+	t.Helper()
+	ships := make([]*durable.Shipper, shards)
+	engs := make([]Engine, shards)
+	engines = make([]*durable.Engine, shards)
+	for i := 0; i < shards; i++ {
+		ships[i] = &durable.Shipper{
+			Shard:      i,
+			SemiSync:   semiSync,
+			AckTimeout: 2 * time.Second,
+			ChunkBytes: 1 << 10, // multi-chunk bootstraps even for tiny stores
+		}
+		e, err := durable.Open(durable.Options{
+			Dir:           durable.ShardDir(dir, 0, i, shards),
+			ORAM:          aboram.Options{Levels: 8, Seed: ShardSeed(7, i), EncryptionKey: testKey},
+			SnapshotEvery: 8, // rotations and checkpoint shipping in-test
+			Ship:          ships[i],
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		engines[i] = e
+		engs[i] = e
+	}
+	srv, err := NewSharded(engs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub = &ReplicaHub{
+		Shippers: ships,
+		Term: func() uint64 {
+			var m uint64
+			for _, e := range engines {
+				if tm := e.Term(); tm > m {
+					m = tm
+				}
+			}
+			return m
+		},
+		Nudge:          func(shard int) { srv.Access(context.Background(), int64(shard)) },
+		HeartbeatEvery: 25 * time.Millisecond,
+		Logf:           t.Logf,
+	}
+	tsrv = NewTCP(srv, TCPConfig{ReplJoin: hub.Serve, Replication: hub.Info})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tsrv.Serve(ln)
+	var killed atomic.Bool
+	kill = func() {
+		if !killed.CompareAndSwap(false, true) {
+			return
+		}
+		// The replication link's handler goroutine blocks in hub.Serve's
+		// ack loop, so a short deadline plus force-close is the norm here.
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		tsrv.Shutdown(ctx)
+		srv.Close()
+		for _, e := range engines {
+			e.Close()
+		}
+	}
+	t.Cleanup(kill)
+	return ln.Addr().String(), srv, tsrv, engines, hub, kill
+}
+
+// TestReplicationFailoverEndToEnd drives the whole warm-standby story
+// over real sockets: a semi-sync primary fleet ships to a standby
+// daemon; a client configured with both addresses rotates off the
+// standby's not-primary refusals to find the primary; the primary is
+// killed, the standby is promoted in place via OpPromote, and the same
+// client fails over to it and reads back every acknowledged write.
+func TestReplicationFailoverEndToEnd(t *testing.T) {
+	const shards = 2
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	paddr, srv, _, _, hub, kill := startReplicatedFleet(t, pdir, shards, true)
+
+	// Standby: replication session plus a stub-backed TCP front end.
+	sess := NewReplicaSession(ReplicaSessionConfig{
+		Addrs:         []string{paddr},
+		DataDir:       rdir,
+		Gen:           0,
+		Shards:        shards,
+		RedialBackoff: 50 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	go sess.Run()
+	defer sess.Stop()
+
+	var promotedTerm atomic.Uint64
+	stub := NewReplicaStub(srv.NumBlocks(), srv.BlockSize(), srv.Encrypted(), shards,
+		func() uint64 { return sess.Info().Term })
+	var tsrvR *TCPServer
+	var pengs2 []*durable.Engine
+	var srv2 *Sharded
+	wantFPs := make(map[int][32]byte)
+	promote := func() (wire.PromoteInfo, error) {
+		sess.Stop()
+		engs2 := make([]Engine, shards)
+		var maxTerm uint64
+		for i := 0; i < shards; i++ {
+			e, err := durable.Open(durable.Options{
+				Dir:           durable.ShardDir(rdir, 0, i, shards),
+				ORAM:          aboram.Options{Levels: 8, Seed: ShardSeed(7, i), EncryptionKey: testKey},
+				SnapshotEvery: 8,
+			})
+			if err != nil {
+				return wire.PromoteInfo{}, fmt.Errorf("promoting shard %d: %w", i, err)
+			}
+			// The mirrored directory must recover to the exact state the
+			// primary acknowledged.
+			fp, err := e.Fingerprint()
+			if err != nil {
+				return wire.PromoteInfo{}, err
+			}
+			if want, ok := wantFPs[i]; ok && fp != want {
+				return wire.PromoteInfo{}, fmt.Errorf("shard %d: promoted fingerprint diverges from primary", i)
+			}
+			pengs2 = append(pengs2, e)
+			engs2[i] = e
+			if tm := e.Term(); tm > maxTerm {
+				maxTerm = tm
+			}
+		}
+		for _, e := range pengs2 {
+			if err := e.SetTerm(maxTerm + 1); err != nil {
+				return wire.PromoteInfo{}, err
+			}
+		}
+		var err error
+		srv2, err = NewSharded(engs2, Config{})
+		if err != nil {
+			return wire.PromoteInfo{}, err
+		}
+		tsrvR.SwapBackend(srv2)
+		promotedTerm.Store(maxTerm + 1)
+		return wire.PromoteInfo{Term: maxTerm + 1, Shards: shards}, nil
+	}
+	tsrvR = NewTCP(stub, TCPConfig{
+		Promote: promote,
+		Replication: func() *wire.ReplicationInfo {
+			if tm := promotedTerm.Load(); tm > 0 {
+				return &wire.ReplicationInfo{Role: wire.RolePrimary, Attached: false, Term: tm}
+			}
+			return sess.Info()
+		},
+	})
+	lnR, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tsrvR.Serve(lnR)
+	raddr := lnR.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		tsrvR.Shutdown(ctx)
+		if srv2 != nil {
+			srv2.Close()
+		}
+		for _, e := range pengs2 {
+			e.Close()
+		}
+	}()
+
+	// The client lists the standby FIRST: its initial writes must rotate
+	// off StatusNotPrimary to reach the primary.
+	c, err := DialConfig(raddr+","+paddr, ClientConfig{
+		Timeout:     5 * time.Second,
+		MaxAttempts: 6,
+		BaseBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const writes = 12
+	bs := srv.BlockSize()
+	data := func(i int) []byte {
+		d := make([]byte, bs)
+		for j := range d {
+			d[j] = byte(i) ^ byte(j*3)
+		}
+		return d
+	}
+	for i := 0; i < writes; i++ {
+		if err := c.Write(int64(i), data(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.NotPrimary < 1 || st.Failovers < 1 {
+		t.Fatalf("client never rotated off the standby: %+v", st)
+	}
+
+	// Replication drains: the standby attaches, bootstraps every shard,
+	// and acknowledges everything shipped.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		hi, si := hub.Info(), sess.Info()
+		if hi.Attached && si.Attached && hi.ShippedSeq > 0 && hi.AckedSeq == hi.ShippedSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never drained: hub=%+v sess=%+v", hi, si)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Both roles are observable through OpInfo's replication tail.
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replication == nil || info.Replication.Role != wire.RolePrimary || !info.Replication.Attached {
+		t.Fatalf("primary info tail: %+v", info.Replication)
+	}
+	cr, err := Dial(raddr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cr.Close()
+	rinfo, err := cr.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.Replication == nil || rinfo.Replication.Role != wire.RoleReplica || !rinfo.Replication.Attached {
+		t.Fatalf("replica info tail: %+v", rinfo.Replication)
+	}
+
+	// Kill the primary. Every write above was acknowledged under
+	// semi-sync, so the standby's directories already hold all of them;
+	// prove it by recovering the dead primary's shards and comparing
+	// fingerprints against what promotion recovers from the mirrors.
+	kill()
+	for i := 0; i < shards; i++ {
+		e, err := durable.Open(durable.Options{
+			Dir:           durable.ShardDir(pdir, 0, i, shards),
+			ORAM:          aboram.Options{Levels: 8, Seed: ShardSeed(7, i), EncryptionKey: testKey},
+			SnapshotEvery: 8,
+		})
+		if err != nil {
+			t.Fatalf("recovering dead primary shard %d: %v", i, err)
+		}
+		fp, err := e.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFPs[i] = fp
+		e.Close()
+	}
+
+	// Promote the standby through the admin op.
+	pi, err := cr.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if pi.Term < 1 || pi.Shards != shards {
+		t.Fatalf("promote info: %+v", pi)
+	}
+
+	// The original client's pinned connection is dead; reads must fail
+	// over to the promoted standby and return every acknowledged write.
+	for i := 0; i < writes; i++ {
+		got, err := c.Read(int64(i))
+		if err != nil {
+			t.Fatalf("post-failover read %d: %v", i, err)
+		}
+		if want := data(i); string(got) != string(want) {
+			t.Fatalf("post-failover read %d: acknowledged write lost or corrupt", i)
+		}
+	}
+	info, err = c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replication == nil || info.Replication.Role != wire.RolePrimary || info.Replication.Term != pi.Term {
+		t.Fatalf("promoted info tail: %+v", info.Replication)
+	}
+}
+
+// TestClientBackoffClockIsPerEndpoint is the failover-latency regression
+// test: a dead primary's accumulated backoff schedule must not be
+// charged to the first attempt against the next address. The client's
+// sleep hook records the schedule; rotating to a live endpoint must not
+// add a sleep.
+func TestClientBackoffClockIsPerEndpoint(t *testing.T) {
+	// Endpoint A: a real server killed mid-test. Endpoint B: stays up.
+	oA := newTestORAM(t, 31)
+	srvA := New(oA, Config{})
+	tsrvA := NewTCP(srvA, TCPConfig{})
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tsrvA.Serve(lnA)
+	killA := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		tsrvA.Shutdown(ctx)
+		srvA.Close()
+	}
+	defer killA()
+	addrB, _, _, stopB := startTCP(t, 32, Config{}, TCPConfig{})
+	defer stopB()
+
+	c, err := DialConfig(lnA.Addr().String()+","+addrB, ClientConfig{
+		Timeout:     2 * time.Second,
+		MaxAttempts: 6,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sleeps []time.Duration
+	c.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+
+	if err := c.Access(0); err != nil {
+		t.Fatalf("op via A: %v", err)
+	}
+	killA()
+
+	// A's conn breaks (one failure), A's redial is refused (second
+	// failure, rotation), then B answers on a cold backoff clock.
+	if err := c.Access(1); err != nil {
+		t.Fatalf("failover op: %v", err)
+	}
+	if len(sleeps) == 0 {
+		t.Fatalf("expected at least one backoff against the dead endpoint")
+	}
+	for _, d := range sleeps {
+		if d > 50*time.Millisecond {
+			t.Fatalf("backoff schedule leaked across endpoints: slept %v (> BaseBackoff); all sleeps %v", d, sleeps)
+		}
+	}
+	// The decisive half: the attempt that landed on B slept zero times —
+	// with a shared clock it would have slept the *escalated* schedule.
+	if len(sleeps) > 2 {
+		t.Fatalf("too many backoff sleeps for one endpoint rotation: %v", sleeps)
+	}
+}
+
+// TestClientAllStandbys proves the terminal classification: when every
+// address refuses as a standby, the op fails with both ErrNotPrimary
+// (nothing executed) and ErrOverloaded (safe to reissue) rather than an
+// indeterminate error.
+func TestClientAllStandbys(t *testing.T) {
+	stub := NewReplicaStub(64, 64, true, 1, func() uint64 { return 7 })
+	tsrv := NewTCP(stub, TCPConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tsrv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		tsrv.Shutdown(ctx)
+	}()
+
+	c, err := DialConfig(ln.Addr().String(), ClientConfig{
+		Timeout:     time.Second,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Write(1, make([]byte, 64))
+	if !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("want ErrNotPrimary, got %v", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded (definitively-not-executed), got %v", err)
+	}
+	if st := c.Stats(); st.NotPrimary != 3 {
+		t.Fatalf("want 3 not-primary refusals, got %+v", st)
+	}
+}

@@ -165,12 +165,12 @@ func (sh *Sharded) BeginReshard(engines []Engine, cfg ReshardConfig) (*Resharder
 		next = append(next, srv)
 	}
 	sh.rt.Store(&routeTable{
-		cur:       rt.cur,
-		curShards: rt.curShards,
-		numBlocks: total,
-		next:      next,
+		cur:        rt.cur,
+		curShards:  rt.curShards,
+		numBlocks:  total,
+		next:       next,
 		nextShards: to,
-		watermark: cfg.Watermark,
+		watermark:  cfg.Watermark,
 	})
 	r := &Resharder{
 		sh:        sh,

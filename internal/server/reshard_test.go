@@ -164,11 +164,11 @@ func TestEstimateWaitLaw(t *testing.T) {
 	}{
 		{0, 0, 0, 0},
 		{5, 0, 0, 0},
-		{0, 100, 0, 100},   // own unobserved → aggregate
-		{0, 100, -7, 100},  // negative own → aggregate
-		{0, -50, 0, 0},     // negative aggregate clamps to zero
-		{-3, 100, 40, 40},  // negative depth clamps to zero
-		{3, 100, 40, 340},  // depth*agg + own
+		{0, 100, 0, 100},    // own unobserved → aggregate
+		{0, 100, -7, 100},   // negative own → aggregate
+		{0, -50, 0, 0},      // negative aggregate clamps to zero
+		{-3, 100, 40, 40},   // negative depth clamps to zero
+		{3, 100, 40, 340},   // depth*agg + own
 		{3, 100, 900, 1200}, // expensive own kind dominates
 	}
 	for _, c := range cases {

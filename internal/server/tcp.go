@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/aboram"
@@ -34,6 +35,18 @@ type TCPConfig struct {
 	// Reshard handles OpReshard admin commands (live P→P′ migration).
 	// The daemon wires it to its reshard controller; nil refuses the op.
 	Reshard func(cmd wire.ReshardCmd, target int) (wire.ReshardInfo, error)
+	// ReplJoin takes over a connection that sent OpReplJoin, after the
+	// front end has written the OK response: from then on the connection
+	// speaks the replication sub-protocol, owned by ReplJoin until it
+	// returns (the front end closes the conn afterwards). nil refuses
+	// the op — this node does not ship a log.
+	ReplJoin func(conn net.Conn) error
+	// Promote handles the OpPromote admin op (standby → primary
+	// failover). nil refuses the op.
+	Promote func() (wire.PromoteInfo, error)
+	// Replication supplies the optional replication tail of OpInfo
+	// responses; nil omits it.
+	Replication func() *wire.ReplicationInfo
 }
 
 // TCPMetrics counts front-end connection events.
@@ -48,7 +61,7 @@ type TCPMetrics struct {
 // TCPServer speaks the wire protocol on a listener and forwards requests
 // to a Backend — one Server, or a Sharded router over P of them.
 type TCPServer struct {
-	srv Backend
+	srv atomic.Pointer[Backend] // swapped by promotion (see SwapBackend)
 	cfg TCPConfig
 
 	mu       sync.Mutex
@@ -71,12 +84,27 @@ func NewTCP(srv Backend, cfg TCPConfig) *TCPServer {
 	if cfg.DedupWindow <= 0 {
 		cfg.DedupWindow = 4096
 	}
-	return &TCPServer{
-		srv:   srv,
+	t := &TCPServer{
 		cfg:   cfg,
 		conns: make(map[net.Conn]struct{}),
 		dedup: newDedupWindow(cfg.DedupWindow),
 	}
+	t.srv.Store(&srv)
+	return t
+}
+
+// backend returns the current serving backend (promotion swaps it).
+func (t *TCPServer) backend() Backend { return *t.srv.Load() }
+
+// SwapBackend atomically replaces the serving backend and returns the
+// previous one. A promoted standby uses this to go from the
+// not-a-primary stub to the real engine fleet without restarting the
+// front end: requests already in flight finish against whichever
+// backend they loaded, everything after the swap serves from the new
+// one. The caller owns closing the returned backend.
+func (t *TCPServer) SwapBackend(next Backend) Backend {
+	old := t.srv.Swap(&next)
+	return *old
 }
 
 // Serve accepts connections on ln until Shutdown closes it. It always
@@ -202,6 +230,24 @@ func (t *TCPServer) handle(conn net.Conn) {
 			}
 			return
 		}
+		if req.Op == wire.OpReplJoin {
+			// Protocol upgrade: acknowledge, then hand the raw connection
+			// to the replication hub. The request/response framing ends
+			// here; the conn speaks replication frames until it dies.
+			if t.cfg.ReplJoin == nil {
+				t.reply(conn, wire.Response{Err: "repl-join: this node does not ship a log"})
+				return
+			}
+			if !t.reply(conn, wire.Response{}) {
+				return
+			}
+			// Replication sessions outlive the request/response idle
+			// deadline model; the hub owns liveness from here.
+			conn.SetReadDeadline(time.Time{})
+			conn.SetWriteDeadline(time.Time{})
+			t.cfg.ReplJoin(conn)
+			return
+		}
 		resp := t.dispatch(req)
 		if !t.reply(conn, resp) {
 			return
@@ -251,28 +297,33 @@ func (t *TCPServer) dispatch(req wire.Request) wire.Response {
 
 // execute runs one wire request against the scheduler.
 func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response {
+	srv := t.backend()
 	switch req.Op {
 	case wire.OpInfo:
-		return wire.Response{Data: wire.EncodeInfo(wire.InfoPayload{
-			NumBlocks:  t.srv.NumBlocks(),
-			BlockSize:  t.srv.BlockSize(),
-			Encrypted:  t.srv.Encrypted(),
-			Shards:     t.srv.Shards(),
-			Durability: t.srv.Durability(),
-		})}
+		info := wire.InfoPayload{
+			NumBlocks:  srv.NumBlocks(),
+			BlockSize:  srv.BlockSize(),
+			Encrypted:  srv.Encrypted(),
+			Shards:     srv.Shards(),
+			Durability: srv.Durability(),
+		}
+		if t.cfg.Replication != nil {
+			info.Replication = t.cfg.Replication()
+		}
+		return wire.Response{Data: wire.EncodeInfo(info)}
 	case wire.OpAccess:
-		if err := t.srv.Access(ctx, req.Block); err != nil {
+		if err := srv.Access(ctx, req.Block); err != nil {
 			return t.failure(req, err)
 		}
 		return wire.Response{}
 	case wire.OpRead:
-		data, err := t.srv.Read(ctx, req.Block)
+		data, err := srv.Read(ctx, req.Block)
 		if err != nil {
 			return t.failure(req, err)
 		}
 		return wire.Response{Data: data}
 	case wire.OpXRead:
-		x, err := t.srv.ReadXOR(ctx, req.Block)
+		x, err := srv.ReadXOR(ctx, req.Block)
 		if err != nil {
 			return t.failure(req, err)
 		}
@@ -282,10 +333,23 @@ func (t *TCPServer) execute(ctx context.Context, req wire.Request) wire.Response
 		}
 		return wire.Response{Data: data}
 	case wire.OpWrite:
-		if err := t.srv.WriteID(ctx, req.ID, req.Block, req.Data); err != nil {
+		if err := srv.WriteID(ctx, req.ID, req.Block, req.Data); err != nil {
 			return t.failure(req, err)
 		}
 		return wire.Response{}
+	case wire.OpPromote:
+		if t.cfg.Promote == nil {
+			return wire.Response{Err: "promote: not supported by this server"}
+		}
+		info, err := t.cfg.Promote()
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		data, err := wire.EncodePromoteInfo(info)
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		return wire.Response{Data: data}
 	case wire.OpReshard:
 		if t.cfg.Reshard == nil {
 			return wire.Response{Err: "reshard: not supported by this server"}
@@ -329,6 +393,10 @@ func xreadPayload(x *aboram.XORResult) wire.XReadPayload {
 // distinguishable overloaded status with a retry-after hint, so clients
 // can back off and retry safely; everything else is a plain error.
 func (t *TCPServer) failure(req wire.Request, err error) wire.Response {
+	var np *NotPrimaryError
+	if errors.As(err, &np) {
+		return wire.Response{NotPrimary: true, Term: np.Term}
+	}
 	notExecuted := errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadlineShed) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 	if !notExecuted {
@@ -345,7 +413,7 @@ func (t *TCPServer) failure(req wire.Request, err error) wire.Response {
 // cannot inflate another's backoff — into the hint an overloaded response
 // carries, clamped to [1ms, 30s].
 func (t *TCPServer) retryAfterMillis(req wire.Request) uint32 {
-	est := t.srv.RetryAfterHint(req.Block, req.Op)
+	est := t.backend().RetryAfterHint(req.Block, req.Op)
 	ms := int64(est / time.Millisecond)
 	if ms < 1 {
 		ms = 1

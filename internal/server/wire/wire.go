@@ -51,6 +51,23 @@ const (
 	// and a successful response carries a ReshardInfo payload — see the
 	// codec in reshard.go. Block must be 0.
 	OpReshard Op = 6
+	// OpTerm (protocol v3) never crosses the network: it is the
+	// write-ahead-log record internal/durable appends when the promotion
+	// term changes. The ID field carries the new term; Block must be 0 and
+	// there is no payload. It rides the request encoding because the WAL
+	// reuses this codec for its records.
+	OpTerm Op = 7
+	// OpPromote (protocol v3) is the failover admin op: it orders a
+	// standby to promote itself to primary under the next fencing term. A
+	// successful response carries a PromoteInfo payload — see the codec in
+	// repl.go. Block must be 0 and there is no payload.
+	OpPromote Op = 8
+	// OpReplJoin (protocol v3) upgrades the connection to a replication
+	// stream: after the server answers StatusOK the request/response
+	// exchange ends and both sides switch to the replication frame
+	// sub-protocol (repl.go), primary→replica data frames and
+	// replica→primary acks. Block must be 0 and there is no payload.
+	OpReplJoin Op = 9
 )
 
 // String returns the op's display name.
@@ -68,6 +85,12 @@ func (op Op) String() string {
 		return "xread"
 	case OpReshard:
 		return "reshard"
+	case OpTerm:
+		return "term"
+	case OpPromote:
+		return "promote"
+	case OpReplJoin:
+		return "repljoin"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -89,6 +112,13 @@ const (
 	// never will be — applied, so a client may retry it freely (under the
 	// original request id) after backing off.
 	StatusOverloaded = 2
+	// StatusNotPrimary marks a request refused because the node is a
+	// standby: data ops are only served by the primary. Like
+	// StatusOverloaded it guarantees the op was not applied here, so a
+	// client should rotate to the next address in its list and resend
+	// under the original request id. The body is the refusing node's
+	// current fencing term as a uint64 big-endian.
+	StatusNotPrimary = 3
 )
 
 // MaxData bounds the variable-length tail of a frame (write payloads,
@@ -121,6 +151,11 @@ type Response struct {
 	// not executed, retry after RetryAfterMillis.
 	Overloaded       bool
 	RetryAfterMillis uint32
+	// NotPrimary marks a request refused by a standby
+	// (StatusNotPrimary): definitively not executed here, resend to the
+	// primary. Term is the refusing node's fencing term.
+	NotPrimary bool
+	Term       uint64
 }
 
 // InfoPayload is the OpInfo response body: the store geometry a load
@@ -136,6 +171,10 @@ type InfoPayload struct {
 	Encrypted  bool
 	Shards     int
 	Durability *DurabilityInfo
+	// Replication, when non-nil, is the optional standby-health tail a
+	// replication-enabled server appends after the durability tail; it is
+	// never present without Durability.
+	Replication *ReplicationInfo
 }
 
 // DurabilityInfo is the optional durability-counter tail of an OpInfo
@@ -154,6 +193,33 @@ type DurabilityInfo struct {
 
 // durabilityTail is the encoded size of DurabilityInfo: 7 uint64 fields.
 const durabilityTail = 7 * 8
+
+// Replication roles reported in ReplicationInfo.
+const (
+	// RolePrimary serves data ops and ships its log to a standby.
+	RolePrimary uint8 = 1
+	// RoleReplica mirrors a primary and refuses data ops.
+	RoleReplica uint8 = 2
+)
+
+// ReplicationInfo is the optional replication tail of an OpInfo
+// response: standby health as the answering node sees it. On a primary,
+// ShippedSeq/AckedSeq are the newest shipped and replica-acknowledged
+// stream sequence numbers (summed lag across shards is
+// ShippedSeq-AckedSeq per shard); on a replica they are the applied
+// watermark. Term is the node's fencing term.
+type ReplicationInfo struct {
+	Role       uint8
+	Attached   bool // primary: a replica is connected; replica: the link is up
+	Term       uint64
+	ShippedSeq uint64
+	AckedSeq   uint64
+	LagBytes   uint64 // bytes shipped but not yet acknowledged
+}
+
+// replicationTail is the encoded size of ReplicationInfo: role byte,
+// attached flag, then 4 uint64 fields.
+const replicationTail = 1 + 1 + 4*8
 
 // AppendRequest appends the canonical body encoding of req to dst. It
 // validates the same invariants DecodeRequest enforces, so only decodable
@@ -218,6 +284,21 @@ func validateRequest(req Request) error {
 		if _, err := DecodeReshardReq(req.Data); err != nil {
 			return err
 		}
+	case OpTerm:
+		// WAL-only record: the ID field carries the term.
+		if len(req.Data) != 0 {
+			return fmt.Errorf("wire: term record carries %d payload bytes", len(req.Data))
+		}
+		if req.Block != 0 {
+			return fmt.Errorf("wire: term record with block %d, must be 0", req.Block)
+		}
+	case OpPromote, OpReplJoin:
+		if len(req.Data) != 0 {
+			return fmt.Errorf("wire: %s request carries %d payload bytes", req.Op, len(req.Data))
+		}
+		if req.Block != 0 {
+			return fmt.Errorf("wire: %s request with block %d, must be 0", req.Op, req.Block)
+		}
 	default:
 		return fmt.Errorf("wire: unknown op %d", uint8(req.Op))
 	}
@@ -235,6 +316,10 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 	if resp.Overloaded {
 		dst = append(dst, StatusOverloaded)
 		return binary.BigEndian.AppendUint32(dst, resp.RetryAfterMillis), nil
+	}
+	if resp.NotPrimary {
+		dst = append(dst, StatusNotPrimary)
+		return binary.BigEndian.AppendUint64(dst, resp.Term), nil
 	}
 	if resp.Err != "" {
 		dst = append(dst, StatusError)
@@ -267,6 +352,11 @@ func DecodeResponse(body []byte) (Response, error) {
 			return Response{}, fmt.Errorf("wire: overloaded response body %d bytes, want 5", len(body))
 		}
 		return Response{Overloaded: true, RetryAfterMillis: binary.BigEndian.Uint32(body[1:5])}, nil
+	case StatusNotPrimary:
+		if len(body) != 9 {
+			return Response{}, fmt.Errorf("wire: not-primary response body %d bytes, want 9", len(body))
+		}
+		return Response{NotPrimary: true, Term: binary.BigEndian.Uint64(body[1:9])}, nil
 	default:
 		return Response{}, fmt.Errorf("wire: unknown response status %d", body[0])
 	}
@@ -278,6 +368,12 @@ func validateResponse(resp Response) error {
 	}
 	if !resp.Overloaded && resp.RetryAfterMillis != 0 {
 		return fmt.Errorf("wire: retry-after %d ms on a non-overloaded response", resp.RetryAfterMillis)
+	}
+	if resp.NotPrimary && (resp.Overloaded || resp.Err != "" || len(resp.Data) != 0) {
+		return fmt.Errorf("wire: not-primary response carries error, data, or overload")
+	}
+	if !resp.NotPrimary && resp.Term != 0 {
+		return fmt.Errorf("wire: term %d on a non-not-primary response", resp.Term)
 	}
 	if resp.Err != "" && len(resp.Data) != 0 {
 		return fmt.Errorf("wire: response carries both error and %d data bytes", len(resp.Data))
@@ -294,10 +390,14 @@ func validateResponse(resp Response) error {
 // EncodeInfo renders an OpInfo response payload: 8 bytes of block count,
 // 4 bytes of block size, 1 flag byte, 2 bytes of shard count, then —
 // only when the server reports durability counters — 56 bytes of
-// DurabilityInfo (7 big-endian uint64s in struct order). Shards 0
-// ("unset") encodes as 1, the unsharded geometry.
+// DurabilityInfo (7 big-endian uint64s in struct order), then — only
+// when the server reports replication health — 34 bytes of
+// ReplicationInfo (role byte, attached flag byte, 4 big-endian uint64s
+// in struct order). Shards 0 ("unset") encodes as 1, the unsharded
+// geometry. A replication tail without a durability tail is not
+// encodable: replicated servers always run a durable engine.
 func EncodeInfo(info InfoPayload) []byte {
-	out := make([]byte, 15, 15+durabilityTail)
+	out := make([]byte, 15, 15+durabilityTail+replicationTail)
 	binary.BigEndian.PutUint64(out[0:8], uint64(info.NumBlocks))
 	binary.BigEndian.PutUint32(out[8:12], uint32(info.BlockSize))
 	if info.Encrypted {
@@ -315,15 +415,27 @@ func EncodeInfo(info InfoPayload) []byte {
 		} {
 			out = binary.BigEndian.AppendUint64(out, v)
 		}
+		if r := info.Replication; r != nil {
+			out = append(out, r.Role)
+			if r.Attached {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+			for _, v := range [4]uint64{r.Term, r.ShippedSeq, r.AckedSeq, r.LagBytes} {
+				out = binary.BigEndian.AppendUint64(out, v)
+			}
+		}
 	}
 	return out
 }
 
 // DecodeInfo parses an OpInfo response payload, with or without the
-// durability tail.
+// durability and replication tails.
 func DecodeInfo(data []byte) (InfoPayload, error) {
-	if len(data) != 15 && len(data) != 15+durabilityTail {
-		return InfoPayload{}, fmt.Errorf("wire: info payload %d bytes, want 15 or %d", len(data), 15+durabilityTail)
+	if len(data) != 15 && len(data) != 15+durabilityTail && len(data) != 15+durabilityTail+replicationTail {
+		return InfoPayload{}, fmt.Errorf("wire: info payload %d bytes, want 15, %d, or %d",
+			len(data), 15+durabilityTail, 15+durabilityTail+replicationTail)
 	}
 	if data[12] > 1 {
 		return InfoPayload{}, fmt.Errorf("wire: info flag byte %d", data[12])
@@ -340,7 +452,7 @@ func DecodeInfo(data []byte) (InfoPayload, error) {
 	if info.Shards == 0 {
 		return InfoPayload{}, fmt.Errorf("wire: info shard count 0")
 	}
-	if len(data) == 15+durabilityTail {
+	if len(data) >= 15+durabilityTail {
 		d := &DurabilityInfo{}
 		fields := [7]*uint64{
 			&d.Epoch, &d.Snapshots, &d.Deltas, &d.Compactions,
@@ -350,6 +462,21 @@ func DecodeInfo(data []byte) (InfoPayload, error) {
 			*p = binary.BigEndian.Uint64(data[15+8*i:])
 		}
 		info.Durability = d
+	}
+	if len(data) == 15+durabilityTail+replicationTail {
+		tail := data[15+durabilityTail:]
+		if tail[0] != RolePrimary && tail[0] != RoleReplica {
+			return InfoPayload{}, fmt.Errorf("wire: replication role byte %d", tail[0])
+		}
+		if tail[1] > 1 {
+			return InfoPayload{}, fmt.Errorf("wire: replication attached byte %d", tail[1])
+		}
+		r := &ReplicationInfo{Role: tail[0], Attached: tail[1] == 1}
+		fields := [4]*uint64{&r.Term, &r.ShippedSeq, &r.AckedSeq, &r.LagBytes}
+		for i, p := range fields {
+			*p = binary.BigEndian.Uint64(tail[2+8*i:])
+		}
+		info.Replication = r
 	}
 	return info, nil
 }

@@ -6,12 +6,14 @@
 # its fault injector), race-mode crash-recovery and exactly-once smokes
 # (kill-recover oracle in both full-snapshot and delta-chain modes,
 # the live-reshard kill-recover oracle in forward and rollback
-# directions, retry/group-commit schedules, single- and multi-shard
-# chaos soak plus its delta- and reshard-mode variants; internal/check),
+# directions, the replication failover oracle with its mid-frame kill
+# sites and fencing check, retry/group-commit schedules, single- and
+# multi-shard chaos soak plus its delta-, reshard-, and
+# replication-failover-mode variants; internal/check),
 # a race-mode pass of the XOR fast-path oracle (the sweep-shaped
 # differential oracle with Config.XORRead on) and of the shard
 # oracle/isolation/leakage audits (including the mid-migration audit),
-# then a short-budget fuzz smoke over the nine native fuzz targets.
+# then a short-budget fuzz smoke over the ten native fuzz targets.
 # Longer campaigns: `make fuzz FUZZTIME=10m`, `make crash`,
 # `make soak SOAKTIME=60s`, or see EXPERIMENTS.md.
 set -eux
@@ -20,7 +22,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim ./internal/server/... ./internal/durable ./internal/faults
-go test -race -short -run '^TestCrashRecoverySchedules$|^TestCrashRecoveryDeltaSchedules$|^TestReshardKillRecover|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak|^TestXORSweepOracle$|^TestXORRemoteSlotsCovered$|^TestShardOracleClean$|^TestShardIsolation$|^TestShardLeak' ./internal/check
+go test -race -short -run '^TestCrashRecoverySchedules$|^TestCrashRecoveryDeltaSchedules$|^TestReshardKillRecover|^TestFailoverSmoke$|^TestRetrySchedules$|^TestGroupCommitSchedules$|^TestChaosSoak|^TestXORSweepOracle$|^TestXORRemoteSlotsCovered$|^TestShardOracleClean$|^TestShardIsolation$|^TestShardLeak' ./internal/check
 
 FUZZTIME="${FUZZTIME:-5s}"
 go test -run='^$' -fuzz='^FuzzAccess$' -fuzztime="$FUZZTIME" ./internal/ringoram
@@ -29,6 +31,7 @@ go test -run='^$' -fuzz='^FuzzDeltaDecode$' -fuzztime="$FUZZTIME" ./aboram
 go test -run='^$' -fuzz='^FuzzTraceParse$' -fuzztime="$FUZZTIME" ./internal/trace
 go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime="$FUZZTIME" ./internal/server/wire
 go test -run='^$' -fuzz='^FuzzShardRoute$' -fuzztime="$FUZZTIME" ./internal/server
+go test -run='^$' -fuzz='^FuzzReplStream$' -fuzztime="$FUZZTIME" ./internal/server/wire
 go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime="$FUZZTIME" ./internal/durable
 go test -run='^$' -fuzz='^FuzzReshardJournal$' -fuzztime="$FUZZTIME" ./internal/durable
 go test -run='^$' -fuzz='^FuzzXORPeel$' -fuzztime="$FUZZTIME" ./internal/secmem
