@@ -45,6 +45,25 @@ func (ms *mirrorSink) SendFrame(f wire.ReplFrame) error {
 	return nil
 }
 
+// captureSink records every frame after a round-trip through the real
+// codec, so a frame the wire would refuse (an oversized body above all)
+// fails exactly where the TCP link would fail.
+type captureSink struct{ frames []wire.ReplFrame }
+
+func (cs *captureSink) SendFrame(f wire.ReplFrame) error {
+	body, err := wire.AppendReplFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	g, err := wire.DecodeReplFrame(body)
+	if err != nil {
+		return err
+	}
+	g.Data = append([]byte(nil), g.Data...)
+	cs.frames = append(cs.frames, g)
+	return nil
+}
+
 // attachMirror builds a mirror over dir and stages it on the shipper;
 // the engine's next operation services the bootstrap.
 func attachMirror(t *testing.T, s *Shipper, dir string) *Mirror {
@@ -362,14 +381,108 @@ func TestSemiSyncDegradesNotWedges(t *testing.T) {
 	if st.AckTimeouts == 0 || !st.Degraded {
 		t.Fatalf("ship stats = %+v, want a counted degradation", st)
 	}
-	// Degraded mode: later writes proceed without waiting out the timeout
-	// each time (waitAcked is skipped once flushed == acked never holds —
-	// the degradation flag only clears when the replica catches up).
-	if err := e.Write(2, payload(e.BlockSize(), 3)); err != nil {
-		t.Fatal(err)
+	// Degraded mode: later writes must skip the ack wait outright, not
+	// re-pay the full timeout on every batch (which would cap the shard
+	// at ~1/AckTimeout synced batches per second while the replica lags).
+	// AckWaits counts entries into waitAcked; it must not grow.
+	waits := st.AckWaits
+	for i := 0; i < 3; i++ {
+		if err := e.Write(2, payload(e.BlockSize(), byte(3+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st2 := ship.Stats(); st2.AckWaits != waits {
+		t.Fatalf("degraded writes still entered the ack wait (AckWaits %d -> %d); degraded mode must short-circuit", waits, st2.AckWaits)
 	}
 	if e.failed != nil {
 		t.Fatalf("semi-sync degradation poisoned the engine: %v", e.failed)
+	}
+}
+
+// TestFlushSplitsOversizedBatches pins the wal-batch size bound: a deep
+// group commit of max-size writes buffers more record bytes than one
+// frame may carry (wire.MaxReplBody); flush must split it on record
+// boundaries into consecutive in-bound frames with contiguous
+// FirstSeq/Count — not emit one oversized frame that the wire refuses
+// and the link dies on, forever, under that workload.
+func TestFlushSplitsOversizedBatches(t *testing.T) {
+	s := &Shipper{}
+	cs := &captureSink{}
+	s.Attach(cs)
+	if s.install() == nil {
+		t.Fatal("install returned no sink for a staged attach")
+	}
+	const recs = 24 // ~64 KiB each: ~1.5 MiB buffered, > MaxReplBody
+	var want []byte
+	data := make([]byte, wire.MaxData)
+	for i := 0; i < recs; i++ {
+		frame, err := AppendRecord(nil, wire.Request{
+			Op: wire.OpWrite, ID: uint64(i + 1), Block: int64(i), Data: data,
+		})
+		if err != nil {
+			t.Fatalf("AppendRecord: %v", err)
+		}
+		s.record(frame)
+		want = append(want, frame...)
+	}
+	s.flush(7)
+	if st := s.Stats(); !st.Attached || st.SendErrors != 0 {
+		t.Fatalf("ship stats = %+v, want the link to survive the oversized group commit", st)
+	}
+	if len(cs.frames) < 2 {
+		t.Fatalf("%d bytes of records shipped as %d frame(s); want a split", len(want), len(cs.frames))
+	}
+	var got []byte
+	next, count := uint64(1), 0
+	for i, f := range cs.frames {
+		if f.Kind != wire.ReplWALBatch {
+			t.Fatalf("frame %d is %s, want wal-batch", i, f.Kind)
+		}
+		if f.Term != 7 {
+			t.Fatalf("frame %d term = %d, want 7", i, f.Term)
+		}
+		if f.FirstSeq != next {
+			t.Fatalf("frame %d starts at seq %d, want %d (the mirror's continuity check would desync)", i, f.FirstSeq, next)
+		}
+		next += uint64(f.Count)
+		count += f.Count
+		got = append(got, f.Data...)
+	}
+	if count != recs || !bytes.Equal(got, want) {
+		t.Fatalf("split stream carries %d records / %d bytes, want %d / %d", count, len(got), recs, len(want))
+	}
+}
+
+// TestInstallAttachRaceKeepsLiveSink pins the spurious-wakeup shape: an
+// Attach landing between a previous install's staged-sink consumption
+// and its pendingAttach clear leaves the flag set with nothing staged.
+// Servicing that must be a no-op — the earlier behavior dropped the
+// just-installed live sink, leaving an open connection shipping nothing.
+func TestInstallAttachRaceKeepsLiveSink(t *testing.T) {
+	s := &Shipper{}
+	cs := &captureSink{}
+	s.Attach(cs)
+	if s.install() == nil {
+		t.Fatal("install returned no sink for a staged attach")
+	}
+	s.pendingAttach.Store(true) // the race's residue: flag set, next nil
+	if got := s.install(); got != nil {
+		t.Fatalf("spurious install returned %v, want nil", got)
+	}
+	if s.pendingAttach.Load() {
+		t.Fatal("spurious install left pendingAttach set; the engine would loop")
+	}
+	if !s.isAttached() {
+		t.Fatal("spurious install dropped the live sink")
+	}
+	frame, err := AppendRecord(nil, wire.Request{Op: wire.OpWrite, ID: 1, Block: 0, Data: []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.record(frame)
+	s.flush(1)
+	if len(cs.frames) != 1 {
+		t.Fatalf("live sink shipped %d frames after the spurious install, want 1", len(cs.frames))
 	}
 }
 

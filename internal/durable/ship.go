@@ -67,7 +67,7 @@ type Shipper struct {
 	acked    uint64    // replica's durable watermark
 	ackCh    chan struct{}
 	batch    []byte // framed records appended since the last flush
-	batchN   int
+	recLens  []int  // per-record frame lengths in batch (split points)
 	outBytes []shipOut // unacked flushes, for byte-lag accounting
 	degraded bool
 	stats    ShipStats
@@ -203,7 +203,7 @@ func (s *Shipper) dropLocked(err error) {
 	}
 	s.sink = nil
 	s.batch = nil
-	s.batchN = 0
+	s.recLens = nil
 	s.outBytes = nil
 	if err != nil {
 		s.stats.SendErrors++
@@ -221,7 +221,7 @@ func (s *Shipper) record(frame []byte) {
 	if s.sink != nil {
 		s.seq++
 		s.batch = append(s.batch, frame...)
-		s.batchN++
+		s.recLens = append(s.recLens, len(frame))
 	}
 	s.mu.Unlock()
 }
@@ -238,31 +238,53 @@ func (s *Shipper) flush(term uint64) {
 	s.flushLocked(term)
 }
 
-// flushLocked is flush for callers already holding sendMu.
+// maxBatchData bounds one wal-batch frame's records region, leaving
+// headroom for the frame header and batch fields under wire.MaxReplBody.
+// A single WAL record (body ≤ wire.MaxBody, ~64 KiB) always fits.
+const maxBatchData = wire.MaxReplBody - 64
+
+// flushLocked is flush for callers already holding sendMu. A deep group
+// commit can buffer more record bytes than one frame may carry, so the
+// batch is split on record boundaries into consecutive frames with
+// contiguous FirstSeq/Count — the mirror's stream accounting sees one
+// unbroken sequence.
 func (s *Shipper) flushLocked(term uint64) {
 	s.mu.Lock()
-	if s.sink == nil || s.batchN == 0 {
+	if s.sink == nil || len(s.recLens) == 0 {
 		s.mu.Unlock()
 		return
 	}
 	sink := s.sink
-	f := wire.ReplFrame{
-		Kind:     wire.ReplWALBatch,
-		Term:     term,
-		Shard:    s.Shard,
-		FirstSeq: s.flushed + 1,
-		Count:    s.batchN,
-		Data:     s.batch,
+	var frames []wire.ReplFrame
+	data, lens := s.batch, s.recLens
+	for len(lens) > 0 {
+		n, size := 0, 0
+		for n < len(lens) && (n == 0 || size+lens[n] <= maxBatchData) {
+			size += lens[n]
+			n++
+		}
+		frames = append(frames, wire.ReplFrame{
+			Kind:     wire.ReplWALBatch,
+			Term:     term,
+			Shard:    s.Shard,
+			FirstSeq: s.flushed + 1,
+			Count:    n,
+			Data:     data[:size],
+		})
+		s.flushed += uint64(n)
+		s.outBytes = append(s.outBytes, shipOut{seq: s.flushed, bytes: uint64(size)})
+		data, lens = data[size:], lens[n:]
 	}
-	s.flushed += uint64(s.batchN)
-	s.outBytes = append(s.outBytes, shipOut{seq: s.flushed, bytes: uint64(len(s.batch))})
 	s.batch = nil
-	s.batchN = 0
+	s.recLens = nil
 	s.mu.Unlock()
-	if err := sink.SendFrame(f); err != nil {
-		s.mu.Lock()
-		s.dropLocked(err)
-		s.mu.Unlock()
+	for _, f := range frames {
+		if err := sink.SendFrame(f); err != nil {
+			s.mu.Lock()
+			s.dropLocked(err)
+			s.mu.Unlock()
+			return
+		}
 	}
 }
 
@@ -345,10 +367,20 @@ func (s *Shipper) shipFile(term uint64, kind wire.ReplFileKind, epoch uint64, da
 
 // install moves the staged sink live, resetting the stream accounting
 // for the bootstrap. Engine goroutine (maybeAttach) only.
+//
+// An Attach can race a previous install (stage its sink after that
+// install read next but before it cleared pendingAttach), leaving the
+// flag set with no staged sink. That spurious wakeup must leave the
+// live link untouched — dropping it here would strand an open, healthy
+// connection with no sink behind it — so the flag is cleared and next
+// is re-checked under the same mu section.
 func (s *Shipper) install() FrameSink {
-	s.pendingAttach.Store(false)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pendingAttach.Store(false)
+	if s.next == nil {
+		return nil
+	}
 	s.dropLocked(nil)
 	s.sink = s.next
 	s.next = nil
@@ -428,7 +460,12 @@ func (s *Shipper) waitAcked(seq uint64) bool {
 }
 
 // semiSyncWait is the engine-side ack gate: under SemiSync, block until
-// the replica has fsynced everything flushed so far.
+// the replica has fsynced everything flushed so far. While the link is
+// degraded (an earlier wait timed out and the replica hasn't caught up)
+// the wait is skipped entirely — re-paying the full timeout on every
+// batch would cap the shard at ~1/AckTimeout synced batches per second.
+// Ack clears the flag once the replica's watermark reaches the flushed
+// seq, and full waits resume.
 func (s *Shipper) semiSyncWait() {
 	if !s.SemiSync {
 		return
@@ -436,8 +473,9 @@ func (s *Shipper) semiSyncWait() {
 	s.mu.Lock()
 	seq := s.flushed
 	attached := s.sink != nil
+	degraded := s.degraded
 	s.mu.Unlock()
-	if !attached || seq == 0 {
+	if !attached || seq == 0 || degraded {
 		return
 	}
 	s.waitAcked(seq)

@@ -50,6 +50,14 @@ type ReplicaHub struct {
 	// HeartbeatEvery paces idle-link heartbeats (keeps acks flowing and
 	// lag observable when no writes happen). Default 500ms.
 	HeartbeatEvery time.Duration
+	// WriteTimeout bounds each frame write to the standby. The repl
+	// upgrade clears the connection's deadlines, so a standby that stops
+	// reading while its socket stays open (suspended process, blackholed
+	// link) would otherwise backpressure TCP until the shard's engine
+	// thread wedges inside SendFrame; tripping this deadline surfaces a
+	// send error instead — the link detaches and serving continues
+	// async. Default 5s.
+	WriteTimeout time.Duration
 	// Logf receives link lifecycle events. Default: discard.
 	Logf func(format string, args ...any)
 
@@ -58,16 +66,26 @@ type ReplicaHub struct {
 }
 
 // lockedSink serializes concurrent shard shippers (and the hub's own
-// hello) onto one connection.
+// hello) onto one connection, bounding every write with a deadline so a
+// non-reading standby can never wedge a sender behind TCP backpressure.
 type lockedSink struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
 }
 
 func (ls *lockedSink) SendFrame(f wire.ReplFrame) error {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	return wire.WriteReplFrame(ls.conn, f)
+	ls.conn.SetWriteDeadline(time.Now().Add(ls.timeout))
+	err := wire.WriteReplFrame(ls.conn, f)
+	if err != nil {
+		// A failed (or half-finished, on timeout) write leaves the stream
+		// unframed; close the conn so the hub's ack reader unwinds and
+		// every shard detaches instead of shipping into a broken pipe.
+		ls.conn.Close()
+	}
+	return err
 }
 
 // Serve runs one standby connection until it dies: hello, per-shard
@@ -102,7 +120,11 @@ func (h *ReplicaHub) Serve(conn net.Conn) error {
 		conn.Close()
 	}()
 
-	sink := &lockedSink{conn: conn}
+	wt := h.WriteTimeout
+	if wt <= 0 {
+		wt = 5 * time.Second
+	}
+	sink := &lockedSink{conn: conn, timeout: wt}
 	if err := sink.SendFrame(wire.ReplFrame{
 		Kind: wire.ReplHello, Term: h.Term(), Shards: len(h.Shippers),
 	}); err != nil {
@@ -408,7 +430,11 @@ func (rs *ReplicaSession) serveLink(addr string) error {
 		case wire.ReplWALBatch, wire.ReplBootDone, wire.ReplHeartbeat:
 			// The mirror fsynced before returning: this ack is a
 			// durability promise the primary's semi-sync mode relies on.
+			// The write is deadline-bounded for the same reason the hub's
+			// sends are: a primary that stops reading must drop the link,
+			// not wedge the apply loop.
 			ack := wire.ReplFrame{Kind: wire.ReplAck, Term: m.Term(), Shard: f.Shard, Seq: m.Seq()}
+			conn.SetWriteDeadline(time.Now().Add(rs.cfg.Timeout))
 			if err := wire.WriteReplFrame(conn, ack); err != nil {
 				return err
 			}

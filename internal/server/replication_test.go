@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -85,6 +86,75 @@ func startReplicatedFleet(t *testing.T, dir string, shards int, semiSync bool) (
 	}
 	t.Cleanup(kill)
 	return ln.Addr().String(), srv, tsrv, engines, hub, kill
+}
+
+// TestStalledStandbyDetachesNotWedges pins the backpressure liveness
+// contract: a standby that stops reading while its socket stays open
+// (suspended process, blackholed link) must trip the hub's per-frame
+// write deadline and detach — not backpressure the transport until the
+// shard's engine thread wedges inside SendFrame with sendMu held,
+// freezing every data op. net.Pipe is the perfect stand-in: unbuffered,
+// so the very first unread frame blocks the sender.
+func TestStalledStandbyDetachesNotWedges(t *testing.T) {
+	ship := &durable.Shipper{Shard: 0, ChunkBytes: 1 << 10}
+	e, err := durable.Open(durable.Options{
+		Dir:  durable.ShardDir(t.TempDir(), 0, 0, 1),
+		ORAM: aboram.Options{Levels: 8, Seed: ShardSeed(7, 0), EncryptionKey: testKey},
+		Ship: ship,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	hub := &ReplicaHub{
+		Shippers:       []*durable.Shipper{ship},
+		Term:           e.Term,
+		WriteTimeout:   100 * time.Millisecond,
+		HeartbeatEvery: time.Hour, // quiet link: the bootstrap is the writer under test
+		Logf:           t.Logf,
+	}
+	primary, standby := net.Pipe()
+	defer standby.Close()
+	served := make(chan error, 1)
+	go func() { served <- hub.Serve(primary) }()
+	// Read the hello, then stop reading forever.
+	br := bufio.NewReader(standby)
+	if f, err := wire.ReadReplFrame(br); err != nil || f.Kind != wire.ReplHello {
+		t.Fatalf("first frame = %+v, %v; want hello", f, err)
+	}
+	// The engine services the staged attach at an op boundary and ships
+	// the bootstrap into the stalled link; the deadline must surface a
+	// send error and let the op complete. Without it this op blocks until
+	// the test times out.
+	opDone := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 200 && ship.Stats().SendErrors == 0; i++ {
+			if err = e.Access(0); err != nil {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		opDone <- err
+	}()
+	select {
+	case err := <-opDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine op wedged behind a standby that stopped reading")
+	}
+	if st := ship.Stats(); st.SendErrors == 0 || st.Attached {
+		t.Fatalf("ship stats = %+v, want the stalled link detached with a send error", st)
+	}
+	// The timed-out send closes the conn, so the hub's ack reader unwinds
+	// and the slot frees for the standby's next (healthy) dial.
+	select {
+	case <-served:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hub.Serve never unwound after the stalled link detached")
+	}
 }
 
 // TestReplicationFailoverEndToEnd drives the whole warm-standby story
